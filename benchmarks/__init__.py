@@ -1,0 +1,1 @@
+"""Per-figure benchmark harness (see DESIGN.md section 3)."""

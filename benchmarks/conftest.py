@@ -1,0 +1,140 @@
+"""Shared sources and helpers for the per-figure benchmark harness.
+
+Every benchmark file regenerates one figure of the paper (DESIGN.md
+section 3 maps figure -> file).  The benchmarks measure wall-clock of
+the implementing transformation/flow via pytest-benchmark *and* assert
+the shape results the paper reports (operation counts, trail counts,
+cycle counts, who-wins comparisons).  Absolute timings are ours, the
+shapes are the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.builder import design_from_source
+from repro.ir.htg import BlockNode, Design, FunctionHTG
+from repro.ir.operations import Operation
+
+
+# --------------------------------------------------------------------------
+# Paper code figures as behavioral sources
+# --------------------------------------------------------------------------
+
+def fig2_loop_source(n: int) -> str:
+    """Fig 2(a): a loop whose body computes r1(i) = Op1(i) then
+    r2(i) = Op2(i, r1(i)).  ``Op1``/``Op2`` are pure externals."""
+    return f"""
+    int r1[{n + 2}];
+    int r2[{n + 2}];
+    int i;
+    for (i = 0; i < {n}; i++) {{
+      r1[i] = Op1(i);
+      r2[i] = Op2(i, r1[i]);
+    }}
+    """
+
+
+def fig2_externals() -> Dict[str, object]:
+    """Deterministic pure bindings for Op1/Op2."""
+    return {
+        "Op1": lambda i: (3 * i + 7) & 0xFF,
+        "Op2": lambda i, r: (r + i * i) & 0xFF,
+    }
+
+
+FIG4_SOURCE = """
+int t1; int t2; int t3; int f;
+t1 = a + b;
+if (cond) {
+  t2 = t1;
+  t3 = c + d;
+} else {
+  t2 = e;
+  t3 = c - d;
+}
+f = t2 + t3;
+"""
+
+FIG5_SOURCE = """
+int o1; int o2;
+if (cond1) {
+  if (cond2) { o1 = a; } else { o1 = b; }
+} else { o1 = c; }
+o2 = o1 + d;
+"""
+
+FIG6_SOURCE = """
+int o1; int o2;
+if (cond) {
+  o1 = a + b;
+} else {
+  o1 = d;
+}
+o2 = o1 + e;
+"""
+
+FIG7_SOURCE = """
+int o1; int o2;
+o1 = p;
+if (cond) {
+  o1 = d;
+}
+o2 = o1 + b;
+"""
+
+
+# --------------------------------------------------------------------------
+# IR inspection helpers
+# --------------------------------------------------------------------------
+
+def find_writer(func: FunctionHTG, variable: str) -> Operation:
+    """First operation in *func* writing *variable*."""
+    for node in func.walk_nodes():
+        if isinstance(node, BlockNode):
+            for op in node.ops:
+                if variable in op.writes():
+                    return op
+    raise AssertionError(f"no write to {variable!r}")
+
+
+def block_containing(func: FunctionHTG, op: Operation):
+    """The BasicBlock holding *op*."""
+    for node in func.walk_nodes():
+        if isinstance(node, BlockNode) and op in node.ops:
+            return node.block
+    raise AssertionError("operation not found in any block")
+
+
+def total_ops(design: Design) -> int:
+    return sum(f.count_operations() for f in design.functions.values())
+
+
+def fresh_design(source: str) -> Design:
+    return design_from_source(source)
+
+
+# --------------------------------------------------------------------------
+# Reporting
+# --------------------------------------------------------------------------
+
+class FigureReport:
+    """Accumulates the rows a figure's bench regenerates, printed at
+    the end of the bench so ``pytest -s`` shows the paper-style table."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.rows: List[str] = []
+
+    def row(self, text: str) -> None:
+        self.rows.append(text)
+
+    def emit(self) -> None:
+        width = max([len(self.title)] + [len(r) for r in self.rows]) + 2
+        print()
+        print("=" * width)
+        print(self.title)
+        print("-" * width)
+        for row in self.rows:
+            print(row)
+        print("=" * width)

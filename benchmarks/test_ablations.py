@@ -1,0 +1,159 @@
+"""Ablation benches — each coordinated transformation knocked out.
+
+The paper's thesis is *coordination*: "we have found no single code
+motion technique ... to be universally useful [but] a judicious
+balance of a number of these techniques ... is likely to yield HLS
+results that compare in quality to the manually designed functional
+blocks."  These benches quantify what each member of the suite
+contributes to the ILD result (DESIGN.md section 5 calls these out as
+the design choices to ablate).
+
+Measured effects (shape, not absolute):
+
+* no unrolling      -> the design cannot reach a single cycle;
+* no const-prop     -> longer chained critical path and more area
+                       (index arithmetic survives into the datapath);
+* no speculation    -> chaining still reaches one cycle (Section 3.1
+                       carries the weight) but with more steering area;
+* no DCE            -> dead index/copy operations inflate the op count;
+* no code motion    -> at tight clocks the in-order scheduler cannot
+                       recover the Fig 3(b) two-level schedule: states
+                       grow with N instead of staying constant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SparkSession, SynthesisScript
+from repro.ild import build_ild_source, ild_externals, ild_interface, ild_library
+from repro.scheduler.list_scheduler import ChainingScheduler
+from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
+from repro.transforms.code_motion import DataflowLevelReorder
+from repro.transforms.const_prop import ConstantPropagation
+from repro.transforms.copy_prop import CopyPropagation
+from repro.transforms.dce import DeadCodeElimination
+from repro.transforms.unroll import LoopUnroller
+
+from benchmarks.conftest import (
+    FigureReport,
+    fig2_externals,
+    fig2_loop_source,
+    fresh_design,
+)
+
+N = 4
+
+
+def synthesize_ild(**overrides):
+    """The full µP-block flow with selected knobs overridden."""
+    pure = set(ild_externals(N))
+    script = SynthesisScript.microprocessor_block(pure_functions=pure)
+    for knob, value in overrides.items():
+        setattr(script, knob, value)
+    session = SparkSession(
+        build_ild_source(N),
+        script=script,
+        library=ild_library(),
+        interface=ild_interface(N),
+        externals=ild_externals(N),
+    )
+    return session.run(bind=True, emit=False)
+
+
+def test_full_configuration(benchmark):
+    result = benchmark(synthesize_ild)
+    assert result.state_machine.is_single_cycle()
+
+
+def test_ablate_unrolling():
+    """Without unrolling, the loop forces a multi-cycle FSM — the
+    latency bound is unreachable."""
+    result = synthesize_ild(unroll_loops={})
+    assert not result.state_machine.is_single_cycle()
+    assert result.state_machine.num_states > 1
+
+
+def test_ablate_constant_propagation():
+    """The surviving index arithmetic lengthens the chained critical
+    path and inflates the datapath."""
+    full = synthesize_ild()
+    ablated = synthesize_ild(enable_constant_propagation=False)
+    assert ablated.state_machine.is_single_cycle()
+    assert (
+        ablated.state_machine.max_critical_path()
+        > full.state_machine.max_critical_path()
+    )
+    assert ablated.area.total > full.area.total
+
+
+def test_ablate_speculation():
+    """Chaining across conditional boundaries still reaches one cycle
+    (Section 3.1 was designed for exactly this), at equal-or-worse
+    steering cost."""
+    full = synthesize_ild()
+    ablated = synthesize_ild(enable_speculation=False)
+    assert ablated.state_machine.is_single_cycle()
+    assert ablated.area.total >= full.area.total
+
+
+def test_ablate_dce():
+    """Dead index updates and copies survive into the schedule."""
+    full = synthesize_ild()
+    ablated = synthesize_ild(enable_dce=False)
+    assert (
+        ablated.state_machine.total_operations()
+        > full.state_machine.total_operations()
+    )
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_ablate_code_motion_at_tight_clock(n):
+    """Fig 3's enabler, measured on the Op1/Op2 loop: with the
+    dataflow-level reorder the tight-clock schedule is 2 states for
+    any N; without it the in-order scheduler needs O(N) states."""
+    pure = set(fig2_externals())
+
+    def prepare(with_motion: bool):
+        design = fresh_design(fig2_loop_source(n))
+        LoopUnroller({"*": 0}).run_on_design(design)
+        ConstantPropagation().run_on_design(design)
+        CopyPropagation().run_on_design(design)
+        DeadCodeElimination(pure_functions=pure).run_on_design(design)
+        if with_motion:
+            DataflowLevelReorder(pure_functions=pure).run_on_design(design)
+        scheduler = ChainingScheduler(
+            library=ResourceLibrary(),
+            clock_period=3.0,
+            allocation=ResourceAllocation.unlimited(),
+        )
+        return scheduler.schedule(design.main)
+
+    with_motion = prepare(True)
+    without_motion = prepare(False)
+    assert with_motion.num_states == 2
+    assert without_motion.num_states >= n
+
+
+def test_ablations_report():
+    report = FigureReport(f"Ablations on the single-cycle ILD flow (n={N})")
+    report.row(
+        f"{'configuration':<26} {'states':>7} {'ops':>5} "
+        f"{'crit.path':>10} {'area':>7}"
+    )
+    configurations = [
+        ("full", {}),
+        ("no speculation", {"enable_speculation": False}),
+        ("no unroll", {"unroll_loops": {}}),
+        ("no const-prop", {"enable_constant_propagation": False}),
+        ("no dce", {"enable_dce": False}),
+        ("no cse", {"enable_cse": False}),
+    ]
+    for name, overrides in configurations:
+        result = synthesize_ild(**overrides)
+        sm = result.state_machine
+        report.row(
+            f"{name:<26} {sm.num_states:>7} {sm.total_operations():>5} "
+            f"{sm.max_critical_path():>10.2f} {result.area.total:>7.0f}"
+        )
+    report.emit()

@@ -1,0 +1,135 @@
+"""Fig 1 — the architectural contrast: ASIC vs microprocessor block.
+
+Paper: ASICs are "typically multi-cycle and pipelined ... usually area
+constrained, which often limits the extent of parallelism"; µP blocks
+"are often single cycle ... with little or no resource constraints but
+tight bounds on the cycle time."
+
+The bench synthesizes the *same* ILD description under both regimes
+and measures the trade: the ASIC script (2 ALUs, rolled loop, short
+clock) yields a small multi-cycle FSM; the µP script (unlimited
+allocation, full unroll, chained single cycle) yields one state and a
+much larger datapath.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import SparkSession, SynthesisScript
+from repro.ild import (
+    GoldenILD,
+    build_ild_source,
+    ild_externals,
+    ild_interface,
+    ild_library,
+    random_buffer,
+)
+
+from benchmarks.conftest import FigureReport
+
+N = 4
+
+
+def make_session(script: SynthesisScript) -> SparkSession:
+    return SparkSession(
+        build_ild_source(N),
+        script=script,
+        library=ild_library(),
+        interface=ild_interface(N),
+        externals=ild_externals(N),
+    )
+
+
+def up_script() -> SynthesisScript:
+    return SynthesisScript.microprocessor_block(
+        pure_functions=set(ild_externals(N))
+    )
+
+
+def asic_script() -> SynthesisScript:
+    script = SynthesisScript.asic(clock_period=4.0)
+    script.pure_functions = set(ild_externals(N))
+    return script
+
+
+def synthesize_both():
+    up = make_session(up_script()).run()
+    asic = make_session(asic_script()).run()
+    return up, asic
+
+
+def test_both_regimes(benchmark):
+    up, asic = benchmark(synthesize_both)
+    assert up.state_machine.is_single_cycle()
+    assert asic.state_machine.num_states > 1
+
+
+def test_up_single_cycle_asic_multi_cycle():
+    up, asic = synthesize_both()
+    rng = random.Random(5)
+    buffer = random_buffer(N, rng=rng)
+    up_sess = make_session(up_script())
+    up_result = up_sess.run(bind=False, emit=False)
+    rtl = up_sess.simulate_rtl(
+        up_result.state_machine, array_inputs={"Buffer": list(buffer)}
+    )
+    assert rtl.cycles == 1
+
+    asic_sess = make_session(asic_script())
+    asic_result = asic_sess.run(bind=False, emit=False)
+    asic_rtl = asic_sess.simulate_rtl(
+        asic_result.state_machine, array_inputs={"Buffer": list(buffer)}
+    )
+    assert asic_rtl.cycles > rtl.cycles
+    # Both decode correctly.
+    golden = GoldenILD(n=N)
+    mark, _, _ = golden.decode(buffer)
+    assert rtl.arrays["Mark"][1 : N + 1] == mark[1 : N + 1]
+    assert asic_rtl.arrays["Mark"][1 : N + 1] == mark[1 : N + 1]
+
+
+def test_asic_respects_resource_limits():
+    _, asic = synthesize_both()
+    counts = asic.fu_binding.instance_counts
+    assert counts.get("alu", 0) <= 2
+    assert counts.get("cmp", 0) <= 1
+
+
+def test_up_buys_speed_with_area():
+    """The paper's trade quantified: the µP block has strictly more FU
+    instances but strictly fewer cycles."""
+    up, asic = synthesize_both()
+    assert (
+        up.fu_binding.total_instances() > asic.fu_binding.total_instances()
+    )
+    assert up.state_machine.num_states < asic.state_machine.num_states
+
+
+def test_fig1_report():
+    report = FigureReport("Fig 1: ASIC regime vs microprocessor-block regime")
+    up, asic = synthesize_both()
+    report.row(f"{'':<22} {'ASIC':>12} {'uP block':>12}")
+    report.row(
+        f"{'states':<22} {asic.state_machine.num_states:>12} "
+        f"{up.state_machine.num_states:>12}"
+    )
+    report.row(
+        f"{'fu instances':<22} {asic.fu_binding.total_instances():>12} "
+        f"{up.fu_binding.total_instances():>12}"
+    )
+    report.row(
+        f"{'registers':<22} {asic.register_binding.register_count:>12} "
+        f"{up.register_binding.register_count:>12}"
+    )
+    report.row(
+        f"{'area total':<22} {asic.area.total:>12.0f} {up.area.total:>12.0f}"
+    )
+    report.row(
+        f"{'critical path':<22} "
+        f"{asic.state_machine.max_critical_path():>12.2f} "
+        f"{up.state_machine.max_critical_path():>12.2f}"
+    )
+    report.emit()

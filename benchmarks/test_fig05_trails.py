@@ -1,0 +1,111 @@
+"""Fig 5 — chaining-trail enumeration across nested conditionals.
+
+Paper: scheduling operation 4 with operations 1, 2 and 3 requires
+checking "all trails up from basic block BB8"; the example has exactly
+three trails, each containing one write to ``o1``.
+
+The bench enumerates trails on the paper's HTG and on deeper nested
+variants (trail count doubles per nesting level — the cost the
+chaining heuristic pays), and validates chained single-cycle synthesis
+of the Fig 5 code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DesignInterface, SparkSession, SynthesisScript
+from repro.ir.builder import design_from_source
+from repro.ir.htg import BlockNode
+from repro.transforms.chaining import chaining_sources, enumerate_chaining_trails
+
+from benchmarks.conftest import FIG5_SOURCE, FigureReport, find_writer
+
+
+def nested_if_source(depth: int) -> str:
+    """A write to o1 in every leaf of a depth-*depth* condition tree,
+    then one reader — 2**depth trails."""
+    def tree(level: int, leaf_id: int) -> str:
+        if level == 0:
+            return f"o1 = a + {leaf_id};"
+        return (
+            f"if (c{level}) {{ {tree(level - 1, leaf_id * 2)} }} "
+            f"else {{ {tree(level - 1, leaf_id * 2 + 1)} }}"
+        )
+
+    return f"int o1; int o2;\n{tree(depth, 0)}\no2 = o1 + d;"
+
+
+def trails_for(source: str):
+    design = design_from_source(source)
+    reader = find_writer(design.main, "o2")
+    target = next(
+        node.block
+        for node in design.main.walk_nodes()
+        if isinstance(node, BlockNode) and reader in node.ops
+    )
+    return design, reader, enumerate_chaining_trails(design.main, target)
+
+
+def test_fig5_exactly_three_trails(benchmark):
+    _, _, trails = benchmark(trails_for, FIG5_SOURCE)
+    assert len(trails) == 3
+
+
+def test_fig5_one_o1_writer_per_trail():
+    design, reader, trails = trails_for(FIG5_SOURCE)
+    sources = chaining_sources(design.main, reader, "o1")
+    assert len(sources) == 3
+    for trail, writers in sources.items():
+        assert len(writers) == 1
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3, 4, 5])
+def test_trail_count_doubles_with_nesting(benchmark, depth):
+    _, _, trails = benchmark(trails_for, nested_if_source(depth))
+    assert len(trails) == 2 ** depth
+
+
+def test_fig5_single_cycle_synthesis():
+    """Operation 4 schedules in the same cycle as operations 1-3 and
+    the RTL picks the right o1 per condition pair."""
+    script = SynthesisScript(
+        enable_speculation=False,
+        clock_period=1_000.0,
+        output_scalars={"o2"},
+    )
+    for cond1 in (0, 1):
+        for cond2 in (0, 1):
+            sess = SparkSession(
+                FIG5_SOURCE,
+                script=script,
+                interface=DesignInterface(
+                    name="fig5",
+                    scalar_inputs=["cond1", "cond2", "a", "b", "c", "d"],
+                    scalar_outputs=["o2"],
+                ),
+            )
+            inputs = {
+                "cond1": cond1, "cond2": cond2,
+                "a": 10, "b": 20, "c": 30, "d": 7,
+            }
+            expected = sess.interpret(inputs=inputs).scalars["o2"]
+            result = sess.run(bind=False, emit=False)
+            assert result.state_machine.is_single_cycle()
+            rtl = sess.simulate_rtl(result.state_machine, inputs=inputs)
+            assert rtl.scalars["o2"] == expected
+
+
+def test_fig5_report():
+    report = FigureReport("Fig 5: chaining trails up from BB8")
+    design, reader, trails = trails_for(FIG5_SOURCE)
+    report.row(f"trails found: {len(trails)}  (paper: 3)")
+    for trail in trails:
+        writers = trail.writes_to("o1")
+        report.row(f"  {trail}  o1 writers on trail: {len(writers)}")
+    report.row("")
+    report.row("trail growth with conditional nesting depth:")
+    for depth in (1, 2, 3, 4, 5):
+        _, _, deep = trails_for(nested_if_source(depth))
+        report.row(f"  depth {depth}: {len(deep)} trails")
+    report.emit()

@@ -1,0 +1,84 @@
+"""Figs 8 & 9 — the ILD decode walk: first and second instruction.
+
+Paper Fig 8: the decoder examines LengthContribution_1 of the first
+byte, consults Need_2nd_Byte, and so on for up to 4 bytes.  Fig 9: if
+the first instruction is two bytes long, decoding restarts at byte 3.
+
+The bench exercises the golden model's walk: per-instruction traces
+(bytes examined, contributions), decoder restart at NextStartByte, and
+whole-buffer decode throughput over buffer-size and instruction-mix
+sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ild import GoldenILD, decode_buffer, random_buffer
+from repro.ild.isa import DEFAULT_ISA, crafted_buffer
+
+from benchmarks.conftest import FigureReport
+
+
+def test_fig8_first_instruction_walk():
+    """A crafted buffer whose first instruction needs all four bytes."""
+    # byte with bit7 set -> need 2nd; bit6 -> need 3rd; bit5 -> need 4th
+    buffer = [0, 0x83, 0x47, 0x2A, 0x40] + [0] * 8
+    ild = GoldenILD(n=12)
+    trace = ild.calculate_length(buffer, 1)
+    assert trace.bytes_examined == 4
+    assert trace.length == sum(trace.contributions)
+    assert trace.contributions[0] == 1 + (0x83 & 3)
+
+
+def test_fig9_decode_restarts_at_next_start():
+    """First instruction 2 bytes -> second decode begins at byte 3."""
+    buffer = [0] + crafted_buffer([2, 3, 1], n=8)
+    ild = GoldenILD(n=8)
+    mark, lengths, traces = ild.decode(buffer)
+    assert mark[1] == 1
+    assert lengths[1] == 2
+    assert traces[1].start == 3
+    assert mark[3] == 1
+
+
+@pytest.mark.parametrize("n", [8, 16, 64, 256])
+def test_decode_throughput(benchmark, n):
+    rng = random.Random(7)
+    buffer = random_buffer(n, rng=rng)
+    ild = GoldenILD(n=n)
+    mark, lengths, traces = benchmark(ild.decode, buffer)
+    # Decoding always advances; every start is marked exactly once.
+    starts = [i for i in range(1, n + 1) if mark[i]]
+    assert starts[0] == 1
+    for a, b in zip(starts, starts[1:]):
+        assert b - a == lengths[a]
+
+
+def test_instruction_lengths_within_paper_bounds():
+    """Lengths range 1..11 bytes (paper Section 5)."""
+    rng = random.Random(21)
+    ild = GoldenILD(n=64)
+    for _ in range(200):
+        buffer = random_buffer(64, rng=rng)
+        _, lengths, traces = ild.decode(buffer)
+        for trace in traces:
+            assert 1 <= trace.length <= 11
+            assert 1 <= trace.bytes_examined <= 4
+
+
+def test_fig8_9_report():
+    report = FigureReport("Figs 8/9: golden ILD decode walk")
+    buffer = [0] + crafted_buffer([2, 4, 1, 3], n=12)
+    ild = GoldenILD(n=12)
+    mark, lengths, traces = ild.decode(buffer)
+    report.row(f"{'start':>6} {'length':>7} {'bytes examined':>15}")
+    for trace in traces:
+        report.row(
+            f"{trace.start:>6} {trace.length:>7} {trace.bytes_examined:>15}"
+        )
+    report.row("")
+    report.row(f"mark vector: {mark[1:]}")
+    report.emit()

@@ -1,0 +1,83 @@
+"""Fig 10 — the behavioral "C" description of the ILD.
+
+The bench parses the generated Fig 10 source for a sweep of buffer
+sizes and interprets it on random byte streams, cross-checking the
+Mark bit vector against the golden decoder — the validation the whole
+reproduction rests on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ild import GoldenILD, build_ild_source, ild_externals, random_buffer
+from repro.interp import run_design
+from repro.ir.builder import design_from_source
+
+from benchmarks.conftest import FigureReport
+
+
+def parse(n: int):
+    return design_from_source(build_ild_source(n))
+
+
+def interpret_marks(design, n: int, buffer):
+    state = run_design(
+        design,
+        externals=ild_externals(n),
+        array_inputs={"Buffer": list(buffer)},
+    )
+    return state.arrays["Mark"][1 : n + 1]
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_parse_behavioral_source(benchmark, n):
+    design = benchmark(parse, n)
+    assert "CalculateLength" in design.functions
+    assert design.main.count_operations() > 0
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_behavioral_matches_golden(n):
+    rng = random.Random(n)
+    design = parse(n)
+    golden = GoldenILD(n=n)
+    for _ in range(25):
+        buffer = random_buffer(n, rng=rng)
+        mark, _, _ = golden.decode(buffer)
+        assert interpret_marks(design, n, buffer) == mark[1 : n + 1]
+
+
+def test_interpretation_throughput(benchmark):
+    n = 16
+    design = parse(n)
+    rng = random.Random(3)
+    buffer = random_buffer(n, rng=rng)
+
+    marks = benchmark(interpret_marks, design, n, buffer)
+    assert marks[0] == 1  # an instruction always starts at byte 1
+
+
+def test_fig10_report():
+    report = FigureReport("Fig 10: behavioral ILD vs golden decoder")
+    report.row(f"{'n':>4} {'ops':>5} {'functions':>10} {'random checks':>14}")
+    for n in (4, 8, 16):
+        design = parse(n)
+        rng = random.Random(n)
+        golden = GoldenILD(n=n)
+        checks = 0
+        for _ in range(10):
+            buffer = random_buffer(n, rng=rng)
+            mark, _, _ = golden.decode(buffer)
+            assert interpret_marks(design, n, buffer) == mark[1 : n + 1]
+            checks += 1
+        total_ops = sum(
+            f.count_operations() for f in design.functions.values()
+        )
+        report.row(
+            f"{n:>4} {total_ops:>5} {len(design.functions):>10} "
+            f"{checks:>14}"
+        )
+    report.emit()

@@ -1,0 +1,112 @@
+"""Fig 11 — speculation inside CalculateLength.
+
+Paper: "the length contributions due to the bytes, i through i+3, are
+calculated speculatively and so are the control variables need2 to
+need4 ... the lengths of the instruction for each case of these
+control variables (TempLength1 to TempLength3) are also speculatively
+computed.  This results in a behavior where all the data calculation
+is performed up-front and speculatively."
+
+The bench runs the Fig 11 stage and measures: how many operations got
+hoisted above their guards (is_speculated), how the conditional region
+thins out to pure steering, and behavioral equivalence.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ild import GoldenILD, ILDPipeline, ild_externals, random_buffer
+from repro.interp import run_design
+from repro.ir.htg import BlockNode, IfNode
+
+from benchmarks.conftest import FigureReport
+
+
+def run_fig11(n: int = 8) -> ILDPipeline:
+    pipeline = ILDPipeline(n=n)
+    pipeline.stage_fig11_speculation()
+    return pipeline
+
+
+def calculate_length(pipeline: ILDPipeline):
+    return pipeline.design.functions["CalculateLength"]
+
+
+def speculated_ops(func):
+    return [op for op in func.walk_operations() if op.is_speculated]
+
+
+def ops_inside_conditionals(func):
+    inside = []
+
+    def visit(nodes):
+        for node in nodes:
+            if isinstance(node, IfNode):
+                for branch in (node.then_branch, node.else_branch):
+                    collect(branch)
+                    visit(branch)
+
+    def collect(nodes):
+        for node in nodes:
+            if isinstance(node, BlockNode):
+                inside.extend(
+                    op for op in node.ops if not op.is_wire_copy
+                )
+            for child_list in node.child_lists():
+                collect(child_list)
+
+    visit(func.body)
+    return inside
+
+
+def test_speculation_stage(benchmark):
+    pipeline = benchmark(run_fig11)
+    func = calculate_length(pipeline)
+    hoisted = speculated_ops(func)
+    # lc2..lc4, need3/need4 evaluations and the TempLength adds move up.
+    assert len(hoisted) >= 5
+
+
+def test_conditional_region_reduced_to_selects():
+    """After Fig 11 the if-tree only selects among precomputed
+    values: no call operations remain under any conditional."""
+    pipeline = run_fig11()
+    func = calculate_length(pipeline)
+    for op in ops_inside_conditionals(func):
+        assert not op.has_call(), f"call left under a conditional: {op}"
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_equivalence_after_speculation(n):
+    rng = random.Random(n)
+    pipeline = run_fig11(n)
+    golden = GoldenILD(n=n)
+    for _ in range(15):
+        buffer = random_buffer(n, rng=rng)
+        state = run_design(
+            pipeline.design,
+            externals=ild_externals(n),
+            array_inputs={"Buffer": list(buffer)},
+        )
+        mark, _, _ = golden.decode(buffer)
+        assert state.arrays["Mark"][1 : n + 1] == mark[1 : n + 1]
+
+
+def test_fig11_report():
+    report = FigureReport("Fig 11: speculation inside CalculateLength")
+    pipeline = run_fig11()
+    before, after = pipeline.stages[0], pipeline.stages[1]
+    func = calculate_length(pipeline)
+    report.row(f"{'stage':<32} {'ops':>5} {'ifs':>5}")
+    report.row(f"{before.name:<32} {before.ops:>5} {before.conditionals:>5}")
+    report.row(f"{after.name:<32} {after.ops:>5} {after.conditionals:>5}")
+    report.row("")
+    report.row(f"speculated ops: {len(speculated_ops(func))}")
+    report.row(
+        f"calls left under conditionals: "
+        f"{sum(1 for op in ops_inside_conditionals(func) if op.has_call())}"
+    )
+    report.emit()

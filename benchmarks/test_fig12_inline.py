@@ -1,0 +1,95 @@
+"""Fig 12 — inlining CalculateLength into the decode loop.
+
+Paper: "Inlining refers to replacing a call to a function or a
+subroutine with the body of the function ... This transformation
+allows the optimization of the inlined function with the rest of the
+code."  The paper also notes the orders commute: "In practice, Spark
+performs inlining first, but speculation within the CalculateLength
+has been shown first to simplify explanation."
+
+The bench measures the inline stage and verifies the commutation
+claim: speculate-then-inline and inline-then-speculate reach
+behaviorally identical designs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ild import GoldenILD, ILDPipeline, ild_externals, random_buffer
+from repro.interp import run_design
+
+from benchmarks.conftest import FigureReport
+
+
+def run_through_fig12(n: int = 8) -> ILDPipeline:
+    pipeline = ILDPipeline(n=n)
+    pipeline.stage_fig11_speculation()
+    pipeline.stage_fig12_inline()
+    return pipeline
+
+
+def practice_order(n: int = 8) -> ILDPipeline:
+    """The order Spark actually uses: inline first, then speculate."""
+    pipeline = ILDPipeline(n=n)
+    pipeline.stage_fig12_inline()
+    pipeline.stage_fig11_speculation()
+    return pipeline
+
+
+def marks(pipeline: ILDPipeline, buffer):
+    n = pipeline.n
+    state = run_design(
+        pipeline.design,
+        externals=ild_externals(n),
+        array_inputs={"Buffer": list(buffer)},
+    )
+    return state.arrays["Mark"][1 : n + 1]
+
+
+def test_inline_stage(benchmark):
+    pipeline = benchmark(run_through_fig12)
+    # The call is gone: main no longer references CalculateLength.
+    for op in pipeline.design.main.walk_operations():
+        for call_name in _call_names(op):
+            assert call_name != "CalculateLength"
+
+
+def _call_names(op):
+    from repro.ir import expr_utils
+
+    names = [call.name for call in expr_utils.calls_in(op.expr)]
+    return names
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_equivalence_after_inline(n):
+    rng = random.Random(n)
+    pipeline = run_through_fig12(n)
+    golden = GoldenILD(n=n)
+    for _ in range(15):
+        buffer = random_buffer(n, rng=rng)
+        mark, _, _ = golden.decode(buffer)
+        assert marks(pipeline, buffer) == mark[1 : n + 1]
+
+
+def test_presentation_and_practice_orders_commute():
+    """Paper footnote-level claim: the figure order (speculate, then
+    inline) and the tool order (inline, then speculate) agree."""
+    n = 8
+    rng = random.Random(99)
+    presented = run_through_fig12(n)
+    practiced = practice_order(n)
+    for _ in range(15):
+        buffer = random_buffer(n, rng=rng)
+        assert marks(presented, buffer) == marks(practiced, buffer)
+
+
+def test_fig12_report():
+    report = FigureReport("Fig 12: CalculateLength inlined into main")
+    pipeline = run_through_fig12()
+    for stage in pipeline.stages:
+        report.row(str(stage))
+    report.emit()

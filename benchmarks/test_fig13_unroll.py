@@ -1,0 +1,96 @@
+"""Fig 13 — the decode loop unrolled fully.
+
+Paper: "Next, the loop is fully unrolled ... However, the
+parallelization transformations are still limited due to a dependency
+that still exists between the operations and the loop index variable
+i."
+
+The bench unrolls for a sweep of buffer sizes and measures code growth
+(linear in n — the paper's "loop unrolling can lead to code
+explosion") and the index dependency Fig 14 will remove.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ild import GoldenILD, ILDPipeline, ild_externals, random_buffer
+from repro.interp import run_design
+from repro.ir.htg import LoopNode
+
+from benchmarks.conftest import FigureReport
+
+
+def run_through_fig13(n: int) -> ILDPipeline:
+    pipeline = ILDPipeline(n=n)
+    pipeline.stage_fig11_speculation()
+    pipeline.stage_fig12_inline()
+    pipeline.stage_fig13_unroll()
+    return pipeline
+
+
+def loops_left(pipeline: ILDPipeline) -> int:
+    return sum(
+        1
+        for func in pipeline.design.functions.values()
+        for node in func.walk_nodes()
+        if isinstance(node, LoopNode)
+    )
+
+
+def index_reads(pipeline: ILDPipeline) -> int:
+    return sum(
+        1
+        for op in pipeline.design.main.walk_operations()
+        if "i" in op.reads()
+    )
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_full_unroll(benchmark, n):
+    pipeline = benchmark(run_through_fig13, n)
+    assert loops_left(pipeline) == 0
+    # The index dependency the paper calls out is still there.
+    assert index_reads(pipeline) > 0
+
+
+def test_code_growth_linear_in_n():
+    sizes = {}
+    for n in (4, 8, 16):
+        pipeline = run_through_fig13(n)
+        sizes[n] = pipeline.stages[-1].ops
+    growth_8 = sizes[8] / sizes[4]
+    growth_16 = sizes[16] / sizes[8]
+    # Doubling n roughly doubles the op count.
+    assert 1.6 < growth_8 < 2.6
+    assert 1.6 < growth_16 < 2.6
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_equivalence_after_unroll(n):
+    rng = random.Random(n)
+    pipeline = run_through_fig13(n)
+    golden = GoldenILD(n=n)
+    for _ in range(10):
+        buffer = random_buffer(n, rng=rng)
+        state = run_design(
+            pipeline.design,
+            externals=ild_externals(n),
+            array_inputs={"Buffer": list(buffer)},
+        )
+        mark, _, _ = golden.decode(buffer)
+        assert state.arrays["Mark"][1 : n + 1] == mark[1 : n + 1]
+
+
+def test_fig13_report():
+    report = FigureReport("Fig 13: decode loop fully unrolled")
+    report.row(f"{'n':>4} {'ops':>6} {'loops':>6} {'i-reads':>8}")
+    for n in (4, 8, 16):
+        pipeline = run_through_fig13(n)
+        report.row(
+            f"{n:>4} {pipeline.stages[-1].ops:>6} "
+            f"{loops_left(pipeline):>6} {index_reads(pipeline):>8}"
+        )
+    report.emit()

@@ -1,0 +1,82 @@
+"""Fig 14 — constant propagation of the loop index through the
+unrolled ILD.
+
+Paper: "since the loop has been completely unrolled, the constant
+assignment of i = 1 can be propagated throughout the code and the loop
+index variable i can be eliminated."
+
+The bench measures the elimination: zero reads of ``i`` remain, the
+per-byte conditionals now compare NextStartByte against constants, and
+behavior is preserved.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ild import GoldenILD, ILDPipeline, ild_externals, random_buffer
+from repro.interp import run_design
+
+from benchmarks.conftest import FigureReport
+
+
+def run_through_fig14(n: int) -> ILDPipeline:
+    pipeline = ILDPipeline(n=n)
+    pipeline.stage_fig11_speculation()
+    pipeline.stage_fig12_inline()
+    pipeline.stage_fig13_unroll()
+    pipeline.stage_fig14_constant_propagation()
+    return pipeline
+
+
+def index_reads(pipeline: ILDPipeline) -> int:
+    return sum(
+        1
+        for op in pipeline.design.main.walk_operations()
+        if "i" in op.reads()
+    )
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_index_variable_eliminated(benchmark, n):
+    pipeline = benchmark(run_through_fig14, n)
+    assert index_reads(pipeline) == 0
+
+
+def test_ops_shrink_from_fig13():
+    """Constant propagation plus DCE removes the index arithmetic."""
+    n = 8
+    pipeline = run_through_fig14(n)
+    fig13_ops = pipeline.stages[-2].ops
+    fig14_ops = pipeline.stages[-1].ops
+    assert fig14_ops < fig13_ops
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_equivalence_after_constprop(n):
+    rng = random.Random(n)
+    pipeline = run_through_fig14(n)
+    golden = GoldenILD(n=n)
+    for _ in range(10):
+        buffer = random_buffer(n, rng=rng)
+        state = run_design(
+            pipeline.design,
+            externals=ild_externals(n),
+            array_inputs={"Buffer": list(buffer)},
+        )
+        mark, _, _ = golden.decode(buffer)
+        assert state.arrays["Mark"][1 : n + 1] == mark[1 : n + 1]
+
+
+def test_fig14_report():
+    report = FigureReport("Fig 14: loop index constant-propagated away")
+    report.row(f"{'n':>4} {'fig13 ops':>10} {'fig14 ops':>10} {'i-reads':>8}")
+    for n in (4, 8, 16):
+        pipeline = run_through_fig14(n)
+        report.row(
+            f"{n:>4} {pipeline.stages[-2].ops:>10} "
+            f"{pipeline.stages[-1].ops:>10} {index_reads(pipeline):>8}"
+        )
+    report.emit()

@@ -1,0 +1,108 @@
+"""Fig 15 — the maximally parallel single-cycle ILD architecture.
+
+Paper: "This leads to a design, where all the data for all the bytes
+is calculated concurrently, followed by a control logic unit ... and
+finally, a ripple control logic unit that determines the actual
+instruction start bytes.  This is a maximally parallel architecture
+that can be targeted for implementation in a single cycle."
+
+The bench runs the full pipeline to a single-cycle schedule, checks
+the synthesized schedule against the analytic Fig 15(b) architecture
+model (area linear in n, ripple-dominated critical path), and
+validates the structural simulation against the golden decoder.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ild import (
+    GoldenILD,
+    ILDPipeline,
+    architecture_for,
+    random_buffer,
+)
+
+from benchmarks.conftest import FigureReport
+
+
+def synthesize_single_cycle(n: int):
+    pipeline = ILDPipeline(n=n)
+    sm = pipeline.run_all()
+    return pipeline, sm
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_single_cycle_schedule(benchmark, n):
+    pipeline, sm = benchmark(synthesize_single_cycle, n)
+    assert sm.is_single_cycle()
+    assert sm.total_operations() > 0
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_architecture_model_matches_golden(n):
+    rng = random.Random(n)
+    arch = architecture_for(n)
+    golden = GoldenILD(n=n)
+    for _ in range(20):
+        buffer = random_buffer(n, rng=rng)
+        mark, lengths, _ = golden.decode(buffer)
+        arch_mark, arch_lengths, _ = arch.simulate(buffer)
+        assert arch_mark == mark
+        # Candidate lengths agree wherever an instruction actually starts.
+        for i in range(1, n + 1):
+            if mark[i]:
+                assert arch_lengths[i] == lengths[i]
+
+
+def test_area_grows_linearly_in_n():
+    """The paper's trade: unlimited resources for single-cycle latency
+    — n parallel DataCalculation/ControlLogic copies."""
+    areas = {n: architecture_for(n).area() for n in (4, 8, 16, 32)}
+    for small, large in ((4, 8), (8, 16), (16, 32)):
+        ratio = areas[large] / areas[small]
+        assert 1.8 < ratio < 2.2
+
+
+def test_critical_path_dominated_by_ripple():
+    """Data and control stages are n-independent; only the ripple
+    chain grows with n."""
+    cp = {n: architecture_for(n).critical_path() for n in (4, 8, 16, 32)}
+    # Ripple step cost from consecutive differences: constant.
+    step_8 = (cp[8] - cp[4]) / 4
+    step_16 = (cp[16] - cp[8]) / 8
+    step_32 = (cp[32] - cp[16]) / 16
+    assert abs(step_8 - step_16) < 1e-9
+    assert abs(step_16 - step_32) < 1e-9
+
+
+def test_schedule_area_tracks_architecture_model():
+    """The synthesized design's op counts scale like the analytic
+    model's component counts (both linear in n)."""
+    ops = {}
+    for n in (4, 8):
+        _, sm = synthesize_single_cycle(n)
+        ops[n] = sm.total_operations()
+    assert 1.6 < ops[8] / ops[4] < 2.6
+
+
+def test_fig15_report():
+    report = FigureReport("Fig 15: maximally parallel single-cycle ILD")
+    report.row(
+        f"{'n':>4} {'states':>7} {'sched ops':>10} {'model area':>11} "
+        f"{'model cp':>9}"
+    )
+    for n in (4, 8):
+        pipeline, sm = synthesize_single_cycle(n)
+        arch = architecture_for(n)
+        report.row(
+            f"{n:>4} {sm.num_states:>7} {sm.total_operations():>10} "
+            f"{arch.area():>11.0f} {arch.critical_path():>9.1f}"
+        )
+    report.row("")
+    report.row("area breakdown (n=8):")
+    for stage, area in architecture_for(8).area_breakdown().items():
+        report.row(f"  {stage:<16} {area:>8.0f}")
+    report.emit()

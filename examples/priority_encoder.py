@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""A second microprocessor functional block: a priority encoder.
+
+The paper's conclusion argues that "similar, short behavioral
+descriptions can be used to describe several such low latency
+functional blocks in microprocessors."  This example applies the same
+coordinated transformations to a find-first-set (priority encoder)
+block — the kind of ripple structure that appears in schedulers,
+allocators and the ILD's own instruction-marking chain:
+
+* behavioral description: a loop scanning an 8-bit request vector;
+* transformations: full unroll + constant propagation + speculation;
+* result: a single-cycle encoder, validated exhaustively against all
+  256 request vectors.
+
+Run:  python examples/priority_encoder.py
+"""
+
+from repro import DesignInterface, SparkSession, SynthesisScript
+
+WIDTH = 8
+
+SOURCE = f"""
+int req[{WIDTH + 1}];
+int pos; int found; int i;
+pos = 0;
+found = 0;
+for (i = 1; i <= {WIDTH}; i++) {{
+  if (found == 0) {{
+    if (req[i] != 0) {{
+      pos = i;
+      found = 1;
+    }}
+  }}
+}}
+"""
+
+
+def make_session() -> SparkSession:
+    return SparkSession(
+        SOURCE,
+        script=SynthesisScript.microprocessor_block(),
+        interface=DesignInterface(
+            name="priority_encoder",
+            input_arrays={"req": WIDTH + 1},
+            scalar_outputs=["pos", "found"],
+        ),
+    )
+
+
+def reference(vector: int) -> tuple:
+    """First set bit, scanning positions 1..WIDTH (LSB-first)."""
+    for position in range(1, WIDTH + 1):
+        if (vector >> (position - 1)) & 1:
+            return position, 1
+    return 0, 0
+
+
+def main() -> None:
+    session = make_session()
+    print("== behavioral description ==")
+    print(session.print_code())
+
+    result = session.run()
+    print("== synthesis summary ==")
+    print(result.summary())
+    assert result.state_machine.is_single_cycle()
+
+    print()
+    print("== exhaustive validation: all 256 request vectors ==")
+    for vector in range(2 ** WIDTH):
+        req = [0] + [(vector >> (k - 1)) & 1 for k in range(1, WIDTH + 1)]
+        rtl = session.simulate_rtl(
+            result.state_machine, array_inputs={"req": req}
+        )
+        want_pos, want_found = reference(vector)
+        assert rtl.scalars["pos"] == want_pos, (vector, rtl.scalars)
+        assert rtl.scalars["found"] == want_found
+        assert rtl.cycles == 1
+    print("256/256 vectors correct, single cycle each")
+
+    print()
+    print("== same block under the ASIC regime ==")
+    asic = SparkSession(
+        SOURCE,
+        script=SynthesisScript.asic(clock_period=3.0),
+        interface=DesignInterface(
+            name="priority_encoder_asic",
+            input_arrays={"req": WIDTH + 1},
+            scalar_outputs=["pos", "found"],
+        ),
+    )
+    asic_result = asic.run()
+    req = [0] + [0, 0, 0, 1, 0, 0, 0, 0]
+    rtl = asic.simulate_rtl(
+        asic_result.state_machine, array_inputs={"req": req}
+    )
+    print(f"ASIC: {asic_result.state_machine.num_states} states, "
+          f"{rtl.cycles} cycles for req bit 4 "
+          f"(vs 1 cycle single-state uP block)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The sandboxed environment has no ``wheel`` package, so PEP 660 editable
+installs fail; ``python setup.py develop`` works with plain setuptools.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — a reproduction of *Coordinated Transformations for High-Level
+Synthesis of High Performance Microprocessor Blocks* (Gupta, Kam,
+Kishinevsky, Rotem, Savoiu, Dutt, Gupta, Nicolau — DAC 2002): the Spark
+HLS methodology for single-cycle microprocessor functional blocks.
+
+Quick start::
+
+    from repro import SparkSession, SynthesisScript
+    from repro.ild import build_ild_source, ild_externals, ild_library
+
+    session = SparkSession(
+        build_ild_source(n=8),
+        script=SynthesisScript.microprocessor_block(
+            pure_functions=set(ild_externals(n=8))),
+        library=ild_library(),
+        externals=ild_externals(n=8),
+    )
+    result = session.run()
+    assert result.state_machine.is_single_cycle()
+
+Package map (see DESIGN.md for the full inventory):
+
+==================  =====================================================
+``repro.frontend``  behavioral C-subset lexer/parser/AST
+``repro.ir``        operations, basic blocks, HTG, CFG, data-flow
+``repro.interp``    behavioral interpreter (semantics oracle)
+``repro.transforms``the coordinated transformation suite (Section 3)
+``repro.scheduler`` chaining-aware scheduling into an FSMD (Section 3.1)
+``repro.binding``   lifetime analysis, register/FU binding
+``repro.backend``   RTL simulation, VHDL/Verilog emission
+``repro.estimation``area / timing models
+``repro.ild``       the instruction length decoder case study (5-6),
+                    including the streaming (chunked) decoder
+``repro.blocks``    more microprocessor functional blocks (Section 7)
+``repro.spark``     the top-level scripted flow (Section 4)
+``repro.cli``       ``python -m repro`` command-line tool
+==================  =====================================================
+"""
+
+from repro.backend.interface import DesignInterface
+from repro.ir.builder import design_from_source
+from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
+from repro.spark import SparkSession, SynthesisResult, synthesize
+from repro.transforms.base import SynthesisScript
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignInterface",
+    "ResourceAllocation",
+    "ResourceLibrary",
+    "SparkSession",
+    "SynthesisResult",
+    "SynthesisScript",
+    "design_from_source",
+    "synthesize",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""RTL backend: FSMD simulation and HDL emission.
+
+* :mod:`repro.backend.rtl_sim` — cycle-accurate execution of the
+  scheduled :class:`~repro.scheduler.schedule.StateMachine`.  Used by
+  the test suite to prove the synthesized design computes the same
+  result as the behavioral interpreter, cycle counts included.
+* :mod:`repro.backend.vhdl` — synthesizable register-transfer VHDL,
+  following the paper's mapping: registers become VHDL *signals*,
+  wire-variables become VHDL *variables* (footnote 1).
+* :mod:`repro.backend.verilog` — the same FSMD as Verilog-2001.
+"""
+
+from repro.backend.interface import DesignInterface
+from repro.backend.rtl_sim import RTLResult, RTLSimulator
+from repro.backend.vhdl import VHDLEmitter, emit_vhdl
+from repro.backend.verilog import VerilogEmitter, emit_verilog
+
+__all__ = [
+    "DesignInterface",
+    "RTLResult",
+    "RTLSimulator",
+    "VHDLEmitter",
+    "VerilogEmitter",
+    "emit_verilog",
+    "emit_vhdl",
+]

@@ -1,0 +1,60 @@
+"""Shared helpers for the HDL emitters."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir import expr_utils
+from repro.scheduler.schedule import IfItem, Item, OpItem, StateMachine
+
+
+def collect_scalars(sm: StateMachine) -> Set[str]:
+    """Every scalar variable appearing anywhere in the schedule."""
+    names: Set[str] = set()
+
+    def walk(items: List[Item]) -> None:
+        for item in items:
+            if isinstance(item, OpItem):
+                names.update(item.op.reads())
+                names.update(item.op.writes())
+            else:
+                names.update(expr_utils.variables_read(item.cond))
+                walk(item.then_items)
+                walk(item.else_items)
+
+    for state in sm.reachable_states():
+        walk(state.items)
+        if state.branch is not None:
+            names.update(expr_utils.variables_read(state.branch.cond))
+    return names
+
+
+def collect_externals(sm: StateMachine) -> Set[str]:
+    """External function names used by the schedule."""
+    names: Set[str] = set()
+
+    def walk(items: List[Item]) -> None:
+        for item in items:
+            if isinstance(item, OpItem):
+                for call in expr_utils.calls_in(item.op.expr):
+                    names.add(call.name)
+                if item.op.target is not None:
+                    for call in expr_utils.calls_in(item.op.target):
+                        names.add(call.name)
+            else:
+                for call in expr_utils.calls_in(item.cond):
+                    names.add(call.name)
+                walk(item.then_items)
+                walk(item.else_items)
+
+    for state in sm.reachable_states():
+        walk(state.items)
+        if state.branch is not None:
+            for call in expr_utils.calls_in(state.branch.cond):
+                names.add(call.name)
+    return names
+
+
+def state_constant_name(state_id: int) -> str:
+    """Symbolic FSM-state constant name for HDL case arms."""
+    return f"S{state_id}"

@@ -1,0 +1,51 @@
+"""Design interface: which storage is a port, which is internal.
+
+The microprocessor-block architecture of Fig 1(b) stores block inputs
+and outputs "in memory elements such as buffers and queues"; for the
+ILD the instruction buffer is the input bus and the ``Mark`` bit
+vector is the output.  The interface declaration tells the HDL
+emitters what to expose as ports and the estimators what not to count
+as internal registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class DesignInterface:
+    """Port declaration for a synthesized function.
+
+    Attributes
+    ----------
+    name:
+        entity/module name.
+    scalar_inputs:
+        scalar variables driven from outside (read at cycle start).
+    scalar_outputs:
+        scalar results observable outside.
+    input_arrays / output_arrays:
+        array name -> element count; exposed as flat buses.
+    internal_arrays:
+        arrays kept inside the design (scratch memories).
+    """
+
+    name: str = "design"
+    scalar_inputs: List[str] = field(default_factory=list)
+    scalar_outputs: List[str] = field(default_factory=list)
+    input_arrays: Dict[str, int] = field(default_factory=dict)
+    output_arrays: Dict[str, int] = field(default_factory=dict)
+    internal_arrays: Dict[str, int] = field(default_factory=dict)
+
+    def all_arrays(self) -> Dict[str, int]:
+        """Every array the design touches, merged across port roles."""
+        merged = dict(self.input_arrays)
+        merged.update(self.output_arrays)
+        merged.update(self.internal_arrays)
+        return merged
+
+    def is_port_array(self, name: str) -> bool:
+        """True when *name* is an input or output array port."""
+        return name in self.input_arrays or name in self.output_arrays

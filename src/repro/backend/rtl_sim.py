@@ -1,0 +1,209 @@
+"""Cycle-accurate simulation of the scheduled FSMD.
+
+Each simulated clock cycle executes one FSM state: the state's item
+tree runs with sequential (VHDL-process-variable) semantics — a value
+written earlier in the cycle is visible to later readers through the
+chaining wires, which is exactly what the wire-variable transformation
+guarantees the hardware does — and the state transition is evaluated
+from the end-of-cycle values.
+
+The simulator is the reproduction's hardware oracle: tests run the
+same inputs through the behavioral interpreter and the RTL simulator
+and require identical observable state, plus they assert on the cycle
+count (the ILD must finish in ONE cycle after the full transformation
+pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.frontend.ast_nodes import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Expr,
+    IntLit,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+from repro.ir import expr_utils
+from repro.ir.operations import Operation, OpKind
+from repro.scheduler.schedule import IfItem, Item, OpItem, StateMachine
+
+
+class RTLSimulationError(Exception):
+    """Raised on undefined reads, bad array accesses or runaway FSMs."""
+
+
+@dataclass
+class RTLResult:
+    """Observable state after the FSM halts."""
+
+    scalars: Dict[str, int] = field(default_factory=dict)
+    arrays: Dict[str, List[int]] = field(default_factory=dict)
+    cycles: int = 0
+    state_trace: List[int] = field(default_factory=list)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Scalars and arrays as one dict (interpreter-compatible)."""
+        return {
+            "scalars": dict(self.scalars),
+            "arrays": {name: list(vals) for name, vals in self.arrays.items()},
+        }
+
+
+class RTLSimulator:
+    """Executes a :class:`StateMachine` cycle by cycle."""
+
+    def __init__(
+        self,
+        sm: StateMachine,
+        externals: Optional[Dict[str, Callable[..., int]]] = None,
+        max_cycles: int = 100_000,
+    ) -> None:
+        self.sm = sm
+        self.externals = externals or {}
+        self.max_cycles = max_cycles
+
+    def run(
+        self,
+        inputs: Optional[Dict[str, int]] = None,
+        array_inputs: Optional[Dict[str, List[int]]] = None,
+    ) -> RTLResult:
+        """Reset, load inputs, and clock the FSM until it halts."""
+        env: Dict[str, int] = dict(inputs or {})
+        arrays: Dict[str, List[int]] = {}
+        for name, size in self.sm.func.arrays.items():
+            arrays[name] = [0] * size
+        if array_inputs:
+            for name, values in array_inputs.items():
+                if name in arrays:
+                    for index in range(min(len(arrays[name]), len(values))):
+                        arrays[name][index] = values[index]
+                else:
+                    arrays[name] = list(values)
+
+        result = RTLResult(scalars=env, arrays=arrays)
+        state_id = self.sm.entry_state
+        while state_id is not None:
+            if result.cycles >= self.max_cycles:
+                raise RTLSimulationError(
+                    f"FSM did not halt within {self.max_cycles} cycles"
+                )
+            state = self.sm.states[state_id]
+            result.cycles += 1
+            result.state_trace.append(state_id)
+            self._exec_items(state.items, env, arrays)
+            if state.branch is not None:
+                taken = bool(self._eval(state.branch.cond, env, arrays))
+                state_id = (
+                    state.branch.true_next if taken else state.branch.false_next
+                )
+            else:
+                state_id = state.default_next
+        return result
+
+    # -- execution ------------------------------------------------------------
+
+    def _exec_items(
+        self, items: List[Item], env: Dict[str, int], arrays: Dict[str, List[int]]
+    ) -> None:
+        for item in items:
+            if isinstance(item, OpItem):
+                self._exec_op(item.op, env, arrays)
+            else:
+                if bool(self._eval(item.cond, env, arrays)):
+                    self._exec_items(item.then_items, env, arrays)
+                else:
+                    self._exec_items(item.else_items, env, arrays)
+
+    def _exec_op(
+        self, op: Operation, env: Dict[str, int], arrays: Dict[str, List[int]]
+    ) -> None:
+        if op.kind is OpKind.ASSIGN:
+            value = self._eval(op.expr, env, arrays)
+            if isinstance(op.target, Var):
+                env[op.target.name] = value
+            elif isinstance(op.target, ArrayRef):
+                index = self._eval(op.target.index, env, arrays)
+                array = arrays.get(op.target.name)
+                if array is None:
+                    raise RTLSimulationError(
+                        f"store to undeclared array {op.target.name!r}"
+                    )
+                if not 0 <= index < len(array):
+                    raise RTLSimulationError(
+                        f"array store out of bounds: "
+                        f"{op.target.name}[{index}] (size {len(array)})"
+                    )
+                array[index] = value
+        elif op.kind is OpKind.CALL:
+            self._eval(op.expr, env, arrays)
+        elif op.kind is OpKind.RETURN:
+            if op.expr is not None:
+                env["__return"] = self._eval(op.expr, env, arrays)
+
+    def _eval(
+        self, expr: Expr, env: Dict[str, int], arrays: Dict[str, List[int]]
+    ) -> int:
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise RTLSimulationError(
+                    f"read of undriven net {expr.name!r}"
+                ) from None
+        if isinstance(expr, ArrayRef):
+            index = self._eval(expr.index, env, arrays)
+            array = arrays.get(expr.name)
+            if array is None:
+                raise RTLSimulationError(f"read of undeclared array {expr.name!r}")
+            if not 0 <= index < len(array):
+                raise RTLSimulationError(
+                    f"array read out of bounds: {expr.name}[{index}] "
+                    f"(size {len(array)})"
+                )
+            return array[index]
+        if isinstance(expr, BinOp):
+            if expr.op == "&&":
+                return int(
+                    bool(self._eval(expr.left, env, arrays))
+                    and bool(self._eval(expr.right, env, arrays))
+                )
+            if expr.op == "||":
+                return int(
+                    bool(self._eval(expr.left, env, arrays))
+                    or bool(self._eval(expr.right, env, arrays))
+                )
+            return expr_utils.eval_binary(
+                expr.op,
+                self._eval(expr.left, env, arrays),
+                self._eval(expr.right, env, arrays),
+            )
+        if isinstance(expr, UnaryOp):
+            return expr_utils.eval_unary(
+                expr.op, self._eval(expr.operand, env, arrays)
+            )
+        if isinstance(expr, Ternary):
+            if self._eval(expr.cond, env, arrays):
+                return self._eval(expr.if_true, env, arrays)
+            return self._eval(expr.if_false, env, arrays)
+        if isinstance(expr, Call):
+            args = [self._eval(arg, env, arrays) for arg in expr.args]
+            fn = self.externals.get(expr.name)
+            if fn is None:
+                raise RTLSimulationError(
+                    f"no library block bound for external {expr.name!r}"
+                )
+            if getattr(fn, "wants_state", False):
+                from repro.interp.evaluator import MachineState
+
+                state = MachineState(scalars=env, arrays=arrays)
+                return int(fn(*args, state=state))
+            return int(fn(*args))
+        raise RTLSimulationError(f"unknown expression {expr!r}")

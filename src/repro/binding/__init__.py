@@ -1,0 +1,27 @@
+"""Binding: mapping scheduled values and operations onto hardware.
+
+* :mod:`repro.binding.lifetimes` — "After scheduling, during register
+  binding, a variable life-time analysis pass determines which
+  variables are actually mapped to registers" (paper Section 3.1.2):
+  a variable needs a register exactly when its value crosses a state
+  (cycle) boundary; wire-variables never do, by construction.
+* :mod:`repro.binding.register_binding` — shares registers between
+  variables with disjoint lifetimes (greedy interval/conflict
+  coloring, the left-edge strategy generalized to FSM state graphs).
+* :mod:`repro.binding.fu_binding` — assigns operators to functional
+  unit instances; mutually exclusive operations (opposite branches of
+  one conditional) share instances, the Section-2 cost-model point.
+"""
+
+from repro.binding.lifetimes import LifetimeAnalysis, StateLiveness
+from repro.binding.register_binding import RegisterBinding, bind_registers
+from repro.binding.fu_binding import FUBinding, bind_functional_units
+
+__all__ = [
+    "FUBinding",
+    "LifetimeAnalysis",
+    "RegisterBinding",
+    "StateLiveness",
+    "bind_functional_units",
+    "bind_registers",
+]

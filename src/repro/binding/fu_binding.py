@@ -1,0 +1,168 @@
+"""Functional-unit binding.
+
+Assigns every operator occurrence in the schedule to a functional-unit
+instance.  Within one state, instances are consumed left to right;
+operations in the two branches of a chained conditional restart from
+the same instance pool — they are mutually exclusive, so "mutually
+exclusive operations can be scheduled in the same clock cycle on the
+same resource" (paper Section 2).  Across states every instance is
+reusable (that is what a multi-cycle schedule buys).
+
+The result reports instance counts per FU class — the datapath
+inventory the area model consumes — and the per-operation assignment,
+which determines how much steering logic each shared instance needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.frontend.ast_nodes import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Expr,
+    IntLit,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+from repro.ir.operations import Operation, OpKind
+from repro.scheduler.resources import ResourceLibrary
+from repro.scheduler.schedule import IfItem, Item, OpItem, StateMachine
+
+
+@dataclass
+class FUBinding:
+    """FU instance counts and operator-to-instance assignments."""
+
+    # FU class -> number of physical instances
+    instance_counts: Dict[str, int] = field(default_factory=dict)
+    # op uid -> list of (fu class, instance index) consumed by the op
+    op_assignment: Dict[int, List[Tuple[str, int]]] = field(default_factory=dict)
+
+    def instances_of(self, unit_class: str) -> int:
+        """Physical instance count bound for *unit_class*."""
+        return self.instance_counts.get(unit_class, 0)
+
+    def total_instances(self) -> int:
+        """Physical FU instances across every class."""
+        return sum(self.instance_counts.values())
+
+    def sharing_factor(self) -> float:
+        """Operator occurrences per physical instance (1.0 = no
+        sharing)."""
+        occurrences = sum(len(v) for v in self.op_assignment.values())
+        instances = self.total_instances()
+        return occurrences / instances if instances else 0.0
+
+
+class _Pool:
+    """Instance allocation cursor per FU class."""
+
+    def __init__(self) -> None:
+        self.next_free: Dict[str, int] = {}
+
+    def copy(self) -> "_Pool":
+        pool = _Pool()
+        pool.next_free = dict(self.next_free)
+        return pool
+
+    def take(self, unit_class: str) -> int:
+        index = self.next_free.get(unit_class, 0)
+        self.next_free[unit_class] = index + 1
+        return index
+
+    def merge_max(self, other: "_Pool") -> None:
+        for unit_class, cursor in other.next_free.items():
+            self.next_free[unit_class] = max(
+                self.next_free.get(unit_class, 0), cursor
+            )
+
+
+def bind_functional_units(
+    sm: StateMachine, library: ResourceLibrary
+) -> FUBinding:
+    """Bind the whole schedule's operators to FU instances."""
+    binding = FUBinding()
+    for state in sm.reachable_states():
+        pool = _Pool()
+        _bind_items(state.items, pool, binding, library)
+        if state.branch is not None:
+            _bind_expr(state.branch.cond, None, pool, binding, library)
+        for unit_class, cursor in pool.next_free.items():
+            binding.instance_counts[unit_class] = max(
+                binding.instance_counts.get(unit_class, 0), cursor
+            )
+    return binding
+
+
+def _bind_items(
+    items: List[Item], pool: _Pool, binding: FUBinding, library: ResourceLibrary
+) -> None:
+    for item in items:
+        if isinstance(item, OpItem):
+            _bind_op(item.op, pool, binding, library)
+        else:
+            _bind_expr(item.cond, None, pool, binding, library)
+            then_pool = pool.copy()
+            else_pool = pool.copy()
+            _bind_items(item.then_items, then_pool, binding, library)
+            _bind_items(item.else_items, else_pool, binding, library)
+            # Mutually exclusive branches share instances: the state
+            # needs only the max cursor of the two.
+            pool.merge_max(then_pool)
+            pool.merge_max(else_pool)
+
+
+def _bind_op(
+    op: Operation, pool: _Pool, binding: FUBinding, library: ResourceLibrary
+) -> None:
+    assignments: List[Tuple[str, int]] = []
+    _bind_expr(op.expr, assignments, pool, binding, library)
+    if op.kind is OpKind.ASSIGN and isinstance(op.target, ArrayRef):
+        assignments.append(("mem", pool.take("mem")))
+        _bind_expr(op.target.index, assignments, pool, binding, library)
+    if assignments:
+        binding.op_assignment[op.uid] = assignments
+
+
+def _bind_expr(
+    expr: Expr,
+    assignments,
+    pool: _Pool,
+    binding: FUBinding,
+    library: ResourceLibrary,
+) -> None:
+    sink = assignments if assignments is not None else []
+
+    def visit(node) -> None:
+        if node is None or isinstance(node, (IntLit, Var)):
+            return
+        if isinstance(node, ArrayRef):
+            sink.append(("mem", pool.take("mem")))
+            visit(node.index)
+        elif isinstance(node, BinOp):
+            unit_class = library.unit_class(node.op)
+            sink.append((unit_class, pool.take(unit_class)))
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, UnaryOp):
+            unit_class = library.unit_class(node.op)
+            sink.append((unit_class, pool.take(unit_class)))
+            visit(node.operand)
+        elif isinstance(node, Call):
+            unit_class = f"ext:{node.name}"
+            sink.append((unit_class, pool.take(unit_class)))
+            for arg in node.args:
+                visit(arg)
+        elif isinstance(node, Ternary):
+            sink.append(("mux", pool.take("mux")))
+            visit(node.cond)
+            visit(node.if_true)
+            visit(node.if_false)
+        else:
+            raise TypeError(f"unknown expression {node!r}")
+
+    visit(expr)

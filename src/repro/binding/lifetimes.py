@@ -1,0 +1,125 @@
+"""Variable lifetime analysis over the scheduled state machine.
+
+The register criterion (paper Section 3.1.2): "registers can only be
+read in the next cycle after being written"; conversely only values
+*read in a later cycle than they are written* need a register at all.
+The analysis computes, per state, which variables are live at state
+entry (their value was produced in an earlier cycle); the union over
+states is the register set.  Wire-variables must never appear in any
+live-in set — that is asserted, because it is exactly the invariant the
+chaining transformation establishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import expr_utils
+from repro.scheduler.schedule import IfItem, Item, OpItem, State, StateMachine
+
+
+@dataclass
+class StateLiveness:
+    """Per-state use/def and fixpoint live sets."""
+
+    use: Set[str] = field(default_factory=set)
+    must_def: Set[str] = field(default_factory=set)
+    live_in: Set[str] = field(default_factory=set)
+    live_out: Set[str] = field(default_factory=set)
+
+
+class LifetimeAnalysis:
+    """Backward liveness over the FSM state graph.
+
+    *boundary_live* lists scalars observable after the machine halts
+    (design outputs held in scalar registers).
+    """
+
+    def __init__(
+        self, sm: StateMachine, boundary_live: Optional[Set[str]] = None
+    ) -> None:
+        self.sm = sm
+        self.boundary_live = set(boundary_live or ())
+        self.info: Dict[int, StateLiveness] = {}
+        self._run()
+
+    # -- public results -----------------------------------------------------
+
+    def registers(self) -> Set[str]:
+        """Variables whose value crosses a cycle boundary."""
+        regs: Set[str] = set()
+        for state in self.sm.reachable_states():
+            regs |= self.info[state.state_id].live_in
+        wires = self.sm.func.wire_variables
+        overlap = regs & wires
+        if overlap:
+            raise AssertionError(
+                f"wire-variables crossing a cycle boundary: {sorted(overlap)} "
+                "— the chaining transformation's invariant is violated"
+            )
+        return regs
+
+    def lifetime_states(self, variable: str) -> List[int]:
+        """States at whose entry *variable* is live (its register must
+        hold the value during these cycles)."""
+        return [
+            state.state_id
+            for state in self.sm.reachable_states()
+            if variable in self.info[state.state_id].live_in
+        ]
+
+    # -- analysis -------------------------------------------------------------
+
+    def _run(self) -> None:
+        states = self.sm.reachable_states()
+        for state in states:
+            use, must_def = _state_use_def(state.items)
+            if state.branch is not None:
+                use |= expr_utils.variables_read(state.branch.cond) - must_def
+            self.info[state.state_id] = StateLiveness(use=use, must_def=must_def)
+
+        changed = True
+        while changed:
+            changed = False
+            for state in states:
+                info = self.info[state.state_id]
+                out: Set[str] = set()
+                successors = []
+                if state.branch is not None:
+                    successors.extend(
+                        [state.branch.true_next, state.branch.false_next]
+                    )
+                elif state.default_next is not None:
+                    successors.append(state.default_next)
+                if not successors or None in successors:
+                    out |= self.boundary_live
+                for succ in successors:
+                    if succ is not None and succ in self.info:
+                        out |= self.info[succ].live_in
+                live_in = info.use | (out - info.must_def)
+                if out != info.live_out or live_in != info.live_in:
+                    info.live_out = set(out)
+                    info.live_in = set(live_in)
+                    changed = True
+
+def _state_use_def(items: List[Item]) -> Tuple[Set[str], Set[str]]:
+    """Upward-exposed reads and must-writes of an item tree.
+
+    ``use``: variables read on some path before any write on that path.
+    ``must_def``: variables written on *every* path (safe liveness
+    kill-set).
+    """
+    use: Set[str] = set()
+    must_def: Set[str] = set()
+    for item in items:
+        if isinstance(item, OpItem):
+            use |= item.op.reads() - must_def
+            must_def |= item.op.writes()
+        else:
+            use |= expr_utils.variables_read(item.cond) - must_def
+            then_use, then_def = _state_use_def(item.then_items)
+            else_use, else_def = _state_use_def(item.else_items)
+            use |= (then_use | else_use) - must_def
+            must_def |= then_def & else_def
+    return use, must_def

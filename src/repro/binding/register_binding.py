@@ -1,0 +1,82 @@
+"""Register binding: sharing physical registers between variables.
+
+Two variables can share a register when their lifetimes never overlap
+— here, when no FSM state has both live at entry.  The classic
+left-edge algorithm solves this optimally for linear schedules; over a
+state *graph* the same greedy idea runs on the conflict relation:
+process variables in order of first-live state and drop each into the
+first register whose current occupants never conflict with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.binding.lifetimes import LifetimeAnalysis
+from repro.scheduler.schedule import StateMachine
+
+
+@dataclass
+class RegisterBinding:
+    """Result: variable -> physical register index, plus the reverse
+    grouping."""
+
+    assignment: Dict[str, int] = field(default_factory=dict)
+    groups: List[List[str]] = field(default_factory=list)
+
+    @property
+    def register_count(self) -> int:
+        """Number of physical registers allocated."""
+        return len(self.groups)
+
+    def register_of(self, variable: str) -> int:
+        """Physical register index assigned to *variable*."""
+        return self.assignment[variable]
+
+    def shares(self, a: str, b: str) -> bool:
+        """True when the two variables were bound to one register."""
+        return (
+            a in self.assignment
+            and b in self.assignment
+            and self.assignment[a] == self.assignment[b]
+        )
+
+
+def bind_registers(
+    sm: StateMachine,
+    boundary_live: Optional[Set[str]] = None,
+    lifetimes: Optional[LifetimeAnalysis] = None,
+) -> RegisterBinding:
+    """Bind every register-resident variable to a physical register.
+
+    Variables that never cross a cycle boundary (including every
+    wire-variable) receive no register at all — they exist only as
+    wires inside a cycle.
+    """
+    analysis = lifetimes or LifetimeAnalysis(sm, boundary_live=boundary_live)
+    variables = sorted(analysis.registers())
+
+    live_states: Dict[str, Set[int]] = {
+        var: set(analysis.lifetime_states(var)) for var in variables
+    }
+    # Left-edge ordering: by first live state, then name for determinism.
+    variables.sort(key=lambda v: (min(live_states[v], default=0), v))
+
+    binding = RegisterBinding()
+    occupancy: List[Set[int]] = []  # per register: union of live states
+    for var in variables:
+        states = live_states[var]
+        placed = False
+        for reg_index, occupied in enumerate(occupancy):
+            if not (occupied & states):
+                occupied |= states
+                binding.groups[reg_index].append(var)
+                binding.assignment[var] = reg_index
+                placed = True
+                break
+        if not placed:
+            occupancy.append(set(states))
+            binding.groups.append([var])
+            binding.assignment[var] = len(occupancy) - 1
+    return binding

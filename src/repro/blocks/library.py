@@ -1,0 +1,235 @@
+"""Behavioral descriptions + golden models for classic µP blocks.
+
+Each :class:`FunctionalBlock` bundles what the flow needs: the
+behavioral C source (a natural loop-based description, as the paper
+advocates), the port interface, a golden Python model, and a stimulus
+generator.  ``synthesize()`` runs the microprocessor-block script and
+returns the session + result, ready for RTL-vs-golden validation.
+
+Bit vectors are passed as 1-based arrays (``bits[1..width]``), matching
+the ILD's 1-based buffer convention.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.backend.interface import DesignInterface
+from repro.spark import SparkSession, SynthesisResult
+from repro.transforms.base import SynthesisScript
+
+
+@dataclass(frozen=True)
+class FunctionalBlock:
+    """One functional block: source, interface, golden model."""
+
+    name: str
+    width: int
+    source: str
+    interface: DesignInterface
+    #: golden model: bit list (1-based, index 0 unused) -> scalar outputs
+    golden: Callable[[Sequence[int]], Dict[str, int]]
+    #: names of the scalar outputs, in report order
+    outputs: Tuple[str, ...]
+
+    def synthesize(
+        self, script: SynthesisScript = None
+    ) -> Tuple[SparkSession, SynthesisResult]:
+        """Run the flow (µP-block script unless overridden)."""
+        session = SparkSession(
+            self.source,
+            script=script or SynthesisScript.microprocessor_block(),
+            interface=self.interface,
+        )
+        return session, session.run()
+
+    def random_vector(self, rng: random.Random) -> List[int]:
+        """A 1-based random bit vector for the block's width."""
+        return [0] + [rng.randrange(2) for _ in range(self.width)]
+
+    def vector_from_int(self, value: int) -> List[int]:
+        """1-based bit vector from an integer (bit 1 = LSB)."""
+        return [0] + [
+            (value >> (k - 1)) & 1 for k in range(1, self.width + 1)
+        ]
+
+
+# --------------------------------------------------------------------------
+# Priority encoder (find-first-set)
+# --------------------------------------------------------------------------
+
+def priority_encoder(width: int = 8) -> FunctionalBlock:
+    """First set bit position (LSB-first), 0 when empty."""
+    source = f"""
+    int bits[{width + 1}];
+    int pos; int found; int i;
+    pos = 0;
+    found = 0;
+    for (i = 1; i <= {width}; i++) {{
+      if (found == 0) {{
+        if (bits[i] != 0) {{
+          pos = i;
+          found = 1;
+        }}
+      }}
+    }}
+    """
+
+    def golden(bits: Sequence[int]) -> Dict[str, int]:
+        for position in range(1, width + 1):
+            if bits[position]:
+                return {"pos": position, "found": 1}
+        return {"pos": 0, "found": 0}
+
+    return FunctionalBlock(
+        name="priority_encoder",
+        width=width,
+        source=source,
+        interface=DesignInterface(
+            name="priority_encoder",
+            input_arrays={"bits": width + 1},
+            scalar_outputs=["pos", "found"],
+        ),
+        golden=golden,
+        outputs=("pos", "found"),
+    )
+
+
+# --------------------------------------------------------------------------
+# Leading-zero counter
+# --------------------------------------------------------------------------
+
+def leading_zero_counter(width: int = 8) -> FunctionalBlock:
+    """Zeros before the first set bit, scanning MSB-first
+    (bit ``width`` is the MSB)."""
+    source = f"""
+    int bits[{width + 1}];
+    int count; int done; int i;
+    count = 0;
+    done = 0;
+    for (i = {width}; i >= 1; i--) {{
+      if (done == 0) {{
+        if (bits[i] != 0) {{
+          done = 1;
+        }} else {{
+          count = count + 1;
+        }}
+      }}
+    }}
+    """
+
+    def golden(bits: Sequence[int]) -> Dict[str, int]:
+        count = 0
+        for position in range(width, 0, -1):
+            if bits[position]:
+                break
+            count += 1
+        return {"count": count}
+
+    return FunctionalBlock(
+        name="leading_zero_counter",
+        width=width,
+        source=source,
+        interface=DesignInterface(
+            name="leading_zero_counter",
+            input_arrays={"bits": width + 1},
+            scalar_outputs=["count"],
+        ),
+        golden=golden,
+        outputs=("count",),
+    )
+
+
+# --------------------------------------------------------------------------
+# Population count
+# --------------------------------------------------------------------------
+
+def popcount(width: int = 8) -> FunctionalBlock:
+    """Number of set bits — after unrolling this is a pure adder
+    tree, the all-data no-control extreme of the block spectrum."""
+    source = f"""
+    int bits[{width + 1}];
+    int ones; int i;
+    ones = 0;
+    for (i = 1; i <= {width}; i++) {{
+      ones = ones + bits[i];
+    }}
+    """
+
+    def golden(bits: Sequence[int]) -> Dict[str, int]:
+        return {"ones": sum(bits[1 : width + 1])}
+
+    return FunctionalBlock(
+        name="popcount",
+        width=width,
+        source=source,
+        interface=DesignInterface(
+            name="popcount",
+            input_arrays={"bits": width + 1},
+            scalar_outputs=["ones"],
+        ),
+        golden=golden,
+        outputs=("ones",),
+    )
+
+
+# --------------------------------------------------------------------------
+# Tag comparator (BTB/TLB hit logic)
+# --------------------------------------------------------------------------
+
+def tag_comparator(entries: int = 4) -> FunctionalBlock:
+    """Fully-associative tag match: which of ``entries`` valid tags
+    equals the lookup tag (one-hot index + hit flag) — the control
+    heavy extreme, all comparison and steering."""
+    source = f"""
+    int tags[{entries + 1}];
+    int valid[{entries + 1}];
+    int hit; int way; int i;
+    hit = 0;
+    way = 0;
+    for (i = 1; i <= {entries}; i++) {{
+      if (hit == 0) {{
+        if (valid[i] != 0) {{
+          if (tags[i] == lookup) {{
+            hit = 1;
+            way = i;
+          }}
+        }}
+      }}
+    }}
+    """
+
+    def golden(state: Sequence[int]) -> Dict[str, int]:
+        # state packs [unused, tag1..tagN, valid1..validN, lookup]
+        tags = state[1 : entries + 1]
+        valid = state[entries + 1 : 2 * entries + 1]
+        lookup = state[2 * entries + 1]
+        for way in range(entries):
+            if valid[way] and tags[way] == lookup:
+                return {"hit": 1, "way": way + 1}
+        return {"hit": 0, "way": 0}
+
+    return FunctionalBlock(
+        name="tag_comparator",
+        width=entries,
+        source=source,
+        interface=DesignInterface(
+            name="tag_comparator",
+            scalar_inputs=["lookup"],
+            input_arrays={"tags": entries + 1, "valid": entries + 1},
+            scalar_outputs=["hit", "way"],
+        ),
+        golden=golden,
+        outputs=("hit", "way"),
+    )
+
+
+#: The default evaluation suite.
+BLOCKS: Dict[str, Callable[[], FunctionalBlock]] = {
+    "priority_encoder": priority_encoder,
+    "leading_zero_counter": leading_zero_counter,
+    "popcount": popcount,
+    "tag_comparator": tag_comparator,
+}

@@ -1,0 +1,19 @@
+"""Area and timing estimation of the synthesized datapath.
+
+The paper argues that synthesis transformations need cost models that
+charge for steering logic, storage and control (Section 2), and its
+evaluation reasons about cycle counts and cycle time rather than
+absolute silicon numbers.  These estimators work at that fidelity:
+normalized gate-equivalents for area and normalized gate-delays for
+timing, computed from the bound FSMD.
+"""
+
+from repro.estimation.area import AreaEstimate, estimate_area
+from repro.estimation.delay import TimingEstimate, estimate_timing
+
+__all__ = [
+    "AreaEstimate",
+    "TimingEstimate",
+    "estimate_area",
+    "estimate_timing",
+]

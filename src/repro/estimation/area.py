@@ -1,0 +1,150 @@
+"""Datapath area model.
+
+Area = functional-unit instances (after binding, so mutually exclusive
+sharing is already reflected) + registers (after register binding, so
+lifetime sharing is reflected) + steering logic + FSM control.
+
+Steering (mux) area charges one 2:1-mux-equivalent per extra writer of
+each register and per extra source of each shared FU instance — the
+cost the paper says compilers ignore but synthesis must price
+("mapping an operation to a resource can lead to the generation of
+additional steering logic and associated control logic", Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.binding.fu_binding import FUBinding, bind_functional_units
+from repro.binding.lifetimes import LifetimeAnalysis
+from repro.binding.register_binding import RegisterBinding, bind_registers
+from repro.frontend.ast_nodes import Var
+from repro.scheduler.resources import ResourceLibrary
+from repro.scheduler.schedule import IfItem, OpItem, StateMachine
+
+
+@dataclass
+class AreaEstimate:
+    """Normalized gate-equivalent breakdown."""
+
+    functional_units: float = 0.0
+    registers: float = 0.0
+    steering: float = 0.0
+    control: float = 0.0
+    per_class: Dict[str, float] = field(default_factory=dict)
+    register_count: int = 0
+    mux_count: int = 0
+
+    @property
+    def total(self) -> float:
+        """Sum of all area components, in gate equivalents."""
+        return self.functional_units + self.registers + self.steering + self.control
+
+    def __str__(self) -> str:
+        return (
+            f"area total={self.total:.1f} (fu={self.functional_units:.1f}, "
+            f"regs={self.registers:.1f} x{self.register_count}, "
+            f"steer={self.steering:.1f} x{self.mux_count}, "
+            f"ctrl={self.control:.1f})"
+        )
+
+
+def estimate_area(
+    sm: StateMachine,
+    library: Optional[ResourceLibrary] = None,
+    fu_binding: Optional[FUBinding] = None,
+    register_binding: Optional[RegisterBinding] = None,
+    boundary_live: Optional[Set[str]] = None,
+) -> AreaEstimate:
+    """Estimate the area of the bound design."""
+    library = library or ResourceLibrary()
+    fu_binding = fu_binding or bind_functional_units(sm, library)
+    register_binding = register_binding or bind_registers(
+        sm, boundary_live=boundary_live
+    )
+
+    estimate = AreaEstimate()
+
+    for unit_class, count in fu_binding.instance_counts.items():
+        if unit_class.startswith("ext:"):
+            unit_area = library.external(unit_class[4:]).area
+        elif unit_class in library.units:
+            unit_area = library.units[unit_class].area
+        else:
+            unit_area = library.units["logic"].area
+        class_area = unit_area * count
+        estimate.per_class[unit_class] = class_area
+        estimate.functional_units += class_area
+
+    estimate.register_count = register_binding.register_count
+    estimate.registers = estimate.register_count * library.register.area
+
+    estimate.mux_count = _count_steering(sm, fu_binding, register_binding)
+    estimate.steering = estimate.mux_count * library.mux.area
+
+    # FSM control: a one-hot-ish cost per state plus per transition.
+    states = sm.reachable_states()
+    transitions = sum(
+        2 if state.branch is not None else (1 if state.default_next is not None else 0)
+        for state in states
+    )
+    estimate.control = 4.0 * len(states) + 2.0 * transitions
+    return estimate
+
+
+def _count_steering(
+    sm: StateMachine, fu_binding: FUBinding, register_binding: RegisterBinding
+) -> int:
+    """Count 2:1-mux equivalents for register input steering, FU input
+    steering, and conditional joins."""
+    mux_count = 0
+
+    # Register input steering: one mux per extra writer of a register.
+    writers: Dict[int, int] = {}
+    for state in sm.reachable_states():
+        for op_item in state.operations():
+            target = op_item.op.target
+            if isinstance(target, Var) and target.name in register_binding.assignment:
+                reg = register_binding.assignment[target.name]
+                writers[reg] = writers.get(reg, 0) + 1
+    for count in writers.values():
+        mux_count += max(0, count - 1)
+
+    # FU input steering: one mux per extra operation bound to the same
+    # physical instance.
+    instance_users: Dict[tuple, int] = {}
+    for assignments in fu_binding.op_assignment.values():
+        for key in assignments:
+            instance_users[key] = instance_users.get(key, 0) + 1
+    for count in instance_users.values():
+        mux_count += max(0, count - 1)
+
+    # Conditional joins inside chained states (the Fig 4/6 muxes).
+    def join_muxes(items) -> int:
+        total = 0
+        for item in items:
+            if isinstance(item, IfItem):
+                written = set()
+                for sub in (item.then_items, item.else_items):
+                    for op_item in _walk_ops(sub):
+                        target = op_item.op.target
+                        if isinstance(target, Var):
+                            written.add(target.name)
+                total += len(written)
+                total += join_muxes(item.then_items)
+                total += join_muxes(item.else_items)
+        return total
+
+    for state in sm.reachable_states():
+        mux_count += join_muxes(state.items)
+    return mux_count
+
+
+def _walk_ops(items):
+    for item in items:
+        if isinstance(item, OpItem):
+            yield item
+        else:
+            yield from _walk_ops(item.then_items)
+            yield from _walk_ops(item.else_items)

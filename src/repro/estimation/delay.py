@@ -1,0 +1,76 @@
+"""Timing estimation of the scheduled design.
+
+Reports the critical (chained) path of each state, the overall minimum
+feasible clock period, and latency bounds.  Latency in cycles is
+data-dependent for multi-cycle FSMs with loops, so the estimator
+reports both the static state count and, when given stimuli, measured
+cycle counts via the RTL simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.backend.rtl_sim import RTLSimulator
+from repro.scheduler.schedule import StateMachine
+
+
+@dataclass
+class TimingEstimate:
+    """Critical-path and latency summary."""
+
+    per_state_critical_path: Dict[int, float] = field(default_factory=dict)
+    min_clock_period: float = 0.0
+    state_count: int = 0
+    is_single_cycle: bool = False
+    measured_cycles: Optional[int] = None
+
+    def __str__(self) -> str:
+        text = (
+            f"timing: {self.state_count} states, min clock "
+            f"{self.min_clock_period:.2f}"
+        )
+        if self.measured_cycles is not None:
+            text += f", measured latency {self.measured_cycles} cycles"
+        if self.is_single_cycle:
+            text += " [single-cycle]"
+        return text
+
+
+def estimate_timing(
+    sm: StateMachine,
+    stimuli: Optional[dict] = None,
+    externals: Optional[dict] = None,
+) -> TimingEstimate:
+    """Estimate timing; when *stimuli* is given (``inputs`` /
+    ``array_inputs`` keys), also measure the actual cycle count."""
+    estimate = TimingEstimate()
+    for state in sm.reachable_states():
+        estimate.per_state_critical_path[state.state_id] = state.critical_path()
+    estimate.min_clock_period = max(
+        estimate.per_state_critical_path.values(), default=0.0
+    )
+    estimate.state_count = len(sm.reachable_states())
+    estimate.is_single_cycle = sm.is_single_cycle()
+    if stimuli is not None:
+        sim = RTLSimulator(sm, externals=externals)
+        result = sim.run(
+            inputs=stimuli.get("inputs"),
+            array_inputs=stimuli.get("array_inputs"),
+        )
+        estimate.measured_cycles = result.cycles
+    return estimate
+
+
+def latency_area_product(
+    timing: TimingEstimate, area_total: float
+) -> float:
+    """The classic latency x area figure of merit (uses measured cycles
+    when available, otherwise the static state count)."""
+    cycles = (
+        timing.measured_cycles
+        if timing.measured_cycles is not None
+        else timing.state_count
+    )
+    return cycles * timing.min_clock_period * area_total

@@ -1,0 +1,64 @@
+"""Behavioral C-subset frontend for the Spark-style HLS flow.
+
+The paper's input language is ANSI-C (Section 4: "This synthesis system
+takes a behavioral description in ANSI-C as input").  This package
+implements the subset of C that covers every code figure in the paper
+(Figures 2, 4, 10, 12-16): integer scalars and arrays, arithmetic /
+logical / relational / bitwise expressions, ``if``/``else``, ``for`` and
+``while`` loops, function definitions and calls, and ``return``.
+
+The public entry point is :func:`parse`, which turns source text into a
+:class:`~repro.frontend.ast_nodes.Program` AST.
+"""
+
+from repro.frontend.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Break,
+    Call,
+    Decl,
+    ExprStmt,
+    For,
+    FuncDef,
+    If,
+    IntLit,
+    Node,
+    Program,
+    Return,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.frontend.lexer import Lexer, LexerError, Token, TokenType, tokenize
+from repro.frontend.parser import ParseError, Parser, parse
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Block",
+    "Break",
+    "Call",
+    "Decl",
+    "ExprStmt",
+    "For",
+    "FuncDef",
+    "If",
+    "IntLit",
+    "Lexer",
+    "LexerError",
+    "Node",
+    "ParseError",
+    "Parser",
+    "Program",
+    "Return",
+    "Token",
+    "TokenType",
+    "UnaryOp",
+    "Var",
+    "While",
+    "parse",
+    "tokenize",
+]

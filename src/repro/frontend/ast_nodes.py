@@ -1,0 +1,284 @@
+"""Abstract syntax tree for the behavioral C subset.
+
+Every node records its source line so that later passes can report
+diagnostics in terms of the original behavioral description.  Nodes are
+plain dataclasses; the tree is immutable by convention (transformations
+operate on the HTG IR, never on the AST).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = field(default=0, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLit(Expr):
+    """Integer literal, e.g. ``42``."""
+
+    value: int = 0
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass
+class Var(Expr):
+    """Reference to a scalar variable."""
+
+    name: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class ArrayRef(Expr):
+    """Reference to an array element, ``name[index]``."""
+
+    name: str = ""
+    index: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.index}]"
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operation, e.g. ``a + b`` or ``x && y``."""
+
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Unary operation: ``-x``, ``!cond`` or ``~bits``."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass
+class Call(Expr):
+    """Function call expression, ``f(a, b)``."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({rendered})"
+
+
+@dataclass
+class Ternary(Expr):
+    """Conditional expression ``cond ? a : b`` (C ternary operator)."""
+
+    cond: Optional[Expr] = None
+    if_true: Optional[Expr] = None
+    if_false: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        return f"({self.cond} ? {self.if_true} : {self.if_false})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class Decl(Stmt):
+    """Variable declaration: ``int x;``, ``int x = e;`` or ``int a[N];``."""
+
+    name: str = ""
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment ``lhs = rhs;``.
+
+    Compound assignments (``+=`` etc.) and increments (``i++``) are
+    desugared by the parser into plain assignments, so ``op`` is always
+    ``"="`` after parsing.
+    """
+
+    target: Optional[Expr] = None  # Var or ArrayRef
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effects — in this language
+    only a call statement, e.g. ``ResetArray(Mark);``."""
+
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    """``if (cond) then_body else else_body``."""
+
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body``.
+
+    ``init`` and ``step`` are single statements (assignments after
+    desugaring); either may be ``None`` for degenerate loops.
+    """
+
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    """``while (cond) body``.  ``while(1)`` is the paper's Fig 16 form."""
+
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Break(Stmt):
+    """``break;`` — exits the innermost loop."""
+
+
+@dataclass
+class Return(Stmt):
+    """``return expr;`` (or bare ``return;`` when ``value`` is None)."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    """A braced statement list used as a single statement."""
+
+    body: List[Stmt] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuncDef(Node):
+    """Function definition.
+
+    ``return_type`` is ``"int"`` or ``"void"``; parameters are scalar
+    ``int`` names (the paper's examples never pass arrays by value —
+    arrays are globals shared with the caller, as in Fig 10).
+    """
+
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    return_type: str = "int"
+
+
+@dataclass
+class Program(Node):
+    """A translation unit: function definitions plus the top-level
+    statements (the behavioral "main" body, as in the paper's Fig 10
+    where the decode loop appears at top level next to
+    ``CalculateLength``)."""
+
+    functions: List[FuncDef] = field(default_factory=list)
+    main_body: List[Stmt] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDef:
+        """Look up a function definition by name."""
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")
+
+
+def walk_expr(expr: Optional[Expr]):
+    """Yield *expr* and all of its sub-expressions, pre-order."""
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, ArrayRef):
+        yield from walk_expr(expr.index)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, Ternary):
+        yield from walk_expr(expr.cond)
+        yield from walk_expr(expr.if_true)
+        yield from walk_expr(expr.if_false)
+
+
+def walk_stmts(stmts: List[Stmt]):
+    """Yield every statement in *stmts*, recursing into control bodies."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, For):
+            if stmt.init is not None:
+                yield stmt.init
+            if stmt.step is not None:
+                yield stmt.step
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, While):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, Block):
+            yield from walk_stmts(stmt.body)
+
+
+def expr_variables(expr: Optional[Expr]) -> Tuple[str, ...]:
+    """Names of all scalar variables read by *expr* (arrays excluded)."""
+    names = []
+    for node in walk_expr(expr):
+        if isinstance(node, Var):
+            names.append(node.name)
+    return tuple(names)

@@ -1,0 +1,244 @@
+"""Tokenizer for the behavioral C subset.
+
+A small hand-written lexer: no external dependencies, precise source
+locations for error reporting, and a token stream that the
+recursive-descent parser consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class LexerError(Exception):
+    """Raised when the input contains a character sequence that is not
+    part of the language."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class TokenType(enum.Enum):
+    """Classification of lexical tokens."""
+
+    INT_LITERAL = "int_literal"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "void",
+        "if",
+        "else",
+        "for",
+        "while",
+        "return",
+        "break",
+        "bool",
+        "true",
+        "false",
+    }
+)
+
+# Longest-match-first operator table.  Three-character operators must be
+# listed before their two-character prefixes, and so on.
+_OPERATORS = (
+    "<<=",
+    ">>=",
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+)
+
+_PUNCTUATION = ("(", ")", "{", "}", "[", "]", ";", ",")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source location."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Converts source text into a list of :class:`Token` objects.
+
+    Supports ``//`` line comments and ``/* ... */`` block comments,
+    decimal and hexadecimal (``0x``) integer literals, C identifiers,
+    and the operator/punctuation set of the behavioral subset.
+    """
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self) -> List[Token]:
+        """Tokenize the entire input and return the token list,
+        terminated by a single EOF token."""
+        result = list(self._iter_tokens())
+        result.append(Token(TokenType.EOF, "", self._line, self._column))
+        return result
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._source):
+                return
+            token = self._next_token()
+            yield token
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._source):
+                return
+            if self._source[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._source):
+            char = self._peek()
+            if char.isspace():
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_col = self._line, self._column
+        self._advance(2)
+        while self._pos < len(self._source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexerError("unterminated block comment", start_line, start_col)
+
+    def _next_token(self) -> Token:
+        char = self._peek()
+        line, column = self._line, self._column
+
+        if char.isdigit():
+            return self._lex_number(line, column)
+        if char.isalpha() or char == "_":
+            return self._lex_ident(line, column)
+
+        for op in _OPERATORS:
+            if self._source.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenType.OPERATOR, op, line, column)
+        if char in _PUNCTUATION:
+            self._advance()
+            return Token(TokenType.PUNCT, char, line, column)
+        raise LexerError(f"unexpected character {char!r}", line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if not self._is_hex_digit(self._peek()):
+                raise LexerError("malformed hex literal", line, column)
+            while self._is_hex_digit(self._peek()):
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+        text = self._source[start : self._pos]
+        if self._peek().isalpha() or self._peek() == "_":
+            raise LexerError(f"malformed number {text!r}", line, column)
+        return Token(TokenType.INT_LITERAL, text, line, column)
+
+    @staticmethod
+    def _is_hex_digit(char: str) -> bool:
+        return bool(char) and (char.isdigit() or char.lower() in "abcdef")
+
+    def _lex_ident(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._source[start : self._pos]
+        token_type = TokenType.KEYWORD if text in KEYWORDS else TokenType.IDENT
+        return Token(token_type, text, line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source* and return the full token list (EOF-terminated)."""
+    return Lexer(source).tokens()
+
+
+def literal_value(token: Token) -> int:
+    """Decode the integer value of an ``INT_LITERAL`` token."""
+    if token.type is not TokenType.INT_LITERAL:
+        raise ValueError(f"not an integer literal: {token!r}")
+    return int(token.value, 0)
+
+
+def find_token(
+    tokens: List[Token], value: str, start: int = 0
+) -> Optional[int]:
+    """Return the index of the first token with the given *value* at or
+    after *start*, or ``None`` when absent.  Utility for tooling/tests."""
+    for index in range(start, len(tokens)):
+        if tokens[index].value == value:
+            return index
+    return None

@@ -1,0 +1,394 @@
+"""Recursive-descent parser for the behavioral C subset.
+
+Grammar (statements)::
+
+    program   := (funcdef | stmt)*
+    funcdef   := ("int"|"void") IDENT "(" params? ")" "{" stmt* "}"
+    stmt      := decl | assign | call ";" | if | for | while
+               | "return" expr? ";" | "break" ";" | "{" stmt* "}"
+    decl      := ("int"|"bool") IDENT ("[" expr "]")? ("=" expr)? ";"
+    assign    := lvalue ("="|"+="|"-="|...) expr ";"  |  lvalue ("++"|"--") ";"
+
+Expressions use standard C precedence: ``?:``, ``||``, ``&&``, ``|``,
+``^``, ``&``, equality, relational, shifts, additive, multiplicative,
+unary.  Compound assignments and ``++``/``--`` are desugared into plain
+assignments so downstream passes see a single assignment form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Token, TokenType, tokenize
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with the offending source location."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(
+            f"{message} (got {token.value!r} at line {token.line}, "
+            f"column {token.column})"
+        )
+        self.token = token
+
+
+_COMPOUND_OPS = {"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+# Binary operator precedence levels, weakest first.  Each level is
+# left-associative, matching C.
+_BINARY_LEVELS = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.frontend.ast_nodes.Program`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, value: str) -> bool:
+        return self._peek().value == value and self._peek().type is not TokenType.EOF
+
+    def _match(self, value: str) -> bool:
+        if self._check(value):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, value: str) -> Token:
+        if not self._check(value):
+            raise ParseError(f"expected {value!r}", self._peek())
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.IDENT:
+            raise ParseError("expected identifier", token)
+        return self._advance()
+
+    # -- top level ----------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        """Parse the whole translation unit."""
+        program = ast.Program(line=1)
+        while self._peek().type is not TokenType.EOF:
+            if self._looks_like_funcdef():
+                program.functions.append(self._parse_funcdef())
+            else:
+                program.main_body.append(self._parse_statement())
+        return program
+
+    def _looks_like_funcdef(self) -> bool:
+        """A function definition starts ``int|void IDENT (`` where the
+        matching ``)`` is followed by ``{``."""
+        if self._peek().value not in ("int", "void", "bool"):
+            return False
+        if self._peek(1).type is not TokenType.IDENT:
+            return False
+        if self._peek(2).value != "(":
+            return False
+        depth = 0
+        offset = 2
+        while True:
+            token = self._peek(offset)
+            if token.type is TokenType.EOF:
+                return False
+            if token.value == "(":
+                depth += 1
+            elif token.value == ")":
+                depth -= 1
+                if depth == 0:
+                    return self._peek(offset + 1).value == "{"
+            offset += 1
+
+    def _parse_funcdef(self) -> ast.FuncDef:
+        return_type = self._advance().value  # int / void / bool
+        name_tok = self._expect_ident()
+        self._expect("(")
+        params: List[str] = []
+        if not self._check(")"):
+            while True:
+                if self._peek().value in ("int", "bool"):
+                    self._advance()
+                params.append(self._expect_ident().value)
+                if not self._match(","):
+                    break
+        self._expect(")")
+        body = self._parse_braced_body()
+        return ast.FuncDef(
+            line=name_tok.line,
+            name=name_tok.value,
+            params=params,
+            body=body,
+            return_type=return_type,
+        )
+
+    def _parse_braced_body(self) -> List[ast.Stmt]:
+        self._expect("{")
+        body: List[ast.Stmt] = []
+        while not self._check("}"):
+            if self._peek().type is TokenType.EOF:
+                raise ParseError("unterminated block", self._peek())
+            body.append(self._parse_statement())
+        self._expect("}")
+        return body
+
+    # -- statements ---------------------------------------------------
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.value in ("int", "bool"):
+            return self._parse_decl()
+        if token.value == "if":
+            return self._parse_if()
+        if token.value == "for":
+            return self._parse_for()
+        if token.value == "while":
+            return self._parse_while()
+        if token.value == "return":
+            return self._parse_return()
+        if token.value == "break":
+            self._advance()
+            self._expect(";")
+            return ast.Break(line=token.line)
+        if token.value == "{":
+            line = token.line
+            return ast.Block(line=line, body=self._parse_braced_body())
+        if token.value == ";":
+            self._advance()
+            return ast.Block(line=token.line, body=[])
+        return self._parse_simple_statement(require_semicolon=True)
+
+    def _parse_decl(self) -> ast.Decl:
+        type_tok = self._advance()  # int / bool
+        name_tok = self._expect_ident()
+        array_size: Optional[int] = None
+        if self._match("["):
+            size_expr = self._parse_expression()
+            if not isinstance(size_expr, ast.IntLit):
+                raise ParseError(
+                    "array sizes must be integer literals", self._peek()
+                )
+            array_size = size_expr.value
+            self._expect("]")
+        init: Optional[ast.Expr] = None
+        if self._match("="):
+            init = self._parse_expression()
+        self._expect(";")
+        return ast.Decl(
+            line=type_tok.line,
+            name=name_tok.value,
+            array_size=array_size,
+            init=init,
+        )
+
+    def _parse_simple_statement(self, require_semicolon: bool) -> ast.Stmt:
+        """An assignment, increment, or call statement."""
+        token = self._peek()
+        expr = self._parse_expression()
+        stmt: ast.Stmt
+        if self._peek().value in ("++", "--"):
+            op_tok = self._advance()
+            self._require_lvalue(expr)
+            delta = ast.BinOp(
+                line=op_tok.line,
+                op="+" if op_tok.value == "++" else "-",
+                left=expr,
+                right=ast.IntLit(line=op_tok.line, value=1),
+            )
+            stmt = ast.Assign(line=token.line, target=expr, value=delta)
+        elif self._peek().value == "=" or self._peek().value in _COMPOUND_OPS:
+            op_tok = self._advance()
+            self._require_lvalue(expr)
+            rhs = self._parse_expression()
+            if op_tok.value != "=":
+                rhs = ast.BinOp(
+                    line=op_tok.line,
+                    op=op_tok.value[:-1],
+                    left=expr,
+                    right=rhs,
+                )
+            stmt = ast.Assign(line=token.line, target=expr, value=rhs)
+        else:
+            if not isinstance(expr, ast.Call):
+                raise ParseError("expected assignment or call", self._peek())
+            stmt = ast.ExprStmt(line=token.line, expr=expr)
+        if require_semicolon:
+            self._expect(";")
+        return stmt
+
+    @staticmethod
+    def _require_lvalue(expr: ast.Expr) -> None:
+        if not isinstance(expr, (ast.Var, ast.ArrayRef)):
+            raise ParseError(
+                "assignment target must be a variable or array element",
+                Token(TokenType.OPERATOR, "=", expr.line, 0),
+            )
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect("if")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        then_body = self._parse_stmt_or_block()
+        else_body: List[ast.Stmt] = []
+        if self._match("else"):
+            else_body = self._parse_stmt_or_block()
+        return ast.If(
+            line=token.line, cond=cond, then_body=then_body, else_body=else_body
+        )
+
+    def _parse_stmt_or_block(self) -> List[ast.Stmt]:
+        if self._check("{"):
+            return self._parse_braced_body()
+        return [self._parse_statement()]
+
+    def _parse_for(self) -> ast.For:
+        token = self._expect("for")
+        self._expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self._check(";"):
+            if self._peek().value in ("int", "bool"):
+                init = self._parse_decl()
+            else:
+                init = self._parse_simple_statement(require_semicolon=True)
+        else:
+            self._expect(";")
+        cond: Optional[ast.Expr] = None
+        if not self._check(";"):
+            cond = self._parse_expression()
+        self._expect(";")
+        step: Optional[ast.Stmt] = None
+        if not self._check(")"):
+            step = self._parse_simple_statement(require_semicolon=False)
+        self._expect(")")
+        body = self._parse_stmt_or_block()
+        return ast.For(line=token.line, init=init, cond=cond, step=step, body=body)
+
+    def _parse_while(self) -> ast.While:
+        token = self._expect("while")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        body = self._parse_stmt_or_block()
+        return ast.While(line=token.line, cond=cond, body=body)
+
+    def _parse_return(self) -> ast.Return:
+        token = self._expect("return")
+        value: Optional[ast.Expr] = None
+        if not self._check(";"):
+            value = self._parse_expression()
+        self._expect(";")
+        return ast.Return(line=token.line, value=value)
+
+    # -- expressions ---------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._match("?"):
+            if_true = self._parse_expression()
+            self._expect(":")
+            if_false = self._parse_ternary()
+            return ast.Ternary(
+                line=cond.line, cond=cond, if_true=if_true, if_false=if_false
+            )
+        return cond
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        ops = _BINARY_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self._peek().value in ops and self._peek().type is TokenType.OPERATOR:
+            op_tok = self._advance()
+            right = self._parse_binary(level + 1)
+            left = ast.BinOp(line=op_tok.line, op=op_tok.value, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.value in ("-", "!", "~", "+") and token.type is TokenType.OPERATOR:
+            self._advance()
+            operand = self._parse_unary()
+            if token.value == "+":
+                return operand
+            if token.value == "-" and isinstance(operand, ast.IntLit):
+                return ast.IntLit(line=token.line, value=-operand.value)
+            return ast.UnaryOp(line=token.line, op=token.value, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.INT_LITERAL:
+            self._advance()
+            return ast.IntLit(line=token.line, value=int(token.value, 0))
+        if token.value in ("true", "false"):
+            self._advance()
+            return ast.IntLit(line=token.line, value=1 if token.value == "true" else 0)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._check("("):
+                return self._parse_call(token)
+            if self._match("["):
+                index = self._parse_expression()
+                self._expect("]")
+                return ast.ArrayRef(line=token.line, name=token.value, index=index)
+            return ast.Var(line=token.line, name=token.value)
+        if self._match("("):
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        raise ParseError("expected expression", token)
+
+    def _parse_call(self, name_tok: Token) -> ast.Call:
+        self._expect("(")
+        args: List[ast.Expr] = []
+        if not self._check(")"):
+            while True:
+                args.append(self._parse_expression())
+                if not self._match(","):
+                    break
+        self._expect(")")
+        return ast.Call(line=name_tok.line, name=name_tok.value, args=args)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse behavioral C *source* text into a Program AST."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single expression — convenience for tests and tools."""
+    parser = Parser(tokenize(source))
+    expr = parser._parse_expression()
+    if parser._peek().type is not TokenType.EOF:
+        raise ParseError("trailing tokens after expression", parser._peek())
+    return expr

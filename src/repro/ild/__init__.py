@@ -1,0 +1,64 @@
+"""The Instruction Length Decoder case study (paper Sections 5-6).
+
+The ILD determines the starting byte and length of each variable-length
+instruction in an instruction buffer.  The paper's model: lengths range
+1..11 bytes and up to 4 bytes of an instruction determine its length
+(Fig 8); the behavioral description is Fig 10; the Spark transformation
+pipeline (Figs 11-15) turns it into a maximally parallel single-cycle
+architecture of three stages — DataCalculation, ControlLogic, ripple
+control logic (Fig 15b).
+
+The Pentium length-decode tables are proprietary, so :mod:`repro.ild.isa`
+defines a synthetic ISA with the same structure (documented in
+DESIGN.md): deterministic ``LengthContribution_k`` / ``Need_kth_Byte``
+functions of the byte values, contributions 1..4/0..3/0..3/0..1 for a
+maximum instruction length of 11 bytes and a guaranteed minimum of 1
+(decoding always progresses).
+"""
+
+from repro.ild.isa import (
+    MAX_INSTRUCTION_LENGTH,
+    STREAMING_ISA,
+    StreamingSafeISA,
+    SyntheticISA,
+    random_buffer,
+)
+from repro.ild.streaming import (
+    CarryState,
+    ChunkResult,
+    StreamingILD,
+    flat_reference_marks,
+)
+from repro.ild.model import GoldenILD, decode_buffer
+from repro.ild.behavioral import (
+    build_ild_source,
+    build_natural_ild_source,
+    ild_externals,
+    ild_interface,
+    ild_library,
+)
+from repro.ild.pipeline import ILDPipeline, PipelineStage
+from repro.ild.architecture import ILDArchitecture, architecture_for
+
+__all__ = [
+    "CarryState",
+    "ChunkResult",
+    "GoldenILD",
+    "ILDArchitecture",
+    "ILDPipeline",
+    "MAX_INSTRUCTION_LENGTH",
+    "PipelineStage",
+    "STREAMING_ISA",
+    "StreamingILD",
+    "StreamingSafeISA",
+    "SyntheticISA",
+    "flat_reference_marks",
+    "architecture_for",
+    "build_ild_source",
+    "build_natural_ild_source",
+    "decode_buffer",
+    "ild_externals",
+    "ild_interface",
+    "ild_library",
+    "random_buffer",
+]

@@ -1,0 +1,208 @@
+"""Structural model of the final ILD architecture (paper Fig 15b).
+
+"This leads to a design, where all the data for all the bytes is
+calculated concurrently, followed by a control logic unit, which
+determines the length of the instructions if they were to start at
+each byte and finally, a ripple control logic unit that determines the
+actual instruction start bytes."
+
+:class:`ILDArchitecture` is the analytic component model of those
+three stages for a buffer of n bytes; it predicts area and critical
+path from the resource library, simulates the structure directly, and
+lets benchmarks compare the analytic model against what the synthesis
+flow actually produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ild.behavioral import EXTERNAL_TIMING, ild_library
+from repro.ild.isa import DEFAULT_ISA, SyntheticISA
+from repro.scheduler.resources import ResourceLibrary
+
+
+@dataclass
+class StageInventory:
+    """Component counts of one architecture stage."""
+
+    name: str
+    components: Dict[str, int] = field(default_factory=dict)
+
+    def area(self, library: ResourceLibrary) -> float:
+        total = 0.0
+        for component, count in self.components.items():
+            if component in EXTERNAL_TIMING:
+                total += library.external(component).area * count
+            elif component in library.units:
+                total += library.units[component].area * count
+            else:
+                raise KeyError(f"unknown component {component!r}")
+        return total
+
+
+@dataclass
+class ILDArchitecture:
+    """The Fig 15(b) three-stage architecture for buffer size n.
+
+    Per byte position i (1..n):
+
+    * **DataCalculation**: 4 LengthContribution blocks, 3 Need blocks
+      (all reading the buffer bus), 3 adders computing the candidate
+      lengths (lc1+lc2, +lc3, +lc4 — the TempLength tree of Fig 11).
+    * **ControlLogic**: the 3-level mux tree steered by the need bits,
+      producing len[i].
+    * **Ripple control**: the serial instruction-marking chain —
+      a comparator (i == NextStartByte), a mux and an adder updating
+      NextStartByte.  This is the only serial part of the design: its
+      depth grows with n, the data stages' depth does not.
+    """
+
+    n: int
+    isa: SyntheticISA = field(default_factory=lambda: DEFAULT_ISA)
+    library: ResourceLibrary = field(default_factory=ild_library)
+
+    # -- structure ----------------------------------------------------------
+
+    def data_calculation_stage(self) -> StageInventory:
+        return StageInventory(
+            name="DataCalculation",
+            components={
+                "LengthContribution_1": self.n,
+                "LengthContribution_2": self.n,
+                "LengthContribution_3": self.n,
+                "LengthContribution_4": self.n,
+                "Need_2nd_Byte": self.n,
+                "Need_3rd_Byte": self.n,
+                "Need_4th_Byte": self.n,
+                "alu": 3 * self.n,
+            },
+        )
+
+    def control_logic_stage(self) -> StageInventory:
+        return StageInventory(
+            name="ControlLogic",
+            components={"mux": 3 * self.n},
+        )
+
+    def ripple_stage(self) -> StageInventory:
+        return StageInventory(
+            name="RippleControl",
+            components={"cmp": self.n, "alu": self.n, "mux": 2 * self.n},
+        )
+
+    def stages(self) -> List[StageInventory]:
+        return [
+            self.data_calculation_stage(),
+            self.control_logic_stage(),
+            self.ripple_stage(),
+        ]
+
+    # -- estimates -----------------------------------------------------------
+
+    def area(self) -> float:
+        """Total datapath area (normalized gate equivalents); linear in
+        n — the paper's trade of area for single-cycle latency."""
+        return sum(stage.area(self.library) for stage in self.stages())
+
+    def area_breakdown(self) -> Dict[str, float]:
+        return {stage.name: stage.area(self.library) for stage in self.stages()}
+
+    def critical_path(self) -> float:
+        """Single-cycle critical path: parallel DataCalculation depth +
+        ControlLogic mux tree + n ripple steps."""
+        lc = max(delay for delay, _ in EXTERNAL_TIMING.values())
+        need = min(delay for delay, _ in EXTERNAL_TIMING.values())
+        alu = self.library.units["alu"].delay
+        mux = self.library.mux.delay
+        cmp_delay = self.library.units["cmp"].delay
+        data_depth = lc + 3 * alu  # contributions then the 3-adder sum tree
+        control_depth = 3 * mux  # the need-steered mux tree
+        ripple_step = cmp_delay + mux + alu
+        return data_depth + control_depth + self.n * ripple_step
+
+    # -- direct structural simulation -----------------------------------------
+
+    def simulate(
+        self, buffer: Sequence[int]
+    ) -> Tuple[List[int], List[int], List[int]]:
+        """Execute the three stages exactly as drawn in Fig 15.
+
+        Returns (mark, candidate_lengths, data_stage_need_bits).  The
+        candidate lengths are computed for *every* byte position — the
+        speculative "assume an instruction starts at each byte" of
+        Fig 15(a) — and the ripple stage then selects the real starts.
+        """
+        n = self.n
+
+        def byte_at(position: int) -> int:
+            if 1 <= position <= n and position < len(buffer):
+                return buffer[position]
+            return 0
+
+        # Stage 1: DataCalculation, all byte positions in parallel.
+        lc = [[0] * (n + 1) for _ in range(5)]
+        need = [[0] * (n + 1) for _ in range(5)]
+        for i in range(1, n + 1):
+            lc[1][i] = self.isa.length_contribution_1(byte_at(i)) if i <= n else 0
+            lc[2][i] = (
+                self.isa.length_contribution_2(byte_at(i + 1))
+                if i + 1 <= n
+                else 0
+            )
+            lc[3][i] = (
+                self.isa.length_contribution_3(byte_at(i + 2))
+                if i + 2 <= n
+                else 0
+            )
+            lc[4][i] = (
+                self.isa.length_contribution_4(byte_at(i + 3))
+                if i + 3 <= n
+                else 0
+            )
+            need[2][i] = self.isa.need_2nd_byte(byte_at(i)) if i <= n else 0
+            need[3][i] = (
+                self.isa.need_3rd_byte(byte_at(i + 1)) if i + 1 <= n else 0
+            )
+            need[4][i] = (
+                self.isa.need_4th_byte(byte_at(i + 2)) if i + 2 <= n else 0
+            )
+
+        # Stage 2: ControlLogic — candidate length per byte position
+        # (the TempLength mux tree of Fig 11).
+        lengths = [0] * (n + 1)
+        for i in range(1, n + 1):
+            temp1 = lc[1][i] + lc[2][i] + lc[3][i] + lc[4][i]
+            temp2 = lc[1][i] + lc[2][i] + lc[3][i]
+            temp3 = lc[1][i] + lc[2][i]
+            if need[2][i]:
+                if need[3][i]:
+                    lengths[i] = temp1 if need[4][i] else temp2
+                else:
+                    lengths[i] = temp3
+            else:
+                lengths[i] = lc[1][i]
+
+        # Stage 3: ripple control logic — serial marking chain.
+        mark = [0] * (n + 1)
+        next_start = 1
+        for i in range(1, n + 1):
+            if i == next_start:
+                mark[i] = 1
+                next_start = next_start + lengths[i]
+        need_bits = [need[2][i] for i in range(n + 1)]
+        return mark, lengths, need_bits
+
+
+def architecture_for(
+    n: int,
+    isa: Optional[SyntheticISA] = None,
+    library: Optional[ResourceLibrary] = None,
+) -> ILDArchitecture:
+    """Build the Fig 15(b) architecture model for buffer size n."""
+    return ILDArchitecture(
+        n=n,
+        isa=isa or DEFAULT_ISA,
+        library=library or ild_library(),
+    )

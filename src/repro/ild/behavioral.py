@@ -1,0 +1,199 @@
+"""Behavioral C descriptions of the ILD and their synthesis bindings.
+
+:func:`build_ild_source` regenerates the paper's Fig 10 code for a
+given buffer size n; :func:`build_natural_ild_source` regenerates the
+Fig 16 while(1) form.  :func:`ild_externals` binds the
+``LengthContribution_k`` / ``Need_kth_Byte`` externals to the synthetic
+ISA reading the shared ``Buffer`` array (with the zero-contribution
+padding rule), for both the behavioral interpreter and the RTL
+simulator.  :func:`ild_library` registers those externals' delay/area
+as combinational decode blocks; :func:`ild_interface` declares the
+hardware ports (buffer in, Mark/len out — the Fig 1(b)/Fig 15(b)
+buffer-to-buffer shape).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.backend.interface import DesignInterface
+from repro.ild.isa import DEFAULT_ISA, SyntheticISA
+from repro.interp.evaluator import stateful_external
+from repro.scheduler.resources import ResourceLibrary
+
+BUFFER_ARRAY = "Buffer"
+
+
+def build_ild_source(n: int) -> str:
+    """The Fig 10 behavioral description, parameterized by buffer size.
+
+    The paper's ``ResetArray(Mark)`` is omitted: arrays reset to zero
+    at initialization in this flow (the hardware equivalent is the
+    output register reset).
+    """
+    return f"""
+// Instruction Length Decoder -- behavioral description (paper Fig 10)
+int CalculateLength(i) {{
+  int lc1; int lc2; int lc3; int lc4;
+  int Length;
+  lc1 = LengthContribution_1(i);
+  if (Need_2nd_Byte(i)) {{
+    lc2 = LengthContribution_2(i + 1);
+    if (Need_3rd_Byte(i + 1)) {{
+      lc3 = LengthContribution_3(i + 2);
+      if (Need_4th_Byte(i + 2)) {{
+        lc4 = LengthContribution_4(i + 3);
+        Length = lc1 + lc2 + lc3 + lc4;
+      }} else Length = lc1 + lc2 + lc3;
+    }} else Length = lc1 + lc2;
+  }} else Length = lc1;
+  return Length;
+}}
+
+int Buffer[{n + 1}];
+int Mark[{n + 1}];
+int len[{n + 1}];
+int NextStartByte;
+int i;
+NextStartByte = 1;
+for (i = 1; i <= {n}; i++) {{
+  if (i == NextStartByte) {{
+    Mark[i] = 1;
+    len[i] = CalculateLength(i);
+    NextStartByte += len[i];
+  }}
+}}
+"""
+
+
+def build_natural_ild_source(n: int) -> str:
+    """The Fig 16 'succinct and natural' description.
+
+    The paper's version is an infinite ``while(1)``; a buffer-bound
+    guard is the minimal change that makes it executable on one buffer
+    chunk (the paper: synthesis "should break [the stream] into chunks
+    of n iterations each").  The while-to-for source transformation
+    (:class:`repro.transforms.loop_rewrite.WhileToForRewrite`) turns
+    this into the Fig 10 form.
+    """
+    return f"""
+// Instruction Length Decoder -- natural description (paper Fig 16)
+int CalculateLength(i) {{
+  int lc1; int lc2; int lc3; int lc4;
+  int Length;
+  lc1 = LengthContribution_1(i);
+  if (Need_2nd_Byte(i)) {{
+    lc2 = LengthContribution_2(i + 1);
+    if (Need_3rd_Byte(i + 1)) {{
+      lc3 = LengthContribution_3(i + 2);
+      if (Need_4th_Byte(i + 2)) {{
+        lc4 = LengthContribution_4(i + 3);
+        Length = lc1 + lc2 + lc3 + lc4;
+      }} else Length = lc1 + lc2 + lc3;
+    }} else Length = lc1 + lc2;
+  }} else Length = lc1;
+  return Length;
+}}
+
+int Buffer[{n + 1}];
+int Mark[{n + 1}];
+int len_v;
+int NextStartByte;
+NextStartByte = 1;
+while (1) {{
+  if (NextStartByte > {n}) {{
+    break;
+  }}
+  Mark[NextStartByte] = 1;
+  len_v = CalculateLength(NextStartByte);
+  NextStartByte += len_v;
+}}
+"""
+
+
+def ild_externals(
+    n: int, isa: Optional[SyntheticISA] = None
+) -> Dict[str, Callable[..., int]]:
+    """External function bindings reading the shared ``Buffer`` array.
+
+    Positions are 1-based; positions beyond n contribute zero and never
+    request further bytes (paper footnote 2).
+    """
+    isa = isa or DEFAULT_ISA
+
+    def byte_at(state, position: int) -> int:
+        buffer = state.arrays.get(BUFFER_ARRAY, [])
+        if 1 <= position <= n and position < len(buffer):
+            return buffer[position]
+        return 0
+
+    @stateful_external
+    def lc1(i: int, state=None) -> int:
+        return isa.length_contribution_1(byte_at(state, i)) if i <= n else 0
+
+    @stateful_external
+    def lc2(i: int, state=None) -> int:
+        return isa.length_contribution_2(byte_at(state, i)) if i <= n else 0
+
+    @stateful_external
+    def lc3(i: int, state=None) -> int:
+        return isa.length_contribution_3(byte_at(state, i)) if i <= n else 0
+
+    @stateful_external
+    def lc4(i: int, state=None) -> int:
+        return isa.length_contribution_4(byte_at(state, i)) if i <= n else 0
+
+    @stateful_external
+    def need2(i: int, state=None) -> int:
+        return isa.need_2nd_byte(byte_at(state, i)) if i <= n else 0
+
+    @stateful_external
+    def need3(i: int, state=None) -> int:
+        return isa.need_3rd_byte(byte_at(state, i)) if i <= n else 0
+
+    @stateful_external
+    def need4(i: int, state=None) -> int:
+        return isa.need_4th_byte(byte_at(state, i)) if i <= n else 0
+
+    return {
+        "LengthContribution_1": lc1,
+        "LengthContribution_2": lc2,
+        "LengthContribution_3": lc3,
+        "LengthContribution_4": lc4,
+        "Need_2nd_Byte": need2,
+        "Need_3rd_Byte": need3,
+        "Need_4th_Byte": need4,
+    }
+
+
+# Delay/area of the decode blocks, in the library's normalized units.
+# A LengthContribution block is a small PLA over one byte; a Need block
+# is a single bit test.  Relative magnitudes are what matters.
+EXTERNAL_TIMING = {
+    "LengthContribution_1": (0.9, 48.0),
+    "LengthContribution_2": (0.9, 48.0),
+    "LengthContribution_3": (0.9, 48.0),
+    "LengthContribution_4": (0.9, 48.0),
+    "Need_2nd_Byte": (0.3, 8.0),
+    "Need_3rd_Byte": (0.3, 8.0),
+    "Need_4th_Byte": (0.3, 8.0),
+}
+
+
+def ild_library() -> ResourceLibrary:
+    """Resource library with the ILD decode blocks registered."""
+    library = ResourceLibrary()
+    for name, (delay, area) in EXTERNAL_TIMING.items():
+        library.register_external(name, delay=delay, area=area)
+    return library
+
+
+def ild_interface(n: int) -> DesignInterface:
+    """Hardware ports: instruction buffer in, Mark / len vectors out."""
+    return DesignInterface(
+        name="ild",
+        scalar_inputs=[],
+        scalar_outputs=[],
+        input_arrays={BUFFER_ARRAY: n + 1},
+        output_arrays={"Mark": n + 1, "len": n + 1},
+    )

@@ -1,0 +1,207 @@
+"""Synthetic variable-length ISA for the ILD case study.
+
+Substitution for the proprietary Pentium tables (see DESIGN.md): the
+length-determining structure matches the paper's model exactly —
+
+* instructions are 1..11 bytes long (paper Section 5);
+* up to 4 bytes must be examined (Fig 8): byte k contributes
+  ``LengthContribution_k`` and predicate ``Need_(k+1)th_Byte`` decides
+  whether the next byte participates;
+* bytes beyond the buffer contribute zero (paper footnote 2).
+
+The concrete encodings are bit-field functions of the byte value:
+
+====================  ========================  =======
+quantity              definition                range
+====================  ========================  =======
+LengthContribution_1  1 + (byte & 3)            1..4
+Need_2nd_Byte         byte bit 7                0/1
+LengthContribution_2  (byte >> 2) & 3           0..3
+Need_3rd_Byte         byte bit 6                0/1
+LengthContribution_3  (byte >> 3) & 3           0..3
+Need_4th_Byte         byte bit 5                0/1
+LengthContribution_4  (byte >> 6) & 1           0..1
+====================  ========================  =======
+
+Maximum length = 4+3+3+1 = 11, minimum = 1, so the decoder always
+advances — the property the paper's while(1) form (Fig 16) relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+MAX_INSTRUCTION_LENGTH = 11
+MIN_INSTRUCTION_LENGTH = 1
+BYTES_EXAMINED = 4
+
+
+@dataclass(frozen=True)
+class SyntheticISA:
+    """The byte-level length-decode functions.
+
+    All methods take raw byte values (0..255).  Index-based variants
+    that read a buffer and honour the zero-contribution padding rule
+    live on :class:`repro.ild.model.GoldenILD`.
+    """
+
+    def length_contribution_1(self, byte: int) -> int:
+        return 1 + (byte & 0x3)
+
+    def need_2nd_byte(self, byte: int) -> int:
+        return (byte >> 7) & 0x1
+
+    def length_contribution_2(self, byte: int) -> int:
+        return (byte >> 2) & 0x3
+
+    def need_3rd_byte(self, byte: int) -> int:
+        return (byte >> 6) & 0x1
+
+    def length_contribution_3(self, byte: int) -> int:
+        return (byte >> 3) & 0x3
+
+    def need_4th_byte(self, byte: int) -> int:
+        return (byte >> 5) & 0x1
+
+    def length_contribution_4(self, byte: int) -> int:
+        return (byte >> 6) & 0x1
+
+    # -- whole-instruction helpers ----------------------------------------
+
+    def instruction_length(self, window: Sequence[int]) -> int:
+        """Length of the instruction whose first byte starts *window*
+        (the Fig 8 walk over up to 4 bytes).  Missing window bytes are
+        treated as zero-contribution padding."""
+        b = list(window) + [0] * (BYTES_EXAMINED - len(window))
+        length = self.length_contribution_1(b[0])
+        if not self.need_2nd_byte(b[0]):
+            return length
+        length += self.length_contribution_2(b[1])
+        if not self.need_3rd_byte(b[1]):
+            return length
+        length += self.length_contribution_3(b[2])
+        if not self.need_4th_byte(b[2]):
+            return length
+        length += self.length_contribution_4(b[3])
+        return length
+
+    def max_length(self) -> int:
+        return MAX_INSTRUCTION_LENGTH
+
+    def min_length(self) -> int:
+        return MIN_INSTRUCTION_LENGTH
+
+    # -- streaming progress property ---------------------------------------
+
+    def streaming_progress_deficit(self) -> int:
+        """Worst-case shortfall of ``length - bytes_examined``.
+
+        A *chunked* hardware decoder (see :mod:`repro.ild.streaming`)
+        can only carry decode state forward: once a chunk's marks are
+        emitted, an instruction start can never be placed in an earlier
+        chunk.  That requires the **progress property**: every decoded
+        length covers at least the bytes examined to decide it
+        (otherwise the next instruction could start at an
+        already-emitted position behind a chunk boundary).
+
+        Because each contribution/need pair depends on one byte only,
+        the exact worst case factorizes into independent per-byte
+        minima.  Returns ``max(bytes_examined - length)`` over all
+        byte windows; ``<= 0`` means the ISA is streaming-safe.
+        """
+        all_bytes = range(256)
+
+        def minimum(fn, predicate=None):
+            values = [
+                fn(b) for b in all_bytes if predicate is None or predicate(b)
+            ]
+            return min(values) if values else 0
+
+        deficits = []
+        # Walk ends after k bytes examined (k = 1..4).
+        lc1_stop = minimum(
+            self.length_contribution_1, lambda b: not self.need_2nd_byte(b)
+        )
+        deficits.append(1 - lc1_stop)
+        lc1_go = minimum(
+            self.length_contribution_1, lambda b: self.need_2nd_byte(b)
+        )
+        lc2_stop = minimum(
+            self.length_contribution_2, lambda b: not self.need_3rd_byte(b)
+        )
+        deficits.append(2 - (lc1_go + lc2_stop))
+        lc2_go = minimum(
+            self.length_contribution_2, lambda b: self.need_3rd_byte(b)
+        )
+        lc3_stop = minimum(
+            self.length_contribution_3, lambda b: not self.need_4th_byte(b)
+        )
+        deficits.append(3 - (lc1_go + lc2_go + lc3_stop))
+        lc3_go = minimum(
+            self.length_contribution_3, lambda b: self.need_4th_byte(b)
+        )
+        lc4 = minimum(self.length_contribution_4)
+        deficits.append(4 - (lc1_go + lc2_go + lc3_go + lc4))
+        return max(deficits)
+
+    def is_streaming_safe(self) -> bool:
+        """True when the progress property holds (see
+        :meth:`streaming_progress_deficit`)."""
+        return self.streaming_progress_deficit() <= 0
+
+
+@dataclass(frozen=True)
+class StreamingSafeISA(SyntheticISA):
+    """A synthetic ISA satisfying the streaming progress property.
+
+    Every examined byte contributes at least 1 to the length (real
+    variable-length ISAs behave this way: an examined byte is a
+    prefix/opcode byte *of the instruction*), so a chunked decoder can
+    always carry decode state strictly forward.  Ranges keep the
+    paper's envelope: lengths 1..11 (4+3+3+1), up to 4 bytes examined.
+    """
+
+    def length_contribution_2(self, byte: int) -> int:
+        return 1 + ((byte >> 2) & 0x1) + ((byte >> 4) & 0x1)  # 1..3
+
+    def length_contribution_3(self, byte: int) -> int:
+        return 1 + ((byte >> 3) & 0x1) + ((byte >> 6) & 0x1)  # 1..3
+
+    def length_contribution_4(self, byte: int) -> int:
+        return 1
+
+
+DEFAULT_ISA = SyntheticISA()
+STREAMING_ISA = StreamingSafeISA()
+
+
+def random_buffer(
+    n: int, seed: Optional[int] = None, rng: Optional[random.Random] = None
+) -> List[int]:
+    """A random instruction buffer of *n* bytes (1-based positions are
+    used throughout the case study, so callers typically store this at
+    positions 1..n of a size-(n+1) array)."""
+    generator = rng or random.Random(seed)
+    return [generator.randrange(256) for _ in range(n)]
+
+
+def crafted_buffer(lengths: Sequence[int], n: int) -> List[int]:
+    """Build a buffer whose decoded instruction lengths are exactly
+    *lengths* (each 1..4 using only single-byte encodings: byte
+    ``L-1`` gives LengthContribution_1 = L with Need_2nd = 0).
+
+    Useful for directed tests: the expected Mark vector is then known
+    by construction, independent of the golden model.
+    """
+    buffer: List[int] = []
+    for length in lengths:
+        if not 1 <= length <= 4:
+            raise ValueError("crafted single-byte encodings cover lengths 1..4")
+        buffer.append(length - 1)  # lc1 = 1 + (byte & 3), bit7 clear
+        buffer.extend(0 for _ in range(length - 1))
+    if len(buffer) > n:
+        raise ValueError(f"lengths need {len(buffer)} bytes, buffer holds {n}")
+    buffer.extend(0 for _ in range(n - len(buffer)))
+    return buffer

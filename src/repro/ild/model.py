@@ -1,0 +1,180 @@
+"""Golden Python model of the instruction length decoder.
+
+Implements the paper's Figs 8-9 walk directly: decode the instruction
+at the current start byte by examining up to four bytes, mark the
+start, advance by the decoded length, repeat until the buffer is
+exhausted.  The behavioral C description, the transformed designs, the
+scheduled RTL and the structural architecture model are all validated
+against this reference (and the reference itself against an
+independent recursive implementation in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ild.isa import BYTES_EXAMINED, DEFAULT_ISA, SyntheticISA
+
+
+@dataclass
+class DecodeTrace:
+    """One instruction decode step (the Figs 8/9 walk record)."""
+
+    start: int
+    length: int
+    bytes_examined: int
+    contributions: Tuple[int, ...]
+
+
+@dataclass
+class GoldenILD:
+    """Reference decoder over a 1-based instruction buffer.
+
+    ``buffer[0]`` is unused padding so that positions match the
+    paper's 1-based indexing; bytes beyond ``n`` contribute zero
+    (paper footnote 2).
+    """
+
+    n: int
+    isa: SyntheticISA = field(default_factory=lambda: DEFAULT_ISA)
+
+    # -- byte accessors honouring the padding rule -------------------------
+
+    def byte_at(self, buffer: Sequence[int], position: int) -> int:
+        """Byte at 1-based *position*; zero beyond the buffer."""
+        if 1 <= position <= self.n and position < len(buffer):
+            return buffer[position]
+        return 0
+
+    def length_contribution(
+        self, buffer: Sequence[int], k: int, position: int
+    ) -> int:
+        """``LengthContribution_k`` at 1-based *position* with the
+        zero-contribution rule for positions beyond the buffer."""
+        if position > self.n:
+            return 0
+        byte = self.byte_at(buffer, position)
+        return [
+            self.isa.length_contribution_1,
+            self.isa.length_contribution_2,
+            self.isa.length_contribution_3,
+            self.isa.length_contribution_4,
+        ][k - 1](byte)
+
+    def need_byte(self, buffer: Sequence[int], k: int, position: int) -> int:
+        """``Need_kth_Byte`` predicate (k in 2..4) evaluated at
+        *position* (the byte before the one being decided)."""
+        if position > self.n:
+            return 0
+        byte = self.byte_at(buffer, position)
+        return [
+            self.isa.need_2nd_byte,
+            self.isa.need_3rd_byte,
+            self.isa.need_4th_byte,
+        ][k - 2](byte)
+
+    # -- single-instruction decode (Fig 8) ---------------------------------
+
+    def calculate_length(
+        self, buffer: Sequence[int], start: int
+    ) -> DecodeTrace:
+        """Decode the instruction starting at 1-based *start*: the
+        CalculateLength walk of Fig 10."""
+        lc1 = self.length_contribution(buffer, 1, start)
+        # Clamp so a start at the buffer edge still advances.
+        lc1 = max(lc1, 1)
+        contributions = [lc1]
+        examined = 1
+        length = lc1
+        if self.need_byte(buffer, 2, start):
+            lc2 = self.length_contribution(buffer, 2, start + 1)
+            contributions.append(lc2)
+            examined = 2
+            length += lc2
+            if self.need_byte(buffer, 3, start + 1):
+                lc3 = self.length_contribution(buffer, 3, start + 2)
+                contributions.append(lc3)
+                examined = 3
+                length += lc3
+                if self.need_byte(buffer, 4, start + 2):
+                    lc4 = self.length_contribution(buffer, 4, start + 3)
+                    contributions.append(lc4)
+                    examined = 4
+                    length += lc4
+        return DecodeTrace(
+            start=start,
+            length=length,
+            bytes_examined=examined,
+            contributions=tuple(contributions),
+        )
+
+    # -- whole-buffer decode (Figs 8+9 repeated) -----------------------------
+
+    def decode(
+        self, buffer: Sequence[int]
+    ) -> Tuple[List[int], List[int], List[DecodeTrace]]:
+        """Decode the whole buffer.
+
+        Returns ``(mark, lengths, traces)`` where ``mark[i]`` is 1 iff
+        an instruction starts at byte i (1-based, index 0 unused) and
+        ``lengths[i]`` is that instruction's decoded length (0 at
+        non-start bytes).
+        """
+        mark = [0] * (self.n + 1)
+        lengths = [0] * (self.n + 1)
+        traces: List[DecodeTrace] = []
+        next_start = 1
+        while next_start <= self.n:
+            trace = self.calculate_length(buffer, next_start)
+            mark[next_start] = 1
+            lengths[next_start] = trace.length
+            traces.append(trace)
+            next_start += trace.length
+        return mark, lengths, traces
+
+
+def decode_buffer(
+    buffer: Sequence[int], n: Optional[int] = None, isa: Optional[SyntheticISA] = None
+) -> List[int]:
+    """Convenience: the Mark bit vector for a 1-based buffer."""
+    size = n if n is not None else len(buffer) - 1
+    model = GoldenILD(n=size, isa=isa or DEFAULT_ISA)
+    mark, _, _ = model.decode(buffer)
+    return mark
+
+
+def decode_recursive(
+    buffer: Sequence[int], n: int, isa: Optional[SyntheticISA] = None
+) -> List[int]:
+    """An independent recursive implementation used to cross-check the
+    golden model (different code path, same specification)."""
+    model = GoldenILD(n=n, isa=isa or DEFAULT_ISA)
+
+    def window_length(start: int) -> int:
+        window = [model.byte_at(buffer, start + k) for k in range(BYTES_EXAMINED)]
+        # Apply the zero-contribution rule byte by byte.
+        isa_ = model.isa
+        length = isa_.length_contribution_1(window[0]) if start <= n else 0
+        length = max(length, 1)
+        if start <= n and isa_.need_2nd_byte(window[0]):
+            if start + 1 <= n:
+                length += isa_.length_contribution_2(window[1])
+            if start + 1 <= n and isa_.need_3rd_byte(window[1]):
+                if start + 2 <= n:
+                    length += isa_.length_contribution_3(window[2])
+                if start + 2 <= n and isa_.need_4th_byte(window[2]):
+                    if start + 3 <= n:
+                        length += isa_.length_contribution_4(window[3])
+        return length
+
+    mark = [0] * (n + 1)
+
+    def walk(start: int) -> None:
+        if start > n:
+            return
+        mark[start] = 1
+        walk(start + window_length(start))
+
+    walk(1)
+    return mark

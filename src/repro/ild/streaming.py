@@ -1,0 +1,314 @@
+"""Streaming (multi-chunk) instruction length decoding.
+
+The paper simplifies its ILD model and says what the real block must
+do (Section 5): "Since the ILD is decoding a stream of instructions
+arriving from memory, the behavioral description should have an
+infinite outer loop, that synthesis should break into chunks of n
+iterations each.  Also, consider that an instruction starts at the
+(n-1)th byte.  Then the length calculation may need to check bytes
+from the next set of bytes that fill the buffer.  So, the intermediate
+length calculation information must be saved across buffer decodes and
+passed to the next cycle."
+
+This module implements that un-simplified model:
+
+* :class:`CarryState` — the cross-chunk register state: how many bytes
+  of the current chunk are consumed by an instruction that started in
+  an earlier chunk, plus the partially-accumulated length walk
+  (contributions so far and which Need/Contribution pair comes next)
+  when the length-determining bytes themselves span the boundary.
+* :class:`StreamingILD` — decodes one chunk per "cycle", taking and
+  returning a :class:`CarryState`; functionally equivalent to decoding
+  the whole stream at once (the flat :class:`~repro.ild.model.GoldenILD`),
+  which the tests verify on random streams and chunk sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ild.isa import (
+    BYTES_EXAMINED,
+    DEFAULT_ISA,
+    STREAMING_ISA,
+    SyntheticISA,
+)
+
+
+@dataclass(frozen=True)
+class CarryState:
+    """Registers carried between consecutive chunk decodes.
+
+    Attributes
+    ----------
+    skip:
+        bytes at the head of the next chunk that belong to an
+        instruction whose length is already fully decided.
+    walk_contributions:
+        length contributions accumulated so far for an instruction
+        whose length walk is still in progress at the boundary
+        (empty tuple when no walk is pending).
+    walk_next_k:
+        which byte of the pending instruction comes next (2..4); only
+        meaningful when a walk is pending.
+    walk_start_global:
+        the pending instruction's global start position (for traces).
+    position:
+        global position of the first byte of the *next* chunk
+        (1-based over the whole stream).
+    """
+
+    skip: int = 0
+    walk_contributions: Tuple[int, ...] = ()
+    walk_next_k: int = 0
+    walk_start_global: int = 0
+    position: int = 1
+
+    @property
+    def walk_pending(self) -> bool:
+        return self.walk_next_k != 0
+
+    def is_idle(self) -> bool:
+        """True when the next chunk starts exactly on an instruction
+        boundary with no pending walk."""
+        return self.skip == 0 and not self.walk_pending
+
+
+@dataclass
+class ChunkResult:
+    """Per-chunk decode output (the Fig 15(b) outputs plus carry-out)."""
+
+    mark: List[int]
+    lengths: List[int]
+    carry_out: CarryState
+    starts_global: List[int] = field(default_factory=list)
+
+
+class StreamingILD:
+    """Chunked decoder with carry — the paper's full streaming model.
+
+    One :meth:`decode_chunk` call models one hardware cycle of the
+    Fig 15(b) architecture extended with carry registers; iterating it
+    over an arbitrarily long stream reproduces the flat decode.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        isa: Optional[SyntheticISA] = None,
+        strict: bool = True,
+    ) -> None:
+        if n < 1:
+            raise ValueError("chunk size must be >= 1")
+        self.n = n
+        self.isa = isa if isa is not None else STREAMING_ISA
+        if strict and not self.isa.is_streaming_safe():
+            raise ValueError(
+                "ISA violates the streaming progress property "
+                "(length can be shorter than the bytes examined to "
+                "decide it, so an instruction start could fall behind "
+                "an already-emitted chunk); use StreamingSafeISA, or "
+                "strict=False to experiment"
+            )
+
+    # -- the per-cycle step -------------------------------------------------
+
+    def decode_chunk(
+        self, chunk: Sequence[int], carry: Optional[CarryState] = None
+    ) -> ChunkResult:
+        """Decode one n-byte chunk (0-based sequence of byte values).
+
+        The chunk must hold exactly ``n`` bytes; the final, shorter
+        chunk of a stream can be padded with zeros (zero bytes decode
+        as 1-byte instructions, matching the paper's zero-contribution
+        padding rule).
+        """
+        if len(chunk) != self.n:
+            raise ValueError(
+                f"chunk holds {len(chunk)} bytes, decoder expects {self.n}"
+            )
+        carry = carry or CarryState()
+        mark = [0] * (self.n + 1)
+        lengths = [0] * (self.n + 1)
+        starts: List[int] = []
+
+        local = 1  # 1-based position within this chunk
+        skip = carry.skip
+        walk_contributions = list(carry.walk_contributions)
+        walk_next_k = carry.walk_next_k
+        walk_start = carry.walk_start_global
+
+        # Resume a length walk that straddled the boundary.
+        if walk_next_k:
+            consumed, walk_contributions, walk_next_k = self._resume_walk(
+                chunk, walk_contributions, walk_next_k
+            )
+            if walk_next_k == 0:
+                # Walk complete: total length known; the instruction
+                # started `already` bytes before this chunk.
+                length = sum(walk_contributions)
+                already = carry.position - walk_start
+                skip = max(length - already, 0)
+                walk_contributions = []
+            else:
+                # Still undecided after this whole chunk (only possible
+                # for tiny n); everything here belongs to the pending
+                # instruction's length bytes.
+                return ChunkResult(
+                    mark=mark,
+                    lengths=lengths,
+                    carry_out=CarryState(
+                        skip=0,
+                        walk_contributions=tuple(walk_contributions),
+                        walk_next_k=walk_next_k,
+                        walk_start_global=walk_start,
+                        position=carry.position + self.n,
+                    ),
+                    starts_global=starts,
+                )
+
+        # Skip the tail of a fully-decided instruction.
+        consumed_by_skip = min(skip, self.n)
+        local += consumed_by_skip
+        skip -= consumed_by_skip
+
+        # Normal decode walk inside the chunk.
+        while local <= self.n and skip == 0:
+            mark[local] = 1
+            starts.append(carry.position + local - 1)
+            (
+                length,
+                contributions,
+                next_k,
+            ) = self._walk_from(chunk, local)
+            if next_k:
+                # The length-determining bytes run off the chunk edge —
+                # the Section 5 case.  Save the intermediate walk.
+                return ChunkResult(
+                    mark=mark,
+                    lengths=lengths,
+                    carry_out=CarryState(
+                        skip=0,
+                        walk_contributions=tuple(contributions),
+                        walk_next_k=next_k,
+                        walk_start_global=carry.position + local - 1,
+                        position=carry.position + self.n,
+                    ),
+                    starts_global=starts,
+                )
+            lengths[local] = length
+            local += length
+
+        # local > n: the final instruction may spill into the next
+        # chunk; any skip not consumed by this chunk also carries over.
+        spill = max(local - self.n - 1, 0) + skip
+        return ChunkResult(
+            mark=mark,
+            lengths=lengths,
+            carry_out=CarryState(
+                skip=spill, position=carry.position + self.n
+            ),
+            starts_global=starts,
+        )
+
+    # -- walk helpers ---------------------------------------------------------
+
+    def _walk_from(
+        self, chunk: Sequence[int], local: int
+    ) -> Tuple[int, List[int], int]:
+        """The Fig 8 walk starting at 1-based *local*.  Returns
+        (length, contributions, next_k) where next_k != 0 means the
+        walk ran off the chunk (length not yet decided)."""
+        isa = self.isa
+        byte = chunk[local - 1]
+        contributions = [isa.length_contribution_1(byte)]
+        if not isa.need_2nd_byte(byte):
+            return contributions[0], contributions, 0
+        return self._continue_walk(chunk, local + 1, contributions, 2)
+
+    def _resume_walk(
+        self,
+        chunk: Sequence[int],
+        contributions: List[int],
+        next_k: int,
+    ) -> Tuple[int, List[int], int]:
+        """Continue a pending walk at the head of a new chunk.  Returns
+        (bytes consumed is implicit), updated contributions, next_k
+        (0 when decided)."""
+        _, contributions, next_k = self._continue_walk(
+            chunk, 1, contributions, next_k
+        )
+        return 0, contributions, next_k
+
+    def _continue_walk(
+        self,
+        chunk: Sequence[int],
+        local: int,
+        contributions: List[int],
+        k: int,
+    ) -> Tuple[int, List[int], int]:
+        """Walk contribution/need pairs k..4 starting at *local*.
+        Returns (length-so-far, contributions, next_k)."""
+        isa = self.isa
+        lc = [
+            None,
+            isa.length_contribution_1,
+            isa.length_contribution_2,
+            isa.length_contribution_3,
+            isa.length_contribution_4,
+        ]
+        need = [None, None, isa.need_3rd_byte, isa.need_4th_byte]
+        while k <= BYTES_EXAMINED:
+            if local > self.n:
+                return sum(contributions), contributions, k
+            byte = chunk[local - 1]
+            contributions.append(lc[k](byte))
+            if k == BYTES_EXAMINED or not need[k](byte):
+                return sum(contributions), contributions, 0
+            k += 1
+            local += 1
+        return sum(contributions), contributions, 0
+
+    # -- whole-stream convenience ----------------------------------------------
+
+    def decode_stream(
+        self, stream: Sequence[int]
+    ) -> Tuple[List[int], CarryState, List[ChunkResult]]:
+        """Decode an arbitrary-length 0-based byte stream chunk by
+        chunk (zero-padding the tail) and return the concatenated
+        global mark vector (1-based, index 0 unused), the final carry
+        and the per-chunk results."""
+        n = self.n
+        padded = list(stream)
+        if len(padded) % n:
+            padded.extend(0 for _ in range(n - len(padded) % n))
+        carry = CarryState()
+        chunks: List[ChunkResult] = []
+        global_mark = [0] * (len(padded) + 1)
+        for base in range(0, len(padded), n):
+            result = self.decode_chunk(padded[base : base + n], carry)
+            chunks.append(result)
+            for local in range(1, n + 1):
+                if result.mark[local]:
+                    global_mark[base + local] = 1
+            carry = result.carry_out
+        return global_mark[: len(stream) + 1], carry, chunks
+
+
+def flat_reference_marks(
+    stream: Sequence[int], isa: Optional[SyntheticISA] = None
+) -> List[int]:
+    """Marks from decoding the whole 0-based stream at once — the
+    oracle the chunked decoder must match.  Instructions that begin
+    inside the stream have their length walk read zero-padding past
+    the end, matching :meth:`StreamingILD.decode_stream`."""
+    isa = isa or DEFAULT_ISA
+    mark = [0] * (len(stream) + 1)
+    position = 1
+    while position <= len(stream):
+        mark[position] = 1
+        window = list(stream[position - 1 : position - 1 + BYTES_EXAMINED])
+        window.extend(0 for _ in range(BYTES_EXAMINED - len(window)))
+        position += isa.instruction_length(window)
+    return mark

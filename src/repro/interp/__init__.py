@@ -1,0 +1,27 @@
+"""Behavioral interpreter for the HTG IR.
+
+Executes a :class:`~repro.ir.htg.Design` directly.  The interpreter is
+the reproduction's semantics oracle: every transformation is verified
+by checking that interpreting the design before and after the pass
+produces identical observable state (scalars, arrays, return values)
+for the same inputs — including randomized inputs in the
+hypothesis-based property tests.
+"""
+
+from repro.interp.evaluator import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    InterpreterError,
+    MachineState,
+    run_design,
+    stateful_external,
+)
+
+__all__ = [
+    "ExecutionLimitExceeded",
+    "Interpreter",
+    "InterpreterError",
+    "MachineState",
+    "run_design",
+    "stateful_external",
+]

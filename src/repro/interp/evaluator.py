@@ -1,0 +1,339 @@
+"""Direct execution of the HTG IR with C integer semantics.
+
+The machine state is a set of scalar bindings and integer arrays.
+Functions defined in the design are interpreted; external functions
+(e.g. the ILD's ``LengthContribution_k``) are supplied as Python
+callables.  A step limit guards against non-terminating descriptions
+(the paper's Fig 16 ``while(1)`` form would otherwise never finish).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.frontend.ast_nodes import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Expr,
+    IntLit,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+from repro.ir import expr_utils
+from repro.ir.htg import (
+    BlockNode,
+    BreakNode,
+    Design,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    LoopNode,
+)
+from repro.ir.operations import Operation, OpKind
+
+
+class InterpreterError(Exception):
+    """Raised for semantic faults: undefined variables, bad array
+    accesses, unknown functions."""
+
+
+class ExecutionLimitExceeded(InterpreterError):
+    """Raised when the step budget runs out (runaway loop guard)."""
+
+
+class _BreakSignal(Exception):
+    """Internal control transfer for ``break``."""
+
+
+class _ReturnSignal(Exception):
+    """Internal control transfer for ``return``."""
+
+    def __init__(self, value: Optional[int]) -> None:
+        super().__init__()
+        self.value = value
+
+
+@dataclass
+class MachineState:
+    """Observable interpreter state: scalar and array stores.
+
+    ``trace`` records the uid of each executed operation so tests can
+    assert on execution order (e.g. that speculated operations run
+    unconditionally).
+    """
+
+    scalars: Dict[str, int] = field(default_factory=dict)
+    arrays: Dict[str, List[int]] = field(default_factory=dict)
+    trace: List[int] = field(default_factory=list)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Hashable-ish copy of the observable state for comparisons."""
+        return {
+            "scalars": dict(self.scalars),
+            "arrays": {name: list(vals) for name, vals in self.arrays.items()},
+        }
+
+
+ExternalFn = Callable[..., int]
+
+
+def stateful_external(fn: ExternalFn) -> ExternalFn:
+    """Mark an external function as wanting the machine state.
+
+    Decorated externals are called as ``fn(*args, state=state)`` so they
+    can read shared arrays (e.g. the ILD's instruction buffer).
+    """
+    fn.wants_state = True  # type: ignore[attr-defined]
+    return fn
+
+
+class Interpreter:
+    """Executes a design's ``main`` (or any function) on a machine state."""
+
+    def __init__(
+        self,
+        design: Design,
+        externals: Optional[Dict[str, ExternalFn]] = None,
+        max_steps: int = 1_000_000,
+    ) -> None:
+        self.design = design
+        self.externals = externals or {}
+        self.max_steps = max_steps
+        self._steps = 0
+
+    # -- public API -----------------------------------------------------
+
+    def run(
+        self,
+        inputs: Optional[Dict[str, int]] = None,
+        array_inputs: Optional[Dict[str, List[int]]] = None,
+    ) -> MachineState:
+        """Execute ``main`` and return the final machine state.
+
+        *inputs* pre-populates scalar variables; *array_inputs*
+        pre-populates arrays (sized to the declared size, zero-padded or
+        truncated as needed).
+        """
+        self._steps = 0
+        state = MachineState()
+        main = self.design.main
+        if inputs:
+            state.scalars.update(inputs)
+        self._allocate_arrays(main, state, array_inputs)
+        try:
+            self._exec_nodes(main.body, state, main)
+        except _ReturnSignal:
+            pass
+        return state
+
+    def call_function(
+        self,
+        name: str,
+        args: List[int],
+        state: Optional[MachineState] = None,
+    ) -> Optional[int]:
+        """Call a defined function with scalar arguments; arrays of the
+        supplied state are shared (paper Fig 10 style globals)."""
+        func = self.design.function(name)
+        outer = state if state is not None else MachineState()
+        return self._invoke(func, args, outer)
+
+    # -- execution ------------------------------------------------------
+
+    def _allocate_arrays(
+        self,
+        func: FunctionHTG,
+        state: MachineState,
+        array_inputs: Optional[Dict[str, List[int]]],
+    ) -> None:
+        for name, size in func.arrays.items():
+            values = [0] * size
+            if array_inputs and name in array_inputs:
+                provided = array_inputs[name]
+                for index in range(min(size, len(provided))):
+                    values[index] = provided[index]
+            state.arrays[name] = values
+        if array_inputs:
+            for name, provided in array_inputs.items():
+                if name not in state.arrays:
+                    state.arrays[name] = list(provided)
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise ExecutionLimitExceeded(
+                f"execution exceeded {self.max_steps} steps"
+            )
+
+    def _exec_nodes(
+        self, nodes: List[HTGNode], state: MachineState, func: FunctionHTG
+    ) -> None:
+        for node in nodes:
+            self._exec_node(node, state, func)
+
+    def _exec_node(
+        self, node: HTGNode, state: MachineState, func: FunctionHTG
+    ) -> None:
+        if isinstance(node, BlockNode):
+            for op in node.ops:
+                self._exec_op(op, state, func)
+        elif isinstance(node, IfNode):
+            self._tick()
+            if self._eval(node.cond, state):
+                self._exec_nodes(node.then_branch, state, func)
+            else:
+                self._exec_nodes(node.else_branch, state, func)
+        elif isinstance(node, LoopNode):
+            self._exec_loop(node, state, func)
+        elif isinstance(node, BreakNode):
+            raise _BreakSignal()
+        else:
+            raise InterpreterError(f"unknown HTG node {node!r}")
+
+    def _exec_loop(
+        self, node: LoopNode, state: MachineState, func: FunctionHTG
+    ) -> None:
+        for op in node.init:
+            self._exec_op(op, state, func)
+        while True:
+            self._tick()
+            if node.cond is not None and not self._eval(node.cond, state):
+                return
+            try:
+                self._exec_nodes(node.body, state, func)
+            except _BreakSignal:
+                return
+            for op in node.update:
+                self._exec_op(op, state, func)
+
+    def _exec_op(
+        self, op: Operation, state: MachineState, func: FunctionHTG
+    ) -> None:
+        self._tick()
+        state.trace.append(op.uid)
+        if op.kind is OpKind.ASSIGN:
+            value = self._eval(op.expr, state)
+            self._store(op.target, value, state)
+        elif op.kind is OpKind.CALL:
+            self._eval(op.expr, state)
+        elif op.kind is OpKind.RETURN:
+            value = self._eval(op.expr, state) if op.expr is not None else None
+            raise _ReturnSignal(value)
+        else:
+            raise InterpreterError(f"unknown op kind {op.kind}")
+
+    def _store(self, target: Optional[Expr], value: int, state: MachineState) -> None:
+        if isinstance(target, Var):
+            state.scalars[target.name] = value
+        elif isinstance(target, ArrayRef):
+            index = self._eval(target.index, state)
+            array = state.arrays.get(target.name)
+            if array is None:
+                raise InterpreterError(f"undeclared array {target.name!r}")
+            if not 0 <= index < len(array):
+                raise InterpreterError(
+                    f"array store out of bounds: {target.name}[{index}] "
+                    f"(size {len(array)})"
+                )
+            array[index] = value
+        else:
+            raise InterpreterError(f"invalid store target {target!r}")
+
+    # -- expression evaluation -------------------------------------------
+
+    def _eval(self, expr: Optional[Expr], state: MachineState) -> int:
+        if expr is None:
+            raise InterpreterError("evaluating missing expression")
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, Var):
+            try:
+                return state.scalars[expr.name]
+            except KeyError:
+                raise InterpreterError(
+                    f"read of undefined variable {expr.name!r}"
+                ) from None
+        if isinstance(expr, ArrayRef):
+            index = self._eval(expr.index, state)
+            array = state.arrays.get(expr.name)
+            if array is None:
+                raise InterpreterError(f"undeclared array {expr.name!r}")
+            if not 0 <= index < len(array):
+                raise InterpreterError(
+                    f"array read out of bounds: {expr.name}[{index}] "
+                    f"(size {len(array)})"
+                )
+            return array[index]
+        if isinstance(expr, BinOp):
+            if expr.op == "&&":
+                return int(
+                    bool(self._eval(expr.left, state))
+                    and bool(self._eval(expr.right, state))
+                )
+            if expr.op == "||":
+                return int(
+                    bool(self._eval(expr.left, state))
+                    or bool(self._eval(expr.right, state))
+                )
+            left = self._eval(expr.left, state)
+            right = self._eval(expr.right, state)
+            return expr_utils.eval_binary(expr.op, left, right)
+        if isinstance(expr, UnaryOp):
+            return expr_utils.eval_unary(expr.op, self._eval(expr.operand, state))
+        if isinstance(expr, Ternary):
+            if self._eval(expr.cond, state):
+                return self._eval(expr.if_true, state)
+            return self._eval(expr.if_false, state)
+        if isinstance(expr, Call):
+            return self._eval_call(expr, state)
+        raise InterpreterError(f"unknown expression {expr!r}")
+
+    def _eval_call(self, call: Call, state: MachineState) -> int:
+        args = [self._eval(arg, state) for arg in call.args]
+        if call.name in self.design.functions and call.name != Design.MAIN:
+            result = self._invoke(self.design.function(call.name), args, state)
+            return 0 if result is None else result
+        if call.name in self.externals:
+            fn = self.externals[call.name]
+            if getattr(fn, "wants_state", False):
+                return int(fn(*args, state=state))
+            return int(fn(*args))
+        raise InterpreterError(f"call to unknown function {call.name!r}")
+
+    def _invoke(
+        self, func: FunctionHTG, args: List[int], outer: MachineState
+    ) -> Optional[int]:
+        if len(args) != len(func.params):
+            raise InterpreterError(
+                f"{func.name} expects {len(func.params)} args, got {len(args)}"
+            )
+        # Functions get a private scalar frame but share the caller's
+        # arrays (paper Fig 10: CalculateLength reads the shared buffer).
+        frame = MachineState(
+            scalars=dict(zip(func.params, args)),
+            arrays=outer.arrays,
+            trace=outer.trace,
+        )
+        for name, size in func.arrays.items():
+            if name not in frame.arrays:
+                frame.arrays[name] = [0] * size
+        try:
+            self._exec_nodes(func.body, frame, func)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+
+def run_design(
+    design: Design,
+    inputs: Optional[Dict[str, int]] = None,
+    array_inputs: Optional[Dict[str, List[int]]] = None,
+    externals: Optional[Dict[str, ExternalFn]] = None,
+    max_steps: int = 1_000_000,
+) -> MachineState:
+    """Convenience wrapper: build an interpreter and run ``main``."""
+    interp = Interpreter(design, externals=externals, max_steps=max_steps)
+    return interp.run(inputs=inputs, array_inputs=array_inputs)

@@ -1,0 +1,50 @@
+"""Intermediate representation for the Spark-style HLS flow.
+
+The IR mirrors the paper's internal program representation:
+
+* three-address-style :class:`~repro.ir.operations.Operation` objects
+  grouped into :class:`~repro.ir.basic_block.BasicBlock` lists, and
+* a **Hierarchical Task Graph** (HTG, [Gupta et al. DAC'01]) that keeps
+  the structured control flow (if-nodes, loop-nodes) visible to the
+  coarse-grain transformations — exactly the representation drawn in
+  Figures 5, 6 and 7 of the paper.
+
+Expressions reuse the frontend AST expression nodes; the helpers in
+:mod:`repro.ir.expr_utils` provide cloning, substitution and constant
+folding over them.
+"""
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import build_design, build_function
+from repro.ir.cfg import ControlFlowGraph, build_cfg
+from repro.ir.htg import (
+    BlockNode,
+    BreakNode,
+    Design,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    LoopNode,
+)
+from repro.ir.operations import Operation, OpKind
+from repro.ir.printer import print_design, print_function, print_htg
+
+__all__ = [
+    "BasicBlock",
+    "BlockNode",
+    "BreakNode",
+    "ControlFlowGraph",
+    "Design",
+    "FunctionHTG",
+    "HTGNode",
+    "IfNode",
+    "LoopNode",
+    "OpKind",
+    "Operation",
+    "build_cfg",
+    "build_design",
+    "build_function",
+    "print_design",
+    "print_function",
+    "print_htg",
+]

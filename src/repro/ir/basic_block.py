@@ -1,0 +1,104 @@
+"""Basic blocks: maximal straight-line operation sequences.
+
+In the HTG a basic block is always wrapped in a
+:class:`~repro.ir.htg.BlockNode`; the block itself is a thin container
+over its operation list with the analysis conveniences the
+transformations need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Optional, Set
+
+from repro.ir.operations import Operation
+
+_bb_counter = itertools.count(0)
+
+
+def next_bb_id() -> int:
+    """Allocate a process-unique basic block id."""
+    return next(_bb_counter)
+
+
+class BasicBlock:
+    """An ordered list of operations with no internal control flow."""
+
+    def __init__(self, ops: Optional[Iterable[Operation]] = None, label: str = "") -> None:
+        self.bb_id = next_bb_id()
+        self.label = label or f"BB{self.bb_id}"
+        self.ops: List[Operation] = list(ops) if ops is not None else []
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def append(self, op: Operation) -> None:
+        """Append an operation at the end of the block."""
+        self.ops.append(op)
+
+    def prepend(self, op: Operation) -> None:
+        """Insert an operation at the start of the block."""
+        self.ops.insert(0, op)
+
+    def insert_before(self, anchor: Operation, op: Operation) -> None:
+        """Insert *op* immediately before *anchor* (by identity)."""
+        index = self._index_of(anchor)
+        self.ops.insert(index, op)
+
+    def insert_after(self, anchor: Operation, op: Operation) -> None:
+        """Insert *op* immediately after *anchor* (by identity)."""
+        index = self._index_of(anchor)
+        self.ops.insert(index + 1, op)
+
+    def remove(self, op: Operation) -> None:
+        """Remove *op* (by identity)."""
+        index = self._index_of(op)
+        del self.ops[index]
+
+    def replace(self, old: Operation, new: Operation) -> None:
+        """Replace *old* with *new* in place."""
+        index = self._index_of(old)
+        self.ops[index] = new
+
+    def _index_of(self, op: Operation) -> int:
+        for index, candidate in enumerate(self.ops):
+            if candidate is op:
+                return index
+        raise ValueError(f"operation {op} not in block {self.label}")
+
+    # -- analysis -------------------------------------------------------
+
+    def variables_read(self) -> Set[str]:
+        """All scalar variables read anywhere in the block."""
+        names: Set[str] = set()
+        for op in self.ops:
+            names |= op.reads()
+        return names
+
+    def variables_written(self) -> Set[str]:
+        """All scalar variables written anywhere in the block."""
+        names: Set[str] = set()
+        for op in self.ops:
+            names |= op.writes()
+        return names
+
+    def upward_exposed_reads(self) -> Set[str]:
+        """Variables read before any write within the block — the
+        block-local `use` set for liveness analysis."""
+        written: Set[str] = set()
+        exposed: Set[str] = set()
+        for op in self.ops:
+            exposed |= op.reads() - written
+            written |= op.writes()
+        return exposed
+
+    def clone(self) -> "BasicBlock":
+        """Deep-copy the block (fresh block id, fresh operation uids)."""
+        return BasicBlock(ops=[op.clone() for op in self.ops])
+
+    def __str__(self) -> str:
+        body = "\n".join(f"  {op}" for op in self.ops)
+        return f"{self.label}:\n{body}" if body else f"{self.label}: (empty)"

@@ -1,0 +1,188 @@
+"""Lowering from the frontend AST to the HTG IR.
+
+Declarations are split into symbol-table entries (arrays, locals) plus
+ordinary assignment operations for initializers; control statements
+become IfNode/LoopNode hierarchy; everything else becomes operations in
+basic blocks.  Calls appearing in statement position become CALL
+operations; calls inside expressions are preserved (the inliner or the
+interpreter handles them).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+from repro.ir.basic_block import BasicBlock
+from repro.ir.htg import (
+    BlockNode,
+    BreakNode,
+    Design,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    LoopNode,
+    normalize_blocks,
+)
+from repro.ir.operations import Operation
+
+
+class LoweringError(Exception):
+    """Raised when the AST uses a construct the IR cannot express."""
+
+
+class _FunctionLowering:
+    """Lowers one function's statement list into HTG nodes."""
+
+    def __init__(self, func: FunctionHTG) -> None:
+        self.func = func
+
+    def lower_body(self, stmts: List[ast.Stmt]) -> List[HTGNode]:
+        nodes: List[HTGNode] = []
+        current = BasicBlock()
+
+        def flush() -> None:
+            nonlocal current
+            if current.ops:
+                nodes.append(BlockNode(current))
+                current = BasicBlock()
+
+        for stmt in stmts:
+            if isinstance(stmt, ast.Decl):
+                self._lower_decl(stmt, current)
+            elif isinstance(stmt, ast.Assign):
+                current.append(
+                    Operation.assign(stmt.target, stmt.value, line=stmt.line)
+                )
+            elif isinstance(stmt, ast.ExprStmt):
+                if not isinstance(stmt.expr, ast.Call):
+                    raise LoweringError(
+                        f"expression statement must be a call (line {stmt.line})"
+                    )
+                current.append(Operation.call(stmt.expr, line=stmt.line))
+            elif isinstance(stmt, ast.Return):
+                current.append(Operation.ret(stmt.value, line=stmt.line))
+            elif isinstance(stmt, ast.If):
+                flush()
+                nodes.append(self._lower_if(stmt))
+            elif isinstance(stmt, ast.For):
+                flush()
+                nodes.append(self._lower_for(stmt))
+            elif isinstance(stmt, ast.While):
+                flush()
+                nodes.append(self._lower_while(stmt))
+            elif isinstance(stmt, ast.Break):
+                flush()
+                nodes.append(BreakNode())
+            elif isinstance(stmt, ast.Block):
+                flush()
+                nodes.extend(self.lower_body(stmt.body))
+            else:
+                raise LoweringError(f"cannot lower statement {stmt!r}")
+        flush()
+        return normalize_blocks(nodes)
+
+    def _lower_decl(self, decl: ast.Decl, current: BasicBlock) -> None:
+        if decl.array_size is not None:
+            self.func.arrays[decl.name] = decl.array_size
+            if decl.init is not None:
+                raise LoweringError(
+                    f"array initializers are not supported (line {decl.line})"
+                )
+            return
+        self.func.locals.add(decl.name)
+        if decl.init is not None:
+            target = ast.Var(line=decl.line, name=decl.name)
+            current.append(Operation.assign(target, decl.init, line=decl.line))
+
+    def _lower_if(self, stmt: ast.If) -> IfNode:
+        return IfNode(
+            cond=stmt.cond,
+            then_branch=self.lower_body(stmt.then_body),
+            else_branch=self.lower_body(stmt.else_body),
+        )
+
+    def _lower_for(self, stmt: ast.For) -> LoopNode:
+        init_ops: List[Operation] = []
+        if stmt.init is not None:
+            init_ops = self._lower_loop_header_stmt(stmt.init)
+        update_ops: List[Operation] = []
+        if stmt.step is not None:
+            update_ops = self._lower_loop_header_stmt(stmt.step)
+        return LoopNode(
+            kind="for",
+            cond=stmt.cond,
+            body=self.lower_body(stmt.body),
+            init=init_ops,
+            update=update_ops,
+        )
+
+    def _lower_loop_header_stmt(self, stmt: ast.Stmt) -> List[Operation]:
+        if isinstance(stmt, ast.Decl):
+            if stmt.array_size is not None:
+                raise LoweringError("array declaration in loop header")
+            self.func.locals.add(stmt.name)
+            if stmt.init is None:
+                return []
+            target = ast.Var(line=stmt.line, name=stmt.name)
+            return [Operation.assign(target, stmt.init, line=stmt.line)]
+        if isinstance(stmt, ast.Assign):
+            return [Operation.assign(stmt.target, stmt.value, line=stmt.line)]
+        raise LoweringError(f"unsupported loop header statement {stmt!r}")
+
+    def _lower_while(self, stmt: ast.While) -> LoopNode:
+        return LoopNode(kind="while", cond=stmt.cond, body=self.lower_body(stmt.body))
+
+
+def build_function(funcdef: ast.FuncDef) -> FunctionHTG:
+    """Lower a single AST function definition into a FunctionHTG."""
+    func = FunctionHTG(
+        funcdef.name, params=list(funcdef.params), return_type=funcdef.return_type
+    )
+    lowering = _FunctionLowering(func)
+    func.body = lowering.lower_body(funcdef.body)
+    return func
+
+
+def build_design(
+    program: ast.Program, external_functions: Optional[List[str]] = None
+) -> Design:
+    """Lower a whole AST program into a Design.
+
+    *external_functions* names functions that are intentionally not
+    defined in the source — they will be bound to combinational library
+    blocks during synthesis (the ILD's length-contribution logic) or to
+    Python callables during interpretation.
+    """
+    design = Design()
+    for funcdef in program.functions:
+        design.add_function(build_function(funcdef))
+
+    main = FunctionHTG(Design.MAIN, params=[], return_type="void")
+    lowering = _FunctionLowering(main)
+    main.body = lowering.lower_body(program.main_body)
+    design.add_function(main)
+
+    if external_functions is not None:
+        design.external_functions = set(external_functions)
+    else:
+        design.external_functions = _infer_external(design)
+    return design
+
+
+def _infer_external(design: Design) -> set:
+    """Functions called but not defined anywhere are external."""
+    external = set()
+    for func in design.functions.values():
+        for name in design.called_functions(func):
+            if name not in design.functions:
+                external.add(name)
+    return external
+
+
+def design_from_source(
+    source: str, external_functions: Optional[List[str]] = None
+) -> Design:
+    """Parse behavioral C *source* and lower it to a Design in one step."""
+    return build_design(parse(source), external_functions=external_functions)

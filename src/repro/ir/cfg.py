@@ -1,0 +1,252 @@
+"""Control-flow graph derived from the HTG.
+
+The structured HTG remains the primary IR; this module flattens a
+function into a CFG for the iterative data-flow analyses (liveness,
+reaching definitions) and for the chaining-trail enumeration, which
+walks paths "backwards from the basic block that operation 4 is in"
+(paper Section 3.1.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set
+
+import networkx as nx
+
+from repro.frontend.ast_nodes import Expr
+from repro.ir import expr_utils
+from repro.ir.basic_block import BasicBlock
+from repro.ir.htg import (
+    BlockNode,
+    BreakNode,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    LoopNode,
+)
+from repro.ir.operations import OpKind
+
+_cfg_node_counter = itertools.count(0)
+
+
+class CFGNode:
+    """A node of the flattened control-flow graph.
+
+    Kinds:
+
+    * ``entry`` / ``exit`` — unique function boundaries;
+    * ``block`` — wraps a :class:`BasicBlock` (shared with the HTG, not
+      copied, so analyses see live IR state);
+    * ``branch`` — evaluates a condition; successors are labelled
+      true/false;
+    * ``join`` — control-flow merge point after a conditional or loop.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        block: Optional[BasicBlock] = None,
+        cond: Optional[Expr] = None,
+        htg_uid: Optional[int] = None,
+    ) -> None:
+        self.node_id = next(_cfg_node_counter)
+        self.kind = kind
+        self.block = block
+        self.cond = cond
+        self.htg_uid = htg_uid
+
+    def use_set(self) -> Set[str]:
+        """Upward-exposed scalar reads of this node."""
+        if self.kind == "block" and self.block is not None:
+            return self.block.upward_exposed_reads()
+        if self.kind == "branch" and self.cond is not None:
+            return expr_utils.variables_read(self.cond)
+        return set()
+
+    def def_set(self) -> Set[str]:
+        """Scalar variables written by this node."""
+        if self.kind == "block" and self.block is not None:
+            return self.block.variables_written()
+        return set()
+
+    def __repr__(self) -> str:
+        label = self.block.label if self.block is not None else self.kind
+        return f"CFGNode({self.node_id}, {self.kind}, {label})"
+
+
+class ControlFlowGraph:
+    """CFG with true/false-labelled edges over :class:`CFGNode`."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self.entry = CFGNode("entry")
+        self.exit = CFGNode("exit")
+        self.graph.add_node(self.entry.node_id, data=self.entry)
+        self.graph.add_node(self.exit.node_id, data=self.exit)
+        # basic block id -> CFG node, for op-to-node lookups
+        self.block_index: Dict[int, CFGNode] = {}
+
+    def add_node(self, node: CFGNode) -> CFGNode:
+        self.graph.add_node(node.node_id, data=node)
+        if node.kind == "block" and node.block is not None:
+            self.block_index[node.block.bb_id] = node
+        return node
+
+    def add_edge(self, src: CFGNode, dst: CFGNode, label: Optional[str] = None) -> None:
+        self.graph.add_edge(src.node_id, dst.node_id, label=label)
+
+    def node(self, node_id: int) -> CFGNode:
+        return self.graph.nodes[node_id]["data"]
+
+    def nodes(self) -> List[CFGNode]:
+        return [self.graph.nodes[n]["data"] for n in self.graph.nodes]
+
+    def successors(self, node: CFGNode) -> List[CFGNode]:
+        return [self.node(n) for n in self.graph.successors(node.node_id)]
+
+    def predecessors(self, node: CFGNode) -> List[CFGNode]:
+        return [self.node(n) for n in self.graph.predecessors(node.node_id)]
+
+    def edge_label(self, src: CFGNode, dst: CFGNode) -> Optional[str]:
+        return self.graph.edges[src.node_id, dst.node_id].get("label")
+
+    def node_for_block(self, block: BasicBlock) -> CFGNode:
+        try:
+            return self.block_index[block.bb_id]
+        except KeyError:
+            raise KeyError(f"block {block.label} not in CFG") from None
+
+    def reverse_postorder(self) -> List[CFGNode]:
+        """Nodes in reverse post-order from entry (good iteration order
+        for forward data-flow problems)."""
+        order = list(nx.dfs_postorder_nodes(self.graph, self.entry.node_id))
+        order.reverse()
+        return [self.node(n) for n in order]
+
+
+class _CFGBuilder:
+    """Builds a CFG for one function by structural recursion on the HTG."""
+
+    def __init__(self, func: FunctionHTG) -> None:
+        self.func = func
+        self.cfg = ControlFlowGraph()
+        # Stack of loop-exit join nodes for break resolution.
+        self._break_targets: List[CFGNode] = []
+
+    def build(self) -> ControlFlowGraph:
+        tail = self._lower_sequence(self.func.body, self.cfg.entry)
+        if tail is not None:
+            self.cfg.add_edge(tail, self.cfg.exit)
+        return self.cfg
+
+    def _lower_sequence(
+        self, nodes: List[HTGNode], pred: Optional[CFGNode]
+    ) -> Optional[CFGNode]:
+        """Lower a node list; returns the node control falls out of, or
+        ``None`` when the sequence always transfers control away
+        (return/break)."""
+        current = pred
+        for node in nodes:
+            if current is None:
+                break  # unreachable code after return/break
+            if isinstance(node, BlockNode):
+                current = self._lower_block(node, current)
+            elif isinstance(node, IfNode):
+                current = self._lower_if(node, current)
+            elif isinstance(node, LoopNode):
+                current = self._lower_loop(node, current)
+            elif isinstance(node, BreakNode):
+                if not self._break_targets:
+                    raise ValueError("break outside of loop")
+                self.cfg.add_edge(current, self._break_targets[-1])
+                current = None
+            else:
+                raise TypeError(f"unknown HTG node {node!r}")
+        return current
+
+    def _lower_block(self, node: BlockNode, pred: CFGNode) -> Optional[CFGNode]:
+        cfg_node = self.cfg.add_node(
+            CFGNode("block", block=node.block, htg_uid=node.uid)
+        )
+        self.cfg.add_edge(pred, cfg_node)
+        for op in node.ops:
+            if op.kind is OpKind.RETURN:
+                self.cfg.add_edge(cfg_node, self.cfg.exit)
+                return None
+        return cfg_node
+
+    def _lower_if(self, node: IfNode, pred: CFGNode) -> Optional[CFGNode]:
+        branch = self.cfg.add_node(CFGNode("branch", cond=node.cond, htg_uid=node.uid))
+        self.cfg.add_edge(pred, branch)
+        join = CFGNode("join", htg_uid=node.uid)
+
+        then_tail = self._lower_branch(node.then_branch, branch, "true")
+        else_tail = self._lower_branch(node.else_branch, branch, "false")
+
+        reachable = False
+        for tail in (then_tail, else_tail):
+            if tail is not None:
+                if join.node_id not in self.cfg.graph:
+                    self.cfg.add_node(join)
+                self.cfg.add_edge(tail, join)
+                reachable = True
+        return join if reachable else None
+
+    def _lower_branch(
+        self, nodes: List[HTGNode], branch: CFGNode, label: str
+    ) -> Optional[CFGNode]:
+        if not nodes:
+            # Empty branch: fall straight through the branch node.  A
+            # passthrough join keeps edge labels unambiguous.
+            passthrough = self.cfg.add_node(CFGNode("join"))
+            self.cfg.add_edge(branch, passthrough, label=label)
+            return passthrough
+        # Give the branch a labelled edge into the first lowered node by
+        # using a small anchor join node.
+        anchor = self.cfg.add_node(CFGNode("join"))
+        self.cfg.add_edge(branch, anchor, label=label)
+        return self._lower_sequence(nodes, anchor)
+
+    def _lower_loop(self, node: LoopNode, pred: CFGNode) -> Optional[CFGNode]:
+        current = pred
+        if node.init:
+            init_block = BasicBlock(ops=node.init, label=f"loop{node.uid}_init")
+            init_node = self.cfg.add_node(
+                CFGNode("block", block=init_block, htg_uid=node.uid)
+            )
+            self.cfg.add_edge(current, init_node)
+            current = init_node
+
+        cond_node = self.cfg.add_node(
+            CFGNode("branch", cond=node.cond, htg_uid=node.uid)
+        )
+        self.cfg.add_edge(current, cond_node)
+        exit_join = self.cfg.add_node(CFGNode("join", htg_uid=node.uid))
+        self.cfg.add_edge(cond_node, exit_join, label="false")
+
+        body_anchor = self.cfg.add_node(CFGNode("join"))
+        self.cfg.add_edge(cond_node, body_anchor, label="true")
+
+        self._break_targets.append(exit_join)
+        body_tail = self._lower_sequence(node.body, body_anchor)
+        self._break_targets.pop()
+
+        if body_tail is not None:
+            back_src = body_tail
+            if node.update:
+                update_block = BasicBlock(
+                    ops=node.update, label=f"loop{node.uid}_update"
+                )
+                update_node = self.cfg.add_node(
+                    CFGNode("block", block=update_block, htg_uid=node.uid)
+                )
+                self.cfg.add_edge(body_tail, update_node)
+                back_src = update_node
+            self.cfg.add_edge(back_src, cond_node)
+        return exit_join
+
+
+def build_cfg(func: FunctionHTG) -> ControlFlowGraph:
+    """Flatten *func* into a control-flow graph."""
+    return _CFGBuilder(func).build()

@@ -1,0 +1,162 @@
+"""Iterative data-flow analyses over the CFG.
+
+Provides scalar liveness (backward may-analysis) and reaching
+definitions (forward may-analysis).  These feed dead-code elimination,
+the lifetime analysis used by register binding ("a variable life-time
+analysis pass determines which variables are actually mapped to
+registers", paper Section 3.1.2), and diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.ir.cfg import CFGNode, ControlFlowGraph
+from repro.ir.htg import FunctionHTG
+from repro.ir.operations import Operation
+
+
+@dataclass
+class LivenessResult:
+    """Live-in/live-out sets per CFG node plus per-operation live-out."""
+
+    live_in: Dict[int, Set[str]] = field(default_factory=dict)
+    live_out: Dict[int, Set[str]] = field(default_factory=dict)
+    # op uid -> variables live immediately after the op
+    op_live_out: Dict[int, Set[str]] = field(default_factory=dict)
+
+
+def compute_liveness(
+    cfg: ControlFlowGraph, boundary_live: Set[str] = frozenset()
+) -> LivenessResult:
+    """Backward liveness over scalar variables.
+
+    *boundary_live* holds variables that must be considered live at
+    function exit (design outputs that live in scalars).
+    """
+    result = LivenessResult()
+    nodes = cfg.nodes()
+    for node in nodes:
+        result.live_in[node.node_id] = set()
+        result.live_out[node.node_id] = set()
+    result.live_out[cfg.exit.node_id] = set(boundary_live)
+    result.live_in[cfg.exit.node_id] = set(boundary_live)
+
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node.node_id == cfg.exit.node_id:
+                continue
+            out: Set[str] = set()
+            for succ in cfg.successors(node):
+                out |= result.live_in[succ.node_id]
+            live_in = node.use_set() | (out - node.def_set())
+            if out != result.live_out[node.node_id]:
+                result.live_out[node.node_id] = out
+                changed = True
+            if live_in != result.live_in[node.node_id]:
+                result.live_in[node.node_id] = live_in
+                changed = True
+
+    # Per-operation live-out within each block: walk ops backwards.
+    for node in nodes:
+        if node.kind != "block" or node.block is None:
+            continue
+        live = set(result.live_out[node.node_id])
+        for op in reversed(node.block.ops):
+            result.op_live_out[op.uid] = set(live)
+            live -= op.writes()
+            live |= op.reads()
+    return result
+
+
+# A definition site: (variable, op uid).  uid 0 is the synthetic
+# "defined at entry" marker for parameters and boundary inputs.
+Definition = Tuple[str, int]
+
+
+@dataclass
+class ReachingDefsResult:
+    """Reaching-definition sets per CFG node."""
+
+    reach_in: Dict[int, FrozenSet[Definition]] = field(default_factory=dict)
+    reach_out: Dict[int, FrozenSet[Definition]] = field(default_factory=dict)
+
+
+def compute_reaching_definitions(
+    cfg: ControlFlowGraph, entry_variables: Set[str] = frozenset()
+) -> ReachingDefsResult:
+    """Forward reaching definitions over scalar variables."""
+    result = ReachingDefsResult()
+    nodes = cfg.nodes()
+
+    gen: Dict[int, Set[Definition]] = {}
+    kill_vars: Dict[int, Set[str]] = {}
+    for node in nodes:
+        node_gen: Set[Definition] = set()
+        node_kill: Set[str] = set()
+        if node.kind == "block" and node.block is not None:
+            last_def: Dict[str, int] = {}
+            for op in node.block.ops:
+                for var in op.writes():
+                    last_def[var] = op.uid
+                    node_kill.add(var)
+            node_gen = {(var, uid) for var, uid in last_def.items()}
+        gen[node.node_id] = node_gen
+        kill_vars[node.node_id] = node_kill
+        result.reach_in[node.node_id] = frozenset()
+        result.reach_out[node.node_id] = frozenset()
+
+    entry_defs = frozenset((var, 0) for var in entry_variables)
+    result.reach_out[cfg.entry.node_id] = entry_defs
+
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.reverse_postorder():
+            if node.node_id == cfg.entry.node_id:
+                continue
+            incoming: Set[Definition] = set()
+            for pred in cfg.predecessors(node):
+                incoming |= result.reach_out[pred.node_id]
+            reach_in = frozenset(incoming)
+            survivors = {
+                (var, uid)
+                for var, uid in reach_in
+                if var not in kill_vars[node.node_id]
+            }
+            reach_out = frozenset(survivors | gen[node.node_id])
+            if reach_in != result.reach_in[node.node_id]:
+                result.reach_in[node.node_id] = reach_in
+                changed = True
+            if reach_out != result.reach_out[node.node_id]:
+                result.reach_out[node.node_id] = reach_out
+                changed = True
+    return result
+
+
+def definitions_of(func: FunctionHTG, variable: str) -> List[Operation]:
+    """All operations in *func* that write *variable*."""
+    return [op for op in func.walk_operations() if variable in op.writes()]
+
+
+def uses_of(func: FunctionHTG, variable: str) -> List[Operation]:
+    """All operations in *func* that read *variable* (conditions of
+    if/loop nodes are not operations and are reported separately by
+    :func:`condition_uses_of`)."""
+    return [op for op in func.walk_operations() if variable in op.reads()]
+
+
+def condition_uses_of(func: FunctionHTG, variable: str):
+    """HTG nodes whose condition reads *variable*."""
+    from repro.ir import expr_utils
+    from repro.ir.htg import IfNode, LoopNode
+
+    nodes = []
+    for node in func.walk_nodes():
+        if isinstance(node, (IfNode, LoopNode)) and node.cond is not None:
+            if variable in expr_utils.variables_read(node.cond):
+                nodes.append(node)
+    return nodes

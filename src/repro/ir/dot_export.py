@@ -1,0 +1,141 @@
+"""Graphviz DOT export for the HTG and the scheduled FSMD.
+
+The paper communicates its IR and results as diagrams (the HTGs of
+Figs 5-7, the FSMD states S0..S2 of Fig 5).  These exporters let a
+user regenerate that view for any design::
+
+    from repro.ir.dot_export import htg_to_dot, fsmd_to_dot
+    print(htg_to_dot(design.main))     # Figs 5-7 style boxes
+    print(fsmd_to_dot(state_machine))  # states + transitions
+
+The output is plain DOT text (no graphviz dependency): render with
+``dot -Tsvg`` or any online viewer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.htg import (
+    BlockNode,
+    BreakNode,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    LoopNode,
+)
+from repro.scheduler.schedule import IfItem, OpItem, StateMachine
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\l")
+    )
+
+
+def htg_to_dot(func: FunctionHTG, graph_name: str = "htg") -> str:
+    """Render a function's HTG as DOT: basic blocks as record boxes,
+    compound nodes as labelled clusters (the Figs 5-7 drawing)."""
+    lines: List[str] = [
+        f'digraph "{_escape(graph_name)}" {{',
+        "  node [shape=box, fontname=monospace, fontsize=10];",
+        f'  label="{_escape(func.name)}";',
+    ]
+    cluster_counter = [0]
+
+    def emit_block(node: BlockNode, indent: str) -> str:
+        name = f"bb{node.uid}"
+        body = "\\l".join(_escape(str(op)) for op in node.ops) or "(empty)"
+        lines.append(
+            f'{indent}{name} [shape=record, '
+            f'label="{_escape(node.block.label)}\\n{body}\\l"];'
+        )
+        return name
+
+    def emit_nodes(nodes: List[HTGNode], indent: str) -> None:
+        previous_exit = None
+        for node in nodes:
+            if isinstance(node, BlockNode):
+                emit_block(node, indent)
+            elif isinstance(node, IfNode):
+                cluster_counter[0] += 1
+                lines.append(f"{indent}subgraph cluster_{cluster_counter[0]} {{")
+                lines.append(
+                    f'{indent}  label="If Node: {_escape(str(node.cond))}";'
+                )
+                lines.append(f'{indent}  style=rounded;')
+                emit_nodes(node.then_branch, indent + "  ")
+                if node.else_branch:
+                    emit_nodes(node.else_branch, indent + "  ")
+                lines.append(f"{indent}}}")
+            elif isinstance(node, LoopNode):
+                cluster_counter[0] += 1
+                lines.append(f"{indent}subgraph cluster_{cluster_counter[0]} {{")
+                cond = str(node.cond) if node.cond is not None else "1"
+                lines.append(
+                    f'{indent}  label="Loop ({node.kind}): {_escape(cond)}";'
+                )
+                lines.append(f'{indent}  style=rounded;')
+                emit_nodes(node.body, indent + "  ")
+                lines.append(f"{indent}}}")
+            elif isinstance(node, BreakNode):
+                lines.append(
+                    f'{indent}brk{node.uid} [label="break", shape=plaintext];'
+                )
+
+    emit_nodes(func.body, "  ")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def fsmd_to_dot(sm: StateMachine, graph_name: str = "fsmd") -> str:
+    """Render the FSMD as DOT: one node per state (its scheduled
+    operations listed), edges for transitions (branch edges labelled
+    with the condition polarity) — the S0/S1/S2 drawing of Fig 5."""
+    lines: List[str] = [
+        f'digraph "{_escape(graph_name)}" {{',
+        "  node [shape=record, fontname=monospace, fontsize=10];",
+        "  rankdir=TB;",
+    ]
+
+    def item_lines(items, depth=0) -> List[str]:
+        rendered = []
+        pad = "  " * depth
+        for item in items:
+            if isinstance(item, OpItem):
+                rendered.append(pad + str(item.op))
+            elif isinstance(item, IfItem):
+                rendered.append(pad + f"if ({item.cond}) chained:")
+                rendered.extend(item_lines(item.then_items, depth + 1))
+                if item.else_items:
+                    rendered.append(pad + "else:")
+                    rendered.extend(item_lines(item.else_items, depth + 1))
+        return rendered
+
+    for state in sm.reachable_states():
+        body = "\\l".join(_escape(line) for line in item_lines(state.items))
+        label = f"S{state.state_id}"
+        if state.label:
+            label += f" ({_escape(state.label)})"
+        lines.append(
+            f'  s{state.state_id} [label="{{{label}|{body}\\l}}"];'
+        )
+    for state in sm.reachable_states():
+        if state.branch is not None:
+            cond = _escape(str(state.branch.cond))
+            if state.branch.true_next is not None:
+                lines.append(
+                    f'  s{state.state_id} -> s{state.branch.true_next} '
+                    f'[label="{cond}"];'
+                )
+            if state.branch.false_next is not None:
+                lines.append(
+                    f'  s{state.state_id} -> s{state.branch.false_next} '
+                    f'[label="!({cond})"];'
+                )
+        elif state.default_next is not None:
+            lines.append(f"  s{state.state_id} -> s{state.default_next};")
+    lines.append("}")
+    return "\n".join(lines)

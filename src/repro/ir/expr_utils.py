@@ -1,0 +1,433 @@
+"""Utilities over IR expressions.
+
+IR expressions are the frontend AST expression nodes (``IntLit``,
+``Var``, ``ArrayRef``, ``BinOp``, ``UnaryOp``, ``Call``, ``Ternary``).
+Transformations need to clone them, substitute variables, collect reads
+and fold constants; those helpers live here so the AST classes stay
+plain data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Set
+
+from repro.frontend.ast_nodes import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Expr,
+    IntLit,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+
+
+def clone(expr: Optional[Expr]) -> Optional[Expr]:
+    """Deep-copy an expression tree."""
+    if expr is None:
+        return None
+    if isinstance(expr, IntLit):
+        return IntLit(line=expr.line, value=expr.value)
+    if isinstance(expr, Var):
+        return Var(line=expr.line, name=expr.name)
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(line=expr.line, name=expr.name, index=clone(expr.index))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            line=expr.line, op=expr.op, left=clone(expr.left), right=clone(expr.right)
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(line=expr.line, op=expr.op, operand=clone(expr.operand))
+    if isinstance(expr, Call):
+        return Call(
+            line=expr.line, name=expr.name, args=[clone(a) for a in expr.args]
+        )
+    if isinstance(expr, Ternary):
+        return Ternary(
+            line=expr.line,
+            cond=clone(expr.cond),
+            if_true=clone(expr.if_true),
+            if_false=clone(expr.if_false),
+        )
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def substitute(expr: Optional[Expr], mapping: Dict[str, Expr]) -> Optional[Expr]:
+    """Return a copy of *expr* with every scalar ``Var`` whose name is in
+    *mapping* replaced by a clone of the mapped expression.
+
+    Array base names are not substituted (arrays are storage, not
+    values); array *indices* are.
+    """
+    if expr is None:
+        return None
+    if isinstance(expr, Var):
+        replacement = mapping.get(expr.name)
+        if replacement is not None:
+            return clone(replacement)
+        return Var(line=expr.line, name=expr.name)
+    if isinstance(expr, IntLit):
+        return IntLit(line=expr.line, value=expr.value)
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(
+            line=expr.line, name=expr.name, index=substitute(expr.index, mapping)
+        )
+    if isinstance(expr, BinOp):
+        return BinOp(
+            line=expr.line,
+            op=expr.op,
+            left=substitute(expr.left, mapping),
+            right=substitute(expr.right, mapping),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(
+            line=expr.line, op=expr.op, operand=substitute(expr.operand, mapping)
+        )
+    if isinstance(expr, Call):
+        return Call(
+            line=expr.line,
+            name=expr.name,
+            args=[substitute(a, mapping) for a in expr.args],
+        )
+    if isinstance(expr, Ternary):
+        return Ternary(
+            line=expr.line,
+            cond=substitute(expr.cond, mapping),
+            if_true=substitute(expr.if_true, mapping),
+            if_false=substitute(expr.if_false, mapping),
+        )
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def rename_variables(
+    expr: Optional[Expr], renamer: Callable[[str], str]
+) -> Optional[Expr]:
+    """Return a copy of *expr* with every variable *and array base name*
+    renamed through *renamer*.  Used by function inlining to give the
+    inlined body a private namespace."""
+    if expr is None:
+        return None
+    if isinstance(expr, Var):
+        return Var(line=expr.line, name=renamer(expr.name))
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(
+            line=expr.line,
+            name=renamer(expr.name),
+            index=rename_variables(expr.index, renamer),
+        )
+    if isinstance(expr, IntLit):
+        return IntLit(line=expr.line, value=expr.value)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            line=expr.line,
+            op=expr.op,
+            left=rename_variables(expr.left, renamer),
+            right=rename_variables(expr.right, renamer),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(
+            line=expr.line,
+            op=expr.op,
+            operand=rename_variables(expr.operand, renamer),
+        )
+    if isinstance(expr, Call):
+        return Call(
+            line=expr.line,
+            name=expr.name,
+            args=[rename_variables(a, renamer) for a in expr.args],
+        )
+    if isinstance(expr, Ternary):
+        return Ternary(
+            line=expr.line,
+            cond=rename_variables(expr.cond, renamer),
+            if_true=rename_variables(expr.if_true, renamer),
+            if_false=rename_variables(expr.if_false, renamer),
+        )
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def variables_read(expr: Optional[Expr]) -> Set[str]:
+    """Scalar variable names read by *expr* (includes array index reads,
+    excludes array base names — see :func:`arrays_read`)."""
+    names: Set[str] = set()
+
+    def visit(node: Optional[Expr]) -> None:
+        if node is None:
+            return
+        if isinstance(node, Var):
+            names.add(node.name)
+        elif isinstance(node, ArrayRef):
+            visit(node.index)
+        elif isinstance(node, BinOp):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, UnaryOp):
+            visit(node.operand)
+        elif isinstance(node, Call):
+            for arg in node.args:
+                visit(arg)
+        elif isinstance(node, Ternary):
+            visit(node.cond)
+            visit(node.if_true)
+            visit(node.if_false)
+
+    visit(expr)
+    return names
+
+
+def arrays_read(expr: Optional[Expr]) -> Set[str]:
+    """Array base names referenced (read) by *expr*."""
+    names: Set[str] = set()
+
+    def visit(node: Optional[Expr]) -> None:
+        if node is None:
+            return
+        if isinstance(node, ArrayRef):
+            names.add(node.name)
+            visit(node.index)
+        elif isinstance(node, BinOp):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, UnaryOp):
+            visit(node.operand)
+        elif isinstance(node, Call):
+            for arg in node.args:
+                visit(arg)
+        elif isinstance(node, Ternary):
+            visit(node.cond)
+            visit(node.if_true)
+            visit(node.if_false)
+
+    visit(expr)
+    return names
+
+
+def calls_in(expr: Optional[Expr]) -> Iterable[Call]:
+    """Yield every Call node in *expr*, pre-order."""
+    if expr is None:
+        return
+    if isinstance(expr, Call):
+        yield expr
+        for arg in expr.args:
+            yield from calls_in(arg)
+    elif isinstance(expr, BinOp):
+        yield from calls_in(expr.left)
+        yield from calls_in(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from calls_in(expr.operand)
+    elif isinstance(expr, ArrayRef):
+        yield from calls_in(expr.index)
+    elif isinstance(expr, Ternary):
+        yield from calls_in(expr.cond)
+        yield from calls_in(expr.if_true)
+        yield from calls_in(expr.if_false)
+
+
+_BINARY_EVAL: Dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: _c_div(a, b),
+    "%": lambda a, b: _c_mod(a, b),
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+_UNARY_EVAL: Dict[str, Callable[[int], int]] = {
+    "-": lambda a: -a,
+    "!": lambda a: int(not a),
+    "~": lambda a: ~a,
+}
+
+
+def _c_div(a: int, b: int) -> int:
+    """C semantics: integer division truncates toward zero."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in behavioral code")
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _c_mod(a: int, b: int) -> int:
+    """C semantics: remainder has the sign of the dividend."""
+    return a - _c_div(a, b) * b
+
+
+def eval_binary(op: str, left: int, right: int) -> int:
+    """Evaluate a binary operator on integer values with C semantics."""
+    try:
+        return _BINARY_EVAL[op](left, right)
+    except KeyError:
+        raise ValueError(f"unknown binary operator {op!r}") from None
+
+
+def eval_unary(op: str, operand: int) -> int:
+    """Evaluate a unary operator on an integer value."""
+    try:
+        return _UNARY_EVAL[op](operand)
+    except KeyError:
+        raise ValueError(f"unknown unary operator {op!r}") from None
+
+
+def fold_constants(expr: Optional[Expr]) -> Optional[Expr]:
+    """Bottom-up constant folding.  Returns a new tree; sub-trees whose
+    operands are all literals become literals.  Division by a zero
+    literal is left unfolded (it would be a runtime fault)."""
+    if expr is None:
+        return None
+    if isinstance(expr, (IntLit, Var)):
+        return clone(expr)
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(line=expr.line, name=expr.name, index=fold_constants(expr.index))
+    if isinstance(expr, UnaryOp):
+        operand = fold_constants(expr.operand)
+        if isinstance(operand, IntLit):
+            return IntLit(line=expr.line, value=eval_unary(expr.op, operand.value))
+        return UnaryOp(line=expr.line, op=expr.op, operand=operand)
+    if isinstance(expr, BinOp):
+        left = fold_constants(expr.left)
+        right = fold_constants(expr.right)
+        if isinstance(left, IntLit) and isinstance(right, IntLit):
+            divide_by_zero = expr.op in ("/", "%") and right.value == 0
+            if not divide_by_zero:
+                return IntLit(
+                    line=expr.line,
+                    value=eval_binary(expr.op, left.value, right.value),
+                )
+        folded = _fold_algebraic_identity(expr.op, left, right, expr.line)
+        if folded is not None:
+            return folded
+        return BinOp(line=expr.line, op=expr.op, left=left, right=right)
+    if isinstance(expr, Call):
+        return Call(
+            line=expr.line,
+            name=expr.name,
+            args=[fold_constants(a) for a in expr.args],
+        )
+    if isinstance(expr, Ternary):
+        cond = fold_constants(expr.cond)
+        if_true = fold_constants(expr.if_true)
+        if_false = fold_constants(expr.if_false)
+        if isinstance(cond, IntLit):
+            return if_true if cond.value else if_false
+        return Ternary(line=expr.line, cond=cond, if_true=if_true, if_false=if_false)
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def _fold_algebraic_identity(
+    op: str, left: Optional[Expr], right: Optional[Expr], line: int
+) -> Optional[Expr]:
+    """Simplify ``x + 0``, ``x * 1``, ``x * 0`` and friends.
+
+    Only identities that are safe for side-effect-free operands are
+    applied; ``x * 0 -> 0`` is restricted to operands without calls.
+    """
+    left_lit = left.value if isinstance(left, IntLit) else None
+    right_lit = right.value if isinstance(right, IntLit) else None
+    if op == "+":
+        if left_lit == 0:
+            return right
+        if right_lit == 0:
+            return left
+    elif op == "-":
+        if right_lit == 0:
+            return left
+    elif op == "*":
+        if left_lit == 1:
+            return right
+        if right_lit == 1:
+            return left
+        if left_lit == 0 and not any(True for _ in calls_in(right)):
+            return IntLit(line=line, value=0)
+        if right_lit == 0 and not any(True for _ in calls_in(left)):
+            return IntLit(line=line, value=0)
+    return None
+
+
+def is_pure(expr: Optional[Expr], pure_calls: Optional[Set[str]] = None) -> bool:
+    """True when evaluating *expr* has no side effects.
+
+    Calls are impure unless their callee name is listed in
+    *pure_calls* (external combinational functions such as the ILD's
+    ``LengthContribution_k`` are pure by construction).
+    """
+    if expr is None:
+        return True
+    for call in calls_in(expr):
+        if pure_calls is None or call.name not in pure_calls:
+            return False
+    return True
+
+
+def expr_equal(a: Optional[Expr], b: Optional[Expr]) -> bool:
+    """Structural equality of two expression trees."""
+    if a is None or b is None:
+        return a is b
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, IntLit):
+        return a.value == b.value
+    if isinstance(a, Var):
+        return a.name == b.name
+    if isinstance(a, ArrayRef):
+        return a.name == b.name and expr_equal(a.index, b.index)
+    if isinstance(a, BinOp):
+        return (
+            a.op == b.op
+            and expr_equal(a.left, b.left)
+            and expr_equal(a.right, b.right)
+        )
+    if isinstance(a, UnaryOp):
+        return a.op == b.op and expr_equal(a.operand, b.operand)
+    if isinstance(a, Call):
+        return (
+            a.name == b.name
+            and len(a.args) == len(b.args)
+            and all(expr_equal(x, y) for x, y in zip(a.args, b.args))
+        )
+    if isinstance(a, Ternary):
+        return (
+            expr_equal(a.cond, b.cond)
+            and expr_equal(a.if_true, b.if_true)
+            and expr_equal(a.if_false, b.if_false)
+        )
+    return False
+
+
+def expr_size(expr: Optional[Expr]) -> int:
+    """Number of nodes in the expression tree (a complexity measure used
+    by cost models and benchmarks)."""
+    if expr is None:
+        return 0
+    if isinstance(expr, (IntLit, Var)):
+        return 1
+    if isinstance(expr, ArrayRef):
+        return 1 + expr_size(expr.index)
+    if isinstance(expr, BinOp):
+        return 1 + expr_size(expr.left) + expr_size(expr.right)
+    if isinstance(expr, UnaryOp):
+        return 1 + expr_size(expr.operand)
+    if isinstance(expr, Call):
+        return 1 + sum(expr_size(a) for a in expr.args)
+    if isinstance(expr, Ternary):
+        return (
+            1
+            + expr_size(expr.cond)
+            + expr_size(expr.if_true)
+            + expr_size(expr.if_false)
+        )
+    raise TypeError(f"unknown expression node: {expr!r}")

@@ -1,0 +1,354 @@
+"""Hierarchical Task Graph (HTG) — the structured IR.
+
+The HTG keeps compound control structures (if-nodes, loop-nodes) as
+first-class hierarchy instead of flattening to a CFG, exactly as in the
+paper's Figures 5-7.  Coarse-grain transformations (loop unrolling,
+speculation, chaining-trail analysis) walk this hierarchy; a flat CFG
+view is derived on demand by :mod:`repro.ir.cfg` for the data-flow
+analyses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.frontend.ast_nodes import Expr
+from repro.ir import expr_utils
+from repro.ir.basic_block import BasicBlock
+from repro.ir.operations import Operation
+
+_node_counter = itertools.count(1)
+
+
+def next_node_uid() -> int:
+    """Allocate a process-unique HTG node id."""
+    return next(_node_counter)
+
+
+class HTGNode:
+    """Base class for HTG nodes."""
+
+    def __init__(self) -> None:
+        self.uid = next_node_uid()
+
+    def clone(self) -> "HTGNode":
+        raise NotImplementedError
+
+    def child_lists(self) -> List[List["HTGNode"]]:
+        """The lists of child nodes this node owns (empty for leaves)."""
+        return []
+
+
+class BlockNode(HTGNode):
+    """Leaf node wrapping a basic block of straight-line operations."""
+
+    def __init__(self, block: Optional[BasicBlock] = None) -> None:
+        super().__init__()
+        self.block = block if block is not None else BasicBlock()
+
+    @property
+    def ops(self) -> List[Operation]:
+        return self.block.ops
+
+    def clone(self) -> "BlockNode":
+        return BlockNode(self.block.clone())
+
+    def __str__(self) -> str:
+        return str(self.block)
+
+
+class IfNode(HTGNode):
+    """A two-way conditional: ``if (cond) then_branch else else_branch``.
+
+    The condition is an expression over variables defined by earlier
+    operations; in hardware it drives the steering logic (Fig 4b).
+    """
+
+    def __init__(
+        self,
+        cond: Expr,
+        then_branch: Optional[List[HTGNode]] = None,
+        else_branch: Optional[List[HTGNode]] = None,
+    ) -> None:
+        super().__init__()
+        self.cond = cond
+        self.then_branch: List[HTGNode] = then_branch or []
+        self.else_branch: List[HTGNode] = else_branch or []
+
+    def child_lists(self) -> List[List[HTGNode]]:
+        return [self.then_branch, self.else_branch]
+
+    def clone(self) -> "IfNode":
+        return IfNode(
+            cond=expr_utils.clone(self.cond),
+            then_branch=[child.clone() for child in self.then_branch],
+            else_branch=[child.clone() for child in self.else_branch],
+        )
+
+
+class LoopNode(HTGNode):
+    """A structured loop.
+
+    ``for`` loops carry init/update operation lists; ``while`` loops
+    leave them empty.  The loop condition is re-evaluated before every
+    iteration (C semantics).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        cond: Optional[Expr],
+        body: Optional[List[HTGNode]] = None,
+        init: Optional[List[Operation]] = None,
+        update: Optional[List[Operation]] = None,
+    ) -> None:
+        super().__init__()
+        if kind not in ("for", "while"):
+            raise ValueError(f"unknown loop kind {kind!r}")
+        self.kind = kind
+        self.cond = cond
+        self.body: List[HTGNode] = body or []
+        self.init: List[Operation] = init or []
+        self.update: List[Operation] = update or []
+
+    def child_lists(self) -> List[List[HTGNode]]:
+        return [self.body]
+
+    def clone(self) -> "LoopNode":
+        return LoopNode(
+            kind=self.kind,
+            cond=expr_utils.clone(self.cond),
+            body=[child.clone() for child in self.body],
+            init=[op.clone() for op in self.init],
+            update=[op.clone() for op in self.update],
+        )
+
+
+class BreakNode(HTGNode):
+    """``break`` — exits the innermost enclosing loop."""
+
+    def clone(self) -> "BreakNode":
+        return BreakNode()
+
+
+class FunctionHTG:
+    """A function body as an HTG plus its symbol information."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Optional[List[str]] = None,
+        return_type: str = "int",
+    ) -> None:
+        self.name = name
+        self.params: List[str] = params or []
+        self.return_type = return_type
+        self.body: List[HTGNode] = []
+        # Array name -> declared size.  Arrays declared at top level are
+        # shared between main and functions (paper Fig 10 style).
+        self.arrays: Dict[str, int] = {}
+        # Scalar variables declared in the function (excluding params).
+        self.locals: Set[str] = set()
+        # Variables explicitly marked as wires by the chaining pass;
+        # register binding must never allocate a register for them.
+        self.wire_variables: Set[str] = set()
+
+    # -- traversal ------------------------------------------------------
+
+    def walk_nodes(self) -> Iterator[HTGNode]:
+        """Yield every HTG node in the body, pre-order."""
+        yield from walk_nodes(self.body)
+
+    def walk_operations(self) -> Iterator[Operation]:
+        """Yield every operation in the function, in syntactic order
+        (loop init/update operations included)."""
+        for node in self.walk_nodes():
+            if isinstance(node, BlockNode):
+                yield from node.ops
+            elif isinstance(node, LoopNode):
+                yield from node.init
+                yield from node.update
+
+    def count_operations(self) -> int:
+        """Total operation count (a size metric used by the benches)."""
+        return sum(1 for _ in self.walk_operations())
+
+    def count_basic_blocks(self) -> int:
+        """Number of BlockNodes in the body."""
+        return sum(1 for n in self.walk_nodes() if isinstance(n, BlockNode))
+
+    def variables(self) -> Set[str]:
+        """Every scalar variable mentioned anywhere in the function."""
+        names: Set[str] = set(self.params) | set(self.locals)
+        for op in self.walk_operations():
+            names |= op.reads() | op.writes()
+        for node in self.walk_nodes():
+            if isinstance(node, (IfNode, LoopNode)) and node.cond is not None:
+                names |= expr_utils.variables_read(node.cond)
+        return names
+
+    def fresh_variable(self, prefix: str) -> str:
+        """Generate a variable name not yet used in the function."""
+        existing = self.variables() | self.wire_variables
+        for index in itertools.count():
+            candidate = f"{prefix}{index}" if index else prefix
+            if candidate not in existing:
+                self.locals.add(candidate)
+                return candidate
+        raise AssertionError("unreachable")
+
+    def clone(self) -> "FunctionHTG":
+        """Deep-copy the function."""
+        copy = FunctionHTG(self.name, list(self.params), self.return_type)
+        copy.body = [node.clone() for node in self.body]
+        copy.arrays = dict(self.arrays)
+        copy.locals = set(self.locals)
+        copy.wire_variables = set(self.wire_variables)
+        return copy
+
+
+class Design:
+    """A whole behavioral design: the top-level body (``main``) plus the
+    helper functions it calls, and the set of *external* functions that
+    are left to be bound to combinational library blocks (the ILD's
+    ``LengthContribution_k`` / ``Need_kth_Byte``)."""
+
+    MAIN = "main"
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionHTG] = {}
+        self.external_functions: Set[str] = set()
+
+    @property
+    def main(self) -> FunctionHTG:
+        return self.functions[self.MAIN]
+
+    def function(self, name: str) -> FunctionHTG:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"no function named {name!r} in design") from None
+
+    def add_function(self, func: FunctionHTG) -> None:
+        self.functions[func.name] = func
+
+    def called_functions(self, func: FunctionHTG) -> Set[str]:
+        """Names of functions called (directly) from *func*."""
+        names: Set[str] = set()
+        for op in func.walk_operations():
+            for call in expr_utils.calls_in(op.expr):
+                names.add(call.name)
+            if op.target is not None:
+                for call in expr_utils.calls_in(op.target):
+                    names.add(call.name)
+        for node in func.walk_nodes():
+            if isinstance(node, (IfNode, LoopNode)) and node.cond is not None:
+                for call in expr_utils.calls_in(node.cond):
+                    names.add(call.name)
+        return names
+
+    def clone(self) -> "Design":
+        copy = Design()
+        for name, func in self.functions.items():
+            copy.functions[name] = func.clone()
+        copy.external_functions = set(self.external_functions)
+        return copy
+
+
+# ---------------------------------------------------------------------------
+# Generic traversal / rewriting helpers
+# ---------------------------------------------------------------------------
+
+
+def walk_nodes(nodes: List[HTGNode]) -> Iterator[HTGNode]:
+    """Yield every node in *nodes*, pre-order, recursing into children."""
+    for node in nodes:
+        yield node
+        for child_list in node.child_lists():
+            yield from walk_nodes(child_list)
+
+
+def parent_map(
+    body: List[HTGNode],
+) -> Dict[int, Tuple[Optional[HTGNode], List[HTGNode]]]:
+    """Map node uid -> (parent node or None, owning child list).
+
+    The owning list is the actual Python list containing the node, so
+    callers can splice replacements in place.
+    """
+    mapping: Dict[int, Tuple[Optional[HTGNode], List[HTGNode]]] = {}
+
+    def visit(parent: Optional[HTGNode], child_list: List[HTGNode]) -> None:
+        for node in child_list:
+            mapping[node.uid] = (parent, child_list)
+            for owned in node.child_lists():
+                visit(node, owned)
+
+    visit(None, body)
+    return mapping
+
+
+def replace_node(
+    body: List[HTGNode], old: HTGNode, replacement: List[HTGNode]
+) -> None:
+    """Replace *old* (located anywhere under *body*) with the node list
+    *replacement*, splicing in place."""
+    parents = parent_map(body)
+    if old.uid not in parents:
+        raise ValueError(f"node uid={old.uid} not found in body")
+    _, owner = parents[old.uid]
+    for index, node in enumerate(owner):
+        if node is old:
+            owner[index : index + 1] = replacement
+            return
+    raise AssertionError("parent map and owner list disagree")
+
+
+def map_expressions(
+    nodes: List[HTGNode], fn: Callable[[Optional[Expr]], Optional[Expr]]
+) -> None:
+    """Apply *fn* to every expression in the sub-HTG, in place: operation
+    targets and RHSs, if-conditions and loop-conditions."""
+    for node in walk_nodes(nodes):
+        if isinstance(node, BlockNode):
+            for op in node.ops:
+                op.expr = fn(op.expr)
+                if op.target is not None:
+                    op.target = fn(op.target)
+        elif isinstance(node, IfNode):
+            node.cond = fn(node.cond)
+        elif isinstance(node, LoopNode):
+            if node.cond is not None:
+                node.cond = fn(node.cond)
+            for op in node.init:
+                op.expr = fn(op.expr)
+                if op.target is not None:
+                    op.target = fn(op.target)
+            for op in node.update:
+                op.expr = fn(op.expr)
+                if op.target is not None:
+                    op.target = fn(op.target)
+
+
+def normalize_blocks(body: List[HTGNode]) -> List[HTGNode]:
+    """Merge adjacent BlockNodes and drop empty ones, recursively.
+
+    Transformations freely splice block nodes; this pass restores the
+    maximal-basic-block property so block counts stay meaningful.
+    """
+    result: List[HTGNode] = []
+    for node in body:
+        if isinstance(node, IfNode):
+            node.then_branch = normalize_blocks(node.then_branch)
+            node.else_branch = normalize_blocks(node.else_branch)
+        elif isinstance(node, LoopNode):
+            node.body = normalize_blocks(node.body)
+        if isinstance(node, BlockNode):
+            if not node.ops:
+                continue
+            if result and isinstance(result[-1], BlockNode):
+                result[-1].block.ops.extend(node.ops)
+                continue
+        result.append(node)
+    return result

@@ -1,0 +1,163 @@
+"""Three-address-style operations — the atoms of the IR.
+
+Each operation is an assignment, a call statement, or a return.  The
+paper's transformations annotate operations (speculated, wire-copy) and
+the scheduler later attaches cycle/chaining information, so operations
+carry a small set of mutable flags alongside their expression payload.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.frontend.ast_nodes import ArrayRef, Call, Expr, Var
+from repro.ir import expr_utils
+
+_uid_counter = itertools.count(1)
+
+
+def next_op_uid() -> int:
+    """Allocate a process-unique operation id."""
+    return next(_uid_counter)
+
+
+class OpKind(enum.Enum):
+    """Kinds of IR operations."""
+
+    ASSIGN = "assign"          # target = expr  (target: Var or ArrayRef)
+    CALL = "call"              # expr is a Call evaluated for effects
+    RETURN = "return"          # return expr (expr may be None)
+
+
+@dataclass
+class Operation:
+    """A single IR operation inside a basic block.
+
+    Attributes
+    ----------
+    kind:
+        assignment / call statement / return.
+    target:
+        destination lvalue for assignments (``Var`` or ``ArrayRef``).
+    expr:
+        right-hand side (assign), the call (call), or return value.
+    is_speculated:
+        set by the speculation pass when the op was hoisted above the
+        condition that originally guarded it (paper Fig 11).
+    is_wire_copy:
+        set by the chaining pass on the copy operations it inserts when
+        creating wire-variables (paper Figs 6-7, ops 4 and 5 in Fig 6b).
+    source_line:
+        line in the original behavioral description, for diagnostics.
+    """
+
+    kind: OpKind
+    target: Optional[Expr] = None
+    expr: Optional[Expr] = None
+    uid: int = field(default_factory=next_op_uid)
+    is_speculated: bool = False
+    is_wire_copy: bool = False
+    source_line: int = 0
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def assign(target: Expr, expr: Expr, line: int = 0) -> "Operation":
+        """Build an assignment operation."""
+        if not isinstance(target, (Var, ArrayRef)):
+            raise TypeError(f"invalid assignment target: {target!r}")
+        return Operation(OpKind.ASSIGN, target=target, expr=expr, source_line=line)
+
+    @staticmethod
+    def call(call_expr: Call, line: int = 0) -> "Operation":
+        """Build a call-statement operation."""
+        return Operation(OpKind.CALL, expr=call_expr, source_line=line)
+
+    @staticmethod
+    def ret(expr: Optional[Expr], line: int = 0) -> "Operation":
+        """Build a return operation."""
+        return Operation(OpKind.RETURN, expr=expr, source_line=line)
+
+    # -- analysis -------------------------------------------------------
+
+    def reads(self) -> Set[str]:
+        """Scalar variables read by this operation (RHS plus any array
+        index on the LHS)."""
+        names = expr_utils.variables_read(self.expr)
+        if isinstance(self.target, ArrayRef):
+            names |= expr_utils.variables_read(self.target.index)
+        return names
+
+    def writes(self) -> Set[str]:
+        """Scalar variables written by this operation."""
+        if self.kind is OpKind.ASSIGN and isinstance(self.target, Var):
+            return {self.target.name}
+        return set()
+
+    def arrays_read(self) -> Set[str]:
+        """Array base names read by this operation."""
+        return expr_utils.arrays_read(self.expr)
+
+    def arrays_written(self) -> Set[str]:
+        """Array base names written by this operation."""
+        if self.kind is OpKind.ASSIGN and isinstance(self.target, ArrayRef):
+            return {self.target.name}
+        return set()
+
+    def has_call(self) -> bool:
+        """True if the operation invokes any function."""
+        if any(True for _ in expr_utils.calls_in(self.expr)):
+            return True
+        if isinstance(self.target, ArrayRef):
+            return any(True for _ in expr_utils.calls_in(self.target.index))
+        return False
+
+    def is_copy(self) -> bool:
+        """True for a simple scalar copy ``x = y``."""
+        return (
+            self.kind is OpKind.ASSIGN
+            and isinstance(self.target, Var)
+            and isinstance(self.expr, Var)
+        )
+
+    def is_constant_assign(self) -> bool:
+        """True for ``x = <literal>``."""
+        from repro.frontend.ast_nodes import IntLit
+
+        return (
+            self.kind is OpKind.ASSIGN
+            and isinstance(self.target, Var)
+            and isinstance(self.expr, IntLit)
+        )
+
+    def clone(self) -> "Operation":
+        """Deep-copy this operation with a fresh uid."""
+        return Operation(
+            kind=self.kind,
+            target=expr_utils.clone(self.target),
+            expr=expr_utils.clone(self.expr),
+            is_speculated=self.is_speculated,
+            is_wire_copy=self.is_wire_copy,
+            source_line=self.source_line,
+        )
+
+    def __str__(self) -> str:
+        if self.kind is OpKind.ASSIGN:
+            text = f"{self.target} = {self.expr};"
+        elif self.kind is OpKind.CALL:
+            text = f"{self.expr};"
+        elif self.expr is not None:
+            text = f"return {self.expr};"
+        else:
+            text = "return;"
+        tags = []
+        if self.is_speculated:
+            tags.append("spec")
+        if self.is_wire_copy:
+            tags.append("wire-copy")
+        if tags:
+            text += "  /* " + ", ".join(tags) + " */"
+        return text

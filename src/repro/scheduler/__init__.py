@@ -1,0 +1,48 @@
+"""Scheduling: packing operations into clock cycles.
+
+The scheduler turns a transformed HTG into a finite-state machine with
+datapath (:class:`~repro.scheduler.schedule.StateMachine`).  Chaining
+is first-class: operations whose combined combinational delay fits the
+clock period share a state, including operations in different basic
+blocks separated by conditional boundaries (paper Section 3.1) — the
+delay of the steering logic (multiplexors) at each conditional join is
+part of the timing model, reflecting the paper's point that synthesis
+cost models must charge for steering and control logic (Section 2).
+
+Resource-constrained (ASIC-style, Fig 1a) and unlimited-resource
+(microprocessor-block, Fig 1b) schedules come from the same
+:class:`~repro.scheduler.list_scheduler.ChainingScheduler` with
+different :class:`~repro.scheduler.resources.ResourceAllocation`
+settings.
+"""
+
+from repro.scheduler.resources import (
+    FunctionalUnit,
+    ResourceAllocation,
+    ResourceLibrary,
+)
+from repro.scheduler.schedule import (
+    BranchTransition,
+    IfItem,
+    OpItem,
+    State,
+    StateMachine,
+)
+from repro.scheduler.list_scheduler import ChainingScheduler, SchedulingError
+from repro.scheduler.timing import expr_delay, operation_delay, operation_units
+
+__all__ = [
+    "BranchTransition",
+    "ChainingScheduler",
+    "FunctionalUnit",
+    "IfItem",
+    "OpItem",
+    "ResourceAllocation",
+    "ResourceLibrary",
+    "SchedulingError",
+    "State",
+    "StateMachine",
+    "expr_delay",
+    "operation_delay",
+    "operation_units",
+]

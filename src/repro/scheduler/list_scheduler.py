@@ -1,0 +1,479 @@
+"""The chaining-aware scheduler.
+
+Walks a (transformed) function's HTG in control order, packing
+operations into states greedily while the chained combinational delay
+fits the clock period and the resource allocation is satisfied:
+
+* straight-line operations chain through their operand ready times;
+* a conditional chains *entirely inside a state* when its full cone —
+  condition, both branches, plus a mux delay at every joined variable —
+  fits ("scheduling with operation chaining across conditional
+  boundaries has to use a modified resource utilization and operation
+  scheduling model that looks across the conditional boundaries",
+  Section 3.1); mutually exclusive branch operations share FU
+  instances (elementwise max, Section 2);
+* a conditional that cannot chain becomes FSM-level branching
+  (multi-cycle control flow);
+* loops become FSM cycles: the loop condition folds into the branch
+  transition of the preceding/last-body state when its delay allows.
+
+With an unlimited allocation and a long clock the scheduler yields the
+paper's single-cycle microprocessor-block architecture; with an ASIC
+allocation and a short clock it produces the classic multi-cycle FSMD
+of Fig 1(a).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.frontend.ast_nodes import Expr, IntLit
+from repro.ir.htg import (
+    BlockNode,
+    BreakNode,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    LoopNode,
+)
+from repro.ir.operations import Operation, OpKind
+from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
+from repro.scheduler.schedule import (
+    BranchTransition,
+    IfItem,
+    Item,
+    OpItem,
+    State,
+    StateMachine,
+)
+from repro.scheduler.timing import (
+    expr_delay,
+    expr_units,
+    max_usage,
+    merge_usage,
+    operation_delay,
+    operation_units,
+)
+
+Usage = Dict[str, int]
+Ready = Dict[str, float]
+
+
+class SchedulingError(Exception):
+    """Raised when an operation cannot be scheduled at all (slower than
+    a whole empty cycle, or needs more resources than allocated)."""
+
+
+class ChainingScheduler:
+    """Schedules a function into a :class:`StateMachine`."""
+
+    def __init__(
+        self,
+        library: Optional[ResourceLibrary] = None,
+        clock_period: float = 10.0,
+        allocation: Optional[ResourceAllocation] = None,
+        allow_state_branching: bool = True,
+    ) -> None:
+        self.library = library or ResourceLibrary()
+        self.clock_period = clock_period
+        self.allocation = allocation or ResourceAllocation.unlimited()
+        self.allow_state_branching = allow_state_branching
+
+    def schedule(self, func: FunctionHTG) -> StateMachine:
+        """Produce the FSMD for *func*."""
+        sm = StateMachine(func, self.clock_period)
+        run = _Run(self, sm)
+        state = sm.new_state(label="entry")
+        final_state, terminated = run.schedule_list(
+            func.body, state, {}, {}, loop_exits=[]
+        )
+        if not terminated and final_state is not None:
+            final_state.default_next = None  # halt
+        _prune_empty_states(sm)
+        return sm
+
+
+class _Run:
+    """Mutable scheduling pass state."""
+
+    def __init__(self, config: ChainingScheduler, sm: StateMachine) -> None:
+        self.cfg = config
+        self.sm = sm
+        self.library = config.library
+        self.clock = config.clock_period
+        self.allocation = config.allocation
+
+    # -- main walk ---------------------------------------------------------
+
+    def schedule_list(
+        self,
+        nodes: List[HTGNode],
+        state: State,
+        ready: Ready,
+        usage: Usage,
+        loop_exits: List[int],
+    ) -> Tuple[Optional[State], bool]:
+        """Schedule *nodes* starting in *state* with the given chaining
+        context.  Returns (open state, terminated) where terminated
+        means control left this list (break/return)."""
+        for index, node in enumerate(nodes):
+            if isinstance(node, BlockNode):
+                for op in node.ops:
+                    state, halted = self.place_op(op, state, ready, usage)
+                    if halted:
+                        return state, True
+            elif isinstance(node, IfNode):
+                state, terminated = self.place_if(
+                    node, state, ready, usage, loop_exits
+                )
+                if terminated:
+                    return state, True
+            elif isinstance(node, LoopNode):
+                state = self.place_loop(node, state, ready, usage, loop_exits)
+                ready.clear()
+                usage.clear()
+            elif isinstance(node, BreakNode):
+                if not loop_exits:
+                    raise SchedulingError("break outside of loop")
+                state.default_next = loop_exits[-1]
+                return state, True
+            else:
+                raise SchedulingError(f"unschedulable node {node!r}")
+        return state, False
+
+    # -- operations ----------------------------------------------------------
+
+    def place_op(
+        self, op: Operation, state: State, ready: Ready, usage: Usage
+    ) -> Tuple[State, bool]:
+        """Place one operation, opening a new state when the chain or
+        the allocation overflows.  Returns (open state, halted)."""
+        if op.kind is OpKind.RETURN:
+            finish = operation_delay(op, self.library, ready)
+            if finish > self.clock:
+                state = self.close_state(state, ready, usage)
+                finish = operation_delay(op, self.library, ready)
+            start = self._op_start(op, ready)
+            state.items.append(OpItem(op=op, start=start, finish=finish))
+            state.default_next = None
+            state.branch = None
+            return state, True
+
+        needs = operation_units(op, self.library)
+        start = self._op_start(op, ready)
+        finish = operation_delay(op, self.library, ready)
+        merged = merge_usage(usage, needs)
+        if finish > self.clock or not self.allocation.fits(merged):
+            state = self.close_state(state, ready, usage)
+            start = 0.0
+            finish = operation_delay(op, self.library, ready)
+            merged = merge_usage(usage, needs)
+            if finish > self.clock:
+                raise SchedulingError(
+                    f"operation `{op}` needs {finish:.2f} > clock "
+                    f"{self.clock:.2f} even from registers"
+                )
+            if not self.allocation.fits(merged):
+                raise SchedulingError(
+                    f"operation `{op}` exceeds the resource allocation "
+                    f"even in an empty state: needs {needs}"
+                )
+        state.items.append(OpItem(op=op, start=start, finish=finish))
+        usage.clear()
+        usage.update(merged)
+        for name in op.writes() | op.arrays_written():
+            ready[name] = finish
+        return state, False
+
+    def _op_start(self, op: Operation, ready: Ready) -> float:
+        start = 0.0
+        for name in op.reads() | op.arrays_read():
+            start = max(start, ready.get(name, 0.0))
+        return start
+
+    def close_state(self, state: State, ready: Ready, usage: Usage) -> State:
+        """Finish the current cycle; everything now sits in registers."""
+        new_state = self.sm.new_state()
+        state.default_next = new_state.state_id
+        ready.clear()
+        usage.clear()
+        return new_state
+
+    # -- conditionals ----------------------------------------------------------
+
+    def place_if(
+        self,
+        node: IfNode,
+        state: State,
+        ready: Ready,
+        usage: Usage,
+        loop_exits: List[int],
+    ) -> Tuple[State, bool]:
+        # Attempt 1: chain the whole conditional into the current state.
+        attempt = self._try_chain_if(node, ready, usage)
+        if attempt is not None:
+            item, new_ready, new_usage = attempt
+            state.items.append(item)
+            ready.clear()
+            ready.update(new_ready)
+            usage.clear()
+            usage.update(new_usage)
+            return state, False
+
+        # Attempt 2: chain it into a fresh state.
+        fresh_ready: Ready = {}
+        fresh_usage: Usage = {}
+        attempt = self._try_chain_if(node, fresh_ready, fresh_usage)
+        if attempt is not None:
+            state = self.close_state(state, ready, usage)
+            item, new_ready, new_usage = attempt
+            state.items.append(item)
+            ready.update(new_ready)
+            usage.update(new_usage)
+            return state, False
+
+        # Attempt 3: FSM-level branching.
+        if not self.cfg.allow_state_branching:
+            raise SchedulingError(
+                f"conditional (cond: {node.cond}) cannot chain within "
+                f"clock {self.clock:.2f} and state branching is disabled"
+            )
+        return self._branch_if(node, state, ready, usage, loop_exits)
+
+    def _try_chain_if(
+        self, node: IfNode, ready: Ready, usage: Usage
+    ) -> Optional[Tuple[IfItem, Ready, Usage]]:
+        """Try to schedule the conditional as a chained IfItem given the
+        entry context.  Returns None when it cannot fit in this cycle."""
+        cond_ready = expr_delay(node.cond, self.library, ready)
+        if cond_ready > self.clock:
+            return None
+        cond_usage = expr_units(node.cond, self.library)
+
+        then_result = self._chain_branch(node.then_branch, dict(ready))
+        if then_result is None:
+            return None
+        else_result = self._chain_branch(node.else_branch, dict(ready))
+        if else_result is None:
+            return None
+        then_items, then_ready, then_usage = then_result
+        else_items, else_ready, else_usage = else_result
+
+        # Joined values: anything written by either branch leaves the
+        # conditional through steering logic -> mux delay on top of the
+        # latest producer and the condition itself.
+        joined: Ready = dict(ready)
+        written = self._items_written(then_items) | self._items_written(else_items)
+        mux_delay = self.library.mux.delay
+        mux_count = 0
+        for name in written:
+            candidates = [
+                then_ready.get(name, ready.get(name, 0.0)),
+                else_ready.get(name, ready.get(name, 0.0)),
+                cond_ready,
+            ]
+            joined[name] = max(candidates) + mux_delay
+            mux_count += 1
+            if joined[name] > self.clock:
+                return None
+
+        branch_usage = max_usage(then_usage, else_usage)
+        total_usage = merge_usage(usage, merge_usage(cond_usage, branch_usage))
+        total_usage["mux"] = total_usage.get("mux", 0) + mux_count
+        if not self.allocation.fits(total_usage):
+            return None
+
+        item = IfItem(
+            cond=node.cond,
+            cond_ready=cond_ready,
+            then_items=then_items,
+            else_items=else_items,
+        )
+        return item, joined, total_usage
+
+    def _chain_branch(
+        self, nodes: List[HTGNode], ready: Ready
+    ) -> Optional[Tuple[List[Item], Ready, Usage]]:
+        """Chain a whole branch combinationally; None when impossible
+        (loops, breaks, returns, or delay overflow)."""
+        items: List[Item] = []
+        usage: Usage = {}
+        for node in nodes:
+            if isinstance(node, BlockNode):
+                for op in node.ops:
+                    if op.kind is OpKind.RETURN:
+                        return None
+                    start = self._op_start(op, ready)
+                    finish = operation_delay(op, self.library, ready)
+                    if finish > self.clock:
+                        return None
+                    items.append(OpItem(op=op, start=start, finish=finish))
+                    usage = merge_usage(usage, operation_units(op, self.library))
+                    for name in op.writes() | op.arrays_written():
+                        ready[name] = finish
+            elif isinstance(node, IfNode):
+                nested = self._try_chain_if(node, ready, {})
+                if nested is None:
+                    return None
+                item, new_ready, nested_usage = nested
+                items.append(item)
+                ready.clear()
+                ready.update(new_ready)
+                usage = merge_usage(usage, nested_usage)
+            else:
+                return None  # loops and breaks never chain
+        return items, ready, usage
+
+    @staticmethod
+    def _items_written(items: List[Item]) -> Set[str]:
+        written: Set[str] = set()
+        for item in items:
+            if isinstance(item, OpItem):
+                written |= item.op.writes() | item.op.arrays_written()
+            else:
+                written |= _Run._items_written(item.then_items)
+                written |= _Run._items_written(item.else_items)
+        return written
+
+    def _branch_if(
+        self,
+        node: IfNode,
+        state: State,
+        ready: Ready,
+        usage: Usage,
+        loop_exits: List[int],
+    ) -> Tuple[State, bool]:
+        """Multi-cycle conditional: branch transition + per-branch state
+        chains + join state."""
+        cond_ready = expr_delay(node.cond, self.library, ready)
+        if cond_ready > self.clock:
+            state = self.close_state(state, ready, usage)
+            cond_ready = expr_delay(node.cond, self.library, ready)
+            if cond_ready > self.clock:
+                raise SchedulingError(
+                    f"condition `{node.cond}` is slower than the clock"
+                )
+
+        then_entry = self.sm.new_state(label="then")
+        else_entry = self.sm.new_state(label="else")
+        join = self.sm.new_state(label="join")
+        state.branch = BranchTransition(
+            cond=node.cond,
+            true_next=then_entry.state_id,
+            false_next=else_entry.state_id,
+        )
+        state.default_next = None
+
+        then_tail, then_term = self.schedule_list(
+            node.then_branch, then_entry, {}, {}, loop_exits
+        )
+        if not then_term and then_tail is not None:
+            then_tail.default_next = join.state_id
+        else_tail, else_term = self.schedule_list(
+            node.else_branch, else_entry, {}, {}, loop_exits
+        )
+        if not else_term and else_tail is not None:
+            else_tail.default_next = join.state_id
+
+        ready.clear()
+        usage.clear()
+        if then_term and else_term:
+            return join, False  # join unreachable but keeps flow simple
+        return join, False
+
+    # -- loops -------------------------------------------------------------------
+
+    def place_loop(
+        self,
+        node: LoopNode,
+        state: State,
+        ready: Ready,
+        usage: Usage,
+        loop_exits: List[int],
+    ) -> State:
+        """Rolled loop -> FSM cycle.  The loop condition folds into the
+        branch transition of the state preceding each iteration."""
+        for op in node.init:
+            state, halted = self.place_op(op, state, ready, usage)
+            if halted:
+                raise SchedulingError("return inside loop init")
+
+        exit_state = self.sm.new_state(label="loop-exit")
+        body_entry = self.sm.new_state(label="loop-body")
+
+        cond = node.cond if node.cond is not None else IntLit(value=1)
+        self._attach_loop_branch(state, cond, ready, body_entry, exit_state)
+
+        loop_exits.append(exit_state.state_id)
+        body_tail, terminated = self.schedule_list(
+            node.body, body_entry, {}, {}, loop_exits
+        )
+        loop_exits.pop()
+
+        if not terminated and body_tail is not None:
+            tail_ready: Ready = {}
+            tail_usage: Usage = {}
+            tail = body_tail
+            for op in node.update:
+                tail, halted = self.place_op(op, tail, tail_ready, tail_usage)
+                if halted:
+                    raise SchedulingError("return inside loop update")
+            self._attach_loop_branch(tail, cond, tail_ready, body_entry, exit_state)
+
+        return exit_state
+
+    def _attach_loop_branch(
+        self,
+        state: State,
+        cond: Expr,
+        ready: Ready,
+        body_entry: State,
+        exit_state: State,
+    ) -> None:
+        """Fold the loop-condition test into *state*'s transition; fall
+        back to a dedicated test state when it does not fit the cycle."""
+        cond_ready = expr_delay(cond, self.library, ready)
+        if cond_ready > self.clock or state.branch is not None:
+            test = self.sm.new_state(label="loop-test")
+            state.default_next = test.state_id
+            state = test
+        state.branch = BranchTransition(
+            cond=cond,
+            true_next=body_entry.state_id,
+            false_next=exit_state.state_id,
+        )
+        state.default_next = None
+
+
+def _prune_empty_states(sm: StateMachine) -> None:
+    """Merge away states with no items and an unconditional successor."""
+    redirect: Dict[int, Optional[int]] = {}
+
+    def resolve(state_id: Optional[int]) -> Optional[int]:
+        seen = set()
+        while (
+            state_id is not None
+            and state_id in sm.states
+            and not sm.states[state_id].items
+            and sm.states[state_id].branch is None
+            and sm.states[state_id].default_next is not None
+            and state_id not in seen
+        ):
+            seen.add(state_id)
+            state_id = sm.states[state_id].default_next
+        return state_id
+
+    for state in list(sm.states.values()):
+        if state.default_next is not None:
+            state.default_next = resolve(state.default_next)
+        if state.branch is not None:
+            state.branch.true_next = resolve(state.branch.true_next)
+            state.branch.false_next = resolve(state.branch.false_next)
+    if sm.entry_state is not None:
+        sm.entry_state = resolve(sm.entry_state)
+
+    # Drop unreachable states.
+    reachable = {state.state_id for state in sm.reachable_states()}
+    for state_id in list(sm.states):
+        if state_id not in reachable:
+            del sm.states[state_id]

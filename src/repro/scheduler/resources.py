@@ -1,0 +1,149 @@
+"""Functional-unit library and resource allocation.
+
+Delays are in normalized gate-delay units (an `add` is 1.0) and areas
+in normalized gate-equivalents.  The numbers model relative magnitudes
+— a comparator is faster than an adder, a mux is cheap but not free —
+which is the level the paper operates at: its claims are about *shape*
+(who fits in a cycle, how much steering logic appears), not absolute
+nanoseconds.
+
+``ResourceAllocation`` captures the paper's two regimes:
+
+* microprocessor blocks: "little or no resource constraints but tight
+  bounds on the cycle time" — :meth:`ResourceAllocation.unlimited`;
+* ASICs: "usually area constrained, which often limits the extent of
+  parallelism" — bounded FU counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """A functional-unit class in the library."""
+
+    name: str
+    delay: float
+    area: float
+
+
+# Operator -> functional unit class name.
+OPERATOR_UNIT = {
+    "+": "alu",
+    "-": "alu",
+    "*": "mul",
+    "/": "div",
+    "%": "div",
+    "==": "cmp",
+    "!=": "cmp",
+    "<": "cmp",
+    ">": "cmp",
+    "<=": "cmp",
+    ">=": "cmp",
+    "&&": "logic",
+    "||": "logic",
+    "!": "logic",
+    "&": "logic",
+    "|": "logic",
+    "^": "logic",
+    "~": "logic",
+    "<<": "shift",
+    ">>": "shift",
+}
+
+
+DEFAULT_UNITS = {
+    "alu": FunctionalUnit("alu", delay=1.0, area=32.0),
+    "mul": FunctionalUnit("mul", delay=3.0, area=256.0),
+    "div": FunctionalUnit("div", delay=8.0, area=384.0),
+    "cmp": FunctionalUnit("cmp", delay=0.6, area=12.0),
+    "logic": FunctionalUnit("logic", delay=0.2, area=4.0),
+    "shift": FunctionalUnit("shift", delay=0.5, area=20.0),
+    "mux": FunctionalUnit("mux", delay=0.3, area=6.0),
+    "mem": FunctionalUnit("mem", delay=0.8, area=24.0),
+    "reg": FunctionalUnit("reg", delay=0.0, area=8.0),
+}
+
+
+class ResourceLibrary:
+    """Delay/area lookup for operators, steering logic, memory accesses
+    and external combinational blocks.
+
+    External functions (the ILD's ``LengthContribution_k`` /
+    ``Need_kth_Byte`` lookup logic) are registered with their own delay
+    and area via :meth:`register_external`.
+    """
+
+    def __init__(self, units: Optional[Dict[str, FunctionalUnit]] = None) -> None:
+        self.units: Dict[str, FunctionalUnit] = dict(units or DEFAULT_UNITS)
+        self.externals: Dict[str, FunctionalUnit] = {}
+
+    def unit_for_operator(self, operator: str) -> FunctionalUnit:
+        try:
+            return self.units[OPERATOR_UNIT[operator]]
+        except KeyError:
+            raise KeyError(f"no functional unit for operator {operator!r}") from None
+
+    def unit_class(self, operator: str) -> str:
+        return OPERATOR_UNIT[operator]
+
+    @property
+    def mux(self) -> FunctionalUnit:
+        return self.units["mux"]
+
+    @property
+    def mem(self) -> FunctionalUnit:
+        return self.units["mem"]
+
+    @property
+    def register(self) -> FunctionalUnit:
+        return self.units["reg"]
+
+    def register_external(
+        self, name: str, delay: float = 1.0, area: float = 40.0
+    ) -> None:
+        """Declare an external combinational block."""
+        self.externals[name] = FunctionalUnit(name, delay=delay, area=area)
+
+    def external(self, name: str) -> FunctionalUnit:
+        if name not in self.externals:
+            # Unregistered externals get a default block so exploratory
+            # runs never crash; register real numbers for benchmarks.
+            self.externals[name] = FunctionalUnit(name, delay=1.0, area=40.0)
+        return self.externals[name]
+
+
+@dataclass
+class ResourceAllocation:
+    """Per-FU-class instance limits for one schedule.
+
+    ``limits`` maps unit class name to instance count; classes absent
+    from the map are unlimited.  ``unlimited()`` is the paper's
+    microprocessor-block allocation.
+    """
+
+    limits: Dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def unlimited() -> "ResourceAllocation":
+        return ResourceAllocation(limits={})
+
+    @staticmethod
+    def asic_default() -> "ResourceAllocation":
+        """A small ASIC-style allocation: 2 ALUs, 1 comparator, plenty
+        of cheap logic."""
+        return ResourceAllocation(limits={"alu": 2, "cmp": 1, "mul": 1})
+
+    def limit_for(self, unit_class: str) -> Optional[int]:
+        return self.limits.get(unit_class)
+
+    def fits(self, usage: Dict[str, int]) -> bool:
+        """True when *usage* (class -> count) satisfies every limit."""
+        for unit_class, count in usage.items():
+            limit = self.limits.get(unit_class)
+            if limit is not None and count > limit:
+                return False
+        return True

@@ -1,0 +1,208 @@
+"""Schedule data structures: the FSMD (finite-state machine + datapath).
+
+A :class:`StateMachine` is the scheduler's output and the backend's
+input: each :class:`State` executes a tree of scheduled items (plain
+operations and *chained* conditionals) in one clock cycle, then follows
+its transition — either an unconditional ``default_next`` or a
+:class:`BranchTransition` on a condition (multi-cycle control flow:
+rolled loops, conditionals too slow to chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.frontend.ast_nodes import Expr
+from repro.ir.htg import FunctionHTG
+from repro.ir.operations import Operation
+
+
+@dataclass
+class OpItem:
+    """An operation placed in a state, with its chaining window."""
+
+    op: Operation
+    start: float
+    finish: float
+
+    def __str__(self) -> str:
+        return f"[{self.start:.2f}-{self.finish:.2f}] {self.op}"
+
+
+@dataclass
+class IfItem:
+    """A conditional chained entirely inside one state.
+
+    The branches execute combinationally under steering logic; joined
+    values pay the mux delay (modelled during scheduling).
+    """
+
+    cond: Expr
+    cond_ready: float
+    then_items: List["Item"] = field(default_factory=list)
+    else_items: List["Item"] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"if ({self.cond}) chained"
+
+
+Item = Union[OpItem, IfItem]
+
+
+@dataclass
+class BranchTransition:
+    """State-level two-way branch: multi-cycle control flow."""
+
+    cond: Expr
+    true_next: Optional[int]
+    false_next: Optional[int]
+
+
+@dataclass
+class State:
+    """One FSM state = one clock cycle of datapath activity."""
+
+    state_id: int
+    items: List[Item] = field(default_factory=list)
+    default_next: Optional[int] = None
+    branch: Optional[BranchTransition] = None
+    label: str = ""
+
+    def operations(self) -> Iterator[OpItem]:
+        """All op items in the state, branches included."""
+
+        def walk(items: List[Item]) -> Iterator[OpItem]:
+            for item in items:
+                if isinstance(item, OpItem):
+                    yield item
+                else:
+                    yield from walk(item.then_items)
+                    yield from walk(item.else_items)
+
+        return walk(self.items)
+
+    def critical_path(self) -> float:
+        """Longest combinational finish time within the state."""
+        finish = 0.0
+        for op_item in self.operations():
+            finish = max(finish, op_item.finish)
+
+        def cond_depth(items: List[Item]) -> float:
+            depth = 0.0
+            for item in items:
+                if isinstance(item, IfItem):
+                    depth = max(depth, item.cond_ready)
+                    depth = max(depth, cond_depth(item.then_items))
+                    depth = max(depth, cond_depth(item.else_items))
+            return depth
+
+        return max(finish, cond_depth(self.items))
+
+    def op_count(self) -> int:
+        return sum(1 for _ in self.operations())
+
+
+class StateMachine:
+    """The complete FSMD for one function."""
+
+    def __init__(self, func: FunctionHTG, clock_period: float) -> None:
+        self.func = func
+        self.clock_period = clock_period
+        self.states: Dict[int, State] = {}
+        self.entry_state: Optional[int] = None
+        self._next_id = 0
+
+    def new_state(self, label: str = "") -> State:
+        state = State(state_id=self._next_id, label=label)
+        self._next_id += 1
+        self.states[state.state_id] = state
+        if self.entry_state is None:
+            self.entry_state = state.state_id
+        return state
+
+    def state(self, state_id: int) -> State:
+        return self.states[state_id]
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def total_operations(self) -> int:
+        return sum(state.op_count() for state in self.states.values())
+
+    def max_critical_path(self) -> float:
+        if not self.states:
+            return 0.0
+        return max(state.critical_path() for state in self.states.values())
+
+    def is_single_cycle(self) -> bool:
+        """True when the design finishes in one state with no loops —
+        the paper's target for the ILD ("the whole buffer must be
+        decoded in one cycle")."""
+        if len(self.states) != 1:
+            return False
+        only = next(iter(self.states.values()))
+        return only.default_next is None and only.branch is None
+
+    def reachable_states(self) -> List[State]:
+        """States reachable from the entry, in BFS order."""
+        if self.entry_state is None:
+            return []
+        seen = []
+        visited = set()
+        frontier = [self.entry_state]
+        while frontier:
+            state_id = frontier.pop(0)
+            if state_id in visited or state_id is None:
+                continue
+            visited.add(state_id)
+            state = self.states[state_id]
+            seen.append(state)
+            if state.branch is not None:
+                frontier.append(state.branch.true_next)
+                frontier.append(state.branch.false_next)
+            if state.default_next is not None:
+                frontier.append(state.default_next)
+        return seen
+
+    def describe(self) -> str:
+        """Human-readable dump used by examples and benchmarks."""
+        lines = [
+            f"StateMachine({self.func.name}): {self.num_states} states, "
+            f"clock {self.clock_period:.2f}, "
+            f"critical path {self.max_critical_path():.2f}"
+        ]
+        for state in self.reachable_states():
+            lines.append(
+                f"  S{state.state_id} ({state.op_count()} ops, "
+                f"cp {state.critical_path():.2f})"
+                + (f" [{state.label}]" if state.label else "")
+            )
+            for item in state.items:
+                lines.extend(_describe_item(item, indent=4))
+            if state.branch is not None:
+                lines.append(
+                    f"    -> if ({state.branch.cond}) "
+                    f"S{state.branch.true_next} else S{state.branch.false_next}"
+                )
+            elif state.default_next is not None:
+                lines.append(f"    -> S{state.default_next}")
+            else:
+                lines.append("    -> halt")
+        return "\n".join(lines)
+
+
+def _describe_item(item: Item, indent: int) -> List[str]:
+    pad = " " * indent
+    if isinstance(item, OpItem):
+        return [f"{pad}{item}"]
+    lines = [f"{pad}if ({item.cond}) {{  // chained, cond@{item.cond_ready:.2f}"]
+    for child in item.then_items:
+        lines.extend(_describe_item(child, indent + 2))
+    if item.else_items:
+        lines.append(f"{pad}}} else {{")
+        for child in item.else_items:
+            lines.extend(_describe_item(child, indent + 2))
+    lines.append(f"{pad}}}")
+    return lines

@@ -1,0 +1,147 @@
+"""Combinational delay and functional-unit demand of expressions.
+
+``expr_delay`` computes the critical path through an expression tree
+given operand-ready times; ``operation_units`` counts how many
+instances of each FU class an operation's expression consumes — the
+resource-usage model for bounded allocations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.frontend.ast_nodes import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Expr,
+    IntLit,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+from repro.ir.operations import Operation, OpKind
+from repro.scheduler.resources import ResourceLibrary
+
+ReadyTimes = Dict[str, float]
+
+
+def expr_delay(
+    expr: Optional[Expr],
+    library: ResourceLibrary,
+    ready: Optional[ReadyTimes] = None,
+) -> float:
+    """Finish time of *expr*'s combinational cone.
+
+    *ready* maps variable/array names to the time their value becomes
+    valid within the current cycle (absent = 0.0, i.e. straight out of
+    a register at the clock edge).  Every operator adds its unit delay
+    on top of the latest-arriving operand.
+    """
+    times = ready or {}
+
+    def visit(node: Optional[Expr]) -> float:
+        if node is None or isinstance(node, IntLit):
+            return 0.0
+        if isinstance(node, Var):
+            return times.get(node.name, 0.0)
+        if isinstance(node, ArrayRef):
+            base = max(times.get(node.name, 0.0), visit(node.index))
+            return base + library.mem.delay
+        if isinstance(node, BinOp):
+            unit = library.unit_for_operator(node.op)
+            return max(visit(node.left), visit(node.right)) + unit.delay
+        if isinstance(node, UnaryOp):
+            unit = library.unit_for_operator(node.op)
+            return visit(node.operand) + unit.delay
+        if isinstance(node, Call):
+            block = library.external(node.name)
+            args = max((visit(a) for a in node.args), default=0.0)
+            return args + block.delay
+        if isinstance(node, Ternary):
+            data = max(visit(node.if_true), visit(node.if_false))
+            return max(visit(node.cond), data) + library.mux.delay
+        raise TypeError(f"unknown expression {node!r}")
+
+    return visit(expr)
+
+
+def operation_delay(
+    op: Operation,
+    library: ResourceLibrary,
+    ready: Optional[ReadyTimes] = None,
+) -> float:
+    """Finish time of an operation scheduled with the given operand
+    ready times.  Array stores pay the memory-port delay."""
+    finish = expr_delay(op.expr, library, ready)
+    if op.kind is OpKind.ASSIGN and isinstance(op.target, ArrayRef):
+        index = expr_delay(op.target.index, library, ready)
+        finish = max(finish, index) + library.mem.delay
+    return finish
+
+
+def expr_units(expr: Optional[Expr], library: ResourceLibrary) -> Dict[str, int]:
+    """FU-class demand of an expression tree (one instance per operator
+    node — no within-expression sharing, the conservative model)."""
+    usage: Dict[str, int] = {}
+
+    def bump(unit_class: str) -> None:
+        usage[unit_class] = usage.get(unit_class, 0) + 1
+
+    def visit(node: Optional[Expr]) -> None:
+        if node is None or isinstance(node, (IntLit, Var)):
+            return
+        if isinstance(node, ArrayRef):
+            bump("mem")
+            visit(node.index)
+        elif isinstance(node, BinOp):
+            bump(library.unit_class(node.op))
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, UnaryOp):
+            bump(library.unit_class(node.op))
+            visit(node.operand)
+        elif isinstance(node, Call):
+            bump(f"ext:{node.name}")
+            for arg in node.args:
+                visit(arg)
+        elif isinstance(node, Ternary):
+            bump("mux")
+            visit(node.cond)
+            visit(node.if_true)
+            visit(node.if_false)
+        else:
+            raise TypeError(f"unknown expression {node!r}")
+
+    visit(expr)
+    return usage
+
+
+def operation_units(op: Operation, library: ResourceLibrary) -> Dict[str, int]:
+    """FU-class demand of a whole operation."""
+    usage = expr_units(op.expr, library)
+    if op.kind is OpKind.ASSIGN and isinstance(op.target, ArrayRef):
+        usage["mem"] = usage.get("mem", 0) + 1
+        for unit_class, count in expr_units(op.target.index, library).items():
+            usage[unit_class] = usage.get(unit_class, 0) + count
+    return usage
+
+
+def merge_usage(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
+    """Elementwise sum of two usage maps."""
+    merged = dict(a)
+    for unit_class, count in b.items():
+        merged[unit_class] = merged.get(unit_class, 0) + count
+    return merged
+
+
+def max_usage(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
+    """Elementwise max — the mutual-exclusion model: operations in the
+    two branches of one conditional can share FU instances in the same
+    cycle ("in synthesis, mutually exclusive operations can be
+    scheduled in the same clock cycle on the same resource",
+    Section 2)."""
+    merged = dict(a)
+    for unit_class, count in b.items():
+        merged[unit_class] = max(merged.get(unit_class, 0), count)
+    return merged

@@ -1,0 +1,254 @@
+"""The top-level synthesis flow — the Spark system (paper Section 4).
+
+"This synthesis system takes a behavioral description in ANSI-C as
+input and generates synthesizable register-transfer level VHDL. ...
+Although Spark can apply the various transformations automatically, it
+also allows the designer to control the various passes and the degree
+of parallelization through script files."
+
+:class:`SparkSession` wires everything together:
+
+    C source --parse/lower--> HTG
+      --scripted transformations--> parallelized HTG
+      --chaining-aware scheduling--> FSMD
+      --binding--> registers + FU instances
+      --emission--> VHDL / Verilog (+ RTL simulation, + estimates)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.backend.interface import DesignInterface
+from repro.backend.rtl_sim import RTLResult, RTLSimulator
+from repro.backend.verilog import emit_verilog
+from repro.backend.vhdl import emit_vhdl
+from repro.binding.fu_binding import FUBinding, bind_functional_units
+from repro.binding.lifetimes import LifetimeAnalysis
+from repro.binding.register_binding import RegisterBinding, bind_registers
+from repro.estimation.area import AreaEstimate, estimate_area
+from repro.estimation.delay import TimingEstimate, estimate_timing
+from repro.interp.evaluator import Interpreter, MachineState
+from repro.ir.builder import design_from_source
+from repro.ir.htg import Design
+from repro.ir.printer import print_design
+from repro.scheduler.list_scheduler import ChainingScheduler
+from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
+from repro.scheduler.schedule import StateMachine
+from repro.transforms.base import PassManager, PassReport, SynthesisScript
+from repro.transforms.code_motion import DataflowLevelReorder, TrailblazingHoist
+from repro.transforms.cond_speculation import (
+    ConditionalSpeculation,
+    ReverseSpeculation,
+)
+from repro.transforms.cse import LocalCSE
+from repro.transforms.const_prop import ConstantPropagation
+from repro.transforms.copy_prop import CopyPropagation
+from repro.transforms.dce import DeadCodeElimination
+from repro.transforms.inline import FunctionInliner
+from repro.transforms.lower_tac import TACLowering
+from repro.transforms.speculation import EarlyConditionExecution, Speculation
+from repro.transforms.unroll import LoopUnroller
+
+
+@dataclass
+class SynthesisResult:
+    """Everything one synthesis run produces."""
+
+    design: Design
+    state_machine: StateMachine
+    reports: List[PassReport] = field(default_factory=list)
+    lifetimes: Optional[LifetimeAnalysis] = None
+    register_binding: Optional[RegisterBinding] = None
+    fu_binding: Optional[FUBinding] = None
+    area: Optional[AreaEstimate] = None
+    timing: Optional[TimingEstimate] = None
+    vhdl: str = ""
+    verilog: str = ""
+
+    def summary(self) -> str:
+        lines = [
+            f"states: {self.state_machine.num_states}",
+            f"single-cycle: {self.state_machine.is_single_cycle()}",
+            f"scheduled ops: {self.state_machine.total_operations()}",
+            f"critical path: {self.state_machine.max_critical_path():.2f}",
+        ]
+        if self.register_binding is not None:
+            lines.append(f"registers: {self.register_binding.register_count}")
+        if self.fu_binding is not None:
+            lines.append(f"fu instances: {self.fu_binding.total_instances()}")
+        if self.area is not None:
+            lines.append(str(self.area))
+        if self.timing is not None:
+            lines.append(str(self.timing))
+        return "\n".join(lines)
+
+
+class SparkSession:
+    """One synthesis run over one behavioral description."""
+
+    def __init__(
+        self,
+        source: str,
+        script: Optional[SynthesisScript] = None,
+        library: Optional[ResourceLibrary] = None,
+        interface: Optional[DesignInterface] = None,
+        externals: Optional[Dict[str, Callable[..., int]]] = None,
+    ) -> None:
+        self.script = script or SynthesisScript()
+        self.library = library or ResourceLibrary()
+        self.interface = interface
+        self.externals = externals or {}
+        self.design = design_from_source(source)
+        self.reports: List[PassReport] = []
+
+    @classmethod
+    def from_design(
+        cls,
+        design: Design,
+        script: Optional[SynthesisScript] = None,
+        library: Optional[ResourceLibrary] = None,
+        interface: Optional[DesignInterface] = None,
+        externals: Optional[Dict[str, Callable[..., int]]] = None,
+    ) -> "SparkSession":
+        """Start a session from an already-built (possibly already
+        transformed) design instead of source text — the entry point
+        for source-level pre-passes such as the Fig 16 while-to-for
+        rewrite."""
+        session = cls.__new__(cls)
+        session.script = script or SynthesisScript()
+        session.library = library or ResourceLibrary()
+        session.interface = interface
+        session.externals = externals or {}
+        session.design = design
+        session.reports = []
+        return session
+
+    # -- the flow -------------------------------------------------------------
+
+    def transform(self) -> Design:
+        """Apply the scripted transformation pipeline in the paper's
+        order: inline -> speculate -> unroll -> constant-propagate ->
+        re-speculate -> cleanup (Section 6 sequence, with fine-grain
+        passes interleaved as supporting transformations)."""
+        script = self.script
+        pure = set(script.pure_functions)
+
+        manager = PassManager()
+        if script.inline_functions:
+            manager.add(FunctionInliner(script.inline_functions))
+        if script.enable_early_condition_execution:
+            manager.add(EarlyConditionExecution())
+        if script.enable_speculation:
+            manager.add(Speculation(pure_functions=pure))
+        if script.enable_reverse_speculation:
+            manager.add(ReverseSpeculation(pure_functions=pure))
+        if script.enable_conditional_speculation:
+            manager.add(ConditionalSpeculation(pure_functions=pure))
+        if script.unroll_loops:
+            manager.add(LoopUnroller(dict(script.unroll_loops)))
+        if script.enable_constant_propagation:
+            manager.add(ConstantPropagation())
+        if script.enable_copy_propagation:
+            manager.add(CopyPropagation())
+        if script.enable_cse:
+            manager.add(LocalCSE(pure_functions=pure))
+        if script.enable_dce:
+            manager.add(
+                DeadCodeElimination(
+                    output_scalars=script.output_scalars or None,
+                    pure_functions=pure,
+                )
+            )
+        if script.enable_code_motion:
+            manager.add(TrailblazingHoist(pure_functions=pure))
+            manager.add(DataflowLevelReorder(pure_functions=pure))
+        if script.enable_tac_lowering:
+            manager.add(TACLowering())
+        manager.run_until_fixpoint(self.design)
+        self.reports.extend(manager.reports)
+        return self.design
+
+    def schedule(self) -> StateMachine:
+        """Schedule main under the script's clock and allocation."""
+        scheduler = ChainingScheduler(
+            library=self.library,
+            clock_period=self.script.clock_period,
+            allocation=ResourceAllocation(limits=dict(self.script.resource_limits)),
+        )
+        return scheduler.schedule(self.design.main)
+
+    def run(self, bind: bool = True, emit: bool = True) -> SynthesisResult:
+        """Full flow: transform, schedule, bind, estimate, emit."""
+        self.transform()
+        sm = self.schedule()
+        result = SynthesisResult(
+            design=self.design, state_machine=sm, reports=self.reports
+        )
+        boundary = set(self.script.output_scalars)
+        if bind:
+            result.lifetimes = LifetimeAnalysis(sm, boundary_live=boundary)
+            result.register_binding = bind_registers(
+                sm, boundary_live=boundary, lifetimes=result.lifetimes
+            )
+            result.fu_binding = bind_functional_units(sm, self.library)
+            result.area = estimate_area(
+                sm,
+                library=self.library,
+                fu_binding=result.fu_binding,
+                register_binding=result.register_binding,
+                boundary_live=boundary,
+            )
+            result.timing = estimate_timing(sm)
+        if emit:
+            interface = self.interface or DesignInterface(
+                name=self.design.main.name
+            )
+            result.vhdl = emit_vhdl(sm, interface)
+            result.verilog = emit_verilog(sm, interface)
+        return result
+
+    # -- validation helpers -----------------------------------------------------
+
+    def interpret(
+        self,
+        inputs: Optional[Dict[str, int]] = None,
+        array_inputs: Optional[Dict[str, List[int]]] = None,
+    ) -> MachineState:
+        """Run the *current* design through the behavioral interpreter."""
+        interp = Interpreter(self.design, externals=self.externals)
+        return interp.run(inputs=inputs, array_inputs=array_inputs)
+
+    def simulate_rtl(
+        self,
+        sm: StateMachine,
+        inputs: Optional[Dict[str, int]] = None,
+        array_inputs: Optional[Dict[str, List[int]]] = None,
+    ) -> RTLResult:
+        """Run the scheduled design through the RTL simulator."""
+        sim = RTLSimulator(sm, externals=self.externals)
+        return sim.run(inputs=inputs, array_inputs=array_inputs)
+
+    def print_code(self) -> str:
+        """The current IR as C-like text (regenerates the paper's code
+        figures at each pipeline stage)."""
+        return print_design(self.design)
+
+
+def synthesize(
+    source: str,
+    script: Optional[SynthesisScript] = None,
+    library: Optional[ResourceLibrary] = None,
+    interface: Optional[DesignInterface] = None,
+    externals: Optional[Dict[str, Callable[..., int]]] = None,
+) -> SynthesisResult:
+    """One-call convenience flow."""
+    session = SparkSession(
+        source,
+        script=script,
+        library=library,
+        interface=interface,
+        externals=externals,
+    )
+    return session.run()

@@ -1,0 +1,57 @@
+"""The coordinated transformation suite (paper Section 3).
+
+Fine-grain passes: constant propagation/folding, copy propagation,
+dead-code elimination, local CSE.  Coarse-grain passes: function
+inlining, loop unrolling, the Fig-16 while(1) source rewrite,
+speculation and the supporting code motions, and operation chaining
+with wire-variable insertion (Section 3.1).
+
+All passes share the :class:`~repro.transforms.base.Pass` protocol and
+can be sequenced with a :class:`~repro.transforms.base.PassManager`,
+mirroring Spark's script-driven pass control ("it also allows the
+designer to control the various passes ... through script files").
+"""
+
+from repro.transforms.base import Pass, PassManager, PassReport, SynthesisScript
+from repro.transforms.chaining import (
+    ChainingTrail,
+    WireVariableInserter,
+    enumerate_chaining_trails,
+)
+from repro.transforms.cond_speculation import (
+    ConditionalSpeculation,
+    ReverseSpeculation,
+)
+from repro.transforms.const_prop import ConstantPropagation
+from repro.transforms.copy_prop import CopyPropagation
+from repro.transforms.cse import LocalCSE
+from repro.transforms.dce import DeadCodeElimination
+from repro.transforms.inline import FunctionInliner, InlineError
+from repro.transforms.loop_rewrite import WhileToForRewrite
+from repro.transforms.lower_tac import TACLowering
+from repro.transforms.speculation import EarlyConditionExecution, Speculation
+from repro.transforms.unroll import LoopUnroller, UnrollError
+
+__all__ = [
+    "ChainingTrail",
+    "ConditionalSpeculation",
+    "ConstantPropagation",
+    "CopyPropagation",
+    "DeadCodeElimination",
+    "EarlyConditionExecution",
+    "FunctionInliner",
+    "InlineError",
+    "LocalCSE",
+    "LoopUnroller",
+    "Pass",
+    "PassManager",
+    "PassReport",
+    "ReverseSpeculation",
+    "Speculation",
+    "SynthesisScript",
+    "TACLowering",
+    "UnrollError",
+    "WhileToForRewrite",
+    "WireVariableInserter",
+    "enumerate_chaining_trails",
+]

@@ -1,0 +1,213 @@
+"""Pass infrastructure: the Pass protocol, reports and the PassManager.
+
+Spark drives its transformations from designer-controllable scripts
+("the designer may specify which loops to unroll and by how much",
+Section 4).  :class:`SynthesisScript` models those knobs; the
+:class:`PassManager` applies a pass pipeline and collects before/after
+metrics so the benchmarks can report exactly what each transformation
+did to the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.ir.htg import Design, FunctionHTG
+
+
+@dataclass
+class PassReport:
+    """Metrics recorded around one pass application."""
+
+    pass_name: str
+    function: str
+    changed: bool = False
+    ops_before: int = 0
+    ops_after: int = 0
+    blocks_before: int = 0
+    blocks_after: int = 0
+    details: Dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        delta_ops = self.ops_after - self.ops_before
+        extra = ", ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        text = (
+            f"{self.pass_name}({self.function}): ops {self.ops_before}->"
+            f"{self.ops_after} ({delta_ops:+d}), blocks {self.blocks_before}->"
+            f"{self.blocks_after}"
+        )
+        return f"{text} [{extra}]" if extra else text
+
+
+class Pass:
+    """Base class for all transformations.
+
+    Subclasses implement :meth:`run_on_function` (most passes) or
+    override :meth:`run_on_design` (whole-design passes such as the
+    inliner).  Passes mutate the IR in place and report what they did.
+    """
+
+    name = "pass"
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        raise NotImplementedError
+
+    def run_on_design(self, design: Design) -> List[PassReport]:
+        """Apply the pass to every function; override for passes with
+        cross-function behaviour."""
+        reports = []
+        for func in list(design.functions.values()):
+            reports.append(self.run_on_function(func, design))
+        return reports
+
+    def _start_report(self, func: FunctionHTG) -> PassReport:
+        return PassReport(
+            pass_name=self.name,
+            function=func.name,
+            ops_before=func.count_operations(),
+            blocks_before=func.count_basic_blocks(),
+        )
+
+    def _finish_report(self, report: PassReport, func: FunctionHTG) -> PassReport:
+        report.ops_after = func.count_operations()
+        report.blocks_after = func.count_basic_blocks()
+        return report
+
+
+@dataclass
+class SynthesisScript:
+    """Designer-facing knobs for the transformation pipeline, modelled
+    on Spark's script files.
+
+    Attributes
+    ----------
+    unroll_loops:
+        map from loop label (or ``"*"``) to unroll factor; ``0`` means
+        *fully* unroll — the microprocessor-block setting where
+        "latency constraints generally dictate the amount of unrolling".
+    inline_functions:
+        function names to inline (``["*"]`` inlines everything).
+    enable_speculation / enable_early_condition_execution:
+        the Section-3 code motions.
+    pure_functions:
+        external functions that are side-effect free and therefore
+        speculatable (the ILD length-contribution logic).
+    clock_period:
+        target cycle time for the chaining-aware scheduler, in
+        normalized gate-delay units.
+    resource_limits:
+        FU-type -> count; empty means the unlimited allocation used for
+        microprocessor blocks ("the Spark synthesis tool is given an
+        unlimited resource allocation").
+    output_scalars:
+        scalar variables that must stay observable (treated live at
+        exit by DCE).
+    enable_code_motion:
+        the Trailblazing-style parallelizing motions (hierarchical
+        hoisting across compound nodes + intra-block dataflow-level
+        reordering) that produce the Fig 3(b) interleaving.
+    enable_tac_lowering:
+        decompose multi-operator expressions to three-address form so
+        bounded allocations can be honoured (required for the ASIC
+        regime; the unlimited µP regime can schedule whole expression
+        cones).
+    enable_reverse_speculation / enable_conditional_speculation:
+        the remaining Section-3 code motions: push ops *into* both
+        branches (reverse speculation) and duplicate join-side ops
+        into branch tails so mutually exclusive copies can share a
+        functional unit (conditional speculation).  Off by default —
+        they trade op count for resource sharing, which pays only
+        under bounded allocations.
+    """
+
+    unroll_loops: Dict[str, int] = field(default_factory=dict)
+    inline_functions: List[str] = field(default_factory=list)
+    enable_speculation: bool = True
+    enable_early_condition_execution: bool = True
+    enable_constant_propagation: bool = True
+    enable_copy_propagation: bool = True
+    enable_dce: bool = True
+    enable_cse: bool = False
+    enable_code_motion: bool = False
+    enable_tac_lowering: bool = False
+    enable_reverse_speculation: bool = False
+    enable_conditional_speculation: bool = False
+    pure_functions: Set[str] = field(default_factory=set)
+    clock_period: float = 10.0
+    resource_limits: Dict[str, int] = field(default_factory=dict)
+    output_scalars: Set[str] = field(default_factory=set)
+
+    @staticmethod
+    def microprocessor_block(
+        pure_functions: Optional[Set[str]] = None,
+        clock_period: float = 1_000.0,
+    ) -> "SynthesisScript":
+        """The paper's target configuration: unlimited resources, full
+        unrolling, all speculative motions on (Section 6: "the Spark
+        synthesis tool is given an unlimited resource allocation and
+        full freedom to unroll loops")."""
+        return SynthesisScript(
+            unroll_loops={"*": 0},
+            inline_functions=["*"],
+            enable_speculation=True,
+            enable_early_condition_execution=True,
+            enable_cse=True,
+            enable_code_motion=True,
+            pure_functions=pure_functions or set(),
+            clock_period=clock_period,
+            resource_limits={},
+        )
+
+    @staticmethod
+    def asic(
+        resource_limits: Optional[Dict[str, int]] = None,
+        clock_period: float = 4.0,
+    ) -> "SynthesisScript":
+        """An ASIC-style configuration (Fig 1a): bounded resources,
+        loops left rolled, multi-cycle schedule."""
+        return SynthesisScript(
+            unroll_loops={},
+            inline_functions=["*"],
+            enable_speculation=False,
+            enable_early_condition_execution=True,
+            enable_tac_lowering=True,
+            pure_functions=set(),
+            clock_period=clock_period,
+            resource_limits=resource_limits or {"alu": 2, "cmp": 1},
+        )
+
+
+class PassManager:
+    """Applies a sequence of passes and accumulates their reports."""
+
+    def __init__(self, passes: Optional[Sequence[Pass]] = None) -> None:
+        self.passes: List[Pass] = list(passes) if passes else []
+        self.reports: List[PassReport] = []
+
+    def add(self, pass_obj: Pass) -> "PassManager":
+        self.passes.append(pass_obj)
+        return self
+
+    def run(self, design: Design) -> List[PassReport]:
+        """Run every pass over the design, in order."""
+        for pass_obj in self.passes:
+            self.reports.extend(pass_obj.run_on_design(design))
+        return self.reports
+
+    def run_until_fixpoint(self, design: Design, max_rounds: int = 20) -> int:
+        """Repeat the pipeline until no pass reports a change (the
+        paper's "until no further improvements can be obtained").
+        Returns the number of rounds executed."""
+        for round_index in range(1, max_rounds + 1):
+            round_changed = False
+            for pass_obj in self.passes:
+                for report in pass_obj.run_on_design(design):
+                    self.reports.append(report)
+                    round_changed = round_changed or report.changed
+            if not round_changed:
+                return round_index
+        return max_rounds
+
+    def summary(self) -> str:
+        return "\n".join(str(report) for report in self.reports if report.changed)

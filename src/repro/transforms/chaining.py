@@ -1,0 +1,629 @@
+"""Operation chaining across conditional boundaries (paper Section 3.1).
+
+Two pieces:
+
+* **Chaining trails** (Section 3.1.1, Fig 5): to chain an operation
+  with the operations feeding it in the same cycle, the heuristic
+  "traverses all the paths or trails backwards from the basic block
+  that operation 4 is in, looking for operations that are scheduled in
+  the same cycle".  :func:`enumerate_chaining_trails` enumerates those
+  trails over the CFG.
+
+* **Wire-variables** (Section 3.1.2, Figs 6-7): registers can only be
+  read the cycle after they are written, so chained values must flow
+  through *wire-variables*.  :class:`WireVariableInserter` rewrites
+  writes ``v = rhs`` into ``t = rhs; v = t`` (with ``t`` marked as a
+  wire and the ``v = t`` copy marked as a wire-copy), and inserts
+  ``t = v`` copies on trails that do not write ``v`` (the Fig 7 case),
+  so the reader can use ``t`` regardless of which trail executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.frontend.ast_nodes import Var
+from repro.ir import expr_utils
+from repro.ir.basic_block import BasicBlock
+from repro.ir.cfg import build_cfg
+from repro.ir.htg import (
+    BlockNode,
+    Design,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    LoopNode,
+    normalize_blocks,
+    parent_map,
+)
+from repro.ir.operations import Operation, OpKind
+from repro.transforms.base import Pass, PassReport
+
+
+# ---------------------------------------------------------------------------
+# Chaining trails (Fig 5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChainingTrail:
+    """One control path from the region entry down to a target block.
+
+    ``blocks`` lists the basic blocks on the trail, top-down (the paper
+    writes trails bottom-up, e.g. <BB8, BB7, BB5, BB3, BB2, BB1>; we
+    store them entry-first and render them paper-style in __str__).
+    ``conditions`` records the (condition expression, polarity) pairs
+    taken along the trail.
+    """
+
+    blocks: List[BasicBlock] = field(default_factory=list)
+    conditions: List[Tuple[object, bool]] = field(default_factory=list)
+
+    def operations(self) -> List[Operation]:
+        """All operations on the trail, in execution order."""
+        ops: List[Operation] = []
+        for block in self.blocks:
+            ops.extend(block.ops)
+        return ops
+
+    def writes_to(self, variable: str) -> List[Operation]:
+        """Operations on this trail writing *variable*."""
+        return [op for op in self.operations() if variable in op.writes()]
+
+    def last_write_to(self, variable: str) -> Optional[Operation]:
+        writes = self.writes_to(variable)
+        return writes[-1] if writes else None
+
+    def __str__(self) -> str:
+        labels = [block.label for block in reversed(self.blocks)]
+        return "<" + ", ".join(labels) + ">"
+
+
+def enumerate_chaining_trails(
+    func: FunctionHTG, target_block: BasicBlock
+) -> List[ChainingTrail]:
+    """Enumerate every trail from the function entry to *target_block*.
+
+    Returns one :class:`ChainingTrail` per simple CFG path; the target
+    block itself is excluded from the trail (the paper's trails start
+    at the block *above* the chained operation's block — BB8's trails
+    contain BB7 upward; we include the target block last so callers
+    can inspect it, mirroring <BB8, BB7, ...>).
+    """
+    cfg = build_cfg(func)
+    target_node = cfg.node_for_block(target_block)
+    trails: List[ChainingTrail] = []
+    for path in nx.all_simple_paths(
+        cfg.graph, cfg.entry.node_id, target_node.node_id
+    ):
+        trail = ChainingTrail()
+        previous = None
+        for node_id in path:
+            node = cfg.node(node_id)
+            if node.kind == "block" and node.block is not None:
+                trail.blocks.append(node.block)
+            if previous is not None:
+                prev_node = cfg.node(previous)
+                if prev_node.kind == "branch":
+                    label = cfg.edge_label(prev_node, node)
+                    if label in ("true", "false"):
+                        trail.conditions.append(
+                            (prev_node.cond, label == "true")
+                        )
+            previous = node_id
+        trails.append(trail)
+    return trails
+
+
+def chaining_sources(
+    func: FunctionHTG, reader: Operation, variable: str
+) -> Dict[str, List[Operation]]:
+    """For Fig-5-style validation: map each trail (rendered as a string)
+    to the operations on it that write *variable*.  The chaining
+    heuristic uses this to confirm every trail supplies a value."""
+    target_block = _block_of(func, reader)
+    sources: Dict[str, List[Operation]] = {}
+    for trail in enumerate_chaining_trails(func, target_block):
+        sources[str(trail)] = trail.writes_to(variable)
+    return sources
+
+
+def _block_of(func: FunctionHTG, op: Operation) -> BasicBlock:
+    for node in func.walk_nodes():
+        if isinstance(node, BlockNode):
+            for candidate in node.ops:
+                if candidate is op:
+                    return node.block
+    raise ValueError(f"operation {op} not found in {func.name}")
+
+
+# ---------------------------------------------------------------------------
+# Wire-variable insertion (Figs 6-7)
+# ---------------------------------------------------------------------------
+
+
+class WireVariableError(Exception):
+    """Raised when a wire cannot be threaded to a reader."""
+
+
+def insert_wire_variable(
+    func: FunctionHTG, reader: Operation, variable: str
+) -> str:
+    """Thread the chained value of *variable* to *reader* through a
+    wire-variable; returns the wire's name.
+
+    Every trail from the region start to the reader either has its last
+    write to *variable* rewritten (``v = rhs`` becomes ``t = rhs`` with
+    a wire-copy ``v = t`` re-committing the register value), or gains a
+    ``t = v`` copy where the trail carries no write (Fig 7).  The
+    reader's uses of *variable* are redirected to the wire.
+    """
+    existing = _reuse_existing_wire(func, reader, variable)
+    if existing is not None:
+        _redirect_reader(reader, variable, existing)
+        return existing
+
+    wire = func.fresh_variable(f"{variable}_w")
+    func.wire_variables.add(wire)
+    inserter = _WireThreader(func, variable, wire)
+    covered = inserter.cover_before(reader)
+    if not covered:
+        # No write anywhere before the reader: the value comes straight
+        # from the register; a leading copy makes the wire total.
+        lead = Operation.assign(Var(name=wire), Var(name=variable))
+        lead.is_wire_copy = True
+        _prepend_to_region(func, lead)
+    _redirect_reader(reader, variable, wire)
+    return wire
+
+
+def _reuse_existing_wire(
+    func: FunctionHTG, reader: Operation, variable: str
+) -> Optional[str]:
+    """When the variable's most recent writes are already wire-copy
+    commits ``v = t``, the wire ``t`` can serve this reader as well.
+
+    Uses a structured backward scan (not path enumeration, which is
+    exponential in the number of sequential conditionals) collecting
+    the possible last-write operations; reuse applies when every trail
+    is covered and all collected writes commit the same wire.
+    """
+    collector: List[Operation] = []
+    covered = _collect_last_writes(func, reader, variable, collector)
+    if not covered or not collector:
+        return None
+    wires: Set[str] = set()
+    for op in collector:
+        if op.is_wire_copy and isinstance(op.expr, Var):
+            wires.add(op.expr.name)
+        else:
+            return None
+    if len(wires) == 1:
+        return next(iter(wires))
+    return None
+
+
+def _collect_last_writes(
+    func: FunctionHTG,
+    reader: Operation,
+    variable: str,
+    collector: List[Operation],
+) -> bool:
+    """Collect a superset of the operations that may be the last write
+    to *variable* before *reader*; returns True when every control path
+    to the reader carries a write."""
+    parents = parent_map(func.body)
+    block_node = None
+    for node in func.walk_nodes():
+        if isinstance(node, BlockNode):
+            for candidate in node.ops:
+                if candidate is reader:
+                    block_node = node
+                    break
+        if block_node is not None:
+            break
+    if block_node is None:
+        raise ValueError(f"operation {reader} not found in {func.name}")
+
+    reader_index = _index_in(block_node.ops, reader)
+    for index in range(reader_index - 1, -1, -1):
+        if variable in block_node.ops[index].writes():
+            collector.append(block_node.ops[index])
+            return True
+
+    current: HTGNode = block_node
+    while True:
+        parent, owner_list = parents[current.uid]
+        index = next(i for i, c in enumerate(owner_list) if c is current)
+        for element in reversed(owner_list[:index]):
+            if _scan_element_for_writes(element, variable, collector):
+                return True
+        if parent is None or isinstance(parent, LoopNode):
+            return False
+        current = parent
+
+
+def _scan_element_for_writes(
+    element: HTGNode, variable: str, collector: List[Operation]
+) -> bool:
+    """Scan one element backwards; True when all paths through it (and
+    it is on every path) define the variable."""
+    if isinstance(element, BlockNode):
+        for op in reversed(element.ops):
+            if variable in op.writes():
+                collector.append(op)
+                return True
+        return False
+    if isinstance(element, IfNode):
+        then_cov = _scan_list_for_writes(element.then_branch, variable, collector)
+        else_cov = _scan_list_for_writes(element.else_branch, variable, collector)
+        return then_cov and else_cov
+    if isinstance(element, LoopNode):
+        for op in reversed(element.update):
+            if variable in op.writes():
+                collector.append(op)
+                return True
+        if _subtree_writes(element.body, variable):
+            # Writes under a data-dependent trip count: unknown shape;
+            # force fresh threading by poisoning the collector.
+            collector.append(Operation.assign(Var(name=variable), Var(name=variable)))
+            return True
+        for op in reversed(element.init):
+            if variable in op.writes():
+                collector.append(op)
+                return True
+        return False
+    return False
+
+
+def _scan_list_for_writes(
+    elements: List[HTGNode], variable: str, collector: List[Operation]
+) -> bool:
+    for element in reversed(elements):
+        if _scan_element_for_writes(element, variable, collector):
+            return True
+    return False
+
+
+def _index_in(ops: List[Operation], op: Operation) -> int:
+    for index, candidate in enumerate(ops):
+        if candidate is op:
+            return index
+    return len(ops)
+
+
+def _redirect_reader(reader: Operation, variable: str, wire: str) -> None:
+    mapping = {variable: Var(name=wire)}
+    if reader.expr is not None:
+        reader.expr = expr_utils.substitute(reader.expr, mapping)
+    if reader.target is not None and not isinstance(reader.target, Var):
+        reader.target = expr_utils.substitute(reader.target, mapping)
+
+
+def _prepend_to_region(func: FunctionHTG, op: Operation) -> None:
+    if func.body and isinstance(func.body[0], BlockNode):
+        func.body[0].block.prepend(op)
+    else:
+        func.body.insert(0, BlockNode(BasicBlock(ops=[op])))
+
+
+class _WireThreader:
+    """Walks backwards from a reader through the HTG hierarchy making
+    sure the wire is assigned on every trail.
+
+    The paper's algorithm rewrites the last write on *every* trail
+    (Fig 6: both ``o1 = a+b`` and ``o1 = d`` become wire writes).  So
+    when one branch of a conditional lacks a write, the scan continues
+    to earlier elements — only when no earlier write exists either does
+    the write-free branch receive the explicit ``wire = variable`` copy
+    of Fig 7 (reading the previous-cycle register value).
+    """
+
+    def __init__(self, func: FunctionHTG, variable: str, wire: str) -> None:
+        self.func = func
+        self.variable = variable
+        self.wire = wire
+        self.copies_inserted = 0
+        # Branch node-lists that still need the wire defined when no
+        # earlier write turns up.
+        self._pending_branches: List[List[HTGNode]] = []
+
+    # -- entry point -----------------------------------------------------
+
+    def cover_before(self, reader: Operation) -> bool:
+        """Ensure the wire is defined on every path reaching *reader*.
+        Returns False when no write exists on any path (caller adds the
+        leading register copy)."""
+        parents = parent_map(self.func.body)
+        block_node = self._block_node_of(reader)
+
+        # 1. Writes earlier in the reader's own block.
+        ops = block_node.ops
+        reader_index = _index_in(ops, reader)
+        if self._rewrite_last_write(block_node, before_index=reader_index):
+            return True
+
+        # 2. Walk up the hierarchy: previous siblings, then the parent.
+        covered = False
+        current: HTGNode = block_node
+        while not covered:
+            parent, owner_list = parents[current.uid]
+            index = next(
+                i for i, candidate in enumerate(owner_list) if candidate is current
+            )
+            for element in reversed(owner_list[:index]):
+                if self._cover_element(element, owner_list):
+                    covered = True
+                    break
+            if covered:
+                break
+            if parent is None or isinstance(parent, LoopNode):
+                # Chaining never reaches across a loop back-edge: loop
+                # bodies are their own scheduling regions.
+                break
+            current = parent
+
+        if covered:
+            # Earlier coverage also covers every pending write-free
+            # branch trail (the write happens before the conditional).
+            self._pending_branches.clear()
+            return True
+        # No earlier write: the pending branches read the register
+        # value directly (paper Fig 7, op 4: `t1 = o1`).
+        for branch in self._pending_branches:
+            self._append_register_copy(branch)
+        had_pending = bool(self._pending_branches)
+        self._pending_branches.clear()
+        return had_pending
+
+    # -- element coverage --------------------------------------------------
+
+    def _cover_element(
+        self, element: HTGNode, owner_list: List[HTGNode]
+    ) -> bool:
+        if isinstance(element, BlockNode):
+            return self._rewrite_last_write(element, before_index=len(element.ops))
+        if isinstance(element, IfNode):
+            then_writes = _subtree_writes(element.then_branch, self.variable)
+            else_writes = _subtree_writes(element.else_branch, self.variable)
+            if not then_writes and not else_writes:
+                return False
+            then_cov = self._cover_branch(element.then_branch)
+            else_cov = self._cover_branch(element.else_branch)
+            if then_cov and else_cov:
+                return True
+            if not then_cov:
+                self._pending_branches.append(element.then_branch)
+            if not else_cov:
+                self._pending_branches.append(element.else_branch)
+            return False  # keep scanning earlier for the missing trails
+        if isinstance(element, LoopNode):
+            if _subtree_writes(element.body, self.variable) or any(
+                self.variable in op.writes()
+                for op in element.init + element.update
+            ):
+                # A loop body is its own scheduling region, so the
+                # value reaching this trail sits in a register after
+                # the loop exits (whether the loop ran or not).  Tap
+                # the register right after the loop — the same
+                # previous-write rule as Fig 7's `t1 = o1` copy.
+                self._tap_register_after(element, owner_list)
+                return True
+            return False
+        return False
+
+    def _tap_register_after(
+        self, loop: LoopNode, owner_list: List[HTGNode]
+    ) -> None:
+        """Insert ``wire = variable`` immediately after *loop* in its
+        owning node list."""
+        copy = Operation.assign(Var(name=self.wire), Var(name=self.variable))
+        copy.is_wire_copy = True
+        self.copies_inserted += 1
+        position = next(
+            i for i, candidate in enumerate(owner_list) if candidate is loop
+        )
+        follower = (
+            owner_list[position + 1]
+            if position + 1 < len(owner_list)
+            else None
+        )
+        if isinstance(follower, BlockNode):
+            follower.block.prepend(copy)
+        else:
+            owner_list.insert(
+                position + 1, BlockNode(BasicBlock(ops=[copy]))
+            )
+
+    def _cover_branch(self, branch: List[HTGNode]) -> bool:
+        """Rewrite the branch's last write into the wire; False when the
+        branch carries no write at all.  Pending sub-branches registered
+        while scanning are dropped once an earlier write inside this
+        branch covers them."""
+        saved = len(self._pending_branches)
+        for element in reversed(branch):
+            if self._cover_element(element, branch):
+                del self._pending_branches[saved:]
+                return True
+        return False
+
+    def _append_register_copy(self, branch: List[HTGNode]) -> None:
+        copy = Operation.assign(Var(name=self.wire), Var(name=self.variable))
+        copy.is_wire_copy = True
+        self.copies_inserted += 1
+        if branch and isinstance(branch[-1], BlockNode):
+            branch[-1].block.append(copy)
+        else:
+            branch.append(BlockNode(BasicBlock(ops=[copy])))
+
+    def _rewrite_last_write(self, node: BlockNode, before_index: int) -> bool:
+        """Rewrite the last write to the variable within ``node.ops[:
+        before_index]`` into a wire write plus register commit."""
+        for index in range(before_index - 1, -1, -1):
+            op = node.ops[index]
+            if self.variable not in op.writes():
+                continue
+            if op.is_wire_copy and isinstance(op.expr, Var):
+                # Already `v = t_other`: chain through that wire.
+                node.ops.insert(
+                    index + 1, self._wire_copy(Var(name=op.expr.name))
+                )
+                return True
+            # v = rhs  ->  t = rhs ; v = t
+            commit = Operation.assign(
+                Var(name=self.variable), Var(name=self.wire)
+            )
+            commit.is_wire_copy = True
+            op.target = Var(name=self.wire)
+            node.ops.insert(index + 1, commit)
+            self.copies_inserted += 1
+            return True
+        return False
+
+    def _wire_copy(self, source: Var) -> Operation:
+        copy = Operation.assign(Var(name=self.wire), source)
+        copy.is_wire_copy = True
+        self.copies_inserted += 1
+        return copy
+
+    def _block_node_of(self, op: Operation) -> BlockNode:
+        for node in self.func.walk_nodes():
+            if isinstance(node, BlockNode):
+                for candidate in node.ops:
+                    if candidate is op:
+                        return node
+        raise ValueError(f"operation {op} not found in {self.func.name}")
+
+
+class WireVariableInserter(Pass):
+    """Whole-function wire insertion for single-cycle regions.
+
+    Assuming the function body is scheduled into one cycle (the
+    microprocessor-block target), every read of a variable written
+    earlier in the body must go through a wire.  The pass finds each
+    such read and applies :func:`insert_wire_variable`.
+
+    The scheduler applies the same machinery per state for multi-cycle
+    schedules.
+    """
+
+    name = "wire-variable-insertion"
+
+    def __init__(self) -> None:
+        self._wires = 0
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._wires = 0
+        changed = True
+        guard = 10_000
+        while changed and guard:
+            changed = self._insert_one(func)
+            guard -= 1
+        func.body = normalize_blocks(func.body)
+        report.changed = self._wires > 0
+        report.details["wires_inserted"] = self._wires
+        return self._finish_report(report, func)
+
+    def _insert_one(self, func: FunctionHTG) -> bool:
+        found = self._find_chained(func, func.body, set())
+        if found is None:
+            return False
+        kind, element, variable = found
+        if kind == "op":
+            insert_wire_variable(func, element, variable)
+        else:
+            # Conditions read registers unless the value was produced
+            # this cycle; reroute the condition through a wire.
+            self._wire_condition(func, element, variable)
+        self._wires += 1
+        return True
+
+    def _find_chained(self, func: FunctionHTG, nodes, written: Set[str]):
+        """Path-sensitive scan for the first read of a value written
+        earlier on the same control path (same cycle).  Mutates
+        *written* to reflect the nodes walked."""
+        for node in nodes:
+            if isinstance(node, BlockNode):
+                for op in node.ops:
+                    if not op.is_wire_copy:
+                        chained = (op.reads() & written) - func.wire_variables
+                        if chained:
+                            return "op", op, sorted(chained)[0]
+                    written |= op.writes()
+            elif isinstance(node, IfNode):
+                if node.cond is not None:
+                    cond_reads = expr_utils.variables_read(node.cond)
+                    chained = (cond_reads & written) - func.wire_variables
+                    if chained:
+                        return "cond", node, sorted(chained)[0]
+                then_written = set(written)
+                found = self._find_chained(func, node.then_branch, then_written)
+                if found is not None:
+                    return found
+                else_written = set(written)
+                found = self._find_chained(func, node.else_branch, else_written)
+                if found is not None:
+                    return found
+                written |= then_written | else_written
+            elif isinstance(node, LoopNode):
+                # A loop body is its own scheduling region: values do
+                # not chain across its boundary or back-edge.
+                body_written: Set[str] = set()
+                found = self._find_chained(func, node.body, body_written)
+                if found is not None:
+                    return found
+                written.clear()
+        return None
+
+    def _wire_condition(self, func: FunctionHTG, node, variable: str) -> None:
+        """Route a condition's read of a chained variable through a
+        wire by treating the condition like a reader operation."""
+        probe = Operation.assign(Var(name="__cond_probe"), node.cond)
+        # Temporarily place the probe where the condition evaluates: we
+        # only need the backward threading, then move the rewritten
+        # expression back into the condition.
+        parents = parent_map(func.body)
+        _, owner_list = parents[node.uid]
+        index = next(i for i, c in enumerate(owner_list) if c is node)
+        carrier = BlockNode(BasicBlock(ops=[probe]))
+        owner_list.insert(index, carrier)
+        try:
+            insert_wire_variable(func, probe, variable)
+            node.cond = probe.expr
+        finally:
+            owner_list_now = parent_map(func.body)[carrier.uid][1]
+            for position, candidate in enumerate(owner_list_now):
+                if candidate is carrier:
+                    del owner_list_now[position]
+                    break
+
+
+def _subtree_writes(nodes: List[HTGNode], variable: str) -> bool:
+    from repro.ir.htg import walk_nodes
+
+    for node in walk_nodes(nodes):
+        if isinstance(node, BlockNode):
+            for op in node.ops:
+                if variable in op.writes():
+                    return True
+        elif isinstance(node, LoopNode):
+            for op in node.init + node.update:
+                if variable in op.writes():
+                    return True
+    return False
+
+
+def _walk_in_order(nodes: List[HTGNode]):
+    """Pre-order walk used by the single-cycle wire inserter: blocks,
+    then if-condition, then branches."""
+    for node in nodes:
+        yield node
+        if isinstance(node, IfNode):
+            yield from _walk_in_order(node.then_branch)
+            yield from _walk_in_order(node.else_branch)
+        elif isinstance(node, LoopNode):
+            yield from _walk_in_order(node.body)

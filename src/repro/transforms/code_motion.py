@@ -1,0 +1,335 @@
+"""Parallelizing code motions (paper Sections 3 and 4).
+
+The paper relies on "a range of code motion techniques" — Trailblazing
+[18] hierarchical motion and percolation-style compaction — to turn the
+unrolled, constant-propagated code into the maximally parallel form of
+Fig 3(b) ("the code motion transformations can execute the Op1
+operations concurrently followed by the concurrent execution of all
+the Op2 operations").  Two motions live here:
+
+:class:`DataflowLevelReorder`
+    intra-block percolation: operations inside a basic block are
+    reordered into ASAP dataflow levels, so independent operations
+    (all the Op1 of Fig 3) become adjacent and the in-order chaining
+    scheduler packs them into the same cycle.
+
+:class:`TrailblazingHoist`
+    hierarchical motion across compound nodes: an operation *after* an
+    if- or loop-node that is independent of everything inside it moves
+    *across* the node without entering it — Trailblazing's signature
+    move ("a hierarchical approach to percolation scheduling").
+
+Both motions respect a synthesis-grade dependence test: scalar RAW /
+WAR / WAW, array dependences disambiguated at *element* granularity
+when both indices are compile-time constants (the post-unroll case),
+and calls serialized unless declared pure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.frontend.ast_nodes import ArrayRef, BinOp, Call, Expr, IntLit, Ternary, UnaryOp, Var
+from repro.ir import expr_utils
+from repro.ir.htg import BlockNode, Design, FunctionHTG, HTGNode, IfNode, LoopNode
+from repro.ir.operations import Operation, OpKind
+from repro.transforms.base import Pass, PassReport
+
+
+# --------------------------------------------------------------------------
+# Dependence testing
+# --------------------------------------------------------------------------
+
+def array_refs_in(expr: Optional[Expr]) -> List[ArrayRef]:
+    """Every ArrayRef appearing in *expr* (reads)."""
+    refs: List[ArrayRef] = []
+
+    def visit(node: Optional[Expr]) -> None:
+        if node is None:
+            return
+        if isinstance(node, ArrayRef):
+            refs.append(node)
+            visit(node.index)
+        elif isinstance(node, BinOp):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, UnaryOp):
+            visit(node.operand)
+        elif isinstance(node, Call):
+            for arg in node.args:
+                visit(arg)
+        elif isinstance(node, Ternary):
+            visit(node.cond)
+            visit(node.if_true)
+            visit(node.if_false)
+
+    visit(expr)
+    return refs
+
+
+def _read_refs(op: Operation) -> List[ArrayRef]:
+    refs = array_refs_in(op.expr)
+    if isinstance(op.target, ArrayRef):
+        refs.extend(array_refs_in(op.target.index))
+    return refs
+
+
+def _write_ref(op: Operation) -> Optional[ArrayRef]:
+    if op.kind is OpKind.ASSIGN and isinstance(op.target, ArrayRef):
+        return op.target
+    return None
+
+
+def refs_may_alias(a: ArrayRef, b: ArrayRef) -> bool:
+    """May *a* and *b* denote the same element?  Different arrays never
+    alias; equal-constant indices alias; distinct-constant indices do
+    not (the post-unroll disambiguation that makes Fig 3 legal); any
+    symbolic index is conservatively assumed to alias."""
+    if a.name != b.name:
+        return False
+    if isinstance(a.index, IntLit) and isinstance(b.index, IntLit):
+        return a.index.value == b.index.value
+    return True
+
+
+class DependenceTest:
+    """Pairwise dependence oracle over operations.
+
+    *pure_functions* are calls with no side effects (the ILD length
+    lookups); every other call is a barrier against reordering.
+    """
+
+    def __init__(self, pure_functions: Optional[Set[str]] = None) -> None:
+        self.pure = set(pure_functions or set())
+
+    def _impure(self, op: Operation) -> bool:
+        for call in expr_utils.calls_in(op.expr):
+            if call.name not in self.pure:
+                return True
+        if isinstance(op.target, ArrayRef):
+            for call in expr_utils.calls_in(op.target.index):
+                if call.name not in self.pure:
+                    return True
+        return False
+
+    def depends(self, earlier: Operation, later: Operation) -> bool:
+        """Must *later* stay after *earlier*?"""
+        if earlier.kind is OpKind.RETURN or later.kind is OpKind.RETURN:
+            return True
+        if self._impure(earlier) or self._impure(later):
+            return True
+
+        # Scalar dependences.
+        if earlier.writes() & later.reads():        # RAW
+            return True
+        if earlier.reads() & later.writes():        # WAR
+            return True
+        if earlier.writes() & later.writes():       # WAW
+            return True
+
+        # Array dependences at element granularity.
+        w_early = _write_ref(earlier)
+        w_late = _write_ref(later)
+        if w_early is not None:
+            for ref in _read_refs(later):            # RAW
+                if refs_may_alias(w_early, ref):
+                    return True
+            if w_late is not None and refs_may_alias(w_early, w_late):  # WAW
+                return True
+        if w_late is not None:
+            for ref in _read_refs(earlier):          # WAR
+                if refs_may_alias(w_late, ref):
+                    return True
+        return False
+
+    def independent_of_all(
+        self, op: Operation, ops: List[Operation]
+    ) -> bool:
+        """May *op* move above every operation in *ops*?"""
+        return not any(self.depends(other, op) for other in ops)
+
+
+# --------------------------------------------------------------------------
+# Intra-block percolation
+# --------------------------------------------------------------------------
+
+class DataflowLevelReorder(Pass):
+    """Reorder every basic block into ASAP dataflow levels.
+
+    Level(op) = 1 + max(level of ops it depends on); ties keep source
+    order (the reorder is stable), so the result is deterministic and
+    equivalent — only the interleaving changes.  After full unrolling
+    this produces exactly Fig 3(b): every Op1 at level 1, every Op2 at
+    level 2.
+    """
+
+    name = "dataflow-level-reorder"
+
+    def __init__(self, pure_functions: Optional[Set[str]] = None) -> None:
+        self.test = DependenceTest(pure_functions)
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        moved = 0
+        for node in func.walk_nodes():
+            if isinstance(node, BlockNode) and len(node.ops) > 1:
+                moved += self._reorder_block(node.ops)
+        report.changed = moved > 0
+        report.details["ops_moved"] = moved
+        return self._finish_report(report, func)
+
+    def _reorder_block(self, ops: List[Operation]) -> int:
+        n = len(ops)
+        levels = [1] * n
+        for j in range(n):
+            for i in range(j):
+                if self.test.depends(ops[i], ops[j]):
+                    levels[j] = max(levels[j], levels[i] + 1)
+        order = sorted(range(n), key=lambda idx: (levels[idx], idx))
+        if order == list(range(n)):
+            return 0
+        reordered = [ops[idx] for idx in order]
+        moved = sum(1 for pos, idx in enumerate(order) if pos != idx)
+        ops[:] = reordered
+        return moved
+
+    def block_levels(self, ops: List[Operation]) -> Dict[int, int]:
+        """Expose op-uid -> level for tests and benchmarks."""
+        n = len(ops)
+        levels = [1] * n
+        for j in range(n):
+            for i in range(j):
+                if self.test.depends(ops[i], ops[j]):
+                    levels[j] = max(levels[j], levels[i] + 1)
+        return {ops[i].uid: levels[i] for i in range(n)}
+
+
+# --------------------------------------------------------------------------
+# Hierarchical (Trailblazing) motion
+# --------------------------------------------------------------------------
+
+def _node_operations(node: HTGNode) -> List[Operation]:
+    """Every operation inside *node*, loop init/update included."""
+    ops: List[Operation] = []
+
+    def visit(item: HTGNode) -> None:
+        if isinstance(item, BlockNode):
+            ops.extend(item.ops)
+            return
+        if isinstance(item, LoopNode):
+            ops.extend(item.init)
+            ops.extend(item.update)
+        for child_list in item.child_lists():
+            for child in child_list:
+                visit(child)
+
+    visit(node)
+    return ops
+
+
+def _node_condition_reads(node: HTGNode) -> Set[str]:
+    """Scalar reads of every condition inside *node* (if/loop conds are
+    read at control time; an op writing them cannot cross)."""
+    names: Set[str] = set()
+
+    def visit(item: HTGNode) -> None:
+        if isinstance(item, (IfNode, LoopNode)) and item.cond is not None:
+            names.update(expr_utils.variables_read(item.cond))
+        for child_list in item.child_lists():
+            for child in child_list:
+                visit(child)
+
+    visit(node)
+    return names
+
+
+class TrailblazingHoist(Pass):
+    """Move operations backwards *across* compound nodes they are
+    independent of, without entering them.
+
+    Within each node list, an operation sitting in a block after an
+    if-/loop-node hops over the compound node (and lands at the end of
+    the block before it) when no dependence ties it to anything inside
+    the node or to the node's condition.  Iterates to a fixpoint within
+    the region, so an op can hop over several compound nodes — the
+    hierarchical percolation of Trailblazing [18].
+    """
+
+    name = "trailblazing-hoist"
+
+    def __init__(self, pure_functions: Optional[Set[str]] = None) -> None:
+        self.test = DependenceTest(pure_functions)
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        moved = self._hoist_in_list(func.body)
+        for node in func.walk_nodes():
+            for child_list in node.child_lists():
+                moved += self._hoist_in_list(child_list)
+        report.changed = moved > 0
+        report.details["ops_hoisted"] = moved
+        return self._finish_report(report, func)
+
+    def _hoist_in_list(self, nodes: List[HTGNode]) -> int:
+        moved_total = 0
+        changed = True
+        while changed:
+            changed = False
+            for position in range(1, len(nodes)):
+                node = nodes[position]
+                previous = nodes[position - 1]
+                if not isinstance(node, BlockNode):
+                    continue
+                if not isinstance(previous, (IfNode, LoopNode)):
+                    continue
+                hops = self._hop_ops(node, previous, nodes, position)
+                if hops:
+                    moved_total += hops
+                    changed = True
+        return moved_total
+
+    def _hop_ops(
+        self,
+        block: BlockNode,
+        compound: HTGNode,
+        nodes: List[HTGNode],
+        position: int,
+    ) -> int:
+        """Move every movable op of *block* above *compound*."""
+        inside = _node_operations(compound)
+        cond_reads = _node_condition_reads(compound)
+        landing = self._landing_block(nodes, position - 1)
+        movable: List[Operation] = []
+        blocked: List[Operation] = []
+        for op in block.ops:
+            # An op can hop only if nothing ahead of it in its own
+            # block blocks it, and it is independent of the compound
+            # node's contents and condition reads.
+            if blocked and not self.test.independent_of_all(op, blocked):
+                blocked.append(op)
+                continue
+            if not self.test.independent_of_all(op, inside):
+                blocked.append(op)
+                continue
+            if op.writes() & cond_reads:
+                blocked.append(op)
+                continue
+            if op.kind is OpKind.RETURN:
+                blocked.append(op)
+                continue
+            movable.append(op)
+        if not movable:
+            return 0
+        block.ops[:] = blocked
+        landing.ops.extend(movable)
+        return len(movable)
+
+    @staticmethod
+    def _landing_block(nodes: List[HTGNode], compound_pos: int) -> BlockNode:
+        """The block immediately above the compound node; created if
+        absent."""
+        if compound_pos > 0 and isinstance(nodes[compound_pos - 1], BlockNode):
+            return nodes[compound_pos - 1]
+        landing = BlockNode()
+        nodes.insert(compound_pos, landing)
+        return landing

@@ -1,0 +1,209 @@
+"""Reverse and conditional speculation (paper Section 3).
+
+"Conditional execution duplicates operations into the branches of
+conditional blocks to enhance resource utilization. These
+transformations have been explored and extended to a set of code
+motions that include reverse speculation and early condition execution."
+
+* :class:`ReverseSpeculation` moves operations from *before* an
+  if-node *into both branches*: the op then executes under either
+  guard, freeing the pre-condition cycle and letting mutually exclusive
+  copies share one functional unit.
+* :class:`ConditionalSpeculation` duplicates operations from *after*
+  the join into the tails of both branches, again trading copies for
+  schedule length.
+
+Both are resource-utilization motions rather than enabling motions, so
+in this reproduction they are opt-in passes with explicit selectors,
+plus an automatic mode used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.frontend.ast_nodes import Var
+from repro.ir import expr_utils
+from repro.ir.basic_block import BasicBlock
+from repro.ir.htg import (
+    BlockNode,
+    Design,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    normalize_blocks,
+    parent_map,
+)
+from repro.ir.operations import Operation, OpKind
+from repro.transforms.base import Pass, PassReport
+from repro.transforms.speculation import _op_calls_pure, node_reads, node_writes
+
+
+def _branch_tail_block(branch: List[HTGNode]) -> BlockNode:
+    """The trailing block of a branch, created if needed."""
+    if branch and isinstance(branch[-1], BlockNode):
+        return branch[-1]
+    tail = BlockNode(BasicBlock())
+    branch.append(tail)
+    return tail
+
+
+def _branch_head_block(branch: List[HTGNode]) -> BlockNode:
+    if branch and isinstance(branch[0], BlockNode):
+        return branch[0]
+    head = BlockNode(BasicBlock())
+    branch.insert(0, head)
+    return head
+
+
+class ReverseSpeculation(Pass):
+    """Move ops immediately preceding an if-node into both branches.
+
+    An op is movable when it is a pure scalar assignment, the condition
+    does not read its target, and no other op between it and the
+    if-node (there are none — only the block tail is considered)
+    conflicts.  Moving is semantics-preserving because both branches
+    together cover every path.
+    """
+
+    name = "reverse-speculation"
+
+    def __init__(self, pure_functions: Optional[Set[str]] = None) -> None:
+        self.pure_functions = set(pure_functions or ())
+        self._moved = 0
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._moved = 0
+        changed = True
+        while changed:
+            changed = self._move_one(func)
+        func.body = normalize_blocks(func.body)
+        report.changed = self._moved > 0
+        report.details["reverse_speculated"] = self._moved
+        return self._finish_report(report, func)
+
+    def _move_one(self, func: FunctionHTG) -> bool:
+        parents = parent_map(func.body)
+        for node in func.walk_nodes():
+            if not isinstance(node, IfNode):
+                continue
+            _, owner_list = parents[node.uid]
+            index = next(
+                i for i, candidate in enumerate(owner_list) if candidate is node
+            )
+            if index == 0 or not isinstance(owner_list[index - 1], BlockNode):
+                continue
+            block = owner_list[index - 1]
+            if not block.ops:
+                continue
+            op = block.ops[-1]
+            if not self._movable(op, node):
+                continue
+            block.block.remove(op)
+            then_copy = op.clone()
+            else_copy = op.clone()
+            _branch_head_block(node.then_branch).block.prepend(then_copy)
+            _branch_head_block(node.else_branch).block.prepend(else_copy)
+            self._moved += 1
+            return True
+        return False
+
+    def _movable(self, op: Operation, if_node: IfNode) -> bool:
+        if op.kind is not OpKind.ASSIGN or not isinstance(op.target, Var):
+            return False
+        if op.has_call() and not _op_calls_pure(op, self.pure_functions, None):
+            return False
+        if op.is_wire_copy:
+            return False
+        cond_reads = expr_utils.variables_read(if_node.cond)
+        if op.target.name in cond_reads:
+            return False
+        return True
+
+
+class ConditionalSpeculation(Pass):
+    """Duplicate ops following an if-node's join into both branch tails.
+
+    "Conditional execution duplicates operations into the branches of
+    conditional blocks" — profitable when the branches have spare
+    resources in the same cycle, because the two copies are mutually
+    exclusive and can share a functional unit (Section 2).
+    """
+
+    name = "conditional-speculation"
+
+    def __init__(
+        self,
+        pure_functions: Optional[Set[str]] = None,
+        max_ops_per_if: int = 4,
+    ) -> None:
+        self.pure_functions = set(pure_functions or ())
+        self.max_ops_per_if = max_ops_per_if
+        self._duplicated = 0
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._duplicated = 0
+        budget = {}
+        changed = True
+        while changed:
+            changed = self._duplicate_one(func, budget)
+        func.body = normalize_blocks(func.body)
+        report.changed = self._duplicated > 0
+        report.details["conditionally_speculated"] = self._duplicated
+        return self._finish_report(report, func)
+
+    def _duplicate_one(self, func: FunctionHTG, budget) -> bool:
+        parents = parent_map(func.body)
+        for node in func.walk_nodes():
+            if not isinstance(node, IfNode):
+                continue
+            if budget.get(node.uid, 0) >= self.max_ops_per_if:
+                continue
+            # The branches must fall through (no returns) or moving an
+            # op into them would change whether it executes.
+            if self._branch_exits(node.then_branch) or self._branch_exits(
+                node.else_branch
+            ):
+                continue
+            _, owner_list = parents[node.uid]
+            index = next(
+                i for i, candidate in enumerate(owner_list) if candidate is node
+            )
+            if index + 1 >= len(owner_list):
+                continue
+            follower = owner_list[index + 1]
+            if not isinstance(follower, BlockNode) or not follower.ops:
+                continue
+            op = follower.ops[0]
+            if not self._movable(op):
+                continue
+            follower.block.remove(op)
+            _branch_tail_block(node.then_branch).block.append(op.clone())
+            _branch_tail_block(node.else_branch).block.append(op.clone())
+            budget[node.uid] = budget.get(node.uid, 0) + 1
+            self._duplicated += 1
+            return True
+        return False
+
+    @staticmethod
+    def _branch_exits(branch: List[HTGNode]) -> bool:
+        from repro.ir.htg import BreakNode, walk_nodes
+
+        for inner in walk_nodes(branch):
+            if isinstance(inner, BreakNode):
+                return True
+            if isinstance(inner, BlockNode):
+                if any(op.kind is OpKind.RETURN for op in inner.ops):
+                    return True
+        return False
+
+    def _movable(self, op: Operation) -> bool:
+        if op.kind is not OpKind.ASSIGN or not isinstance(op.target, Var):
+            return False
+        if op.has_call() and not _op_calls_pure(op, self.pure_functions, None):
+            return False
+        if op.is_wire_copy:
+            return False
+        return True

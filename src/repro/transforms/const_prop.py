@@ -1,0 +1,251 @@
+"""Constant propagation and folding over the HTG.
+
+The paper uses constant propagation as the *enabling* step after full
+loop unrolling: "since the loop has been completely unrolled, the
+constant assignment of i = 1 can be propagated throughout the code and
+the loop index variable i can be eliminated" (Section 6, Fig 14).
+
+The pass is a structured abstract interpretation over the HTG with a
+flat constant lattice (constant / unknown).  Branch merges intersect
+environments; loops conservatively invalidate everything the loop can
+write.  Optionally the pass is restricted to a set of variables
+(``only_vars``) so the reproduction can propagate *only the loop index*
+and regenerate Fig 14 literally, where ``NextStartByte`` stays symbolic
+even though its initial value is known.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.frontend.ast_nodes import Expr, IntLit, Var
+from repro.ir import expr_utils
+from repro.ir.htg import (
+    BlockNode,
+    BreakNode,
+    Design,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    LoopNode,
+    normalize_blocks,
+)
+from repro.ir.operations import OpKind
+from repro.transforms.base import Pass, PassReport
+
+# Lattice: var -> int means "known constant"; absence means unknown.
+_Env = Dict[str, int]
+
+
+class ConstantPropagation(Pass):
+    """Flow-sensitive constant propagation with folding.
+
+    Parameters
+    ----------
+    fold_branches:
+        when True, an if-node whose condition folds to a constant is
+        replaced by the taken branch (and for-loops whose condition is
+        statically false are deleted).
+    only_vars:
+        restrict propagation to these variables (None = all).  Folding
+        of literal arithmetic still happens everywhere.
+    """
+
+    name = "constant-propagation"
+
+    def __init__(
+        self,
+        fold_branches: bool = True,
+        only_vars: Optional[Set[str]] = None,
+    ) -> None:
+        self.fold_branches = fold_branches
+        self.only_vars = only_vars
+        self._changed = False
+        self._folded_branches = 0
+        self._substitutions = 0
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._changed = False
+        self._folded_branches = 0
+        self._substitutions = 0
+        func.body = self._process_nodes(func.body, {})[0]
+        func.body = normalize_blocks(func.body)
+        report.changed = self._changed
+        report.details["folded_branches"] = self._folded_branches
+        report.details["substitutions"] = self._substitutions
+        return self._finish_report(report, func)
+
+    # -- environment helpers ---------------------------------------------
+
+    def _propagatable(self, name: str) -> bool:
+        return self.only_vars is None or name in self.only_vars
+
+    def _rewrite(self, expr: Optional[Expr], env: _Env) -> Optional[Expr]:
+        """Substitute known constants into *expr* and fold."""
+        if expr is None:
+            return None
+        mapping = {
+            name: IntLit(value=value)
+            for name, value in env.items()
+            if self._propagatable(name)
+        }
+        substituted = expr_utils.substitute(expr, mapping) if mapping else expr
+        folded = expr_utils.fold_constants(substituted)
+        if not expr_utils.expr_equal(folded, expr):
+            self._changed = True
+            self._substitutions += 1
+        return folded
+
+    @staticmethod
+    def _merge(a: _Env, b: _Env) -> _Env:
+        """Lattice meet: keep bindings present and equal in both."""
+        return {
+            name: value
+            for name, value in a.items()
+            if name in b and b[name] == value
+        }
+
+    # -- structured walk ---------------------------------------------------
+
+    def _process_nodes(
+        self, nodes: List[HTGNode], env: _Env
+    ) -> (List[HTGNode], _Env, bool):
+        """Process a node list with incoming *env*.
+
+        Returns (rewritten nodes, outgoing env, falls_through).  A
+        sequence does not fall through when it unconditionally breaks
+        or returns.
+        """
+        result: List[HTGNode] = []
+        current = dict(env)
+        for index, node in enumerate(nodes):
+            if isinstance(node, BlockNode):
+                falls = self._process_block(node, current)
+                result.append(node)
+                if not falls:
+                    return result, current, False
+            elif isinstance(node, IfNode):
+                replacement, current, falls = self._process_if(node, current)
+                result.extend(replacement)
+                if not falls:
+                    return result, current, False
+            elif isinstance(node, LoopNode):
+                replacement, current = self._process_loop(node, current)
+                result.extend(replacement)
+            elif isinstance(node, BreakNode):
+                result.append(node)
+                return result, current, False
+            else:
+                result.append(node)
+        return result, current, True
+
+    def _process_block(self, node: BlockNode, env: _Env) -> bool:
+        """Rewrite a block's ops against *env*, updating it in place.
+        Returns False when the block ends in a return."""
+        for op in node.ops:
+            op.expr = self._rewrite(op.expr, env)
+            if op.target is not None and not isinstance(op.target, Var):
+                op.target = self._rewrite_target(op.target, env)
+            if op.kind is OpKind.ASSIGN and isinstance(op.target, Var):
+                name = op.target.name
+                if isinstance(op.expr, IntLit):
+                    env[name] = op.expr.value
+                else:
+                    env.pop(name, None)
+            elif op.kind is OpKind.RETURN:
+                return False
+        return True
+
+    def _rewrite_target(self, target: Expr, env: _Env) -> Expr:
+        """Array store targets: rewrite the index expression only."""
+        from repro.frontend.ast_nodes import ArrayRef
+
+        if isinstance(target, ArrayRef):
+            return ArrayRef(
+                line=target.line,
+                name=target.name,
+                index=self._rewrite(target.index, env),
+            )
+        return target
+
+    def _process_if(self, node: IfNode, env: _Env):
+        node.cond = self._rewrite(node.cond, env)
+        if self.fold_branches and isinstance(node.cond, IntLit):
+            taken = node.then_branch if node.cond.value else node.else_branch
+            self._changed = True
+            self._folded_branches += 1
+            taken_nodes, out_env, falls = self._process_nodes(taken, env)
+            return taken_nodes, out_env, falls
+
+        then_nodes, then_env, then_falls = self._process_nodes(
+            node.then_branch, env
+        )
+        else_nodes, else_env, else_falls = self._process_nodes(
+            node.else_branch, env
+        )
+        node.then_branch = then_nodes
+        node.else_branch = else_nodes
+        if then_falls and else_falls:
+            merged = self._merge(then_env, else_env)
+        elif then_falls:
+            merged = then_env
+        elif else_falls:
+            merged = else_env
+        else:
+            merged = {}
+        return [node], merged, then_falls or else_falls
+
+    def _process_loop(self, node: LoopNode, env: _Env):
+        current = dict(env)
+        init_block = BlockNode()
+        init_block.block.ops = node.init
+        self._process_block(init_block, current)
+
+        # A loop whose condition is false on *entry* (with the init
+        # values) never runs at all.  Probe on a clone without touching
+        # the change-tracking flags.
+        if self.fold_branches and node.cond is not None:
+            saved = (self._changed, self._substitutions)
+            entry_cond = self._rewrite(expr_utils.clone(node.cond), current)
+            self._changed, self._substitutions = saved
+            if isinstance(entry_cond, IntLit) and not entry_cond.value:
+                self._changed = True
+                self._folded_branches += 1
+                replacement: List[HTGNode] = []
+                if node.init:
+                    replacement.append(init_block)
+                return replacement, current
+
+        # Anything the loop may write is unknown from the second
+        # iteration on; invalidate before touching cond/body.
+        written = self._loop_written_vars(node)
+        loop_env = {
+            name: value for name, value in current.items() if name not in written
+        }
+        if node.cond is not None:
+            node.cond = self._rewrite(node.cond, loop_env)
+        body_nodes, _, _ = self._process_nodes(node.body, dict(loop_env))
+        node.body = body_nodes
+        update_block = BlockNode()
+        update_block.block.ops = node.update
+        self._process_block(update_block, dict(loop_env))
+        return [node], loop_env
+
+    @staticmethod
+    def _loop_written_vars(node: LoopNode) -> Set[str]:
+        from repro.ir.htg import walk_nodes
+
+        written: Set[str] = set()
+        for op in node.update:
+            written |= op.writes()
+        for inner in walk_nodes(node.body):
+            if isinstance(inner, BlockNode):
+                for op in inner.ops:
+                    written |= op.writes()
+            elif isinstance(inner, LoopNode):
+                for op in inner.init:
+                    written |= op.writes()
+                for op in inner.update:
+                    written |= op.writes()
+        return written

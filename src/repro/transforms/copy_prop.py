@@ -1,0 +1,171 @@
+"""Copy propagation over the HTG.
+
+Replaces reads of ``x`` with ``y`` after a copy ``x = y`` while the
+copy is still valid.  In the paper's flow, copy propagation cleans up
+after speculation and wire-variable insertion ("a dead code elimination
+pass later removes any unnecessary variables and variable copies" —
+copy propagation is what makes those copies dead).
+
+Same structured abstract-interpretation skeleton as constant
+propagation; the environment maps a variable to the variable it copies.
+A binding ``x -> y`` dies when either x or y is reassigned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.frontend.ast_nodes import ArrayRef, Expr, Var
+from repro.ir import expr_utils
+from repro.ir.htg import (
+    BlockNode,
+    BreakNode,
+    Design,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    LoopNode,
+)
+from repro.ir.operations import OpKind
+from repro.transforms.base import Pass, PassReport
+
+_Env = Dict[str, str]  # copy target -> copy source
+
+
+class CopyPropagation(Pass):
+    """Flow-sensitive scalar copy propagation.
+
+    ``preserve_wire_copies``: the chaining pass inserts deliberate
+    copies through wire-variables (Figs 6-7); with this flag set those
+    are left intact so a post-scheduling cleanup does not undo the
+    chaining transform.
+    """
+
+    name = "copy-propagation"
+
+    def __init__(self, preserve_wire_copies: bool = True) -> None:
+        self.preserve_wire_copies = preserve_wire_copies
+        self._changed = False
+        self._substitutions = 0
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._changed = False
+        self._substitutions = 0
+        self._process_nodes(func.body, {})
+        report.changed = self._changed
+        report.details["substitutions"] = self._substitutions
+        return self._finish_report(report, func)
+
+    # -- env helpers -----------------------------------------------------
+
+    def _rewrite(self, expr: Optional[Expr], env: _Env) -> Optional[Expr]:
+        if expr is None or not env:
+            return expr
+        mapping = {name: Var(name=source) for name, source in env.items()}
+        rewritten = expr_utils.substitute(expr, mapping)
+        if not expr_utils.expr_equal(rewritten, expr):
+            self._changed = True
+            self._substitutions += 1
+            return rewritten
+        return expr
+
+    @staticmethod
+    def _kill(env: _Env, name: str) -> None:
+        env.pop(name, None)
+        for target in [t for t, s in env.items() if s == name]:
+            env.pop(target, None)
+
+    @staticmethod
+    def _merge(a: _Env, b: _Env) -> _Env:
+        return {
+            name: source
+            for name, source in a.items()
+            if b.get(name) == source
+        }
+
+    # -- structured walk ---------------------------------------------------
+
+    def _process_nodes(self, nodes: List[HTGNode], env: _Env) -> (dict, bool):
+        current = dict(env)
+        for node in nodes:
+            if isinstance(node, BlockNode):
+                if not self._process_ops(node.ops, current):
+                    return current, False
+            elif isinstance(node, IfNode):
+                node.cond = self._rewrite(node.cond, current)
+                then_env, then_falls = self._process_nodes(
+                    node.then_branch, current
+                )
+                else_env, else_falls = self._process_nodes(
+                    node.else_branch, current
+                )
+                if then_falls and else_falls:
+                    current = self._merge(then_env, else_env)
+                elif then_falls:
+                    current = then_env
+                elif else_falls:
+                    current = else_env
+                else:
+                    return current, False
+            elif isinstance(node, LoopNode):
+                current = self._process_loop(node, current)
+            elif isinstance(node, BreakNode):
+                return current, False
+        return current, True
+
+    def _process_ops(self, ops, env: _Env) -> bool:
+        for op in ops:
+            if not (op.is_wire_copy and self.preserve_wire_copies):
+                op.expr = self._rewrite(op.expr, env)
+                if isinstance(op.target, ArrayRef):
+                    op.target = ArrayRef(
+                        line=op.target.line,
+                        name=op.target.name,
+                        index=self._rewrite(op.target.index, env),
+                    )
+            if op.kind is OpKind.ASSIGN and isinstance(op.target, Var):
+                name = op.target.name
+                self._kill(env, name)
+                if (
+                    op.is_copy()
+                    and op.expr.name != name
+                    and not op.is_wire_copy
+                ):
+                    env[name] = op.expr.name
+            elif op.kind is OpKind.RETURN:
+                return False
+        return True
+
+    def _process_loop(self, node: LoopNode, env: _Env) -> _Env:
+        current = dict(env)
+        self._process_ops(node.init, current)
+        written = self._loop_written(node)
+        loop_env = {
+            name: source
+            for name, source in current.items()
+            if name not in written and source not in written
+        }
+        if node.cond is not None:
+            node.cond = self._rewrite(node.cond, loop_env)
+        self._process_nodes(node.body, dict(loop_env))
+        self._process_ops(node.update, dict(loop_env))
+        return loop_env
+
+    @staticmethod
+    def _loop_written(node: LoopNode) -> Set[str]:
+        from repro.ir.htg import walk_nodes
+
+        written: Set[str] = set()
+        for op in node.update:
+            written |= op.writes()
+        for inner in walk_nodes(node.body):
+            if isinstance(inner, BlockNode):
+                for op in inner.ops:
+                    written |= op.writes()
+            elif isinstance(inner, LoopNode):
+                for op in inner.init:
+                    written |= op.writes()
+                for op in inner.update:
+                    written |= op.writes()
+        return written

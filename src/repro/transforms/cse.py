@@ -1,0 +1,83 @@
+"""Local common-subexpression elimination.
+
+Within a basic block, repeated pure right-hand sides are computed once
+into the first target and reused.  In synthesis terms this shares a
+functional unit *and* removes wiring; the cost model difference the
+paper highlights (Section 2: mux and control cost) is why this stays
+local and conservative — cross-block CSE can *add* steering logic,
+which is exactly what the paper warns about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.frontend.ast_nodes import Var
+from repro.ir import expr_utils
+from repro.ir.htg import BlockNode, Design, FunctionHTG
+from repro.ir.operations import Operation, OpKind
+from repro.transforms.base import Pass, PassReport
+
+
+class LocalCSE(Pass):
+    """Basic-block-local CSE over pure expressions."""
+
+    name = "local-cse"
+
+    def __init__(self, pure_functions=None, min_size: int = 2) -> None:
+        self.pure_functions = set(pure_functions or ())
+        # Only share expressions of at least this many nodes; sharing a
+        # lone variable or literal buys nothing in hardware.
+        self.min_size = min_size
+        self._replaced = 0
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._replaced = 0
+        for node in func.walk_nodes():
+            if isinstance(node, BlockNode):
+                self._process_block(node)
+        report.changed = self._replaced > 0
+        report.details["reused_expressions"] = self._replaced
+        return self._finish_report(report, func)
+
+    def _process_block(self, node: BlockNode) -> None:
+        # available: canonical expr text -> (expr, defining var)
+        available: Dict[str, Tuple[object, str]] = {}
+        for op in node.ops:
+            if op.kind is not OpKind.ASSIGN:
+                available.clear()
+                continue
+            rhs = op.expr
+            key = str(rhs)
+            if (
+                key in available
+                and expr_utils.expr_equal(available[key][0], rhs)
+                and isinstance(op.target, Var)
+            ):
+                _, source = available[key]
+                op.expr = Var(name=source)
+                self._replaced += 1
+
+            self._invalidate(available, op)
+
+            if (
+                isinstance(op.target, Var)
+                and expr_utils.is_pure(op.expr, self.pure_functions)
+                and not op.arrays_read()
+                and expr_utils.expr_size(op.expr) >= self.min_size
+            ):
+                available[str(op.expr)] = (expr_utils.clone(op.expr), op.target.name)
+
+    @staticmethod
+    def _invalidate(available: Dict[str, Tuple[object, str]], op: Operation) -> None:
+        written = op.writes()
+        if not written:
+            return
+        stale = [
+            key
+            for key, (expr, source) in available.items()
+            if source in written or (expr_utils.variables_read(expr) & written)
+        ]
+        for key in stale:
+            del available[key]

@@ -1,0 +1,126 @@
+"""Dead-code elimination.
+
+Removes scalar assignments whose results are never observed.  The
+paper relies on DCE twice: after unrolling + constant propagation (the
+eliminated loop index update ops) and after wire-variable insertion
+("a dead code elimination pass later removes any unnecessary variables
+and variable copies", Section 3.1.2).
+
+Observability: array stores and impure calls are always live; return
+values are live; scalars listed in ``output_scalars`` are live at
+function exit.  The pass iterates liveness + sweep to a fixpoint so
+chains of dead copies collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.ir.cfg import build_cfg
+from repro.ir.dataflow import compute_liveness
+from repro.ir.htg import BlockNode, Design, FunctionHTG, normalize_blocks
+from repro.ir.operations import OpKind
+from repro.transforms.base import Pass, PassReport
+
+
+class DeadCodeElimination(Pass):
+    """Liveness-driven removal of dead scalar assignments.
+
+    Parameters
+    ----------
+    output_scalars:
+        scalars observable after the function ends (design outputs);
+        ``None`` keeps every scalar live at exit for `main` (safe
+        default so behavioral equivalence tests can inspect any
+        variable) while helper functions only keep their return values.
+    pure_functions:
+        calls to these external functions may be deleted when their
+        results are dead.
+    """
+
+    name = "dead-code-elimination"
+
+    def __init__(
+        self,
+        output_scalars: Optional[Set[str]] = None,
+        pure_functions: Optional[Set[str]] = None,
+    ) -> None:
+        self.output_scalars = output_scalars
+        self.pure_functions = pure_functions or set()
+        self._removed = 0
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._removed = 0
+        while self._sweep_once(func, design):
+            pass
+        func.body = normalize_blocks(func.body)
+        report.changed = self._removed > 0
+        report.details["removed_ops"] = self._removed
+        return self._finish_report(report, func)
+
+    def _boundary_live(self, func: FunctionHTG) -> Set[str]:
+        if self.output_scalars is not None:
+            return set(self.output_scalars)
+        if func.name == Design.MAIN:
+            # Conservative default: every scalar main writes is treated
+            # as an observable design output.
+            live: Set[str] = set()
+            for op in func.walk_operations():
+                live |= op.writes()
+            return live
+        return set()
+
+    def _sweep_once(self, func: FunctionHTG, design: Design) -> bool:
+        cfg = build_cfg(func)
+        liveness = compute_liveness(cfg, boundary_live=self._boundary_live(func))
+        removed_any = False
+        for node in func.walk_nodes():
+            if not isinstance(node, BlockNode):
+                continue
+            survivors = []
+            for op in node.ops:
+                if self._is_dead(op, liveness, design):
+                    removed_any = True
+                    self._removed += 1
+                else:
+                    survivors.append(op)
+            node.block.ops = survivors
+        return removed_any
+
+    def _is_dead(self, op, liveness, design: Design) -> bool:
+        if op.kind is not OpKind.ASSIGN:
+            return False
+        writes = op.writes()
+        if not writes:
+            return False  # array store: observable
+        if op.has_call() and not self._calls_are_pure(op, design):
+            return False
+        live_out = liveness.op_live_out.get(op.uid)
+        if live_out is None:
+            # Op not reached by the analysis (e.g. loop header ops kept
+            # in the HTG but duplicated in the CFG); keep it.
+            return False
+        return not (writes & live_out)
+
+    def _calls_are_pure(self, op, design: Design) -> bool:
+        from repro.ir import expr_utils
+
+        for call in expr_utils.calls_in(op.expr):
+            defined = call.name in design.functions
+            if not defined and call.name not in self.pure_functions:
+                return False
+            if defined:
+                # Defined functions may write shared arrays or call
+                # impure externals; treat either as impure.
+                callee = design.function(call.name)
+                for inner in callee.walk_operations():
+                    if inner.arrays_written():
+                        return False
+                for inner_call in design.called_functions(callee):
+                    if (
+                        inner_call not in design.functions
+                        and inner_call not in self.pure_functions
+                    ):
+                        return False
+        return True

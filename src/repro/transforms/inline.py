@@ -1,0 +1,341 @@
+"""Function inlining (paper Fig 12).
+
+"Inlining refers to replacing a call to a function or a subroutine with
+the body of the function ... This transformation allows the
+optimization of the inlined function with the rest of the code."
+
+Scalars of the callee (parameters and locals) are renamed into a
+private namespace; arrays are shared storage (Fig 10's
+``CalculateLength`` reads the same instruction buffer the main loop
+marks) and keep their names.  ``return`` is supported in *tail
+position* — the last operation of the function body or the last
+operation of both branches of a trailing if-tree — which covers every
+function in the paper; anything else raises :class:`InlineError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.frontend.ast_nodes import Call, Expr, Var
+from repro.ir import expr_utils
+from repro.ir.basic_block import BasicBlock
+from repro.ir.htg import (
+    BlockNode,
+    Design,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    LoopNode,
+    normalize_blocks,
+    replace_node,
+)
+from repro.ir.operations import Operation, OpKind
+from repro.transforms.base import Pass, PassReport
+
+_inline_counter = itertools.count(1)
+
+
+class InlineError(Exception):
+    """Raised when a function cannot be inlined (non-tail returns,
+    recursion, unknown callee)."""
+
+
+class FunctionInliner(Pass):
+    """Inlines calls to defined functions.
+
+    Parameters
+    ----------
+    functions:
+        names to inline; ``["*"]`` (default) inlines every defined
+        function.  External functions are never inlined — they become
+        combinational library blocks during synthesis.
+    """
+
+    name = "function-inlining"
+
+    def __init__(self, functions: Optional[List[str]] = None) -> None:
+        self.functions = functions if functions is not None else ["*"]
+        self._inlined = 0
+
+    def _should_inline(self, name: str, design: Design) -> bool:
+        if name not in design.functions or name == Design.MAIN:
+            return False
+        return "*" in self.functions or name in self.functions
+
+    def run_on_design(self, design: Design) -> List[PassReport]:
+        reports = []
+        for func in list(design.functions.values()):
+            reports.append(self.run_on_function(func, design))
+        return reports
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._inlined = 0
+        extracted = extract_nested_calls(func, design)
+        # Iterate because inlining can expose further calls (callee
+        # calling a third function).  A recursion guard bounds this.
+        for _ in range(50):
+            if not self._inline_one(func, design):
+                break
+        else:
+            raise InlineError(
+                f"inlining did not converge in {func.name}; recursive calls?"
+            )
+        func.body = normalize_blocks(func.body)
+        report.changed = self._inlined > 0 or extracted > 0
+        report.details["inlined_calls"] = self._inlined
+        report.details["extracted_calls"] = extracted
+        return self._finish_report(report, func)
+
+    # -- locating inlinable calls ------------------------------------------
+
+    def _inline_one(self, func: FunctionHTG, design: Design) -> bool:
+        """Find and inline a single call; returns True when one was
+        inlined."""
+        for node in func.walk_nodes():
+            if not isinstance(node, BlockNode):
+                continue
+            for index, op in enumerate(node.ops):
+                call = self._inlinable_call(op, design)
+                if call is not None:
+                    self._inline_call(func, design, node, index, op, call)
+                    self._inlined += 1
+                    return True
+        return False
+
+    def _inlinable_call(self, op: Operation, design: Design) -> Optional[Call]:
+        """A call is inlinable when it is the *entire* RHS of an assign
+        or a call statement.  Nested calls inside larger expressions are
+        first extracted by :func:`extract_nested_calls`."""
+        if op.kind is OpKind.ASSIGN and isinstance(op.expr, Call):
+            if self._should_inline(op.expr.name, design):
+                return op.expr
+        if op.kind is OpKind.CALL and isinstance(op.expr, Call):
+            if self._should_inline(op.expr.name, design):
+                return op.expr
+        return None
+
+    # -- the splice ----------------------------------------------------------
+
+    def _inline_call(
+        self,
+        func: FunctionHTG,
+        design: Design,
+        node: BlockNode,
+        op_index: int,
+        op: Operation,
+        call: Call,
+    ) -> None:
+        callee = design.function(call.name)
+        if callee is func:
+            # Direct recursion (or a call-graph cycle folded back into
+            # this function by earlier inlining): splicing the body
+            # into itself doubles the function every round, so fail
+            # fast instead of letting the iteration guard melt down.
+            raise InlineError(
+                f"cannot inline recursive call to {call.name!r}"
+            )
+        if len(call.args) != len(callee.params):
+            raise InlineError(
+                f"{call.name} expects {len(callee.params)} arguments, "
+                f"got {len(call.args)}"
+            )
+        instance = next(_inline_counter)
+        prefix = f"{call.name}_i{instance}_"
+
+        # Arrays are shared storage wherever they are declared (the
+        # callee's own arrays AND the caller's/global arrays the callee
+        # references, like Fig 10's shared instruction buffer).
+        shared_arrays = set(callee.arrays)
+        for other in design.functions.values():
+            shared_arrays |= set(other.arrays)
+
+        def renamer(name: str) -> str:
+            if name in shared_arrays:
+                return name
+            return prefix + name
+
+        body = [n.clone() for n in callee.body]
+        _rename_scalars(body, renamer)
+
+        # Parameter binding ops.
+        param_block = BasicBlock()
+        for param, arg in zip(callee.params, call.args):
+            param_block.append(
+                Operation.assign(Var(name=prefix + param), expr_utils.clone(arg))
+            )
+
+        # Rewrite tail returns into assignments to the result variable.
+        result_var: Optional[str] = None
+        if op.kind is OpKind.ASSIGN:
+            result_var = func.fresh_variable(f"{call.name}_ret{instance}")
+        return_count = _count_returns(body)
+        rewritten = _rewrite_tail_returns(body, result_var)
+        if rewritten != return_count:
+            raise InlineError(
+                f"{call.name} has a non-tail return; cannot inline"
+            )
+
+        # Declare the callee's arrays in the caller.  Snapshot the
+        # name collections first — self-recursive inlining would
+        # otherwise mutate the sets while iterating them.
+        for name, size in list(callee.arrays.items()):
+            func.arrays.setdefault(name, size)
+        for local in list(callee.locals):
+            func.locals.add(prefix + local)
+        for param in list(callee.params):
+            func.locals.add(prefix + param)
+
+        # Assemble: pre-ops | param binds | body | result copy | post-ops
+        pre = BlockNode(BasicBlock(ops=node.ops[:op_index]))
+        post_ops = list(node.ops[op_index + 1 :])
+        replacement: List[HTGNode] = []
+        if pre.ops:
+            replacement.append(pre)
+        if param_block.ops:
+            replacement.append(BlockNode(param_block))
+        replacement.extend(body)
+        if result_var is not None:
+            copy_op = Operation.assign(
+                expr_utils.clone(op.target), Var(name=result_var)
+            )
+            replacement.append(BlockNode(BasicBlock(ops=[copy_op])))
+        if post_ops:
+            replacement.append(BlockNode(BasicBlock(ops=post_ops)))
+        if not replacement:
+            replacement.append(BlockNode(BasicBlock()))
+        replace_node(func.body, node, replacement)
+
+
+def _rename_scalars(nodes: List[HTGNode], renamer) -> None:
+    """Rename every scalar variable in the sub-HTG; array base names are
+    preserved by the renamer itself."""
+
+    def rename_expr(expr: Optional[Expr]) -> Optional[Expr]:
+        return expr_utils.rename_variables(expr, renamer)
+
+    from repro.ir.htg import map_expressions
+
+    map_expressions(nodes, rename_expr)
+
+
+def _count_returns(nodes: List[HTGNode]) -> int:
+    from repro.ir.htg import walk_nodes
+
+    count = 0
+    for node in walk_nodes(nodes):
+        if isinstance(node, BlockNode):
+            count += sum(1 for op in node.ops if op.kind is OpKind.RETURN)
+    return count
+
+
+def _rewrite_tail_returns(nodes: List[HTGNode], result_var: Optional[str]) -> int:
+    """Rewrite returns in tail position into ``result_var = expr``
+    assignments (or drop them for void calls).  Returns how many were
+    rewritten."""
+    if not nodes:
+        return 0
+    rewritten = 0
+    last = nodes[-1]
+    if isinstance(last, BlockNode) and last.ops:
+        tail_op = last.ops[-1]
+        if tail_op.kind is OpKind.RETURN:
+            if result_var is not None and tail_op.expr is not None:
+                last.ops[-1] = Operation.assign(
+                    Var(name=result_var), tail_op.expr
+                )
+            else:
+                last.ops.pop()
+            rewritten += 1
+    elif isinstance(last, IfNode):
+        rewritten += _rewrite_tail_returns(last.then_branch, result_var)
+        rewritten += _rewrite_tail_returns(last.else_branch, result_var)
+    return rewritten
+
+
+def extract_nested_calls(func: FunctionHTG, design: Design) -> int:
+    """Normalization: hoist calls to *defined* functions out of larger
+    expressions into their own ``tmp = call(...)`` operations so the
+    inliner can splice them.
+
+    ``NextStartByte += CalculateLength(i)`` (Fig 10) becomes
+    ``t = CalculateLength(i); NextStartByte = NextStartByte + t``.
+    Returns the number of extracted calls.
+    """
+    extracted = 0
+    work = True
+    while work:
+        work = False
+        for node in func.walk_nodes():
+            if not isinstance(node, BlockNode):
+                continue
+            for index, op in enumerate(node.ops):
+                call = _find_nested_defined_call(op, design)
+                if call is None:
+                    continue
+                temp = func.fresh_variable("call_t")
+                call_op = Operation.assign(Var(name=temp), expr_utils.clone(call))
+                _replace_call_with_var(op, call, temp)
+                node.ops.insert(index, call_op)
+                extracted += 1
+                work = True
+                break
+            if work:
+                break
+    return extracted
+
+
+def _find_nested_defined_call(op: Operation, design: Design) -> Optional[Call]:
+    """A call that is *not* the entire RHS (or whose siblings make it
+    nested), targeting a defined function."""
+    candidates = []
+    if op.expr is not None:
+        top_level = isinstance(op.expr, Call) and op.kind in (
+            OpKind.ASSIGN,
+            OpKind.CALL,
+        )
+        for call in expr_utils.calls_in(op.expr):
+            if call is op.expr and top_level:
+                # direct call: also check for nested calls in its args
+                continue
+            candidates.append(call)
+    if op.target is not None:
+        for call in expr_utils.calls_in(op.target):
+            candidates.append(call)
+    for call in candidates:
+        if call.name in design.functions and call.name != Design.MAIN:
+            return call
+    return None
+
+
+def _replace_call_with_var(op: Operation, call: Call, var_name: str) -> None:
+    replacement = Var(name=var_name)
+
+    def rewrite(expr: Optional[Expr]) -> Optional[Expr]:
+        if expr is None:
+            return None
+        if expr is call:
+            return replacement
+        if isinstance(expr, Call):
+            expr.args = [rewrite(a) for a in expr.args]
+            return expr
+        from repro.frontend.ast_nodes import ArrayRef, BinOp, Ternary, UnaryOp
+
+        if isinstance(expr, BinOp):
+            expr.left = rewrite(expr.left)
+            expr.right = rewrite(expr.right)
+        elif isinstance(expr, UnaryOp):
+            expr.operand = rewrite(expr.operand)
+        elif isinstance(expr, ArrayRef):
+            expr.index = rewrite(expr.index)
+        elif isinstance(expr, Ternary):
+            expr.cond = rewrite(expr.cond)
+            expr.if_true = rewrite(expr.if_true)
+            expr.if_false = rewrite(expr.if_false)
+        return expr
+
+    op.expr = rewrite(op.expr)
+    if op.target is not None:
+        op.target = rewrite(op.target)

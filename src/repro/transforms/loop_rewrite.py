@@ -1,0 +1,205 @@
+"""Source-level rewrite of the natural while(1) description (Fig 16).
+
+The paper's conclusion: "the behavioral description we have used as a
+starting point ... may not be the most simple way to describe the
+design.  A more natural and succinct way to describe the ILD's behavior
+could be as shown in Figure 16 ... This leads us to future work in
+developing a new set of source-level transformations that can transform
+these sort of descriptions into more easily synthesizable behavioral
+descriptions."
+
+This module implements that future-work transformation for the class of
+*position-advancing* loops: an unbounded ``while(1)`` whose body
+strictly increases a position variable each iteration (the ILD advances
+``NextStartByte`` by the decoded length, which is at least one byte).
+The rewrite produces the Fig-10 form: a bounded ``for`` loop over every
+position ``start .. bound`` whose body is guarded by
+``index == position`` — synthesizable because the trip count is now
+static, which is exactly what :class:`~repro.transforms.unroll.LoopUnroller`
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend.ast_nodes import BinOp, IntLit, Var
+from repro.ir import expr_utils
+from repro.ir.htg import (
+    BlockNode,
+    Design,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    LoopNode,
+    normalize_blocks,
+    replace_node,
+    walk_nodes,
+)
+from repro.ir.operations import Operation
+from repro.transforms.base import Pass, PassReport
+
+
+class LoopRewriteError(Exception):
+    """Raised when the while(1) loop does not match the
+    position-advancing pattern."""
+
+
+class WhileToForRewrite(Pass):
+    """Rewrite ``while(1) { ...; pos += len; }`` into the bounded,
+    guarded form of Fig 10.
+
+    Parameters
+    ----------
+    position_var:
+        the strictly-increasing position variable (``NextStartByte``).
+    bound:
+        the buffer size ``n``: the rewritten loop covers positions
+        ``start .. bound``.
+    index_var:
+        name for the introduced loop index (default ``"i"``; a fresh
+        name is derived when taken).
+    """
+
+    name = "while-to-for-rewrite"
+
+    def __init__(
+        self, position_var: str, bound: int, index_var: str = "i"
+    ) -> None:
+        self.position_var = position_var
+        self.bound = bound
+        self.index_var = index_var
+        self._rewritten = 0
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._rewritten = 0
+        target = self._find_candidate(func)
+        if target is not None:
+            replacement = self.rewrite_loop(func, target)
+            replace_node(func.body, target, replacement)
+            func.body = normalize_blocks(func.body)
+            self._rewritten = 1
+        report.changed = self._rewritten > 0
+        report.details["rewritten_loops"] = self._rewritten
+        return self._finish_report(report, func)
+
+    def _find_candidate(self, func: FunctionHTG) -> Optional[LoopNode]:
+        for node in func.walk_nodes():
+            if not isinstance(node, LoopNode) or node.kind != "while":
+                continue
+            if not self._is_forever(node):
+                continue
+            if self._advances_position(node):
+                return node
+        return None
+
+    @staticmethod
+    def _is_forever(node: LoopNode) -> bool:
+        return isinstance(node.cond, IntLit) and node.cond.value != 0
+
+    def _advances_position(self, node: LoopNode) -> bool:
+        """The body must contain ``pos = pos + <something>`` so that
+        positions strictly increase (lengths are >= 1 by the decoder's
+        construction; the rewrite's guard makes a zero advance merely
+        re-decode, which the bounded loop tolerates)."""
+        for inner in walk_nodes(node.body):
+            if isinstance(inner, BlockNode):
+                for op in inner.ops:
+                    if self.position_var in op.writes():
+                        expr = op.expr
+                        if (
+                            isinstance(expr, BinOp)
+                            and expr.op == "+"
+                            and self.position_var
+                            in expr_utils.variables_read(expr)
+                        ):
+                            return True
+        return False
+
+    def rewrite_loop(self, func: FunctionHTG, loop: LoopNode) -> List[HTGNode]:
+        """Build the Fig-10 form for *loop*."""
+        index = self.index_var
+        if index in func.variables() and index != self.position_var:
+            index = func.fresh_variable(self.index_var + "_r")
+        func.locals.add(index)
+
+        # Guarded body: reads of the position become the index (valid
+        # under the guard index == position); writes stay.  The
+        # chunking guard `if (pos > bound) break;` — the executable
+        # stand-in for the paper's infinite stream — is unreachable
+        # under `index == position <= bound` and is stripped so the
+        # result is a pure counted loop the unroller accepts.
+        guarded = [n.clone() for n in loop.body]
+        guarded = _strip_bound_breaks(guarded)
+        _substitute_reads_only(guarded, self.position_var, index)
+
+        guard = IfNode(
+            cond=BinOp(
+                op="==",
+                left=Var(name=index),
+                right=Var(name=self.position_var),
+            ),
+            then_branch=guarded,
+        )
+        for_loop = LoopNode(
+            kind="for",
+            cond=BinOp(op="<=", left=Var(name=index), right=IntLit(value=self.bound)),
+            body=[guard],
+            init=[Operation.assign(Var(name=index), IntLit(value=1))],
+            update=[
+                Operation.assign(
+                    Var(name=index),
+                    BinOp(op="+", left=Var(name=index), right=IntLit(value=1)),
+                )
+            ],
+        )
+        return [for_loop]
+
+
+def _strip_bound_breaks(nodes: List[HTGNode]) -> List[HTGNode]:
+    """Remove if-nodes whose entire effect is `break` (the buffer-bound
+    chunking guard).  Only exact guard shapes are stripped: a branch
+    containing nothing but break nodes / empty blocks."""
+    from repro.ir.htg import BreakNode
+
+    def is_pure_break(branch: List[HTGNode]) -> bool:
+        saw_break = False
+        for node in branch:
+            if isinstance(node, BreakNode):
+                saw_break = True
+            elif isinstance(node, BlockNode) and not node.ops:
+                continue
+            else:
+                return False
+        return saw_break
+
+    result: List[HTGNode] = []
+    for node in nodes:
+        if isinstance(node, IfNode) and is_pure_break(node.then_branch) and not node.else_branch:
+            continue
+        result.append(node)
+    return result
+
+
+def _substitute_reads_only(
+    nodes: List[HTGNode], variable: str, replacement: str
+) -> None:
+    """Replace *reads* of ``variable`` with ``replacement`` throughout
+    the sub-HTG while leaving assignment targets untouched."""
+    mapping = {variable: Var(name=replacement)}
+
+    for node in walk_nodes(nodes):
+        if isinstance(node, BlockNode):
+            for op in node.ops:
+                op.expr = expr_utils.substitute(op.expr, mapping)
+                if op.target is not None and not isinstance(op.target, Var):
+                    op.target = expr_utils.substitute(op.target, mapping)
+        elif isinstance(node, (IfNode, LoopNode)):
+            if node.cond is not None:
+                node.cond = expr_utils.substitute(node.cond, mapping)
+            if isinstance(node, LoopNode):
+                for op in node.init + node.update:
+                    op.expr = expr_utils.substitute(op.expr, mapping)
+                    if op.target is not None and not isinstance(op.target, Var):
+                        op.target = expr_utils.substitute(op.target, mapping)

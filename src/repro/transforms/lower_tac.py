@@ -1,0 +1,141 @@
+"""Lowering to three-address form (one operator per operation).
+
+Resource-constrained scheduling binds each operator to a functional
+unit instance, so multi-operator expressions such as
+``Length = lc1 + lc2 + lc3 + lc4`` must be decomposed into single-
+operator operations before an ASIC-style schedule (bounded ALUs) can
+be computed.  The microprocessor-block flow can skip this pass — with
+unlimited resources a whole expression tree maps to a combinational
+cone and only its chained delay matters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend.ast_nodes import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Expr,
+    IntLit,
+    Ternary,
+    UnaryOp,
+    Var,
+)
+from repro.ir.htg import (
+    BlockNode,
+    Design,
+    FunctionHTG,
+    IfNode,
+    LoopNode,
+    normalize_blocks,
+)
+from repro.ir.operations import Operation, OpKind
+from repro.transforms.base import Pass, PassReport
+
+
+def _is_atomic(expr: Optional[Expr]) -> bool:
+    return isinstance(expr, (IntLit, Var))
+
+
+class TACLowering(Pass):
+    """Flatten every expression so each operation applies one operator.
+
+    After the pass an assignment RHS is a literal, a variable, an array
+    read with atomic index, a single unary/binary operator over atomic
+    operands, a call with atomic arguments, or a ternary over atomics.
+    """
+
+    name = "tac-lowering"
+
+    def __init__(self, temp_prefix: str = "tac_t") -> None:
+        self.temp_prefix = temp_prefix
+        self._introduced = 0
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._introduced = 0
+        self._func = func
+        for node in func.walk_nodes():
+            if isinstance(node, BlockNode):
+                node.block.ops = self._lower_ops(node.ops)
+            elif isinstance(node, LoopNode):
+                # Loop header ops must stay single ops; only lower when
+                # already decomposable without extra statements.
+                pass
+        func.body = normalize_blocks(func.body)
+        report.changed = self._introduced > 0
+        report.details["temporaries"] = self._introduced
+        return self._finish_report(report, func)
+
+    def _fresh(self) -> str:
+        self._introduced += 1
+        return self._func.fresh_variable(self.temp_prefix)
+
+    def _lower_ops(self, ops: List[Operation]) -> List[Operation]:
+        result: List[Operation] = []
+        for op in ops:
+            if op.kind is OpKind.ASSIGN:
+                expr = self._lower_expr(op.expr, result, top=True)
+                target = op.target
+                if isinstance(target, ArrayRef) and not _is_atomic(target.index):
+                    index = self._lower_expr(target.index, result, top=False)
+                    target = ArrayRef(line=target.line, name=target.name, index=index)
+                lowered = Operation.assign(target, expr, line=op.source_line)
+                lowered.is_speculated = op.is_speculated
+                lowered.is_wire_copy = op.is_wire_copy
+                result.append(lowered)
+            elif op.kind is OpKind.CALL:
+                call = self._lower_call_args(op.expr, result)
+                result.append(Operation.call(call, line=op.source_line))
+            elif op.kind is OpKind.RETURN:
+                expr = op.expr
+                if expr is not None and not _is_atomic(expr):
+                    expr = self._lower_expr(expr, result, top=False)
+                result.append(Operation.ret(expr, line=op.source_line))
+        return result
+
+    def _lower_expr(
+        self, expr: Optional[Expr], out: List[Operation], top: bool
+    ) -> Optional[Expr]:
+        """Lower *expr*, emitting temp assignments into *out*.  When
+        *top* is true the outermost operator stays in place (it becomes
+        the op's single operator)."""
+        if expr is None or _is_atomic(expr):
+            return expr
+        if isinstance(expr, BinOp):
+            left = self._atomize(expr.left, out)
+            right = self._atomize(expr.right, out)
+            lowered = BinOp(line=expr.line, op=expr.op, left=left, right=right)
+        elif isinstance(expr, UnaryOp):
+            operand = self._atomize(expr.operand, out)
+            lowered = UnaryOp(line=expr.line, op=expr.op, operand=operand)
+        elif isinstance(expr, ArrayRef):
+            index = self._atomize(expr.index, out)
+            lowered = ArrayRef(line=expr.line, name=expr.name, index=index)
+        elif isinstance(expr, Call):
+            lowered = self._lower_call_args(expr, out)
+        elif isinstance(expr, Ternary):
+            cond = self._atomize(expr.cond, out)
+            if_true = self._atomize(expr.if_true, out)
+            if_false = self._atomize(expr.if_false, out)
+            lowered = Ternary(
+                line=expr.line, cond=cond, if_true=if_true, if_false=if_false
+            )
+        else:
+            raise TypeError(f"unknown expression {expr!r}")
+        if top:
+            return lowered
+        temp = self._fresh()
+        out.append(Operation.assign(Var(name=temp), lowered))
+        return Var(name=temp)
+
+    def _atomize(self, expr: Optional[Expr], out: List[Operation]) -> Optional[Expr]:
+        if expr is None or _is_atomic(expr):
+            return expr
+        return self._lower_expr(expr, out, top=False)
+
+    def _lower_call_args(self, call: Call, out: List[Operation]) -> Call:
+        args = [self._atomize(arg, out) for arg in call.args]
+        return Call(line=call.line, name=call.name, args=args)

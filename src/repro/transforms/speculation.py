@@ -1,0 +1,372 @@
+"""Speculation and early condition execution (paper Section 3, Fig 11).
+
+"In speculative execution, operations are executed before the
+conditions they depend on, have been evaluated."
+
+:class:`Speculation` hoists pure assignments out of if-branches to just
+before the if-node, one hierarchy level per step, iterating to a
+fixpoint so deeply nested operations bubble all the way up (the Fig 11
+result where every data computation of ``CalculateLength`` runs
+up-front).  Two hoisting modes are chosen automatically per operation:
+
+* **clobber hoist** — the operation moves unchanged.  Legal when the
+  target has a unique write and all its readers live inside the same
+  branch subtree, so executing it unconditionally is unobservable
+  elsewhere (the ``lc2``/``need3`` pattern).
+* **renaming hoist** — the computation moves into a fresh speculation
+  temporary and a copy ``v = temp`` stays in the branch (the
+  ``TempLength1..3`` pattern for the multiply-written ``Length``).
+
+:class:`EarlyConditionExecution` materializes each if-condition as an
+explicit operation ``c = <cond>`` ahead of the if-node so that the
+condition computation itself becomes speculatable — this is how
+``need2 = Need_2nd_Byte(i)`` appears as a data operation in Fig 11.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.frontend.ast_nodes import Var
+from repro.ir import expr_utils
+from repro.ir.basic_block import BasicBlock
+from repro.ir.htg import (
+    BlockNode,
+    Design,
+    FunctionHTG,
+    HTGNode,
+    IfNode,
+    LoopNode,
+    normalize_blocks,
+    parent_map,
+    walk_nodes,
+)
+from repro.ir.operations import Operation, OpKind
+from repro.transforms.base import Pass, PassReport
+
+
+# ---------------------------------------------------------------------------
+# Read/write summaries of HTG elements (ops or whole sub-nodes)
+# ---------------------------------------------------------------------------
+
+
+def node_reads(node: HTGNode) -> Set[str]:
+    """Every scalar read anywhere inside *node*, conditions included."""
+    reads: Set[str] = set()
+    for inner in walk_nodes([node]):
+        if isinstance(inner, BlockNode):
+            for op in inner.ops:
+                reads |= op.reads()
+        elif isinstance(inner, (IfNode, LoopNode)):
+            if getattr(inner, "cond", None) is not None:
+                reads |= expr_utils.variables_read(inner.cond)
+            if isinstance(inner, LoopNode):
+                for op in inner.init + inner.update:
+                    reads |= op.reads()
+    return reads
+
+
+def node_writes(node: HTGNode) -> Set[str]:
+    """Every scalar written anywhere inside *node*."""
+    writes: Set[str] = set()
+    for inner in walk_nodes([node]):
+        if isinstance(inner, BlockNode):
+            for op in inner.ops:
+                writes |= op.writes()
+        elif isinstance(inner, LoopNode):
+            for op in inner.init + inner.update:
+                writes |= op.writes()
+    return writes
+
+
+def node_arrays_read(node: HTGNode) -> Set[str]:
+    arrays: Set[str] = set()
+    for inner in walk_nodes([node]):
+        if isinstance(inner, BlockNode):
+            for op in inner.ops:
+                arrays |= op.arrays_read()
+        elif isinstance(inner, LoopNode):
+            for op in inner.init + inner.update:
+                arrays |= op.arrays_read()
+    return arrays
+
+
+def node_arrays_written(node: HTGNode) -> Set[str]:
+    arrays: Set[str] = set()
+    for inner in walk_nodes([node]):
+        if isinstance(inner, BlockNode):
+            for op in inner.ops:
+                arrays |= op.arrays_written()
+        elif isinstance(inner, LoopNode):
+            for op in inner.init + inner.update:
+                arrays |= op.arrays_written()
+    return arrays
+
+
+def node_has_impure(node: HTGNode, pure_functions: Set[str], design: Design) -> bool:
+    """True when the subtree contains calls that are not known pure."""
+    for inner in walk_nodes([node]):
+        if isinstance(inner, BlockNode):
+            for op in inner.ops:
+                if op.has_call() and not _op_calls_pure(op, pure_functions, design):
+                    return True
+    return False
+
+
+def _op_calls_pure(op: Operation, pure_functions: Set[str], design: Design) -> bool:
+    for call in expr_utils.calls_in(op.expr):
+        if call.name not in pure_functions:
+            return False
+    if op.target is not None:
+        for call in expr_utils.calls_in(op.target):
+            if call.name not in pure_functions:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Speculation
+# ---------------------------------------------------------------------------
+
+
+class Speculation(Pass):
+    """Hoist pure branch operations above their guarding conditional."""
+
+    name = "speculation"
+
+    def __init__(self, pure_functions: Optional[Set[str]] = None) -> None:
+        self.pure_functions = set(pure_functions or ())
+        self._hoisted = 0
+        self._renamed = 0
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._hoisted = 0
+        self._renamed = 0
+        # Fixpoint: each step hoists one op one level.
+        guard = 10_000
+        while guard and self._hoist_one(func, design):
+            guard -= 1
+        func.body = normalize_blocks(func.body)
+        report.changed = self._hoisted > 0
+        report.details["speculated_ops"] = self._hoisted
+        report.details["renamed_ops"] = self._renamed
+        return self._finish_report(report, func)
+
+    # -- one hoisting step -------------------------------------------------
+
+    def _hoist_one(self, func: FunctionHTG, design: Design) -> bool:
+        parents = parent_map(func.body)
+        for node in func.walk_nodes():
+            if not isinstance(node, IfNode):
+                continue
+            # Never hoist out of a loop body in this pass: that would
+            # change how many times the op executes.  (Loop-invariant
+            # motion is a different transformation.)
+            for branch in (node.then_branch, node.else_branch):
+                plan = self._find_hoistable(func, node, branch)
+                if plan is None:
+                    continue
+                op, owner_block = plan
+                self._apply_hoist(func, node, branch, op, owner_block, parents)
+                return True
+        return False
+
+    def _find_hoistable(
+        self, func: FunctionHTG, if_node: IfNode, branch: List[HTGNode]
+    ) -> Optional[Tuple[Operation, BlockNode]]:
+        """First operation in *branch* (top level only) that can legally
+        move above *if_node*."""
+        preceding_reads: Set[str] = set()
+        preceding_writes: Set[str] = set()
+        preceding_array_writes: Set[str] = set()
+
+        for element in branch:
+            if isinstance(element, BlockNode):
+                for op in element.ops:
+                    if self._op_hoistable(
+                        func,
+                        if_node,
+                        branch,
+                        op,
+                        preceding_reads,
+                        preceding_writes,
+                        preceding_array_writes,
+                    ):
+                        return op, element
+                    preceding_reads |= op.reads()
+                    preceding_writes |= op.writes()
+                    preceding_array_writes |= op.arrays_written()
+            else:
+                preceding_reads |= node_reads(element)
+                preceding_writes |= node_writes(element)
+                preceding_array_writes |= node_arrays_written(element)
+        return None
+
+    def _op_hoistable(
+        self,
+        func: FunctionHTG,
+        if_node: IfNode,
+        branch: List[HTGNode],
+        op: Operation,
+        preceding_reads: Set[str],
+        preceding_writes: Set[str],
+        preceding_array_writes: Set[str],
+    ) -> bool:
+        if op.kind is not OpKind.ASSIGN or not isinstance(op.target, Var):
+            return False
+        if op.is_wire_copy or op.is_speculated and op.is_copy():
+            return False
+        if op.has_call() and not _op_calls_pure(op, self.pure_functions, None):
+            return False
+        target = op.target.name
+        reads = op.reads()
+        # RAW: a preceding (unhoisted) branch element computes an input.
+        if reads & preceding_writes:
+            return False
+        # WAR/WAW: preceding elements read or write the target.
+        if target in preceding_reads or target in preceding_writes:
+            return False
+        # Array RAW: op reads an array a preceding element stores to.
+        if op.arrays_read() & preceding_array_writes:
+            return False
+        # Hoisting a pure copy `v = v` is useless churn.
+        if op.is_copy() and op.expr.name == target:
+            return False
+        return True
+
+    def _apply_hoist(
+        self,
+        func: FunctionHTG,
+        if_node: IfNode,
+        branch: List[HTGNode],
+        op: Operation,
+        owner_block: BlockNode,
+        parents,
+    ) -> None:
+        target = op.target.name
+        clobber = self._clobber_safe(func, if_node, branch, op)
+        original_index = owner_block.block._index_of(op)
+        owner_block.block.remove(op)
+
+        if clobber:
+            hoisted = op
+            hoisted.is_speculated = True
+        else:
+            temp = func.fresh_variable(f"{target}_spec")
+            hoisted = Operation.assign(Var(name=temp), op.expr)
+            hoisted.is_speculated = True
+            commit = Operation.assign(Var(name=target), Var(name=temp))
+            commit.is_speculated = True
+            owner_block.block.ops.insert(original_index, commit)
+            self._renamed += 1
+        self._hoisted += 1
+
+        # Place the hoisted op immediately before the if-node.
+        _, owner_list = parents[if_node.uid]
+        index = next(
+            i for i, candidate in enumerate(owner_list) if candidate is if_node
+        )
+        if index > 0 and isinstance(owner_list[index - 1], BlockNode):
+            owner_list[index - 1].block.append(hoisted)
+        else:
+            owner_list.insert(index, BlockNode(BasicBlock(ops=[hoisted])))
+
+    def _clobber_safe(
+        self,
+        func: FunctionHTG,
+        if_node: IfNode,
+        branch: List[HTGNode],
+        op: Operation,
+    ) -> bool:
+        """Hoisting without renaming is safe when the write is unique in
+        the function, every reader lives inside this branch subtree, and
+        the if condition does not read the target."""
+        target = op.target.name
+        if if_node.cond is not None and target in expr_utils.variables_read(
+            if_node.cond
+        ):
+            return False
+
+        writes = 0
+        for other in func.walk_operations():
+            if target in other.writes():
+                writes += 1
+        if writes != 1:
+            return False
+
+        subtree_ops = set()
+        for element in branch:
+            for inner in walk_nodes([element]):
+                if isinstance(inner, BlockNode):
+                    for inner_op in inner.ops:
+                        subtree_ops.add(inner_op.uid)
+                elif isinstance(inner, LoopNode):
+                    for inner_op in inner.init + inner.update:
+                        subtree_ops.add(inner_op.uid)
+        for other in func.walk_operations():
+            if target in other.reads() and other.uid not in subtree_ops:
+                return False
+
+        subtree_nodes = set()
+        for element in branch:
+            for inner in walk_nodes([element]):
+                subtree_nodes.add(inner.uid)
+        for node in func.walk_nodes():
+            if isinstance(node, (IfNode, LoopNode)) and node.uid not in subtree_nodes:
+                if node is if_node:
+                    continue
+                if node.cond is not None and target in expr_utils.variables_read(
+                    node.cond
+                ):
+                    return False
+        return True
+
+
+class EarlyConditionExecution(Pass):
+    """Materialize if-conditions as explicit operations.
+
+    ``if (Need_2nd_Byte(i)) ...`` becomes ``need_t = Need_2nd_Byte(i);
+    if (need_t) ...`` so the condition computation participates in
+    speculation and scheduling like any other operation ("early
+    condition execution", Section 3).
+    """
+
+    name = "early-condition-execution"
+
+    def __init__(self, prefix: str = "cond_t") -> None:
+        self.prefix = prefix
+        self._extracted = 0
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._extracted = 0
+        changed = True
+        while changed:
+            changed = self._extract_one(func)
+        func.body = normalize_blocks(func.body)
+        report.changed = self._extracted > 0
+        report.details["extracted_conditions"] = self._extracted
+        return self._finish_report(report, func)
+
+    def _extract_one(self, func: FunctionHTG) -> bool:
+        parents = parent_map(func.body)
+        for node in func.walk_nodes():
+            if not isinstance(node, IfNode):
+                continue
+            if isinstance(node.cond, Var):
+                continue
+            temp = func.fresh_variable(self.prefix)
+            cond_op = Operation.assign(Var(name=temp), node.cond)
+            node.cond = Var(name=temp)
+            _, owner_list = parents[node.uid]
+            index = next(
+                i for i, candidate in enumerate(owner_list) if candidate is node
+            )
+            if index > 0 and isinstance(owner_list[index - 1], BlockNode):
+                owner_list[index - 1].block.append(cond_op)
+            else:
+                owner_list.insert(index, BlockNode(BasicBlock(ops=[cond_op])))
+            self._extracted += 1
+            return True
+        return False

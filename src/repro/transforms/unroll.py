@@ -1,0 +1,383 @@
+"""Loop unrolling (paper Figs 2 and 13).
+
+"For microprocessor functional blocks, loops are only a programming
+convenience and latency constraints generally dictate the amount of
+unrolling a loop has to undergo ... Loops in single cycle designs must,
+of course, be unrolled completely."
+
+Full unrolling requires a statically-known trip count: a canonical
+``for`` header ``i = c0; i </<=/!=/>/>= bound; i += step`` with literal
+bounds (run constant propagation first when the bound is a variable
+with a known value).  Each unrolled iteration substitutes
+``i -> c0 + k*step`` directly, matching the paper's Fig 13/2(b)
+presentation where iterations appear as ``i``, ``i+1``, ... rather
+than through an explicit index update chain.
+
+Partial unrolling by a factor u replicates the body u times per
+iteration and adjusts the update; a remainder loop handles trip counts
+not divisible by u ("loops are unrolled one iteration at a time,
+followed by code compaction ... until no further improvements can be
+obtained" — the software-compiler mode the paper contrasts with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.frontend.ast_nodes import BinOp, Expr, IntLit, Var
+from repro.ir import expr_utils
+from repro.ir.htg import (
+    BlockNode,
+    BreakNode,
+    Design,
+    FunctionHTG,
+    HTGNode,
+    LoopNode,
+    normalize_blocks,
+    replace_node,
+    walk_nodes,
+)
+from repro.ir.operations import Operation
+from repro.transforms.base import Pass, PassReport
+
+
+class UnrollError(Exception):
+    """Raised when a loop cannot be unrolled as requested."""
+
+
+@dataclass
+class TripCount:
+    """A statically analyzed counted loop."""
+
+    index: str
+    start: int
+    step: int
+    iterations: int
+
+    def value_at(self, k: int) -> int:
+        return self.start + k * self.step
+
+
+def analyze_trip_count(loop: LoopNode) -> TripCount:
+    """Extract the static trip count of a canonical counted loop.
+
+    Raises :class:`UnrollError` when the loop is not in canonical form
+    (single init ``i = c``, literal-bound comparison on ``i``, single
+    additive update, index not written in the body).
+    """
+    if loop.kind != "for":
+        raise UnrollError("only for-loops have static trip counts")
+    if len(loop.init) != 1 or len(loop.update) != 1:
+        raise UnrollError("loop must have exactly one init and one update op")
+
+    init = loop.init[0]
+    if not (isinstance(init.target, Var) and isinstance(init.expr, IntLit)):
+        raise UnrollError("loop init must be `index = <literal>`")
+    index = init.target.name
+    start = init.expr.value
+
+    update = loop.update[0]
+    step = _additive_step(update, index)
+    if step is None or step == 0:
+        raise UnrollError("loop update must be `index = index +/- <literal>`")
+
+    if loop.cond is None:
+        raise UnrollError("loop has no condition")
+    iterations = _iterations(loop.cond, index, start, step)
+    if iterations is None:
+        raise UnrollError(f"cannot derive trip count from `{loop.cond}`")
+
+    written = _body_written_vars(loop)
+    if index in written:
+        raise UnrollError(f"loop body writes the index variable {index!r}")
+    if _contains_break(loop):
+        raise UnrollError("loop contains break; trip count is dynamic")
+    return TripCount(index=index, start=start, step=step, iterations=iterations)
+
+
+def _additive_step(update: Operation, index: str) -> Optional[int]:
+    if not (isinstance(update.target, Var) and update.target.name == index):
+        return None
+    expr = update.expr
+    if isinstance(expr, BinOp) and expr.op in ("+", "-"):
+        left, right = expr.left, expr.right
+        if (
+            isinstance(left, Var)
+            and left.name == index
+            and isinstance(right, IntLit)
+        ):
+            return right.value if expr.op == "+" else -right.value
+        if (
+            expr.op == "+"
+            and isinstance(right, Var)
+            and right.name == index
+            and isinstance(left, IntLit)
+        ):
+            return left.value
+    return None
+
+
+def _iterations(cond: Expr, index: str, start: int, step: int) -> Optional[int]:
+    """Count iterations of ``for (i=start; cond; i+=step)`` by direct
+    symbolic evaluation against the literal bound."""
+    if not isinstance(cond, BinOp):
+        return None
+    if isinstance(cond.left, Var) and cond.left.name == index and isinstance(
+        cond.right, IntLit
+    ):
+        op, bound = cond.op, cond.right.value
+    elif (
+        isinstance(cond.right, Var)
+        and cond.right.name == index
+        and isinstance(cond.left, IntLit)
+    ):
+        op = _mirror(cond.op)
+        bound = cond.left.value
+        if op is None:
+            return None
+    else:
+        return None
+
+    count = 0
+    value = start
+    # Evaluate the comparison directly; bail out if it clearly diverges.
+    limit = 1_000_000
+    while expr_utils.eval_binary(op, value, bound):
+        count += 1
+        value += step
+        if count > limit:
+            return None
+    return count
+
+
+def _mirror(op: str) -> Optional[str]:
+    return {
+        "<": ">",
+        ">": "<",
+        "<=": ">=",
+        ">=": "<=",
+        "==": "==",
+        "!=": "!=",
+    }.get(op)
+
+
+def _body_written_vars(loop: LoopNode):
+    written = set()
+    for node in walk_nodes(loop.body):
+        if isinstance(node, BlockNode):
+            for op in node.ops:
+                written |= op.writes()
+        elif isinstance(node, LoopNode):
+            for op in node.init:
+                written |= op.writes()
+            for op in node.update:
+                written |= op.writes()
+    return written
+
+
+def _contains_break(loop: LoopNode) -> bool:
+    # Breaks belonging to *nested* loops do not affect this loop.
+    def scan(nodes: List[HTGNode]) -> bool:
+        for node in nodes:
+            if isinstance(node, BreakNode):
+                return True
+            if isinstance(node, BlockNode):
+                continue
+            if isinstance(node, LoopNode):
+                continue  # its breaks are its own
+            for child_list in node.child_lists():
+                if scan(child_list):
+                    return True
+        return False
+
+    return scan(loop.body)
+
+
+class LoopUnroller(Pass):
+    """Unrolls counted loops.
+
+    ``factors`` maps a loop selector to an unroll amount: ``0`` = fully
+    unroll, ``u > 1`` = partial unroll by u.  Selectors are loop index
+    variable names or ``"*"`` for every unrollable loop.  Loops that do
+    not match (or fail trip-count analysis when selected by ``"*"``)
+    are left untouched.
+    """
+
+    name = "loop-unrolling"
+
+    def __init__(self, factors: Optional[Dict[str, int]] = None) -> None:
+        self.factors = factors if factors is not None else {"*": 0}
+        self._unrolled = 0
+        self._iterations_materialized = 0
+        # Partial unrolling produces a new loop over the same index;
+        # remember it so one run never re-unrolls its own output.
+        self._processed: set = set()
+
+    def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
+        report = self._start_report(func)
+        self._unrolled = 0
+        self._iterations_materialized = 0
+        self._processed = set()
+        # Repeat so nested loops unroll outside-in until stable.
+        for _ in range(100):
+            if not self._unroll_one(func):
+                break
+        func.body = normalize_blocks(func.body)
+        report.changed = self._unrolled > 0
+        report.details["unrolled_loops"] = self._unrolled
+        report.details["iterations_materialized"] = self._iterations_materialized
+        return self._finish_report(report, func)
+
+    def _factor_for(self, loop: LoopNode) -> Optional[int]:
+        index_name = None
+        if len(loop.init) == 1 and isinstance(loop.init[0].target, Var):
+            index_name = loop.init[0].target.name
+        if index_name is not None and index_name in self.factors:
+            return self.factors[index_name]
+        if "*" in self.factors:
+            return self.factors["*"]
+        return None
+
+    def _unroll_one(self, func: FunctionHTG) -> bool:
+        for node in func.walk_nodes():
+            if not isinstance(node, LoopNode) or node.uid in self._processed:
+                continue
+            factor = self._factor_for(node)
+            if factor is None:
+                continue
+            try:
+                trip = analyze_trip_count(node)
+            except UnrollError:
+                if self._is_explicit_selection(node):
+                    raise
+                continue
+            if factor == 0:
+                replacement = fully_unroll(node, trip)
+            elif factor > 1:
+                replacement = partially_unroll(node, trip, factor)
+                for new_node in replacement:
+                    if isinstance(new_node, LoopNode):
+                        self._processed.add(new_node.uid)
+            else:
+                continue
+            replace_node(func.body, node, replacement)
+            self._unrolled += 1
+            self._iterations_materialized += trip.iterations
+            return True
+        return False
+
+    def _is_explicit_selection(self, loop: LoopNode) -> bool:
+        if len(loop.init) == 1 and isinstance(loop.init[0].target, Var):
+            return loop.init[0].target.name in self.factors
+        return False
+
+
+def fully_unroll(loop: LoopNode, trip: Optional[TripCount] = None) -> List[HTGNode]:
+    """Fully unroll a counted loop into a flat node sequence.
+
+    Iteration k's body is cloned with ``index -> index + k*step``
+    substituted symbolically (Fig 13's presentation); the single init
+    op ``index = start`` is kept in front so that constant propagation
+    can later eliminate the index entirely (Fig 14).
+    """
+    if trip is None:
+        trip = analyze_trip_count(loop)
+    result: List[HTGNode] = [BlockNode_with_ops([loop.init[0].clone()])]
+    index = trip.index
+    for k in range(trip.iterations):
+        iteration = [n.clone() for n in loop.body]
+        offset = k * trip.step
+        if offset:
+            substitution = {
+                index: BinOp(op="+", left=Var(name=index), right=IntLit(value=offset))
+            }
+            _substitute_everywhere(iteration, substitution)
+        result.extend(iteration)
+    # After a normal exit the index holds its first failing value; keep
+    # that visible in case the index is read after the loop (DCE removes
+    # this when dead).
+    final_value = trip.value_at(trip.iterations)
+    result.append(
+        BlockNode_with_ops(
+            [Operation.assign(Var(name=index), IntLit(value=final_value))]
+        )
+    )
+    return normalize_blocks(result)
+
+
+def partially_unroll(
+    loop: LoopNode, trip: Optional[TripCount] = None, factor: int = 2
+) -> List[HTGNode]:
+    """Unroll by *factor*: the loop body is replicated ``factor`` times
+    (iteration j uses ``index + j*step``), the update becomes
+    ``index += factor*step``.  A fully-unrolled remainder handles trip
+    counts not divisible by the factor."""
+    if factor < 2:
+        raise UnrollError("partial unroll factor must be >= 2")
+    if trip is None:
+        trip = analyze_trip_count(loop)
+
+    main_iterations = trip.iterations - (trip.iterations % factor)
+    index = trip.index
+
+    new_body: List[HTGNode] = []
+    for j in range(factor):
+        iteration = [n.clone() for n in loop.body]
+        offset = j * trip.step
+        if offset:
+            substitution = {
+                index: BinOp(op="+", left=Var(name=index), right=IntLit(value=offset))
+            }
+            _substitute_everywhere(iteration, substitution)
+        new_body.extend(iteration)
+
+    new_update = Operation.assign(
+        Var(name=index),
+        BinOp(
+            op="+",
+            left=Var(name=index),
+            right=IntLit(value=factor * trip.step),
+        ),
+    )
+    stop = trip.start + main_iterations * trip.step
+    main_cond_op = "<" if trip.step > 0 else ">"
+    main_loop = LoopNode(
+        kind="for",
+        cond=BinOp(op=main_cond_op, left=Var(name=index), right=IntLit(value=stop)),
+        body=normalize_blocks(new_body),
+        init=[loop.init[0].clone()],
+        update=[new_update],
+    )
+
+    result: List[HTGNode] = [main_loop]
+    # Remainder iterations, fully unrolled.
+    for k in range(main_iterations, trip.iterations):
+        iteration = [n.clone() for n in loop.body]
+        value = trip.value_at(k)
+        _substitute_everywhere(iteration, {index: IntLit(value=value)})
+        result.extend(iteration)
+    if main_iterations != trip.iterations:
+        final_value = trip.value_at(trip.iterations)
+        result.append(
+            BlockNode_with_ops(
+                [Operation.assign(Var(name=index), IntLit(value=final_value))]
+            )
+        )
+    return normalize_blocks(result)
+
+
+def BlockNode_with_ops(ops: List[Operation]) -> BlockNode:
+    """Build a BlockNode around an op list (splice helper)."""
+    from repro.ir.basic_block import BasicBlock
+
+    return BlockNode(BasicBlock(ops=ops))
+
+
+def _substitute_everywhere(nodes: List[HTGNode], mapping: Dict[str, Expr]) -> None:
+    from repro.ir.htg import map_expressions
+
+    def rewrite(expr):
+        return expr_utils.substitute(expr, mapping) if expr is not None else None
+
+    map_expressions(nodes, rewrite)

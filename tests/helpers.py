@@ -1,0 +1,39 @@
+"""Test helpers: behavioral-equivalence assertions around transforms."""
+
+from __future__ import annotations
+
+from repro.interp import run_design
+from repro.ir.builder import design_from_source
+
+
+def assert_equivalent(source, transform, externals=None, inputs=None,
+                      array_inputs=None, check_scalars=None):
+    """Apply *transform* (callable taking a Design) to a design built
+    from *source* and assert the observable behavior is unchanged.
+
+    Arrays are compared in full; scalars only when listed in
+    *check_scalars* (transforms may legitimately add/remove temps).
+    Returns the transformed design for further assertions.
+    """
+    design = design_from_source(source)
+    before = run_design(
+        design, externals=externals, inputs=inputs, array_inputs=array_inputs
+    )
+    transform(design)
+    after = run_design(
+        design, externals=externals, inputs=inputs, array_inputs=array_inputs
+    )
+    assert before.arrays == after.arrays, (
+        f"arrays diverged:\n before={before.arrays}\n after={after.arrays}"
+    )
+    for name in check_scalars or ():
+        assert before.scalars.get(name) == after.scalars.get(name), (
+            f"scalar {name} diverged: "
+            f"{before.scalars.get(name)} != {after.scalars.get(name)}"
+        )
+    return design
+
+
+def ops_text(func):
+    """All operations of a function as printable strings."""
+    return [str(op) for op in func.walk_operations()]

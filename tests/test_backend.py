@@ -1,0 +1,219 @@
+"""Unit tests for the RTL simulator and the VHDL/Verilog emitters."""
+
+import pytest
+
+from repro.backend.interface import DesignInterface
+from repro.backend.rtl_sim import RTLSimulationError, RTLSimulator
+from repro.backend.verilog import emit_verilog
+from repro.backend.vhdl import emit_vhdl
+from repro.interp import run_design
+from repro.ir.builder import design_from_source
+from repro.scheduler.list_scheduler import ChainingScheduler
+from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
+
+
+def build(source, clock=10.0, limits=None, externals=None):
+    design = design_from_source(source)
+    scheduler = ChainingScheduler(
+        library=ResourceLibrary(),
+        clock_period=clock,
+        allocation=ResourceAllocation(limits=limits or {}),
+    )
+    return scheduler.schedule(design.main), design
+
+
+class TestRTLSimulator:
+    def test_single_cycle_result(self):
+        sm, _ = build("int out[1]; int a; a = 2 + 3; out[0] = a * 2;")
+        result = RTLSimulator(sm).run()
+        assert result.cycles == 1
+        assert result.arrays["out"] == [10]
+
+    def test_multi_cycle_counts(self):
+        sm, _ = build(
+            "int out[1]; int a; int b; a = x + 1; b = a + 2; out[0] = b;",
+            clock=1.5,
+        )
+        result = RTLSimulator(sm).run(inputs={"x": 0})
+        assert result.cycles == sm.num_states
+
+    def test_state_trace_records_path(self):
+        sm, _ = build("int a; int b; a = 1; b = 2;", clock=10.0)
+        result = RTLSimulator(sm).run()
+        assert result.state_trace[0] == sm.entry_state
+
+    def test_matches_interpreter_on_conditionals(self):
+        source = (
+            "int out[1]; int x;"
+            "if (c > 2) { x = 10; } else { x = 20; }"
+            "out[0] = x;"
+        )
+        for c in (0, 5):
+            sm, design = build(source)
+            expected = run_design(design, inputs={"c": c}).arrays["out"]
+            got = RTLSimulator(sm).run(inputs={"c": c}).arrays["out"]
+            assert got == expected
+
+    def test_matches_interpreter_on_loops(self):
+        source = (
+            "int out[5]; int i; for (i = 0; i < 5; i++) { out[i] = i * 3; }"
+        )
+        sm, design = build(source)
+        expected = run_design(design).arrays["out"]
+        assert RTLSimulator(sm).run().arrays["out"] == expected
+
+    def test_externals_bound(self):
+        sm, _ = build("int out[1]; out[0] = magic(4);")
+        result = RTLSimulator(sm, externals={"magic": lambda v: v + 38}).run()
+        assert result.arrays["out"] == [42]
+
+    def test_missing_external_raises(self):
+        sm, _ = build("int out[1]; out[0] = magic(4);")
+        with pytest.raises(RTLSimulationError):
+            RTLSimulator(sm).run()
+
+    def test_runaway_fsm_guard(self):
+        sm, _ = build("int x; x = 0; while (1) { x = x + 1; }")
+        with pytest.raises(RTLSimulationError):
+            RTLSimulator(sm, max_cycles=50).run()
+
+    def test_undriven_net_raises(self):
+        sm, _ = build("int y; y = nothing + 1;")
+        with pytest.raises(RTLSimulationError):
+            RTLSimulator(sm).run()
+
+    def test_array_bounds_checked(self):
+        sm, _ = build("int m[2]; m[idx] = 1;")
+        with pytest.raises(RTLSimulationError):
+            RTLSimulator(sm).run(inputs={"idx": 7})
+
+
+class TestVHDLEmitter:
+    SOURCE = (
+        "int Mark[4]; int a; int b;"
+        "a = x + 1; b = a + 2; Mark[0] = b;"
+    )
+
+    def emit(self, clock=10.0):
+        sm, design = build(self.SOURCE, clock=clock)
+        interface = DesignInterface(
+            name="demo",
+            scalar_inputs=["x"],
+            output_arrays={"Mark": 4},
+        )
+        return emit_vhdl(sm, interface), sm
+
+    def test_entity_structure(self):
+        text, _ = self.emit()
+        assert "entity demo is" in text
+        assert "clk : in std_logic;" in text
+        assert "x_in : in integer;" in text
+        assert "Mark_out : out int_array(0 to 3);" in text
+
+    def test_fsm_skeleton(self):
+        text, sm = self.emit()
+        assert "case state is" in text
+        for state in sm.reachable_states():
+            assert f"when S{state.state_id} =>" in text
+        assert "rising_edge(clk)" in text
+
+    def test_registers_are_signals_wires_are_variables(self):
+        """The paper's footnote 1 mapping."""
+        sm, design = build(
+            "int out[1]; int a; int b; a = x + 1; b = a + 2; out[0] = b;",
+            clock=2.0,
+        )
+        assert sm.num_states == 2
+        text = emit_vhdl(sm, DesignInterface(name="d"))
+        # b crosses the state boundary -> signal r_b exists.
+        assert "signal r_b : integer" in text
+        # a dies inside the first state -> no signal, only a variable.
+        assert "signal r_a" not in text
+        assert "variable v_a : integer" in text
+
+    def test_wire_variable_annotation(self):
+        from repro.transforms.chaining import WireVariableInserter
+
+        design = design_from_source(
+            "int out[1]; int a; a = x + 1; out[0] = a;"
+        )
+        WireVariableInserter().run_on_design(design)
+        sm = ChainingScheduler(clock_period=10.0).schedule(design.main)
+        text = emit_vhdl(sm, DesignInterface(name="d"))
+        assert "wire-variable (never registered)" in text
+
+    def test_black_box_externals_declared(self):
+        sm, _ = build("int out[1]; out[0] = decode(1);")
+        text = emit_vhdl(sm, DesignInterface(name="d"))
+        assert "function decode(arg0 : integer) return integer;" in text
+
+    def test_speculation_comments_survive(self):
+        design = design_from_source("int out[1]; int a; a = 1; out[0] = a;")
+        op = next(design.main.walk_operations())
+        op.is_speculated = True
+        sm = ChainingScheduler(clock_period=10.0).schedule(design.main)
+        text = emit_vhdl(sm, DesignInterface(name="d"))
+        assert "-- speculated" in text
+
+    def test_branch_transition_rendered(self):
+        sm, _ = build(
+            "int out[4]; int i; for (i = 0; i < 4; i++) { out[i] = i; }"
+        )
+        text = emit_vhdl(sm, DesignInterface(name="d"))
+        assert "if (" in text and "state <=" in text
+
+    def test_done_signal(self):
+        text, _ = self.emit()
+        assert "done <= '1';" in text
+
+
+class TestVerilogEmitter:
+    def test_module_structure(self):
+        sm, _ = build("int out[2]; int a; a = x + 1; out[0] = a;")
+        interface = DesignInterface(
+            name="demo_v", scalar_inputs=["x"], output_arrays={"out": 2}
+        )
+        text = emit_verilog(sm, interface)
+        assert "module demo_v (" in text
+        assert "input wire clk" in text
+        assert "always @(posedge clk)" in text
+        assert "endmodule" in text
+
+    def test_state_localparams(self):
+        sm, _ = build(
+            "int out[4]; int i; for (i = 0; i < 4; i++) { out[i] = i; }"
+        )
+        text = emit_verilog(sm, DesignInterface(name="d"))
+        for state in sm.reachable_states():
+            assert f"localparam S{state.state_id}" in text
+
+    def test_registers_declared(self):
+        sm, _ = build(
+            "int out[1]; int a; int b; a = x + 1; b = a + 2; out[0] = b;",
+            clock=1.5,
+        )
+        text = emit_verilog(sm, DesignInterface(name="d"))
+        assert "reg signed [31:0] r_a;" in text
+
+    def test_branch_ternary_transition(self):
+        sm, _ = build(
+            "int out[4]; int i; for (i = 0; i < 4; i++) { out[i] = i; }"
+        )
+        text = emit_verilog(sm, DesignInterface(name="d"))
+        assert "state <= (" in text
+
+    def test_wire_comment_tags(self):
+        from repro.transforms.chaining import WireVariableInserter
+
+        design = design_from_source(
+            "int out[1]; int a; a = x + 1; out[0] = a;"
+        )
+        WireVariableInserter().run_on_design(design)
+        sm = ChainingScheduler(clock_period=10.0).schedule(design.main)
+        text = emit_verilog(sm, DesignInterface(name="d"))
+        assert "// wire-variable" in text
+
+    def test_negative_literals(self):
+        sm, _ = build("int y; y = 0 - 5;")
+        text = emit_verilog(sm, DesignInterface(name="d"))
+        assert "32'sd5" in text

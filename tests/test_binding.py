@@ -1,0 +1,180 @@
+"""Unit tests for lifetime analysis, register binding and FU binding."""
+
+import pytest
+
+from repro.binding.fu_binding import bind_functional_units
+from repro.binding.lifetimes import LifetimeAnalysis
+from repro.binding.register_binding import bind_registers
+from repro.ir.builder import design_from_source
+from repro.scheduler.list_scheduler import ChainingScheduler
+from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
+from repro.transforms.chaining import WireVariableInserter
+
+
+LIB = ResourceLibrary()
+
+
+def schedule(source, clock=10.0, limits=None, wires=False):
+    design = design_from_source(source)
+    if wires:
+        WireVariableInserter().run_on_design(design)
+    scheduler = ChainingScheduler(
+        library=LIB,
+        clock_period=clock,
+        allocation=ResourceAllocation(limits=limits or {}),
+    )
+    return scheduler.schedule(design.main), design
+
+
+class TestLifetimes:
+    def test_single_cycle_needs_no_registers(self):
+        sm, _ = schedule("int out[1]; int a; a = x + 1; out[0] = a;")
+        analysis = LifetimeAnalysis(sm)
+        # x is an input read at cycle start: it is live-in of S0.
+        regs = analysis.registers()
+        assert "a" not in regs
+
+    def test_cross_cycle_value_needs_register(self):
+        sm, _ = schedule(
+            "int out[1]; int a; int b; a = x + 1; b = a + 2; out[0] = b;",
+            clock=1.5,
+        )
+        assert sm.num_states >= 2
+        regs = LifetimeAnalysis(sm).registers()
+        assert "a" in regs
+
+    def test_boundary_live_outputs_registered(self):
+        sm, _ = schedule("int r; r = x + 1;")
+        analysis = LifetimeAnalysis(sm, boundary_live={"r"})
+        # r is written in the only state and observable after halt: it
+        # appears in the halting state's live-out via the boundary.
+        assert analysis.info[sm.entry_state].live_out >= set()
+
+    def test_loop_carried_variable_registered(self):
+        sm, _ = schedule(
+            "int out[1]; int i; int s; s = 0;"
+            "for (i = 0; i < 4; i++) { s = s + i; }"
+            "out[0] = s;"
+        )
+        regs = LifetimeAnalysis(sm).registers()
+        assert "s" in regs
+        assert "i" in regs
+
+    def test_wire_variables_never_registered(self):
+        sm, design = schedule(
+            "int out[1]; int a; a = x + 1; out[0] = a;", wires=True
+        )
+        assert design.main.wire_variables
+        regs = LifetimeAnalysis(sm).registers()
+        assert not (regs & design.main.wire_variables)
+
+    def test_lifetime_states_reported(self):
+        sm, _ = schedule(
+            "int out[1]; int a; int b; a = x + 1; b = a + 2; out[0] = b;",
+            clock=1.5,
+        )
+        analysis = LifetimeAnalysis(sm)
+        states = analysis.lifetime_states("a")
+        assert states, "a crosses a boundary so it is live somewhere"
+
+
+class TestRegisterBinding:
+    def test_disjoint_lifetimes_share_register(self):
+        # a dies (last read) before c is born: they can share.
+        sm, _ = schedule(
+            "int out[2]; int a; int c;"
+            "a = x + 1; out[0] = a + 1;"
+            "c = y + 2; out[1] = c + 1;",
+            clock=1.9,
+        )
+        binding = bind_registers(sm)
+        assert "a" in binding.assignment and "c" in binding.assignment
+        assert binding.shares("a", "c")
+
+    def test_overlapping_lifetimes_get_distinct_registers(self):
+        # a and b are produced in cycle 1 and consumed together in
+        # cycle 2: both live at the boundary, so they cannot share.
+        sm, _ = schedule(
+            "int out[1]; int a; int b;"
+            "a = x + 1; b = y + 2;"
+            "out[0] = a + b;",
+            clock=1.9,
+        )
+        assert sm.num_states == 2
+        binding = bind_registers(sm)
+        assert "a" in binding.assignment and "b" in binding.assignment
+        assert not binding.shares("a", "b")
+
+    def test_register_count_bounded_by_variables(self):
+        sm, _ = schedule(
+            "int out[1]; int a; int b; int c;"
+            "a = x + 1; b = a + 1; c = b + 1; out[0] = c;",
+            clock=1.0,
+        )
+        binding = bind_registers(sm)
+        assert binding.register_count <= 3
+
+    def test_groups_consistent_with_assignment(self):
+        sm, _ = schedule(
+            "int out[1]; int a; int b; a = x + 1; b = a + 2; out[0] = b;",
+            clock=1.5,
+        )
+        binding = bind_registers(sm)
+        for reg_index, group in enumerate(binding.groups):
+            for var in group:
+                assert binding.assignment[var] == reg_index
+
+    def test_single_cycle_design_only_input_registered(self):
+        sm, _ = schedule(
+            "int out[1]; int a; a = x + 1; out[0] = a;", wires=True
+        )
+        binding = bind_registers(sm)
+        # The internal value `a` is fully chained: no register.  Only
+        # the primary input x (live at cycle start) holds state.
+        assert "a" not in binding.assignment
+        assert set(binding.assignment) <= {"x"}
+
+
+class TestFUBinding:
+    def test_instance_counts_match_peak_usage(self):
+        sm, _ = schedule("int a; int b; a = x + 1; b = y + 2;")
+        binding = bind_functional_units(sm, LIB)
+        assert binding.instances_of("alu") == 2
+
+    def test_instances_reused_across_states(self):
+        sm, _ = schedule(
+            "int a; int b; a = x + 1; b = y + 2;", limits={"alu": 1}
+        )
+        assert sm.num_states == 2
+        binding = bind_functional_units(sm, LIB)
+        assert binding.instances_of("alu") == 1
+        assert binding.sharing_factor() >= 2.0
+
+    def test_mutually_exclusive_branches_share_instances(self):
+        sm, _ = schedule(
+            "int x; if (c) { x = a + 1; } else { x = b + 2; }"
+        )
+        binding = bind_functional_units(sm, LIB)
+        # One ALU instance serves both branches (Section 2).
+        assert binding.instances_of("alu") == 1
+
+    def test_external_blocks_counted_per_name(self):
+        lib = ResourceLibrary()
+        lib.register_external("f", delay=0.5)
+        design = design_from_source("int a; int b; a = f(1); b = f(2);")
+        scheduler = ChainingScheduler(library=lib, clock_period=10.0)
+        sm = scheduler.schedule(design.main)
+        binding = bind_functional_units(sm, lib)
+        assert binding.instances_of("ext:f") == 2
+
+    def test_op_assignment_recorded(self):
+        sm, design = schedule("int a; a = x + y;")
+        binding = bind_functional_units(sm, LIB)
+        op = next(design.main.walk_operations())
+        assert binding.op_assignment[op.uid] == [("alu", 0)]
+
+    def test_sequential_ops_in_one_state_use_distinct_instances(self):
+        sm, _ = schedule("int a; int b; a = x + 1; b = a + 2;")
+        binding = bind_functional_units(sm, LIB)
+        # Chained same-cycle ops cannot share an instance.
+        assert binding.instances_of("alu") == 2

@@ -1,0 +1,149 @@
+"""Unit tests for AST->HTG lowering and the IR pretty-printer."""
+
+import pytest
+
+from repro.frontend.parser import parse
+from repro.ir.builder import LoweringError, build_design, design_from_source
+from repro.ir.htg import BlockNode, BreakNode, IfNode, LoopNode
+from repro.ir.printer import htg_structure, print_design, print_function, print_htg
+from repro.interp import run_design
+
+
+class TestLowering:
+    def test_decls_populate_symbol_tables(self):
+        design = design_from_source("int a[8]; int x; x = 1;")
+        main = design.main
+        assert main.arrays == {"a": 8}
+        assert "x" in main.locals
+
+    def test_decl_with_init_becomes_assignment(self):
+        design = design_from_source("int x = 5;")
+        ops = list(design.main.walk_operations())
+        assert len(ops) == 1
+        assert str(ops[0]) == "x = 5;"
+
+    def test_array_initializer_rejected(self):
+        with pytest.raises(LoweringError):
+            build_design(parse("int a[2] = 3;"))
+
+    def test_if_becomes_ifnode(self):
+        design = design_from_source("int x; if (1) { x = 1; } else { x = 2; }")
+        kinds = [type(n).__name__ for n in design.main.walk_nodes()]
+        assert "IfNode" in kinds
+
+    def test_for_becomes_loopnode_with_header_ops(self):
+        design = design_from_source("int i; int s; s=0; for (i = 0; i < 3; i++) s += i;")
+        loop = next(
+            n for n in design.main.walk_nodes() if isinstance(n, LoopNode)
+        )
+        assert loop.kind == "for"
+        assert len(loop.init) == 1
+        assert len(loop.update) == 1
+
+    def test_for_with_decl_init(self):
+        design = design_from_source("int s; s=0; for (int i = 0; i < 3; i++) s += i;")
+        assert "i" in design.main.locals
+
+    def test_while_becomes_loopnode(self):
+        design = design_from_source("int x; x=0; while (x < 2) { x = x + 1; }")
+        loop = next(
+            n for n in design.main.walk_nodes() if isinstance(n, LoopNode)
+        )
+        assert loop.kind == "while"
+        assert loop.init == [] and loop.update == []
+
+    def test_break_becomes_breaknode(self):
+        design = design_from_source("while (1) { break; }")
+        kinds = [type(n).__name__ for n in design.main.walk_nodes()]
+        assert "BreakNode" in kinds
+
+    def test_adjacent_statements_merge_into_one_block(self):
+        design = design_from_source("int a; int b; a = 1; b = 2;")
+        blocks = [n for n in design.main.walk_nodes() if isinstance(n, BlockNode)]
+        assert len(blocks) == 1
+        assert len(blocks[0].ops) == 2
+
+    def test_statement_call_lowered(self):
+        design = design_from_source("poke(1);")
+        ops = list(design.main.walk_operations())
+        assert len(ops) == 1 and ops[0].kind.name == "CALL"
+
+    def test_externals_inferred(self):
+        design = design_from_source("int y; y = mystery(1);")
+        assert design.external_functions == {"mystery"}
+
+    def test_explicit_externals_respected(self):
+        design = build_design(parse("int y; y = f(1);"), external_functions=["f"])
+        assert design.external_functions == {"f"}
+
+
+class TestPrinterRoundTrip:
+    """Printed code must re-parse to a behaviorally identical design."""
+
+    def roundtrip(self, source, **kwargs):
+        design = design_from_source(source)
+        before = run_design(design, **kwargs).snapshot()
+        printed = print_design(design)
+        reparsed = design_from_source(printed)
+        after = run_design(reparsed, **kwargs).snapshot()
+        assert before["arrays"] == after["arrays"]
+        return printed
+
+    def test_straight_line(self):
+        self.roundtrip("int out[1]; int a; a = 2 + 3; out[0] = a;")
+
+    def test_conditional(self):
+        self.roundtrip(
+            "int out[2]; int c; c = 1;"
+            "if (c) { out[0] = 1; } else { out[1] = 1; }"
+        )
+
+    def test_loop(self):
+        self.roundtrip(
+            "int out[5]; int i; for (i = 0; i < 5; i++) out[i] = i * i;"
+        )
+
+    def test_function(self):
+        printed = self.roundtrip(
+            "int sq(x) { return x * x; } int out[1]; out[0] = sq(7);"
+        )
+        assert "int sq(int x)" in printed
+
+    def test_while_break(self):
+        self.roundtrip(
+            "int out[1]; int i; i = 0;"
+            "while (1) { i = i + 1; if (i > 4) { break; } } out[0] = i;"
+        )
+
+    def test_mini_ild(self, mini_ild_ext):
+        from tests.conftest import MINI_ILD_SRC
+
+        self.roundtrip(MINI_ILD_SRC, externals=mini_ild_ext)
+
+
+class TestPrinterOutput:
+    def test_array_decls_rendered(self):
+        design = design_from_source("int a[4]; a[0] = 1;")
+        assert "int a[4];" in print_design(design)
+
+    def test_speculation_flags_rendered(self):
+        design = design_from_source("int x; x = 1;")
+        op = next(design.main.walk_operations())
+        op.is_speculated = True
+        assert "spec" in print_design(design)
+
+    def test_structure_view(self, mini_ild_design):
+        text = htg_structure(mini_ild_design.main.body)
+        assert "LoopNode" in text
+        assert "IfNode" in text
+
+    def test_print_htg_indents_branches(self):
+        design = design_from_source("int x; if (1) { x = 1; }")
+        text = print_htg(design.main.body)
+        assert "if (1) {" in text
+        assert "  x = 1;" in text
+
+    def test_print_function_signature(self):
+        design = design_from_source("int f(a, b) { return a + b; }")
+        text = print_function(design.function("f"))
+        assert text.startswith("int f(int a, int b) {")

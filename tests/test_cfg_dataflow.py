@@ -1,0 +1,171 @@
+"""Unit tests for CFG construction and data-flow analyses."""
+
+import pytest
+
+from repro.ir.builder import design_from_source
+from repro.ir.cfg import build_cfg
+from repro.ir.dataflow import (
+    compute_liveness,
+    compute_reaching_definitions,
+    condition_uses_of,
+    definitions_of,
+    uses_of,
+)
+
+
+class TestCFGConstruction:
+    def test_straight_line(self):
+        design = design_from_source("int x; int y; x = 1; y = x + 1;")
+        cfg = build_cfg(design.main)
+        blocks = [n for n in cfg.nodes() if n.kind == "block"]
+        assert len(blocks) == 1
+        # entry -> block -> exit
+        assert cfg.successors(cfg.entry)[0] is blocks[0]
+        assert cfg.exit in cfg.successors(blocks[0])
+
+    def test_if_creates_branch_and_join(self):
+        design = design_from_source(
+            "int x; int c; c = 1; if (c) { x = 1; } else { x = 2; }"
+        )
+        cfg = build_cfg(design.main)
+        kinds = [n.kind for n in cfg.nodes()]
+        assert "branch" in kinds
+        assert "join" in kinds
+
+    def test_branch_edge_labels(self):
+        design = design_from_source("int x; int c; c = 1; if (c) x = 1; else x = 2;")
+        cfg = build_cfg(design.main)
+        branch = next(n for n in cfg.nodes() if n.kind == "branch")
+        labels = sorted(
+            cfg.edge_label(branch, succ) for succ in cfg.successors(branch)
+        )
+        assert labels == ["false", "true"]
+
+    def test_loop_back_edge(self):
+        design = design_from_source(
+            "int i; int s; s = 0; for (i = 0; i < 4; i++) { s = s + i; }"
+        )
+        cfg = build_cfg(design.main)
+        import networkx as nx
+
+        cycles = list(nx.simple_cycles(cfg.graph))
+        assert cycles, "for-loop must create a CFG cycle"
+
+    def test_return_edges_to_exit(self):
+        design = design_from_source(
+            "int f(x) { if (x) { return 1; } return 2; } int y; y = f(1);"
+        )
+        cfg = build_cfg(design.function("f"))
+        exit_preds = cfg.predecessors(cfg.exit)
+        assert len(exit_preds) == 2
+
+    def test_break_edges_to_loop_exit(self):
+        design = design_from_source(
+            "int i; i = 0; while (1) { i = i + 1; if (i > 3) { break; } }"
+        )
+        cfg = build_cfg(design.main)
+        # The graph must still reach the exit (through the break).
+        import networkx as nx
+
+        assert nx.has_path(cfg.graph, cfg.entry.node_id, cfg.exit.node_id)
+
+    def test_node_for_block_lookup(self, mini_ild_design):
+        cfg = build_cfg(mini_ild_design.main)
+        some_block = next(n for n in cfg.nodes() if n.kind == "block").block
+        assert cfg.node_for_block(some_block).block is some_block
+
+    def test_reverse_postorder_starts_at_entry(self, mini_ild_design):
+        cfg = build_cfg(mini_ild_design.main)
+        order = cfg.reverse_postorder()
+        assert order[0] is cfg.entry
+
+
+class TestLiveness:
+    def test_dead_write_not_live(self):
+        design = design_from_source(
+            "int a; int b; a = 1; b = 2; a = 3;"
+        )
+        cfg = build_cfg(design.main)
+        result = compute_liveness(cfg)
+        block = next(n for n in cfg.nodes() if n.kind == "block")
+        first_write = block.block.ops[0]
+        # After `a = 1`, a is rewritten before any read: not live.
+        assert "a" not in result.op_live_out[first_write.uid]
+
+    def test_boundary_live_propagates(self):
+        design = design_from_source("int a; a = 1;")
+        cfg = build_cfg(design.main)
+        result = compute_liveness(cfg, boundary_live={"a"})
+        block = next(n for n in cfg.nodes() if n.kind == "block")
+        assert "a" in result.op_live_out[block.block.ops[0].uid]
+
+    def test_condition_reads_are_uses(self):
+        design = design_from_source(
+            "int c; int x; c = 1; if (c) { x = 1; }"
+        )
+        cfg = build_cfg(design.main)
+        result = compute_liveness(cfg)
+        block = next(n for n in cfg.nodes() if n.kind == "block")
+        write_c = block.block.ops[0]
+        assert "c" in result.op_live_out[write_c.uid]
+
+    def test_loop_carried_liveness(self):
+        design = design_from_source(
+            "int i; int s; s = 0; for (i = 0; i < 4; i++) { s = s + i; }"
+        )
+        cfg = build_cfg(design.main)
+        result = compute_liveness(cfg)
+        # s is live around the back edge.
+        body_block = next(
+            n
+            for n in cfg.nodes()
+            if n.kind == "block" and "s" in n.block.variables_read()
+        )
+        assert "s" in result.live_in[body_block.node_id]
+
+
+class TestReachingDefinitions:
+    def test_single_def_reaches_use(self):
+        design = design_from_source("int a; int b; a = 1; b = a;")
+        cfg = build_cfg(design.main)
+        result = compute_reaching_definitions(cfg)
+        exit_defs = result.reach_in[cfg.exit.node_id]
+        vars_defined = {var for var, _ in exit_defs}
+        assert vars_defined == {"a", "b"}
+
+    def test_redefinition_kills(self):
+        design = design_from_source("int a; a = 1; a = 2;")
+        cfg = build_cfg(design.main)
+        result = compute_reaching_definitions(cfg)
+        exit_defs = [d for d in result.reach_in[cfg.exit.node_id] if d[0] == "a"]
+        assert len(exit_defs) == 1
+
+    def test_branch_merges_definitions(self):
+        design = design_from_source(
+            "int a; int c; c = 1; if (c) { a = 1; } else { a = 2; }"
+        )
+        cfg = build_cfg(design.main)
+        result = compute_reaching_definitions(cfg)
+        exit_defs = [d for d in result.reach_in[cfg.exit.node_id] if d[0] == "a"]
+        assert len(exit_defs) == 2
+
+    def test_entry_definitions(self):
+        design = design_from_source("int b; b = x;")
+        cfg = build_cfg(design.main)
+        result = compute_reaching_definitions(cfg, entry_variables={"x"})
+        block = next(n for n in cfg.nodes() if n.kind == "block")
+        assert ("x", 0) in result.reach_in[block.node_id]
+
+
+class TestQueryHelpers:
+    def test_definitions_of(self, mini_ild_design):
+        defs = definitions_of(mini_ild_design.main, "NextStartByte")
+        assert len(defs) == 2  # init + increment
+
+    def test_uses_of(self, mini_ild_design):
+        uses = uses_of(mini_ild_design.main, "NextStartByte")
+        assert len(uses) >= 1
+
+    def test_condition_uses_of(self, mini_ild_design):
+        nodes = condition_uses_of(mini_ild_design.main, "NextStartByte")
+        assert len(nodes) == 1  # the `i == NextStartByte` guard

@@ -1,0 +1,259 @@
+"""Unit tests for chaining trails and wire-variable insertion
+(paper Section 3.1, Figs 5-7)."""
+
+import pytest
+
+from repro.interp import run_design
+from repro.ir.builder import design_from_source
+from repro.ir.htg import BlockNode, IfNode
+from repro.transforms.chaining import (
+    WireVariableInserter,
+    chaining_sources,
+    enumerate_chaining_trails,
+    insert_wire_variable,
+)
+
+from tests.helpers import assert_equivalent, ops_text
+
+
+def block_of_op(func, predicate):
+    """(BlockNode, Operation) for the first op satisfying predicate."""
+    for node in func.walk_nodes():
+        if isinstance(node, BlockNode):
+            for op in node.ops:
+                if predicate(op):
+                    return node, op
+    raise AssertionError("no matching operation")
+
+
+class TestChainingTrails:
+    FIG5 = """
+    int o1; int o2;
+    if (cond1) {
+      if (cond2) { o1 = a; } else { o1 = b; }
+    } else { o1 = c; }
+    o2 = o1 + d;
+    """
+
+    def test_fig5_three_trails(self):
+        """The paper's Fig 5: three trails lead back from BB8."""
+        design = design_from_source(self.FIG5)
+        _, reader = block_of_op(
+            design.main, lambda op: "o2" in op.writes()
+        )
+        target_block = next(
+            n.block
+            for n in design.main.walk_nodes()
+            if isinstance(n, BlockNode) and reader in n.ops
+        )
+        trails = enumerate_chaining_trails(design.main, target_block)
+        assert len(trails) == 3
+
+    def test_each_trail_has_one_writer(self):
+        design = design_from_source(self.FIG5)
+        _, reader = block_of_op(design.main, lambda op: "o2" in op.writes())
+        sources = chaining_sources(design.main, reader, "o1")
+        assert len(sources) == 3
+        for trail, writers in sources.items():
+            assert len(writers) == 1, trail
+
+    def test_trail_conditions_recorded(self):
+        design = design_from_source(self.FIG5)
+        _, reader = block_of_op(design.main, lambda op: "o2" in op.writes())
+        target_block = next(
+            n.block
+            for n in design.main.walk_nodes()
+            if isinstance(n, BlockNode) and reader in n.ops
+        )
+        trails = enumerate_chaining_trails(design.main, target_block)
+        polarity_counts = sorted(len(t.conditions) for t in trails)
+        # <else> trail crosses one condition; the two then-trails cross 2.
+        assert polarity_counts == [1, 2, 2]
+
+    def test_trail_rendering_paper_style(self):
+        design = design_from_source(self.FIG5)
+        _, reader = block_of_op(design.main, lambda op: "o2" in op.writes())
+        target_block = next(
+            n.block
+            for n in design.main.walk_nodes()
+            if isinstance(n, BlockNode) and reader in n.ops
+        )
+        trails = enumerate_chaining_trails(design.main, target_block)
+        assert all(str(t).startswith("<") for t in trails)
+
+
+class TestWireInsertionFig6:
+    FIG6 = """
+    int o1; int o2;
+    o1 = a + b;
+    if (cond) { o1 = d; }
+    o2 = o1 + e;
+    """
+
+    def build(self):
+        design = design_from_source(self.FIG6)
+        _, reader = block_of_op(design.main, lambda op: "o2" in op.writes())
+        wire = insert_wire_variable(design.main, reader, "o1")
+        return design, reader, wire
+
+    def test_reader_redirected_to_wire(self):
+        design, reader, wire = self.build()
+        assert wire in reader.reads()
+        assert "o1" not in reader.reads()
+
+    def test_wire_registered(self):
+        design, _, wire = self.build()
+        assert wire in design.main.wire_variables
+
+    def test_both_writes_feed_the_wire(self):
+        design, _, wire = self.build()
+        writers = [
+            op
+            for op in design.main.walk_operations()
+            if wire in op.writes() and not op.is_wire_copy
+        ]
+        assert len(writers) == 2  # `a + b` and `d` both write the wire
+
+    def test_commit_copies_inserted(self):
+        """Fig 6(b): copy operations re-commit the register value."""
+        design, _, wire = self.build()
+        commits = [
+            op
+            for op in design.main.walk_operations()
+            if op.is_wire_copy and "o1" in op.writes()
+        ]
+        assert len(commits) == 2
+
+    def test_semantics_preserved(self):
+        for cond in (0, 1):
+            design = design_from_source(self.FIG6)
+            inputs = {"a": 2, "b": 3, "d": 9, "e": 100, "cond": cond}
+            before = run_design(design, inputs=inputs).scalars
+            design2 = design_from_source(self.FIG6)
+            _, reader = block_of_op(
+                design2.main, lambda op: "o2" in op.writes()
+            )
+            insert_wire_variable(design2.main, reader, "o1")
+            after = run_design(design2, inputs=inputs).scalars
+            assert before["o2"] == after["o2"]
+            assert before["o1"] == after["o1"]
+
+
+class TestWireInsertionFig7:
+    FIG7 = """
+    int o1; int o2;
+    o1 = init;
+    if (cond) { o1 = d; }
+    o2 = o1 + b;
+    """
+
+    def test_one_branch_write_gets_else_copy(self):
+        """Fig 7(b): the write-free trail gains a `t1 = o1` copy —
+        here materialized against the pre-if register value."""
+        design = design_from_source(self.FIG7)
+        # Treat `o1 = init` as a previous-cycle write by inserting the
+        # wire for the reader only over the conditional: emulate by
+        # querying after insertion that both paths define the wire.
+        _, reader = block_of_op(design.main, lambda op: "o2" in op.writes())
+        wire = insert_wire_variable(design.main, reader, "o1")
+        for cond in (0, 1):
+            state = run_design(
+                design, inputs={"init": 5, "d": 9, "b": 1, "cond": cond}
+            )
+            expected = (9 if cond else 5) + 1
+            assert state.scalars["o2"] == expected
+
+    def test_wire_copy_count(self):
+        design = design_from_source(self.FIG7)
+        _, reader = block_of_op(design.main, lambda op: "o2" in op.writes())
+        insert_wire_variable(design.main, reader, "o1")
+        copies = [
+            op for op in design.main.walk_operations() if op.is_wire_copy
+        ]
+        # Paper Fig 7(b) inserts two copy ops (3 and 4).
+        assert len(copies) == 2
+
+
+class TestWireInserterPass:
+    def test_straight_line_raw_wired(self):
+        design = assert_equivalent(
+            "int out[1]; int a; int b; a = x + 1; b = a + 2; out[0] = b;",
+            lambda d: WireVariableInserter().run_on_design(d),
+            inputs={"x": 5},
+        )
+        assert design.main.wire_variables
+
+    def test_no_wires_without_chaining(self):
+        design = design_from_source("int out[2]; out[0] = x; out[1] = y;")
+        WireVariableInserter().run_on_design(design)
+        assert not design.main.wire_variables
+
+    def test_branch_local_write_not_cross_wired(self):
+        """A write in the then-branch must not force a wire for a read
+        in the else-branch (different control paths)."""
+        design = assert_equivalent(
+            "int out[1]; int t;"
+            "if (c) { t = 1; out[0] = t; } else { out[0] = x; }",
+            lambda d: WireVariableInserter().run_on_design(d),
+            inputs={"c": 1, "x": 3},
+        )
+
+    def test_condition_reading_chained_value_wired(self):
+        design = assert_equivalent(
+            "int out[1]; int c; c = x + 1;"
+            "if (c > 0) { out[0] = 1; } else { out[0] = 2; }",
+            lambda d: WireVariableInserter().run_on_design(d),
+            inputs={"x": -5},
+        )
+        assert design.main.wire_variables
+
+    def test_loop_bodies_are_separate_regions(self):
+        assert_equivalent(
+            "int out[4]; int i; int s; s = 0;"
+            "for (i = 0; i < 4; i++) { s = s + i; out[i] = s; }",
+            lambda d: WireVariableInserter().run_on_design(d),
+        )
+
+    def test_multiple_readers_reuse_wire(self):
+        design = assert_equivalent(
+            "int out[2]; int a; a = x + 1; out[0] = a; out[1] = a * 2;",
+            lambda d: WireVariableInserter().run_on_design(d),
+            inputs={"x": 7},
+        )
+        # One producer, two consumers: a single wire suffices.
+        assert len(design.main.wire_variables) == 1
+
+    def test_mini_ild_full_wiring_preserves_semantics(self, mini_ild_ext):
+        from repro.transforms.const_prop import ConstantPropagation
+        from repro.transforms.inline import FunctionInliner
+        from repro.transforms.unroll import LoopUnroller
+        from tests.conftest import MINI_ILD_SRC
+
+        def pipeline(design):
+            FunctionInliner().run_on_design(design)
+            LoopUnroller({"i": 0}).run_on_design(design)
+            ConstantPropagation().run_on_design(design)
+            WireVariableInserter().run_on_design(design)
+
+        design = assert_equivalent(
+            MINI_ILD_SRC, pipeline, externals=mini_ild_ext
+        )
+        assert design.main.wire_variables
+
+    def test_wire_names_derive_from_variable(self):
+        design = design_from_source(
+            "int out[1]; int acc; acc = x + 1; out[0] = acc;"
+        )
+        WireVariableInserter().run_on_design(design)
+        assert all(
+            w.startswith("acc_w") for w in design.main.wire_variables
+        )
+
+    def test_idempotent(self):
+        design = design_from_source(
+            "int out[1]; int a; a = x + 1; out[0] = a;"
+        )
+        WireVariableInserter().run_on_design(design)
+        snapshot = ops_text(design.main)
+        WireVariableInserter().run_on_design(design)
+        assert ops_text(design.main) == snapshot

@@ -1,0 +1,153 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+FIG4 = """
+int t1; int t2; int t3; int f;
+t1 = a + b;
+if (cond) {
+  t2 = t1;
+  t3 = c + d;
+} else {
+  t2 = e;
+  t3 = c - d;
+}
+f = t2 + t3;
+"""
+
+LOOPY = """
+int acc[10];
+int i; int total;
+total = 0;
+for (i = 0; i < 8; i++) {
+  total = total + i;
+  acc[i] = total;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "design.c"
+    path.write_text(FIG4)
+    return str(path)
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.c"
+    path.write_text(LOOPY)
+    return str(path)
+
+
+class TestArgumentParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args(["in.c"])
+        assert args.preset == "none"
+        assert args.emit == "vhdl"
+        assert args.clock is None
+
+    def test_repeatable_options(self):
+        args = build_parser().parse_args(
+            ["in.c", "--limit", "alu=2", "--limit", "cmp=1",
+             "--unroll", "i=0", "--pure", "f"]
+        )
+        assert args.limit == ["alu=2", "cmp=1"]
+        assert args.unroll == ["i=0"]
+        assert args.pure == ["f"]
+
+
+class TestExitStatus:
+    def test_success(self, source_file, capsys):
+        status = main([source_file, "--emit", "none", "--output", "f"])
+        assert status == 0
+
+    def test_missing_file(self, capsys):
+        status = main(["/nonexistent/file.c"])
+        assert status == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_limit_spec(self, source_file, capsys):
+        status = main([source_file, "--limit", "alu"])
+        assert status == 2
+        assert "resource limit" in capsys.readouterr().err
+
+    def test_parse_error_in_source(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int x; x = ;")
+        status = main([str(bad)])
+        assert status == 1
+        assert "synthesis failed" in capsys.readouterr().err
+
+
+class TestOutputs:
+    def test_vhdl_emitted(self, source_file, capsys):
+        main([source_file, "--output", "f", "--entity", "fig4"])
+        out = capsys.readouterr().out
+        assert "entity" in out
+        assert "fig4" in out
+
+    def test_verilog_emitted(self, source_file, capsys):
+        main([source_file, "--output", "f", "--emit", "verilog"])
+        assert "module" in capsys.readouterr().out
+
+    def test_summary_printed(self, source_file, capsys):
+        main([source_file, "--output", "f", "--emit", "none", "--summary"])
+        out = capsys.readouterr().out
+        assert "states: 1" in out
+        assert "single-cycle: True" in out
+
+    def test_transformed_code_printed(self, source_file, capsys):
+        main([source_file, "--output", "f", "--emit", "none",
+              "--print-code", "--no-speculation"])
+        assert "if (" in capsys.readouterr().out
+
+    def test_reports_printed(self, loop_file, capsys):
+        main([loop_file, "--emit", "none", "--reports",
+              "--unroll", "*=0"])
+        assert "loop-unrolling" in capsys.readouterr().out
+
+
+class TestDotOutput:
+    def test_htg_dot(self, source_file, capsys):
+        status = main([source_file, "--output", "f", "--no-speculation",
+                       "--dot", "htg"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "If Node" in out
+
+    def test_fsmd_dot(self, source_file, capsys):
+        status = main([source_file, "--output", "f", "--dot", "fsmd"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "S0" in out
+
+    def test_dot_suppresses_rtl(self, source_file, capsys):
+        main([source_file, "--output", "f", "--dot", "htg"])
+        assert "entity" not in capsys.readouterr().out
+
+
+class TestPresets:
+    def test_up_preset_single_cycle(self, loop_file, capsys):
+        status = main([loop_file, "--preset", "up", "--emit", "none",
+                       "--summary"])
+        assert status == 0
+        assert "single-cycle: True" in capsys.readouterr().out
+
+    def test_asic_preset_multi_cycle(self, loop_file, capsys):
+        status = main([loop_file, "--preset", "asic", "--emit", "none",
+                       "--summary"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "single-cycle: False" in out
+
+    def test_clock_override(self, source_file, capsys):
+        status = main([source_file, "--output", "f", "--emit", "none",
+                       "--summary", "--no-speculation", "--clock", "1.2"])
+        assert status == 0
+        assert "single-cycle: False" in capsys.readouterr().out

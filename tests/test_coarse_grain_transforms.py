@@ -1,0 +1,423 @@
+"""Unit tests for function inlining, loop unrolling and the Fig-16
+while-to-for rewrite."""
+
+import pytest
+
+from repro.interp import run_design
+from repro.ir.builder import design_from_source
+from repro.ir.htg import IfNode, LoopNode
+from repro.transforms.inline import (
+    FunctionInliner,
+    InlineError,
+    extract_nested_calls,
+)
+from repro.transforms.loop_rewrite import WhileToForRewrite
+from repro.transforms.unroll import (
+    LoopUnroller,
+    UnrollError,
+    analyze_trip_count,
+    fully_unroll,
+    partially_unroll,
+)
+
+from tests.helpers import assert_equivalent, ops_text
+
+
+class TestInliner:
+    def test_simple_inline(self):
+        design = assert_equivalent(
+            "int twice(x) { return x * 2; } int out[1]; out[0] = twice(21);",
+            lambda d: FunctionInliner().run_on_design(d),
+        )
+        assert not any(op.has_call() for op in design.main.walk_operations())
+
+    def test_parameters_renamed(self):
+        design = design_from_source(
+            "int f(x) { return x + 1; } int x; int out[1]; x = 100;"
+            "out[0] = f(1) + x;"
+        )
+        before = run_design(design).arrays["out"]
+        FunctionInliner().run_on_design(design)
+        after = run_design(design).arrays["out"]
+        assert before == after == [102]
+
+    def test_locals_renamed_no_capture(self):
+        design = assert_equivalent(
+            "int f(x) { int t; t = x * 3; return t; }"
+            "int t; int out[2]; t = 7; out[0] = f(2); out[1] = t;",
+            lambda d: FunctionInliner().run_on_design(d),
+        )
+
+    def test_branch_tail_returns(self):
+        assert_equivalent(
+            "int mx(a, b) { if (a > b) { return a; } else { return b; } }"
+            "int out[2]; out[0] = mx(3, 9); out[1] = mx(8, 1);",
+            lambda d: FunctionInliner().run_on_design(d),
+        )
+
+    def test_void_call_statement(self):
+        design = assert_equivalent(
+            "void mark(i) { out[i] = 1; return; } int out[4]; mark(2);",
+            lambda d: FunctionInliner().run_on_design(d),
+        )
+        # The body was spliced in: the store now happens in main via
+        # the renamed parameter.
+        stores = [
+            op for op in design.main.walk_operations() if op.arrays_written()
+        ]
+        assert len(stores) == 1
+        assert stores[0].target.name == "out"
+
+    def test_nested_function_calls_inline_transitively(self):
+        assert_equivalent(
+            "int inc(x) { return x + 1; }"
+            "int twice_inc(x) { return inc(inc(x)); }"
+            "int out[1]; out[0] = twice_inc(5);",
+            lambda d: FunctionInliner().run_on_design(d),
+        )
+
+    def test_call_in_expression_extracted_then_inlined(self):
+        design = assert_equivalent(
+            "int f(x) { return x * 2; }"
+            "int out[1]; int acc; acc = 1; acc += f(3); out[0] = acc;",
+            lambda d: FunctionInliner().run_on_design(d),
+        )
+        assert not any(
+            "f(" in str(op) for op in design.main.walk_operations()
+        )
+
+    def test_shared_arrays_not_renamed(self):
+        assert_equivalent(
+            "int probe(i) { return buf[i]; }"
+            "int buf[4]; int out[1]; buf[2] = 50; out[0] = probe(2);",
+            lambda d: FunctionInliner().run_on_design(d),
+        )
+
+    def test_selective_inline(self):
+        design = design_from_source(
+            "int a(x) { return x + 1; } int b(x) { return x + 2; }"
+            "int out[2]; out[0] = a(1); out[1] = b(1);"
+        )
+        FunctionInliner(["a"]).run_on_design(design)
+        remaining = [
+            c.name
+            for op in design.main.walk_operations()
+            for c in __import__(
+                "repro.ir.expr_utils", fromlist=["calls_in"]
+            ).calls_in(op.expr)
+        ]
+        assert "a" not in remaining
+        assert "b" in remaining
+
+    def test_externals_never_inlined(self, mini_ild_design):
+        FunctionInliner().run_on_design(mini_ild_design)
+        calls = [
+            op for op in mini_ild_design.main.walk_operations() if op.has_call()
+        ]
+        assert calls, "external length-contribution calls must remain"
+
+    def test_recursion_raises(self):
+        design = design_from_source(
+            "int f(x) { return f(x - 1); } int y; y = f(3);"
+        )
+        with pytest.raises(InlineError):
+            FunctionInliner().run_on_design(design)
+
+    def test_non_tail_return_raises(self):
+        design = design_from_source(
+            "int f(x) { if (x) { return 1; } int y; y = 2; return y; }"
+            "int z; z = f(0);"
+        )
+        with pytest.raises(InlineError):
+            FunctionInliner().run_on_design(design)
+
+    def test_extract_nested_calls_counts(self):
+        design = design_from_source(
+            "int f(x) { return x; } int y; y = f(1) + f(2);"
+        )
+        count = extract_nested_calls(design.main, design)
+        assert count == 2
+
+    def test_mini_ild_inline(self, mini_ild_ext):
+        from tests.conftest import MINI_ILD_SRC
+
+        design = assert_equivalent(
+            MINI_ILD_SRC,
+            lambda d: FunctionInliner().run_on_design(d),
+            externals=mini_ild_ext,
+        )
+        # Paper Fig 12: the call disappears from the loop body (only
+        # external decode-logic calls remain).
+        from repro.ir.expr_utils import calls_in
+
+        remaining = {
+            call.name
+            for op in design.main.walk_operations()
+            for call in calls_in(op.expr)
+        }
+        assert "CalculateLength" not in remaining
+        assert "LengthContribution_1" in remaining
+
+
+class TestTripCount:
+    def loop_of(self, source):
+        design = design_from_source(source)
+        return next(
+            n for n in design.main.walk_nodes() if isinstance(n, LoopNode)
+        )
+
+    def test_upward_counted_loop(self):
+        trip = analyze_trip_count(
+            self.loop_of("int i; int s; s=0; for (i = 1; i <= 8; i++) s += i;")
+        )
+        assert (trip.start, trip.step, trip.iterations) == (1, 1, 8)
+
+    def test_strict_bound(self):
+        trip = analyze_trip_count(
+            self.loop_of("int i; int s; s=0; for (i = 0; i < 8; i++) s += i;")
+        )
+        assert trip.iterations == 8
+
+    def test_downward_loop(self):
+        trip = analyze_trip_count(
+            self.loop_of("int i; int s; s=0; for (i = 7; i > 0; i--) s += i;")
+        )
+        assert (trip.step, trip.iterations) == (-1, 7)
+
+    def test_stride_two(self):
+        trip = analyze_trip_count(
+            self.loop_of("int i; int s; s=0; for (i = 0; i < 10; i += 2) s += i;")
+        )
+        assert trip.iterations == 5
+        assert trip.value_at(2) == 4
+
+    def test_not_equal_bound(self):
+        trip = analyze_trip_count(
+            self.loop_of("int i; int s; s=0; for (i = 0; i != 4; i++) s += i;")
+        )
+        assert trip.iterations == 4
+
+    def test_mirrored_condition(self):
+        trip = analyze_trip_count(
+            self.loop_of("int i; int s; s=0; for (i = 0; 8 > i; i++) s += i;")
+        )
+        assert trip.iterations == 8
+
+    def test_zero_iterations(self):
+        trip = analyze_trip_count(
+            self.loop_of("int i; int s; s=0; for (i = 5; i < 5; i++) s += i;")
+        )
+        assert trip.iterations == 0
+
+    def test_symbolic_bound_rejected(self):
+        with pytest.raises(UnrollError):
+            analyze_trip_count(
+                self.loop_of("int i; int s; s=0; for (i = 0; i < n; i++) s += i;")
+            )
+
+    def test_body_writing_index_rejected(self):
+        with pytest.raises(UnrollError):
+            analyze_trip_count(
+                self.loop_of(
+                    "int i; int s; s=0; for (i = 0; i < 4; i++) { i = i + 1; }"
+                )
+            )
+
+    def test_break_rejected(self):
+        with pytest.raises(UnrollError):
+            analyze_trip_count(
+                self.loop_of(
+                    "int i; int s; s=0;"
+                    "for (i = 0; i < 9; i++) { if (i > 2) { break; } s += i; }"
+                )
+            )
+
+    def test_while_rejected(self):
+        with pytest.raises(UnrollError):
+            analyze_trip_count(
+                self.loop_of("int x; x = 0; while (x < 5) { x = x + 1; }")
+            )
+
+
+class TestFullUnroll:
+    def test_straight_line_result(self):
+        design = assert_equivalent(
+            "int out[4]; int i; for (i = 0; i < 4; i++) { out[i] = i * i; }",
+            lambda d: LoopUnroller({"*": 0}).run_on_design(d),
+        )
+        assert not any(
+            isinstance(n, LoopNode) for n in design.main.walk_nodes()
+        )
+
+    def test_exit_value_of_index_preserved(self):
+        assert_equivalent(
+            "int out[1]; int i; for (i = 0; i < 3; i++) { out[0] = i; }"
+            "out[0] = i;",
+            lambda d: LoopUnroller({"*": 0}).run_on_design(d),
+        )
+
+    def test_loop_carried_dependency_preserved(self):
+        assert_equivalent(
+            "int out[6]; int i; int s; s = 1;"
+            "for (i = 1; i <= 5; i++) { s = s * 2; out[i] = s; }",
+            lambda d: LoopUnroller({"*": 0}).run_on_design(d),
+        )
+
+    def test_conditional_body(self):
+        assert_equivalent(
+            "int out[8]; int i;"
+            "for (i = 0; i < 8; i++) { if (i % 2) { out[i] = 1; } }",
+            lambda d: LoopUnroller({"*": 0}).run_on_design(d),
+        )
+
+    def test_nested_loops_unroll(self):
+        design = assert_equivalent(
+            "int out[9]; int i; int j;"
+            "for (i = 0; i < 3; i++)"
+            "  for (j = 0; j < 3; j++)"
+            "    out[i * 3 + j] = i + j;",
+            lambda d: LoopUnroller({"*": 0}).run_on_design(d),
+        )
+        assert not any(
+            isinstance(n, LoopNode) for n in design.main.walk_nodes()
+        )
+
+    def test_selected_loop_only(self):
+        design = design_from_source(
+            "int out[6]; int i; int j;"
+            "for (i = 0; i < 2; i++) { out[i] = i; }"
+            "for (j = 0; j < 2; j++) { out[j + 3] = j; }"
+        )
+        LoopUnroller({"i": 0}).run_on_design(design)
+        loops = [n for n in design.main.walk_nodes() if isinstance(n, LoopNode)]
+        assert len(loops) == 1
+
+    def test_explicit_selection_of_ununrollable_raises(self):
+        design = design_from_source(
+            "int out[1]; int i; for (i = 0; i < n; i++) { out[0] = i; }"
+        )
+        with pytest.raises(UnrollError):
+            LoopUnroller({"i": 0}).run_on_design(design)
+
+    def test_wildcard_skips_ununrollable(self):
+        design = design_from_source(
+            "int out[1]; int i; for (i = 0; i < n; i++) { out[0] = i; }"
+        )
+        reports = LoopUnroller({"*": 0}).run_on_design(design)
+        assert not any(r.changed for r in reports)
+
+    def test_index_substituted_symbolically(self):
+        """Fig 13: iterations reference i, i+1, ... before const prop."""
+        design = design_from_source(
+            "int out[4]; int i; for (i = 0; i < 3; i++) { out[i] = 9; }"
+        )
+        LoopUnroller({"*": 0}).run_on_design(design)
+        texts = ops_text(design.main)
+        assert "out[i] = 9;" in texts
+        assert "out[(i + 1)] = 9;" in texts
+        assert "out[(i + 2)] = 9;" in texts
+
+    def test_report_metrics(self):
+        design = design_from_source(
+            "int out[5]; int i; for (i = 0; i < 5; i++) { out[i] = i; }"
+        )
+        reports = LoopUnroller({"*": 0}).run_on_design(design)
+        main_report = next(r for r in reports if r.function == "main")
+        assert main_report.details["unrolled_loops"] == 1
+        assert main_report.details["iterations_materialized"] == 5
+
+
+class TestPartialUnroll:
+    def test_divisible_factor(self):
+        design = assert_equivalent(
+            "int out[8]; int i; for (i = 0; i < 8; i++) { out[i] = i; }",
+            lambda d: LoopUnroller({"i": 2}).run_on_design(d),
+        )
+        loop = next(
+            n for n in design.main.walk_nodes() if isinstance(n, LoopNode)
+        )
+        # The update now strides by 2.
+        assert "i = (i + 2);" in [str(op) for op in loop.update]
+
+    def test_remainder_iterations(self):
+        assert_equivalent(
+            "int out[8]; int i; for (i = 0; i < 7; i++) { out[i] = i + 1; }",
+            lambda d: LoopUnroller({"i": 3}).run_on_design(d),
+        )
+
+    def test_factor_larger_than_trip_count(self):
+        assert_equivalent(
+            "int out[3]; int i; for (i = 0; i < 2; i++) { out[i] = 5; }",
+            lambda d: LoopUnroller({"i": 4}).run_on_design(d),
+        )
+
+    def test_invalid_factor(self):
+        design = design_from_source(
+            "int out[4]; int i; for (i = 0; i < 4; i++) { out[i] = i; }"
+        )
+        loop = next(
+            n for n in design.main.walk_nodes() if isinstance(n, LoopNode)
+        )
+        with pytest.raises(UnrollError):
+            partially_unroll(loop, factor=1)
+
+
+class TestWhileToFor:
+    NATURAL = """
+    int Mark[9];
+    int pos; int step;
+    pos = 1;
+    while (1) {
+      if (pos > 8) { break; }
+      Mark[pos] = 1;
+      step = 1 + (pos % 2);
+      pos += step;
+    }
+    """
+
+    def test_rewrite_produces_for_loop(self):
+        design = design_from_source(self.NATURAL)
+        WhileToForRewrite("pos", bound=8).run_on_design(design)
+        loops = [n for n in design.main.walk_nodes() if isinstance(n, LoopNode)]
+        assert len(loops) == 1
+        assert loops[0].kind == "for"
+
+    def test_rewrite_equivalent(self):
+        assert_equivalent(
+            self.NATURAL,
+            lambda d: WhileToForRewrite("pos", bound=8).run_on_design(d),
+        )
+
+    def test_guard_structure(self):
+        design = design_from_source(self.NATURAL)
+        WhileToForRewrite("pos", bound=8).run_on_design(design)
+        loop = next(
+            n for n in design.main.walk_nodes() if isinstance(n, LoopNode)
+        )
+        guard = next(n for n in loop.body if isinstance(n, IfNode))
+        assert "== pos" in str(guard.cond) or "pos" in str(guard.cond)
+
+    def test_rewritten_loop_is_unrollable(self):
+        design = design_from_source(self.NATURAL)
+        WhileToForRewrite("pos", bound=8).run_on_design(design)
+        before = run_design(design).arrays["Mark"]
+        LoopUnroller({"*": 0}).run_on_design(design)
+        after = run_design(design).arrays["Mark"]
+        assert before == after
+        assert not any(
+            isinstance(n, LoopNode) for n in design.main.walk_nodes()
+        )
+
+    def test_non_matching_loop_untouched(self):
+        design = design_from_source(
+            "int x; x = 0; while (x < 3) { x = x + 1; }"
+        )
+        reports = WhileToForRewrite("x", bound=3).run_on_design(design)
+        assert not any(r.changed for r in reports)
+
+    def test_index_name_collision_avoided(self):
+        source = self.NATURAL.replace("int pos; int step;", "int pos; int step; int i;")
+        design = design_from_source("int i; i = 42;" + source)
+        WhileToForRewrite("pos", bound=8, index_var="i").run_on_design(design)
+        state = run_design(design)
+        assert state.scalars["i"] == 42 or "i_r" in design.main.locals

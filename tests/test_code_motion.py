@@ -1,0 +1,322 @@
+"""Unit tests for speculation, early condition execution, reverse and
+conditional speculation (paper Section 3 code motions)."""
+
+import pytest
+
+from repro.frontend.ast_nodes import Var
+from repro.interp import run_design
+from repro.ir.builder import design_from_source
+from repro.ir.htg import BlockNode, IfNode
+from repro.transforms.cond_speculation import (
+    ConditionalSpeculation,
+    ReverseSpeculation,
+)
+from repro.transforms.speculation import EarlyConditionExecution, Speculation
+
+from tests.helpers import assert_equivalent, ops_text
+
+
+def top_level_ops(func):
+    """Operations in top-level blocks only (not inside branches)."""
+    ops = []
+    for node in func.body:
+        if isinstance(node, BlockNode):
+            ops.extend(node.ops)
+    return ops
+
+
+class TestEarlyConditionExecution:
+    def test_condition_extracted_to_op(self):
+        design = assert_equivalent(
+            "int out[1]; int x; if (a > b) { x = 1; } else { x = 2; }"
+            "out[0] = x;",
+            lambda d: EarlyConditionExecution().run_on_design(d),
+            inputs={"a": 3, "b": 1},
+        )
+        if_node = next(
+            n for n in design.main.walk_nodes() if isinstance(n, IfNode)
+        )
+        assert isinstance(if_node.cond, Var)
+        assert any("(a > b)" in t for t in ops_text(design.main))
+
+    def test_simple_var_condition_untouched(self):
+        design = design_from_source("int x; if (c) { x = 1; }")
+        reports = EarlyConditionExecution().run_on_design(design)
+        assert not any(r.changed for r in reports)
+
+    def test_nested_conditions_all_extracted(self):
+        design = design_from_source(
+            "int x; if (a > 0) { if (b > 0) { x = 1; } }"
+        )
+        EarlyConditionExecution().run_on_design(design)
+        for node in design.main.walk_nodes():
+            if isinstance(node, IfNode):
+                assert isinstance(node.cond, Var)
+
+    def test_call_condition_extracted(self, mini_ild_design):
+        EarlyConditionExecution().run_on_design(mini_ild_design)
+        func = mini_ild_design.function("CalculateLength")
+        if_node = next(n for n in func.walk_nodes() if isinstance(n, IfNode))
+        assert isinstance(if_node.cond, Var)
+
+
+class TestSpeculation:
+    def test_clobber_hoist_unique_write(self):
+        """A branch-local computation with a unique write moves out
+        unchanged (the lc2 pattern of Fig 11)."""
+        design = assert_equivalent(
+            "int out[1]; int x; int t;"
+            "if (c) { t = a + b; x = t; } else { x = 5; }"
+            "out[0] = x;",
+            lambda d: Speculation().run_on_design(d),
+            inputs={"a": 2, "b": 3, "c": 1},
+        )
+        hoisted = top_level_ops(design.main)
+        assert any("t = (a + b);" in str(op) for op in hoisted)
+        spec_ops = [op for op in design.main.walk_operations() if op.is_speculated]
+        assert spec_ops
+
+    def test_renaming_hoist_multiple_writes(self):
+        """Multiply-written targets speculate through fresh temporaries
+        (the TempLength pattern of Fig 11)."""
+        design = assert_equivalent(
+            "int out[1]; int x;"
+            "if (c) { x = a + b; } else { x = a - b; }"
+            "out[0] = x;",
+            lambda d: Speculation().run_on_design(d),
+            inputs={"a": 9, "b": 4, "c": 0},
+        )
+        hoisted_texts = [str(op) for op in top_level_ops(design.main)]
+        assert any("(a + b)" in t for t in hoisted_texts)
+        assert any("(a - b)" in t for t in hoisted_texts)
+        # Branches now hold only commit copies.
+        if_node = next(
+            n for n in design.main.walk_nodes() if isinstance(n, IfNode)
+        )
+        for branch in (if_node.then_branch, if_node.else_branch):
+            for node in branch:
+                if isinstance(node, BlockNode):
+                    for op in node.ops:
+                        assert op.is_copy()
+
+    def test_impure_ops_not_hoisted(self):
+        design = design_from_source(
+            "int out[1]; int x;"
+            "if (c) { x = sideeffect(1); } else { x = 0; }"
+            "out[0] = x;"
+        )
+        Speculation().run_on_design(design)
+        assert not any("sideeffect" in str(op) for op in top_level_ops(design.main))
+
+    def test_pure_externals_hoisted(self):
+        design = design_from_source(
+            "int out[1]; int x;"
+            "if (c) { x = f(1); } else { x = 0; }"
+            "out[0] = x;"
+        )
+        Speculation(pure_functions={"f"}).run_on_design(design)
+        texts = [str(op) for op in top_level_ops(design.main)]
+        assert any("f(1)" in t for t in texts)
+
+    def test_array_stores_never_hoisted(self):
+        design = assert_equivalent(
+            "int out[4]; if (c) { out[0] = 1; }",
+            lambda d: Speculation().run_on_design(d),
+            inputs={"c": 0},
+        )
+        assert not any(op.arrays_written() for op in top_level_ops(design.main))
+
+    def test_dependency_on_unhoistable_blocks(self):
+        """An op reading the result of an impure op cannot move."""
+        design = design_from_source(
+            "int out[1]; int x; int y;"
+            "if (c) { x = sideeffect(1); y = x + 1; } else { y = 0; }"
+            "out[0] = y;"
+        )
+        Speculation().run_on_design(design)
+        assert not any("(x + 1)" in str(op) for op in top_level_ops(design.main))
+
+    def test_war_with_condition_blocks_clobber(self):
+        """If the condition reads the target, the hoist must rename."""
+        design = assert_equivalent(
+            "int out[1]; int x; x = 1;"
+            "if (x > 0) { x = 50; }"
+            "out[0] = x;",
+            lambda d: Speculation().run_on_design(d),
+        )
+        state = run_design(design)
+        assert state.arrays["out"] == [50]
+
+    def test_nested_ifs_bubble_to_top(self):
+        """Deeply nested pure ops hoist through every level — the full
+        Fig 11 behavior."""
+        design = assert_equivalent(
+            "int out[1]; int r;"
+            "if (c1) {"
+            "  if (c2) { r = a * 2; } else { r = a * 3; }"
+            "} else { r = a; }"
+            "out[0] = r;",
+            lambda d: Speculation().run_on_design(d),
+            inputs={"a": 5, "c1": 1, "c2": 0},
+        )
+        texts = [str(op) for op in top_level_ops(design.main)]
+        assert any("(a * 2)" in t for t in texts)
+        assert any("(a * 3)" in t for t in texts)
+
+    def test_fig11_shape_on_calculatelength(self, mini_ild_design, mini_ild_ext):
+        pure = set(mini_ild_ext)
+        EarlyConditionExecution().run_on_design(mini_ild_design)
+        Speculation(pure_functions=pure).run_on_design(mini_ild_design)
+        func = mini_ild_design.function("CalculateLength")
+        hoisted = [str(op) for op in top_level_ops(func)]
+        # Data calculation up-front: lc2's contribution hoisted.
+        assert any("LengthContribution_2" in t for t in hoisted)
+        # Condition computed as an explicit op.
+        assert any("Need_2nd_Byte" in t for t in hoisted)
+        # The if-tree survives (control commits stay conditional).
+        assert any(isinstance(n, IfNode) for n in func.walk_nodes())
+
+    def test_speculation_inside_loop_stays_in_loop(self):
+        design = assert_equivalent(
+            "int out[4]; int i; int t;"
+            "for (i = 0; i < 4; i++) {"
+            "  if (i % 2) { t = i * 10; out[i] = t; }"
+            "}",
+            lambda d: Speculation().run_on_design(d),
+        )
+        # The multiply may move before the if but must stay in the loop.
+        from repro.ir.htg import LoopNode
+
+        loop = next(
+            n for n in design.main.walk_nodes() if isinstance(n, LoopNode)
+        )
+        loop_ops = []
+        for node in loop.body:
+            if isinstance(node, BlockNode):
+                loop_ops.extend(str(op) for op in node.ops)
+        assert any("(i * 10)" in t for t in loop_ops)
+
+    def test_fixpoint_terminates_and_is_idempotent(self):
+        design = design_from_source(
+            "int out[1]; int x;"
+            "if (c) { x = a + 1; } else { x = a + 2; }"
+            "out[0] = x;"
+        )
+        Speculation().run_on_design(design)
+        snapshot = ops_text(design.main)
+        Speculation().run_on_design(design)
+        assert ops_text(design.main) == snapshot
+
+
+class TestReverseSpeculation:
+    def test_moves_op_into_both_branches(self):
+        design = assert_equivalent(
+            "int out[1]; int t; int x;"
+            "t = a * 2;"
+            "if (c) { x = 1; } else { x = 2; }"
+            "out[0] = x + t;",
+            lambda d: ReverseSpeculation().run_on_design(d),
+            inputs={"a": 4, "c": 1},
+        )
+        if_node = next(
+            n for n in design.main.walk_nodes() if isinstance(n, IfNode)
+        )
+        then_texts = [
+            str(op)
+            for node in if_node.then_branch
+            if isinstance(node, BlockNode)
+            for op in node.ops
+        ]
+        else_texts = [
+            str(op)
+            for node in if_node.else_branch
+            if isinstance(node, BlockNode)
+            for op in node.ops
+        ]
+        assert any("(a * 2)" in t for t in then_texts)
+        assert any("(a * 2)" in t for t in else_texts)
+
+    def test_condition_dependency_blocks_move(self):
+        design = assert_equivalent(
+            "int out[1]; int c; int x;"
+            "c = a > 0;"
+            "if (c) { x = 1; } else { x = 2; }"
+            "out[0] = x;",
+            lambda d: ReverseSpeculation().run_on_design(d),
+            inputs={"a": 5},
+        )
+        # `c = a > 0` feeds the condition: it must stay put.
+        assert any("(a > 0)" in str(op) for op in top_level_ops(design.main))
+
+    def test_impure_not_moved(self):
+        design = design_from_source(
+            "int out[1]; int t; int x;"
+            "t = roll();"
+            "if (c) { x = 1; } else { x = 2; }"
+            "out[0] = x + t;"
+        )
+        ReverseSpeculation().run_on_design(design)
+        assert any("roll()" in str(op) for op in top_level_ops(design.main))
+
+
+class TestConditionalSpeculation:
+    def test_duplicates_following_op_into_branches(self):
+        design = assert_equivalent(
+            "int out[1]; int x; int y;"
+            "if (c) { x = 1; } else { x = 2; }"
+            "y = x * 10;"
+            "out[0] = y;",
+            lambda d: ConditionalSpeculation().run_on_design(d),
+            inputs={"c": 0},
+        )
+        if_node = next(
+            n for n in design.main.walk_nodes() if isinstance(n, IfNode)
+        )
+        then_texts = [
+            str(op)
+            for node in if_node.then_branch
+            if isinstance(node, BlockNode)
+            for op in node.ops
+        ]
+        assert any("(x * 10)" in t for t in then_texts)
+        # The original op after the join is gone.
+        assert not any("(x * 10)" in str(op) for op in top_level_ops(design.main))
+
+    def test_budget_limits_duplication(self):
+        design = design_from_source(
+            "int out[1]; int x; int a; int b; int c2; int d;"
+            "if (c) { x = 1; } else { x = 2; }"
+            "a = x + 1; b = x + 2; c2 = x + 3; d = x + 4;"
+            "out[0] = a + b + c2 + d;"
+        )
+        ConditionalSpeculation(max_ops_per_if=2).run_on_design(design)
+        if_node = next(
+            n for n in design.main.walk_nodes() if isinstance(n, IfNode)
+        )
+        then_ops = [
+            op
+            for node in if_node.then_branch
+            if isinstance(node, BlockNode)
+            for op in node.ops
+        ]
+        assert len(then_ops) <= 3  # original + 2 duplicated
+
+    def test_array_store_not_duplicated(self):
+        design = design_from_source(
+            "int out[2]; int x;"
+            "if (c) { x = 1; } else { x = 2; }"
+            "out[0] = x;"
+        )
+        ConditionalSpeculation().run_on_design(design)
+        assert any(op.arrays_written() for op in top_level_ops(design.main))
+
+    def test_branches_with_return_skipped(self):
+        design = design_from_source(
+            "int f(c) { int x; if (c) { return 1; } else { x = 0; } x = x + 1;"
+            " return x; }"
+            "int out[1]; out[0] = f(0);"
+        )
+        before = run_design(design).arrays["out"]
+        ConditionalSpeculation().run_on_design(design)
+        after = run_design(design).arrays["out"]
+        assert before == after

@@ -1,0 +1,85 @@
+"""Tests for the DOT exporters (repro.ir.dot_export)."""
+
+from repro.ir.builder import design_from_source
+from repro.ir.dot_export import fsmd_to_dot, htg_to_dot
+from repro.scheduler.list_scheduler import ChainingScheduler
+from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
+
+FIG5 = """
+int o1; int o2;
+if (cond1) {
+  if (cond2) { o1 = a; } else { o1 = b; }
+} else { o1 = c; }
+o2 = o1 + d;
+"""
+
+LOOP = """
+int acc[6];
+int i;
+for (i = 0; i < 4; i++) { acc[i] = i; }
+"""
+
+
+def schedule(source, clock=1000.0):
+    design = design_from_source(source)
+    scheduler = ChainingScheduler(
+        library=ResourceLibrary(),
+        clock_period=clock,
+        allocation=ResourceAllocation.unlimited(),
+    )
+    return scheduler.schedule(design.main)
+
+
+class TestHTGExport:
+    def test_valid_digraph_skeleton(self):
+        design = design_from_source(FIG5)
+        dot = htg_to_dot(design.main)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_nested_ifs_become_clusters(self):
+        design = design_from_source(FIG5)
+        dot = htg_to_dot(design.main)
+        assert dot.count("subgraph cluster_") == 2
+        assert "If Node: cond1" in dot
+        assert "If Node: cond2" in dot
+
+    def test_loop_cluster_labelled(self):
+        design = design_from_source(LOOP)
+        dot = htg_to_dot(design.main)
+        assert "Loop (for)" in dot
+
+    def test_operations_listed(self):
+        design = design_from_source(FIG5)
+        dot = htg_to_dot(design.main)
+        assert "o1 = a" in dot
+        assert "o2 = (o1 + d)" in dot
+
+    def test_quotes_escaped(self):
+        design = design_from_source("int x; x = 1;")
+        dot = htg_to_dot(design.main, graph_name='my "graph"')
+        assert '\\"' in dot
+
+
+class TestFSMDExport:
+    def test_single_cycle_one_state(self):
+        sm = schedule(FIG5)
+        dot = fsmd_to_dot(sm)
+        assert dot.count("[label=\"{S") == 1
+        assert "->" not in dot
+
+    def test_multi_cycle_has_transitions(self):
+        sm = schedule(LOOP, clock=2.0)
+        dot = fsmd_to_dot(sm)
+        assert "->" in dot
+
+    def test_branch_edges_labelled_with_polarity(self):
+        sm = schedule(LOOP, clock=2.0)
+        dot = fsmd_to_dot(sm)
+        assert "!(" in dot  # the false edge of the loop branch
+
+    def test_chained_if_rendered_inside_state(self):
+        sm = schedule(FIG5)
+        dot = fsmd_to_dot(sm)
+        assert "chained" in dot

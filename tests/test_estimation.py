@@ -1,0 +1,141 @@
+"""Unit tests for the area and timing estimators."""
+
+import pytest
+
+from repro.estimation.area import estimate_area
+from repro.estimation.delay import estimate_timing, latency_area_product
+from repro.ir.builder import design_from_source
+from repro.scheduler.list_scheduler import ChainingScheduler
+from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
+
+
+LIB = ResourceLibrary()
+
+
+def schedule(source, clock=10.0, limits=None):
+    design = design_from_source(source)
+    scheduler = ChainingScheduler(
+        library=LIB,
+        clock_period=clock,
+        allocation=ResourceAllocation(limits=limits or {}),
+    )
+    return scheduler.schedule(design.main), design
+
+
+class TestAreaEstimate:
+    def test_breakdown_sums_to_total(self):
+        sm, _ = schedule("int out[1]; int a; a = x + y; out[0] = a * 2;")
+        area = estimate_area(sm, library=LIB)
+        assert area.total == pytest.approx(
+            area.functional_units + area.registers + area.steering + area.control
+        )
+
+    def test_fu_area_reflects_instances(self):
+        sm, _ = schedule("int a; int b; a = x + 1; b = y + 2;")
+        area = estimate_area(sm, library=LIB)
+        assert area.per_class["alu"] == pytest.approx(
+            2 * LIB.units["alu"].area
+        )
+
+    def test_resource_sharing_shrinks_fu_area(self):
+        source = "int a; int b; a = x + 1; b = y + 2;"
+        sm_wide, _ = schedule(source)
+        sm_narrow, _ = schedule(source, limits={"alu": 1})
+        wide = estimate_area(sm_wide, library=LIB)
+        narrow = estimate_area(sm_narrow, library=LIB)
+        assert narrow.per_class["alu"] < wide.per_class["alu"]
+
+    def test_sharing_adds_steering(self):
+        """Section 2: mapping two ops onto one FU adds steering muxes."""
+        source = "int a; int b; a = x + 1; b = y + 2;"
+        sm_narrow, _ = schedule(source, limits={"alu": 1})
+        narrow = estimate_area(sm_narrow, library=LIB)
+        assert narrow.mux_count >= 1
+
+    def test_registers_counted_after_binding(self):
+        sm, _ = schedule(
+            "int out[1]; int a; int b; a = x + 1; b = a + 2; out[0] = b;",
+            clock=1.5,
+        )
+        area = estimate_area(sm, library=LIB)
+        assert area.register_count >= 1
+        assert area.registers == pytest.approx(
+            area.register_count * LIB.register.area
+        )
+
+    def test_control_scales_with_states(self):
+        sm_one, _ = schedule("int a; a = x + 1;")
+        sm_many, _ = schedule(
+            "int out[4]; int i; for (i = 0; i < 4; i++) { out[i] = i; }"
+        )
+        one = estimate_area(sm_one, library=LIB)
+        many = estimate_area(sm_many, library=LIB)
+        assert many.control > one.control
+
+    def test_conditional_join_muxes_counted(self):
+        sm, _ = schedule(
+            "int out[1]; int t;"
+            "if (c) { t = a + 1; } else { t = a - 1; }"
+            "out[0] = t;"
+        )
+        area = estimate_area(sm, library=LIB)
+        assert area.mux_count >= 1
+
+    def test_external_block_area(self):
+        lib = ResourceLibrary()
+        lib.register_external("decode", delay=1.0, area=500.0)
+        design = design_from_source("int y; y = decode(1);")
+        sm = ChainingScheduler(library=lib, clock_period=10.0).schedule(
+            design.main
+        )
+        area = estimate_area(sm, library=lib)
+        assert area.per_class["ext:decode"] == pytest.approx(500.0)
+
+    def test_str_rendering(self):
+        sm, _ = schedule("int a; a = x + 1;")
+        text = str(estimate_area(sm, library=LIB))
+        assert "area total=" in text
+
+
+class TestTimingEstimate:
+    def test_min_clock_is_max_state_path(self):
+        sm, _ = schedule(
+            "int out[1]; int a; int b; a = x + 1; b = a + 2; out[0] = b;"
+        )
+        timing = estimate_timing(sm)
+        assert timing.min_clock_period == pytest.approx(
+            sm.max_critical_path()
+        )
+
+    def test_single_cycle_flag(self):
+        sm, _ = schedule("int a; a = x + 1;")
+        assert estimate_timing(sm).is_single_cycle
+
+    def test_measured_cycles_via_stimuli(self):
+        sm, _ = schedule(
+            "int out[4]; int i; for (i = 0; i < 4; i++) { out[i] = i; }"
+        )
+        timing = estimate_timing(sm, stimuli={"inputs": {}})
+        assert timing.measured_cycles >= 4
+
+    def test_latency_area_product(self):
+        sm, _ = schedule("int a; a = x + 1;")
+        timing = estimate_timing(sm, stimuli={"inputs": {"x": 1}})
+        product = latency_area_product(timing, area_total=100.0)
+        assert product == pytest.approx(
+            timing.measured_cycles * timing.min_clock_period * 100.0
+        )
+
+    def test_per_state_paths_reported(self):
+        sm, _ = schedule(
+            "int out[1]; int a; int b; a = x + 1; b = a + 2; out[0] = b;",
+            clock=1.5,
+        )
+        timing = estimate_timing(sm)
+        assert len(timing.per_state_critical_path) == len(
+            sm.reachable_states()
+        )
+
+    def test_str_rendering(self):
+        sm, _ = schedule("int a; a = x + 1;")
+        assert "timing:" in str(estimate_timing(sm))

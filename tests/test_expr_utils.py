@@ -1,0 +1,198 @@
+"""Unit tests for IR expression utilities."""
+
+import pytest
+
+from repro.frontend.ast_nodes import ArrayRef, BinOp, Call, IntLit, Ternary, UnaryOp, Var
+from repro.frontend.parser import parse_expression
+from repro.ir import expr_utils as eu
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        expr = parse_expression("a + b * c")
+        copy = eu.clone(expr)
+        assert eu.expr_equal(expr, copy)
+        assert copy is not expr
+        assert copy.left is not expr.left
+
+    def test_clone_none(self):
+        assert eu.clone(None) is None
+
+    def test_clone_call_and_array(self):
+        expr = parse_expression("f(x[i], 3)")
+        copy = eu.clone(expr)
+        assert eu.expr_equal(expr, copy)
+
+    def test_clone_ternary(self):
+        expr = parse_expression("c ? a : b")
+        assert eu.expr_equal(expr, eu.clone(expr))
+
+
+class TestSubstitute:
+    def test_substitute_var(self):
+        expr = parse_expression("i + 1")
+        result = eu.substitute(expr, {"i": IntLit(value=5)})
+        assert str(result) == "(5 + 1)"
+
+    def test_substitute_does_not_touch_array_base(self):
+        expr = parse_expression("Mark[i]")
+        result = eu.substitute(expr, {"Mark": Var(name="other"), "i": IntLit(value=2)})
+        assert isinstance(result, ArrayRef)
+        assert result.name == "Mark"
+        assert result.index.value == 2
+
+    def test_substitute_inside_call_args(self):
+        expr = parse_expression("f(i, i + 1)")
+        result = eu.substitute(expr, {"i": IntLit(value=3)})
+        assert str(result) == "f(3, (3 + 1))"
+
+    def test_substitution_uses_clones(self):
+        replacement = BinOp(op="+", left=Var(name="x"), right=IntLit(value=1))
+        expr = parse_expression("i * i")
+        result = eu.substitute(expr, {"i": replacement})
+        assert result.left is not result.right
+
+    def test_original_untouched(self):
+        expr = parse_expression("i + j")
+        eu.substitute(expr, {"i": IntLit(value=9)})
+        assert str(expr) == "(i + j)"
+
+
+class TestRename:
+    def test_rename_variables_and_arrays(self):
+        expr = parse_expression("x + a[x]")
+        renamed = eu.rename_variables(expr, lambda n: "p_" + n)
+        assert str(renamed) == "(p_x + p_a[p_x])"
+
+    def test_rename_call_name_preserved(self):
+        expr = parse_expression("f(x)")
+        renamed = eu.rename_variables(expr, lambda n: n.upper())
+        assert renamed.name == "f"
+        assert renamed.args[0].name == "X"
+
+
+class TestReadSets:
+    def test_variables_read(self):
+        expr = parse_expression("a + b[c] * f(d)")
+        assert eu.variables_read(expr) == {"a", "c", "d"}
+
+    def test_arrays_read(self):
+        expr = parse_expression("a + b[c] + b[d] + e[0]")
+        assert eu.arrays_read(expr) == {"b", "e"}
+
+    def test_calls_in(self):
+        expr = parse_expression("f(g(x)) + h(y)")
+        names = [c.name for c in eu.calls_in(expr)]
+        assert set(names) == {"f", "g", "h"}
+
+    def test_empty_sets_for_literal(self):
+        assert eu.variables_read(IntLit(value=1)) == set()
+        assert eu.arrays_read(IntLit(value=1)) == set()
+
+
+class TestEval:
+    def test_c_division_truncates_toward_zero(self):
+        assert eu.eval_binary("/", -7, 2) == -3
+        assert eu.eval_binary("/", 7, -2) == -3
+        assert eu.eval_binary("/", 7, 2) == 3
+
+    def test_c_modulo_sign(self):
+        assert eu.eval_binary("%", -7, 2) == -1
+        assert eu.eval_binary("%", 7, -2) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            eu.eval_binary("/", 1, 0)
+
+    def test_comparisons_return_ints(self):
+        assert eu.eval_binary("<", 1, 2) == 1
+        assert eu.eval_binary(">=", 1, 2) == 0
+
+    def test_logical(self):
+        assert eu.eval_binary("&&", 2, 3) == 1
+        assert eu.eval_binary("&&", 2, 0) == 0
+        assert eu.eval_binary("||", 0, 0) == 0
+
+    def test_shifts(self):
+        assert eu.eval_binary("<<", 1, 4) == 16
+        assert eu.eval_binary(">>", 16, 2) == 4
+
+    def test_unary(self):
+        assert eu.eval_unary("-", 5) == -5
+        assert eu.eval_unary("!", 0) == 1
+        assert eu.eval_unary("~", 0) == -1
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            eu.eval_binary("**", 2, 3)
+        with pytest.raises(ValueError):
+            eu.eval_unary("&", 1)
+
+
+class TestFolding:
+    def test_fold_arithmetic(self):
+        assert eu.fold_constants(parse_expression("2 + 3 * 4")).value == 14
+
+    def test_fold_through_unary(self):
+        assert eu.fold_constants(parse_expression("-(2 + 3)")).value == -5
+
+    def test_fold_comparison(self):
+        assert eu.fold_constants(parse_expression("3 < 5")).value == 1
+
+    def test_partial_fold(self):
+        folded = eu.fold_constants(parse_expression("x + (2 + 3)"))
+        assert str(folded) == "(x + 5)"
+
+    def test_identity_add_zero(self):
+        assert str(eu.fold_constants(parse_expression("x + 0"))) == "x"
+        assert str(eu.fold_constants(parse_expression("0 + x"))) == "x"
+
+    def test_identity_mul_one(self):
+        assert str(eu.fold_constants(parse_expression("1 * x"))) == "x"
+
+    def test_mul_zero_collapses_pure(self):
+        assert eu.fold_constants(parse_expression("x * 0")).value == 0
+
+    def test_mul_zero_keeps_calls(self):
+        folded = eu.fold_constants(parse_expression("f(x) * 0"))
+        assert not isinstance(folded, IntLit)
+
+    def test_fold_ternary_on_constant_cond(self):
+        assert str(eu.fold_constants(parse_expression("1 ? a : b"))) == "a"
+        assert str(eu.fold_constants(parse_expression("0 ? a : b"))) == "b"
+
+    def test_division_by_zero_literal_not_folded(self):
+        folded = eu.fold_constants(parse_expression("1 / 0"))
+        assert isinstance(folded, BinOp)
+
+    def test_fold_inside_array_index(self):
+        folded = eu.fold_constants(parse_expression("a[1 + 2]"))
+        assert folded.index.value == 3
+
+
+class TestPurity:
+    def test_pure_without_calls(self):
+        assert eu.is_pure(parse_expression("a + b[c]"))
+
+    def test_call_impure_by_default(self):
+        assert not eu.is_pure(parse_expression("f(x)"))
+
+    def test_call_pure_when_whitelisted(self):
+        assert eu.is_pure(parse_expression("f(x)"), pure_calls={"f"})
+
+    def test_nested_impure_call(self):
+        assert not eu.is_pure(parse_expression("f(g(x))"), pure_calls={"f"})
+
+
+class TestEqualityAndSize:
+    def test_expr_equal_structural(self):
+        assert eu.expr_equal(parse_expression("a+b*c"), parse_expression("a + b * c"))
+
+    def test_expr_equal_rejects_different(self):
+        assert not eu.expr_equal(parse_expression("a+b"), parse_expression("a-b"))
+        assert not eu.expr_equal(parse_expression("a"), parse_expression("1"))
+
+    def test_expr_size(self):
+        assert eu.expr_size(parse_expression("a")) == 1
+        assert eu.expr_size(parse_expression("a + b")) == 3
+        assert eu.expr_size(parse_expression("f(a, b[c])")) == 4

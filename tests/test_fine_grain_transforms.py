@@ -1,0 +1,367 @@
+"""Unit tests for constant propagation, copy propagation, DCE, local
+CSE and TAC lowering."""
+
+import pytest
+
+from repro.frontend.ast_nodes import IntLit, Var
+from repro.ir.builder import design_from_source
+from repro.ir.htg import IfNode, LoopNode
+from repro.transforms.const_prop import ConstantPropagation
+from repro.transforms.copy_prop import CopyPropagation
+from repro.transforms.cse import LocalCSE
+from repro.transforms.dce import DeadCodeElimination
+from repro.transforms.lower_tac import TACLowering
+
+from tests.helpers import assert_equivalent, ops_text
+
+
+def run_pass(pass_obj, design):
+    return pass_obj.run_on_design(design)
+
+
+class TestConstantPropagation:
+    def test_propagates_through_straight_line(self):
+        design = assert_equivalent(
+            "int out[1]; int a; int b; a = 2; b = a + 3; out[0] = b;",
+            lambda d: run_pass(ConstantPropagation(), d),
+        )
+        texts = ops_text(design.main)
+        assert "b = 5;" in texts
+        assert "out[0] = 5;" in texts
+
+    def test_merge_keeps_agreeing_constants(self):
+        design = design_from_source(
+            "int out[1]; int a; int c; c = 1;"
+            "if (c) { a = 7; } else { a = 7; }"
+            "out[0] = a + 1;"
+        )
+        ConstantPropagation(fold_branches=False).run_on_design(design)
+        assert "out[0] = 8;" in ops_text(design.main)
+
+    def test_merge_drops_conflicting_constants(self):
+        design = design_from_source(
+            "int out[1]; int a; if (c) { a = 1; } else { a = 2; } out[0] = a;"
+        )
+        ConstantPropagation(fold_branches=False).run_on_design(design)
+        assert "out[0] = a;" in ops_text(design.main)
+
+    def test_folds_constant_branch(self):
+        design = assert_equivalent(
+            "int out[1]; int x; if (3 > 1) { x = 10; } else { x = 20; }"
+            "out[0] = x;",
+            lambda d: run_pass(ConstantPropagation(), d),
+        )
+        assert not any(
+            isinstance(n, IfNode) for n in design.main.walk_nodes()
+        )
+
+    def test_fold_branches_off_keeps_structure(self):
+        design = design_from_source(
+            "int out[1]; int x; if (1) { x = 1; } else { x = 2; } out[0] = x;"
+        )
+        ConstantPropagation(fold_branches=False).run_on_design(design)
+        assert any(isinstance(n, IfNode) for n in design.main.walk_nodes())
+
+    def test_loop_invalidates_written_vars(self):
+        design = assert_equivalent(
+            "int out[1]; int i; int s; s = 0;"
+            "for (i = 0; i < 3; i++) { s = s + 1; }"
+            "out[0] = s;",
+            lambda d: run_pass(ConstantPropagation(), d),
+        )
+        # s must NOT be folded to 0 inside or after the loop.
+        assert "out[0] = s;" in ops_text(design.main)
+
+    def test_statically_dead_loop_removed(self):
+        design = design_from_source(
+            "int out[1]; int i; int s; s = 5;"
+            "for (i = 9; i < 3; i++) { s = 0; }"
+            "out[0] = s;"
+        )
+        ConstantPropagation().run_on_design(design)
+        assert not any(isinstance(n, LoopNode) for n in design.main.walk_nodes())
+
+    def test_only_vars_restriction(self):
+        design = design_from_source(
+            "int out[1]; int i; int n; i = 1; n = 4; out[0] = i + n;"
+        )
+        ConstantPropagation(only_vars={"i"}).run_on_design(design)
+        texts = ops_text(design.main)
+        assert "out[0] = (1 + n);" in texts
+
+    def test_ild_fig14_shape(self, mini_ild_ext):
+        """After unrolling, propagating i keeps the NextStartByte
+        conditional structure (paper Fig 14)."""
+        from repro.transforms.inline import FunctionInliner
+        from repro.transforms.unroll import LoopUnroller
+        from tests.conftest import MINI_ILD_SRC
+
+        design = design_from_source(MINI_ILD_SRC)
+        FunctionInliner().run_on_design(design)
+        LoopUnroller({"i": 0}).run_on_design(design)
+        ConstantPropagation(fold_branches=False).run_on_design(design)
+        # The index is gone from conditions: they now compare literals
+        # against NextStartByte.
+        conds = [
+            str(n.cond)
+            for n in design.main.walk_nodes()
+            if isinstance(n, IfNode)
+        ]
+        assert any("NextStartByte" in c for c in conds)
+        # Iterations 2..8 keep their symbolic guards; iteration 1's
+        # guard `1 == NextStartByte` folds to the literal 1 because
+        # NextStartByte is statically 1 there (the paper's Fig 14
+        # leaves it written as `if (1 == NextStartByte)`).
+        assert sum("==" in c for c in conds) == 7
+        assert "1" in conds
+
+    def test_reports_changed_flag(self):
+        design = design_from_source("int x; x = 1 + 2;")
+        reports = ConstantPropagation().run_on_design(design)
+        assert any(r.changed for r in reports)
+        reports2 = ConstantPropagation().run_on_design(design)
+        assert not any(r.changed for r in reports2)
+
+
+class TestCopyPropagation:
+    def test_simple_copy_forwarded(self):
+        design = assert_equivalent(
+            "int out[1]; int a; int b; a = inp; b = a; out[0] = b + a;",
+            lambda d: run_pass(CopyPropagation(), d),
+            inputs={"inp": 3},
+        )
+        # Copies forward transitively to the original source.
+        assert "out[0] = (inp + inp);" in ops_text(design.main)
+
+    def test_copy_killed_by_source_rewrite(self):
+        design = assert_equivalent(
+            "int out[1]; int a; int b; a = inp; b = a; a = 99; out[0] = b;",
+            lambda d: run_pass(CopyPropagation(), d),
+            inputs={"inp": 3},
+        )
+        # b transitively copies inp (which is never rewritten), so the
+        # read forwards to inp even though a was clobbered.
+        assert "out[0] = inp;" in ops_text(design.main)
+
+    def test_copy_killed_when_root_source_rewritten(self):
+        design = assert_equivalent(
+            "int out[1]; int a; int b; a = 1; b = a; a = 99; out[0] = b;",
+            lambda d: run_pass(CopyPropagation(), d),
+        )
+        # Here the chain root IS a, which is rewritten: must read b.
+        assert "out[0] = b;" in ops_text(design.main)
+
+    def test_copy_killed_by_target_rewrite(self):
+        design = assert_equivalent(
+            "int out[1]; int a; int b; a = inp; b = a; b = 5; out[0] = b;",
+            lambda d: run_pass(CopyPropagation(), d),
+            inputs={"inp": 3},
+        )
+        assert "out[0] = b;" in ops_text(design.main)
+
+    def test_branch_merge_intersects(self):
+        design = assert_equivalent(
+            "int out[1]; int a; int b; a = inp;"
+            "if (c) { b = a; } else { b = 5; }"
+            "out[0] = b;",
+            lambda d: run_pass(CopyPropagation(), d),
+            inputs={"inp": 3, "c": 1},
+        )
+        assert "out[0] = b;" in ops_text(design.main)
+
+    def test_wire_copies_preserved(self):
+        design = design_from_source(
+            "int out[1]; int a; int b; a = inp; b = a; out[0] = b;"
+        )
+        copy_op = next(
+            op
+            for op in design.main.walk_operations()
+            if op.is_copy() and op.target.name == "b"
+        )
+        copy_op.is_wire_copy = True
+        CopyPropagation(preserve_wire_copies=True).run_on_design(design)
+        # The read of b must not be rewritten through the wire copy.
+        assert "out[0] = b;" in ops_text(design.main)
+
+    def test_loop_carried_copies_invalidated(self):
+        assert_equivalent(
+            "int out[1]; int a; int b; int i; a = 1; b = a;"
+            "for (i = 0; i < 3; i++) { a = a + 1; }"
+            "out[0] = b;",
+            lambda d: run_pass(CopyPropagation(), d),
+        )
+
+
+class TestDeadCodeElimination:
+    def test_removes_dead_assign(self):
+        design = design_from_source(
+            "int out[1]; int dead; int live; dead = 5; live = 1; out[0] = live;"
+        )
+        DeadCodeElimination(output_scalars=set()).run_on_design(design)
+        assert "dead = 5;" not in ops_text(design.main)
+
+    def test_keeps_array_stores(self):
+        design = design_from_source("int out[1]; out[0] = 9;")
+        DeadCodeElimination(output_scalars=set()).run_on_design(design)
+        assert "out[0] = 9;" in ops_text(design.main)
+
+    def test_removes_dead_chains(self):
+        design = design_from_source(
+            "int out[1]; int a; int b; int c;"
+            "a = 1; b = a + 1; c = b + 1; out[0] = 5;"
+        )
+        DeadCodeElimination(output_scalars=set()).run_on_design(design)
+        assert len(list(design.main.walk_operations())) == 1
+
+    def test_keeps_impure_calls(self):
+        design = design_from_source("int x; x = sideeffect(1);")
+        DeadCodeElimination(output_scalars=set()).run_on_design(design)
+        assert "x = sideeffect(1);" in ops_text(design.main)
+
+    def test_removes_dead_pure_calls(self):
+        design = design_from_source("int x; x = f(1);")
+        DeadCodeElimination(
+            output_scalars=set(), pure_functions={"f"}
+        ).run_on_design(design)
+        assert ops_text(design.main) == []
+
+    def test_output_scalars_kept(self):
+        design = design_from_source("int result; result = 3;")
+        DeadCodeElimination(output_scalars={"result"}).run_on_design(design)
+        assert "result = 3;" in ops_text(design.main)
+
+    def test_main_default_keeps_all_written_scalars(self):
+        design = design_from_source("int a; a = 1;")
+        DeadCodeElimination().run_on_design(design)
+        assert "a = 1;" in ops_text(design.main)
+
+    def test_loop_variables_kept_while_live(self):
+        design = design_from_source(
+            "int out[3]; int i; for (i = 0; i < 3; i++) { out[i] = i; }"
+        )
+        before = run_pass(DeadCodeElimination(output_scalars=set()), design)
+        from repro.interp import run_design
+
+        state = run_design(design)
+        assert state.arrays["out"] == [0, 1, 2]
+
+    def test_equivalence_preserved(self, mini_ild_ext):
+        from tests.conftest import MINI_ILD_SRC
+
+        assert_equivalent(
+            MINI_ILD_SRC,
+            lambda d: run_pass(
+                DeadCodeElimination(
+                    output_scalars=set(), pure_functions=set(mini_ild_ext)
+                ),
+                d,
+            ),
+            externals=mini_ild_ext,
+        )
+
+
+class TestLocalCSE:
+    def test_reuses_repeated_expression(self):
+        design = assert_equivalent(
+            "int out[2]; int a; int b; a = x + y; b = x + y;"
+            "out[0] = a; out[1] = b;",
+            lambda d: run_pass(LocalCSE(), d),
+            inputs={"x": 2, "y": 3},
+        )
+        assert "b = a;" in ops_text(design.main)
+
+    def test_invalidated_by_operand_write(self):
+        design = assert_equivalent(
+            "int out[2]; int a; int b; a = x + y; x = 9; b = x + y;"
+            "out[0] = a; out[1] = b;",
+            lambda d: run_pass(LocalCSE(), d),
+            inputs={"x": 2, "y": 3},
+        )
+        assert "b = (x + y);" in ops_text(design.main)
+
+    def test_invalidated_by_source_rewrite(self):
+        design = assert_equivalent(
+            "int out[2]; int a; int b; a = x + y; a = 0; b = x + y;"
+            "out[0] = a; out[1] = b;",
+            lambda d: run_pass(LocalCSE(), d),
+            inputs={"x": 2, "y": 3},
+        )
+        assert "b = (x + y);" in ops_text(design.main)
+
+    def test_small_expressions_not_shared(self):
+        design = design_from_source("int a; int b; a = x; b = x;")
+        LocalCSE().run_on_design(design)
+        assert "b = x;" in ops_text(design.main)
+
+    def test_impure_calls_not_shared(self):
+        design = design_from_source("int a; int b; a = f(1); b = f(1);")
+        LocalCSE().run_on_design(design)
+        assert "b = f(1);" in ops_text(design.main)
+
+    def test_pure_calls_shared(self):
+        design = design_from_source("int a; int b; a = f(1); b = f(1);")
+        LocalCSE(pure_functions={"f"}).run_on_design(design)
+        assert "b = a;" in ops_text(design.main)
+
+    def test_array_reads_not_shared(self):
+        design = design_from_source(
+            "int m[2]; int a; int b; a = m[0] + 1; b = m[0] + 1;"
+        )
+        LocalCSE().run_on_design(design)
+        assert "b = (m[0] + 1);" in ops_text(design.main)
+
+
+class TestTACLowering:
+    def test_flattens_expression_tree(self):
+        design = assert_equivalent(
+            "int out[1]; out[0] = (a + b) * (c - d);",
+            lambda d: run_pass(TACLowering(), d),
+            inputs={"a": 1, "b": 2, "c": 9, "d": 4},
+        )
+        for op in design.main.walk_operations():
+            # At most one operator per op.
+            from repro.scheduler.timing import expr_units
+            from repro.scheduler.resources import ResourceLibrary
+
+            units = expr_units(op.expr, ResourceLibrary())
+            non_mem = {k: v for k, v in units.items() if k != "mem"}
+            assert sum(non_mem.values()) <= 1, str(op)
+
+    def test_lowered_array_index(self):
+        design = assert_equivalent(
+            "int out[4]; out[i + 1] = 5;",
+            lambda d: run_pass(TACLowering(), d),
+            inputs={"i": 1},
+        )
+        stores = [
+            op
+            for op in design.main.walk_operations()
+            if op.arrays_written()
+        ]
+        assert len(stores) == 1
+        assert isinstance(stores[0].target.index, Var)
+
+    def test_call_args_atomized(self):
+        design = design_from_source("int y; y = f(a + b);")
+        TACLowering().run_on_design(design)
+        call_op = next(
+            op for op in design.main.walk_operations() if op.has_call()
+        )
+        assert isinstance(call_op.expr.args[0], Var)
+
+    def test_preserves_flags(self):
+        design = design_from_source("int x; x = a + b + c;")
+        op = next(design.main.walk_operations())
+        op.is_speculated = True
+        TACLowering().run_on_design(design)
+        final = [o for o in design.main.walk_operations() if "x =" in str(o)]
+        assert final and final[-1].is_speculated
+
+    def test_equivalence_on_mini_ild(self, mini_ild_ext):
+        from tests.conftest import MINI_ILD_SRC
+
+        assert_equivalent(
+            MINI_ILD_SRC,
+            lambda d: run_pass(TACLowering(), d),
+            externals=mini_ild_ext,
+        )

@@ -1,0 +1,169 @@
+"""Unit tests for the synthetic ISA and the golden ILD model."""
+
+import pytest
+
+from repro.ild.isa import (
+    BYTES_EXAMINED,
+    DEFAULT_ISA,
+    MAX_INSTRUCTION_LENGTH,
+    MIN_INSTRUCTION_LENGTH,
+    SyntheticISA,
+    crafted_buffer,
+    random_buffer,
+)
+from repro.ild.model import GoldenILD, decode_buffer, decode_recursive
+
+
+class TestSyntheticISA:
+    def test_lc1_range(self):
+        values = {DEFAULT_ISA.length_contribution_1(b) for b in range(256)}
+        assert values == {1, 2, 3, 4}
+
+    def test_lc2_lc3_range(self):
+        assert {DEFAULT_ISA.length_contribution_2(b) for b in range(256)} == {
+            0,
+            1,
+            2,
+            3,
+        }
+        assert {DEFAULT_ISA.length_contribution_3(b) for b in range(256)} == {
+            0,
+            1,
+            2,
+            3,
+        }
+
+    def test_lc4_range(self):
+        assert {DEFAULT_ISA.length_contribution_4(b) for b in range(256)} == {0, 1}
+
+    def test_need_bits_binary(self):
+        for b in range(256):
+            assert DEFAULT_ISA.need_2nd_byte(b) in (0, 1)
+            assert DEFAULT_ISA.need_3rd_byte(b) in (0, 1)
+            assert DEFAULT_ISA.need_4th_byte(b) in (0, 1)
+
+    def test_instruction_length_bounds_exhaustive_window_sample(self):
+        # Sample the 4-byte window space: lengths stay within 1..11.
+        import itertools
+
+        sample = [0, 1, 0x7F, 0x80, 0xC0, 0xE0, 0xFF]
+        for window in itertools.product(sample, repeat=BYTES_EXAMINED):
+            length = DEFAULT_ISA.instruction_length(window)
+            assert MIN_INSTRUCTION_LENGTH <= length <= MAX_INSTRUCTION_LENGTH
+
+    def test_max_length_reachable(self):
+        # lc1=4 (b&3==3) + need2 (bit7) -> 0x83|0x80.. craft the window:
+        first = 0x83 | 0x80          # lc1 = 4, need2
+        second = 0x4C | 0x40          # lc2 = 3, need3
+        third = 0x38 | 0x20           # lc3 = 3, need4
+        fourth = 0xC0                 # lc4 = 1
+        length = DEFAULT_ISA.instruction_length([first, second, third, fourth])
+        assert length == 11
+
+    def test_min_length(self):
+        assert DEFAULT_ISA.instruction_length([0, 0, 0, 0]) == 1
+
+    def test_short_window_padded(self):
+        assert DEFAULT_ISA.instruction_length([0]) == 1
+
+
+class TestBuffers:
+    def test_random_buffer_deterministic_by_seed(self):
+        assert random_buffer(16, seed=3) == random_buffer(16, seed=3)
+        assert random_buffer(16, seed=3) != random_buffer(16, seed=4)
+
+    def test_random_buffer_byte_range(self):
+        assert all(0 <= b <= 255 for b in random_buffer(64, seed=1))
+
+    def test_crafted_buffer_known_marks(self):
+        buf = [0] + crafted_buffer([2, 3, 1], n=8)
+        marks = decode_buffer(buf, n=8)
+        # Instructions at 1, 3, 6, then 7 onwards decode zero bytes
+        # (byte 0 -> length 1 each).
+        assert marks[1] == 1 and marks[3] == 1 and marks[6] == 1
+
+    def test_crafted_buffer_validates_lengths(self):
+        with pytest.raises(ValueError):
+            crafted_buffer([7], n=8)
+        with pytest.raises(ValueError):
+            crafted_buffer([4, 4, 4], n=4)
+
+
+class TestGoldenModel:
+    def test_first_byte_always_marked(self):
+        for seed in range(10):
+            buf = [0] + random_buffer(12, seed=seed)
+            marks = decode_buffer(buf, n=12)
+            assert marks[1] == 1
+
+    def test_marks_consistent_with_lengths(self):
+        golden = GoldenILD(n=16)
+        buf = [0] + random_buffer(16, seed=9)
+        mark, lengths, traces = golden.decode(buf)
+        position = 1
+        for trace in traces:
+            assert mark[position] == 1
+            assert trace.start == position
+            position += trace.length
+        assert position > 16
+
+    def test_lengths_bounds(self):
+        golden = GoldenILD(n=32)
+        buf = [0] + random_buffer(32, seed=5)
+        _, lengths, traces = golden.decode(buf)
+        for trace in traces:
+            assert 1 <= trace.length <= MAX_INSTRUCTION_LENGTH
+            assert 1 <= trace.bytes_examined <= BYTES_EXAMINED
+
+    def test_padding_rule_beyond_buffer(self):
+        """Contributions from positions beyond n are zero (paper
+        footnote 2): a need-chain at the buffer edge still terminates."""
+        golden = GoldenILD(n=4)
+        # Last byte requests a 2nd byte that is off the end.
+        buf = [0, 0, 0, 0, 0x80 | 0x3]
+        trace = golden.calculate_length(buf, 4)
+        # lc1 = 4, need2 set, but lc2 position 5 > n contributes 0.
+        assert trace.length == 4
+
+    def test_recursive_cross_check_random(self):
+        for seed in range(40):
+            n = 4 + (seed % 13)
+            buf = [0] + random_buffer(n, seed=seed)
+            assert decode_recursive(buf, n) == decode_buffer(buf, n), seed
+
+    def test_all_zero_buffer_marks_everything(self):
+        # byte 0: lc1 = 1, no continuation: every byte starts an instr.
+        marks = decode_buffer([0] * 9, n=8)
+        assert marks == [0] + [1] * 8
+
+    def test_decode_traces_fig8_fig9_walk(self):
+        """Figs 8 and 9: the second decode restarts at the first
+        instruction's end."""
+        golden = GoldenILD(n=12)
+        buf = [0] + crafted_buffer([2, 4], n=12)
+        _, _, traces = golden.decode(buf)
+        assert traces[0].start == 1
+        assert traces[0].length == 2
+        assert traces[1].start == 3
+        assert traces[1].length == 4
+
+
+class TestByteAccessors:
+    def test_byte_at_bounds(self):
+        golden = GoldenILD(n=4)
+        buf = [0, 10, 20, 30, 40]
+        assert golden.byte_at(buf, 1) == 10
+        assert golden.byte_at(buf, 4) == 40
+        assert golden.byte_at(buf, 5) == 0
+        assert golden.byte_at(buf, 0) == 0
+
+    def test_length_contribution_padding(self):
+        golden = GoldenILD(n=4)
+        buf = [0, 0xFF, 0xFF, 0xFF, 0xFF]
+        assert golden.length_contribution(buf, 1, 5) == 0
+        assert golden.length_contribution(buf, 1, 4) == 4
+
+    def test_need_byte_padding(self):
+        golden = GoldenILD(n=4)
+        buf = [0, 0xFF] * 3
+        assert golden.need_byte(buf, 2, 5) == 0

@@ -1,0 +1,226 @@
+"""Integration tests for the ILD behavioral description, the Fig 10-15
+transformation pipeline and the Fig 15(b) architecture model."""
+
+import pytest
+
+from repro.backend.rtl_sim import RTLSimulator
+from repro.ild import (
+    GoldenILD,
+    ILDPipeline,
+    architecture_for,
+    build_ild_source,
+    build_natural_ild_source,
+    ild_externals,
+    ild_interface,
+    ild_library,
+    random_buffer,
+)
+from repro.interp import Interpreter
+from repro.ir.builder import design_from_source
+from repro.ir.htg import IfNode, LoopNode
+from repro.transforms.loop_rewrite import WhileToForRewrite
+
+N = 8
+
+
+@pytest.fixture(scope="module")
+def pipeline_and_sm():
+    pipe = ILDPipeline(n=N)
+    sm = pipe.run_all()
+    return pipe, sm
+
+
+def run_behavioral(design, externals, buf):
+    interp = Interpreter(design, externals=externals)
+    return interp.run(array_inputs={"Buffer": buf})
+
+
+class TestBehavioralDescription:
+    def test_fig10_matches_golden(self):
+        design = design_from_source(build_ild_source(N))
+        externals = ild_externals(N)
+        golden = GoldenILD(n=N)
+        for seed in range(15):
+            buf = [0] + random_buffer(N, seed=seed)
+            mark, lengths, _ = golden.decode(buf)
+            state = run_behavioral(design, externals, buf)
+            assert state.arrays["Mark"] == mark, seed
+
+    def test_fig10_len_vector(self):
+        design = design_from_source(build_ild_source(N))
+        externals = ild_externals(N)
+        golden = GoldenILD(n=N)
+        buf = [0] + random_buffer(N, seed=77)
+        mark, lengths, _ = golden.decode(buf)
+        state = run_behavioral(design, externals, buf)
+        for i in range(1, N + 1):
+            if mark[i]:
+                assert state.arrays["len"][i] == lengths[i]
+
+    def test_fig16_natural_form_matches_golden(self):
+        design = design_from_source(build_natural_ild_source(N))
+        externals = ild_externals(N)
+        golden = GoldenILD(n=N)
+        for seed in range(10):
+            buf = [0] + random_buffer(N, seed=seed)
+            mark, _, _ = golden.decode(buf)
+            state = run_behavioral(design, externals, buf)
+            assert state.arrays["Mark"] == mark, seed
+
+    def test_fig16_rewrites_to_fig10_form(self):
+        design = design_from_source(build_natural_ild_source(N))
+        WhileToForRewrite("NextStartByte", bound=N).run_on_design(design)
+        loops = [
+            n for n in design.main.walk_nodes() if isinstance(n, LoopNode)
+        ]
+        assert len(loops) == 1 and loops[0].kind == "for"
+        externals = ild_externals(N)
+        golden = GoldenILD(n=N)
+        for seed in range(10):
+            buf = [0] + random_buffer(N, seed=seed)
+            mark, _, _ = golden.decode(buf)
+            state = run_behavioral(design, externals, buf)
+            assert state.arrays["Mark"] == mark, seed
+
+
+class TestPipelineStages:
+    def test_stage_progression_metrics(self, pipeline_and_sm):
+        pipe, _ = pipeline_and_sm
+        metrics = pipe.stage_metrics()
+        # Fig 10 -> Fig 11: speculation adds ops (temp computations).
+        assert metrics["Fig 11"]["ops"] > metrics["Fig 10"]["ops"]
+        # Fig 12: inlining melts the helper into main.
+        assert metrics["Fig 12"]["ops"] >= metrics["Fig 11"]["ops"]
+        # Fig 13: full unrolling multiplies the op count ~n times.
+        assert metrics["Fig 13"]["ops"] > 4 * metrics["Fig 12"]["ops"]
+        assert metrics["Fig 13"]["loops"] == 0
+        # Fig 14: constant propagation shrinks the code.
+        assert metrics["Fig 14"]["ops"] <= metrics["Fig 13"]["ops"]
+
+    def test_every_stage_is_equivalent_to_golden(self, pipeline_and_sm):
+        pipe, _ = pipeline_and_sm
+        golden = GoldenILD(n=N)
+        for stage in pipe.stages:
+            interp = Interpreter(stage.design, externals=pipe.externals)
+            for seed in (1, 17):
+                buf = [0] + random_buffer(N, seed=seed)
+                mark, _, _ = golden.decode(buf)
+                state = interp.run(array_inputs={"Buffer": buf})
+                assert state.arrays["Mark"] == mark, (stage.figure, seed)
+
+    def test_fig13_no_loops_left(self, pipeline_and_sm):
+        pipe, _ = pipeline_and_sm
+        fig13 = next(s for s in pipe.stages if s.figure == "Fig 13")
+        assert fig13.loops == 0
+
+    def test_fig14_index_eliminated_from_datapath(self, pipeline_and_sm):
+        pipe, _ = pipeline_and_sm
+        fig14 = next(s for s in pipe.stages if s.figure == "Fig 14")
+        # Every remaining read of `i` must be gone: the index variable
+        # is dead after constant propagation + DCE.
+        reads = set()
+        for op in fig14.design.main.walk_operations():
+            reads |= op.reads()
+        assert "i" not in reads
+
+    def test_fig15_speculated_ops_exist(self, pipeline_and_sm):
+        pipe, _ = pipeline_and_sm
+        fig15 = next(s for s in pipe.stages if s.figure == "Fig 15a")
+        spec = [
+            op
+            for op in fig15.design.main.walk_operations()
+            if op.is_speculated
+        ]
+        assert spec
+
+    def test_stage_table_renders(self, pipeline_and_sm):
+        pipe, _ = pipeline_and_sm
+        table = pipe.stage_table()
+        for figure in ("Fig 10", "Fig 11", "Fig 12", "Fig 13", "Fig 14"):
+            assert figure in table
+
+
+class TestSingleCycleSchedule:
+    def test_single_state(self, pipeline_and_sm):
+        _, sm = pipeline_and_sm
+        assert sm.is_single_cycle()
+
+    def test_rtl_matches_golden_one_cycle(self, pipeline_and_sm):
+        pipe, sm = pipeline_and_sm
+        golden = GoldenILD(n=N)
+        for seed in range(25):
+            buf = [0] + random_buffer(N, seed=seed)
+            mark, _, _ = golden.decode(buf)
+            result = RTLSimulator(sm, externals=pipe.externals).run(
+                array_inputs={"Buffer": buf}
+            )
+            assert result.cycles == 1
+            assert result.arrays["Mark"] == mark, seed
+
+    def test_wire_variables_marked(self, pipeline_and_sm):
+        pipe, sm = pipeline_and_sm
+        assert pipe.design.main.wire_variables
+        from repro.binding.lifetimes import LifetimeAnalysis
+
+        regs = LifetimeAnalysis(sm).registers()
+        assert not (regs & pipe.design.main.wire_variables)
+
+    def test_hdl_emission(self, pipeline_and_sm):
+        from repro.backend.vhdl import emit_vhdl
+        from repro.backend.verilog import emit_verilog
+
+        pipe, sm = pipeline_and_sm
+        vhdl = emit_vhdl(sm, ild_interface(N))
+        verilog = emit_verilog(sm, ild_interface(N))
+        assert "entity ild is" in vhdl
+        assert "module ild (" in verilog
+        assert "LengthContribution_1" in vhdl
+
+
+class TestArchitectureModel:
+    def test_structural_sim_matches_golden(self):
+        arch = architecture_for(N)
+        golden = GoldenILD(n=N)
+        for seed in range(20):
+            buf = [0] + random_buffer(N, seed=seed)
+            mark, lengths, _ = golden.decode(buf)
+            amark, alengths, _ = arch.simulate(buf)
+            assert amark == mark, seed
+            # Candidate lengths agree at actual start positions.
+            for i in range(1, N + 1):
+                if mark[i]:
+                    assert alengths[i] == lengths[i], (seed, i)
+
+    def test_area_linear_in_n(self):
+        a8 = architecture_for(8).area()
+        a16 = architecture_for(16).area()
+        a32 = architecture_for(32).area()
+        assert a16 == pytest.approx(2 * a8, rel=0.01)
+        assert a32 == pytest.approx(4 * a8, rel=0.01)
+
+    def test_critical_path_dominated_by_ripple(self):
+        cp8 = architecture_for(8).critical_path()
+        cp16 = architecture_for(16).critical_path()
+        # Data/control depth is constant; only the ripple grows.
+        ripple_step = cp16 - cp8
+        assert ripple_step > 0
+        cp32 = architecture_for(32).critical_path()
+        assert cp32 - cp16 == pytest.approx(2 * ripple_step, rel=0.01)
+
+    def test_area_breakdown_stage_names(self):
+        breakdown = architecture_for(8).area_breakdown()
+        assert set(breakdown) == {
+            "DataCalculation",
+            "ControlLogic",
+            "RippleControl",
+        }
+        assert breakdown["DataCalculation"] > breakdown["ControlLogic"]
+
+    def test_analytic_vs_synthesized_critical_path_shape(self, pipeline_and_sm):
+        """The scheduled design's critical path should be within ~2x of
+        the analytic Fig 15(b) model — same shape, different counting
+        of the control overhead."""
+        _, sm = pipeline_and_sm
+        analytic = architecture_for(N).critical_path()
+        measured = sm.max_critical_path()
+        assert 0.4 * analytic <= measured <= 1.5 * analytic

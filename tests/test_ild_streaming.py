@@ -1,0 +1,242 @@
+"""Tests for the streaming (multi-chunk) ILD — the paper's
+un-simplified Section 5 model: an infinite stream decoded in n-byte
+chunks with intermediate length-calculation state carried across
+buffer decodes."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ild import (
+    CarryState,
+    GoldenILD,
+    STREAMING_ISA,
+    StreamingILD,
+    StreamingSafeISA,
+    SyntheticISA,
+    flat_reference_marks,
+)
+from repro.ild.isa import DEFAULT_ISA
+
+STREAM_SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestCarryState:
+    def test_initial_state_is_idle(self):
+        assert CarryState().is_idle()
+
+    def test_skip_is_not_idle(self):
+        assert not CarryState(skip=2).is_idle()
+
+    def test_pending_walk_is_not_idle(self):
+        carry = CarryState(walk_contributions=(2,), walk_next_k=2)
+        assert carry.walk_pending
+        assert not carry.is_idle()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CarryState().skip = 3
+
+
+class TestConstruction:
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StreamingILD(n=0)
+
+    def test_wrong_chunk_length_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingILD(n=4).decode_chunk([1, 2, 3])
+
+    def test_strict_rejects_unsafe_isa(self):
+        with pytest.raises(ValueError):
+            StreamingILD(n=4, isa=DEFAULT_ISA)
+
+    def test_strict_false_allows_unsafe_isa(self):
+        decoder = StreamingILD(n=4, isa=DEFAULT_ISA, strict=False)
+        assert decoder.isa is DEFAULT_ISA
+
+    def test_default_isa_is_streaming_safe_variant(self):
+        assert StreamingILD(n=4).isa.is_streaming_safe()
+
+
+class TestProgressProperty:
+    def test_default_isa_violates(self):
+        assert not DEFAULT_ISA.is_streaming_safe()
+        assert DEFAULT_ISA.streaming_progress_deficit() == 3
+
+    def test_streaming_isa_satisfies(self):
+        assert STREAMING_ISA.is_streaming_safe()
+        assert STREAMING_ISA.streaming_progress_deficit() <= 0
+
+    def test_streaming_isa_keeps_paper_envelope(self):
+        """Lengths still span 1..11 with up to 4 bytes examined."""
+        lengths = set()
+        rng = random.Random(11)
+        for _ in range(4000):
+            window = [rng.randrange(256) for _ in range(4)]
+            lengths.add(STREAMING_ISA.instruction_length(window))
+        assert min(lengths) == 1
+        assert max(lengths) == 11
+
+    def test_violation_breaks_chunked_decode(self):
+        """The documented pathology: with the unsafe ISA an
+        instruction's length bytes can extend past the instruction
+        itself, so the next start hides inside the pending walk and the
+        chunked decoder misses it."""
+        stream = [136, 67]  # lc1=1 need2, lc2=0 need3 -> length 1
+        flat = flat_reference_marks(stream, isa=DEFAULT_ISA)
+        chunked, _, _ = StreamingILD(
+            n=1, isa=DEFAULT_ISA, strict=False
+        ).decode_stream(stream)
+        assert flat == [0, 1, 1]
+        assert chunked != flat
+
+
+class TestDirectedChunking:
+    def test_instruction_spanning_chunks_skips(self):
+        """A 4-byte instruction decoded in chunk 1 consumes the head of
+        chunk 2 (skip carry)."""
+        # byte 3 -> lc1 = 4, need2 clear: a 4-byte instruction.
+        decoder = StreamingILD(n=2)
+        first = decoder.decode_chunk([3, 0])
+        assert first.mark == [0, 1, 0]
+        assert first.carry_out.skip == 2
+        second = decoder.decode_chunk([0, 0], first.carry_out)
+        assert second.mark == [0, 0, 0]
+        assert second.carry_out.is_idle()
+
+    def test_walk_spanning_chunks_carries_contributions(self):
+        """An instruction starting at the chunk's last byte with
+        Need_2nd set leaves a pending walk (the Section 5 scenario)."""
+        decoder = StreamingILD(n=2)
+        byte = 0x80  # lc1 = 1, need2 set
+        first = decoder.decode_chunk([0, byte])
+        # byte 0 -> 1-byte instruction at position 1; walk pending at 2.
+        assert first.mark == [0, 1, 1]
+        carry = first.carry_out
+        assert carry.walk_pending
+        assert carry.walk_contributions == (1,)
+        assert carry.walk_next_k == 2
+        assert carry.walk_start_global == 2
+
+    def test_pending_walk_resolves_in_next_chunk(self):
+        decoder = StreamingILD(n=2)
+        first = decoder.decode_chunk([0, 0x80])
+        # next byte: lc2 = 1 (safe ISA, bits 2/4 clear), need3 clear ->
+        # pending instruction has length 1 + 1 = 2, consuming exactly
+        # the first byte of chunk 2.
+        second = decoder.decode_chunk([0, 0], first.carry_out)
+        assert second.carry_out.is_idle()
+        # Byte 2 of chunk 2 (global 4) starts a fresh instruction.
+        assert second.mark == [0, 0, 1]
+
+    def test_walk_can_span_several_tiny_chunks(self):
+        """n=1: every multi-byte walk crosses several boundaries."""
+        decoder = StreamingILD(n=1)
+        stream = [0x80, 0xC4, 0xA8, 0xC0, 0, 0, 0, 0, 0, 0, 0, 0]
+        marks, carry, chunks = decoder.decode_stream(stream)
+        flat = flat_reference_marks(stream, isa=STREAMING_ISA)
+        assert marks == flat
+        assert len(chunks) == len(stream)
+
+    def test_positions_tracked_globally(self):
+        decoder = StreamingILD(n=4)
+        stream = [0, 0, 0, 0, 0, 0, 0, 0]
+        _, carry, chunks = decoder.decode_stream(stream)
+        assert chunks[0].starts_global == [1, 2, 3, 4]
+        assert chunks[1].starts_global == [5, 6, 7, 8]
+        assert carry.position == 9
+
+
+class TestStreamEdgeCases:
+    def test_stream_shorter_than_chunk_is_padded(self):
+        decoder = StreamingILD(n=8)
+        marks, carry, chunks = decoder.decode_stream([0, 0, 0])
+        assert marks == [0, 1, 1, 1]
+        assert len(chunks) == 1
+
+    def test_single_byte_stream(self):
+        decoder = StreamingILD(n=4)
+        marks, _, _ = decoder.decode_stream([0])
+        assert marks == [0, 1]
+
+    def test_all_max_length_instructions(self):
+        """Bytes crafted for maximal walks: every instruction examines
+        4 bytes; the walk straddles nearly every boundary at n=2."""
+        first = 0x83   # lc1=4, need2
+        second = 0x54  # lc2=1+1+1=3, need3 (bit6)
+        third = 0x68   # lc3=1+1+1=3, need4 (bit5)
+        fourth = 0xC0  # lc4=1
+        # 11-byte instructions: 4 length-determining bytes + 7 payload.
+        pattern = [first, second, third, fourth] + [0] * 7
+        stream = pattern * 4
+        marks, _, _ = StreamingILD(n=2).decode_stream(stream)
+        assert marks == flat_reference_marks(stream, isa=STREAMING_ISA)
+        starts = [i for i, m in enumerate(marks) if m]
+        # Each instruction is 4+3+3+1 = 11 bytes long.
+        assert starts[0] == 1
+        for a, b in zip(starts, starts[1:]):
+            assert b - a == 11
+
+    def test_carry_position_advances_by_chunk(self):
+        decoder = StreamingILD(n=4)
+        result = decoder.decode_chunk([0, 0, 0, 0])
+        assert result.carry_out.position == 5
+        result = decoder.decode_chunk([0, 0, 0, 0], result.carry_out)
+        assert result.carry_out.position == 9
+
+
+class TestStreamEquivalence:
+    @STREAM_SETTINGS
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=96),
+        st.integers(min_value=1, max_value=24),
+    )
+    def test_chunked_equals_flat(self, stream, n):
+        marks, _, _ = StreamingILD(n=n).decode_stream(stream)
+        assert marks == flat_reference_marks(stream, isa=STREAMING_ISA)
+
+    @STREAM_SETTINGS
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_chunk_size_invariance(self, stream, n1, n2):
+        """The mark vector is a property of the stream, not the
+        chunking."""
+        marks1, _, _ = StreamingILD(n=n1).decode_stream(stream)
+        marks2, _, _ = StreamingILD(n=n2).decode_stream(stream)
+        assert marks1 == marks2
+
+    def test_agrees_with_golden_single_buffer(self):
+        """When one chunk covers the whole buffer, streaming decode is
+        the golden fixed-buffer decode (same ISA)."""
+        n = 16
+        rng = random.Random(3)
+        golden = GoldenILD(n=n, isa=STREAMING_ISA)
+        decoder = StreamingILD(n=n)
+        for _ in range(25):
+            stream = [rng.randrange(256) for _ in range(n)]
+            result = decoder.decode_chunk(stream)
+            mark, _, _ = golden.decode([0] + stream)
+            assert result.mark == mark
+
+    @STREAM_SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=4, max_size=64))
+    def test_marks_partition_the_stream(self, stream):
+        """Consecutive marked starts are separated by exactly the
+        decoded instruction lengths; the first byte is always a start
+        unless consumed by nothing (it always is a start)."""
+        n = 8
+        marks, _, chunks = StreamingILD(n=n).decode_stream(stream)
+        starts = [i for i in range(1, len(stream) + 1) if marks[i]]
+        assert starts and starts[0] == 1
+        flat = flat_reference_marks(stream, isa=STREAMING_ISA)
+        assert marks == flat

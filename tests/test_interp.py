@@ -1,0 +1,200 @@
+"""Unit tests for the behavioral interpreter."""
+
+import pytest
+
+from repro.interp import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    InterpreterError,
+    run_design,
+    stateful_external,
+)
+from repro.ir.builder import design_from_source
+
+
+def run(source, **kwargs):
+    return run_design(design_from_source(source), **kwargs)
+
+
+class TestScalars:
+    def test_assignment_chain(self):
+        state = run("int a; int b; a = 2; b = a * 3;")
+        assert state.scalars == {"a": 2, "b": 6}
+
+    def test_inputs_prepopulate(self):
+        state = run("int y; y = x + 1;", inputs={"x": 9})
+        assert state.scalars["y"] == 10
+
+    def test_undefined_read_raises(self):
+        with pytest.raises(InterpreterError):
+            run("int y; y = nothing;")
+
+    def test_c_division_semantics(self):
+        state = run("int q; int r; q = -7 / 2; r = -7 % 2;")
+        assert state.scalars["q"] == -3
+        assert state.scalars["r"] == -1
+
+    def test_short_circuit_and(self):
+        # RHS would divide by zero; && must not evaluate it.
+        state = run("int x; int z; z = 0; x = (z != 0) && (1 / z);")
+        assert state.scalars["x"] == 0
+
+    def test_short_circuit_or(self):
+        state = run("int x; int z; z = 0; x = (z == 0) || (1 / z);")
+        assert state.scalars["x"] == 1
+
+    def test_ternary(self):
+        state = run("int x; x = 1 ? 10 : 20;")
+        assert state.scalars["x"] == 10
+
+
+class TestArrays:
+    def test_store_and_load(self):
+        state = run("int a[4]; int x; a[2] = 7; x = a[2];")
+        assert state.arrays["a"] == [0, 0, 7, 0]
+        assert state.scalars["x"] == 7
+
+    def test_array_inputs(self):
+        state = run(
+            "int a[3]; int x; x = a[1];", array_inputs={"a": [5, 6, 7]}
+        )
+        assert state.scalars["x"] == 6
+
+    def test_array_inputs_truncate_to_declared_size(self):
+        state = run("int a[2]; int x; x = a[1];", array_inputs={"a": [1, 2, 3, 4]})
+        assert state.arrays["a"] == [1, 2]
+
+    def test_out_of_bounds_store(self):
+        with pytest.raises(InterpreterError):
+            run("int a[2]; a[5] = 1;")
+
+    def test_out_of_bounds_read(self):
+        with pytest.raises(InterpreterError):
+            run("int a[2]; int x; x = a[2];")
+
+    def test_undeclared_array(self):
+        with pytest.raises(InterpreterError):
+            run("int x; x = ghost[0];")
+
+    def test_extra_input_array_visible(self):
+        state = run(
+            "int x; x = extra[0];", array_inputs={"extra": [42]}
+        )
+        assert state.scalars["x"] == 42
+
+
+class TestControlFlow:
+    def test_if_then(self):
+        state = run("int x; if (1) { x = 1; } else { x = 2; }")
+        assert state.scalars["x"] == 1
+
+    def test_if_else(self):
+        state = run("int x; if (0) { x = 1; } else { x = 2; }")
+        assert state.scalars["x"] == 2
+
+    def test_for_loop(self):
+        state = run("int i; int s; s = 0; for (i = 0; i < 5; i++) s += i;")
+        assert state.scalars["s"] == 10
+        assert state.scalars["i"] == 5
+
+    def test_nested_loops(self):
+        state = run(
+            "int i; int j; int c; c = 0;"
+            "for (i = 0; i < 3; i++) for (j = 0; j < 4; j++) c += 1;"
+        )
+        assert state.scalars["c"] == 12
+
+    def test_while_with_break(self):
+        state = run(
+            "int i; i = 0; while (1) { i = i + 1; if (i >= 7) { break; } }"
+        )
+        assert state.scalars["i"] == 7
+
+    def test_break_exits_inner_loop_only(self):
+        state = run(
+            "int i; int j; int c; c = 0;"
+            "for (i = 0; i < 3; i++) {"
+            "  for (j = 0; j < 10; j++) { if (j == 2) { break; } c += 1; }"
+            "}"
+        )
+        assert state.scalars["c"] == 6
+
+    def test_step_limit_guards_infinite_loop(self):
+        with pytest.raises(ExecutionLimitExceeded):
+            run("int x; x = 0; while (1) { x = x + 1; }", max_steps=1000)
+
+
+class TestFunctions:
+    def test_call_and_return(self):
+        state = run("int f(x) { return x * 2; } int y; y = f(21);")
+        assert state.scalars["y"] == 42
+
+    def test_private_scalar_frames(self):
+        state = run(
+            "int f(x) { int t; t = x + 1; return t; }"
+            "int t; int y; t = 100; y = f(1);"
+        )
+        assert state.scalars["t"] == 100  # callee t must not leak
+
+    def test_shared_arrays(self):
+        state = run(
+            "void fill(v) { shared[0] = v; return; }"
+            "int shared[2]; fill(9);"
+        )
+        assert state.arrays["shared"][0] == 9
+
+    def test_early_return_in_branch(self):
+        state = run(
+            "int f(x) { if (x > 0) { return 1; } return 0; }"
+            "int a; int b; a = f(5); b = f(-5);"
+        )
+        assert state.scalars["a"] == 1
+        assert state.scalars["b"] == 0
+
+    def test_recursion(self):
+        state = run(
+            "int fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }"
+            "int y; y = fact(5);"
+        )
+        assert state.scalars["y"] == 120
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(InterpreterError):
+            run("int f(a, b) { return a + b; } int y; y = f(1);")
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(InterpreterError):
+            run("int y; y = mystery(1);")
+
+
+class TestExternals:
+    def test_plain_external(self):
+        state = run(
+            "int y; y = double_it(4);",
+            externals={"double_it": lambda v: v * 2},
+        )
+        assert state.scalars["y"] == 8
+
+    def test_stateful_external_reads_arrays(self):
+        @stateful_external
+        def probe(i, state=None):
+            return state.arrays["buf"][i]
+
+        state = run(
+            "int buf[3]; int y; buf[1] = 77; y = probe(1);",
+            externals={"probe": probe},
+        )
+        assert state.scalars["y"] == 77
+
+    def test_trace_records_op_order(self):
+        design = design_from_source("int a; int b; a = 1; b = 2;")
+        state = run_design(design)
+        ops = list(design.main.walk_operations())
+        assert state.trace == [ops[0].uid, ops[1].uid]
+
+
+class TestCallFunction:
+    def test_direct_function_call(self):
+        design = design_from_source("int add(a, b) { return a + b; }")
+        interp = Interpreter(design)
+        assert interp.call_function("add", [2, 3]) == 5

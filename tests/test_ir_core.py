@@ -1,0 +1,255 @@
+"""Unit tests for operations, basic blocks and the HTG."""
+
+import pytest
+
+from repro.frontend.parser import parse_expression
+from repro.frontend.ast_nodes import ArrayRef, IntLit, Var
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import design_from_source
+from repro.ir.htg import (
+    BlockNode,
+    BreakNode,
+    IfNode,
+    LoopNode,
+    normalize_blocks,
+    parent_map,
+    replace_node,
+    walk_nodes,
+)
+from repro.ir.operations import Operation, OpKind
+
+
+def assign(target, source):
+    return Operation.assign(Var(name=target), parse_expression(source))
+
+
+class TestOperation:
+    def test_assign_constructor(self):
+        op = assign("x", "a + 1")
+        assert op.kind is OpKind.ASSIGN
+        assert op.reads() == {"a"}
+        assert op.writes() == {"x"}
+
+    def test_assign_rejects_bad_target(self):
+        with pytest.raises(TypeError):
+            Operation.assign(IntLit(value=1), IntLit(value=2))
+
+    def test_array_store_reads_index(self):
+        op = Operation.assign(
+            ArrayRef(name="Mark", index=parse_expression("i - 1")),
+            parse_expression("1"),
+        )
+        assert op.reads() == {"i"}
+        assert op.writes() == set()
+        assert op.arrays_written() == {"Mark"}
+
+    def test_array_read_detection(self):
+        op = assign("x", "buf[j] + 1")
+        assert op.arrays_read() == {"buf"}
+
+    def test_call_detection(self):
+        assert assign("x", "f(1)").has_call()
+        assert not assign("x", "a + 1").has_call()
+
+    def test_is_copy(self):
+        assert assign("x", "y").is_copy()
+        assert not assign("x", "y + 0").is_copy()
+
+    def test_is_constant_assign(self):
+        assert assign("x", "5").is_constant_assign()
+        assert not assign("x", "y").is_constant_assign()
+
+    def test_clone_fresh_uid(self):
+        op = assign("x", "a + b")
+        copy = op.clone()
+        assert copy.uid != op.uid
+        assert str(copy) == str(op)
+
+    def test_str_flags(self):
+        op = assign("x", "y")
+        op.is_speculated = True
+        assert "spec" in str(op)
+        op2 = assign("z", "w")
+        op2.is_wire_copy = True
+        assert "wire-copy" in str(op2)
+
+    def test_return_op(self):
+        op = Operation.ret(parse_expression("x"))
+        assert op.kind is OpKind.RETURN
+        assert op.reads() == {"x"}
+        assert op.writes() == set()
+
+    def test_uids_unique(self):
+        ops = [assign("x", "1") for _ in range(10)]
+        assert len({op.uid for op in ops}) == 10
+
+
+class TestBasicBlock:
+    def test_append_and_iter(self):
+        block = BasicBlock()
+        op = assign("x", "1")
+        block.append(op)
+        assert list(block) == [op]
+        assert len(block) == 1
+
+    def test_insert_before_after(self):
+        block = BasicBlock()
+        a, b, c = assign("a", "1"), assign("b", "2"), assign("c", "3")
+        block.append(b)
+        block.insert_before(b, a)
+        block.insert_after(b, c)
+        assert [op.target.name for op in block] == ["a", "b", "c"]
+
+    def test_remove_by_identity(self):
+        block = BasicBlock()
+        a1 = assign("x", "1")
+        a2 = assign("x", "1")  # equal text, different object
+        block.append(a1)
+        block.append(a2)
+        block.remove(a1)
+        assert list(block) == [a2]
+
+    def test_remove_missing_raises(self):
+        block = BasicBlock()
+        with pytest.raises(ValueError):
+            block.remove(assign("x", "1"))
+
+    def test_replace(self):
+        block = BasicBlock()
+        old = assign("x", "1")
+        new = assign("y", "2")
+        block.append(old)
+        block.replace(old, new)
+        assert list(block) == [new]
+
+    def test_read_write_sets(self):
+        block = BasicBlock(ops=[assign("x", "a"), assign("y", "x + b")])
+        assert block.variables_read() == {"a", "x", "b"}
+        assert block.variables_written() == {"x", "y"}
+
+    def test_upward_exposed_reads(self):
+        block = BasicBlock(ops=[assign("x", "a"), assign("y", "x + b")])
+        # x is defined before its read, so only a and b are exposed.
+        assert block.upward_exposed_reads() == {"a", "b"}
+
+    def test_clone_deep(self):
+        block = BasicBlock(ops=[assign("x", "a")])
+        copy = block.clone()
+        assert copy.bb_id != block.bb_id
+        assert copy.ops[0] is not block.ops[0]
+
+    def test_labels_unique(self):
+        b1, b2 = BasicBlock(), BasicBlock()
+        assert b1.label != b2.label
+
+
+class TestHTGStructure:
+    def test_walk_nodes_preorder(self):
+        inner = BlockNode(BasicBlock(ops=[assign("x", "1")]))
+        if_node = IfNode(cond=parse_expression("c"), then_branch=[inner])
+        top = BlockNode(BasicBlock(ops=[assign("c", "1")]))
+        nodes = list(walk_nodes([top, if_node]))
+        assert nodes == [top, if_node, inner]
+
+    def test_parent_map(self):
+        inner = BlockNode(BasicBlock())
+        if_node = IfNode(cond=parse_expression("c"), then_branch=[inner])
+        body = [if_node]
+        parents = parent_map(body)
+        assert parents[if_node.uid][0] is None
+        assert parents[inner.uid][0] is if_node
+
+    def test_replace_node_in_branch(self):
+        inner = BlockNode(BasicBlock(ops=[assign("x", "1")]))
+        replacement = BlockNode(BasicBlock(ops=[assign("y", "2")]))
+        if_node = IfNode(cond=parse_expression("c"), then_branch=[inner])
+        body = [if_node]
+        replace_node(body, inner, [replacement])
+        assert if_node.then_branch == [replacement]
+
+    def test_replace_node_missing_raises(self):
+        body = [BlockNode(BasicBlock())]
+        with pytest.raises(ValueError):
+            replace_node(body, BlockNode(BasicBlock()), [])
+
+    def test_normalize_merges_adjacent_blocks(self):
+        a = BlockNode(BasicBlock(ops=[assign("x", "1")]))
+        b = BlockNode(BasicBlock(ops=[assign("y", "2")]))
+        merged = normalize_blocks([a, b])
+        assert len(merged) == 1
+        assert len(merged[0].ops) == 2
+
+    def test_normalize_drops_empty_blocks(self):
+        empty = BlockNode(BasicBlock())
+        keep = BlockNode(BasicBlock(ops=[assign("x", "1")]))
+        assert normalize_blocks([empty, keep]) == [keep]
+
+    def test_normalize_recurses_into_branches(self):
+        then = [BlockNode(BasicBlock()), BlockNode(BasicBlock(ops=[assign("x", "1")]))]
+        if_node = IfNode(cond=parse_expression("c"), then_branch=then)
+        normalize_blocks([if_node])
+        assert len(if_node.then_branch) == 1
+
+    def test_loop_clone_deep(self):
+        loop = LoopNode(
+            kind="for",
+            cond=parse_expression("i < 3"),
+            body=[BlockNode(BasicBlock(ops=[assign("x", "i")]))],
+            init=[assign("i", "0")],
+            update=[assign("i", "i + 1")],
+        )
+        copy = loop.clone()
+        assert copy.uid != loop.uid
+        assert copy.init[0] is not loop.init[0]
+        assert copy.body[0].ops[0] is not loop.body[0].ops[0]
+
+    def test_loop_kind_validation(self):
+        with pytest.raises(ValueError):
+            LoopNode(kind="until", cond=None)
+
+    def test_break_clone(self):
+        node = BreakNode()
+        assert node.clone().uid != node.uid
+
+
+class TestFunctionHTG:
+    def test_counts(self, mini_ild_design):
+        main = mini_ild_design.main
+        assert main.count_operations() > 0
+        assert main.count_basic_blocks() > 0
+
+    def test_variables_includes_conditions(self, mini_ild_design):
+        main = mini_ild_design.main
+        names = main.variables()
+        assert {"i", "NextStartByte"} <= names
+
+    def test_fresh_variable_avoids_collisions(self, mini_ild_design):
+        main = mini_ild_design.main
+        fresh = main.fresh_variable("i")
+        assert fresh != "i"
+        assert fresh in main.locals
+
+    def test_clone_independent(self, mini_ild_design):
+        copy = mini_ild_design.clone()
+        copy.main.body.clear()
+        assert mini_ild_design.main.body
+
+    def test_walk_operations_covers_loop_headers(self, simple_loop_design):
+        ops = list(simple_loop_design.main.walk_operations())
+        texts = [str(op) for op in ops]
+        assert any("i = 0" in t for t in texts)
+        assert any("i = (i + 1)" in t for t in texts)
+
+
+class TestDesign:
+    def test_external_inference(self, mini_ild_design):
+        assert "LengthContribution_1" in mini_ild_design.external_functions
+        assert "CalculateLength" not in mini_ild_design.external_functions
+
+    def test_called_functions(self, mini_ild_design):
+        called = mini_ild_design.called_functions(mini_ild_design.main)
+        assert "CalculateLength" in called
+
+    def test_function_lookup_error(self, mini_ild_design):
+        with pytest.raises(KeyError):
+            mini_ild_design.function("nope")

@@ -1,0 +1,180 @@
+"""Unit tests for the behavioral C lexer."""
+
+import pytest
+
+from repro.frontend.lexer import (
+    Lexer,
+    LexerError,
+    Token,
+    TokenType,
+    find_token,
+    literal_value,
+    tokenize,
+)
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source) if t.type is not TokenType.EOF]
+
+
+def values(source):
+    return [t.value for t in tokenize(source) if t.type is not TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only(self):
+        tokens = tokenize("   \n\t  \n")
+        assert len(tokens) == 1
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.INT_LITERAL
+        assert literal_value(tokens[0]) == 42
+
+    def test_hex_literal(self):
+        tokens = tokenize("0x1F")
+        assert literal_value(tokens[0]) == 31
+
+    def test_hex_literal_uppercase_x(self):
+        tokens = tokenize("0XfF")
+        assert literal_value(tokens[0]) == 255
+
+    def test_zero(self):
+        assert literal_value(tokenize("0")[0]) == 0
+
+    def test_identifier(self):
+        tokens = tokenize("NextStartByte")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "NextStartByte"
+
+    def test_identifier_with_underscore_and_digits(self):
+        tokens = tokenize("LengthContribution_1")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "LengthContribution_1"
+
+    def test_keywords_classified(self):
+        for kw in ("int", "if", "else", "for", "while", "return", "break"):
+            assert tokenize(kw)[0].type is TokenType.KEYWORD
+
+    def test_true_false_are_keywords(self):
+        assert tokenize("true")[0].type is TokenType.KEYWORD
+        assert tokenize("false")[0].type is TokenType.KEYWORD
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        for op in ("==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "++"):
+            tokens = tokenize(op)
+            assert tokens[0].type is TokenType.OPERATOR
+            assert tokens[0].value == op
+
+    def test_single_char_operators(self):
+        for op in "+-*/%<>=!&|^~?:":
+            tokens = tokenize(op)
+            assert tokens[0].type is TokenType.OPERATOR
+
+    def test_longest_match_wins(self):
+        # `<<=` must lex as one token, not `<<` `=` or `<` `<=`.
+        tokens = tokenize("a <<= 2")
+        assert values("a <<= 2") == ["a", "<<=", "2"]
+
+    def test_increment_vs_plus(self):
+        assert values("i++ + 1") == ["i", "++", "+", "1"]
+
+    def test_punctuation(self):
+        assert values("(){}[];,") == ["(", ")", "{", "}", "[", "]", ";", ","]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("a // comment here\nb") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert values("a // trailing") == ["a"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* hi */ b") == ["a", "b"]
+
+    def test_block_comment_multiline(self):
+        assert values("a /* line1\nline2\n*/ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_columns_after_operator(self):
+        tokens = tokenize("x=1")
+        assert [t.column for t in tokens[:3]] == [1, 2, 3]
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("a $ b")
+        assert "$" in str(excinfo.value)
+
+    def test_malformed_number_trailing_ident(self):
+        with pytest.raises(LexerError):
+            tokenize("12abc")
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexerError):
+            tokenize("0x")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("ab\n cd @")
+        assert excinfo.value.line == 2
+
+
+class TestHelpers:
+    def test_literal_value_rejects_non_literal(self):
+        with pytest.raises(ValueError):
+            literal_value(Token(TokenType.IDENT, "x", 1, 1))
+
+    def test_find_token(self):
+        tokens = tokenize("a = b + c")
+        index = find_token(tokens, "+")
+        assert index is not None
+        assert tokens[index].value == "+"
+
+    def test_find_token_absent(self):
+        assert find_token(tokenize("a b"), "zz") is None
+
+    def test_find_token_with_start(self):
+        tokens = tokenize("x x x")
+        first = find_token(tokens, "x")
+        second = find_token(tokens, "x", first + 1)
+        assert second > first
+
+
+class TestRealisticInput:
+    def test_fig10_style_fragment(self):
+        source = """
+        for (i = 1; i <= n; i++) {
+          if (i == NextStartByte) {
+            Mark[i] = 1;
+            NextStartByte += len[i];
+          }
+        }
+        """
+        vals = values(source)
+        assert vals.count("NextStartByte") == 2
+        assert "+=" in vals
+        assert "==" in vals
+
+    def test_token_stream_roundtrip_length(self):
+        source = "x = (a + b) * LengthContribution_1(i);"
+        assert len(tokenize(source)) == 14  # 13 tokens + EOF

@@ -1,0 +1,403 @@
+"""Unit + property tests for the parallelizing code motions
+(transforms/code_motion.py): the dependence oracle, the intra-block
+dataflow-level reorder (Fig 3b) and the Trailblazing hierarchical
+hoist."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.ast_nodes import ArrayRef, IntLit, Var
+from repro.interp import run_design
+from repro.ir.builder import design_from_source
+from repro.ir.htg import BlockNode, IfNode, LoopNode
+from repro.transforms.code_motion import (
+    DataflowLevelReorder,
+    DependenceTest,
+    TrailblazingHoist,
+    refs_may_alias,
+)
+
+from tests.test_properties import programs
+from tests.helpers import assert_equivalent
+
+PROPERTY_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def ops_of_main(design):
+    return list(design.main.walk_operations())
+
+
+def first_block(design):
+    return next(
+        node for node in design.main.walk_nodes() if isinstance(node, BlockNode)
+    )
+
+
+class TestRefAliasing:
+    def test_different_arrays_never_alias(self):
+        a = ArrayRef(name="x", index=IntLit(value=0))
+        b = ArrayRef(name="y", index=IntLit(value=0))
+        assert not refs_may_alias(a, b)
+
+    def test_equal_constant_indices_alias(self):
+        a = ArrayRef(name="x", index=IntLit(value=3))
+        b = ArrayRef(name="x", index=IntLit(value=3))
+        assert refs_may_alias(a, b)
+
+    def test_distinct_constant_indices_disambiguate(self):
+        a = ArrayRef(name="x", index=IntLit(value=3))
+        b = ArrayRef(name="x", index=IntLit(value=4))
+        assert not refs_may_alias(a, b)
+
+    def test_symbolic_index_conservative(self):
+        a = ArrayRef(name="x", index=Var(name="i"))
+        b = ArrayRef(name="x", index=IntLit(value=4))
+        assert refs_may_alias(a, b)
+        assert refs_may_alias(b, a)
+
+
+class TestDependenceTest:
+    def _ops(self, source):
+        return ops_of_main(design_from_source(source))
+
+    def test_raw_scalar(self):
+        ops = self._ops("int x; int y; x = 1; y = x + 2;")
+        assert DependenceTest().depends(ops[0], ops[1])
+
+    def test_war_scalar(self):
+        ops = self._ops("int x; int y; y = x + 2; x = 1;")
+        assert DependenceTest().depends(ops[0], ops[1])
+
+    def test_waw_scalar(self):
+        ops = self._ops("int x; x = 1; x = 2;")
+        assert DependenceTest().depends(ops[0], ops[1])
+
+    def test_independent_scalars(self):
+        ops = self._ops("int x; int y; x = 1; y = 2;")
+        assert not DependenceTest().depends(ops[0], ops[1])
+
+    def test_array_raw_same_constant_index(self):
+        ops = self._ops("int a[4]; int y; a[1] = 5; y = a[1];")
+        assert DependenceTest().depends(ops[0], ops[1])
+
+    def test_array_raw_distinct_constant_indices_independent(self):
+        ops = self._ops("int a[4]; int y; a[1] = 5; y = a[2];")
+        assert not DependenceTest().depends(ops[0], ops[1])
+
+    def test_array_waw_distinct_indices_independent(self):
+        ops = self._ops("int a[4]; a[1] = 5; a[2] = 6;")
+        assert not DependenceTest().depends(ops[0], ops[1])
+
+    def test_array_symbolic_index_serializes(self):
+        ops = self._ops("int a[4]; int i; int y; a[i] = 5; y = a[2];")
+        assert DependenceTest().depends(ops[0], ops[1])
+
+    def test_index_read_is_a_scalar_read(self):
+        """The LHS array index counts as a read (WAR with its writer)."""
+        ops = self._ops("int a[4]; int i; a[i] = 5; i = 2;")
+        assert DependenceTest().depends(ops[0], ops[1])
+
+    def test_impure_calls_serialize(self):
+        ops = self._ops("int x; int y; x = f(1); y = g(2);")
+        assert DependenceTest().depends(ops[0], ops[1])
+
+    def test_pure_calls_do_not_serialize(self):
+        ops = self._ops("int x; int y; x = f(1); y = g(2);")
+        test = DependenceTest(pure_functions={"f", "g"})
+        assert not test.depends(ops[0], ops[1])
+
+    def test_return_is_barrier(self):
+        design = design_from_source(
+            "int helper(p) { int q; q = p; return q; } int z; z = helper(3);"
+        )
+        helper_ops = list(design.functions["helper"].walk_operations())
+        test = DependenceTest()
+        assert test.depends(helper_ops[0], helper_ops[1])
+
+    def test_independent_of_all(self):
+        ops = self._ops("int x; int y; int z; x = 1; y = 2; z = x + y;")
+        test = DependenceTest()
+        assert test.independent_of_all(ops[1], [ops[0]])
+        assert not test.independent_of_all(ops[2], ops[:2])
+
+
+class TestDataflowLevelReorder:
+    INTERLEAVED = """
+    int r1[4]; int r2[4];
+    r1[0] = Op1(0);
+    r2[0] = Op2(0, r1[0]);
+    r1[1] = Op1(1);
+    r2[1] = Op2(1, r1[1]);
+    """
+    PURE = {"Op1", "Op2"}
+    EXTERNALS = {
+        "Op1": lambda i: 10 + i,
+        "Op2": lambda i, r: r * 2 + i,
+    }
+
+    def test_fig3b_interleaving(self):
+        """All Op1 float to level 1, all Op2 to level 2."""
+        design = design_from_source(self.INTERLEAVED)
+        DataflowLevelReorder(pure_functions=self.PURE).run_on_design(design)
+        ops = ops_of_main(design)
+        kinds = ["Op1" if "Op1" in str(op) else "Op2" for op in ops]
+        assert kinds == ["Op1", "Op1", "Op2", "Op2"]
+
+    def test_preserves_behavior(self):
+        design = design_from_source(self.INTERLEAVED)
+        reference = design_from_source(self.INTERLEAVED)
+        DataflowLevelReorder(pure_functions=self.PURE).run_on_design(design)
+        got = run_design(design, externals=self.EXTERNALS).arrays
+        want = run_design(reference, externals=self.EXTERNALS).arrays
+        assert got == want
+
+    def test_idempotent(self):
+        design = design_from_source(self.INTERLEAVED)
+        reorder = DataflowLevelReorder(pure_functions=self.PURE)
+        first = reorder.run_on_design(design)
+        second = reorder.run_on_design(design)
+        assert any(r.changed for r in first)
+        assert not any(r.changed for r in second)
+
+    def test_stable_within_level(self):
+        """Independent ops keep their source order."""
+        design = design_from_source("int a; int b; int c; a=1; b=2; c=3;")
+        DataflowLevelReorder().run_on_design(design)
+        targets = [next(iter(op.writes())) for op in ops_of_main(design)]
+        assert targets == ["a", "b", "c"]
+
+    def test_levels_exposed(self):
+        design = design_from_source(self.INTERLEAVED)
+        block = first_block(design)
+        reorder = DataflowLevelReorder(pure_functions=self.PURE)
+        levels = reorder.block_levels(block.ops)
+        assert sorted(levels.values()) == [1, 1, 2, 2]
+
+    def test_no_motion_in_dependent_chain(self):
+        design = design_from_source("int a; a = 1; a = a + 1; a = a + 2;")
+        reports = DataflowLevelReorder().run_on_design(design)
+        assert not any(r.changed for r in reports)
+
+    def test_report_counts_moves(self):
+        design = design_from_source(self.INTERLEAVED)
+        reports = DataflowLevelReorder(pure_functions=self.PURE).run_on_design(
+            design
+        )
+        main_report = next(r for r in reports if r.function == "main")
+        assert main_report.details["ops_moved"] > 0
+
+    @PROPERTY_SETTINGS
+    @given(programs())
+    def test_property_equivalence(self, source):
+        assert_equivalent(
+            source, lambda d: DataflowLevelReorder().run_on_design(d)
+        )
+
+
+class TestTrailblazingHoist:
+    ACROSS_IF = """
+    int x; int y; int z;
+    x = 1;
+    if (c) { y = 10; } else { y = 20; }
+    z = x + 5;
+    """
+
+    def _ops_before_first_if(self, design):
+        body = design.main.body
+        if_index = next(
+            i for i, node in enumerate(body) if isinstance(node, IfNode)
+        )
+        return [
+            op
+            for node in body[:if_index]
+            if isinstance(node, BlockNode)
+            for op in node.ops
+        ]
+
+    def test_independent_op_hops_over_if(self):
+        design = design_from_source(self.ACROSS_IF)
+        reports = TrailblazingHoist().run_on_design(design)
+        assert any(r.changed for r in reports)
+        before = self._ops_before_first_if(design)
+        assert any("z" in op.writes() for op in before)
+
+    def test_dependent_op_stays(self):
+        source = """
+        int x; int y; int z;
+        x = 1;
+        if (c) { y = 10; } else { y = 20; }
+        z = y + 5;
+        """
+        design = design_from_source(source)
+        TrailblazingHoist().run_on_design(design)
+        before = self._ops_before_first_if(design)
+        assert not any("z" in op.writes() for op in before)
+
+    def test_write_to_condition_variable_stays_below(self):
+        source = """
+        int x; int c2; int w;
+        c2 = 1;
+        if (c2) { x = 1; } else { x = 2; }
+        c2 = 0;
+        w = x;
+        """
+        assert_equivalent(
+            source,
+            lambda d: TrailblazingHoist().run_on_design(d),
+            inputs={"c": 1},
+            check_scalars=["x", "w"],
+        )
+
+    def test_hops_over_loop(self):
+        source = """
+        int acc[4]; int k; int z;
+        for (k = 0; k < 3; k++) { acc[k] = k; }
+        z = 7;
+        """
+        design = design_from_source(source)
+        reports = TrailblazingHoist().run_on_design(design)
+        assert any(r.changed for r in reports)
+        first = design.main.body[0]
+        assert isinstance(first, BlockNode)
+        assert any("z" in op.writes() for op in first.ops)
+
+    def test_op_dependent_on_loop_result_stays(self):
+        source = """
+        int acc[4]; int k; int z;
+        acc[0] = 0;
+        for (k = 0; k < 3; k++) { acc[1] = k; }
+        z = acc[1];
+        """
+        design = design_from_source(source)
+        TrailblazingHoist().run_on_design(design)
+        last = design.main.body[-1]
+        assert isinstance(last, BlockNode)
+        assert any("z" in op.writes() for op in last.ops)
+
+    def test_relative_order_of_hopped_ops_kept(self):
+        source = """
+        int x; int y; int z;
+        if (c) { x = 1; }
+        y = 10;
+        z = y + 1;
+        """
+        design = design_from_source(source)
+        TrailblazingHoist().run_on_design(design)
+        ops = ops_of_main(design)
+        y_pos = next(i for i, op in enumerate(ops) if "y" in op.writes())
+        z_pos = next(i for i, op in enumerate(ops) if "z" in op.writes())
+        assert y_pos < z_pos
+
+    def test_multi_hop_to_fixpoint(self):
+        """An op can climb over several compound nodes in one run."""
+        source = """
+        int x; int y; int z;
+        if (c) { x = 1; } else { x = 2; }
+        if (c) { y = 3; } else { y = 4; }
+        z = 9;
+        """
+        design = design_from_source(source)
+        TrailblazingHoist().run_on_design(design)
+        first = design.main.body[0]
+        assert isinstance(first, BlockNode)
+        assert any("z" in op.writes() for op in first.ops)
+
+    @PROPERTY_SETTINGS
+    @given(programs())
+    def test_property_equivalence(self, source):
+        assert_equivalent(
+            source, lambda d: TrailblazingHoist().run_on_design(d)
+        )
+
+    @PROPERTY_SETTINGS
+    @given(programs())
+    def test_property_combined_motions(self, source):
+        def transform(design):
+            TrailblazingHoist().run_on_design(design)
+            DataflowLevelReorder().run_on_design(design)
+
+        assert_equivalent(source, transform)
+
+
+# -- random programs with pure external calls --------------------------------
+
+PURE_EXTERNALS = {
+    "F1": lambda x: (x * 3 + 1) & 0xFF,
+    "F2": lambda x, y: (x ^ y) & 0xFF,
+}
+
+
+@st.composite
+def call_programs(draw):
+    """Random straight-line-plus-conditionals programs whose RHSs mix
+    arithmetic with pure external calls — the shapes the motions see
+    after the ILD's speculation stage."""
+    names = ["a", "b", "c", "d"]
+    lines = ["int out[6];"]
+    for name in names:
+        lines.append(f"int {name};")
+        lines.append(
+            f"{name} = {draw(st.integers(min_value=0, max_value=7))};"
+        )
+    for index in range(draw(st.integers(min_value=2, max_value=6))):
+        target = draw(st.sampled_from(names))
+        left = draw(st.sampled_from(names))
+        right = draw(st.sampled_from(names))
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0:
+            rhs = f"F1({left})"
+        elif kind == 1:
+            rhs = f"F2({left}, {right})"
+        elif kind == 2:
+            rhs = f"{left} + F1({right})"
+        else:
+            rhs = f"{left} - {right}"
+        if draw(st.booleans()):
+            lines.append(
+                f"if ({left} > {right}) {{ {target} = {rhs}; }} "
+                f"else {{ {target} = {right}; }}"
+            )
+        else:
+            lines.append(f"{target} = {rhs};")
+        lines.append(f"out[{index % 6}] = {target};")
+    return "\n".join(lines)
+
+
+class TestMotionsWithCalls:
+    @PROPERTY_SETTINGS
+    @given(call_programs())
+    def test_reorder_with_pure_calls(self, source):
+        assert_equivalent(
+            source,
+            lambda d: DataflowLevelReorder(
+                pure_functions=set(PURE_EXTERNALS)
+            ).run_on_design(d),
+            externals=PURE_EXTERNALS,
+        )
+
+    @PROPERTY_SETTINGS
+    @given(call_programs())
+    def test_hoist_with_pure_calls(self, source):
+        assert_equivalent(
+            source,
+            lambda d: TrailblazingHoist(
+                pure_functions=set(PURE_EXTERNALS)
+            ).run_on_design(d),
+            externals=PURE_EXTERNALS,
+        )
+
+    @PROPERTY_SETTINGS
+    @given(call_programs())
+    def test_conservative_without_purity_info(self, source):
+        """With no purity declarations the motions must stay
+        conservative — and still be equivalence-preserving."""
+        def transform(design):
+            TrailblazingHoist().run_on_design(design)
+            DataflowLevelReorder().run_on_design(design)
+
+        assert_equivalent(source, transform, externals=PURE_EXTERNALS)

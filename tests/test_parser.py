@@ -1,0 +1,349 @@
+"""Unit tests for the recursive-descent parser."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import ParseError, parse, parse_expression
+
+
+class TestExpressions:
+    def test_literal(self):
+        expr = parse_expression("42")
+        assert isinstance(expr, ast.IntLit) and expr.value == 42
+
+    def test_negative_literal_folds(self):
+        expr = parse_expression("-7")
+        assert isinstance(expr, ast.IntLit) and expr.value == -7
+
+    def test_variable(self):
+        expr = parse_expression("foo")
+        assert isinstance(expr, ast.Var) and expr.name == "foo"
+
+    def test_binary_precedence_mul_over_add(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, ast.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expression("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.BinOp) and expr.left.op == "-"
+        assert expr.right.name == "c"
+
+    def test_comparison_precedence(self):
+        expr = parse_expression("a + 1 < b * 2")
+        assert expr.op == "<"
+
+    def test_logical_precedence(self):
+        expr = parse_expression("a < b && c > d || e == f")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_bitwise_precedence_chain(self):
+        # | weaker than ^ weaker than &
+        expr = parse_expression("a | b ^ c & d")
+        assert expr.op == "|"
+        assert expr.right.op == "^"
+        assert expr.right.right.op == "&"
+
+    def test_shift(self):
+        expr = parse_expression("a << 2")
+        assert expr.op == "<<"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_not(self):
+        expr = parse_expression("!cond")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "!"
+
+    def test_unary_minus_on_var(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "-"
+
+    def test_unary_plus_is_dropped(self):
+        expr = parse_expression("+x")
+        assert isinstance(expr, ast.Var)
+
+    def test_ternary(self):
+        expr = parse_expression("c ? a : b")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_ternary_right_associative(self):
+        expr = parse_expression("c1 ? a : c2 ? b : d")
+        assert isinstance(expr.if_false, ast.Ternary)
+
+    def test_call_no_args(self):
+        expr = parse_expression("f()")
+        assert isinstance(expr, ast.Call) and expr.args == []
+
+    def test_call_with_args(self):
+        expr = parse_expression("LengthContribution_2(i + 1)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 1
+        assert expr.args[0].op == "+"
+
+    def test_array_reference(self):
+        expr = parse_expression("Mark[i - 1]")
+        assert isinstance(expr, ast.ArrayRef)
+        assert expr.index.op == "-"
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a b")
+
+    def test_true_false_literals(self):
+        assert parse_expression("true").value == 1
+        assert parse_expression("false").value == 0
+
+
+class TestStatements:
+    def test_declaration(self):
+        program = parse("int x;")
+        decl = program.main_body[0]
+        assert isinstance(decl, ast.Decl) and decl.name == "x"
+        assert decl.array_size is None
+
+    def test_declaration_with_init(self):
+        decl = parse("int x = 5;").main_body[0]
+        assert isinstance(decl.init, ast.IntLit)
+
+    def test_array_declaration(self):
+        decl = parse("int buf[16];").main_body[0]
+        assert decl.array_size == 16
+
+    def test_array_size_must_be_literal(self):
+        with pytest.raises(ParseError):
+            parse("int buf[n];")
+
+    def test_assignment(self):
+        stmt = parse("x = y + 1;").main_body[0]
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.Var)
+
+    def test_array_assignment(self):
+        stmt = parse("Mark[i] = 1;").main_body[0]
+        assert isinstance(stmt.target, ast.ArrayRef)
+
+    def test_compound_assignment_desugars(self):
+        stmt = parse("x += 2;").main_body[0]
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.value.op == "+"
+        assert stmt.value.left.name == "x"
+
+    def test_all_compound_operators(self):
+        for op, expected in [
+            ("-=", "-"), ("*=", "*"), ("/=", "/"), ("%=", "%"),
+            ("&=", "&"), ("|=", "|"), ("^=", "^"),
+        ]:
+            stmt = parse(f"x {op} 2;").main_body[0]
+            assert stmt.value.op == expected
+
+    def test_increment_desugars(self):
+        stmt = parse("i++;").main_body[0]
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.value.op == "+"
+        assert stmt.value.right.value == 1
+
+    def test_decrement_desugars(self):
+        stmt = parse("i--;").main_body[0]
+        assert stmt.value.op == "-"
+
+    def test_call_statement(self):
+        stmt = parse("ResetArray(Mark);").main_body[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Call)
+
+    def test_bare_expression_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse("a + b;")
+
+    def test_assign_to_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse("5 = x;")
+
+    def test_empty_statement(self):
+        block = parse(";").main_body[0]
+        assert isinstance(block, ast.Block) and block.body == []
+
+
+class TestControlFlow:
+    def test_if_without_else(self):
+        stmt = parse("if (c) { x = 1; }").main_body[0]
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body) == 1
+        assert stmt.else_body == []
+
+    def test_if_else(self):
+        stmt = parse("if (c) x = 1; else x = 2;").main_body[0]
+        assert len(stmt.else_body) == 1
+
+    def test_if_else_if_chain(self):
+        stmt = parse("if (a) x = 1; else if (b) x = 2; else x = 3;").main_body[0]
+        inner = stmt.else_body[0]
+        assert isinstance(inner, ast.If)
+        assert len(inner.else_body) == 1
+
+    def test_unbraced_bodies(self):
+        stmt = parse("if (c) x = 1;").main_body[0]
+        assert isinstance(stmt.then_body[0], ast.Assign)
+
+    def test_for_loop_full_header(self):
+        stmt = parse("for (i = 0; i < 10; i++) { x = i; }").main_body[0]
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.Assign)
+        assert stmt.cond.op == "<"
+        assert isinstance(stmt.step, ast.Assign)
+
+    def test_for_loop_decl_init(self):
+        stmt = parse("for (int i = 0; i < 3; i++) x = i;").main_body[0]
+        assert isinstance(stmt.init, ast.Decl)
+
+    def test_for_loop_empty_parts(self):
+        stmt = parse("for (;;) { break; }").main_body[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_while_loop(self):
+        stmt = parse("while (x < 5) x++;").main_body[0]
+        assert isinstance(stmt, ast.While)
+
+    def test_while_one(self):
+        stmt = parse("while (1) { x = 1; }").main_body[0]
+        assert isinstance(stmt.cond, ast.IntLit) and stmt.cond.value == 1
+
+    def test_break(self):
+        stmt = parse("while (1) { break; }").main_body[0]
+        assert isinstance(stmt.body[0], ast.Break)
+
+    def test_nested_blocks(self):
+        stmt = parse("{ { x = 1; } }").main_body[0]
+        assert isinstance(stmt, ast.Block)
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("if (c) { x = 1;")
+
+
+class TestFunctions:
+    def test_function_definition(self):
+        program = parse("int f(x) { return x + 1; }")
+        func = program.function("f")
+        assert func.params == ["x"]
+        assert isinstance(func.body[0], ast.Return)
+
+    def test_function_with_typed_params(self):
+        func = parse("int f(int a, int b) { return a; }").function("f")
+        assert func.params == ["a", "b"]
+
+    def test_void_function(self):
+        func = parse("void g() { return; }").function("g")
+        assert func.return_type == "void"
+        assert func.body[0].value is None
+
+    def test_function_lookup_missing(self):
+        with pytest.raises(KeyError):
+            parse("int f() { return 1; }").function("g")
+
+    def test_functions_and_main_body_mix(self):
+        program = parse(
+            "int f(x) { return x; }\n"
+            "int y;\n"
+            "y = f(3);"
+        )
+        assert len(program.functions) == 1
+        assert len(program.main_body) == 2
+
+    def test_call_vs_funcdef_disambiguation(self):
+        # `int x;` then `f(x);` must not be mistaken for a definition.
+        program = parse("int x;\nf(x);")
+        assert program.functions == []
+        assert isinstance(program.main_body[1], ast.ExprStmt)
+
+
+class TestPaperFigures:
+    def test_fig10_parses(self):
+        source = """
+        int CalculateLength(i) {
+          int lc1; int lc2; int lc3; int lc4; int Length;
+          lc1 = LengthContribution_1(i);
+          if (Need_2nd_Byte(i)) {
+            lc2 = LengthContribution_2(i + 1);
+            if (Need_3rd_Byte(i + 1)) {
+              lc3 = LengthContribution_3(i + 2);
+              if (Need_4th_Byte(i + 2)) {
+                lc4 = LengthContribution_4(i + 3);
+                Length = lc1 + lc2 + lc3 + lc4;
+              } else Length = lc1 + lc2 + lc3;
+            } else Length = lc1 + lc2;
+          } else Length = lc1;
+          return Length;
+        }
+        int Mark[9];
+        int NextStartByte; int i;
+        NextStartByte = 1;
+        for (i = 1; i <= 8; i++) {
+          if (i == NextStartByte) {
+            Mark[i] = 1;
+            NextStartByte += CalculateLength(i);
+          }
+        }
+        """
+        program = parse(source)
+        func = program.function("CalculateLength")
+        # The nested if-tree is three deep.
+        level1 = next(s for s in func.body if isinstance(s, ast.If))
+        level2 = next(s for s in level1.then_body if isinstance(s, ast.If))
+        level3 = next(s for s in level2.then_body if isinstance(s, ast.If))
+        assert isinstance(level3.then_body[-1], ast.Assign)
+
+    def test_fig16_parses(self):
+        source = """
+        int NextStartByte; int len_v; int Mark[9];
+        NextStartByte = 1;
+        while (1) {
+          Mark[NextStartByte] = 1;
+          len_v = CalculateLength(NextStartByte);
+          NextStartByte += len_v;
+        }
+        """
+        program = parse(source)
+        loop = program.main_body[-1]
+        assert isinstance(loop, ast.While)
+        assert len(loop.body) == 3
+
+    def test_fig4_fragment(self):
+        source = """
+        int t1; int t2; int t3; int f;
+        t1 = a + b;
+        if (cond) {
+          t2 = t1;
+          t3 = c + d;
+        } else {
+          t2 = e;
+          t3 = c - d;
+        }
+        f = t2 + t3;
+        """
+        program = parse(source)
+        if_stmt = program.main_body[5]
+        assert isinstance(if_stmt, ast.If)
+        assert len(if_stmt.then_body) == 2
+        assert len(if_stmt.else_body) == 2
+
+
+class TestASTWalkers:
+    def test_walk_expr(self):
+        expr = parse_expression("a + f(b[c], d)")
+        names = [n.name for n in ast.walk_expr(expr) if isinstance(n, ast.Var)]
+        assert set(names) == {"a", "c", "d"}
+
+    def test_expr_variables(self):
+        expr = parse_expression("x + y * x")
+        assert ast.expr_variables(expr) == ("x", "y", "x")
+
+    def test_walk_stmts_recurses(self):
+        program = parse("if (c) { for (i = 0; i < 2; i++) { x = 1; } }")
+        kinds = [type(s).__name__ for s in ast.walk_stmts(program.main_body)]
+        assert "If" in kinds and "For" in kinds and "Assign" in kinds

@@ -1,0 +1,303 @@
+"""Property-based tests (hypothesis): every transformation preserves the
+observable behavior of randomly generated behavioral programs, constant
+folding agrees with direct evaluation, and scheduled RTL always matches
+the behavioral interpreter."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.interp import run_design
+from repro.ir import expr_utils
+from repro.ir.builder import design_from_source
+from repro.scheduler.list_scheduler import ChainingScheduler
+from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
+from repro.backend.rtl_sim import RTLSimulator
+from repro.transforms.chaining import WireVariableInserter
+from repro.transforms.cond_speculation import (
+    ConditionalSpeculation,
+    ReverseSpeculation,
+)
+from repro.transforms.const_prop import ConstantPropagation
+from repro.transforms.copy_prop import CopyPropagation
+from repro.transforms.cse import LocalCSE
+from repro.transforms.dce import DeadCodeElimination
+from repro.transforms.lower_tac import TACLowering
+from repro.transforms.speculation import EarlyConditionExecution, Speculation
+from repro.transforms.unroll import LoopUnroller
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+VARS = ["a", "b", "c", "d", "e"]
+OUT_SIZE = 8
+
+# -- random program generator ------------------------------------------------
+
+operators = st.sampled_from(["+", "-", "*", "&", "|", "^", "<", "==", ">="])
+
+
+@st.composite
+def expressions(draw, depth=2):
+    """A random side-effect-free expression over VARS and literals."""
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return draw(st.sampled_from(VARS))
+        return str(draw(st.integers(min_value=-8, max_value=8)))
+    op = draw(operators)
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def statements(draw, depth=2, loop_ids=None):
+    """One random statement (possibly compound)."""
+    loop_ids = loop_ids if loop_ids is not None else [0]
+    choice = draw(st.integers(min_value=0, max_value=5 if depth else 2))
+    if choice <= 1:  # scalar assignment
+        target = draw(st.sampled_from(VARS))
+        return f"{target} = {draw(expressions())};"
+    if choice == 2:  # array store (observable output)
+        index = draw(st.integers(min_value=0, max_value=OUT_SIZE - 1))
+        return f"out[{index}] = {draw(expressions())};"
+    if choice == 3:  # conditional
+        cond = draw(expressions(depth=1))
+        then_body = draw(bodies(depth=depth - 1, loop_ids=loop_ids))
+        if draw(st.booleans()):
+            else_body = draw(bodies(depth=depth - 1, loop_ids=loop_ids))
+            return f"if ({cond}) {{ {then_body} }} else {{ {else_body} }}"
+        return f"if ({cond}) {{ {then_body} }}"
+    # counted loop with a unique, body-immutable index
+    loop_ids[0] += 1
+    index = f"k{loop_ids[0]}"
+    trip = draw(st.integers(min_value=0, max_value=4))
+    body = draw(bodies(depth=depth - 1, loop_ids=loop_ids))
+    return f"for ({index} = 0; {index} < {trip}; {index}++) {{ {body} }}"
+
+
+@st.composite
+def bodies(draw, depth=1, loop_ids=None):
+    count = draw(st.integers(min_value=1, max_value=3))
+    return " ".join(
+        draw(statements(depth=depth, loop_ids=loop_ids)) for _ in range(count)
+    )
+
+
+@st.composite
+def programs(draw):
+    """A complete random program: declarations, initialization of every
+    scalar (so no undefined reads), then random statements."""
+    loop_ids = [0]
+    decls = [f"int out[{OUT_SIZE}];"]
+    inits = []
+    for name in VARS:
+        decls.append(f"int {name};")
+        inits.append(
+            f"{name} = {draw(st.integers(min_value=-4, max_value=4))};"
+        )
+    body = " ".join(
+        draw(statements(depth=2, loop_ids=loop_ids)) for _ in range(4)
+    )
+    # Loop indexes used anywhere get declarations.
+    for k in range(1, loop_ids[0] + 1):
+        decls.append(f"int k{k};")
+    return "\n".join(decls + inits) + "\n" + body
+
+
+def check_transform_preserves(source, transform):
+    design = design_from_source(source)
+    before = run_design(design, max_steps=200_000)
+    transform(design)
+    after = run_design(design, max_steps=200_000)
+    assert before.arrays == after.arrays, source
+
+
+# -- transformation equivalence properties -------------------------------------
+
+
+class TestTransformEquivalence:
+    @SETTINGS
+    @given(programs())
+    def test_constant_propagation(self, source):
+        check_transform_preserves(
+            source, lambda d: ConstantPropagation().run_on_design(d)
+        )
+
+    @SETTINGS
+    @given(programs())
+    def test_copy_propagation(self, source):
+        check_transform_preserves(
+            source, lambda d: CopyPropagation().run_on_design(d)
+        )
+
+    @SETTINGS
+    @given(programs())
+    def test_dead_code_elimination(self, source):
+        check_transform_preserves(
+            source,
+            lambda d: DeadCodeElimination(output_scalars=set()).run_on_design(d),
+        )
+
+    @SETTINGS
+    @given(programs())
+    def test_local_cse(self, source):
+        check_transform_preserves(
+            source, lambda d: LocalCSE().run_on_design(d)
+        )
+
+    @SETTINGS
+    @given(programs())
+    def test_tac_lowering(self, source):
+        check_transform_preserves(
+            source, lambda d: TACLowering().run_on_design(d)
+        )
+
+    @SETTINGS
+    @given(programs())
+    def test_full_unrolling(self, source):
+        check_transform_preserves(
+            source, lambda d: LoopUnroller({"*": 0}).run_on_design(d)
+        )
+
+    @SETTINGS
+    @given(programs())
+    def test_partial_unrolling(self, source):
+        check_transform_preserves(
+            source, lambda d: LoopUnroller({"*": 2}).run_on_design(d)
+        )
+
+    @SETTINGS
+    @given(programs())
+    def test_speculation_with_ece(self, source):
+        def transform(design):
+            EarlyConditionExecution().run_on_design(design)
+            Speculation().run_on_design(design)
+
+        check_transform_preserves(source, transform)
+
+    @SETTINGS
+    @given(programs())
+    def test_reverse_speculation(self, source):
+        check_transform_preserves(
+            source, lambda d: ReverseSpeculation().run_on_design(d)
+        )
+
+    @SETTINGS
+    @given(programs())
+    def test_conditional_speculation(self, source):
+        check_transform_preserves(
+            source, lambda d: ConditionalSpeculation().run_on_design(d)
+        )
+
+    @SETTINGS
+    @given(programs())
+    def test_wire_insertion(self, source):
+        check_transform_preserves(
+            source, lambda d: WireVariableInserter().run_on_design(d)
+        )
+
+    @SETTINGS
+    @given(programs())
+    def test_whole_pipeline(self, source):
+        """The paper's full coordinated sequence on random programs."""
+
+        def transform(design):
+            EarlyConditionExecution().run_on_design(design)
+            Speculation().run_on_design(design)
+            LoopUnroller({"*": 0}).run_on_design(design)
+            ConstantPropagation().run_on_design(design)
+            CopyPropagation().run_on_design(design)
+            DeadCodeElimination(output_scalars=set()).run_on_design(design)
+            WireVariableInserter().run_on_design(design)
+
+        check_transform_preserves(source, transform)
+
+
+# -- scheduler / RTL properties -------------------------------------------------
+
+
+class TestScheduleEquivalence:
+    @SETTINGS
+    @given(programs())
+    def test_rtl_matches_interpreter_unlimited(self, source):
+        design = design_from_source(source)
+        expected = run_design(design, max_steps=200_000).arrays
+        sm = ChainingScheduler(clock_period=1_000.0).schedule(design.main)
+        got = RTLSimulator(sm, max_cycles=200_000).run().arrays
+        assert got == expected, source
+
+    @SETTINGS
+    @given(programs())
+    def test_rtl_matches_interpreter_tight_clock(self, source):
+        design = design_from_source(source)
+        expected = run_design(design, max_steps=200_000).arrays
+        sm = ChainingScheduler(clock_period=12.0).schedule(design.main)
+        got = RTLSimulator(sm, max_cycles=200_000).run().arrays
+        assert got == expected, source
+
+    @SETTINGS
+    @given(programs())
+    def test_chained_paths_respect_clock(self, source):
+        design = design_from_source(source)
+        clock = 12.0
+        sm = ChainingScheduler(clock_period=clock).schedule(design.main)
+        assert sm.max_critical_path() <= clock + 1e-9, source
+
+    @SETTINGS
+    @given(programs())
+    def test_resource_constrained_schedule_correct(self, source):
+        design = design_from_source(source)
+        TACLowering().run_on_design(design)
+        expected = run_design(design, max_steps=200_000).arrays
+        sm = ChainingScheduler(
+            clock_period=8.0,
+            allocation=ResourceAllocation(
+                limits={"alu": 1, "mul": 1, "cmp": 1, "logic": 1}
+            ),
+        ).schedule(design.main)
+        got = RTLSimulator(sm, max_cycles=400_000).run().arrays
+        assert got == expected, source
+
+
+# -- expression-level properties ---------------------------------------------
+
+
+class TestExpressionProperties:
+    @SETTINGS
+    @given(expressions(depth=3), st.lists(
+        st.integers(min_value=-10, max_value=10),
+        min_size=len(VARS),
+        max_size=len(VARS),
+    ))
+    def test_folding_agrees_with_evaluation(self, text, values):
+        from repro.frontend.parser import parse_expression
+        from repro.interp.evaluator import Interpreter, MachineState
+        from repro.ir.htg import Design
+
+        env = dict(zip(VARS, values))
+        expr = parse_expression(text)
+        folded = expr_utils.fold_constants(expr)
+        interp = Interpreter(Design.__new__(Design))
+        state = MachineState(scalars=dict(env))
+        assert interp._eval(expr, state) == interp._eval(folded, state)
+
+    @SETTINGS
+    @given(expressions(depth=3))
+    def test_clone_equal_and_independent(self, text):
+        from repro.frontend.parser import parse_expression
+
+        expr = parse_expression(text)
+        copy = expr_utils.clone(expr)
+        assert expr_utils.expr_equal(expr, copy)
+
+    @SETTINGS
+    @given(expressions(depth=3))
+    def test_printed_expression_reparses(self, text):
+        from repro.frontend.parser import parse_expression
+
+        expr = parse_expression(text)
+        reparsed = parse_expression(str(expr))
+        assert expr_utils.expr_equal(expr, reparsed)

@@ -1,0 +1,295 @@
+"""Unit tests for resources, timing and the chaining-aware scheduler."""
+
+import pytest
+
+from repro.frontend.parser import parse_expression
+from repro.frontend.ast_nodes import Var
+from repro.ir.builder import design_from_source
+from repro.ir.operations import Operation
+from repro.scheduler.list_scheduler import ChainingScheduler, SchedulingError
+from repro.scheduler.resources import (
+    DEFAULT_UNITS,
+    ResourceAllocation,
+    ResourceLibrary,
+)
+from repro.scheduler.schedule import IfItem, OpItem
+from repro.scheduler.timing import (
+    expr_delay,
+    expr_units,
+    max_usage,
+    merge_usage,
+    operation_delay,
+    operation_units,
+)
+
+
+LIB = ResourceLibrary()
+
+
+def schedule(source, clock=10.0, limits=None, branching=True):
+    design = design_from_source(source)
+    scheduler = ChainingScheduler(
+        library=LIB,
+        clock_period=clock,
+        allocation=ResourceAllocation(limits=limits or {}),
+        allow_state_branching=branching,
+    )
+    return scheduler.schedule(design.main), design
+
+
+class TestResourceLibrary:
+    def test_operator_lookup(self):
+        assert LIB.unit_for_operator("+").name == "alu"
+        assert LIB.unit_for_operator("==").name == "cmp"
+        assert LIB.unit_for_operator("&&").name == "logic"
+        assert LIB.unit_for_operator("<<").name == "shift"
+
+    def test_unknown_operator(self):
+        with pytest.raises(KeyError):
+            LIB.unit_for_operator("**")
+
+    def test_external_registration(self):
+        lib = ResourceLibrary()
+        lib.register_external("decode", delay=2.5, area=99.0)
+        assert lib.external("decode").delay == 2.5
+
+    def test_unregistered_external_gets_default(self):
+        lib = ResourceLibrary()
+        unit = lib.external("surprise")
+        assert unit.delay > 0
+
+    def test_allocation_fits(self):
+        alloc = ResourceAllocation(limits={"alu": 2})
+        assert alloc.fits({"alu": 2, "cmp": 9})
+        assert not alloc.fits({"alu": 3})
+
+    def test_unlimited_allocation(self):
+        assert ResourceAllocation.unlimited().fits({"alu": 1000})
+
+
+class TestTiming:
+    def test_literal_and_var_have_zero_delay(self):
+        assert expr_delay(parse_expression("5"), LIB) == 0.0
+        assert expr_delay(parse_expression("x"), LIB) == 0.0
+
+    def test_binop_adds_unit_delay(self):
+        delay = expr_delay(parse_expression("a + b"), LIB)
+        assert delay == DEFAULT_UNITS["alu"].delay
+
+    def test_chained_ready_times(self):
+        delay = expr_delay(parse_expression("a + b"), LIB, ready={"a": 2.0})
+        assert delay == 2.0 + DEFAULT_UNITS["alu"].delay
+
+    def test_tree_critical_path_is_max(self):
+        # (a*b) + c: mul (3.0) dominates the other operand.
+        delay = expr_delay(parse_expression("a * b + c"), LIB)
+        assert delay == DEFAULT_UNITS["mul"].delay + DEFAULT_UNITS["alu"].delay
+
+    def test_array_access_delay(self):
+        delay = expr_delay(parse_expression("m[i]"), LIB)
+        assert delay == DEFAULT_UNITS["mem"].delay
+
+    def test_call_uses_external_delay(self):
+        lib = ResourceLibrary()
+        lib.register_external("f", delay=4.0)
+        assert expr_delay(parse_expression("f(x)"), lib) == 4.0
+
+    def test_ternary_adds_mux(self):
+        delay = expr_delay(parse_expression("c ? a : b"), LIB)
+        assert delay == DEFAULT_UNITS["mux"].delay
+
+    def test_operation_delay_array_store(self):
+        op = Operation.assign(
+            parse_expression("m[i]"), parse_expression("a + b")
+        )
+        delay = operation_delay(op, LIB)
+        assert delay == DEFAULT_UNITS["alu"].delay + DEFAULT_UNITS["mem"].delay
+
+    def test_expr_units_counting(self):
+        units = expr_units(parse_expression("a + b + c * d"), LIB)
+        assert units == {"alu": 2, "mul": 1}
+
+    def test_operation_units_array_store(self):
+        op = Operation.assign(parse_expression("m[i]"), parse_expression("x"))
+        assert operation_units(op, LIB) == {"mem": 1}
+
+    def test_merge_and_max_usage(self):
+        assert merge_usage({"alu": 1}, {"alu": 2, "cmp": 1}) == {
+            "alu": 3,
+            "cmp": 1,
+        }
+        assert max_usage({"alu": 1}, {"alu": 2, "cmp": 1}) == {
+            "alu": 2,
+            "cmp": 1,
+        }
+
+
+class TestStraightLineScheduling:
+    def test_single_cycle_when_fits(self):
+        sm, _ = schedule("int a; int b; a = x + 1; b = a + 2;", clock=10.0)
+        assert sm.num_states == 1
+        assert sm.is_single_cycle()
+
+    def test_chaining_accumulates_delay(self):
+        sm, _ = schedule("int a; int b; a = x + 1; b = a + 2;", clock=10.0)
+        state = sm.states[sm.entry_state]
+        items = list(state.operations())
+        assert items[0].finish == pytest.approx(1.0)
+        assert items[1].start == pytest.approx(1.0)
+        assert items[1].finish == pytest.approx(2.0)
+
+    def test_splits_when_clock_exceeded(self):
+        sm, _ = schedule("int a; int b; a = x + 1; b = a + 2;", clock=1.5)
+        assert sm.num_states == 2
+
+    def test_independent_ops_share_cycle(self):
+        sm, _ = schedule("int a; int b; a = x + 1; b = y + 2;", clock=1.0)
+        assert sm.num_states == 1
+
+    def test_op_slower_than_clock_raises(self):
+        with pytest.raises(SchedulingError):
+            schedule("int a; a = x * y;", clock=1.0)  # mul delay 3.0
+
+    def test_resource_limit_splits_states(self):
+        sm, _ = schedule(
+            "int a; int b; a = x + 1; b = y + 2;",
+            clock=10.0,
+            limits={"alu": 1},
+        )
+        assert sm.num_states == 2
+
+    def test_resource_limit_unsatisfiable_raises(self):
+        with pytest.raises(SchedulingError):
+            schedule("int a; a = x + y + z;", clock=10.0, limits={"alu": 1})
+
+
+class TestConditionalScheduling:
+    COND = (
+        "int t1; int t2; int t3; int f;"
+        "t1 = a + b;"
+        "if (cond) { t2 = t1; t3 = c + d; } else { t2 = e; t3 = c - d; }"
+        "f = t2 + t3;"
+    )
+
+    def test_fig4_chains_single_cycle(self):
+        """The paper's Fig 4: all six operations chain into one cycle
+        across the conditional boundary."""
+        sm, _ = schedule(self.COND, clock=10.0)
+        assert sm.is_single_cycle()
+        state = sm.states[sm.entry_state]
+        assert any(isinstance(item, IfItem) for item in state.items)
+
+    def test_join_adds_mux_delay(self):
+        sm, _ = schedule(self.COND, clock=10.0)
+        state = sm.states[sm.entry_state]
+        final = [
+            item
+            for item in state.items
+            if isinstance(item, OpItem) and "f =" in str(item.op)
+        ]
+        # f starts after t2/t3 come through the join muxes.
+        assert final[0].start >= DEFAULT_UNITS["alu"].delay + DEFAULT_UNITS["mux"].delay
+
+    def test_too_slow_conditional_becomes_fsm_branch(self):
+        sm, _ = schedule(self.COND, clock=1.2)
+        assert sm.num_states > 1
+        branches = [s for s in sm.states.values() if s.branch is not None]
+        assert branches
+
+    def test_branching_disabled_raises(self):
+        with pytest.raises(SchedulingError):
+            schedule(self.COND, clock=1.2, branching=False)
+
+    def test_mutually_exclusive_ops_share_fu(self):
+        # then-branch and else-branch each need one ALU; limit 1 still
+        # chains because they are mutually exclusive (Section 2).
+        sm, _ = schedule(
+            "int x; if (c) { x = a + 1; } else { x = b + 2; }",
+            clock=10.0,
+            limits={"alu": 1},
+        )
+        assert sm.is_single_cycle()
+
+    def test_nested_conditionals_chain(self):
+        sm, _ = schedule(
+            "int x;"
+            "if (c1) { if (c2) { x = a + 1; } else { x = a + 2; } }"
+            "else { x = a + 3; }",
+            clock=10.0,
+        )
+        assert sm.is_single_cycle()
+
+
+class TestLoopScheduling:
+    LOOP = (
+        "int out[8]; int i;"
+        "for (i = 0; i < 8; i++) { out[i] = i * 2; }"
+    )
+
+    def test_loop_becomes_fsm_cycle(self):
+        sm, _ = schedule(self.LOOP, clock=10.0)
+        assert sm.num_states >= 2
+        branches = [s for s in sm.states.values() if s.branch is not None]
+        assert branches, "loop must produce a conditional transition"
+
+    def test_rtl_cycle_count_tracks_iterations(self):
+        from repro.backend.rtl_sim import RTLSimulator
+
+        sm, _ = schedule(self.LOOP, clock=10.0)
+        result = RTLSimulator(sm).run()
+        # At least one state per iteration plus prologue.
+        assert result.cycles >= 8
+        assert result.arrays["out"] == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_while_with_break_schedules(self):
+        from repro.backend.rtl_sim import RTLSimulator
+
+        sm, _ = schedule(
+            "int out[1]; int i; i = 0;"
+            "while (1) { i = i + 1; if (i >= 5) { break; } }"
+            "out[0] = i;",
+            clock=10.0,
+        )
+        result = RTLSimulator(sm).run()
+        assert result.arrays["out"] == [5]
+
+    def test_nested_loops_schedule_and_simulate(self):
+        from repro.backend.rtl_sim import RTLSimulator
+
+        sm, _ = schedule(
+            "int out[6]; int i; int j;"
+            "for (i = 0; i < 2; i++)"
+            "  for (j = 0; j < 3; j++)"
+            "    out[i * 3 + j] = i + j;",
+            clock=10.0,
+        )
+        result = RTLSimulator(sm).run()
+        assert result.arrays["out"] == [0, 1, 2, 1, 2, 3]
+
+    def test_return_halts_machine(self):
+        sm, _ = schedule("int x; x = 1; return x;", clock=10.0)
+        halting = [
+            s
+            for s in sm.states.values()
+            if s.branch is None and s.default_next is None
+        ]
+        assert halting
+
+
+class TestPruning:
+    def test_no_empty_reachable_states(self):
+        sm, _ = schedule(
+            "int out[4]; int i; for (i = 0; i < 4; i++) { out[i] = i; }",
+            clock=10.0,
+        )
+        for state in sm.reachable_states():
+            # Only states that do something or route control survive.
+            assert state.items or state.branch is not None or (
+                state.default_next is None
+            )
+
+    def test_describe_renders(self):
+        sm, _ = schedule("int a; a = x + 1;", clock=10.0)
+        text = sm.describe()
+        assert "StateMachine" in text
+        assert "S0" in text

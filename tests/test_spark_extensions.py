@@ -1,0 +1,201 @@
+"""Tests for flow-level extensions: SparkSession.from_design, the
+code-motion and TAC-lowering script knobs, and preset coherence."""
+
+import pytest
+
+from repro import DesignInterface, SparkSession, SynthesisScript
+from repro.ir.builder import design_from_source
+from repro.transforms.loop_rewrite import WhileToForRewrite
+
+from tests.conftest import MINI_ILD_SRC, mini_ild_externals
+
+
+NATURAL_SRC = """
+int Mark[10];
+int len_v;
+int pos;
+pos = 1;
+while (1) {
+  if (pos > 8) { break; }
+  Mark[pos] = 1;
+  len_v = 1 + (pos & 1);
+  pos += len_v;
+}
+"""
+
+
+class TestFromDesign:
+    def test_runs_pre_transformed_design(self):
+        design = design_from_source(NATURAL_SRC)
+        WhileToForRewrite("pos", bound=8).run_on_design(design)
+        session = SparkSession.from_design(
+            design,
+            script=SynthesisScript.microprocessor_block(),
+        )
+        result = session.run(bind=False, emit=False)
+        assert result.state_machine.is_single_cycle()
+
+    def test_interpret_works_from_design(self):
+        design = design_from_source(NATURAL_SRC)
+        session = SparkSession.from_design(design)
+        state = session.interpret()
+        assert state.arrays["Mark"][1] == 1
+
+    def test_defaults_populated(self):
+        session = SparkSession.from_design(design_from_source(NATURAL_SRC))
+        assert session.script is not None
+        assert session.library is not None
+        assert session.externals == {}
+        assert session.reports == []
+
+
+class TestCodeMotionKnob:
+    def test_default_script_has_motion_off(self):
+        assert not SynthesisScript().enable_code_motion
+
+    def test_up_preset_has_motion_on(self):
+        assert SynthesisScript.microprocessor_block().enable_code_motion
+
+    def test_motion_reports_appear(self):
+        script = SynthesisScript.microprocessor_block(
+            pure_functions=set(mini_ild_externals())
+        )
+        session = SparkSession(
+            MINI_ILD_SRC, script=script, externals=mini_ild_externals()
+        )
+        result = session.run(bind=False, emit=False)
+        names = {r.pass_name for r in result.reports}
+        assert "dataflow-level-reorder" in names
+        assert "trailblazing-hoist" in names
+
+    def test_motion_preserves_rtl_equivalence(self):
+        for enabled in (False, True):
+            script = SynthesisScript.microprocessor_block(
+                pure_functions=set(mini_ild_externals())
+            )
+            script.enable_code_motion = enabled
+            session = SparkSession(
+                MINI_ILD_SRC, script=script, externals=mini_ild_externals()
+            )
+            expected = session.interpret().snapshot()["arrays"]
+            result = session.run(bind=False, emit=False)
+            rtl = session.simulate_rtl(result.state_machine)
+            assert rtl.arrays == expected, f"enable_code_motion={enabled}"
+
+
+class TestSection3MotionKnobs:
+    COND_SRC = """
+    int x; int y; int z;
+    x = p + 1;
+    if (c) { y = x + 2; } else { y = x - 2; }
+    z = y * 2;
+    """
+
+    def _run(self, **knobs):
+        script = SynthesisScript(
+            enable_speculation=False,
+            clock_period=1_000.0,
+            output_scalars={"z"},
+        )
+        for name, value in knobs.items():
+            setattr(script, name, value)
+        session = SparkSession(self.COND_SRC, script=script)
+        result = session.run(bind=False, emit=False)
+        return session, result
+
+    @pytest.mark.parametrize(
+        "knob", ["enable_reverse_speculation", "enable_conditional_speculation"]
+    )
+    def test_knob_off_by_default(self, knob):
+        assert not getattr(SynthesisScript(), knob)
+
+    def test_reverse_speculation_reported_and_correct(self):
+        session, result = self._run(enable_reverse_speculation=True)
+        names = {r.pass_name for r in result.reports if r.changed}
+        assert "reverse-speculation" in names
+        for c in (0, 1):
+            inputs = {"c": c, "p": 5}
+            expected = session.interpret(inputs=inputs).scalars["z"]
+            rtl = session.simulate_rtl(result.state_machine, inputs=inputs)
+            assert rtl.scalars["z"] == expected
+
+    def test_conditional_speculation_correct(self):
+        session, result = self._run(enable_conditional_speculation=True)
+        for c in (0, 1):
+            inputs = {"c": c, "p": 5}
+            expected = session.interpret(inputs=inputs).scalars["z"]
+            rtl = session.simulate_rtl(result.state_machine, inputs=inputs)
+            assert rtl.scalars["z"] == expected
+
+    def test_opposing_motions_terminate(self):
+        """Speculation hoists ops out of branches, reverse speculation
+        pushes them back in; the fixpoint loop must still terminate
+        and the result must stay correct."""
+        script = SynthesisScript(
+            enable_speculation=True,
+            enable_reverse_speculation=True,
+            clock_period=1_000.0,
+            output_scalars={"z"},
+        )
+        session = SparkSession(self.COND_SRC, script=script)
+        result = session.run(bind=False, emit=False)
+        for c in (0, 1):
+            inputs = {"c": c, "p": 5}
+            expected = session.interpret(inputs=inputs).scalars["z"]
+            rtl = session.simulate_rtl(result.state_machine, inputs=inputs)
+            assert rtl.scalars["z"] == expected
+
+
+class TestTACLoweringKnob:
+    WIDE_EXPR_SRC = """
+    int y;
+    y = a + b + c + d;
+    """
+
+    def test_asic_preset_has_lowering_on(self):
+        assert SynthesisScript.asic().enable_tac_lowering
+
+    def test_default_script_has_lowering_off(self):
+        assert not SynthesisScript().enable_tac_lowering
+
+    def test_bounded_allocation_needs_lowering(self):
+        """A 3-add expression cannot be scheduled with 2 ALUs unless
+        decomposed."""
+        from repro.scheduler.list_scheduler import SchedulingError
+
+        script = SynthesisScript(
+            enable_speculation=False,
+            enable_tac_lowering=False,
+            clock_period=16.0,
+            resource_limits={"alu": 2},
+            output_scalars={"y"},
+        )
+        session = SparkSession(self.WIDE_EXPR_SRC, script=script)
+        with pytest.raises(SchedulingError):
+            session.run(bind=False, emit=False)
+
+    def test_lowering_makes_bounded_allocation_schedulable(self):
+        script = SynthesisScript(
+            enable_speculation=False,
+            enable_tac_lowering=True,
+            clock_period=16.0,
+            resource_limits={"alu": 2},
+            output_scalars={"y"},
+        )
+        session = SparkSession(self.WIDE_EXPR_SRC, script=script)
+        result = session.run(bind=False, emit=False)
+        rtl = session.simulate_rtl(
+            result.state_machine, inputs={"a": 1, "b": 2, "c": 3, "d": 4}
+        )
+        assert rtl.scalars["y"] == 10
+
+    def test_asic_flow_on_ild_respects_limits(self):
+        script = SynthesisScript.asic(clock_period=4.0)
+        script.pure_functions = set(mini_ild_externals())
+        session = SparkSession(
+            MINI_ILD_SRC, script=script, externals=mini_ild_externals()
+        )
+        result = session.run()
+        counts = result.fu_binding.instance_counts
+        assert counts.get("alu", 0) <= 2
+        assert counts.get("cmp", 0) <= 1

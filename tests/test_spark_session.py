@@ -1,0 +1,164 @@
+"""Integration tests for the top-level SparkSession flow."""
+
+import pytest
+
+from repro import (
+    DesignInterface,
+    SparkSession,
+    SynthesisScript,
+    synthesize,
+)
+from repro.ild import build_ild_source, ild_externals, ild_interface, ild_library
+
+from tests.conftest import MINI_ILD_SRC, mini_ild_externals
+
+
+def mini_session(script=None):
+    return SparkSession(
+        MINI_ILD_SRC,
+        script=script
+        or SynthesisScript.microprocessor_block(
+            pure_functions=set(mini_ild_externals())
+        ),
+        externals=mini_ild_externals(),
+    )
+
+
+class TestMicroprocessorBlockFlow:
+    def test_single_cycle_achieved(self):
+        result = mini_session().run()
+        assert result.state_machine.is_single_cycle()
+
+    def test_rtl_equals_behavioral(self):
+        session = mini_session()
+        expected = session.interpret().snapshot()["arrays"]
+        result = session.run()
+        rtl = session.simulate_rtl(result.state_machine)
+        assert rtl.arrays == expected
+        assert rtl.cycles == 1
+
+    def test_reports_collected(self):
+        session = mini_session()
+        result = session.run()
+        pass_names = {r.pass_name for r in result.reports if r.changed}
+        assert "function-inlining" in pass_names
+        assert "loop-unrolling" in pass_names
+        assert "speculation" in pass_names
+        assert "constant-propagation" in pass_names
+
+    def test_emission_produced(self):
+        result = mini_session().run()
+        assert "entity" in result.vhdl
+        assert "module" in result.verilog
+
+    def test_bindings_and_estimates_present(self):
+        result = mini_session().run()
+        assert result.register_binding is not None
+        assert result.fu_binding is not None
+        assert result.area is not None and result.area.total > 0
+        assert result.timing is not None
+
+    def test_summary_renders(self):
+        result = mini_session().run()
+        text = result.summary()
+        assert "states: 1" in text
+        assert "single-cycle: True" in text
+
+
+class TestASICFlow:
+    def test_multi_cycle_schedule(self):
+        session = mini_session(script=SynthesisScript.asic(clock_period=3.0))
+        result = session.run()
+        assert result.state_machine.num_states > 1
+
+    def test_asic_rtl_equivalent(self):
+        session = mini_session(script=SynthesisScript.asic(clock_period=3.0))
+        expected = session.interpret().snapshot()["arrays"]
+        result = session.run()
+        rtl = session.simulate_rtl(result.state_machine)
+        assert rtl.arrays == expected
+        assert rtl.cycles > 1
+
+    def test_asic_uses_fewer_fus_than_up_block(self):
+        up = mini_session().run()
+        asic = mini_session(
+            script=SynthesisScript.asic(clock_period=3.0)
+        ).run()
+        assert (
+            asic.fu_binding.total_instances()
+            < up.fu_binding.total_instances()
+        )
+
+    def test_up_block_has_fewer_cycles_than_asic(self):
+        """Fig 1's architectural contrast, measured."""
+        up_session = mini_session()
+        up = up_session.run()
+        up_rtl = up_session.simulate_rtl(up.state_machine)
+        asic_session = mini_session(
+            script=SynthesisScript.asic(clock_period=3.0)
+        )
+        asic = asic_session.run()
+        asic_rtl = asic_session.simulate_rtl(asic.state_machine)
+        assert up_rtl.cycles == 1
+        assert asic_rtl.cycles >= 5 * up_rtl.cycles
+
+
+class TestScriptKnobs:
+    def test_no_unroll_keeps_loop_states(self):
+        script = SynthesisScript(
+            unroll_loops={},
+            inline_functions=["*"],
+            enable_speculation=False,
+            pure_functions=set(mini_ild_externals()),
+            clock_period=1000.0,
+        )
+        result = mini_session(script=script).run()
+        assert not result.state_machine.is_single_cycle()
+
+    def test_selective_unroll_factor(self):
+        script = SynthesisScript(
+            unroll_loops={"i": 2},
+            inline_functions=["*"],
+            enable_speculation=False,
+            pure_functions=set(mini_ild_externals()),
+            clock_period=1000.0,
+        )
+        session = mini_session(script=script)
+        expected = session.interpret().snapshot()["arrays"]
+        result = session.run()
+        rtl = session.simulate_rtl(result.state_machine)
+        assert rtl.arrays == expected
+
+    def test_output_scalars_survive_dce(self):
+        script = SynthesisScript.microprocessor_block(
+            pure_functions=set(mini_ild_externals())
+        )
+        script.output_scalars = {"NextStartByte"}
+        session = mini_session(script=script)
+        session.transform()
+        writes = set()
+        for op in session.design.main.walk_operations():
+            writes |= op.writes()
+        assert "NextStartByte" in writes
+
+    def test_print_code(self):
+        session = mini_session()
+        session.transform()
+        code = session.print_code()
+        assert "Mark[" in code
+
+
+class TestFullILD:
+    def test_synthesize_convenience(self):
+        n = 6
+        result = synthesize(
+            build_ild_source(n),
+            script=SynthesisScript.microprocessor_block(
+                pure_functions=set(ild_externals(n))
+            ),
+            library=ild_library(),
+            interface=ild_interface(n),
+            externals=ild_externals(n),
+        )
+        assert result.state_machine.is_single_cycle()
+        assert "entity ild is" in result.vhdl
