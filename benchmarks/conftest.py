@@ -6,15 +6,24 @@ the implementing transformation/flow via pytest-benchmark *and* assert
 the shape results the paper reports (operation counts, trail counts,
 cycle counts, who-wins comparisons).  Absolute timings are ours, the
 shapes are the paper's.
+
+The generic IR helpers and the :class:`FigureReport` table live in
+:mod:`tests.helpers` (shared with the test-suite conftest); they are
+re-exported here so benchmark modules keep importing from
+``benchmarks.conftest``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from repro.ir.builder import design_from_source
-from repro.ir.htg import BlockNode, Design, FunctionHTG
-from repro.ir.operations import Operation
+from tests.helpers import (  # noqa: F401  (re-exported for benchmarks)
+    FigureReport,
+    block_containing,
+    find_writer,
+    fresh_design,
+    total_ops,
+)
 
 
 # --------------------------------------------------------------------------
@@ -82,59 +91,3 @@ if (cond) {
 }
 o2 = o1 + b;
 """
-
-
-# --------------------------------------------------------------------------
-# IR inspection helpers
-# --------------------------------------------------------------------------
-
-def find_writer(func: FunctionHTG, variable: str) -> Operation:
-    """First operation in *func* writing *variable*."""
-    for node in func.walk_nodes():
-        if isinstance(node, BlockNode):
-            for op in node.ops:
-                if variable in op.writes():
-                    return op
-    raise AssertionError(f"no write to {variable!r}")
-
-
-def block_containing(func: FunctionHTG, op: Operation):
-    """The BasicBlock holding *op*."""
-    for node in func.walk_nodes():
-        if isinstance(node, BlockNode) and op in node.ops:
-            return node.block
-    raise AssertionError("operation not found in any block")
-
-
-def total_ops(design: Design) -> int:
-    return sum(f.count_operations() for f in design.functions.values())
-
-
-def fresh_design(source: str) -> Design:
-    return design_from_source(source)
-
-
-# --------------------------------------------------------------------------
-# Reporting
-# --------------------------------------------------------------------------
-
-class FigureReport:
-    """Accumulates the rows a figure's bench regenerates, printed at
-    the end of the bench so ``pytest -s`` shows the paper-style table."""
-
-    def __init__(self, title: str) -> None:
-        self.title = title
-        self.rows: List[str] = []
-
-    def row(self, text: str) -> None:
-        self.rows.append(text)
-
-    def emit(self) -> None:
-        width = max([len(self.title)] + [len(r) for r in self.rows]) + 2
-        print()
-        print("=" * width)
-        print(self.title)
-        print("-" * width)
-        for row in self.rows:
-            print(row)
-        print("=" * width)

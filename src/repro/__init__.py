@@ -40,19 +40,31 @@ Package map (see DESIGN.md for the full inventory):
 from repro.backend.interface import DesignInterface
 from repro.ir.builder import design_from_source
 from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
-from repro.spark import SparkSession, SynthesisResult, synthesize
+from repro.spark import (
+    JobEnvironment,
+    SparkSession,
+    SynthesisJob,
+    SynthesisOutcome,
+    SynthesisResult,
+    execute_job,
+    synthesize,
+)
 from repro.transforms.base import SynthesisScript
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DesignInterface",
+    "JobEnvironment",
     "ResourceAllocation",
     "ResourceLibrary",
     "SparkSession",
+    "SynthesisJob",
+    "SynthesisOutcome",
     "SynthesisResult",
     "SynthesisScript",
     "design_from_source",
+    "execute_job",
     "synthesize",
     "__version__",
 ]

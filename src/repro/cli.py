@@ -10,6 +10,12 @@ the same shape::
         --unroll 'i=0' --no-speculation --emit verilog
     python -m repro input.c --print-code --summary --dot fsmd
 
+The ``dse`` subcommand drives the design-space exploration engine —
+a memoized, multi-process sweep over a grid of script knobs::
+
+    python -m repro dse input.c --vary clock=4,6,8 \\
+        --vary 'unroll=none,*:0' --workers 4 --top 5
+
 Exit status is non-zero on parse or scheduling failure, so the CLI can
 anchor shell-based regression scripts the way the original tool's
 script files did.
@@ -134,6 +140,158 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_dse_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro dse`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro dse",
+        description=(
+            "design-space exploration: sweep a grid of synthesis "
+            "scripts in parallel, memoizing results on disk"
+        ),
+    )
+    parser.add_argument(
+        "input",
+        help="behavioral C source file ('-' reads stdin)",
+    )
+    parser.add_argument(
+        "--vary",
+        action="append",
+        default=[],
+        metavar="AXIS=V1,V2,...",
+        help=(
+            "grid axis, repeatable; axes: preset, clock, unroll, "
+            "limits, speculation, code-motion, cse, tac, priority "
+            "(e.g. --vary clock=4,6,8 --vary 'unroll=none,*:0')"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for cache misses (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "outcome cache directory (default: $REPRO_DSE_CACHE or "
+            "~/.cache/repro-dse)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk outcome cache",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the N best-ranked design points",
+    )
+    parser.add_argument(
+        "--environment",
+        default="",
+        metavar="MODULE:FUNCTION",
+        help=(
+            "JobEnvironment factory resolved in each worker, e.g. "
+            "repro.ild:ild_environment"
+        ),
+    )
+    parser.add_argument(
+        "--environment-arg",
+        action="append",
+        type=int,
+        default=[],
+        metavar="INT",
+        help="integer argument for the environment factory; repeatable",
+    )
+    parser.add_argument(
+        "--pure",
+        action="append",
+        default=[],
+        metavar="FUNC",
+        help="declare external FUNC side-effect free (speculatable)",
+    )
+    parser.add_argument(
+        "--output",
+        action="append",
+        default=[],
+        metavar="VAR",
+        help="scalar output that must stay observable; repeatable",
+    )
+    parser.add_argument(
+        "--entity",
+        default="design",
+        help="entity/module name for the synthesized design",
+    )
+    return parser
+
+
+def dse_main(argv: List[str]) -> int:
+    """Entry point for ``repro dse``."""
+    from repro.dse import (
+        ExplorationEngine,
+        GridError,
+        format_table,
+        grid_from_specs,
+        jobs_from_grid,
+        summarize,
+    )
+
+    parser = build_dse_parser()
+    args = parser.parse_args(argv)
+
+    source = _read_source(args.input)
+    if source is None:
+        return 2
+
+    try:
+        grid = grid_from_specs(args.vary)
+    except GridError as error:
+        print(f"repro dse: {error}", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("repro dse: --workers must be >= 1", file=sys.stderr)
+        return 2
+
+    base = SynthesisScript(
+        pure_functions=set(args.pure),
+        output_scalars=set(args.output),
+    )
+    jobs = jobs_from_grid(
+        source,
+        grid,
+        base_script=base,
+        entity=args.entity,
+        environment=args.environment,
+        environment_args=tuple(args.environment_arg),
+    )
+    engine = ExplorationEngine(
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+    )
+    result = engine.explore(jobs)
+    print(format_table(result.outcomes, top=args.top))
+    print()
+    print(summarize(result))
+    return 0 if result.feasible else 1
+
+
+def _read_source(path: str) -> Optional[str]:
+    """Read a source argument ('-' = stdin); None + message on error."""
+    if path == "-":
+        return sys.stdin.read()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as error:
+        print(f"repro: cannot read {path}: {error}", file=sys.stderr)
+        return None
+
+
 def _parse_pairs(pairs: List[str], what: str) -> Dict[str, int]:
     result: Dict[str, int] = {}
     for pair in pairs:
@@ -174,18 +332,16 @@ def _build_script(args: argparse.Namespace) -> SynthesisScript:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point.  Returns a process exit status."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "dse":
+        return dse_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.input == "-":
-        source = sys.stdin.read()
-    else:
-        try:
-            with open(args.input, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except OSError as error:
-            print(f"repro: cannot read {args.input}: {error}", file=sys.stderr)
-            return 2
+    source = _read_source(args.input)
+    if source is None:
+        return 2
 
     try:
         script = _build_script(args)

@@ -1,0 +1,68 @@
+"""Design-space exploration: parallel, memoized script sweeps.
+
+The paper's Spark system is scripted by design — the designer sweeps
+transformation scripts and resource allocations looking for the
+schedule that meets a latency target at the least cost.  This package
+turns that loop into an engine:
+
+* :mod:`repro.dse.grid` — named axes (clock, unroll, preset, resource
+  limits, scheduler priority, ...) expanded into a cartesian grid of
+  picklable :class:`~repro.spark.SynthesisJob` descriptions;
+* :mod:`repro.dse.runner` — :class:`ExplorationEngine` fans cache
+  misses out over a ``multiprocessing`` pool and recalls previous
+  results from the on-disk cache;
+* :mod:`repro.dse.cache` — content-hash keyed outcome store;
+* :mod:`repro.dse.report` — deterministic ranking and trade-off
+  tables.
+
+Driven from the CLI as ``repro dse design.c --vary clock=4,6,8 ...``
+(see ``docs/dse.md``) or programmatically::
+
+    from repro.dse import ParameterGrid, jobs_from_grid, explore
+
+    grid = ParameterGrid([("clock", [4.0, 8.0]), ("unroll", [{}, {"*": 0}])])
+    result = explore(jobs_from_grid(source, grid), workers=4)
+    print(result.best().label)
+"""
+
+from repro.dse.cache import (
+    CACHE_ENV_VAR,
+    ResultCache,
+    default_cache_dir,
+    job_key,
+)
+from repro.dse.grid import (
+    GridError,
+    GridPoint,
+    KNOWN_AXES,
+    ParameterGrid,
+    grid_from_specs,
+    jobs_from_grid,
+    parse_axis_value,
+    parse_vary_spec,
+    script_for_point,
+)
+from repro.dse.report import format_table, rank_outcomes, summarize
+from repro.dse.runner import ExplorationEngine, ExplorationResult, explore
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "ExplorationEngine",
+    "ExplorationResult",
+    "GridError",
+    "GridPoint",
+    "KNOWN_AXES",
+    "ParameterGrid",
+    "ResultCache",
+    "default_cache_dir",
+    "explore",
+    "format_table",
+    "grid_from_specs",
+    "job_key",
+    "jobs_from_grid",
+    "parse_axis_value",
+    "parse_vary_spec",
+    "rank_outcomes",
+    "script_for_point",
+    "summarize",
+]

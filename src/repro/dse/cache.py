@@ -1,0 +1,114 @@
+"""On-disk memoization of synthesis outcomes.
+
+A job's cache key is the SHA-256 of its canonical JSON description —
+source text, every script knob, entity, environment factory reference,
+stimulus and output options — plus a format version and the package
+version, so stale entries from older synthesis code never resurface.
+Outcomes are stored one JSON file per key; writes go through a
+temp-file rename so a crashed worker never leaves a torn entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+import repro
+from repro.spark import SynthesisJob, SynthesisOutcome
+
+#: Bump when the outcome schema or synthesis semantics change in a way
+#: that invalidates previously cached results.
+CACHE_FORMAT = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_ENV_VAR = "REPRO_DSE_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_DSE_CACHE`` or ``~/.cache/repro-dse``."""
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro-dse"
+
+
+def job_key(job: SynthesisJob) -> str:
+    """Content hash identifying a job's result."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "version": repro.__version__,
+        "job": job.fingerprint_data(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of memoized :class:`SynthesisOutcome` records."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SynthesisOutcome]:
+        """The cached outcome, or None on a miss (corrupt entries are
+        dropped and counted as misses)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            outcome = SynthesisOutcome.from_dict(data["outcome"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        outcome.cached = True
+        return outcome
+
+    def put(self, key: str, outcome: SynthesisOutcome, label: str = "") -> None:
+        """Persist atomically (write temp file, rename into place)."""
+        record = {
+            "format": CACHE_FORMAT,
+            "label": label or outcome.label,
+            "outcome": outcome.to_dict(),
+        }
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(temp_path, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def stats(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses"

@@ -1,0 +1,292 @@
+"""Parameter grids: the design space the engine explores.
+
+Spark is a *scripted* system — "the designer may specify which loops
+to unroll and by how much" (paper Section 4) — so a design space here
+is the cartesian product of script knobs.  A :class:`ParameterGrid`
+holds named axes; each grid point maps deterministically to a
+:class:`~repro.transforms.base.SynthesisScript` via
+:func:`script_for_point` and to a picklable
+:class:`~repro.spark.SynthesisJob` via :func:`jobs_from_grid`.
+
+Axis syntax (used both programmatically and by ``repro dse --vary``):
+
+==============  ==========================================  ==========
+axis            values                                      example
+==============  ==========================================  ==========
+``preset``      ``up`` / ``asic`` / ``none``                up,asic
+``clock``       floats                                      4,6,1000
+``unroll``      ``none`` or ``LOOP:FACTOR[;LOOP:FACTOR]``   none,*:2,*:0
+``limits``      ``none`` or ``UNIT:COUNT[;UNIT:COUNT]``     alu:2;cmp:1
+``speculation`` ``on`` / ``off``                            on,off
+``code-motion`` ``on`` / ``off``                            on,off
+``cse``         ``on`` / ``off``                            on,off
+``tac``         ``on`` / ``off``                            on,off
+``priority``    ``source`` / ``critical``                   source,critical
+==============  ==========================================  ==========
+
+Presets apply first; every other axis then overrides the preset's
+field, so ``preset=up clock=4`` is the microprocessor script at a
+4-unit clock.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.scheduler.ready_list import PRIORITIES
+from repro.spark import SynthesisJob
+from repro.transforms.base import SynthesisScript
+
+#: Axes understood by :func:`script_for_point`, in application order.
+KNOWN_AXES = (
+    "preset",
+    "clock",
+    "unroll",
+    "limits",
+    "speculation",
+    "code-motion",
+    "cse",
+    "tac",
+    "priority",
+)
+
+_FLAG_FIELDS = {
+    "speculation": "enable_speculation",
+    "code-motion": "enable_code_motion",
+    "cse": "enable_cse",
+    "tac": "enable_tac_lowering",
+}
+
+
+class GridError(ValueError):
+    """Raised for malformed axis specs or unknown axis names."""
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One coordinate in the design space: ordered (axis, value)."""
+
+    values: Tuple[Tuple[str, object], ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.values)
+
+    @property
+    def label(self) -> str:
+        return " ".join(
+            f"{name}={_render_value(name, value)}"
+            for name, value in self.values
+        )
+
+
+class ParameterGrid:
+    """An ordered set of named axes and their cartesian product."""
+
+    def __init__(self, axes: Sequence[Tuple[str, Sequence[object]]]) -> None:
+        self.axes: List[Tuple[str, List[object]]] = []
+        for name, values in axes:
+            if name not in KNOWN_AXES:
+                raise GridError(
+                    f"unknown grid axis {name!r}; known axes: "
+                    f"{', '.join(KNOWN_AXES)}"
+                )
+            if any(name == existing for existing, _ in self.axes):
+                raise GridError(
+                    f"duplicate grid axis {name!r}; merge its values "
+                    f"into one spec (e.g. {name}=V1,V2)"
+                )
+            values = list(values)
+            if not values:
+                raise GridError(f"axis {name!r} has no values")
+            self.axes.append((name, values))
+
+    def __len__(self) -> int:
+        count = 1
+        for _, values in self.axes:
+            count *= len(values)
+        return count
+
+    def points(self) -> List[GridPoint]:
+        """Every grid point, in deterministic row-major order."""
+        if not self.axes:
+            return [GridPoint(values=())]
+        names = [name for name, _ in self.axes]
+        value_lists = [values for _, values in self.axes]
+        return [
+            GridPoint(values=tuple(zip(names, combo)))
+            for combo in itertools.product(*value_lists)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Axis value parsing (CLI --vary syntax)
+# ---------------------------------------------------------------------------
+
+
+def _parse_mapping(text: str, what: str) -> Dict[str, int]:
+    """``a:1;b:2`` -> {"a": 1, "b": 2}; ``none`` -> {}."""
+    if text == "none":
+        return {}
+    mapping: Dict[str, int] = {}
+    for part in text.split(";"):
+        name, sep, value = part.partition(":")
+        if not sep or not name:
+            raise GridError(
+                f"bad {what} value {part!r}; expected NAME:COUNT"
+            )
+        try:
+            mapping[name] = int(value)
+        except ValueError:
+            raise GridError(
+                f"bad {what} count {value!r} in {part!r}"
+            ) from None
+    return mapping
+
+
+def _parse_flag(text: str, axis: str) -> bool:
+    if text in ("on", "true", "1"):
+        return True
+    if text in ("off", "false", "0"):
+        return False
+    raise GridError(f"bad {axis} value {text!r}; expected on/off")
+
+
+def parse_axis_value(axis: str, text: str) -> object:
+    """Parse one textual axis value into its typed form."""
+    text = text.strip()
+    if axis == "preset":
+        if text not in ("up", "asic", "none"):
+            raise GridError(
+                f"bad preset {text!r}; expected up, asic or none"
+            )
+        return text
+    if axis == "clock":
+        try:
+            return float(text)
+        except ValueError:
+            raise GridError(f"bad clock value {text!r}") from None
+    if axis == "unroll":
+        return _parse_mapping(text, "unroll spec")
+    if axis == "limits":
+        return _parse_mapping(text, "resource limit")
+    if axis in _FLAG_FIELDS:
+        return _parse_flag(text, axis)
+    if axis == "priority":
+        if text not in PRIORITIES:
+            raise GridError(
+                f"bad priority {text!r}; expected one of {PRIORITIES}"
+            )
+        return text
+    raise GridError(
+        f"unknown grid axis {axis!r}; known axes: {', '.join(KNOWN_AXES)}"
+    )
+
+
+def parse_vary_spec(spec: str) -> Tuple[str, List[object]]:
+    """Parse one ``--vary AXIS=V1,V2,...`` argument."""
+    axis, sep, rest = spec.partition("=")
+    axis = axis.strip()
+    if not sep or not rest.strip():
+        raise GridError(
+            f"bad --vary spec {spec!r}; expected AXIS=VALUE[,VALUE...]"
+        )
+    values = [parse_axis_value(axis, value) for value in rest.split(",")]
+    return axis, values
+
+
+def grid_from_specs(specs: Sequence[str]) -> ParameterGrid:
+    """Build a grid from repeated ``--vary`` arguments."""
+    return ParameterGrid([parse_vary_spec(spec) for spec in specs])
+
+
+def _render_value(axis: str, value: object) -> str:
+    if isinstance(value, dict):
+        if not value:
+            return "none"
+        return ";".join(f"{k}:{v}" for k, v in sorted(value.items()))
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Point -> script -> job
+# ---------------------------------------------------------------------------
+
+
+def script_for_point(
+    point: GridPoint, base: Optional[SynthesisScript] = None
+) -> SynthesisScript:
+    """The synthesis script a grid point denotes.
+
+    The preset axis (when present) picks the starting script; the base
+    script's pure functions and output scalars always carry over since
+    they describe the *design*, not the point.  Every other axis then
+    overrides its field.
+    """
+    values = point.as_dict()
+    base = base or SynthesisScript()
+    preset = values.get("preset")
+    if preset == "up":
+        script = SynthesisScript.microprocessor_block(
+            pure_functions=set(base.pure_functions)
+        )
+    elif preset == "asic":
+        script = SynthesisScript.asic()
+        script.pure_functions = set(base.pure_functions)
+    else:
+        script = copy.deepcopy(base)
+    script.output_scalars = set(base.output_scalars)
+
+    if "clock" in values:
+        script.clock_period = float(values["clock"])  # type: ignore[arg-type]
+    if "unroll" in values:
+        script.unroll_loops = dict(values["unroll"])  # type: ignore[arg-type]
+    if "limits" in values:
+        script.resource_limits = dict(values["limits"])  # type: ignore[arg-type]
+    for axis, field_name in _FLAG_FIELDS.items():
+        if axis in values:
+            setattr(script, field_name, bool(values[axis]))
+    if "priority" in values:
+        script.scheduler_priority = str(values["priority"])
+    return script
+
+
+def jobs_from_grid(
+    source: str,
+    grid: ParameterGrid,
+    base_script: Optional[SynthesisScript] = None,
+    entity: str = "design",
+    environment: str = "",
+    environment_args: Tuple = (),
+    inputs: Optional[Dict[str, int]] = None,
+    array_inputs: Optional[Dict[str, List[int]]] = None,
+    measure: bool = False,
+    emit: bool = False,
+) -> List[SynthesisJob]:
+    """One picklable job per grid point, labelled by the point."""
+    jobs: List[SynthesisJob] = []
+    for point in grid.points():
+        jobs.append(
+            SynthesisJob(
+                source=source,
+                script=script_for_point(point, base_script),
+                entity=entity,
+                label=point.label,
+                environment=environment,
+                environment_args=tuple(environment_args),
+                inputs=dict(inputs or {}),
+                array_inputs={
+                    name: list(values)
+                    for name, values in (array_inputs or {}).items()
+                },
+                measure=measure,
+                emit=emit,
+            )
+        )
+    return jobs

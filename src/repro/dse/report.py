@@ -1,0 +1,72 @@
+"""Ranking and presentation of exploration results.
+
+The ranking realizes the paper's designer loop — sweep scripts, pick
+the schedule that meets the latency target at the least area — as a
+deterministic sort: feasible outcomes first, then estimated latency
+(cycles x clock period, measured cycles when the sweep simulated a
+stimulus), then area, then the point label as the final tiebreak so
+equal designs always print in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dse.runner import ExplorationResult
+from repro.spark import SynthesisOutcome
+
+
+def rank_outcomes(
+    outcomes: Sequence[SynthesisOutcome],
+) -> List[SynthesisOutcome]:
+    """Best-first, deterministic for identical metrics."""
+    return sorted(outcomes, key=lambda outcome: outcome.score())
+
+
+def format_table(
+    outcomes: Sequence[SynthesisOutcome],
+    top: Optional[int] = None,
+    ranked: bool = True,
+) -> str:
+    """A fixed-width trade-off table of the (ranked) outcomes."""
+    rows = rank_outcomes(outcomes) if ranked else list(outcomes)
+    if top is not None:
+        rows = rows[:top]
+    label_width = max([len("design point")] + [len(r.label) for r in rows])
+    header = (
+        f"{'#':>3} {'design point':<{label_width}} {'states':>6} "
+        f"{'cycles':>6} {'clk':>6} {'latency':>8} {'area':>8} "
+        f"{'regs':>5} {'FUs':>4} {'src':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for rank, outcome in enumerate(rows, start=1):
+        if not outcome.ok:
+            lines.append(
+                f"{rank:>3} {outcome.label:<{label_width}} "
+                f"infeasible: {outcome.error}"
+            )
+            continue
+        source = "cache" if outcome.cached else "run"
+        lines.append(
+            f"{rank:>3} {outcome.label:<{label_width}} "
+            f"{outcome.num_states:>6} {outcome.cycles:>6} "
+            f"{outcome.clock_period:>6.1f} {outcome.latency:>8.1f} "
+            f"{outcome.area_total:>8.1f} {outcome.registers:>5} "
+            f"{outcome.fu_instances:>4} {source:>6}"
+        )
+    return "\n".join(lines)
+
+
+def summarize(result: ExplorationResult) -> str:
+    """One-line sweep summary: sizes, cache traffic, wall clock."""
+    total = len(result.outcomes)
+    infeasible = total - len(result.feasible)
+    text = (
+        f"{total} design points: {result.cache_hits} cache hits, "
+        f"{result.executed} synthesized "
+        f"({result.workers} worker{'s' if result.workers != 1 else ''}), "
+        f"{result.elapsed:.2f}s"
+    )
+    if infeasible:
+        text += f", {infeasible} infeasible"
+    return text

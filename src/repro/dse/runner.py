@@ -1,0 +1,137 @@
+"""The exploration engine: cache-aware parallel job fan-out.
+
+The engine is intentionally simple and deterministic:
+
+1. every job is keyed by content hash and looked up in the on-disk
+   cache (when caching is enabled);
+2. the misses are executed — across a ``multiprocessing`` pool when
+   ``workers > 1`` and more than one job is pending, serially
+   otherwise (no pool spin-up cost on all-hit re-runs);
+3. fresh outcomes are written back to the cache;
+4. results come back in job order regardless of completion order.
+
+``execute_job`` is a pure module-level function over picklable
+dataclasses, which is exactly what ``Pool.map`` needs; environment
+factories (external callables, libraries) are resolved inside each
+worker, never shipped across the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.dse.cache import ResultCache, default_cache_dir, job_key
+from repro.spark import SynthesisJob, SynthesisOutcome, execute_job
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one sweep produced, in job order."""
+
+    outcomes: List[SynthesisOutcome] = field(default_factory=list)
+    cache_hits: int = 0
+    executed: int = 0
+    elapsed: float = 0.0
+    workers: int = 1
+
+    @property
+    def feasible(self) -> List[SynthesisOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.ok]
+
+    def ranked(self) -> List[SynthesisOutcome]:
+        """Outcomes by ascending score (best design point first);
+        stable and deterministic for equal metrics via the label."""
+        return sorted(self.outcomes, key=lambda outcome: outcome.score())
+
+    def best(self) -> Optional[SynthesisOutcome]:
+        feasible = self.feasible
+        if not feasible:
+            return None
+        return min(feasible, key=lambda outcome: outcome.score())
+
+
+class ExplorationEngine:
+    """Runs batches of synthesis jobs with memoization.
+
+    Parameters
+    ----------
+    cache_dir:
+        cache directory; ``None`` selects the default location and
+        ``False``-y empty string disables caching entirely.
+    workers:
+        process-pool width for cache misses; ``1`` runs in-process.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path, None] = None,
+        workers: int = 1,
+        use_cache: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache: Optional[ResultCache] = None
+        if use_cache:
+            self.cache = ResultCache(
+                cache_dir if cache_dir is not None else default_cache_dir()
+            )
+
+    def explore(self, jobs: Sequence[SynthesisJob]) -> ExplorationResult:
+        """Execute (or recall) every job; outcomes match job order."""
+        started = time.perf_counter()
+        result = ExplorationResult(workers=self.workers)
+        outcomes: List[Optional[SynthesisOutcome]] = [None] * len(jobs)
+        pending: List[Tuple[int, str, SynthesisJob]] = []
+
+        for index, job in enumerate(jobs):
+            key = job_key(job) if self.cache is not None else ""
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                cached.label = job.label  # labels are presentation-only
+                outcomes[index] = cached
+                result.cache_hits += 1
+            else:
+                pending.append((index, key, job))
+
+        if pending:
+            fresh = self._execute(
+                [job for _, _, job in pending]
+            )
+            for (index, key, _job), outcome in zip(pending, fresh):
+                outcomes[index] = outcome
+                if self.cache is not None:
+                    self.cache.put(key, outcome)
+            result.executed = len(pending)
+
+        result.outcomes = [
+            outcome for outcome in outcomes if outcome is not None
+        ]
+        result.elapsed = time.perf_counter() - started
+        return result
+
+    def _execute(
+        self, jobs: List[SynthesisJob]
+    ) -> List[SynthesisOutcome]:
+        if self.workers > 1 and len(jobs) > 1:
+            pool_size = min(self.workers, len(jobs))
+            with multiprocessing.Pool(processes=pool_size) as pool:
+                return pool.map(execute_job, jobs)
+        return [execute_job(job) for job in jobs]
+
+
+def explore(
+    jobs: Sequence[SynthesisJob],
+    workers: int = 1,
+    cache_dir: Union[str, Path, None] = None,
+    use_cache: bool = True,
+) -> ExplorationResult:
+    """One-call convenience sweep."""
+    engine = ExplorationEngine(
+        cache_dir=cache_dir, workers=workers, use_cache=use_cache
+    )
+    return engine.explore(jobs)

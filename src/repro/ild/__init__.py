@@ -33,6 +33,7 @@ from repro.ild.model import GoldenILD, decode_buffer
 from repro.ild.behavioral import (
     build_ild_source,
     build_natural_ild_source,
+    ild_environment,
     ild_externals,
     ild_interface,
     ild_library,
@@ -57,6 +58,7 @@ __all__ = [
     "build_ild_source",
     "build_natural_ild_source",
     "decode_buffer",
+    "ild_environment",
     "ild_externals",
     "ild_interface",
     "ild_library",

@@ -197,3 +197,16 @@ def ild_interface(n: int) -> DesignInterface:
         input_arrays={BUFFER_ARRAY: n + 1},
         output_arrays={"Mark": n + 1, "len": n + 1},
     )
+
+
+def ild_environment(n: int) -> "JobEnvironment":
+    """Job-environment factory for the design-space exploration
+    engine: resolves the ILD's library, interface and externals inside
+    a worker process (``environment="repro.ild:ild_environment"``)."""
+    from repro.spark import JobEnvironment
+
+    return JobEnvironment(
+        library=ild_library(),
+        interface=ild_interface(n),
+        externals=ild_externals(n),
+    )

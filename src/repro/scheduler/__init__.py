@@ -29,11 +29,15 @@ from repro.scheduler.schedule import (
     StateMachine,
 )
 from repro.scheduler.list_scheduler import ChainingScheduler, SchedulingError
+from repro.scheduler.ready_list import PRIORITIES, ReadyList, schedule_order
 from repro.scheduler.timing import expr_delay, operation_delay, operation_units
 
 __all__ = [
     "BranchTransition",
     "ChainingScheduler",
+    "PRIORITIES",
+    "ReadyList",
+    "schedule_order",
     "FunctionalUnit",
     "IfItem",
     "OpItem",

@@ -37,6 +37,7 @@ from repro.ir.htg import (
     LoopNode,
 )
 from repro.ir.operations import Operation, OpKind
+from repro.scheduler.ready_list import PRIORITIES, schedule_order
 from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
 from repro.scheduler.schedule import (
     BranchTransition,
@@ -73,11 +74,18 @@ class ChainingScheduler:
         clock_period: float = 10.0,
         allocation: Optional[ResourceAllocation] = None,
         allow_state_branching: bool = True,
+        priority: str = "source",
     ) -> None:
+        if priority not in PRIORITIES:
+            raise SchedulingError(
+                f"unknown scheduler priority {priority!r}; "
+                f"expected one of {PRIORITIES}"
+            )
         self.library = library or ResourceLibrary()
         self.clock_period = clock_period
         self.allocation = allocation or ResourceAllocation.unlimited()
         self.allow_state_branching = allow_state_branching
+        self.priority = priority
 
     def schedule(self, func: FunctionHTG) -> StateMachine:
         """Produce the FSMD for *func*."""
@@ -118,7 +126,9 @@ class _Run:
         means control left this list (break/return)."""
         for index, node in enumerate(nodes):
             if isinstance(node, BlockNode):
-                for op in node.ops:
+                for op in schedule_order(
+                    node.ops, self.cfg.priority, self.library
+                ):
                     state, halted = self.place_op(op, state, ready, usage)
                     if halted:
                         return state, True

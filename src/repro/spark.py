@@ -17,8 +17,10 @@ of parallelization through script files."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+import importlib
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.backend.interface import DesignInterface
 from repro.backend.rtl_sim import RTLResult, RTLSimulator
@@ -85,6 +87,212 @@ class SynthesisResult:
         return "\n".join(lines)
 
 
+@dataclass
+class JobEnvironment:
+    """Heavyweight, possibly unpicklable bindings a job resolves
+    in-process: the resource library, the port interface and the
+    external-function callables.  Jobs reference the environment by a
+    ``"package.module:function"`` factory string (plus scalar args) so
+    the job itself stays picklable across a multiprocessing pool."""
+
+    library: Optional[ResourceLibrary] = None
+    interface: Optional[DesignInterface] = None
+    externals: Dict[str, Callable[..., int]] = field(default_factory=dict)
+
+
+def resolve_environment_factory(
+    spec: str, args: Tuple = ()
+) -> JobEnvironment:
+    """Resolve a ``"package.module:function"`` factory reference and
+    call it with *args*; the callable must return a
+    :class:`JobEnvironment`."""
+    module_name, _, attr = spec.partition(":")
+    if not module_name or not attr:
+        raise ValueError(
+            f"bad environment factory {spec!r}; expected 'module:function'"
+        )
+    module = importlib.import_module(module_name)
+    factory = getattr(module, attr)
+    environment = factory(*args)
+    if not isinstance(environment, JobEnvironment):
+        raise TypeError(
+            f"environment factory {spec!r} returned "
+            f"{type(environment).__name__}, expected JobEnvironment"
+        )
+    return environment
+
+
+@dataclass
+class SynthesisJob:
+    """A self-contained, picklable description of one synthesis run.
+
+    ``execute_job`` turns a job into a :class:`SynthesisOutcome`; the
+    pair is the unit the design-space exploration engine fans out
+    across worker processes and memoizes on disk.
+
+    Attributes
+    ----------
+    source:
+        the behavioral C text.
+    script:
+        the transformation/scheduling knobs (plain-data dataclass).
+    entity:
+        entity/module name for emission (also the default interface).
+    label:
+        human-readable tag carried into the outcome (e.g. the grid
+        point description).
+    environment / environment_args:
+        optional ``"module:function"`` factory resolved *inside the
+        worker* to a :class:`JobEnvironment` (library, interface,
+        externals) — callables never cross the process boundary.
+    inputs / array_inputs:
+        RTL stimulus used when ``measure`` is set.
+    measure:
+        simulate the scheduled design on the stimulus and record the
+        measured cycle count.
+    emit:
+        carry the emitted VHDL/Verilog text in the outcome.
+    """
+
+    source: str
+    script: SynthesisScript = field(default_factory=SynthesisScript)
+    entity: str = "design"
+    label: str = ""
+    environment: str = ""
+    environment_args: Tuple = ()
+    inputs: Dict[str, int] = field(default_factory=dict)
+    array_inputs: Dict[str, List[int]] = field(default_factory=dict)
+    measure: bool = False
+    emit: bool = False
+
+    def resolve_environment(self) -> JobEnvironment:
+        if not self.environment:
+            return JobEnvironment()
+        return resolve_environment_factory(
+            self.environment, self.environment_args
+        )
+
+    def fingerprint_data(self) -> Dict[str, object]:
+        """Canonical plain-data description for content hashing (sets
+        become sorted lists so the JSON encoding is stable)."""
+        script = asdict(self.script)
+        script["pure_functions"] = sorted(script["pure_functions"])
+        script["output_scalars"] = sorted(script["output_scalars"])
+        script["unroll_loops"] = sorted(script["unroll_loops"].items())
+        script["resource_limits"] = sorted(script["resource_limits"].items())
+        return {
+            "source": self.source,
+            "script": script,
+            "entity": self.entity,
+            "environment": self.environment,
+            "environment_args": list(self.environment_args),
+            "inputs": sorted(self.inputs.items()),
+            "array_inputs": sorted(
+                (name, list(values))
+                for name, values in self.array_inputs.items()
+            ),
+            "measure": self.measure,
+            "emit": self.emit,
+        }
+
+
+@dataclass
+class SynthesisOutcome:
+    """The picklable, JSON-serializable result of one job.
+
+    Carries the ranking metrics the exploration engine needs (schedule
+    length, latency, area, timing) rather than the live IR objects a
+    :class:`SynthesisResult` holds.
+    """
+
+    label: str = ""
+    ok: bool = True
+    error: str = ""
+    num_states: int = 0
+    single_cycle: bool = False
+    scheduled_ops: int = 0
+    critical_path: float = 0.0
+    min_clock: float = 0.0
+    clock_period: float = 0.0
+    registers: int = 0
+    fu_instances: int = 0
+    area_total: float = 0.0
+    measured_cycles: Optional[int] = None
+    latency: float = 0.0
+    vhdl: str = ""
+    verilog: str = ""
+    elapsed: float = 0.0
+    cached: bool = False
+
+    @property
+    def cycles(self) -> int:
+        """Best available schedule length: measured when the job ran a
+        stimulus, otherwise the static state count."""
+        if self.measured_cycles is not None:
+            return self.measured_cycles
+        return self.num_states
+
+    def score(self) -> Tuple:
+        """Deterministic ranking key: feasible first, then estimated
+        latency, then area, then label as the final tiebreak."""
+        return (0 if self.ok else 1, self.latency, self.area_total, self.label)
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data.pop("cached")  # per-invocation, never persisted
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SynthesisOutcome":
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        known.pop("cached", None)
+        return cls(**known)
+
+
+def execute_job(job: SynthesisJob) -> SynthesisOutcome:
+    """Run one job start to finish; never raises — failures come back
+    as ``ok=False`` outcomes so a sweep survives infeasible corners."""
+    started = time.perf_counter()
+    outcome = SynthesisOutcome(label=job.label)
+    try:
+        session = SparkSession.from_job(job)
+        result = session.run(bind=True, emit=job.emit)
+        sm = result.state_machine
+        outcome.num_states = sm.num_states
+        outcome.single_cycle = sm.is_single_cycle()
+        outcome.scheduled_ops = sm.total_operations()
+        outcome.critical_path = sm.max_critical_path()
+        outcome.clock_period = job.script.clock_period
+        if result.timing is not None:
+            outcome.min_clock = result.timing.min_clock_period
+        if result.register_binding is not None:
+            outcome.registers = result.register_binding.register_count
+        if result.fu_binding is not None:
+            outcome.fu_instances = result.fu_binding.total_instances()
+        if result.area is not None:
+            outcome.area_total = result.area.total
+        if job.emit:
+            outcome.vhdl = result.vhdl
+            outcome.verilog = result.verilog
+        if job.measure:
+            rtl = session.simulate_rtl(
+                sm,
+                inputs=dict(job.inputs) or None,
+                array_inputs={
+                    name: list(values)
+                    for name, values in job.array_inputs.items()
+                }
+                or None,
+            )
+            outcome.measured_cycles = rtl.cycles
+        outcome.latency = outcome.cycles * job.script.clock_period
+    except Exception as error:  # infeasible corner, parse error, ...
+        outcome.ok = False
+        outcome.error = f"{type(error).__name__}: {error}"
+    outcome.elapsed = time.perf_counter() - started
+    return outcome
+
+
 class SparkSession:
     """One synthesis run over one behavioral description."""
 
@@ -102,6 +310,20 @@ class SparkSession:
         self.externals = externals or {}
         self.design = design_from_source(source)
         self.reports: List[PassReport] = []
+
+    @classmethod
+    def from_job(cls, job: SynthesisJob) -> "SparkSession":
+        """Construct the session a :class:`SynthesisJob` describes,
+        resolving its environment factory in this process."""
+        environment = job.resolve_environment()
+        return cls(
+            job.source,
+            script=job.script,
+            library=environment.library,
+            interface=environment.interface
+            or DesignInterface(name=job.entity),
+            externals=environment.externals,
+        )
 
     @classmethod
     def from_design(
@@ -176,6 +398,7 @@ class SparkSession:
             library=self.library,
             clock_period=self.script.clock_period,
             allocation=ResourceAllocation(limits=dict(self.script.resource_limits)),
+            priority=self.script.scheduler_priority,
         )
         return scheduler.schedule(self.design.main)
 

@@ -96,6 +96,11 @@ class SynthesisScript:
     clock_period:
         target cycle time for the chaining-aware scheduler, in
         normalized gate-delay units.
+    scheduler_priority:
+        ready-list priority function for in-block scheduling:
+        ``"source"`` (program order, the default) or ``"critical"``
+        (longest downstream delay chain first — can pack tighter
+        states under short clocks).
     resource_limits:
         FU-type -> count; empty means the unlimited allocation used for
         microprocessor blocks ("the Spark synthesis tool is given an
@@ -137,6 +142,7 @@ class SynthesisScript:
     clock_period: float = 10.0
     resource_limits: Dict[str, int] = field(default_factory=dict)
     output_scalars: Set[str] = field(default_factory=set)
+    scheduler_priority: str = "source"
 
     @staticmethod
     def microprocessor_block(

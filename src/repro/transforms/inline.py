@@ -34,8 +34,6 @@ from repro.ir.htg import (
 from repro.ir.operations import Operation, OpKind
 from repro.transforms.base import Pass, PassReport
 
-_inline_counter = itertools.count(1)
-
 
 class InlineError(Exception):
     """Raised when a function cannot be inlined (non-tail returns,
@@ -58,6 +56,11 @@ class FunctionInliner(Pass):
     def __init__(self, functions: Optional[List[str]] = None) -> None:
         self.functions = functions if functions is not None else ["*"]
         self._inlined = 0
+        # Per-pass instance numbering keeps inlined-frame temp names
+        # deterministic for a given design run (a module-global
+        # counter would make them depend on process history, which
+        # leaks into emitted RTL and breaks outcome memoization).
+        self._instances = itertools.count(1)
 
     def _should_inline(self, name: str, design: Design) -> bool:
         if name not in design.functions or name == Design.MAIN:
@@ -142,7 +145,7 @@ class FunctionInliner(Pass):
                 f"{call.name} expects {len(callee.params)} arguments, "
                 f"got {len(call.args)}"
             )
-        instance = next(_inline_counter)
+        instance = next(self._instances)
         prefix = f"{call.name}_i{instance}_"
 
         # Arrays are shared storage wherever they are declared (the

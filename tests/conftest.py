@@ -1,86 +1,42 @@
-"""Shared fixtures: sample behavioral sources and external bindings."""
+"""Shared fixtures: sample behavioral sources and external bindings.
+
+The source texts and helper functions live in :mod:`tests.helpers`
+(shared with ``benchmarks/conftest.py``); this module re-exports them
+for the existing ``from tests.conftest import ...`` call sites and
+adds the pytest fixtures plus the ``--update-goldens`` flag.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.ir.builder import design_from_source
+from tests.helpers import (  # noqa: F401  (re-exported for test modules)
+    CONDITIONAL_SRC,
+    FUNCTION_SRC,
+    MINI_ILD_SRC,
+    SIMPLE_LOOP_SRC,
+    mini_ild_externals,
+)
 
 
-SIMPLE_LOOP_SRC = """
-int acc[12];
-int i;
-int total;
-total = 0;
-for (i = 0; i < 10; i++) {
-  total = total + i;
-  acc[i] = total;
-}
-"""
-
-CONDITIONAL_SRC = """
-int t1; int t2; int t3; int f;
-int a; int b; int c; int d; int e; int cond;
-a = 3; b = 4; c = 5; d = 2; e = 9; cond = 1;
-t1 = a + b;
-if (cond) {
-  t2 = t1;
-  t3 = c + d;
-} else {
-  t2 = e;
-  t3 = c - d;
-}
-f = t2 + t3;
-"""
-
-FUNCTION_SRC = """
-int helper(x, y) {
-  int r;
-  if (x > y) {
-    r = x - y;
-  } else {
-    r = y - x;
-  }
-  return r;
-}
-int out;
-int p; int q;
-p = 10; q = 4;
-out = helper(p, q) + helper(q, p);
-"""
-
-MINI_ILD_SRC = """
-int CalculateLength(i) {
-  int lc1; int lc2; int Length;
-  lc1 = LengthContribution_1(i);
-  if (Need_2nd_Byte(i)) {
-    lc2 = LengthContribution_2(i + 1);
-    Length = lc1 + lc2;
-  } else Length = lc1;
-  return Length;
-}
-int Mark[10];
-int len[10];
-int NextStartByte;
-int i;
-NextStartByte = 1;
-for (i = 1; i <= 8; i++) {
-  if (i == NextStartByte) {
-    Mark[i] = 1;
-    len[i] = CalculateLength(i);
-    NextStartByte += len[i];
-  }
-}
-"""
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite the golden RTL files under tests/goldens/ from "
+            "the current emitters instead of comparing against them"
+        ),
+    )
 
 
-def mini_ild_externals():
-    """Deterministic pure externals for the mini-ILD fixture."""
-    return {
-        "LengthContribution_1": lambda i: 1 + (i % 2),
-        "LengthContribution_2": lambda i: (i % 3),
-        "Need_2nd_Byte": lambda i: i % 2,
-    }
+@pytest.fixture
+def update_goldens(request) -> bool:
+    # getoption with a default tolerates whole-repo runs where this
+    # conftest is not an initial conftest and the flag is unregistered.
+    return bool(request.config.getoption("--update-goldens", default=False))
 
 
 @pytest.fixture

@@ -1,10 +1,233 @@
-"""Test helpers: behavioral-equivalence assertions around transforms."""
+"""Shared test/benchmark helpers: sample behavioral sources, IR
+inspection utilities and behavioral-equivalence assertions.
+
+Both ``tests/conftest.py`` and ``benchmarks/conftest.py`` import from
+this module (and re-export, so existing ``from benchmarks.conftest
+import ...`` / ``from tests.conftest import ...`` call sites keep
+working); test files can also import it directly.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
 from repro.interp import run_design
 from repro.ir.builder import design_from_source
+from repro.ir.htg import BlockNode, Design, FunctionHTG
+from repro.ir.operations import Operation
 
+
+# --------------------------------------------------------------------------
+# Shared behavioral sources
+# --------------------------------------------------------------------------
+
+SIMPLE_LOOP_SRC = """
+int acc[12];
+int i;
+int total;
+total = 0;
+for (i = 0; i < 10; i++) {
+  total = total + i;
+  acc[i] = total;
+}
+"""
+
+CONDITIONAL_SRC = """
+int t1; int t2; int t3; int f;
+int a; int b; int c; int d; int e; int cond;
+a = 3; b = 4; c = 5; d = 2; e = 9; cond = 1;
+t1 = a + b;
+if (cond) {
+  t2 = t1;
+  t3 = c + d;
+} else {
+  t2 = e;
+  t3 = c - d;
+}
+f = t2 + t3;
+"""
+
+FUNCTION_SRC = """
+int helper(x, y) {
+  int r;
+  if (x > y) {
+    r = x - y;
+  } else {
+    r = y - x;
+  }
+  return r;
+}
+int out;
+int p; int q;
+p = 10; q = 4;
+out = helper(p, q) + helper(q, p);
+"""
+
+MINI_ILD_SRC = """
+int CalculateLength(i) {
+  int lc1; int lc2; int Length;
+  lc1 = LengthContribution_1(i);
+  if (Need_2nd_Byte(i)) {
+    lc2 = LengthContribution_2(i + 1);
+    Length = lc1 + lc2;
+  } else Length = lc1;
+  return Length;
+}
+int Mark[10];
+int len[10];
+int NextStartByte;
+int i;
+NextStartByte = 1;
+for (i = 1; i <= 8; i++) {
+  if (i == NextStartByte) {
+    Mark[i] = 1;
+    len[i] = CalculateLength(i);
+    NextStartByte += len[i];
+  }
+}
+"""
+
+
+def mini_ild_externals():
+    """Deterministic pure externals for the mini-ILD fixture."""
+    return {
+        "LengthContribution_1": lambda i: 1 + (i % 2),
+        "LengthContribution_2": lambda i: (i % 3),
+        "Need_2nd_Byte": lambda i: i % 2,
+    }
+
+
+def priority_encoder_source(width: int = 8) -> str:
+    """The find-first-set block of ``examples/priority_encoder.py``."""
+    return f"""
+int req[{width + 1}];
+int pos; int found; int i;
+pos = 0;
+found = 0;
+for (i = 1; i <= {width}; i++) {{
+  if (found == 0) {{
+    if (req[i] != 0) {{
+      pos = i;
+      found = 1;
+    }}
+  }}
+}}
+"""
+
+
+# --------------------------------------------------------------------------
+# Differential-testing design registry
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ExampleDesign:
+    """One co-simulation subject: a source, its bindings and which
+    observables must match between interpreter and RTL simulation."""
+
+    name: str
+    source: str
+    outputs: List[str] = field(default_factory=list)
+    externals_factory: Optional[Callable[[], Dict[str, Callable]]] = None
+    pure: bool = True
+    inputs: Dict[str, int] = field(default_factory=dict)
+    array_inputs: Dict[str, List[int]] = field(default_factory=dict)
+
+    def externals(self) -> Dict[str, Callable]:
+        return self.externals_factory() if self.externals_factory else {}
+
+    def pure_functions(self) -> set:
+        return set(self.externals()) if self.pure else set()
+
+
+def _ild_design() -> ExampleDesign:
+    from repro.ild import build_ild_source, ild_externals, random_buffer
+    import random
+
+    n = 4
+    buffer = list(random_buffer(n, rng=random.Random(7)))
+    return ExampleDesign(
+        name="ild",
+        source=build_ild_source(n),
+        outputs=["NextStartByte"],
+        externals_factory=lambda: ild_externals(n),
+        array_inputs={"Buffer": buffer},
+    )
+
+
+def example_designs() -> List[ExampleDesign]:
+    """Every co-simulation subject the differential suite covers."""
+    return [
+        ExampleDesign(
+            name="conditional",
+            source=CONDITIONAL_SRC,
+            outputs=["f", "t2", "t3"],
+        ),
+        ExampleDesign(
+            name="simple-loop",
+            source=SIMPLE_LOOP_SRC,
+            outputs=["total"],
+        ),
+        ExampleDesign(
+            name="function-calls",
+            source=FUNCTION_SRC,
+            outputs=["out"],
+        ),
+        ExampleDesign(
+            name="priority-encoder",
+            source=priority_encoder_source(8),
+            outputs=["pos", "found"],
+            array_inputs={"req": [0, 0, 0, 0, 1, 0, 1, 0, 0]},
+        ),
+        ExampleDesign(
+            name="mini-ild",
+            source=MINI_ILD_SRC,
+            outputs=["NextStartByte"],
+            externals_factory=mini_ild_externals,
+        ),
+        _ild_design(),
+    ]
+
+
+# --------------------------------------------------------------------------
+# IR inspection helpers
+# --------------------------------------------------------------------------
+
+def find_writer(func: FunctionHTG, variable: str) -> Operation:
+    """First operation in *func* writing *variable*."""
+    for node in func.walk_nodes():
+        if isinstance(node, BlockNode):
+            for op in node.ops:
+                if variable in op.writes():
+                    return op
+    raise AssertionError(f"no write to {variable!r}")
+
+
+def block_containing(func: FunctionHTG, op: Operation):
+    """The BasicBlock holding *op*."""
+    for node in func.walk_nodes():
+        if isinstance(node, BlockNode) and op in node.ops:
+            return node.block
+    raise AssertionError("operation not found in any block")
+
+
+def total_ops(design: Design) -> int:
+    return sum(f.count_operations() for f in design.functions.values())
+
+
+def fresh_design(source: str) -> Design:
+    return design_from_source(source)
+
+
+def ops_text(func):
+    """All operations of a function as printable strings."""
+    return [str(op) for op in func.walk_operations()]
+
+
+# --------------------------------------------------------------------------
+# Behavioral-equivalence assertion
+# --------------------------------------------------------------------------
 
 def assert_equivalent(source, transform, externals=None, inputs=None,
                       array_inputs=None, check_scalars=None):
@@ -34,6 +257,27 @@ def assert_equivalent(source, transform, externals=None, inputs=None,
     return design
 
 
-def ops_text(func):
-    """All operations of a function as printable strings."""
-    return [str(op) for op in func.walk_operations()]
+# --------------------------------------------------------------------------
+# Reporting (benchmark harness)
+# --------------------------------------------------------------------------
+
+class FigureReport:
+    """Accumulates the rows a figure's bench regenerates, printed at
+    the end of the bench so ``pytest -s`` shows the paper-style table."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.rows: List[str] = []
+
+    def row(self, text: str) -> None:
+        self.rows.append(text)
+
+    def emit(self) -> None:
+        width = max([len(self.title)] + [len(r) for r in self.rows]) + 2
+        print()
+        print("=" * width)
+        print(self.title)
+        print("-" * width)
+        for row in self.rows:
+            print(row)
+        print("=" * width)

@@ -1,0 +1,333 @@
+"""Tests for the design-space exploration engine (repro.dse)."""
+
+from __future__ import annotations
+
+import copy
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.dse import (
+    ExplorationEngine,
+    GridError,
+    ParameterGrid,
+    ResultCache,
+    format_table,
+    grid_from_specs,
+    job_key,
+    jobs_from_grid,
+    parse_vary_spec,
+    rank_outcomes,
+    script_for_point,
+)
+from repro.spark import SynthesisJob, SynthesisOutcome, execute_job
+from repro.transforms.base import SynthesisScript
+from tests.helpers import SIMPLE_LOOP_SRC
+
+SWEEP_SRC = """
+int acc[26];
+int i; int total;
+total = 0;
+for (i = 0; i < 24; i++) {
+  total = total + i;
+  acc[i] = total;
+}
+"""
+
+
+def base_script() -> SynthesisScript:
+    return SynthesisScript(output_scalars={"total"})
+
+
+# ---------------------------------------------------------------------------
+# Grid expansion
+# ---------------------------------------------------------------------------
+
+
+class TestGrid:
+    def test_cartesian_expansion(self):
+        grid = ParameterGrid(
+            [("clock", [2.0, 4.0]), ("unroll", [{}, {"*": 0}, {"*": 2}])]
+        )
+        assert len(grid) == 6
+        points = grid.points()
+        assert len(points) == 6
+        # Row-major: the first axis varies slowest.
+        assert [p.as_dict()["clock"] for p in points] == [2.0] * 3 + [4.0] * 3
+
+    def test_points_are_deterministic(self):
+        grid = ParameterGrid([("clock", [2.0, 4.0]), ("preset", ["up", "asic"])])
+        assert [p.label for p in grid.points()] == [
+            p.label for p in grid.points()
+        ]
+
+    def test_labels_render_values(self):
+        grid = ParameterGrid([("clock", [4.0]), ("unroll", [{"*": 2}])])
+        assert grid.points()[0].label == "clock=4 unroll=*:2"
+
+    def test_parse_vary_spec(self):
+        axis, values = parse_vary_spec("clock=2,4,8")
+        assert axis == "clock"
+        assert values == [2.0, 4.0, 8.0]
+        axis, values = parse_vary_spec("unroll=none,*:0")
+        assert values == [{}, {"*": 0}]
+        axis, values = parse_vary_spec("limits=alu:2;cmp:1")
+        assert values == [{"alu": 2, "cmp": 1}]
+
+    def test_parse_rejects_unknown_axis(self):
+        with pytest.raises(GridError):
+            parse_vary_spec("warp=9")
+        with pytest.raises(GridError):
+            ParameterGrid([("warp", [1])])
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(GridError, match="duplicate grid axis"):
+            grid_from_specs(["clock=2", "clock=4"])
+
+    def test_parse_rejects_bad_values(self):
+        with pytest.raises(GridError):
+            parse_vary_spec("clock=fast")
+        with pytest.raises(GridError):
+            parse_vary_spec("speculation=maybe")
+        with pytest.raises(GridError):
+            parse_vary_spec("clock=")
+
+    def test_script_for_point_preset_then_overrides(self):
+        grid = grid_from_specs(["preset=up,asic", "clock=4"])
+        up_point, asic_point = grid.points()
+        base = SynthesisScript(
+            pure_functions={"Op1"}, output_scalars={"total"}
+        )
+        up = script_for_point(up_point, base)
+        assert up.unroll_loops == {"*": 0}  # from the preset
+        assert up.clock_period == 4.0  # overridden by the axis
+        assert up.pure_functions == {"Op1"}  # carried from the base
+        assert up.output_scalars == {"total"}
+        asic = script_for_point(asic_point, base)
+        assert asic.resource_limits  # the ASIC preset bounds FUs
+        assert asic.clock_period == 4.0
+
+    def test_jobs_from_grid_labels_and_scripts(self):
+        grid = grid_from_specs(["clock=2,4"])
+        jobs = jobs_from_grid(SWEEP_SRC, grid, base_script=base_script())
+        assert [job.label for job in jobs] == ["clock=2", "clock=4"]
+        assert [job.script.clock_period for job in jobs] == [2.0, 4.0]
+
+
+# ---------------------------------------------------------------------------
+# Cache behavior
+# ---------------------------------------------------------------------------
+
+
+class TestCache:
+    def make_job(self, **overrides) -> SynthesisJob:
+        job = SynthesisJob(source=SWEEP_SRC, script=base_script())
+        for name, value in overrides.items():
+            setattr(job, name, value)
+        return job
+
+    def test_key_is_stable_and_content_sensitive(self):
+        job = self.make_job()
+        assert job_key(job) == job_key(copy.deepcopy(job))
+        assert job_key(job) != job_key(self.make_job(source=SIMPLE_LOOP_SRC))
+        changed = self.make_job()
+        changed.script.clock_period = 3.25
+        assert job_key(job) != job_key(changed)
+        # The label is presentation-only: not part of the identity.
+        assert job_key(job) == job_key(self.make_job(label="renamed"))
+
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = self.make_job()
+        key = job_key(job)
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        outcome = execute_job(job)
+        cache.put(key, outcome)
+        recalled = cache.get(key)
+        assert cache.hits == 1
+        assert recalled is not None
+        assert recalled.cached is True
+        assert recalled.num_states == outcome.num_states
+        assert recalled.score() == outcome.score()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = job_key(self.make_job())
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()  # dropped, not kept
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k" * 64, SynthesisOutcome(label="x"))
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_engine_uses_cache_across_instances(self, tmp_path):
+        jobs = jobs_from_grid(
+            SWEEP_SRC, grid_from_specs(["clock=2,4"]), base_script=base_script()
+        )
+        first = ExplorationEngine(cache_dir=tmp_path, workers=1).explore(jobs)
+        assert (first.cache_hits, first.executed) == (0, 2)
+        second = ExplorationEngine(cache_dir=tmp_path, workers=1).explore(jobs)
+        assert (second.cache_hits, second.executed) == (2, 0)
+        assert [o.num_states for o in first.outcomes] == [
+            o.num_states for o in second.outcomes
+        ]
+
+    def test_no_cache_mode(self, tmp_path):
+        jobs = jobs_from_grid(
+            SWEEP_SRC, grid_from_specs(["clock=4"]), base_script=base_script()
+        )
+        engine = ExplorationEngine(workers=1, use_cache=False)
+        assert engine.cache is None
+        result = engine.explore(jobs)
+        assert result.executed == 1
+
+
+# ---------------------------------------------------------------------------
+# Ranking
+# ---------------------------------------------------------------------------
+
+
+class TestRanking:
+    def outcome(self, label, latency, area, ok=True) -> SynthesisOutcome:
+        return SynthesisOutcome(
+            label=label, ok=ok, latency=latency, area_total=area
+        )
+
+    def test_rank_orders_by_latency_then_area(self):
+        ranked = rank_outcomes(
+            [
+                self.outcome("slow", 40.0, 10.0),
+                self.outcome("fast-big", 10.0, 99.0),
+                self.outcome("fast-small", 10.0, 5.0),
+                self.outcome("broken", 1.0, 1.0, ok=False),
+            ]
+        )
+        assert [o.label for o in ranked] == [
+            "fast-small", "fast-big", "slow", "broken",
+        ]
+
+    def test_rank_is_deterministic_on_ties(self):
+        tied = [self.outcome(label, 10.0, 5.0) for label in "bca"]
+        assert [o.label for o in rank_outcomes(tied)] == ["a", "b", "c"]
+        assert [o.label for o in rank_outcomes(reversed(tied))] == [
+            "a", "b", "c",
+        ]
+
+    def test_format_table_marks_infeasible(self):
+        table = format_table(
+            [self.outcome("good", 10.0, 5.0),
+             SynthesisOutcome(label="bad", ok=False, error="boom")]
+        )
+        assert "good" in table
+        assert "infeasible: boom" in table
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution + the cached re-run acceptance criterion
+# ---------------------------------------------------------------------------
+
+
+class TestParallelExploration:
+    def test_two_worker_run_matches_serial(self, tmp_path):
+        jobs = jobs_from_grid(
+            SWEEP_SRC,
+            grid_from_specs(["clock=2,4", "unroll=none,*:0"]),
+            base_script=base_script(),
+            measure=True,
+        )
+        serial = ExplorationEngine(workers=1, use_cache=False).explore(jobs)
+        parallel = ExplorationEngine(workers=2, use_cache=False).explore(jobs)
+        assert [o.label for o in parallel.outcomes] == [
+            o.label for o in serial.outcomes
+        ]
+        for fast, slow in zip(parallel.outcomes, serial.outcomes):
+            assert fast.ok and slow.ok
+            assert fast.score() == slow.score()
+            assert fast.measured_cycles == slow.measured_cycles
+
+    def test_infeasible_points_are_reported_not_raised(self):
+        impossible = SynthesisScript(clock_period=0.01)  # slower than any op
+        jobs = [SynthesisJob(source=SWEEP_SRC, script=impossible, label="x")]
+        result = ExplorationEngine(workers=1, use_cache=False).explore(jobs)
+        assert not result.outcomes[0].ok
+        assert "SchedulingError" in result.outcomes[0].error
+        assert result.best() is None
+
+    def test_cli_sweep_second_invocation_5x_faster(self, tmp_path, capsys):
+        """Acceptance: a >=12-point grid under --workers 4, where the
+        all-hit second invocation is at least 5x faster."""
+        source_path = tmp_path / "sweep.c"
+        source_path.write_text(SWEEP_SRC, encoding="utf-8")
+        argv = [
+            "dse",
+            str(source_path),
+            "--vary", "clock=2,3,4,6",
+            "--vary", "unroll=none,*:2,*:0",
+            "--workers", "4",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--output", "total",
+        ]
+
+        started = time.perf_counter()
+        assert main(list(argv)) == 0
+        cold = time.perf_counter() - started
+        cold_out = capsys.readouterr().out
+        assert "12 design points: 0 cache hits, 12 synthesized" in cold_out
+
+        started = time.perf_counter()
+        assert main(list(argv)) == 0
+        warm = time.perf_counter() - started
+        warm_out = capsys.readouterr().out
+        assert "12 design points: 12 cache hits, 0 synthesized" in warm_out
+
+        assert cold >= warm * 5, (
+            f"cached re-run not >=5x faster: cold={cold:.3f}s "
+            f"warm={warm:.3f}s ({cold / max(warm, 1e-9):.1f}x)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestDseCli:
+    def test_bad_axis_exits_2(self, tmp_path, capsys):
+        source_path = tmp_path / "d.c"
+        source_path.write_text(SWEEP_SRC, encoding="utf-8")
+        status = main(["dse", str(source_path), "--vary", "warp=9"])
+        assert status == 2
+        assert "unknown grid axis" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["dse", "/nonexistent/file.c"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_all_infeasible_exits_1(self, tmp_path, capsys):
+        source_path = tmp_path / "d.c"
+        source_path.write_text(SWEEP_SRC, encoding="utf-8")
+        status = main(
+            ["dse", str(source_path), "--vary", "clock=0.01", "--no-cache"]
+        )
+        assert status == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_top_limits_rows(self, tmp_path, capsys):
+        source_path = tmp_path / "d.c"
+        source_path.write_text(SWEEP_SRC, encoding="utf-8")
+        status = main(
+            ["dse", str(source_path), "--vary", "clock=2,4,8",
+             "--no-cache", "--top", "1", "--output", "total"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        data_rows = [
+            line for line in out.splitlines() if "clock=" in line
+        ]
+        assert len(data_rows) == 1

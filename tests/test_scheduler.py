@@ -293,3 +293,101 @@ class TestPruning:
         text = sm.describe()
         assert "StateMachine" in text
         assert "S0" in text
+
+
+class TestReadyList:
+    """The heap-based ready list feeding the scheduler's inner loop."""
+
+    def _ops(self, source):
+        design = design_from_source(source)
+        from repro.ir.htg import BlockNode
+
+        ops = []
+        for node in design.main.walk_nodes():
+            if isinstance(node, BlockNode):
+                ops.extend(node.ops)
+        return ops
+
+    def test_source_priority_preserves_program_order(self):
+        from repro.scheduler.ready_list import ReadyList, schedule_order
+
+        ops = self._ops(
+            "int a; int b; int c;\na = 1;\nb = a + 2;\nc = b + a;"
+        )
+        assert list(schedule_order(ops, "source")) == ops
+        # The heap path itself also reproduces program order, and a
+        # ReadyList can be drained more than once.
+        ready = ReadyList(ops, priority="source")
+        assert list(ready) == ops
+        assert list(ready) == ops
+
+    def test_critical_priority_is_a_permutation_respecting_deps(self):
+        from repro.scheduler.ready_list import schedule_order
+
+        ops = self._ops(
+            "int a; int b; int c; int d;\n"
+            "a = 1;\nd = 9;\nb = a + 2;\nc = b * b;"
+        )
+        ordered = list(schedule_order(ops, "critical", LIB))
+        assert sorted(map(id, ordered)) == sorted(map(id, ops))
+        positions = {id(op): index for index, op in enumerate(ordered)}
+        # RAW chains keep their order: a=1 before b=a+2 before c=b*b.
+        assert positions[id(ops[0])] < positions[id(ops[2])]
+        assert positions[id(ops[2])] < positions[id(ops[3])]
+        # The long multiply chain outranks the independent d=9.
+        assert positions[id(ops[1])] == len(ops) - 1
+
+    def test_array_and_call_ordering_is_preserved(self):
+        from repro.scheduler.ready_list import schedule_order
+
+        ops = self._ops(
+            "int m[4]; int x; int y;\n"
+            "m[0] = 3;\nx = m[0] + 1;\ny = f(x);\nm[1] = y;"
+        )
+        for priority in ("source", "critical"):
+            ordered = list(schedule_order(ops, priority, LIB))
+            positions = {id(op): i for i, op in enumerate(ordered)}
+            # store -> load -> call -> store never reorders.
+            assert [positions[id(op)] for op in ops] == sorted(
+                positions[id(op)] for op in ops
+            )
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(SchedulingError):
+            ChainingScheduler(priority="random")
+        from repro.scheduler.ready_list import ReadyList
+
+        with pytest.raises(ValueError):
+            ReadyList([], priority="random")
+
+    def test_scheduler_output_identical_under_source_priority(self):
+        source = (
+            "int acc[6]; int i; int t;\n"
+            "t = 0;\n"
+            "for (i = 0; i < 5; i++) { t = t + i; acc[i] = t; }"
+        )
+        sm_default, _ = schedule(source, clock=4.0)
+        design = design_from_source(source)
+        explicit = ChainingScheduler(
+            library=LIB, clock_period=4.0, priority="source"
+        ).schedule(design.main)
+        assert sm_default.num_states == explicit.num_states
+        assert [s.state_id for s in sm_default.reachable_states()] == [
+            s.state_id for s in explicit.reachable_states()
+        ]
+
+    def test_critical_priority_schedules_correctly(self):
+        """Reordered placement must not change observable behavior."""
+        from repro.backend.rtl_sim import RTLSimulator
+
+        source = (
+            "int out[4]; int a; int b; int c; int d;\n"
+            "a = 2;\nd = 7;\nb = a * a;\nc = b + d;\n"
+            "out[0] = c;\nout[1] = d;"
+        )
+        design = design_from_source(source)
+        sm = ChainingScheduler(
+            library=LIB, clock_period=3.0, priority="critical"
+        ).schedule(design.main)
+        rtl = RTLSimulator(sm).run()
+        assert rtl.arrays["out"] == [11, 7, 0, 0]
