@@ -11,10 +11,17 @@ the same shape::
     python -m repro input.c --print-code --summary --dot fsmd
 
 The ``dse`` subcommand drives the design-space exploration engine —
-a memoized, multi-process sweep over a grid of script knobs::
+a memoized, multi-process, streaming sweep over a grid of script
+knobs, with dominance pruning and latency/area early exit::
 
     python -m repro dse input.c --vary clock=4,6,8 \\
-        --vary 'unroll=none,*:0' --workers 4 --top 5
+        --vary 'unroll=none,*:0' --workers 4 --top 5 \\
+        --target-latency 24
+
+The ``cache`` subcommand maintains the shared outcome cache::
+
+    python -m repro cache stats
+    python -m repro cache gc --max-bytes 104857600
 
 Exit status is non-zero on parse or scheduling failure, so the CLI can
 anchor shell-based regression scripts the way the original tool's
@@ -175,13 +182,46 @@ def build_dse_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "outcome cache directory (default: $REPRO_DSE_CACHE or "
-            "~/.cache/repro-dse)"
+            "~/.cache/repro-dse; an empty string disables caching)"
         ),
     )
     parser.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the on-disk outcome cache",
+    )
+    parser.add_argument(
+        "--target-latency",
+        type=float,
+        default=None,
+        metavar="T",
+        help=(
+            "stop the sweep as soon as a feasible point has latency "
+            "<= T (combined with --max-area when both are set)"
+        ),
+    )
+    parser.add_argument(
+        "--max-area",
+        type=float,
+        default=None,
+        metavar="A",
+        help=(
+            "stop the sweep as soon as a feasible point has area <= A "
+            "(combined with --target-latency when both are set)"
+        ),
+    )
+    parser.add_argument(
+        "--no-prune",
+        action="store_true",
+        help=(
+            "run every corner even when it is provably dominated by "
+            "an already-infeasible one"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print each design point as it settles (streaming)",
     )
     parser.add_argument(
         "--top",
@@ -273,11 +313,111 @@ def dse_main(argv: List[str]) -> int:
         workers=args.workers,
         use_cache=not args.no_cache,
     )
-    result = engine.explore(jobs)
+
+    def print_progress(outcome):
+        status = "ok" if outcome.ok else "infeasible"
+        print(
+            f"[{outcome.provenance:>6}] {outcome.label}: {status}",
+            file=sys.stderr,
+        )
+
+    result = engine.explore(
+        jobs,
+        on_outcome=print_progress if args.progress else None,
+        target_latency=args.target_latency,
+        max_area=args.max_area,
+        prune=not args.no_prune,
+    )
     print(format_table(result.outcomes, top=args.top))
     print()
     print(summarize(result))
     return 0 if result.feasible else 1
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro cache`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description=(
+            "maintain the shared design-space exploration outcome "
+            "cache: stats, clear, size-bounded LRU garbage collection"
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=["stats", "clear", "gc"],
+        help=(
+            "stats: entry count and size; clear: drop every entry; "
+            "gc: evict least-recently-used entries beyond the budget"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "cache directory (default: $REPRO_DSE_CACHE or "
+            "~/.cache/repro-dse)"
+        ),
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "size budget for gc/stats (default: "
+            "$REPRO_DSE_CACHE_MAX_BYTES or 256 MiB)"
+        ),
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help=(
+            "stats only: answer from the materialized index written "
+            "by the last gc/reindex instead of re-scanning every "
+            "entry (may be stale)"
+        ),
+    )
+    return parser
+
+
+def cache_main(argv: List[str]) -> int:
+    """Entry point for ``repro cache``."""
+    from repro.dse.cache import names_bare_cwd
+    from repro.dse.service import CacheLockTimeout, CacheService
+
+    args = build_cache_parser().parse_args(argv)
+    if args.cache_dir is not None and names_bare_cwd(args.cache_dir):
+        # Empty / "." --cache-dir means "no cache" on the dse side;
+        # for (destructive) maintenance it would silently target the
+        # current working directory.  Demand an explicit path.
+        print(
+            "repro cache: --cache-dir must name a real cache "
+            "directory, not '' or '.' (use an absolute path or "
+            "'./name')",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_bytes is not None and args.max_bytes <= 0:
+        # 0 is not "unlimited" here — gc would evict every entry.
+        print(
+            "repro cache: --max-bytes must be a positive byte count",
+            file=sys.stderr,
+        )
+        return 2
+    service = CacheService(root=args.cache_dir, max_bytes=args.max_bytes)
+    try:
+        if args.action == "stats":
+            print(service.stats(fast=args.fast).describe())
+        elif args.action == "clear":
+            removed = service.clear()
+            print(f"removed {removed} cached outcome(s)")
+        else:
+            print(service.gc().describe())
+    except CacheLockTimeout as error:
+        print(f"repro cache: {error}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _read_source(path: str) -> Optional[str]:
@@ -336,6 +476,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "dse":
         return dse_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -8,10 +8,16 @@ turns that loop into an engine:
 * :mod:`repro.dse.grid` — named axes (clock, unroll, preset, resource
   limits, scheduler priority, ...) expanded into a cartesian grid of
   picklable :class:`~repro.spark.SynthesisJob` descriptions;
-* :mod:`repro.dse.runner` — :class:`ExplorationEngine` fans cache
-  misses out over a ``multiprocessing`` pool and recalls previous
-  results from the on-disk cache;
+* :mod:`repro.dse.runner` — :class:`ExplorationEngine` streams cache
+  misses through a ``multiprocessing`` pool, recalls previous results
+  from the on-disk cache, prunes provably infeasible corners and can
+  exit early once a latency/area goal is met;
+* :mod:`repro.dse.pareto` — the latency/area frontier, sweep goals
+  and the dominance pruner;
 * :mod:`repro.dse.cache` — content-hash keyed outcome store;
+* :mod:`repro.dse.service` — maintenance over a shared cache
+  directory: locking, stats, ``clear`` and size-bounded LRU ``gc``
+  (the ``repro cache`` CLI);
 * :mod:`repro.dse.report` — deterministic ranking and trade-off
   tables.
 
@@ -42,20 +48,50 @@ from repro.dse.grid import (
     parse_vary_spec,
     script_for_point,
 )
-from repro.dse.report import format_table, rank_outcomes, summarize
+from repro.dse.pareto import (
+    InfeasiblePruner,
+    ParetoFront,
+    SweepGoal,
+    dominates,
+)
+from repro.dse.report import (
+    format_frontier,
+    format_table,
+    rank_outcomes,
+    summarize,
+)
 from repro.dse.runner import ExplorationEngine, ExplorationResult, explore
+from repro.dse.service import (
+    CacheLockTimeout,
+    CacheService,
+    CacheStats,
+    DirectoryLock,
+    GCReport,
+    MAX_BYTES_ENV_VAR,
+)
 
 __all__ = [
     "CACHE_ENV_VAR",
+    "CacheLockTimeout",
+    "CacheService",
+    "CacheStats",
+    "DirectoryLock",
     "ExplorationEngine",
     "ExplorationResult",
+    "GCReport",
     "GridError",
     "GridPoint",
+    "InfeasiblePruner",
     "KNOWN_AXES",
+    "MAX_BYTES_ENV_VAR",
     "ParameterGrid",
+    "ParetoFront",
     "ResultCache",
+    "SweepGoal",
     "default_cache_dir",
+    "dominates",
     "explore",
+    "format_frontier",
     "format_table",
     "grid_from_specs",
     "job_key",

@@ -22,10 +22,22 @@ from repro.spark import SynthesisJob, SynthesisOutcome
 
 #: Bump when the outcome schema or synthesis semantics change in a way
 #: that invalidates previously cached results.
-CACHE_FORMAT = 1
+#:
+#: 2: outcomes carry ``error_kind`` (deterministic-vs-environment
+#:    failure classification); environment failures are no longer
+#:    cached at all.
+CACHE_FORMAT = 2
 
 #: Environment variable overriding the default cache location.
 CACHE_ENV_VAR = "REPRO_DSE_CACHE"
+
+
+def names_bare_cwd(path: Union[str, Path]) -> bool:
+    """True for path spellings that normalize to the bare current
+    directory ("", ".", "./", ``Path("")``): never a deliberate cache
+    location.  The engine treats them as "caching disabled" and the
+    maintenance CLI rejects them outright."""
+    return os.fspath(path) == "" or Path(path) == Path(".")
 
 
 def default_cache_dir() -> Path:
@@ -76,10 +88,24 @@ class ResultCache:
             return None
         self.hits += 1
         outcome.cached = True
+        outcome.provenance = "cache"
+        try:
+            # Touch the entry so the cache service's LRU eviction sees
+            # *use* recency, not just write recency.
+            os.utime(path)
+        except OSError:
+            pass
         return outcome
 
     def put(self, key: str, outcome: SynthesisOutcome, label: str = "") -> None:
-        """Persist atomically (write temp file, rename into place)."""
+        """Persist atomically (write temp file, rename into place).
+
+        Outcomes that are unsound to memoize — environment/setup
+        failures, pruning inferences — are silently skipped so a
+        transient worker failure can never be replayed as a permanent
+        cache hit."""
+        if not outcome.cacheable:
+            return
         record = {
             "format": CACHE_FORMAT,
             "label": label or outcome.label,

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import copy
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -165,9 +166,18 @@ def parse_axis_value(axis: str, text: str) -> object:
         return text
     if axis == "clock":
         try:
-            return float(text)
+            value = float(text)
         except ValueError:
             raise GridError(f"bad clock value {text!r}") from None
+        # A clock period must be a usable number: label rendering and
+        # latency math both break on inf/nan, and a non-positive clock
+        # can never fit an operation.
+        if not math.isfinite(value) or value <= 0:
+            raise GridError(
+                f"bad clock value {text!r}; expected a finite positive "
+                f"number"
+            )
+        return value
     if axis == "unroll":
         return _parse_mapping(text, "unroll spec")
     if axis == "limits":
@@ -209,7 +219,7 @@ def _render_value(axis: str, value: object) -> str:
         return ";".join(f"{k}:{v}" for k, v in sorted(value.items()))
     if isinstance(value, bool):
         return "on" if value else "off"
-    if isinstance(value, float) and value == int(value):
+    if isinstance(value, float) and math.isfinite(value) and value == int(value):
         return str(int(value))
     return str(value)
 

@@ -1,0 +1,203 @@
+"""Pareto-front tracking, sweep goals and dominance pruning.
+
+The paper's designer loop is a trade-off search: "sweep scripts, keep
+the schedule that meets the latency target at least area".  This
+module gives the exploration engine the three pieces that turn an
+exhaustive sweep into an adaptive one:
+
+* :class:`ParetoFront` — the set of feasible outcomes no other
+  outcome beats on both latency and area, maintained incrementally as
+  results stream in;
+* :class:`SweepGoal` — the designer's stopping rule
+  (``--target-latency`` / ``--max-area``): once a feasible point
+  satisfies every set constraint, the rest of the sweep is redundant;
+* :class:`InfeasiblePruner` — provable dominance pruning over
+  *pending* corners.  The scheduler's constraint failures are monotone
+  in the two constraint knobs: a point that fails to schedule keeps
+  failing when the clock gets shorter or the resource allocation gets
+  smaller (``SchedulingError`` fires when an operation's delay exceeds
+  the clock, or its unit needs exceed the allocation, in an *empty*
+  state — both only get worse).  So once a corner fails with
+  ``error_kind == "unschedulable"``, every pending corner that is
+  identical except for a clock at most as long and per-unit caps at
+  most as large can be marked infeasible without running it.  Other
+  deterministic failures (parse errors, emission or measurement
+  trouble) are *not* evidence: they are not provably monotone in the
+  constraint knobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.spark import (
+    ERROR_KIND_UNSCHEDULABLE,
+    SynthesisJob,
+    SynthesisOutcome,
+)
+
+
+def dominates(a: SynthesisOutcome, b: SynthesisOutcome) -> bool:
+    """True when *a* is at least as good as *b* on both latency and
+    area and strictly better on at least one."""
+    return (
+        a.latency <= b.latency
+        and a.area_total <= b.area_total
+        and (a.latency < b.latency or a.area_total < b.area_total)
+    )
+
+
+class ParetoFront:
+    """The latency/area frontier of the feasible outcomes seen so far."""
+
+    def __init__(self) -> None:
+        self._points: List[SynthesisOutcome] = []
+
+    def update(self, outcome: SynthesisOutcome) -> bool:
+        """Offer one outcome; True when it joins the frontier (evicting
+        any points it now dominates), False when it is infeasible or
+        strictly dominated by an existing frontier point."""
+        if not outcome.ok:
+            return False
+        if any(dominates(point, outcome) for point in self._points):
+            return False
+        self._points = [
+            point for point in self._points if not dominates(outcome, point)
+        ]
+        self._points.append(outcome)
+        return True
+
+    def points(self) -> List[SynthesisOutcome]:
+        """Frontier outcomes, fastest first (deterministic ties)."""
+        return sorted(
+            self._points,
+            key=lambda o: (o.latency, o.area_total, o.label),
+        )
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __bool__(self) -> bool:
+        return bool(self._points)
+
+
+@dataclass(frozen=True)
+class SweepGoal:
+    """The designer's early-exit constraints; ``None`` means unset."""
+
+    target_latency: Optional[float] = None
+    max_area: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        return self.target_latency is not None or self.max_area is not None
+
+    def satisfied_by(self, outcome: SynthesisOutcome) -> bool:
+        """True when *outcome* is feasible and meets every set
+        constraint (an inactive goal is never satisfied: an unbounded
+        sweep has no stopping rule)."""
+        if not self.active or not outcome.ok:
+            return False
+        if (
+            self.target_latency is not None
+            and outcome.latency > self.target_latency
+        ):
+            return False
+        if self.max_area is not None and outcome.area_total > self.max_area:
+            return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Dominance pruning of pending corners
+# ---------------------------------------------------------------------------
+
+
+def _dominance_signature(job: SynthesisJob) -> str:
+    """Everything about a job *except* the two monotone constraint
+    knobs (clock period, resource limits), canonically encoded and
+    hashed.  Two jobs with equal signatures differ only in how
+    constrained they are, which is what makes infeasibility transfer
+    between them.  Hashing keeps witnesses small (no retained copy of
+    the source text) and comparisons O(1)-sized."""
+    data = job.fingerprint_data()
+    script = dict(data["script"])
+    script.pop("clock_period", None)
+    script.pop("resource_limits", None)
+    data["script"] = script
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _limits_at_most(
+    tighter: Dict[str, int], looser: Dict[str, int]
+) -> bool:
+    """True when allocation *tighter* grants at most as many instances
+    of every unit as *looser* does (an absent unit is unlimited)."""
+    for unit, cap in looser.items():
+        if unit not in tighter or tighter[unit] > cap:
+            return False
+    return True
+
+
+@dataclass
+class _Witness:
+    signature: str
+    clock: float
+    limits: Dict[str, int]
+    label: str
+
+
+class InfeasiblePruner:
+    """Accumulates deterministically infeasible corners and vetoes
+    pending corners they provably doom."""
+
+    def __init__(self) -> None:
+        self._witnesses: List[_Witness] = []
+
+    def __len__(self) -> int:
+        return len(self._witnesses)
+
+    def observe(self, job: SynthesisJob, outcome: SynthesisOutcome) -> None:
+        """Record an executed (or recalled) outcome as pruning evidence.
+
+        Only the scheduler's constraint failures count: environment
+        errors say nothing about the design space, other deterministic
+        failures are not monotone in the constraint knobs, and
+        outcomes that were themselves pruned add no evidence beyond
+        their witness (dominance is transitive)."""
+        if outcome.ok or outcome.error_kind != ERROR_KIND_UNSCHEDULABLE:
+            return
+        if outcome.provenance == "pruned":
+            return
+        self._witnesses.append(
+            _Witness(
+                signature=_dominance_signature(job),
+                clock=job.script.clock_period,
+                limits=dict(job.script.resource_limits),
+                label=job.label or "<unlabelled>",
+            )
+        )
+
+    def veto(self, job: SynthesisJob) -> Optional[str]:
+        """The label of a witness proving *job* infeasible, or None.
+
+        A witness applies when the pending job is identical apart from
+        the constraint knobs, its clock period is at most the
+        witness's, and its resource allocation is at most as generous
+        per unit — i.e. the pending job is at least as hard as a job
+        that already failed deterministically."""
+        signature = _dominance_signature(job)
+        clock = job.script.clock_period
+        limits = job.script.resource_limits
+        for witness in self._witnesses:
+            if (
+                witness.signature == signature
+                and clock <= witness.clock
+                and _limits_at_most(limits, witness.limits)
+            ):
+                return witness.label
+        return None

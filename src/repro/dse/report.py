@@ -46,7 +46,7 @@ def format_table(
                 f"infeasible: {outcome.error}"
             )
             continue
-        source = "cache" if outcome.cached else "run"
+        source = outcome.provenance or ("cache" if outcome.cached else "run")
         lines.append(
             f"{rank:>3} {outcome.label:<{label_width}} "
             f"{outcome.num_states:>6} {outcome.cycles:>6} "
@@ -58,15 +58,37 @@ def format_table(
 
 
 def summarize(result: ExplorationResult) -> str:
-    """One-line sweep summary: sizes, cache traffic, wall clock."""
+    """One-line sweep summary: sizes, cache traffic, pruning/early-exit
+    savings, wall clock."""
     total = len(result.outcomes)
     infeasible = total - len(result.feasible)
     text = (
         f"{total} design points: {result.cache_hits} cache hits, "
-        f"{result.executed} synthesized "
-        f"({result.workers} worker{'s' if result.workers != 1 else ''}), "
+        f"{result.executed} synthesized"
+    )
+    if result.pruned:
+        text += f", {result.pruned} pruned"
+    if result.skipped:
+        text += f", {result.skipped} skipped"
+    text += (
+        f" ({result.workers} worker{'s' if result.workers != 1 else ''}), "
         f"{result.elapsed:.2f}s"
     )
     if infeasible:
         text += f", {infeasible} infeasible"
+    if result.goal_met:
+        text += ", target met"
     return text
+
+
+def format_frontier(outcomes: Sequence[SynthesisOutcome]) -> str:
+    """The Pareto frontier as compact ``latency/area`` lines."""
+    lines = ["latency/area frontier:"]
+    for outcome in outcomes:
+        lines.append(
+            f"  latency {outcome.latency:>8.1f}  area "
+            f"{outcome.area_total:>8.1f}  {outcome.label}"
+        )
+    if len(lines) == 1:
+        lines.append("  (empty: no feasible points)")
+    return "\n".join(lines)

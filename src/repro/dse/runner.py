@@ -1,46 +1,86 @@
-"""The exploration engine: cache-aware parallel job fan-out.
+"""The exploration engine: adaptive, streaming, cache-aware fan-out.
 
-The engine is intentionally simple and deterministic:
+The engine evolved from a batch ``Pool.map`` into an adaptive loop:
 
 1. every job is keyed by content hash and looked up in the on-disk
-   cache (when caching is enabled);
-2. the misses are executed — across a ``multiprocessing`` pool when
-   ``workers > 1`` and more than one job is pending, serially
-   otherwise (no pool spin-up cost on all-hit re-runs);
-3. fresh outcomes are written back to the cache;
-4. results come back in job order regardless of completion order.
+   cache (when caching is enabled); hits stream straight to the
+   caller's ``on_outcome`` callback and seed the Pareto frontier and
+   the dominance pruner;
+2. misses execute as a *stream* — serially when ``workers == 1``,
+   otherwise through a bounded ``apply_async`` window over a
+   ``multiprocessing`` pool, so each completion is observed the moment
+   it lands rather than at an end-of-sweep barrier;
+3. each completion updates the latency/area frontier, may satisfy the
+   sweep goal (``target_latency`` / ``max_area``) and stop the sweep
+   early, and may prove pending corners infeasible by dominance so
+   they are pruned without ever running;
+4. cacheable fresh outcomes (successes and deterministic
+   infeasibility — never environment trouble) are written back;
+5. results come back in job order regardless of completion order.
 
 ``execute_job`` is a pure module-level function over picklable
-dataclasses, which is exactly what ``Pool.map`` needs; environment
-factories (external callables, libraries) are resolved inside each
-worker, never shipped across the process boundary.
+dataclasses; environment factories (external callables, libraries)
+are resolved inside each worker, never shipped across the process
+boundary.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import queue
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from repro.dse.cache import ResultCache, default_cache_dir, job_key
-from repro.spark import SynthesisJob, SynthesisOutcome, execute_job
+from repro.dse.cache import (
+    ResultCache,
+    default_cache_dir,
+    job_key,
+    names_bare_cwd,
+)
+from repro.dse.pareto import InfeasiblePruner, ParetoFront, SweepGoal
+from repro.dse.service import maybe_auto_gc
+from repro.spark import (
+    ERROR_KIND_ENVIRONMENT,
+    ERROR_KIND_UNSCHEDULABLE,
+    SynthesisJob,
+    SynthesisOutcome,
+    execute_job,
+)
+
+#: Callback invoked once per settled outcome (hit, fresh run or prune),
+#: in completion order.
+OutcomeCallback = Callable[[SynthesisOutcome], None]
 
 
 @dataclass
 class ExplorationResult:
-    """Everything one sweep produced, in job order."""
+    """Everything one sweep produced, in job order.
+
+    ``outcomes`` holds every job that *settled* — executed, recalled
+    from cache, or pruned as provably infeasible.  Jobs abandoned by
+    an early exit are only counted (``skipped``), never fabricated.
+    """
 
     outcomes: List[SynthesisOutcome] = field(default_factory=list)
     cache_hits: int = 0
     executed: int = 0
+    pruned: int = 0
+    skipped: int = 0
+    goal_met: bool = False
     elapsed: float = 0.0
     workers: int = 1
+    front: ParetoFront = field(default_factory=ParetoFront)
 
     @property
     def feasible(self) -> List[SynthesisOutcome]:
         return [outcome for outcome in self.outcomes if outcome.ok]
+
+    @property
+    def frontier(self) -> List[SynthesisOutcome]:
+        """The latency/area non-dominated outcomes, fastest first."""
+        return self.front.points()
 
     def ranked(self) -> List[SynthesisOutcome]:
         """Outcomes by ascending score (best design point first);
@@ -54,14 +94,41 @@ class ExplorationResult:
         return min(feasible, key=lambda outcome: outcome.score())
 
 
+def _pruned_outcome(job: SynthesisJob, witness: str) -> SynthesisOutcome:
+    """The outcome recorded for a corner proven infeasible by
+    dominance: infeasible like its witness, but tagged so it is never
+    cached and its origin is visible in reports."""
+    return SynthesisOutcome(
+        label=job.label,
+        ok=False,
+        error=f"pruned: dominated by infeasible point `{witness}`",
+        error_kind=ERROR_KIND_UNSCHEDULABLE,
+        provenance="pruned",
+        clock_period=job.script.clock_period,
+    )
+
+
+def _failure_outcome(job: SynthesisJob, error: BaseException) -> SynthesisOutcome:
+    """Fallback for pool-level failures (e.g. a result that cannot be
+    unpickled) — classified as environment trouble, never cached."""
+    return SynthesisOutcome(
+        label=job.label,
+        ok=False,
+        error=f"{type(error).__name__}: {error}",
+        error_kind=ERROR_KIND_ENVIRONMENT,
+        clock_period=job.script.clock_period,
+    )
+
+
 class ExplorationEngine:
-    """Runs batches of synthesis jobs with memoization.
+    """Runs batches of synthesis jobs with memoization, streaming
+    results, Pareto tracking, dominance pruning and early exit.
 
     Parameters
     ----------
     cache_dir:
-        cache directory; ``None`` selects the default location and
-        ``False``-y empty string disables caching entirely.
+        cache directory; ``None`` selects the default location and an
+        empty string disables caching entirely.
     workers:
         process-pool width for cache misses; ``1`` runs in-process.
     """
@@ -76,52 +143,184 @@ class ExplorationEngine:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.cache: Optional[ResultCache] = None
-        if use_cache:
+        # An empty cache_dir means "no cache", exactly like
+        # use_cache=False.  Path("") silently becomes the *current
+        # directory*, so every spelling that normalizes to the cwd
+        # root ("", ".", "./", Path("")) is treated as disabled rather
+        # than spraying <sha>.json entries next to the user's files.
+        # A deliberate cwd-relative cache needs an explicit "./name".
+        if use_cache and (cache_dir is None or not names_bare_cwd(cache_dir)):
             self.cache = ResultCache(
                 cache_dir if cache_dir is not None else default_cache_dir()
             )
 
-    def explore(self, jobs: Sequence[SynthesisJob]) -> ExplorationResult:
-        """Execute (or recall) every job; outcomes match job order."""
+    def explore(
+        self,
+        jobs: Sequence[SynthesisJob],
+        on_outcome: Optional[OutcomeCallback] = None,
+        target_latency: Optional[float] = None,
+        max_area: Optional[float] = None,
+        prune: bool = True,
+    ) -> ExplorationResult:
+        """Execute (or recall, or prune) every job.
+
+        ``on_outcome`` fires once per settled outcome in completion
+        order; ``result.outcomes`` stays in job order.  With a
+        ``target_latency`` and/or ``max_area`` goal the sweep stops as
+        soon as a feasible outcome satisfies every set constraint;
+        with ``prune`` (the default) pending corners provably at least
+        as constrained as an observed deterministically-infeasible
+        corner are marked infeasible without executing.
+        """
         started = time.perf_counter()
+        goal = SweepGoal(target_latency=target_latency, max_area=max_area)
         result = ExplorationResult(workers=self.workers)
         outcomes: List[Optional[SynthesisOutcome]] = [None] * len(jobs)
+        pruner = InfeasiblePruner() if prune else None
         pending: List[Tuple[int, str, SynthesisJob]] = []
 
+        def settle(index: int, outcome: SynthesisOutcome) -> bool:
+            """Record one settled outcome; True when it meets the goal."""
+            outcomes[index] = outcome
+            result.front.update(outcome)
+            if pruner is not None:
+                pruner.observe(jobs[index], outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            return goal.satisfied_by(outcome)
+
+        goal_met = False
         for index, job in enumerate(jobs):
             key = job_key(job) if self.cache is not None else ""
             cached = self.cache.get(key) if self.cache is not None else None
             if cached is not None:
                 cached.label = job.label  # labels are presentation-only
-                outcomes[index] = cached
                 result.cache_hits += 1
+                if settle(index, cached):
+                    # A recalled outcome met the goal: don't hash or
+                    # read another entry, count the unscanned tail as
+                    # skipped along with the misses seen so far.
+                    goal_met = True
+                    result.skipped += len(jobs) - (index + 1)
+                    break
             else:
                 pending.append((index, key, job))
 
-        if pending:
-            fresh = self._execute(
-                [job for _, _, job in pending]
-            )
-            for (index, key, _job), outcome in zip(pending, fresh):
-                outcomes[index] = outcome
-                if self.cache is not None:
-                    self.cache.put(key, outcome)
-            result.executed = len(pending)
+        if pending and not goal_met:
+            goal_met = self._run_pending(pending, result, pruner, settle)
+        elif pending:
+            result.skipped += len(pending)
 
+        result.goal_met = goal_met
         result.outcomes = [
             outcome for outcome in outcomes if outcome is not None
         ]
         result.elapsed = time.perf_counter() - started
+        if self.cache is not None:
+            maybe_auto_gc(self.cache.root)
         return result
 
-    def _execute(
-        self, jobs: List[SynthesisJob]
-    ) -> List[SynthesisOutcome]:
-        if self.workers > 1 and len(jobs) > 1:
-            pool_size = min(self.workers, len(jobs))
-            with multiprocessing.Pool(processes=pool_size) as pool:
-                return pool.map(execute_job, jobs)
-        return [execute_job(job) for job in jobs]
+    # -- execution ----------------------------------------------------------
+
+    def _settle_fresh(
+        self,
+        index: int,
+        key: str,
+        outcome: SynthesisOutcome,
+        result: ExplorationResult,
+        settle: Callable[[int, SynthesisOutcome], bool],
+    ) -> bool:
+        result.executed += 1
+        if self.cache is not None:
+            self.cache.put(key, outcome)  # put drops uncacheable outcomes
+        return settle(index, outcome)
+
+    def _run_pending(
+        self,
+        pending: List[Tuple[int, str, SynthesisJob]],
+        result: ExplorationResult,
+        pruner: Optional[InfeasiblePruner],
+        settle: Callable[[int, SynthesisOutcome], bool],
+    ) -> bool:
+        if self.workers > 1 and len(pending) > 1:
+            return self._run_pending_pool(pending, result, pruner, settle)
+        goal_met = False
+        for position, (index, key, job) in enumerate(pending):
+            if goal_met:
+                result.skipped = len(pending) - position
+                break
+            witness = pruner.veto(job) if pruner is not None else None
+            if witness is not None:
+                result.pruned += 1
+                settle(index, _pruned_outcome(job, witness))
+                continue
+            if self._settle_fresh(index, key, execute_job(job), result, settle):
+                goal_met = True
+        return goal_met
+
+    def _run_pending_pool(
+        self,
+        pending: List[Tuple[int, str, SynthesisJob]],
+        result: ExplorationResult,
+        pruner: Optional[InfeasiblePruner],
+        settle: Callable[[int, SynthesisOutcome], bool],
+    ) -> bool:
+        """Streaming parallel execution: a bounded ``apply_async``
+        window (one slot per worker) instead of a single ``map``
+        barrier, so completions are observed as they land and the
+        undispatched tail can still be pruned or skipped."""
+        pool_size = min(self.workers, len(pending))
+        completed: "queue.SimpleQueue[Tuple[int, str, SynthesisOutcome]]" = (
+            queue.SimpleQueue()
+        )
+        goal_met = False
+        cursor = 0
+        outstanding = 0
+        with multiprocessing.Pool(processes=pool_size) as pool:
+            while True:
+                # Dispatch up to the window, pruning at dispatch time so
+                # evidence from completions retires the queue's tail.
+                while (
+                    not goal_met
+                    and cursor < len(pending)
+                    and outstanding < pool_size
+                ):
+                    index, key, job = pending[cursor]
+                    cursor += 1
+                    witness = (
+                        pruner.veto(job) if pruner is not None else None
+                    )
+                    if witness is not None:
+                        result.pruned += 1
+                        settle(index, _pruned_outcome(job, witness))
+                        continue
+                    pool.apply_async(
+                        execute_job,
+                        (job,),
+                        callback=(
+                            lambda outcome, index=index, key=key:
+                            completed.put((index, key, outcome))
+                        ),
+                        error_callback=(
+                            lambda error, index=index, key=key, job=job:
+                            completed.put(
+                                (index, key, _failure_outcome(job, error))
+                            )
+                        ),
+                    )
+                    outstanding += 1
+                if outstanding == 0:
+                    # The dispatch loop above only stops with an empty
+                    # window when the goal is met or the queue is
+                    # exhausted (pruned jobs settle inline and the
+                    # loop keeps dispatching), so this is the exit.
+                    break
+                index, key, outcome = completed.get()
+                outstanding -= 1
+                if self._settle_fresh(index, key, outcome, result, settle):
+                    goal_met = True
+        result.skipped += len(pending) - cursor
+        return goal_met
 
 
 def explore(
@@ -129,9 +328,19 @@ def explore(
     workers: int = 1,
     cache_dir: Union[str, Path, None] = None,
     use_cache: bool = True,
+    on_outcome: Optional[OutcomeCallback] = None,
+    target_latency: Optional[float] = None,
+    max_area: Optional[float] = None,
+    prune: bool = True,
 ) -> ExplorationResult:
     """One-call convenience sweep."""
     engine = ExplorationEngine(
         cache_dir=cache_dir, workers=workers, use_cache=use_cache
     )
-    return engine.explore(jobs)
+    return engine.explore(
+        jobs,
+        on_outcome=on_outcome,
+        target_latency=target_latency,
+        max_area=max_area,
+        prune=prune,
+    )

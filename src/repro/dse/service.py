@@ -1,0 +1,436 @@
+"""The shared outcome-cache service: locking, indexing, LRU eviction.
+
+Multiple exploration engines — across processes and across machines
+sharing a filesystem — point at one cache directory via
+``$REPRO_DSE_CACHE``.  The storage layer (:mod:`repro.dse.cache`)
+already makes individual writes safe (atomic temp-file renames) and
+individual reads self-healing (corrupt entries drop as misses); this
+module adds the *directory-level* operations that need coordination:
+
+* :class:`DirectoryLock` — an advisory exclusive lock
+  (``flock``-based where available, ``O_EXCL`` spin-lock fallback)
+  so maintenance never races maintenance;
+* :class:`CacheService` — stats, clear and size-bounded LRU garbage
+  collection over the shared directory, plus a materialized index
+  (``index.meta``, rewritten by ``gc``/``reindex``) so ``repro cache
+  stats --fast`` on a million-entry cache does not re-stat the world.
+
+Recency is tracked through entry mtimes: :meth:`ResultCache.get`
+touches an entry on every hit, so ``gc`` evicting oldest-mtime-first
+is least-recently-*used*, not least-recently-written.  Eviction and
+concurrent sweeps compose safely: a reader that loses an entry
+mid-read sees an ordinary miss and re-synthesizes.
+
+The size budget comes from ``--max-bytes``, the
+``$REPRO_DSE_CACHE_MAX_BYTES`` environment variable, or a 256 MiB
+default, in that order.  When the environment variable is set, the
+exploration engine also garbage-collects opportunistically after
+every sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.dse.cache import default_cache_dir
+
+try:  # POSIX only; the spin-lock fallback covers the rest.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: Environment variable bounding the shared cache size in bytes.
+MAX_BYTES_ENV_VAR = "REPRO_DSE_CACHE_MAX_BYTES"
+
+#: Default size budget when neither the argument nor the environment
+#: variable is set.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Materialized index file name.  Deliberately *not* ``*.json`` so the
+#: storage layer's entry globs never mistake it for an outcome.
+INDEX_NAME = "index.meta"
+
+LOCK_NAME = ".lock"
+
+#: Orphaned temp files (a worker died mid-write) older than this are
+#: swept by ``gc``.
+STALE_TEMP_SECONDS = 3600.0
+
+
+class CacheLockTimeout(TimeoutError):
+    """Raised when the directory lock cannot be acquired in time."""
+
+
+def _env_max_bytes() -> int:
+    """``$REPRO_DSE_CACHE_MAX_BYTES`` as an int, or the default when
+    unset, unparseable or non-positive (a typo'd budget must degrade,
+    not crash a sweep — or worse, silently wipe the shared cache on
+    every auto-gc)."""
+    env = os.environ.get(MAX_BYTES_ENV_VAR, "")
+    try:
+        value = int(env)
+    except ValueError:
+        return DEFAULT_MAX_BYTES
+    return value if value > 0 else DEFAULT_MAX_BYTES
+
+
+class DirectoryLock:
+    """Advisory exclusive lock over one cache directory.
+
+    Uses ``flock`` on a sentinel file where available (locks die with
+    the holder, so a crashed process never wedges the cache, and
+    exclusion is kernel-enforced).  Elsewhere it falls back to an
+    ``O_CREAT|O_EXCL`` spin lock where a lock file older than
+    ``stale_after`` seconds is treated as abandoned by a crashed
+    holder and broken.  The fallback is best-effort advisory locking:
+    age is the only liveness signal, so a holder that legitimately
+    works longer than ``stale_after`` (default: one hour) can be
+    broken, and the break/restore dance has a narrow theoretical race
+    window — acceptable for cache maintenance, where the protected
+    operations are themselves crash-safe (atomic renames, and readers
+    treat missing entries as misses)."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        timeout: float = 10.0,
+        poll: float = 0.05,
+        stale_after: float = 3600.0,
+    ) -> None:
+        self.root = Path(root)
+        self.timeout = timeout
+        self.poll = poll
+        self.stale_after = stale_after
+        self._fd: Optional[int] = None
+        self._spin_path: Optional[Path] = None
+
+    def acquire(self) -> None:
+        deadline = time.monotonic() + self.timeout
+        lock_path = self.root / LOCK_NAME
+        if fcntl is not None:
+            fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    self._fd = fd
+                    return
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        os.close(fd)
+                        raise CacheLockTimeout(
+                            f"cache lock busy for {self.timeout:.1f}s: "
+                            f"{lock_path}"
+                        ) from None
+                    time.sleep(self.poll)
+        spin_path = self.root / (LOCK_NAME + ".pid")
+        while True:
+            try:
+                fd = os.open(
+                    spin_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                self._spin_path = spin_path
+                return
+            except FileExistsError:
+                self._break_stale_spin_lock(spin_path)
+                if time.monotonic() >= deadline:
+                    raise CacheLockTimeout(
+                        f"cache lock busy for {self.timeout:.1f}s: "
+                        f"{spin_path}"
+                    ) from None
+                time.sleep(self.poll)
+
+    def _break_stale_spin_lock(self, spin_path: Path) -> None:
+        """Remove a spin-lock file abandoned by a crashed holder (no
+        living process refreshes it, so age is the only signal).
+
+        Breaking happens by atomic *rename* to a per-breaker grave
+        name, never by direct unlink: when several waiters decide the
+        lock is stale at once, exactly one rename succeeds, so two
+        waiters can never each remove a lock file (the classic
+        stat-then-unlink race that would let two of them acquire).
+        After winning the rename the age is re-checked; a lock that
+        turns out to be live (replaced between stat and rename) is
+        restored via ``os.link``, which fails harmlessly if a newer
+        holder has taken the slot meanwhile."""
+        try:
+            if time.time() - spin_path.stat().st_mtime <= self.stale_after:
+                return
+        except OSError:  # already released
+            return
+        grave = spin_path.with_name(
+            f"{spin_path.name}.broken-{os.getpid()}"
+        )
+        try:
+            os.rename(spin_path, grave)
+        except OSError:  # another waiter broke it (or it was released)
+            return
+        try:
+            stolen_live = (
+                time.time() - grave.stat().st_mtime <= self.stale_after
+            )
+        except OSError:
+            stolen_live = False
+        if stolen_live:
+            try:
+                os.link(grave, spin_path)
+            except OSError:
+                pass
+        try:
+            grave.unlink()
+        except OSError:
+            pass
+
+    def release(self) -> None:
+        if self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)  # type: ignore[union-attr]
+            finally:
+                os.close(self._fd)
+                self._fd = None
+        if self._spin_path is not None:
+            try:
+                self._spin_path.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            self._spin_path = None
+
+    def __enter__(self) -> "DirectoryLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One indexed outcome file."""
+
+    key: str
+    path: Path
+    bytes: int
+    mtime: float
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time view of the shared cache."""
+
+    root: Path
+    entries: int
+    total_bytes: int
+    max_bytes: int
+
+    @property
+    def utilization(self) -> float:
+        if self.max_bytes <= 0:
+            return 0.0
+        return self.total_bytes / self.max_bytes
+
+    def describe(self) -> str:
+        return (
+            f"cache {self.root}\n"
+            f"  entries:     {self.entries}\n"
+            f"  total bytes: {self.total_bytes}\n"
+            f"  size budget: {self.max_bytes} "
+            f"({self.utilization:.1%} used)"
+        )
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """What one garbage collection did."""
+
+    examined: int
+    evicted: int
+    freed_bytes: int
+    kept_bytes: int
+    stale_temps: int
+
+    def describe(self) -> str:
+        return (
+            f"gc: examined {self.examined} entries, evicted "
+            f"{self.evicted} ({self.freed_bytes} bytes), kept "
+            f"{self.kept_bytes} bytes, swept {self.stale_temps} "
+            f"stale temp file(s)"
+        )
+
+
+class CacheService:
+    """Maintenance operations over one shared cache directory."""
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        max_bytes: Optional[int] = None,
+        lock_timeout: float = 10.0,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.root.mkdir(parents=True, exist_ok=True)
+        if max_bytes is None:
+            max_bytes = _env_max_bytes()
+        self.max_bytes = max_bytes
+        self.lock_timeout = lock_timeout
+
+    def lock(self) -> DirectoryLock:
+        return DirectoryLock(self.root, timeout=self.lock_timeout)
+
+    def entries(self) -> List[CacheEntry]:
+        """Every outcome file, by key.  Entries vanishing mid-scan
+        (a concurrent gc or clear) are skipped."""
+        found: List[CacheEntry] = []
+        for path in self.root.glob("*.json"):
+            if len(path.stem) != 64:  # not a SHA-256 outcome file
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            found.append(
+                CacheEntry(
+                    key=path.stem,
+                    path=path,
+                    bytes=stat.st_size,
+                    mtime=stat.st_mtime,
+                )
+            )
+        return found
+
+    def stats(self, fast: bool = False) -> CacheStats:
+        """A view of the cache: live (re-stat every entry) by default,
+        or from the materialized index of the last gc/``reindex`` when
+        *fast* — O(1) on a huge shared cache, possibly stale.  Falls
+        back to the live scan when no index exists yet."""
+        if fast:
+            index = self.read_index()
+            if index is not None:
+                return CacheStats(
+                    root=self.root,
+                    entries=len(index.get("entries", {})),
+                    total_bytes=int(index.get("total_bytes", 0)),
+                    max_bytes=self.max_bytes,
+                )
+        entries = self.entries()
+        return CacheStats(
+            root=self.root,
+            entries=len(entries),
+            total_bytes=sum(entry.bytes for entry in entries),
+            max_bytes=self.max_bytes,
+        )
+
+    def clear(self) -> int:
+        """Drop every entry (and the index) under the lock; returns
+        the number of entries removed."""
+        with self.lock():
+            removed = 0
+            for entry in self.entries():
+                try:
+                    entry.path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                (self.root / INDEX_NAME).unlink()
+            except OSError:
+                pass
+            return removed
+
+    def gc(self) -> GCReport:
+        """Enforce the size budget: evict least-recently-used entries
+        until the survivors fit, sweep stale temp files, rewrite the
+        index.  Runs under the directory lock."""
+        with self.lock():
+            entries = sorted(
+                self.entries(), key=lambda e: e.mtime, reverse=True
+            )
+            kept: List[CacheEntry] = []
+            kept_bytes = 0
+            evicted = 0
+            freed = 0
+            for entry in entries:  # newest first: keep while we fit
+                if kept_bytes + entry.bytes <= self.max_bytes:
+                    kept.append(entry)
+                    kept_bytes += entry.bytes
+                    continue
+                try:
+                    entry.path.unlink()
+                    evicted += 1
+                    freed += entry.bytes
+                except OSError:
+                    pass
+            stale = self._sweep_stale_temps()
+            self._write_index(kept)
+            return GCReport(
+                examined=len(entries),
+                evicted=evicted,
+                freed_bytes=freed,
+                kept_bytes=kept_bytes,
+                stale_temps=stale,
+            )
+
+    def reindex(self) -> int:
+        """Rewrite the materialized index from the directory contents
+        (under the lock); returns the number of entries indexed."""
+        with self.lock():
+            entries = self.entries()
+            self._write_index(entries)
+            return len(entries)
+
+    def read_index(self) -> Optional[dict]:
+        """The last materialized index, or None when absent/corrupt."""
+        try:
+            with open(
+                self.root / INDEX_NAME, "r", encoding="utf-8"
+            ) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    # -- internals ----------------------------------------------------------
+
+    def _write_index(self, entries: List[CacheEntry]) -> None:
+        index = {
+            "format": 1,
+            "max_bytes": self.max_bytes,
+            "total_bytes": sum(entry.bytes for entry in entries),
+            "entries": {
+                entry.key: {"bytes": entry.bytes, "mtime": entry.mtime}
+                for entry in entries
+            },
+        }
+        temp = self.root / (INDEX_NAME + ".tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(index, handle, sort_keys=True)
+        os.replace(temp, self.root / INDEX_NAME)
+
+    def _sweep_stale_temps(self) -> int:
+        """Remove orphaned temp files from crashed writers."""
+        horizon = time.time() - STALE_TEMP_SECONDS
+        swept = 0
+        for path in self.root.glob(".tmp-*"):
+            try:
+                if path.stat().st_mtime < horizon:
+                    path.unlink()
+                    swept += 1
+            except OSError:
+                continue
+        return swept
+
+
+def maybe_auto_gc(root: Union[str, Path]) -> Optional[GCReport]:
+    """Opportunistic post-sweep garbage collection: runs only when
+    ``$REPRO_DSE_CACHE_MAX_BYTES`` asks for a bounded cache, and never
+    lets maintenance trouble (lock contention, races) fail a sweep."""
+    if not os.environ.get(MAX_BYTES_ENV_VAR):
+        return None
+    try:
+        return CacheService(root, lock_timeout=1.0).gc()
+    except Exception:
+        return None

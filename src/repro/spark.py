@@ -35,7 +35,7 @@ from repro.interp.evaluator import Interpreter, MachineState
 from repro.ir.builder import design_from_source
 from repro.ir.htg import Design
 from repro.ir.printer import print_design
-from repro.scheduler.list_scheduler import ChainingScheduler
+from repro.scheduler.list_scheduler import ChainingScheduler, SchedulingError
 from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
 from repro.scheduler.schedule import StateMachine
 from repro.transforms.base import PassManager, PassReport, SynthesisScript
@@ -120,6 +120,24 @@ def resolve_environment_factory(
             f"{type(environment).__name__}, expected JobEnvironment"
         )
     return environment
+
+
+#: Deterministic failures — a function of the job content alone (parse
+#: errors, emission/measurement failures).  Safe to memoize:
+#: re-running the same job can only fail the same way.
+ERROR_KIND_INFEASIBLE = "infeasible"
+
+#: The scheduler's constraint failures (:class:`SchedulingError`): a
+#: deterministic subset that is additionally *monotone* in the clock
+#: period and the resource limits — shrinking either can only keep the
+#: corner unschedulable.  The only failure class the dominance pruner
+#: may use as evidence.
+ERROR_KIND_UNSCHEDULABLE = "unschedulable"
+
+#: Environment/setup failures — a function of the machine, not the job
+#: (missing modules, broken factories, I/O, memory pressure).  Never
+#: memoized: the next run may well succeed.
+ERROR_KIND_ENVIRONMENT = "environment"
 
 
 @dataclass
@@ -208,6 +226,12 @@ class SynthesisOutcome:
     label: str = ""
     ok: bool = True
     error: str = ""
+    #: Failure class when ``ok`` is False:
+    #: :data:`ERROR_KIND_UNSCHEDULABLE` for the scheduler's monotone
+    #: constraint failures, :data:`ERROR_KIND_INFEASIBLE` for other
+    #: deterministic failures, :data:`ERROR_KIND_ENVIRONMENT` for
+    #: machine/setup trouble (never cached).  Empty when ``ok``.
+    error_kind: str = ""
     num_states: int = 0
     single_cycle: bool = False
     scheduled_ops: int = 0
@@ -223,6 +247,22 @@ class SynthesisOutcome:
     verilog: str = ""
     elapsed: float = 0.0
     cached: bool = False
+    #: Where this outcome came from, per invocation: ``"run"`` (fresh
+    #: execution), ``"cache"`` (recalled), or ``"pruned"`` (inferred
+    #: infeasible by dominance, never executed).  Not persisted.
+    provenance: str = "run"
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether memoizing this outcome is sound: successes and
+        deterministic infeasibility, never environment trouble or
+        outcomes that were themselves inferred rather than executed."""
+        if self.provenance == "pruned":
+            return False
+        return self.ok or self.error_kind in (
+            ERROR_KIND_INFEASIBLE,
+            ERROR_KIND_UNSCHEDULABLE,
+        )
 
     @property
     def cycles(self) -> int:
@@ -240,22 +280,40 @@ class SynthesisOutcome:
     def to_dict(self) -> Dict[str, object]:
         data = asdict(self)
         data.pop("cached")  # per-invocation, never persisted
+        data.pop("provenance")
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SynthesisOutcome":
         known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
         known.pop("cached", None)
+        known.pop("provenance", None)
         return cls(**known)
 
 
 def execute_job(job: SynthesisJob) -> SynthesisOutcome:
     """Run one job start to finish; never raises — failures come back
-    as ``ok=False`` outcomes so a sweep survives infeasible corners."""
+    as ``ok=False`` outcomes so a sweep survives infeasible corners.
+
+    Failures are classified on the way out: anything thrown while
+    resolving the environment factory (import errors, broken
+    factories) and machine-level trouble during synthesis (``OSError``,
+    ``MemoryError``) is :data:`ERROR_KIND_ENVIRONMENT` — transient,
+    never memoized.  Everything else is a deterministic function of the
+    job content and tagged :data:`ERROR_KIND_INFEASIBLE`.
+    """
     started = time.perf_counter()
     outcome = SynthesisOutcome(label=job.label)
     try:
-        session = SparkSession.from_job(job)
+        environment = job.resolve_environment()
+    except Exception as error:
+        outcome.ok = False
+        outcome.error_kind = ERROR_KIND_ENVIRONMENT
+        outcome.error = f"{type(error).__name__}: {error}"
+        outcome.elapsed = time.perf_counter() - started
+        return outcome
+    try:
+        session = SparkSession.from_job(job, environment=environment)
         result = session.run(bind=True, emit=job.emit)
         sm = result.state_machine
         outcome.num_states = sm.num_states
@@ -286,8 +344,17 @@ def execute_job(job: SynthesisJob) -> SynthesisOutcome:
             )
             outcome.measured_cycles = rtl.cycles
         outcome.latency = outcome.cycles * job.script.clock_period
-    except Exception as error:  # infeasible corner, parse error, ...
+    except (OSError, MemoryError) as error:  # machine trouble, not the job
         outcome.ok = False
+        outcome.error_kind = ERROR_KIND_ENVIRONMENT
+        outcome.error = f"{type(error).__name__}: {error}"
+    except SchedulingError as error:  # constraint-bound: monotone evidence
+        outcome.ok = False
+        outcome.error_kind = ERROR_KIND_UNSCHEDULABLE
+        outcome.error = f"{type(error).__name__}: {error}"
+    except Exception as error:  # parse error, emission/measurement, ...
+        outcome.ok = False
+        outcome.error_kind = ERROR_KIND_INFEASIBLE
         outcome.error = f"{type(error).__name__}: {error}"
     outcome.elapsed = time.perf_counter() - started
     return outcome
@@ -312,10 +379,16 @@ class SparkSession:
         self.reports: List[PassReport] = []
 
     @classmethod
-    def from_job(cls, job: SynthesisJob) -> "SparkSession":
+    def from_job(
+        cls,
+        job: SynthesisJob,
+        environment: Optional[JobEnvironment] = None,
+    ) -> "SparkSession":
         """Construct the session a :class:`SynthesisJob` describes,
-        resolving its environment factory in this process."""
-        environment = job.resolve_environment()
+        resolving its environment factory in this process (pass a
+        pre-resolved *environment* to skip that step)."""
+        if environment is None:
+            environment = job.resolve_environment()
         return cls(
             job.source,
             script=job.script,

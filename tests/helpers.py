@@ -89,6 +89,20 @@ for (i = 1; i <= 8; i++) {
 """
 
 
+def flaky_environment(marker: str):
+    """A ``SynthesisJob`` environment factory that simulates a broken
+    worker environment: raises ``ImportError`` while the *marker* file
+    exists, succeeds once it is removed.  Used by the DSE tests to
+    prove transient environment failures are never memoized."""
+    from pathlib import Path
+
+    from repro.spark import JobEnvironment
+
+    if Path(marker).exists():
+        raise ImportError(f"flaky dependency unavailable ({marker})")
+    return JobEnvironment()
+
+
 def mini_ild_externals():
     """Deterministic pure externals for the mini-ILD fixture."""
     return {

@@ -1,0 +1,353 @@
+"""Tests for the shared cache service (repro.dse.service): locking,
+stats, LRU garbage collection, the ``repro cache`` CLI, and safe
+concurrent access to one cache directory from multiple writers."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.dse import (
+    ExplorationEngine,
+    grid_from_specs,
+    jobs_from_grid,
+)
+from repro.dse.cache import ResultCache
+from repro.dse.service import (
+    CacheLockTimeout,
+    CacheService,
+    DirectoryLock,
+    INDEX_NAME,
+    MAX_BYTES_ENV_VAR,
+    maybe_auto_gc,
+)
+from repro.spark import SynthesisOutcome
+from repro.transforms.base import SynthesisScript
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+def put_outcome(root, key, label="x", pad=0) -> None:
+    cache = ResultCache(root)
+    cache.put(
+        key, SynthesisOutcome(label=label, vhdl="-" * pad)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Concurrent access (the temp-file rename path in ResultCache.put)
+# ---------------------------------------------------------------------------
+
+
+def _hammer_cache(args):
+    """Worker: repeatedly write and read back one shared key.  Returns
+    the number of reads that came back missing or torn (must be 0 once
+    the key exists: os.replace is atomic)."""
+    root, key, worker_id, rounds = args
+    cache = ResultCache(root)
+    bad = 0
+    for round_number in range(rounds):
+        cache.put(
+            key,
+            SynthesisOutcome(
+                label=f"w{worker_id}-r{round_number}",
+                num_states=round_number,
+            ),
+        )
+        recalled = cache.get(key)
+        if recalled is None:  # corrupt entries drop and read as None
+            bad += 1
+    return bad
+
+
+class TestConcurrentAccess:
+    def test_simultaneous_writers_never_corrupt_an_entry(self, tmp_path):
+        """Two (and more) engines writing the same key at once must
+        leave a readable, well-formed entry — every read between
+        writes must succeed."""
+        workers = 4
+        rounds = 50
+        with multiprocessing.Pool(processes=workers) as pool:
+            torn_reads = pool.map(
+                _hammer_cache,
+                [(str(tmp_path), KEY_A, n, rounds) for n in range(workers)],
+            )
+        assert torn_reads == [0] * workers
+        # The survivor is one of the writers' records, intact.
+        final = ResultCache(tmp_path).get(KEY_A)
+        assert final is not None
+        assert final.label.startswith("w")
+        # Exactly one entry file, no leftover temp files.
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert list(tmp_path.glob(".tmp-*")) == []
+
+    def test_eviction_races_read_as_misses(self, tmp_path):
+        # gc removing an entry mid-sweep is an ordinary miss for any
+        # concurrent reader, never an error.
+        put_outcome(tmp_path, KEY_A)
+        service = CacheService(tmp_path, max_bytes=0)
+        service.gc()
+        assert ResultCache(tmp_path).get(KEY_A) is None
+
+
+# ---------------------------------------------------------------------------
+# The directory lock
+# ---------------------------------------------------------------------------
+
+
+class TestDirectoryLock:
+    def test_exclusion_and_timeout(self, tmp_path):
+        with DirectoryLock(tmp_path):
+            blocked = DirectoryLock(tmp_path, timeout=0.2, poll=0.02)
+            with pytest.raises(CacheLockTimeout):
+                blocked.acquire()
+
+    def test_release_lets_the_next_holder_in(self, tmp_path):
+        lock = DirectoryLock(tmp_path)
+        lock.acquire()
+        lock.release()
+        with DirectoryLock(tmp_path, timeout=0.2):
+            pass
+
+    def test_lock_is_reacquirable_across_threads(self, tmp_path):
+        order = []
+
+        def hold_then_release():
+            with DirectoryLock(tmp_path, timeout=5.0):
+                order.append("second")
+
+        with DirectoryLock(tmp_path):
+            worker = threading.Thread(target=hold_then_release)
+            worker.start()
+            time.sleep(0.1)
+            order.append("first")
+        worker.join(timeout=5.0)
+        assert order == ["first", "second"]
+
+
+# ---------------------------------------------------------------------------
+# Stats, clear, gc, index
+# ---------------------------------------------------------------------------
+
+
+class TestCacheService:
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        put_outcome(tmp_path, KEY_A)
+        put_outcome(tmp_path, KEY_B)
+        stats = CacheService(tmp_path, max_bytes=10_000).stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert 0.0 < stats.utilization
+        assert "entries:     2" in stats.describe()
+
+    def test_stats_ignores_foreign_files(self, tmp_path):
+        put_outcome(tmp_path, KEY_A)
+        (tmp_path / "notes.json").write_text("{}", encoding="utf-8")
+        (tmp_path / INDEX_NAME).write_text("{}", encoding="utf-8")
+        assert CacheService(tmp_path).stats().entries == 1
+
+    def test_clear_removes_everything(self, tmp_path):
+        put_outcome(tmp_path, KEY_A)
+        put_outcome(tmp_path, KEY_B)
+        service = CacheService(tmp_path)
+        service.reindex()
+        assert service.clear() == 2
+        assert service.stats().entries == 0
+        assert not (tmp_path / INDEX_NAME).exists()
+
+    def test_gc_evicts_least_recently_used_first(self, tmp_path):
+        put_outcome(tmp_path, KEY_A, pad=512)
+        put_outcome(tmp_path, KEY_B, pad=512)
+        put_outcome(tmp_path, KEY_C, pad=512)
+        now = time.time()
+        os.utime(tmp_path / f"{KEY_A}.json", (now - 300, now - 300))
+        os.utime(tmp_path / f"{KEY_B}.json", (now - 200, now - 200))
+        os.utime(tmp_path / f"{KEY_C}.json", (now - 100, now - 100))
+        entry_bytes = (tmp_path / f"{KEY_C}.json").stat().st_size
+
+        service = CacheService(tmp_path, max_bytes=2 * entry_bytes)
+        report = service.gc()
+        assert report.examined == 3
+        assert report.evicted == 1
+        assert report.freed_bytes > 0
+        # The oldest (least recently used) entry went first.
+        assert not (tmp_path / f"{KEY_A}.json").exists()
+        assert (tmp_path / f"{KEY_B}.json").exists()
+        assert (tmp_path / f"{KEY_C}.json").exists()
+
+    def test_cache_get_refreshes_recency(self, tmp_path):
+        # A hit must touch the entry so gc sees *use*, not just write.
+        put_outcome(tmp_path, KEY_A)
+        stale = time.time() - 1000
+        os.utime(tmp_path / f"{KEY_A}.json", (stale, stale))
+        assert ResultCache(tmp_path).get(KEY_A) is not None
+        assert (tmp_path / f"{KEY_A}.json").stat().st_mtime > stale + 500
+
+    def test_gc_writes_the_index(self, tmp_path):
+        put_outcome(tmp_path, KEY_A)
+        service = CacheService(tmp_path, max_bytes=10_000)
+        service.gc()
+        index = service.read_index()
+        assert index is not None
+        assert KEY_A in index["entries"]
+        assert index["total_bytes"] > 0
+
+    def test_gc_sweeps_stale_temp_files(self, tmp_path):
+        orphan = tmp_path / ".tmp-orphan.json"
+        orphan.write_text("{", encoding="utf-8")
+        ancient = time.time() - 7200
+        os.utime(orphan, (ancient, ancient))
+        fresh = tmp_path / ".tmp-live.json"
+        fresh.write_text("{", encoding="utf-8")
+        report = CacheService(tmp_path, max_bytes=10_000).gc()
+        assert report.stale_temps == 1
+        assert not orphan.exists()
+        assert fresh.exists()  # an in-flight writer is left alone
+
+    def test_max_bytes_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "1234")
+        assert CacheService(tmp_path).max_bytes == 1234
+        monkeypatch.delenv(MAX_BYTES_ENV_VAR)
+        assert CacheService(tmp_path).max_bytes > 1234  # the default
+        # A typo'd budget degrades to the default instead of crashing.
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "256MB")
+        assert CacheService(tmp_path).max_bytes > 1234
+        # A non-positive budget would make every auto-gc wipe the
+        # whole shared cache: it degrades to the default too.
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "-1")
+        assert CacheService(tmp_path).max_bytes > 1234
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "0")
+        assert CacheService(tmp_path).max_bytes > 1234
+
+    def test_fast_stats_answer_from_the_index(self, tmp_path):
+        put_outcome(tmp_path, KEY_A)
+        service = CacheService(tmp_path, max_bytes=10_000)
+        service.reindex()
+        put_outcome(tmp_path, KEY_B)  # not yet indexed
+        assert service.stats().entries == 2  # live scan sees both
+        assert service.stats(fast=True).entries == 1  # index is stale
+        # Without an index, fast stats fall back to the live scan.
+        (tmp_path / INDEX_NAME).unlink()
+        assert service.stats(fast=True).entries == 2
+
+    def test_stale_spin_lock_is_broken(self, tmp_path):
+        # The non-flock fallback: a lock file abandoned by a crashed
+        # holder must not wedge maintenance forever.
+        abandoned = tmp_path / ".lock.pid"
+        abandoned.write_text("99999", encoding="utf-8")
+        ancient = time.time() - 4000
+        os.utime(abandoned, (ancient, ancient))
+        lock = DirectoryLock(tmp_path, timeout=1.0, stale_after=300.0)
+        lock._break_stale_spin_lock(abandoned)
+        assert not abandoned.exists()
+        # A fresh lock file is left alone (its holder is alive).
+        fresh = tmp_path / ".lock.pid"
+        fresh.write_text("99999", encoding="utf-8")
+        lock._break_stale_spin_lock(fresh)
+        assert fresh.exists()
+
+    def test_auto_gc_only_runs_when_bounded(self, tmp_path, monkeypatch):
+        put_outcome(tmp_path, KEY_A)
+        monkeypatch.delenv(MAX_BYTES_ENV_VAR, raising=False)
+        assert maybe_auto_gc(tmp_path) is None
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "0")
+        # An unparseable/zero budget still never raises.
+        report = maybe_auto_gc(tmp_path)
+        assert report is None or report.evicted >= 0
+
+    def test_sweep_honors_cache_size_budget(self, tmp_path, monkeypatch):
+        """End to end: a bounded shared cache stays bounded across
+        engine sweeps (the engine gc's opportunistically)."""
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "600")
+        jobs = jobs_from_grid(
+            "int x;\nx = 1 + 2;",
+            grid_from_specs(["clock=2,3,4,6"]),
+            base_script=SynthesisScript(output_scalars={"x"}),
+        )
+        ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        stats = CacheService(tmp_path).stats()
+        assert stats.total_bytes <= 600
+
+
+# ---------------------------------------------------------------------------
+# The `repro cache` CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCacheCli:
+    def test_stats(self, tmp_path, capsys):
+        put_outcome(tmp_path, KEY_A)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:     1" in out
+
+    def test_clear(self, tmp_path, capsys):
+        put_outcome(tmp_path, KEY_A)
+        put_outcome(tmp_path, KEY_B)
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert CacheService(tmp_path).stats().entries == 0
+
+    def test_non_positive_max_bytes_is_rejected(self, tmp_path, capsys):
+        # `gc --max-bytes 0` would silently evict the entire cache.
+        put_outcome(tmp_path, KEY_A)
+        for bad in ("0", "-1"):
+            status = main(
+                ["cache", "gc", "--cache-dir", str(tmp_path),
+                 "--max-bytes", bad]
+            )
+            assert status == 2
+            assert "positive" in capsys.readouterr().err
+        assert CacheService(tmp_path).stats().entries == 1  # untouched
+
+    def test_gc_with_budget(self, tmp_path, capsys):
+        put_outcome(tmp_path, KEY_A, pad=512)
+        put_outcome(tmp_path, KEY_B, pad=512)
+        status = main(
+            ["cache", "gc", "--cache-dir", str(tmp_path), "--max-bytes", "1"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "evicted 2" in out
+        assert CacheService(tmp_path).stats().entries == 0
+
+    def test_respects_cache_env_var(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_DSE_CACHE", str(tmp_path))
+        put_outcome(tmp_path, KEY_A)
+        assert main(["cache", "stats"]) == 0
+        assert "entries:     1" in capsys.readouterr().out
+
+    def test_bare_cwd_cache_dir_is_rejected(self, tmp_path, monkeypatch, capsys):
+        # Regression guard: "", "." and "./" --cache-dir spellings must
+        # never make destructive maintenance operate on the cwd.
+        monkeypatch.chdir(tmp_path)
+        for spelling in ("", ".", "./"):
+            assert main(["cache", "clear", "--cache-dir", spelling]) == 2
+            assert "must name a real cache" in capsys.readouterr().err
+        assert list(tmp_path.iterdir()) == []  # no .lock, no index
+        # An explicit cwd-relative directory is fine.
+        assert main(["cache", "stats", "--cache-dir", "./cache"]) == 0
+
+    def test_fast_stats_flag(self, tmp_path, capsys):
+        put_outcome(tmp_path, KEY_A)
+        main(["cache", "gc", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        status = main(
+            ["cache", "stats", "--cache-dir", str(tmp_path), "--fast"]
+        )
+        assert status == 0
+        assert "entries:     1" in capsys.readouterr().out
+
+    def test_index_is_json(self, tmp_path):
+        put_outcome(tmp_path, KEY_A)
+        main(["cache", "gc", "--cache-dir", str(tmp_path)])
+        raw = (tmp_path / INDEX_NAME).read_text(encoding="utf-8")
+        assert KEY_A in json.loads(raw)["entries"]

@@ -17,11 +17,19 @@ from repro.dse import (
     grid_from_specs,
     job_key,
     jobs_from_grid,
+    parse_axis_value,
     parse_vary_spec,
     rank_outcomes,
     script_for_point,
 )
-from repro.spark import SynthesisJob, SynthesisOutcome, execute_job
+from repro.spark import (
+    ERROR_KIND_ENVIRONMENT,
+    ERROR_KIND_INFEASIBLE,
+    ERROR_KIND_UNSCHEDULABLE,
+    SynthesisJob,
+    SynthesisOutcome,
+    execute_job,
+)
 from repro.transforms.base import SynthesisScript
 from tests.helpers import SIMPLE_LOOP_SRC
 
@@ -92,6 +100,18 @@ class TestGrid:
             parse_vary_spec("speculation=maybe")
         with pytest.raises(GridError):
             parse_vary_spec("clock=")
+
+    def test_parse_rejects_non_finite_and_non_positive_clocks(self):
+        # Regression: "inf" parsed as a valid clock but crashed label
+        # rendering with OverflowError on int(value).
+        for bad in ("inf", "-inf", "nan", "0", "-4", "1e999"):
+            with pytest.raises(GridError, match="clock"):
+                parse_axis_value("clock", bad)
+        # The boundary of validity still parses.
+        assert parse_axis_value("clock", "0.5") == 0.5
+        # And a whole grid over a bad spec fails loudly, not at render.
+        with pytest.raises(GridError):
+            grid_from_specs(["clock=4,inf"])
 
     def test_script_for_point_preset_then_overrides(self):
         grid = grid_from_specs(["preset=up,asic", "clock=4"])
@@ -186,6 +206,83 @@ class TestCache:
         assert engine.cache is None
         result = engine.explore(jobs)
         assert result.executed == 1
+
+    def test_empty_cache_dir_disables_caching(self, tmp_path, monkeypatch):
+        # Regression: cache_dir="" is documented to disable caching but
+        # used to instantiate ResultCache(Path("")) and spray
+        # <sha>.json files into the current working directory.
+        monkeypatch.chdir(tmp_path)
+        engine = ExplorationEngine(cache_dir="", workers=1)
+        assert engine.cache is None
+        jobs = jobs_from_grid(
+            SWEEP_SRC, grid_from_specs(["clock=4"]), base_script=base_script()
+        )
+        result = engine.explore(jobs)
+        assert result.executed == 1
+        assert list(tmp_path.glob("*.json")) == []
+        # Path("") normalizes to Path(".") at construction, so the
+        # Path form of the same mistake must be caught too.
+        from pathlib import Path
+
+        assert ExplorationEngine(cache_dir=Path("")).cache is None
+        assert ExplorationEngine(cache_dir="./").cache is None
+        assert ExplorationEngine(cache_dir=".").cache is None
+        # An explicit relative path still caches normally.
+        relative = ExplorationEngine(cache_dir="./cache-here")
+        assert relative.cache is not None
+
+    def test_environment_errors_are_never_cached(self, tmp_path):
+        # Regression: a transient worker failure (ImportError from an
+        # environment factory) was memoized forever and replayed as a
+        # permanent cache hit.
+        marker = tmp_path / "dependency-down"
+        marker.touch()
+        cache_dir = tmp_path / "cache"
+        job = SynthesisJob(
+            source=SWEEP_SRC,
+            script=base_script(),
+            label="flaky",
+            environment="tests.helpers:flaky_environment",
+            environment_args=(str(marker),),
+        )
+
+        first = ExplorationEngine(cache_dir=cache_dir).explore([job])
+        outcome = first.outcomes[0]
+        assert not outcome.ok
+        assert outcome.error_kind == ERROR_KIND_ENVIRONMENT
+        assert "ImportError" in outcome.error
+        assert len(ResultCache(cache_dir)) == 0  # nothing memoized
+
+        marker.unlink()  # the environment heals
+        second = ExplorationEngine(cache_dir=cache_dir).explore([job])
+        assert second.cache_hits == 0  # the failure was not replayed
+        assert second.executed == 1
+        assert second.outcomes[0].ok
+
+    def test_deterministic_infeasibility_is_cached(self, tmp_path):
+        # The counterpart: an unschedulable corner is a function of the
+        # job content and *should* be memoized.
+        impossible = SynthesisScript(clock_period=0.01)
+        job = SynthesisJob(source=SWEEP_SRC, script=impossible, label="x")
+        cache_dir = tmp_path / "cache"
+        first = ExplorationEngine(cache_dir=cache_dir).explore([job])
+        assert not first.outcomes[0].ok
+        assert first.outcomes[0].error_kind == ERROR_KIND_UNSCHEDULABLE
+        second = ExplorationEngine(cache_dir=cache_dir).explore([job])
+        assert (second.cache_hits, second.executed) == (1, 0)
+        assert not second.outcomes[0].ok
+
+    def test_parse_errors_are_cached_as_plain_infeasible(self, tmp_path):
+        # A parse error is deterministic (memoizable) but not a
+        # scheduler constraint failure, so it must not carry the
+        # monotone "unschedulable" classification.
+        job = SynthesisJob(source="int x; x = ;", label="broken")
+        cache_dir = tmp_path / "cache"
+        first = ExplorationEngine(cache_dir=cache_dir).explore([job])
+        assert not first.outcomes[0].ok
+        assert first.outcomes[0].error_kind == ERROR_KIND_INFEASIBLE
+        second = ExplorationEngine(cache_dir=cache_dir).explore([job])
+        assert (second.cache_hits, second.executed) == (1, 0)
 
 
 # ---------------------------------------------------------------------------
@@ -293,6 +390,210 @@ class TestParallelExploration:
 
 
 # ---------------------------------------------------------------------------
+# The adaptive engine: streaming, pruning, early exit
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveExploration:
+    def test_streaming_callback_fires_per_outcome_in_order(self, tmp_path):
+        jobs = jobs_from_grid(
+            SWEEP_SRC, grid_from_specs(["clock=2,4"]), base_script=base_script()
+        )
+        seen = []
+        first = ExplorationEngine(cache_dir=tmp_path).explore(
+            jobs, on_outcome=seen.append
+        )
+        assert [o.label for o in seen] == ["clock=2", "clock=4"]
+        assert all(o.provenance == "run" for o in seen)
+        assert first.executed == 2
+        # On the warm re-run the callback still fires once per point,
+        # now tagged as cache recalls.
+        seen.clear()
+        ExplorationEngine(cache_dir=tmp_path).explore(
+            jobs, on_outcome=seen.append
+        )
+        assert [o.provenance for o in seen] == ["cache", "cache"]
+
+    def test_dominated_corner_is_pruned_not_executed(self):
+        # clock=0.01 fails deterministically; clock=0.005 is strictly
+        # harder (same point otherwise) and must be inferred, not run.
+        jobs = jobs_from_grid(
+            SWEEP_SRC,
+            grid_from_specs(["clock=0.01,0.005"]),
+            base_script=base_script(),
+        )
+        result = ExplorationEngine(use_cache=False).explore(jobs)
+        assert (result.executed, result.pruned) == (1, 1)
+        ran, pruned = result.outcomes
+        assert not ran.ok and ran.provenance == "run"
+        assert not pruned.ok and pruned.provenance == "pruned"
+        assert "dominated by infeasible point" in pruned.error
+        assert "clock=0.01" in pruned.error
+
+    def test_pruning_can_be_disabled(self):
+        jobs = jobs_from_grid(
+            SWEEP_SRC,
+            grid_from_specs(["clock=0.01,0.005"]),
+            base_script=base_script(),
+        )
+        result = ExplorationEngine(use_cache=False).explore(jobs, prune=False)
+        assert (result.executed, result.pruned) == (2, 0)
+
+    def test_cached_infeasibility_seeds_the_pruner(self, tmp_path):
+        # An infeasible corner recalled from cache is evidence too: on
+        # a warm run the dominated corner is pruned with zero work.
+        jobs = jobs_from_grid(
+            SWEEP_SRC,
+            grid_from_specs(["clock=0.01,0.005"]),
+            base_script=base_script(),
+        )
+        ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        warm = ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        assert warm.executed == 0
+        assert warm.cache_hits == 1  # the witness
+        assert warm.pruned == 1  # the dominated corner, re-inferred
+        # ...and the pruned outcome itself was never written back.
+        assert len(ResultCache(tmp_path)) == 1
+
+    def test_non_monotone_failures_are_not_pruning_evidence(self):
+        # A parse error fails every corner deterministically, but it is
+        # not a constraint failure — the engine must run each corner
+        # rather than inferring dominance from it.
+        jobs = jobs_from_grid(
+            "int x; x = ;", grid_from_specs(["clock=4,2"])
+        )
+        result = ExplorationEngine(use_cache=False).explore(jobs)
+        assert (result.executed, result.pruned) == (2, 0)
+        assert all(
+            o.error_kind == ERROR_KIND_INFEASIBLE for o in result.outcomes
+        )
+
+    def test_goal_met_by_cache_hit_skips_the_rest(self, tmp_path):
+        jobs = jobs_from_grid(
+            SWEEP_SRC,
+            grid_from_specs(["clock=2,3,4,6"]),
+            base_script=base_script(),
+        )
+        ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        warm = ExplorationEngine(cache_dir=tmp_path).explore(
+            jobs, target_latency=1000.0
+        )
+        assert warm.goal_met
+        assert warm.cache_hits == 1  # first recall met the goal
+        assert warm.executed == 0
+        assert warm.skipped == 3  # the tail was neither read nor run
+
+    def test_pruned_outcomes_rank_as_infeasible(self):
+        jobs = jobs_from_grid(
+            SWEEP_SRC,
+            grid_from_specs(["clock=0.01,0.005"]),
+            base_script=base_script(),
+        )
+        result = ExplorationEngine(use_cache=False).explore(jobs)
+        table = format_table(result.outcomes)
+        assert "pruned: dominated" in table
+        assert result.best() is None
+
+    def test_early_exit_executes_fewer_jobs_same_best(self):
+        """Acceptance: on a reference 24-point sweep with a reachable
+        --target-latency, the adaptive engine executes >= 30% fewer
+        jobs than exhaustive exploration and returns an identical
+        best() outcome."""
+        # clock x unroll x limits, 4*3*2 = 24 points, over a loop whose
+        # adds read an input array (so nothing constant-folds away and
+        # the corners genuinely differ).  The axes are ordered so the
+        # whole clock=3 block is swept before the clock=2 block where
+        # the global best lives — the early exit has real work to skip
+        # — and so that among best-score ties the job order reaches the
+        # deterministic ranking winner (smallest label) first.
+        source = """
+        int data[26];
+        int acc[26];
+        int i; int total;
+        total = 0;
+        for (i = 0; i < 24; i++) {
+          total = total + data[i];
+          acc[i] = total;
+        }
+        """
+        grid = grid_from_specs(
+            ["clock=3,2,4,6", "unroll=none,*:3,*:0", "limits=alu:1,none"]
+        )
+        jobs = jobs_from_grid(source, grid, base_script=base_script())
+        assert len(jobs) == 24
+
+        exhaustive = ExplorationEngine(use_cache=False).explore(jobs)
+        assert exhaustive.executed == 24
+        best = exhaustive.best()
+        assert best is not None
+
+        adaptive = ExplorationEngine(use_cache=False).explore(
+            jobs, target_latency=best.latency
+        )
+        assert adaptive.goal_met
+        assert adaptive.executed <= 0.7 * exhaustive.executed
+        assert adaptive.executed + adaptive.pruned + adaptive.skipped == 24
+        assert adaptive.best() is not None
+        assert adaptive.best().label == best.label
+        assert adaptive.best().score() == best.score()
+
+    def test_early_exit_in_parallel_mode(self):
+        jobs = jobs_from_grid(
+            SWEEP_SRC,
+            grid_from_specs(["clock=2,4", "unroll=none,*:0"]),
+            base_script=base_script(),
+        )
+        result = ExplorationEngine(workers=2, use_cache=False).explore(
+            jobs, target_latency=2.0
+        )
+        assert result.goal_met
+        best = result.best()
+        assert best is not None and best.latency <= 2.0
+        assert result.executed + result.pruned == len(result.outcomes)
+        assert result.executed + result.pruned + result.skipped == len(jobs)
+
+    def test_max_area_goal(self):
+        jobs = jobs_from_grid(
+            SWEEP_SRC,
+            grid_from_specs(["limits=alu:1,none", "clock=6"]),
+            base_script=base_script(),
+        )
+        exhaustive = ExplorationEngine(use_cache=False).explore(jobs)
+        areas = sorted(o.area_total for o in exhaustive.feasible)
+        result = ExplorationEngine(use_cache=False).explore(
+            jobs, max_area=areas[0]
+        )
+        assert result.goal_met
+        assert result.best().area_total <= areas[0]
+
+    def test_frontier_is_non_dominated(self):
+        jobs = jobs_from_grid(
+            SWEEP_SRC,
+            grid_from_specs(["clock=2,6", "unroll=none,*:0"]),
+            base_script=base_script(),
+        )
+        result = ExplorationEngine(use_cache=False).explore(jobs)
+        frontier = result.frontier
+        assert frontier  # something feasible survived
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                assert not (
+                    a.latency <= b.latency
+                    and a.area_total <= b.area_total
+                    and (a.latency < b.latency or a.area_total < b.area_total)
+                )
+        # Every feasible outcome is dominated-by-or-on the frontier.
+        for outcome in result.feasible:
+            assert any(
+                p.latency <= outcome.latency
+                and p.area_total <= outcome.area_total
+                for p in frontier
+            )
+
+
+# ---------------------------------------------------------------------------
 # CLI surface
 # ---------------------------------------------------------------------------
 
@@ -317,6 +618,20 @@ class TestDseCli:
         )
         assert status == 1
         assert "infeasible" in capsys.readouterr().out
+
+    def test_target_latency_skips_and_reports(self, tmp_path, capsys):
+        source_path = tmp_path / "d.c"
+        source_path.write_text(SWEEP_SRC, encoding="utf-8")
+        status = main(
+            ["dse", str(source_path), "--vary", "clock=2,3,4,6",
+             "--no-cache", "--output", "total",
+             "--target-latency", "1000", "--progress"]
+        )
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "target met" in captured.out
+        assert "skipped" in captured.out
+        assert "[   run]" in captured.err  # --progress streamed points
 
     def test_top_limits_rows(self, tmp_path, capsys):
         source_path = tmp_path / "d.c"

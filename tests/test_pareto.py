@@ -1,0 +1,197 @@
+"""Tests for the Pareto layer (repro.dse.pareto): frontier tracking,
+sweep goals and dominance pruning."""
+
+from __future__ import annotations
+
+from repro.dse.pareto import (
+    InfeasiblePruner,
+    ParetoFront,
+    SweepGoal,
+    dominates,
+)
+from repro.spark import (
+    ERROR_KIND_ENVIRONMENT,
+    ERROR_KIND_INFEASIBLE,
+    ERROR_KIND_UNSCHEDULABLE,
+    SynthesisJob,
+    SynthesisOutcome,
+)
+from repro.transforms.base import SynthesisScript
+
+
+def outcome(label, latency, area, ok=True, kind="") -> SynthesisOutcome:
+    return SynthesisOutcome(
+        label=label, ok=ok, latency=latency, area_total=area, error_kind=kind
+    )
+
+
+def job(label="p", clock=4.0, limits=None, **script_overrides) -> SynthesisJob:
+    script = SynthesisScript(
+        clock_period=clock, resource_limits=dict(limits or {})
+    )
+    for name, value in script_overrides.items():
+        setattr(script, name, value)
+    return SynthesisJob(source="int x;\nx = 1;", script=script, label=label)
+
+
+def infeasible(the_job: SynthesisJob) -> SynthesisOutcome:
+    return SynthesisOutcome(
+        label=the_job.label,
+        ok=False,
+        error="SchedulingError: boom",
+        error_kind=ERROR_KIND_UNSCHEDULABLE,
+    )
+
+
+class TestDominates:
+    def test_strictly_better_on_one_axis(self):
+        assert dominates(outcome("a", 10, 5), outcome("b", 10, 6))
+        assert dominates(outcome("a", 9, 5), outcome("b", 10, 5))
+        assert dominates(outcome("a", 9, 4), outcome("b", 10, 5))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(outcome("a", 10, 5), outcome("b", 10, 5))
+
+    def test_trade_offs_do_not_dominate(self):
+        assert not dominates(outcome("a", 9, 9), outcome("b", 10, 5))
+        assert not dominates(outcome("b", 10, 5), outcome("a", 9, 9))
+
+
+class TestParetoFront:
+    def test_incremental_update_and_eviction(self):
+        front = ParetoFront()
+        assert front.update(outcome("slow-big", 40, 90))
+        assert front.update(outcome("fast-big", 10, 80))
+        # slow-big survives nothing: fast-big dominates it.
+        assert [o.label for o in front.points()] == ["fast-big"]
+        assert front.update(outcome("slow-small", 40, 5))  # a trade-off
+        assert len(front) == 2
+        # A dominated newcomer is rejected outright.
+        assert not front.update(outcome("worse", 40, 6))
+        # A universal winner sweeps the frontier.
+        assert front.update(outcome("ideal", 1, 1))
+        assert [o.label for o in front.points()] == ["ideal"]
+
+    def test_infeasible_outcomes_never_join(self):
+        front = ParetoFront()
+        assert not front.update(outcome("broken", 0, 0, ok=False))
+        assert not front
+
+    def test_points_sorted_fastest_first(self):
+        front = ParetoFront()
+        front.update(outcome("mid", 20, 20))
+        front.update(outcome("small", 30, 10))
+        front.update(outcome("fast", 10, 30))
+        assert [o.label for o in front.points()] == ["fast", "mid", "small"]
+
+
+class TestSweepGoal:
+    def test_inactive_goal_never_satisfied(self):
+        goal = SweepGoal()
+        assert not goal.active
+        assert not goal.satisfied_by(outcome("a", 0.0, 0.0))
+
+    def test_latency_only(self):
+        goal = SweepGoal(target_latency=10.0)
+        assert goal.satisfied_by(outcome("a", 10.0, 999.0))
+        assert not goal.satisfied_by(outcome("a", 10.1, 1.0))
+
+    def test_area_only(self):
+        goal = SweepGoal(max_area=50.0)
+        assert goal.satisfied_by(outcome("a", 999.0, 50.0))
+        assert not goal.satisfied_by(outcome("a", 1.0, 50.1))
+
+    def test_both_constraints_must_hold(self):
+        goal = SweepGoal(target_latency=10.0, max_area=50.0)
+        assert goal.satisfied_by(outcome("a", 10.0, 50.0))
+        assert not goal.satisfied_by(outcome("a", 10.0, 51.0))
+        assert not goal.satisfied_by(outcome("a", 11.0, 50.0))
+
+    def test_infeasible_never_satisfies(self):
+        goal = SweepGoal(target_latency=10.0)
+        assert not goal.satisfied_by(outcome("a", 1.0, 1.0, ok=False))
+
+
+class TestInfeasiblePruner:
+    def test_shorter_clock_same_point_is_vetoed(self):
+        pruner = InfeasiblePruner()
+        witness = job("w", clock=0.01)
+        pruner.observe(witness, infeasible(witness))
+        assert pruner.veto(job("p", clock=0.005)) == "w"
+        assert pruner.veto(job("p", clock=0.01)) == "w"  # equal is enough
+
+    def test_longer_clock_is_not_vetoed(self):
+        pruner = InfeasiblePruner()
+        witness = job("w", clock=0.01)
+        pruner.observe(witness, infeasible(witness))
+        assert pruner.veto(job("p", clock=4.0)) is None
+
+    def test_tighter_limits_are_vetoed(self):
+        pruner = InfeasiblePruner()
+        witness = job("w", clock=2.0, limits={"alu": 1})
+        pruner.observe(witness, infeasible(witness))
+        # Fewer ALUs, or the same plus extra caps: at least as hard.
+        assert pruner.veto(job("p", clock=2.0, limits={"alu": 0})) == "w"
+        assert (
+            pruner.veto(job("p", clock=2.0, limits={"alu": 1, "mul": 1}))
+            == "w"
+        )
+
+    def test_looser_limits_are_not_vetoed(self):
+        pruner = InfeasiblePruner()
+        witness = job("w", clock=2.0, limits={"alu": 1})
+        pruner.observe(witness, infeasible(witness))
+        assert pruner.veto(job("p", clock=2.0, limits={"alu": 2})) is None
+        assert pruner.veto(job("p", clock=2.0, limits={})) is None  # unlimited
+        # Missing the witness's capped unit means unlimited ALUs: looser.
+        assert pruner.veto(job("p", clock=2.0, limits={"mul": 1})) is None
+
+    def test_different_signature_is_never_vetoed(self):
+        pruner = InfeasiblePruner()
+        witness = job("w", clock=0.01)
+        pruner.observe(witness, infeasible(witness))
+        different = job("p", clock=0.005, enable_speculation=False)
+        assert pruner.veto(different) is None
+
+    def test_non_monotone_deterministic_failures_are_not_evidence(self):
+        # Deterministic but not a scheduler constraint failure (parse
+        # error, emission/measurement trouble): no monotonicity claim
+        # holds, so it must never prune neighbours.
+        pruner = InfeasiblePruner()
+        witness = job("w", clock=0.01)
+        failed = SynthesisOutcome(
+            label="w",
+            ok=False,
+            error="ParseError: nope",
+            error_kind=ERROR_KIND_INFEASIBLE,
+        )
+        pruner.observe(witness, failed)
+        assert len(pruner) == 0
+        assert pruner.veto(job("p", clock=0.005)) is None
+
+    def test_environment_errors_are_not_evidence(self):
+        pruner = InfeasiblePruner()
+        witness = job("w", clock=0.01)
+        failed = SynthesisOutcome(
+            label="w",
+            ok=False,
+            error="ImportError: nope",
+            error_kind=ERROR_KIND_ENVIRONMENT,
+        )
+        pruner.observe(witness, failed)
+        assert len(pruner) == 0
+        assert pruner.veto(job("p", clock=0.005)) is None
+
+    def test_pruned_outcomes_are_not_evidence(self):
+        pruner = InfeasiblePruner()
+        witness = job("w", clock=0.01)
+        inferred = infeasible(witness)
+        inferred.provenance = "pruned"
+        pruner.observe(witness, inferred)
+        assert len(pruner) == 0
+
+    def test_feasible_outcomes_are_not_evidence(self):
+        pruner = InfeasiblePruner()
+        witness = job("w", clock=4.0)
+        pruner.observe(witness, outcome("w", 4.0, 10.0))
+        assert len(pruner) == 0
