@@ -18,6 +18,14 @@ knobs, with dominance pruning and latency/area early exit::
         --vary 'unroll=none,*:0' --workers 4 --top 5 \\
         --target-latency 24
 
+Sweeps distribute across machines through a filesystem job broker:
+``dse --executor broker`` publishes jobs under the shared cache
+directory and any number of ``dse-worker`` processes — local or on
+other machines mounting the same path — pull and execute them::
+
+    python -m repro dse input.c --vary clock=4,6,8 --executor broker &
+    python -m repro dse-worker          # as many as you like, anywhere
+
 The ``cache`` subcommand maintains the shared outcome cache::
 
     python -m repro cache stats
@@ -32,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.backend.interface import DesignInterface
@@ -178,6 +187,49 @@ def build_dse_parser() -> argparse.ArgumentParser:
         help="process-pool width for cache misses (default: 1)",
     )
     parser.add_argument(
+        "--executor",
+        choices=["auto", "serial", "pool", "broker"],
+        default="auto",
+        help=(
+            "execution backend for cache misses: serial (in-process), "
+            "pool (local process pool, survives killed workers), or "
+            "broker (filesystem job queue served by 'repro dse-worker' "
+            "processes on any machine sharing the directory); auto "
+            "picks serial for --workers 1 and pool otherwise"
+        ),
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per design point; a point that runs "
+            "over settles as error_kind=timeout (never cached) "
+            "instead of stalling the sweep (default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--broker-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "job broker directory for --executor broker (default: "
+            "<cache dir>/broker)"
+        ),
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "broker lease heartbeat expiry: a claimed job whose "
+            "worker stops beating for this long is requeued "
+            "(default: 30)"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help=(
@@ -295,6 +347,12 @@ def dse_main(argv: List[str]) -> int:
     if args.workers < 1:
         print("repro dse: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        print("repro dse: --job-timeout must be positive", file=sys.stderr)
+        return 2
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        print("repro dse: --lease-ttl must be positive", file=sys.stderr)
+        return 2
 
     base = SynthesisScript(
         pure_functions=set(args.pure),
@@ -308,10 +366,19 @@ def dse_main(argv: List[str]) -> int:
         environment=args.environment,
         environment_args=tuple(args.environment_arg),
     )
+    from repro.dse.broker import DEFAULT_LEASE_TTL
+
     engine = ExplorationEngine(
         cache_dir=args.cache_dir,
         workers=args.workers,
         use_cache=not args.no_cache,
+        executor=args.executor,
+        job_timeout=args.job_timeout,
+        broker_dir=args.broker_dir,
+        lease_ttl=(
+            args.lease_ttl if args.lease_ttl is not None
+            else DEFAULT_LEASE_TTL
+        ),
     )
 
     def print_progress(outcome):
@@ -332,6 +399,143 @@ def dse_main(argv: List[str]) -> int:
     print()
     print(summarize(result))
     return 0 if result.feasible else 1
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro dse-worker`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro dse-worker",
+        description=(
+            "pull-and-execute worker for distributed design-space "
+            "exploration: claims jobs from a filesystem broker "
+            "directory shared with 'repro dse --executor broker' "
+            "(any machine mounting the same path can serve a sweep)"
+        ),
+    )
+    parser.add_argument(
+        "--broker-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "job broker directory (default: <cache dir>/broker, with "
+            "the cache dir from $REPRO_DSE_CACHE or ~/.cache/repro-dse)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "derive the broker directory from this cache directory "
+            "(<DIR>/broker), mirroring a sweep's --cache-dir so both "
+            "sides rendezvous without repeating --broker-dir"
+        ),
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="NAME",
+        help="stable worker name (default: host-pid-random)",
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after executing N jobs (default: unlimited)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "exit after the queue has been empty for this long "
+            "(default: run until killed — safe, leases expire)"
+        ),
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "heartbeat expiry after which other participants may "
+            "requeue this worker's claimed job (default: 30; must "
+            "match the sweep's --lease-ttl)"
+        ),
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="sleep between claim attempts on an empty queue",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-job progress lines on stderr",
+    )
+    return parser
+
+
+def worker_main(argv: List[str]) -> int:
+    """Entry point for ``repro dse-worker``."""
+    from repro.dse.broker import (
+        BROKER_DIR_NAME,
+        DEFAULT_LEASE_TTL,
+        JobBroker,
+        run_worker,
+    )
+    from repro.dse.cache import default_cache_dir
+
+    args = build_worker_parser().parse_args(argv)
+    if args.max_jobs is not None and args.max_jobs < 1:
+        print("repro dse-worker: --max-jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        print("repro dse-worker: --lease-ttl must be positive", file=sys.stderr)
+        return 2
+    if args.poll <= 0:
+        print("repro dse-worker: --poll must be positive", file=sys.stderr)
+        return 2
+    if args.broker_dir is not None:
+        broker_dir = args.broker_dir
+    elif args.cache_dir is not None:
+        broker_dir = Path(args.cache_dir).expanduser() / BROKER_DIR_NAME
+    else:
+        broker_dir = default_cache_dir() / BROKER_DIR_NAME
+    broker = JobBroker(
+        broker_dir,
+        lease_ttl=(
+            args.lease_ttl if args.lease_ttl is not None
+            else DEFAULT_LEASE_TTL
+        ),
+    )
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    try:
+        report = run_worker(
+            broker,
+            worker=args.worker_id,
+            max_jobs=args.max_jobs,
+            idle_timeout=args.idle_timeout,
+            poll=args.poll,
+            on_event=None if args.quiet else log,
+        )
+    except KeyboardInterrupt:
+        # A drained Ctrl-C exit is a normal way to stop a service
+        # worker; any claimed job's lease will expire and requeue.
+        print("repro dse-worker: interrupted", file=sys.stderr)
+        return 130
+    print(
+        f"repro dse-worker: executed {report.executed} job(s) "
+        f"as {report.worker}",
+    )
+    return 0
 
 
 def build_cache_parser() -> argparse.ArgumentParser:
@@ -476,6 +680,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "dse":
         return dse_main(argv[1:])
+    if argv and argv[0] == "dse-worker":
+        return worker_main(argv[1:])
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
     parser = build_parser()

@@ -9,9 +9,15 @@ turns that loop into an engine:
   limits, scheduler priority, ...) expanded into a cartesian grid of
   picklable :class:`~repro.spark.SynthesisJob` descriptions;
 * :mod:`repro.dse.runner` — :class:`ExplorationEngine` streams cache
-  misses through a ``multiprocessing`` pool, recalls previous results
+  misses through a pluggable executor, recalls previous results
   from the on-disk cache, prunes provably infeasible corners and can
   exit early once a latency/area goal is met;
+* :mod:`repro.dse.exec` — the executor backends: in-process serial, a
+  dead-worker-tolerant ``multiprocessing`` pool, and the distributed
+  broker executor;
+* :mod:`repro.dse.broker` — the filesystem job broker behind
+  ``repro dse-worker``: atomic-rename claims, heartbeat leases, and
+  requeue-on-expiry crash recovery;
 * :mod:`repro.dse.pareto` — the latency/area frontier, sweep goals
   and the dominance pruner;
 * :mod:`repro.dse.cache` — content-hash keyed outcome store;
@@ -31,11 +37,30 @@ Driven from the CLI as ``repro dse design.c --vary clock=4,6,8 ...``
     print(result.best().label)
 """
 
+from repro.dse.broker import (
+    BROKER_DIR_NAME,
+    DEFAULT_LEASE_TTL,
+    BrokerClaim,
+    BrokerStats,
+    JobBroker,
+    WorkerReport,
+    default_worker_id,
+    run_worker,
+)
 from repro.dse.cache import (
     CACHE_ENV_VAR,
     ResultCache,
     default_cache_dir,
     job_key,
+)
+from repro.dse.exec import (
+    EXECUTOR_KINDS,
+    BrokerExecutor,
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    default_start_method,
+    make_executor,
 )
 from repro.dse.grid import (
     GridError,
@@ -71,26 +96,41 @@ from repro.dse.service import (
 )
 
 __all__ = [
+    "BROKER_DIR_NAME",
+    "BrokerClaim",
+    "BrokerExecutor",
+    "BrokerStats",
     "CACHE_ENV_VAR",
     "CacheLockTimeout",
     "CacheService",
     "CacheStats",
+    "DEFAULT_LEASE_TTL",
     "DirectoryLock",
+    "EXECUTOR_KINDS",
     "ExplorationEngine",
     "ExplorationResult",
+    "Executor",
     "GCReport",
     "GridError",
     "GridPoint",
     "InfeasiblePruner",
+    "JobBroker",
     "KNOWN_AXES",
     "MAX_BYTES_ENV_VAR",
     "ParameterGrid",
     "ParetoFront",
+    "PoolExecutor",
     "ResultCache",
+    "SerialExecutor",
     "SweepGoal",
+    "WorkerReport",
     "default_cache_dir",
+    "default_start_method",
+    "default_worker_id",
     "dominates",
     "explore",
+    "make_executor",
+    "run_worker",
     "format_frontier",
     "format_table",
     "grid_from_specs",

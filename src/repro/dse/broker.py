@@ -1,0 +1,604 @@
+"""A filesystem job broker: lease-based distribution of synthesis jobs.
+
+Any machine that can see one shared directory can execute sweep jobs.
+The broker needs no daemon and no sockets — coordination rides on the
+same two filesystem primitives the shared outcome cache already
+trusts: atomic ``rename`` (claims, requeues) and atomic
+temp-file-then-``replace`` writes (job files, leases, results).
+
+Layout under the broker root (by default ``<cache>/broker``)::
+
+    queue/<job_id>.json      submitted, unclaimed job descriptions
+    claimed/<job_id>.json    jobs some worker is executing
+    leases/<job_id>.json     the claimant's heartbeat (mtime = alive)
+    results/<job_id>.json    finished outcomes, consumed by the engine
+    workers/<worker>.json    worker liveness heartbeats (diagnostics)
+
+The life of a job:
+
+1. the engine ``submit``\\ s it into ``queue/``;
+2. a worker ``claim``\\ s it — an ``os.rename`` into ``claimed/`` that
+   exactly one contender can win — writes a lease, and heartbeats the
+   lease from a background thread while ``execute_job`` runs;
+3. ``complete`` writes the outcome into ``results/`` and retires the
+   claimed file and lease;
+4. the engine polls ``results/`` and consumes its outcomes.
+
+**Machine loss is survivable by lease expiry**: a worker that dies
+(SIGKILL, OOM, power loss) stops heartbeating, so any party scanning
+the broker — another worker looking for work, or the engine polling
+for results — sees the stale lease and ``requeue``\\ s the job with one
+atomic rename back into ``queue/``.  At most one requeuer can win the
+rename, so a job is never duplicated by the recovery path itself.  The
+only deliberate double-execution window (a worker wrongly presumed
+dead, e.g. paused longer than the lease TTL) is harmless: results are
+written by atomic replace and outcome caching is keyed by job content,
+so the outcome lands exactly once no matter how many workers finish.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+from repro.spark import (
+    ERROR_KIND_ENVIRONMENT,
+    SynthesisJob,
+    SynthesisOutcome,
+    execute_job,
+)
+
+#: Wire-format version of the queue/result records.
+BROKER_FORMAT = 1
+
+#: Default seconds without a heartbeat before a claim is presumed dead.
+DEFAULT_LEASE_TTL = 30.0
+
+#: Results nobody consumed within this horizon (their sweep was killed,
+#: or a duplicate execution finished after the first result was taken)
+#: are swept — engines poll sub-second, so an hour-old result file is
+#: certainly abandoned.
+STALE_RESULT_SECONDS = 3600.0
+
+#: Subdirectory of the shared cache that hosts the broker by default.
+BROKER_DIR_NAME = "broker"
+
+
+def default_worker_id() -> str:
+    """A human-traceable unique worker name: host, pid, random tail."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclass
+class BrokerClaim:
+    """One successfully claimed job, as held by a worker."""
+
+    job_id: str
+    key: str
+    job: Optional[SynthesisJob]
+    worker: str
+    #: Set when the job file could not be parsed; the worker settles
+    #: the job with this error instead of executing.
+    error: str = ""
+
+
+@dataclass
+class BrokerStats:
+    """A point-in-time census of the broker directory."""
+
+    root: Path
+    queued: int
+    claimed: int
+    results: int
+    live_workers: int
+
+    def describe(self) -> str:
+        return (
+            f"broker {self.root}: {self.queued} queued, "
+            f"{self.claimed} claimed, {self.results} unconsumed "
+            f"result(s), {self.live_workers} live worker(s)"
+        )
+
+
+class JobBroker:
+    """One broker directory: submit, claim, heartbeat, complete,
+    requeue.  Safe for any number of concurrent engines and workers
+    across machines sharing the filesystem."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        self.root = Path(root)
+        self.lease_ttl = lease_ttl
+        self.queue_dir = self.root / "queue"
+        self.claimed_dir = self.root / "claimed"
+        self.leases_dir = self.root / "leases"
+        self.results_dir = self.root / "results"
+        self.workers_dir = self.root / "workers"
+        self.tmp_dir = self.root / "tmp"
+        for directory in (
+            self.queue_dir,
+            self.claimed_dir,
+            self.leases_dir,
+            self.results_dir,
+            self.workers_dir,
+            self.tmp_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        self._seq = 0
+        #: Lease-less claims under observation: job_id -> first seen.
+        #: Requeueing a claim with no lease waits out a grace period so
+        #: the claimer's in-flight lease write (microseconds after the
+        #: claiming rename) is never mistaken for a crash.
+        self._suspects: dict = {}
+        self._suspect_grace = min(1.0, lease_ttl / 4.0)
+        #: Recovery scans are throttled per participant: expiry can
+        #: only change on a TTL timescale, so re-globbing the broker
+        #: directories on every sub-second claim/result poll would be
+        #: pure metadata traffic (painful over NFS).
+        self._recovery_interval = min(1.0, lease_ttl / 4.0)
+        self._last_recovery = float("-inf")  # first scan always runs
+
+    # -- atomic JSON plumbing ------------------------------------------------
+
+    def _write_json(self, path: Path, payload: dict) -> None:
+        # Temp files live in their own directory, never next to the
+        # target: pathlib's glob matches dot-prefixed names, so an
+        # in-flight ``.tmp-*`` in ``queue/`` could be claimed (renamed
+        # away) before the replace lands.  Same filesystem, so the
+        # replace stays atomic.
+        temp = self.tmp_dir / f".tmp-{uuid.uuid4().hex[:8]}-{path.name}"
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(temp, path)
+
+    @staticmethod
+    def _read_json(path: Path) -> Optional[dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    # -- submission (engine side) -------------------------------------------
+
+    def submit(self, job: SynthesisJob, key: str = "") -> str:
+        """Queue one job; returns its broker-unique id."""
+        self._seq += 1
+        job_id = f"{os.getpid():08x}-{self._seq:06d}-{uuid.uuid4().hex[:8]}"
+        self._write_json(
+            self.queue_dir / f"{job_id}.json",
+            {
+                "format": BROKER_FORMAT,
+                "id": job_id,
+                "key": key,
+                "label": job.label,
+                "job": job.to_dict(),
+                "submitted_at": time.time(),
+            },
+        )
+        return job_id
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a still-unclaimed job; False when some worker beat
+        the cancellation to it (it will execute and produce a result)."""
+        try:
+            os.unlink(self.queue_dir / f"{job_id}.json")
+            return True
+        except OSError:
+            return False
+
+    def take_result(self, job_id: str) -> Optional[SynthesisOutcome]:
+        """Consume (read **and remove**) the result for *job_id*, or
+        None while it is still pending.  An unreadable result file is
+        consumed as an environment failure so a sweep can never hang
+        on one corrupt record."""
+        path = self.results_dir / f"{job_id}.json"
+        # The read and the existence check race the worker's atomic
+        # os.replace: a file that appears between them must be re-read,
+        # not condemned — results are complete the moment they exist.
+        record = None
+        for _attempt in range(2):
+            record = self._read_json(path)
+            if record is not None:
+                break
+            if not path.exists():
+                return None
+        if record is None:
+            outcome = SynthesisOutcome(
+                ok=False,
+                error=f"unreadable broker result {path.name}",
+                error_kind=ERROR_KIND_ENVIRONMENT,
+            )
+        else:
+            try:
+                outcome = SynthesisOutcome.from_dict(record["outcome"])
+            except (KeyError, TypeError, ValueError):
+                outcome = SynthesisOutcome(
+                    ok=False,
+                    error=f"malformed broker result {path.name}",
+                    error_kind=ERROR_KIND_ENVIRONMENT,
+                )
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return outcome
+
+    # -- claiming (worker side) ---------------------------------------------
+
+    def claim(self, worker: str) -> Optional[BrokerClaim]:
+        """Claim the oldest available job, or None when the queue is
+        empty.  Claiming is one atomic rename, so two workers can
+        never hold the same job; expired leases are requeued first so
+        a worker always sees recovered work too."""
+        self.requeue_expired()
+        for path in sorted(self.queue_dir.glob("*.json")):
+            if path.name.startswith("."):
+                continue
+            job_id = path.stem
+            target = self.claimed_dir / path.name
+            try:
+                os.rename(path, target)
+            except OSError:  # lost the race for this one; try the next
+                continue
+            # Stamp claim time straight away: the rename preserves the
+            # submit-time mtime, and this mtime is the expiry fallback
+            # while the lease write below is still in flight (see the
+            # suspect grace period in requeue_expired).
+            try:
+                os.utime(target)
+            except OSError:
+                pass
+            if (self.results_dir / path.name).exists():
+                # A rare requeue/complete race can put a finished job
+                # back in the queue; never execute it twice.
+                try:
+                    os.unlink(target)
+                except OSError:
+                    pass
+                continue
+            self._write_json(
+                self.leases_dir / path.name,
+                {
+                    "worker": worker,
+                    "pid": os.getpid(),
+                    "claimed_at": time.time(),
+                },
+            )
+            record = self._read_json(target)
+            if record is None or "job" not in record:
+                return BrokerClaim(
+                    job_id=job_id,
+                    key="",
+                    job=None,
+                    worker=worker,
+                    error=f"unreadable job file {path.name}",
+                )
+            try:
+                job = SynthesisJob.from_dict(record["job"])
+            except (KeyError, TypeError, ValueError) as error:
+                return BrokerClaim(
+                    job_id=job_id,
+                    key=str(record.get("key", "")),
+                    job=None,
+                    worker=worker,
+                    error=f"malformed job {path.name}: {error}",
+                )
+            return BrokerClaim(
+                job_id=job_id,
+                key=str(record.get("key", "")),
+                job=job,
+                worker=worker,
+            )
+        return None
+
+    def heartbeat(self, claim: BrokerClaim) -> bool:
+        """Refresh the claim's lease; False when the lease is gone or
+        belongs to someone else — this worker was presumed dead, the
+        job was requeued (and possibly re-claimed).  The ownership
+        check matters: a suspended worker blindly utime-ing a
+        usurper's lease would keep it fresh forever and mask the
+        usurper's own death.  The presumed-dead worker may still
+        finish and complete(): results are idempotent."""
+        lease_path = self.leases_dir / f"{claim.job_id}.json"
+        lease = self._read_json(lease_path)
+        if lease is not None and lease.get("worker") not in ("", claim.worker):
+            return False  # a new claimant owns this job now
+        try:
+            os.utime(lease_path)
+            return True
+        except OSError:
+            return False
+
+    def complete(self, claim: BrokerClaim, outcome: SynthesisOutcome) -> None:
+        """Publish the outcome and retire the claim.
+
+        The claim is only retired while this worker still holds the
+        lease: a worker wrongly presumed dead (suspended past the TTL)
+        may find its job requeued and re-claimed — tearing down the
+        *new* claimant's files would leave that live execution
+        untracked.  In that case only the (idempotent) result is
+        published; the leftover claim state self-heals through
+        ``requeue_expired``'s finished-job cleanup once its lease goes
+        stale."""
+        self._write_json(
+            self.results_dir / f"{claim.job_id}.json",
+            {
+                "format": BROKER_FORMAT,
+                "id": claim.job_id,
+                "key": claim.key,
+                "worker": claim.worker,
+                "outcome": outcome.to_dict(),
+                "completed_at": time.time(),
+            },
+        )
+        lease_path = self.leases_dir / f"{claim.job_id}.json"
+        lease = self._read_json(lease_path)
+        if lease is not None and lease.get("worker") not in ("", claim.worker):
+            return  # usurped: the job belongs to a new claimant now
+        for path in (self.claimed_dir / f"{claim.job_id}.json", lease_path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # -- crash recovery ------------------------------------------------------
+
+    def requeue_expired(self) -> List[str]:
+        """Requeue every claimed job whose lease stopped beating more
+        than ``lease_ttl`` seconds ago; returns the requeued ids.
+
+        Any participant may call this (workers do on every claim, the
+        engine on every result poll): the rename back into ``queue/``
+        is atomic, so concurrent recovery never duplicates a job.
+        Calls within a quarter TTL of this instance's previous scan
+        are no-ops — leases only expire on a TTL timescale, so
+        per-poll re-scans would buy nothing but directory traffic.
+        """
+        requeued: List[str] = []
+        monotonic_now = time.monotonic()
+        if monotonic_now - self._last_recovery < self._recovery_interval:
+            return requeued
+        self._last_recovery = monotonic_now
+        now = time.time()
+        seen: set = set()
+        for claimed in self.claimed_dir.glob("*.json"):
+            if claimed.name.startswith("."):
+                continue
+            job_id = claimed.stem
+            seen.add(job_id)
+            lease = self.leases_dir / claimed.name
+            try:
+                beat = lease.stat().st_mtime
+                self._suspects.pop(job_id, None)
+            except OSError:
+                # No lease yet.  Almost always this is a claimer whose
+                # lease write is microseconds behind its claiming
+                # rename — only a claimant that died exactly in that
+                # gap leaves the state permanently.  Observe the claim
+                # across a grace period before trusting the fallback
+                # age (the claimed file's mtime, stamped at claim
+                # time but equal to the submit time if the claimer
+                # died before even the utime landed).
+                first_seen = self._suspects.setdefault(job_id, now)
+                if now - first_seen < self._suspect_grace:
+                    continue
+                try:
+                    beat = claimed.stat().st_mtime
+                except OSError:
+                    self._suspects.pop(job_id, None)
+                    continue  # completed/requeued under us
+            if now - beat <= self.lease_ttl:
+                continue
+            self._suspects.pop(job_id, None)
+            if (self.results_dir / claimed.name).exists():
+                # Finished but the worker died before retiring the
+                # claim: just clean up, never re-run.
+                for path in (claimed, lease):
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                continue
+            # Drop the stale lease *before* the job becomes claimable
+            # again: once renamed into queue/ a new worker may claim it
+            # and write a fresh lease under the same name, which a
+            # post-rename unlink would destroy (leaving the live claim
+            # leaseless and re-expiring every TTL).  If we crash right
+            # here, the claimed file's age re-triggers recovery.
+            try:
+                os.unlink(lease)
+            except OSError:
+                pass
+            try:
+                os.rename(claimed, self.queue_dir / claimed.name)
+            except OSError:  # another recoverer won, or it completed
+                continue
+            requeued.append(job_id)
+        # Suspects whose claimed file vanished (completed, requeued by
+        # someone else) are no longer under observation.
+        for job_id in list(self._suspects):
+            if job_id not in seen:
+                del self._suspects[job_id]
+        self._sweep_orphans(now)
+        return requeued
+
+    def _sweep_orphans(self, now: float) -> None:
+        """Housekeeping piggybacked on recovery scans: drop stale
+        leases that reference no queued or claimed job (a contender
+        that lost a claim race for a job that then finished), and
+        results nobody consumed within :data:`STALE_RESULT_SECONDS`
+        (their sweep died, or a duplicate execution landed after the
+        first result was taken)."""
+        for lease in self.leases_dir.glob("*.json"):
+            try:
+                stale = now - lease.stat().st_mtime > self.lease_ttl
+            except OSError:
+                continue
+            if not stale:
+                continue
+            if (self.claimed_dir / lease.name).exists():
+                continue  # the main recovery loop owns this case
+            if (self.queue_dir / lease.name).exists():
+                continue  # pre-claim lease of a requeued/queued job
+            try:
+                os.unlink(lease)
+            except OSError:
+                pass
+        horizon = now - STALE_RESULT_SECONDS
+        for result in self.results_dir.glob("*.json"):
+            try:
+                if result.stat().st_mtime < horizon:
+                    os.unlink(result)
+            except OSError:
+                continue
+
+    # -- worker liveness (diagnostics) --------------------------------------
+
+    def worker_heartbeat(self, worker: str) -> None:
+        path = self.workers_dir / f"{worker}.json"
+        try:
+            os.utime(path)
+        except OSError:
+            self._write_json(
+                path,
+                {"worker": worker, "pid": os.getpid(), "host": socket.gethostname()},
+            )
+
+    def retire_worker(self, worker: str) -> None:
+        try:
+            os.unlink(self.workers_dir / f"{worker}.json")
+        except OSError:
+            pass
+
+    def live_workers(self) -> int:
+        """Workers whose liveness heartbeat is within the lease TTL."""
+        horizon = time.time() - self.lease_ttl
+        count = 0
+        for path in self.workers_dir.glob("*.json"):
+            try:
+                if path.stat().st_mtime >= horizon:
+                    count += 1
+            except OSError:
+                continue
+        return count
+
+    def stats(self) -> BrokerStats:
+        return BrokerStats(
+            root=self.root,
+            queued=sum(1 for _ in self.queue_dir.glob("*.json")),
+            claimed=sum(1 for _ in self.claimed_dir.glob("*.json")),
+            results=sum(1 for _ in self.results_dir.glob("*.json")),
+            live_workers=self.live_workers(),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The worker loop (`repro dse-worker`)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerReport:
+    """What one :func:`run_worker` invocation did."""
+
+    worker: str
+    executed: int = 0
+    failed_claims: int = 0
+
+
+def _heartbeat_loop(
+    broker: JobBroker,
+    claim: BrokerClaim,
+    stop: threading.Event,
+    interval: float,
+) -> None:
+    while not stop.wait(interval):
+        broker.heartbeat(claim)
+        # Keep the worker's own liveness beacon fresh too: a job
+        # longer than the TTL would otherwise make a busy worker look
+        # dead to live_workers() and trigger false stall warnings.
+        broker.worker_heartbeat(claim.worker)
+
+
+def run_worker(
+    broker: JobBroker,
+    worker: Optional[str] = None,
+    max_jobs: Optional[int] = None,
+    idle_timeout: Optional[float] = None,
+    poll: float = 0.2,
+    on_event: Optional[Callable[[str], None]] = None,
+) -> WorkerReport:
+    """Pull-and-execute loop for one worker process.
+
+    Claims jobs until *max_jobs* is reached or the queue has been
+    empty for *idle_timeout* seconds (``None`` = run until killed —
+    the service posture; lease expiry makes even SIGKILL safe).  While
+    a job executes on the main thread (so per-job ``timeout`` budgets
+    stay enforceable), a daemon thread heartbeats the lease every
+    quarter TTL.
+    """
+    name = worker or default_worker_id()
+    report = WorkerReport(worker=name)
+    interval = broker.lease_ttl / 4.0
+    say = on_event or (lambda message: None)
+    idle_since = time.monotonic()
+    say(f"worker {name} online: {broker.root} (lease ttl {broker.lease_ttl:g}s)")
+    try:
+        while max_jobs is None or report.executed < max_jobs:
+            broker.worker_heartbeat(name)
+            claim = broker.claim(name)
+            if claim is None:
+                if (
+                    idle_timeout is not None
+                    and time.monotonic() - idle_since > idle_timeout
+                ):
+                    say(f"worker {name}: idle for {idle_timeout:g}s, exiting")
+                    break
+                time.sleep(poll)
+                continue
+            if claim.job is None:
+                broker.complete(
+                    claim,
+                    SynthesisOutcome(
+                        ok=False,
+                        error=claim.error,
+                        error_kind=ERROR_KIND_ENVIRONMENT,
+                    ),
+                )
+                report.failed_claims += 1
+                idle_since = time.monotonic()
+                continue
+            say(f"worker {name}: executing {claim.job_id} ({claim.job.label})")
+            stop = threading.Event()
+            beater = threading.Thread(
+                target=_heartbeat_loop,
+                args=(broker, claim, stop, interval),
+                daemon=True,
+            )
+            beater.start()
+            try:
+                outcome = execute_job(claim.job)
+            finally:
+                stop.set()
+                beater.join()
+            broker.complete(claim, outcome)
+            report.executed += 1
+            status = "ok" if outcome.ok else f"infeasible ({outcome.error_kind})"
+            say(f"worker {name}: {claim.job_id} settled {status}")
+            idle_since = time.monotonic()
+    finally:
+        broker.retire_worker(name)
+    return report

@@ -1,0 +1,81 @@
+"""Pluggable execution backends for the exploration engine.
+
+Three executors implement one submit/collect protocol
+(:class:`~repro.dse.exec.base.Executor`):
+
+* :class:`SerialExecutor` — in-process, one job at a time;
+* :class:`PoolExecutor` — a bounded ``apply_async`` window over an
+  explicit-context ``multiprocessing.Pool``, with dead-worker
+  detection so a SIGKILLed worker fails its job instead of hanging
+  the sweep;
+* :class:`BrokerExecutor` — publishes jobs to a filesystem
+  :class:`~repro.dse.broker.JobBroker` that any machine sharing the
+  directory can serve via ``repro dse-worker``; machine loss is
+  survived by heartbeat-lease expiry and requeue.
+
+:func:`make_executor` maps the CLI spelling (``auto``/``serial``/
+``pool``/``broker``) to an instance.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.dse.broker import DEFAULT_LEASE_TTL, JobBroker
+from repro.dse.exec.base import Executor, Token, failure_outcome
+from repro.dse.exec.broker_exec import BrokerExecutor
+from repro.dse.exec.pool import (
+    START_METHOD_ENV_VAR,
+    PoolExecutor,
+    default_start_method,
+)
+from repro.dse.exec.serial import SerialExecutor
+
+#: CLI spellings accepted by :func:`make_executor`.
+EXECUTOR_KINDS = ("auto", "serial", "pool", "broker")
+
+
+def make_executor(
+    kind: str = "auto",
+    workers: int = 1,
+    job_count: Optional[int] = None,
+    broker_dir: Union[str, Path, None] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    start_method: Optional[str] = None,
+) -> Executor:
+    """Build the executor *kind* names.
+
+    ``auto`` picks :class:`SerialExecutor` for ``workers == 1`` (or a
+    sweep of at most one miss) and :class:`PoolExecutor` otherwise —
+    the historical engine behavior.  ``broker`` requires *broker_dir*.
+    """
+    if kind == "auto":
+        parallel = workers > 1 and (job_count is None or job_count > 1)
+        kind = "pool" if parallel else "serial"
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "pool":
+        return PoolExecutor(workers=workers, start_method=start_method)
+    if kind == "broker":
+        if broker_dir is None:
+            raise ValueError("broker executor needs a broker directory")
+        return BrokerExecutor(JobBroker(broker_dir, lease_ttl=lease_ttl))
+    raise ValueError(
+        f"unknown executor {kind!r}; expected one of "
+        f"{', '.join(EXECUTOR_KINDS)}"
+    )
+
+
+__all__ = [
+    "BrokerExecutor",
+    "EXECUTOR_KINDS",
+    "Executor",
+    "PoolExecutor",
+    "START_METHOD_ENV_VAR",
+    "SerialExecutor",
+    "Token",
+    "default_start_method",
+    "failure_outcome",
+    "make_executor",
+]

@@ -1,0 +1,99 @@
+"""The executor protocol: how the exploration engine fans jobs out.
+
+The engine owns *policy* — cache lookups, dominance pruning, goal
+early-exit, result ordering — and an :class:`Executor` owns
+*mechanism*: actually running the jobs the engine dispatches.  The
+contract is a bounded submit/collect window:
+
+* the engine calls :meth:`Executor.open` once per sweep, then keeps at
+  most :attr:`Executor.capacity` jobs in flight via
+  :meth:`Executor.submit`;
+* :meth:`Executor.collect` blocks until **some** submitted job settles
+  and returns its token and outcome — and must always settle every
+  submitted job eventually, even when the machinery under it fails
+  (a killed worker process, a lost machine).  Fault tolerance is part
+  of the contract, not an engine concern: an executor may settle a job
+  with an ``error_kind="environment"`` outcome, but may never hang on
+  it or raise through ``collect``;
+* :meth:`Executor.cancel_pending` lets the engine withdraw jobs that
+  were submitted but not yet started (used on goal early-exit);
+  executors that cannot cancel return ``[]`` and the engine simply
+  drains them.
+
+A *token* is the engine's opaque handle for one job — ``(job index,
+cache key)`` — threaded through unchanged so completions can land in
+any order.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Tuple
+
+from repro.spark import (
+    ERROR_KIND_ENVIRONMENT,
+    SynthesisJob,
+    SynthesisOutcome,
+)
+
+#: The engine's opaque per-job handle: ``(job index, cache key)``.
+Token = Tuple[int, str]
+
+
+def failure_outcome(job: SynthesisJob, detail: str) -> SynthesisOutcome:
+    """The outcome an executor settles a job with when the machinery —
+    not the job — failed (a dead worker, an unpicklable result, a lost
+    machine).  Classified as environment trouble so it is never
+    memoized and never becomes pruning evidence."""
+    return SynthesisOutcome(
+        label=job.label,
+        ok=False,
+        error=detail,
+        error_kind=ERROR_KIND_ENVIRONMENT,
+        clock_period=job.script.clock_period,
+    )
+
+
+class Executor(abc.ABC):
+    """One sweep's execution backend (see the module docstring)."""
+
+    #: Stable spelling for CLIs and reports: "serial", "pool", ...
+    kind: str = "executor"
+
+    #: Upper bound on jobs in flight; the engine never submits past
+    #: it.  May be adjusted by :meth:`open` (e.g. to the pool width).
+    capacity: int = 1
+
+    def open(self, job_count: int) -> None:
+        """Acquire resources for a sweep of at most *job_count* jobs
+        (spin up processes, create directories).  Called exactly once
+        before the first submit."""
+
+    def close(self) -> None:
+        """Release every resource; called exactly once per sweep, even
+        on error paths.  Must be safe when open() never ran."""
+
+    @abc.abstractmethod
+    def submit(self, token: Token, job: SynthesisJob) -> None:
+        """Hand one job to the backend.  Only called while
+        ``outstanding < capacity``."""
+
+    @abc.abstractmethod
+    def collect(self) -> Optional[Tuple[Token, SynthesisOutcome]]:
+        """Block until any submitted job settles; never raises for
+        job- or worker-level failures (those settle as outcomes).
+
+        May return ``None`` only when a prior :meth:`cancel_pending`
+        put the executor in draining mode and cancellation emptied the
+        in-flight set mid-wait — the engine then collects the
+        withdrawn tokens through another ``cancel_pending`` call."""
+
+    @property
+    @abc.abstractmethod
+    def outstanding(self) -> int:
+        """Jobs submitted but not yet collected (or cancelled)."""
+
+    def cancel_pending(self) -> List[Token]:
+        """Withdraw submitted-but-unstarted jobs, returning their
+        tokens; the default cannot cancel anything."""
+        return []

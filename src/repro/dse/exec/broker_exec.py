@@ -1,0 +1,181 @@
+"""Distributed execution through the filesystem job broker.
+
+Where :class:`~repro.dse.exec.pool.PoolExecutor` owns its worker
+processes, this executor owns none: it publishes jobs into a
+:class:`~repro.dse.broker.JobBroker` directory and any number of
+``repro dse-worker`` processes — on this machine or any machine
+sharing the filesystem — pull, execute and publish results.
+
+Capacity is the whole sweep: a distributed queue wants every job
+visible to every worker immediately (a bounded window would make the
+engine's poll latency the scheduler).  The trade-off is that
+dominance pruning only retires corners *not yet claimed* — via
+:meth:`cancel_pending` on goal early-exit — rather than at dispatch
+time.
+
+Fault tolerance is inherited from the broker's leases: every
+``collect`` poll calls ``requeue_expired``, so even if no other
+worker is scanning, the engine itself recovers jobs whose worker
+died.  When the queue sits unclaimed with no live worker heartbeats,
+``collect`` raises a warning through *on_stall* (default: a stderr
+note) instead of wedging silently — the sweep still waits, because a
+worker may join at any moment; that patience is the service model.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.dse.broker import DEFAULT_LEASE_TTL, JobBroker
+from repro.dse.exec.base import Executor, Token
+from repro.spark import SynthesisJob, SynthesisOutcome
+
+#: Seconds of an unclaimed, workerless queue before the first stall
+#: warning (repeated with backoff).
+STALL_WARN_AFTER = 10.0
+
+
+def _default_stall_warning(message: str) -> None:
+    print(f"repro dse: {message}", file=sys.stderr)
+
+
+class BrokerExecutor(Executor):
+    """Publish jobs to a broker directory; collect results by polling.
+
+    Parameters
+    ----------
+    broker:
+        a :class:`JobBroker`, or a broker directory path.
+    lease_ttl:
+        heartbeat expiry when a path (rather than a broker) is given.
+    poll:
+        seconds between result-directory scans.
+    on_stall:
+        callback for "queue is waiting and no workers are alive"
+        warnings; None silences them.
+    """
+
+    kind = "broker"
+
+    def __init__(
+        self,
+        broker: Union[JobBroker, str, Path],
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        poll: float = 0.2,
+        on_stall: Optional[Callable[[str], None]] = _default_stall_warning,
+    ) -> None:
+        if isinstance(broker, JobBroker):
+            self.broker = broker
+        else:
+            self.broker = JobBroker(broker, lease_ttl=lease_ttl)
+        self.poll = poll
+        self.on_stall = on_stall
+        self.capacity = 1  # widened by open() to the whole sweep
+        self._pending: Dict[str, Tuple[Token, SynthesisJob]] = {}
+        self._draining = False
+        self._cancelled: List[Token] = []
+        self._last_result = time.monotonic()
+        self._next_warn = STALL_WARN_AFTER
+
+    def open(self, job_count: int) -> None:
+        self.capacity = max(1, job_count)
+        # Per-sweep state starts clean (instances may be reused, even
+        # after an aborted sweep): withdraw anything a previous sweep
+        # left queued so stale tokens never surface here.
+        for job_id in list(self._pending):
+            self.broker.cancel(job_id)
+        self._pending.clear()
+        self._draining = False
+        self._cancelled = []
+        self._last_result = time.monotonic()
+        self._next_warn = STALL_WARN_AFTER
+
+    def submit(self, token: Token, job: SynthesisJob) -> None:
+        job_id = self.broker.submit(job, key=token[1])
+        self._pending[job_id] = (token, job)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def collect(self) -> Optional[Tuple[Token, SynthesisOutcome]]:
+        while self._pending:
+            # One directory scan per poll, not one stat per pending
+            # job: a big sweep over a network filesystem would
+            # otherwise pay O(pending) round-trips every poll.
+            ready = {
+                path.stem
+                for path in self.broker.results_dir.glob("*.json")
+                if not path.name.startswith(".")
+            }
+            for job_id in list(self._pending):
+                if job_id not in ready:
+                    continue
+                outcome = self.broker.take_result(job_id)
+                if outcome is None:  # consumed by a crash-cleanup race
+                    continue
+                token, job = self._pending.pop(job_id)
+                if not outcome.label:
+                    outcome.label = job.label
+                self._last_result = time.monotonic()
+                self._next_warn = STALL_WARN_AFTER
+                return token, outcome
+            # Recovery + diagnostics between scans: requeue leases that
+            # stopped beating, and surface a workerless stall.
+            self.broker.requeue_expired()
+            if self._draining:
+                # A requeued job (its worker died after the first
+                # cancellation pass) is unclaimed again — withdraw it
+                # rather than wait for a worker that may never come.
+                self._withdraw_unclaimed()
+            self._maybe_warn()
+            time.sleep(self.poll)
+        return None  # drained: everything left was withdrawn
+
+    def _maybe_warn(self) -> None:
+        if self.on_stall is None:
+            return
+        waited = time.monotonic() - self._last_result
+        if waited < self._next_warn:
+            return
+        if self.broker.live_workers() > 0:
+            # Healthy wait on a busy worker: re-check a beat later
+            # WITHOUT escalating the backoff, so a worker crash during
+            # a long job is still reported promptly.
+            self._next_warn = waited + STALL_WARN_AFTER
+            return
+        self.on_stall(
+            f"{len(self._pending)} job(s) waiting in "
+            f"{self.broker.root} with no live worker for "
+            f"{waited:.0f}s — start one with: repro dse-worker "
+            f"--broker-dir {self.broker.root}"
+        )
+        self._next_warn = max(self._next_warn * 2, waited + STALL_WARN_AFTER)
+
+    def close(self) -> None:
+        """Withdraw whatever is still queued: an aborted sweep
+        (exception, Ctrl-C) must not leave job files behind for
+        service workers to burn machine time on — only the departed
+        engine could have consumed their results."""
+        self._withdraw_unclaimed()
+        self._pending.clear()
+
+    def _withdraw_unclaimed(self) -> None:
+        for job_id in list(self._pending):
+            if self.broker.cancel(job_id):
+                token, _job = self._pending.pop(job_id)
+                self._cancelled.append(token)
+
+    def cancel_pending(self) -> List[Token]:
+        """Withdraw every still-unclaimed job (goal early-exit) and
+        switch to draining mode, where ``collect`` keeps withdrawing
+        jobs that become unclaimed again (requeued after a worker
+        death).  Jobs a worker holds stay out and will be collected."""
+        self._draining = True
+        self._withdraw_unclaimed()
+        cancelled = self._cancelled
+        self._cancelled = []
+        return cancelled

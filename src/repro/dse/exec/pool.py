@@ -1,0 +1,289 @@
+"""Process-pool execution with worker-loss detection.
+
+This rebuilds the engine's bounded ``apply_async`` window on an
+explicit ``multiprocessing`` context and makes it hang-proof.  The
+previous implementation blocked forever in ``completed.get()`` when a
+pool worker was hard-killed (OOM killer, SIGKILL): neither the
+``apply_async`` callback nor the error callback ever fires for a task
+whose worker died, so the sweep wedged with work it could never
+collect.  Here ``collect`` polls with a bounded timeout and plays
+coroner:
+
+* every worker announces ``(pid, task)`` on a start queue the moment
+  it picks a task up, so the parent knows which task each worker is
+  chewing on;
+* on each poll timeout the parent compares those pids against the
+  pool's live workers; a task attributed to a vanished pid is — after
+  one grace re-poll for a result already in flight through the pool's
+  result-handler thread — settled as an ``error_kind="environment"``
+  failure (never cached, never pruning evidence) and the sweep moves
+  on.  ``multiprocessing.Pool`` respawns the dead worker itself, so
+  the remaining queue keeps draining;
+* a backstop covers the sliver where a worker dies *between* claiming
+  a task and announcing it: when nothing is attributed-running and
+  nothing has settled for ``stall_timeout`` seconds, the oldest
+  unattributed task is failed the same way.
+
+The context is pinned explicitly instead of trusting the platform
+default: ``fork`` inherits arbitrary parent state (threads, locks —
+unsafe and increasingly deprecated; Python 3.14 flips the Linux
+default away from it).  We prefer ``forkserver`` (POSIX: clean
+single-purpose parent to fork from, cheap after the first spawn) and
+fall back to ``spawn`` elsewhere — both require every job to survive a
+pickle round-trip, which :class:`~repro.spark.SynthesisJob` guarantees
+by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.dse.exec.base import Executor, Token, failure_outcome
+from repro.spark import SynthesisJob, SynthesisOutcome, execute_job
+
+#: Environment variable overriding the pinned start method (one of
+#: ``fork``/``forkserver``/``spawn``), for platforms where the
+#: preference order is wrong.
+START_METHOD_ENV_VAR = "REPRO_DSE_START_METHOD"
+
+
+def default_start_method() -> str:
+    """``forkserver`` where available, else ``spawn`` — never the
+    platform default (see module docstring)."""
+    override = os.environ.get(START_METHOD_ENV_VAR, "")
+    methods = multiprocessing.get_all_start_methods()
+    if override:
+        if override not in methods:
+            raise ValueError(
+                f"${START_METHOD_ENV_VAR}={override!r} is not a start "
+                f"method on this platform (have: {', '.join(methods)})"
+            )
+        return override
+    return "forkserver" if "forkserver" in methods else "spawn"
+
+
+# Worker-side globals, installed by the pool initializer.
+_STARTED_QUEUE = None
+
+
+def _pool_init(started_queue) -> None:
+    global _STARTED_QUEUE
+    _STARTED_QUEUE = started_queue
+
+
+def _pool_entry(task_id: int, job: SynthesisJob) -> Tuple[int, SynthesisOutcome]:
+    """Runs in the worker: announce the claim, then execute."""
+    if _STARTED_QUEUE is not None:
+        try:
+            _STARTED_QUEUE.put((os.getpid(), task_id))
+        except Exception:
+            pass  # attribution is best-effort; the backstop still covers us
+    return task_id, execute_job(job)
+
+
+class PoolExecutor(Executor):
+    """Bounded ``apply_async`` window over an explicit-context
+    ``multiprocessing.Pool``, with dead-worker detection (see module
+    docstring).
+
+    Parameters
+    ----------
+    workers:
+        pool width; also the submit-window capacity.
+    start_method:
+        multiprocessing start method; default per
+        :func:`default_start_method`.
+    poll:
+        seconds between liveness checks while waiting for a result.
+    stall_timeout:
+        backstop: how long an unattributed task may sit with nothing
+        running and nothing settling before it is failed as lost.
+    """
+
+    kind = "pool"
+
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        poll: float = 0.5,
+        stall_timeout: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.capacity = workers
+        self.start_method = start_method or default_start_method()
+        self.poll = poll
+        self.stall_timeout = stall_timeout
+        self._pool = None
+        self._started = None  # cross-process (pid, task) announcements
+        #: Parent-side results: (task, outcome) or (task, exception).
+        self._completed: "queue.SimpleQueue[Tuple[int, object]]" = (
+            queue.SimpleQueue()
+        )
+        self._inflight: Dict[int, Tuple[Token, SynthesisJob]] = {}
+        self._running: Dict[int, int] = {}  # task -> worker pid
+        self._next_task = 0
+        self._last_progress = time.monotonic()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def open(self, job_count: int) -> None:
+        # Per-sweep state starts clean: a pre-built instance may be
+        # reused across explore() calls, including after a sweep that
+        # aborted mid-flight and left entries behind — stale tokens
+        # must never leak into the next sweep's slots.
+        self._completed = queue.SimpleQueue()
+        self._inflight.clear()
+        self._running.clear()
+        self._next_task = 0
+        size = self.workers
+        if job_count > 0:
+            size = min(self.workers, job_count)
+        self.capacity = size
+        ctx = multiprocessing.get_context(self.start_method)
+        self._started = ctx.SimpleQueue()
+        self._pool = ctx.Pool(
+            processes=size,
+            initializer=_pool_init,
+            initargs=(self._started,),
+        )
+        self._last_progress = time.monotonic()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._started = None
+
+    # -- submit/collect ------------------------------------------------------
+
+    def submit(self, token: Token, job: SynthesisJob) -> None:
+        task_id = self._next_task
+        self._next_task += 1
+        self._inflight[task_id] = (token, job)
+        self._pool.apply_async(
+            _pool_entry,
+            (task_id, job),
+            callback=self._deliver,
+            error_callback=(
+                lambda error, task_id=task_id:
+                self._completed.put((task_id, error))
+            ),
+        )
+
+    def _deliver(self, value: Tuple[int, SynthesisOutcome]) -> None:
+        # Runs on the pool's result-handler thread.
+        self._completed.put(value)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._inflight)
+
+    def collect(self) -> Tuple[Token, SynthesisOutcome]:
+        while True:
+            try:
+                task_id, payload = self._completed.get(timeout=self.poll)
+            except queue.Empty:
+                settled = self._reap_lost_workers()
+                if settled is not None:
+                    return settled
+                continue
+            settled = self._settle(task_id, payload)
+            if settled is not None:
+                return settled
+
+    def _settle(
+        self, task_id: int, payload: object
+    ) -> Optional[Tuple[Token, SynthesisOutcome]]:
+        self._last_progress = time.monotonic()
+        entry = self._inflight.pop(task_id, None)
+        self._running.pop(task_id, None)
+        if entry is None:
+            # A straggler for a task already settled as lost (its
+            # result raced the one grace poll in _reap_lost_workers):
+            # drop it rather than crash the sweep.
+            return None
+        token, job = entry
+        if isinstance(payload, BaseException):
+            # Pool-level failure (e.g. the result failed to unpickle).
+            return token, failure_outcome(
+                job, f"{type(payload).__name__}: {payload}"
+            )
+        return token, payload  # type: ignore[return-value]
+
+    # -- worker-loss detection ----------------------------------------------
+
+    def _drain_started(self) -> None:
+        while self._started is not None and not self._started.empty():
+            try:
+                pid, task_id = self._started.get()
+            except (OSError, EOFError):
+                return
+            if task_id in self._inflight:
+                self._running[task_id] = pid
+                self._last_progress = time.monotonic()
+
+    def _live_pids(self) -> set:
+        processes = getattr(self._pool, "_pool", None) or []
+        return {
+            process.pid
+            for process in processes
+            if process.exitcode is None
+        }
+
+    def _reap_lost_workers(self) -> Optional[Tuple[Token, SynthesisOutcome]]:
+        """Called when a poll came up empty: settle (at most) one job
+        whose worker died, or None when everything is still healthy."""
+        self._drain_started()
+        if not self._inflight:
+            return None
+        live = self._live_pids()
+        dead_tasks = sorted(
+            task_id
+            for task_id, pid in self._running.items()
+            if pid not in live and task_id in self._inflight
+        )
+        if dead_tasks:
+            # The worker may have died *after* posting its result:
+            # give the pool's result-handler thread one grace poll to
+            # deliver before declaring the task lost.
+            try:
+                task_id, payload = self._completed.get(timeout=self.poll)
+            except queue.Empty:
+                pass
+            else:
+                # May be None for a straggler; the dead task is then
+                # re-detected on the caller's next poll.
+                return self._settle(task_id, payload)
+            task_id = dead_tasks[0]
+            pid = self._running.get(task_id)
+            token, job = self._inflight.pop(task_id)
+            self._running.pop(task_id, None)
+            self._last_progress = time.monotonic()
+            return token, failure_outcome(
+                job,
+                f"worker process {pid} died while executing this job "
+                f"(hard kill or crash); not retried",
+            )
+        # Backstop for the claim-to-announce sliver: no task is
+        # attributed to any worker, nothing is settling, and the stall
+        # budget is gone — fail the oldest unattributed task.
+        stalled = time.monotonic() - self._last_progress
+        if not self._running and stalled > self.stall_timeout:
+            task_id = min(self._inflight)
+            token, job = self._inflight.pop(task_id)
+            self._last_progress = time.monotonic()
+            return token, failure_outcome(
+                job,
+                f"job made no progress for {stalled:.1f}s with no "
+                f"live claim on it (worker lost before announcing); "
+                f"not retried",
+            )
+        return None

@@ -1,0 +1,37 @@
+"""In-process execution: the ``--workers 1`` path, one job at a time."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.dse.exec.base import Executor, Token
+from repro.spark import SynthesisJob, SynthesisOutcome, execute_job
+
+
+class SerialExecutor(Executor):
+    """Runs each job inline in the calling process.
+
+    ``submit`` only enqueues; the work happens in ``collect``, so the
+    engine observes the same submit/collect rhythm as with any other
+    backend (and dispatch-time pruning sees every prior completion).
+    """
+
+    kind = "serial"
+    capacity = 1
+
+    def __init__(self) -> None:
+        self._pending: List[Tuple[Token, SynthesisJob]] = []
+
+    def open(self, job_count: int) -> None:
+        self._pending.clear()  # instances may be reused across sweeps
+
+    def submit(self, token: Token, job: SynthesisJob) -> None:
+        self._pending.append((token, job))
+
+    def collect(self) -> Tuple[Token, SynthesisOutcome]:
+        token, job = self._pending.pop(0)
+        return token, execute_job(job)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)

@@ -70,10 +70,15 @@ def summarize(result: ExplorationResult) -> str:
         text += f", {result.pruned} pruned"
     if result.skipped:
         text += f", {result.skipped} skipped"
-    text += (
-        f" ({result.workers} worker{'s' if result.workers != 1 else ''}), "
-        f"{result.elapsed:.2f}s"
-    )
+    if result.executor == "broker":
+        # Broker sweeps are served by external dse-worker processes,
+        # so the engine's own worker count would be misleading.
+        text += f" (broker), {result.elapsed:.2f}s"
+    else:
+        text += (
+            f" ({result.workers} worker{'s' if result.workers != 1 else ''}), "
+            f"{result.elapsed:.2f}s"
+        )
     if infeasible:
         text += f", {infeasible} infeasible"
     if result.goal_met:

@@ -6,47 +6,58 @@ The engine evolved from a batch ``Pool.map`` into an adaptive loop:
    cache (when caching is enabled); hits stream straight to the
    caller's ``on_outcome`` callback and seed the Pareto frontier and
    the dominance pruner;
-2. misses execute as a *stream* — serially when ``workers == 1``,
-   otherwise through a bounded ``apply_async`` window over a
-   ``multiprocessing`` pool, so each completion is observed the moment
-   it lands rather than at an end-of-sweep barrier;
+2. misses execute as a *stream* through a pluggable
+   :class:`~repro.dse.exec.Executor` — in-process
+   (``executor="serial"``), a dead-worker-tolerant process pool
+   (``"pool"``), or a filesystem job broker served by ``repro
+   dse-worker`` processes on any machine sharing the directory
+   (``"broker"``) — so each completion is observed the moment it
+   lands rather than at an end-of-sweep barrier;
 3. each completion updates the latency/area frontier, may satisfy the
    sweep goal (``target_latency`` / ``max_area``) and stop the sweep
-   early, and may prove pending corners infeasible by dominance so
-   they are pruned without ever running;
+   early (withdrawing jobs the executor has not started), and may
+   prove pending corners infeasible by dominance so they are pruned
+   without ever running;
 4. cacheable fresh outcomes (successes and deterministic
-   infeasibility — never environment trouble) are written back;
+   infeasibility — never environment trouble or expired wall-clock
+   budgets) are written back;
 5. results come back in job order regardless of completion order.
 
 ``execute_job`` is a pure module-level function over picklable
 dataclasses; environment factories (external callables, libraries)
 are resolved inside each worker, never shipped across the process
 boundary.
+
+Fault tolerance is the executors' contract (:mod:`repro.dse.exec`):
+a lost worker process or machine settles its job as an
+``error_kind="environment"`` outcome instead of hanging the sweep,
+and a per-job wall-clock budget (``job_timeout``) settles runaway
+corners as ``error_kind="timeout"`` — neither is ever memoized or
+used as pruning evidence.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import queue
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.dse.broker import BROKER_DIR_NAME, DEFAULT_LEASE_TTL
 from repro.dse.cache import (
     ResultCache,
     default_cache_dir,
     job_key,
     names_bare_cwd,
 )
+from repro.dse.exec import EXECUTOR_KINDS, Executor, make_executor
 from repro.dse.pareto import InfeasiblePruner, ParetoFront, SweepGoal
 from repro.dse.service import maybe_auto_gc
 from repro.spark import (
-    ERROR_KIND_ENVIRONMENT,
     ERROR_KIND_UNSCHEDULABLE,
     SynthesisJob,
     SynthesisOutcome,
-    execute_job,
 )
 
 #: Callback invoked once per settled outcome (hit, fresh run or prune),
@@ -60,7 +71,9 @@ class ExplorationResult:
 
     ``outcomes`` holds every job that *settled* — executed, recalled
     from cache, or pruned as provably infeasible.  Jobs abandoned by
-    an early exit are only counted (``skipped``), never fabricated.
+    an early exit (never dispatched, or withdrawn from the broker
+    queue before any worker claimed them) are only counted
+    (``skipped``), never fabricated.
     """
 
     outcomes: List[SynthesisOutcome] = field(default_factory=list)
@@ -71,6 +84,7 @@ class ExplorationResult:
     goal_met: bool = False
     elapsed: float = 0.0
     workers: int = 1
+    executor: str = "serial"
     front: ParetoFront = field(default_factory=ParetoFront)
 
     @property
@@ -108,18 +122,6 @@ def _pruned_outcome(job: SynthesisJob, witness: str) -> SynthesisOutcome:
     )
 
 
-def _failure_outcome(job: SynthesisJob, error: BaseException) -> SynthesisOutcome:
-    """Fallback for pool-level failures (e.g. a result that cannot be
-    unpickled) — classified as environment trouble, never cached."""
-    return SynthesisOutcome(
-        label=job.label,
-        ok=False,
-        error=f"{type(error).__name__}: {error}",
-        error_kind=ERROR_KIND_ENVIRONMENT,
-        clock_period=job.script.clock_period,
-    )
-
-
 class ExplorationEngine:
     """Runs batches of synthesis jobs with memoization, streaming
     results, Pareto tracking, dominance pruning and early exit.
@@ -131,6 +133,21 @@ class ExplorationEngine:
         empty string disables caching entirely.
     workers:
         process-pool width for cache misses; ``1`` runs in-process.
+    executor:
+        execution backend for cache misses: ``"auto"`` (serial for one
+        worker, pool otherwise), ``"serial"``, ``"pool"``, ``"broker"``
+        — or a pre-built :class:`~repro.dse.exec.Executor` instance.
+    job_timeout:
+        per-job wall-clock budget in seconds applied to every
+        dispatched job that does not carry its own; ``None`` (default)
+        leaves jobs unbounded.
+    broker_dir:
+        the broker directory for ``executor="broker"``; defaults to
+        ``<cache dir>/broker`` so engine and workers rendezvous on the
+        shared cache filesystem.
+    lease_ttl:
+        broker heartbeat expiry: a claimed job whose worker stops
+        beating for this long is requeued.
     """
 
     def __init__(
@@ -138,10 +155,27 @@ class ExplorationEngine:
         cache_dir: Union[str, Path, None] = None,
         workers: int = 1,
         use_cache: bool = True,
+        executor: Union[str, Executor] = "auto",
+        job_timeout: Optional[float] = None,
+        broker_dir: Union[str, Path, None] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if isinstance(executor, str) and executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{', '.join(EXECUTOR_KINDS)}"
+            )
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError(
+                f"job_timeout must be positive, got {job_timeout}"
+            )
         self.workers = workers
+        self.executor = executor
+        self.job_timeout = job_timeout
+        self.broker_dir = broker_dir
+        self.lease_ttl = lease_ttl
         self.cache: Optional[ResultCache] = None
         # An empty cache_dir means "no cache", exactly like
         # use_cache=False.  Path("") silently becomes the *current
@@ -175,6 +209,13 @@ class ExplorationEngine:
         started = time.perf_counter()
         goal = SweepGoal(target_latency=target_latency, max_area=max_area)
         result = ExplorationResult(workers=self.workers)
+        # Report the configured backend even when every job is served
+        # from cache and no executor ever opens ("auto" resolves only
+        # once the miss count is known; _run_pending refines it).
+        if isinstance(self.executor, Executor):
+            result.executor = self.executor.kind
+        elif self.executor != "auto":
+            result.executor = self.executor
         outcomes: List[Optional[SynthesisOutcome]] = [None] * len(jobs)
         pruner = InfeasiblePruner() if prune else None
         pending: List[Tuple[int, str, SynthesisJob]] = []
@@ -222,6 +263,32 @@ class ExplorationEngine:
 
     # -- execution ----------------------------------------------------------
 
+    def _make_executor(self, job_count: int) -> Executor:
+        """The executor instance for one sweep's misses."""
+        if isinstance(self.executor, Executor):
+            return self.executor
+        broker_dir = self.broker_dir
+        if self.executor == "broker" and broker_dir is None:
+            root = (
+                self.cache.root if self.cache is not None
+                else default_cache_dir()
+            )
+            broker_dir = Path(root) / BROKER_DIR_NAME
+        return make_executor(
+            self.executor,
+            workers=self.workers,
+            job_count=job_count,
+            broker_dir=broker_dir,
+            lease_ttl=self.lease_ttl,
+        )
+
+    def _budgeted(self, job: SynthesisJob) -> SynthesisJob:
+        """Stamp the engine-wide wall-clock budget onto a job that
+        carries none (never mutates the caller's job)."""
+        if self.job_timeout is None or job.timeout is not None:
+            return job
+        return dataclasses.replace(job, timeout=self.job_timeout)
+
     def _settle_fresh(
         self,
         index: int,
@@ -242,48 +309,22 @@ class ExplorationEngine:
         pruner: Optional[InfeasiblePruner],
         settle: Callable[[int, SynthesisOutcome], bool],
     ) -> bool:
-        if self.workers > 1 and len(pending) > 1:
-            return self._run_pending_pool(pending, result, pruner, settle)
-        goal_met = False
-        for position, (index, key, job) in enumerate(pending):
-            if goal_met:
-                result.skipped = len(pending) - position
-                break
-            witness = pruner.veto(job) if pruner is not None else None
-            if witness is not None:
-                result.pruned += 1
-                settle(index, _pruned_outcome(job, witness))
-                continue
-            if self._settle_fresh(index, key, execute_job(job), result, settle):
-                goal_met = True
-        return goal_met
-
-    def _run_pending_pool(
-        self,
-        pending: List[Tuple[int, str, SynthesisJob]],
-        result: ExplorationResult,
-        pruner: Optional[InfeasiblePruner],
-        settle: Callable[[int, SynthesisOutcome], bool],
-    ) -> bool:
-        """Streaming parallel execution: a bounded ``apply_async``
-        window (one slot per worker) instead of a single ``map``
-        barrier, so completions are observed as they land and the
-        undispatched tail can still be pruned or skipped."""
-        pool_size = min(self.workers, len(pending))
-        completed: "queue.SimpleQueue[Tuple[int, str, SynthesisOutcome]]" = (
-            queue.SimpleQueue()
-        )
+        """Stream the misses through the executor: keep the submit
+        window full (pruning at dispatch time, so evidence from
+        completions retires the queue's tail), observe completions as
+        they land, and on goal early-exit withdraw whatever the
+        executor has not started."""
+        executor = self._make_executor(len(pending))
+        result.executor = executor.kind
         goal_met = False
         cursor = 0
-        outstanding = 0
-        with multiprocessing.Pool(processes=pool_size) as pool:
+        executor.open(len(pending))
+        try:
             while True:
-                # Dispatch up to the window, pruning at dispatch time so
-                # evidence from completions retires the queue's tail.
                 while (
                     not goal_met
                     and cursor < len(pending)
-                    and outstanding < pool_size
+                    and executor.outstanding < executor.capacity
                 ):
                     index, key, job = pending[cursor]
                     cursor += 1
@@ -294,31 +335,30 @@ class ExplorationEngine:
                         result.pruned += 1
                         settle(index, _pruned_outcome(job, witness))
                         continue
-                    pool.apply_async(
-                        execute_job,
-                        (job,),
-                        callback=(
-                            lambda outcome, index=index, key=key:
-                            completed.put((index, key, outcome))
-                        ),
-                        error_callback=(
-                            lambda error, index=index, key=key, job=job:
-                            completed.put(
-                                (index, key, _failure_outcome(job, error))
-                            )
-                        ),
-                    )
-                    outstanding += 1
-                if outstanding == 0:
+                    executor.submit((index, key), self._budgeted(job))
+                if goal_met:
+                    # Withdraw whatever the executor has not started —
+                    # on every drain iteration, not just once: a
+                    # broker job whose worker died after the first
+                    # pass is requeued, and cancellable again, rather
+                    # than waited on forever.
+                    result.skipped += len(executor.cancel_pending())
+                if executor.outstanding == 0:
                     # The dispatch loop above only stops with an empty
                     # window when the goal is met or the queue is
                     # exhausted (pruned jobs settle inline and the
                     # loop keeps dispatching), so this is the exit.
                     break
-                index, key, outcome = completed.get()
-                outstanding -= 1
+                settled = executor.collect()
+                if settled is None:
+                    # Draining cancellations emptied the in-flight set
+                    # mid-collect; loop around to account for them.
+                    continue
+                (index, key), outcome = settled
                 if self._settle_fresh(index, key, outcome, result, settle):
                     goal_met = True
+        finally:
+            executor.close()
         result.skipped += len(pending) - cursor
         return goal_met
 
@@ -332,10 +372,20 @@ def explore(
     target_latency: Optional[float] = None,
     max_area: Optional[float] = None,
     prune: bool = True,
+    executor: Union[str, Executor] = "auto",
+    job_timeout: Optional[float] = None,
+    broker_dir: Union[str, Path, None] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
 ) -> ExplorationResult:
     """One-call convenience sweep."""
     engine = ExplorationEngine(
-        cache_dir=cache_dir, workers=workers, use_cache=use_cache
+        cache_dir=cache_dir,
+        workers=workers,
+        use_cache=use_cache,
+        executor=executor,
+        job_timeout=job_timeout,
+        broker_dir=broker_dir,
+        lease_ttl=lease_ttl,
     )
     return engine.explore(
         jobs,

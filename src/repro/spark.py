@@ -17,10 +17,13 @@ of parallelization through script files."
 
 from __future__ import annotations
 
+import contextlib
 import importlib
+import signal
+import threading
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.backend.interface import DesignInterface
 from repro.backend.rtl_sim import RTLResult, RTLSimulator
@@ -139,6 +142,49 @@ ERROR_KIND_UNSCHEDULABLE = "unschedulable"
 #: memoized: the next run may well succeed.
 ERROR_KIND_ENVIRONMENT = "environment"
 
+#: The job's wall-clock budget ran out.  A timeout is a property of
+#: the budget and the machine's speed, not of the design, so it is
+#: never memoized and never used as dominance-pruning evidence.
+ERROR_KIND_TIMEOUT = "timeout"
+
+
+class JobTimeout(Exception):
+    """Raised inside :func:`execute_job` when the wall-clock deadline
+    expires; never escapes — it settles as an ``error_kind="timeout"``
+    outcome."""
+
+
+@contextlib.contextmanager
+def _job_deadline(seconds: Optional[float]) -> Iterator[bool]:
+    """Arm a wall-clock deadline that raises :class:`JobTimeout`.
+
+    Uses ``SIGALRM``, so enforcement needs a POSIX main thread — which
+    is where every executor runs ``execute_job`` (in-process serial
+    runs, pool worker processes, broker workers).  Anywhere else the
+    deadline degrades to unenforced (yields False) rather than
+    breaking the run.
+    """
+    enforceable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not enforceable:
+        yield False
+        return
+
+    def _expired(signum: int, frame: object) -> None:
+        raise JobTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))  # type: ignore[arg-type]
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
 
 @dataclass
 class SynthesisJob:
@@ -170,6 +216,10 @@ class SynthesisJob:
         measured cycle count.
     emit:
         carry the emitted VHDL/Verilog text in the outcome.
+    timeout:
+        wall-clock budget in seconds for one execution; ``None`` (the
+        default) means unbounded.  A job that runs out settles as an
+        ``error_kind="timeout"`` outcome.
     """
 
     source: str
@@ -182,6 +232,7 @@ class SynthesisJob:
     array_inputs: Dict[str, List[int]] = field(default_factory=dict)
     measure: bool = False
     emit: bool = False
+    timeout: Optional[float] = None
 
     def resolve_environment(self) -> JobEnvironment:
         if not self.environment:
@@ -192,7 +243,12 @@ class SynthesisJob:
 
     def fingerprint_data(self) -> Dict[str, object]:
         """Canonical plain-data description for content hashing (sets
-        become sorted lists so the JSON encoding is stable)."""
+        become sorted lists so the JSON encoding is stable).
+
+        Deliberately excludes ``timeout``: the budget changes when an
+        attempt is abandoned, never what a completed run computes, and
+        timed-out outcomes are not memoized — so keying on it would
+        only fragment the cache."""
         script = asdict(self.script)
         script["pure_functions"] = sorted(script["pure_functions"])
         script["output_scalars"] = sorted(script["output_scalars"])
@@ -212,6 +268,39 @@ class SynthesisJob:
             "measure": self.measure,
             "emit": self.emit,
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable description that :meth:`from_dict`
+        restores exactly — the wire format of the filesystem job
+        broker (sets become sorted lists)."""
+        data = asdict(self)
+        script = data["script"]
+        script["pure_functions"] = sorted(script["pure_functions"])
+        script["output_scalars"] = sorted(script["output_scalars"])
+        data["environment_args"] = list(self.environment_args)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SynthesisJob":
+        """Rebuild a job from :meth:`to_dict` output.  Unknown fields
+        are ignored so brokers survive mixed package versions."""
+        known = {
+            name: data[name]
+            for name in cls.__dataclass_fields__
+            if name in data
+        }
+        script_data = dict(known.get("script") or {})
+        script_known = {
+            name: script_data[name]
+            for name in SynthesisScript.__dataclass_fields__
+            if name in script_data
+        }
+        for field_name in ("pure_functions", "output_scalars"):
+            if field_name in script_known:
+                script_known[field_name] = set(script_known[field_name])
+        known["script"] = SynthesisScript(**script_known)
+        known["environment_args"] = tuple(known.get("environment_args", ()))
+        return cls(**known)
 
 
 @dataclass
@@ -255,8 +344,9 @@ class SynthesisOutcome:
     @property
     def cacheable(self) -> bool:
         """Whether memoizing this outcome is sound: successes and
-        deterministic infeasibility, never environment trouble or
-        outcomes that were themselves inferred rather than executed."""
+        deterministic infeasibility, never environment trouble,
+        expired wall-clock budgets, or outcomes that were themselves
+        inferred rather than executed."""
         if self.provenance == "pruned":
             return False
         return self.ok or self.error_kind in (
@@ -299,19 +389,40 @@ def execute_job(job: SynthesisJob) -> SynthesisOutcome:
     resolving the environment factory (import errors, broken
     factories) and machine-level trouble during synthesis (``OSError``,
     ``MemoryError``) is :data:`ERROR_KIND_ENVIRONMENT` — transient,
-    never memoized.  Everything else is a deterministic function of the
-    job content and tagged :data:`ERROR_KIND_INFEASIBLE`.
+    never memoized.  A job whose wall-clock budget (``job.timeout``)
+    expires is :data:`ERROR_KIND_TIMEOUT` — also never memoized, and
+    never dominance evidence.  Everything else is a deterministic
+    function of the job content and tagged
+    :data:`ERROR_KIND_INFEASIBLE`.
     """
     started = time.perf_counter()
     outcome = SynthesisOutcome(label=job.label)
     try:
+        with _job_deadline(job.timeout):
+            _execute_job_body(job, outcome)
+    except JobTimeout:
+        outcome.ok = False
+        outcome.error_kind = ERROR_KIND_TIMEOUT
+        outcome.error = (
+            f"timeout: exceeded the {job.timeout:g}s wall-clock budget"
+        )
+    outcome.elapsed = time.perf_counter() - started
+    return outcome
+
+
+def _execute_job_body(job: SynthesisJob, outcome: SynthesisOutcome) -> None:
+    """The classification core of :func:`execute_job`: fills *outcome*
+    in place, letting only :class:`JobTimeout` escape (so the deadline
+    wins over every other failure class)."""
+    try:
         environment = job.resolve_environment()
+    except JobTimeout:
+        raise
     except Exception as error:
         outcome.ok = False
         outcome.error_kind = ERROR_KIND_ENVIRONMENT
         outcome.error = f"{type(error).__name__}: {error}"
-        outcome.elapsed = time.perf_counter() - started
-        return outcome
+        return
     try:
         session = SparkSession.from_job(job, environment=environment)
         result = session.run(bind=True, emit=job.emit)
@@ -344,6 +455,8 @@ def execute_job(job: SynthesisJob) -> SynthesisOutcome:
             )
             outcome.measured_cycles = rtl.cycles
         outcome.latency = outcome.cycles * job.script.clock_period
+    except JobTimeout:
+        raise
     except (OSError, MemoryError) as error:  # machine trouble, not the job
         outcome.ok = False
         outcome.error_kind = ERROR_KIND_ENVIRONMENT
@@ -356,8 +469,6 @@ def execute_job(job: SynthesisJob) -> SynthesisOutcome:
         outcome.ok = False
         outcome.error_kind = ERROR_KIND_INFEASIBLE
         outcome.error = f"{type(error).__name__}: {error}"
-    outcome.elapsed = time.perf_counter() - started
-    return outcome
 
 
 class SparkSession:

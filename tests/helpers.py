@@ -103,6 +103,32 @@ def flaky_environment(marker: str):
     return JobEnvironment()
 
 
+def sleepy_environment(seconds: int = 30):
+    """A ``SynthesisJob`` environment factory that stalls for
+    *seconds* before succeeding — a stand-in for a pathological corner
+    that runs far past any reasonable wall clock.  Used to exercise
+    per-job timeouts (the deadline interrupts the sleep) and broker
+    crash-recovery (the job is slow enough to kill a worker mid-run)."""
+    import time
+
+    from repro.spark import JobEnvironment
+
+    time.sleep(seconds)
+    return JobEnvironment()
+
+
+def suicide_environment():
+    """A ``SynthesisJob`` environment factory that hard-kills its own
+    process — the worker-side half of the worker-loss regression
+    tests.  SIGKILL cannot be caught, so neither the ``apply_async``
+    callbacks nor any ``except`` clause ever observe this job ending;
+    only liveness detection can."""
+    import os
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 def mini_ild_externals():
     """Deterministic pure externals for the mini-ILD fixture."""
     return {

@@ -1,0 +1,465 @@
+"""Tests for the filesystem job broker and distributed sweeps.
+
+Covers the broker mechanics (atomic claims, leases, requeue), the
+crash-recovery guarantee — a worker that claims a job and dies has its
+lease expire and the job re-executed elsewhere, with the outcome
+landing exactly once in the shared cache — and the acceptance parity
+criterion: a two-worker broker sweep ranks identically to the local
+pool executor.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.dse import (
+    BrokerExecutor,
+    ExplorationEngine,
+    JobBroker,
+    ResultCache,
+    grid_from_specs,
+    job_key,
+    jobs_from_grid,
+    run_worker,
+)
+from repro.spark import ERROR_KIND_ENVIRONMENT, SynthesisJob, execute_job
+from repro.transforms.base import SynthesisScript
+
+SWEEP_SRC = """
+int acc[26];
+int i; int total;
+total = 0;
+for (i = 0; i < 24; i++) {
+  total = total + i;
+  acc[i] = total;
+}
+"""
+
+
+def base_script() -> SynthesisScript:
+    return SynthesisScript(output_scalars={"total"})
+
+
+def sweep_jobs(*specs: str):
+    return jobs_from_grid(
+        SWEEP_SRC, grid_from_specs(list(specs)), base_script=base_script()
+    )
+
+
+def make_job(label="point", clock=4.0, **overrides) -> SynthesisJob:
+    script = base_script()
+    script.clock_period = clock
+    job = SynthesisJob(source=SWEEP_SRC, script=script, label=label)
+    for name, value in overrides.items():
+        setattr(job, name, value)
+    return job
+
+
+def wait_until(predicate, timeout=30.0, poll=0.02, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(poll)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+# ---------------------------------------------------------------------------
+# Broker mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestBrokerMechanics:
+    def test_submit_claim_complete_roundtrip(self, tmp_path):
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        job = make_job()
+        job_id = broker.submit(job, key="k" * 64)
+        assert broker.stats().queued == 1
+
+        claim = broker.claim("w1")
+        assert claim is not None
+        assert claim.job_id == job_id
+        assert claim.key == "k" * 64
+        assert claim.job == job  # full fidelity through the wire format
+        assert broker.stats().queued == 0
+        assert broker.stats().claimed == 1
+        assert broker.heartbeat(claim)
+
+        outcome = execute_job(claim.job)
+        broker.complete(claim, outcome)
+        assert broker.stats().claimed == 0
+
+        recalled = broker.take_result(job_id)
+        assert recalled is not None
+        assert recalled.ok
+        assert recalled.score() == outcome.score()
+        assert broker.take_result(job_id) is None  # consumed
+        assert broker.stats().results == 0
+
+    def test_claims_are_exclusive(self, tmp_path):
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        broker.submit(make_job())
+        assert broker.claim("w1") is not None
+        assert broker.claim("w2") is None  # nothing left to take
+
+    def test_cancel_withdraws_only_unclaimed_jobs(self, tmp_path):
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        free = broker.submit(make_job(label="free"))
+        taken = broker.submit(make_job(label="taken"))
+        # Claim the older job (claims scan in sorted id order).
+        claim = broker.claim("w1")
+        assert claim.job_id == free
+        assert not broker.cancel(free)  # already executing somewhere
+        assert broker.cancel(taken)
+        assert broker.stats().queued == 0
+
+    def test_fresh_lease_is_not_requeued(self, tmp_path):
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        broker.submit(make_job())
+        assert broker.claim("w1") is not None
+        assert broker.requeue_expired() == []
+
+    def test_lease_ttl_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="lease_ttl"):
+            JobBroker(tmp_path, lease_ttl=0.0)
+
+    def test_worker_liveness_census(self, tmp_path):
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        assert broker.live_workers() == 0
+        broker.worker_heartbeat("w1")
+        broker.worker_heartbeat("w2")
+        assert broker.live_workers() == 2
+        broker.retire_worker("w1")
+        assert broker.live_workers() == 1
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery
+# ---------------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_expired_lease_requeues_job_for_a_second_worker(self, tmp_path):
+        """A worker that claims a job and silently dies (no heartbeat,
+        no completion) must lose the claim after the lease TTL, and a
+        second worker must pick the job up and finish it."""
+        broker = JobBroker(tmp_path, lease_ttl=0.3)
+        job = make_job()
+        job_id = broker.submit(job, key="k" * 64)
+
+        doomed = broker.claim("doomed")
+        assert doomed is not None
+        # Lease still fresh: nobody can steal the job yet.
+        assert broker.claim("w2") is None
+        time.sleep(0.45)  # the heartbeat stops beating...
+
+        rescued = broker.claim("w2")  # claim() requeues expired leases
+        assert rescued is not None
+        assert rescued.job_id == job_id
+        assert rescued.worker == "w2"
+        broker.complete(rescued, execute_job(rescued.job))
+        assert broker.take_result(job_id).ok
+
+    def test_completed_but_unretired_claim_is_cleaned_not_rerun(
+        self, tmp_path
+    ):
+        """A worker that crashes *after* publishing its result but
+        before retiring the claim must not cause a re-execution."""
+        broker = JobBroker(tmp_path, lease_ttl=0.3)
+        job_id = broker.submit(make_job())
+        claim = broker.claim("w1")
+        # Publish the result by hand, simulating a crash mid-complete:
+        # the result file landed, the claim and lease did not unlink.
+        broker._write_json(
+            broker.results_dir / f"{job_id}.json",
+            {"id": job_id, "outcome": execute_job(claim.job).to_dict()},
+        )
+        time.sleep(0.45)
+        assert broker.requeue_expired() == []  # cleaned, not requeued
+        assert broker.stats().claimed == 0
+        assert broker.stats().queued == 0
+        assert broker.take_result(job_id).ok
+
+    def test_killed_worker_process_job_lands_exactly_once_in_cache(
+        self, tmp_path
+    ):
+        """End to end: worker 1 (a real process) claims the only job
+        and is SIGKILLed mid-execution; the lease expires, worker 2
+        re-executes, and the sweep completes with the outcome cached
+        exactly once."""
+        broker_dir = tmp_path / "broker"
+        cache_dir = tmp_path / "cache"
+        broker = JobBroker(broker_dir, lease_ttl=0.4)
+        # Slow enough to be killed mid-run, fast enough for a test.
+        job = make_job(
+            label="slow",
+            environment="tests.helpers:sleepy_environment",
+            environment_args=(2,),
+        )
+
+        def chaos() -> None:
+            ctx = multiprocessing.get_context("spawn")
+            victim = ctx.Process(
+                target=run_worker,
+                kwargs=dict(
+                    broker=JobBroker(broker_dir, lease_ttl=0.4),
+                    worker="victim",
+                    poll=0.05,
+                ),
+            )
+            victim.start()
+            try:
+                wait_until(
+                    lambda: broker.stats().claimed > 0,
+                    what="the victim to claim the job",
+                )
+                victim.kill()  # SIGKILL: no cleanup, lease goes stale
+            finally:
+                victim.join()
+            run_worker(
+                broker,
+                worker="rescuer",
+                max_jobs=1,
+                poll=0.05,
+            )
+
+        saboteur = threading.Thread(target=chaos, daemon=True)
+        saboteur.start()
+        engine = ExplorationEngine(
+            cache_dir=cache_dir,
+            executor=BrokerExecutor(broker, poll=0.05, on_stall=None),
+        )
+        result = engine.explore([job])
+        saboteur.join(timeout=60)
+        assert not saboteur.is_alive()
+
+        assert len(result.outcomes) == 1
+        assert result.outcomes[0].ok, result.outcomes[0].error
+        cache = ResultCache(cache_dir)
+        assert len(cache) == 1  # exactly once, under the content key
+        assert cache.get(job_key(job)).ok
+
+
+# ---------------------------------------------------------------------------
+# Distributed sweeps: parity with the local pool
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedSweep:
+    def run_broker_sweep(self, jobs, broker, n_workers=2, **explore_kwargs):
+        """Run *jobs* through the broker with in-process workers."""
+        workers = [
+            threading.Thread(
+                target=run_worker,
+                kwargs=dict(
+                    broker=broker,
+                    worker=f"w{index}",
+                    idle_timeout=3.0,
+                    poll=0.02,
+                ),
+                daemon=True,
+            )
+            for index in range(n_workers)
+        ]
+        for worker in workers:
+            worker.start()
+        engine = ExplorationEngine(
+            use_cache=False,
+            executor=BrokerExecutor(broker, poll=0.02, on_stall=None),
+        )
+        result = engine.explore(jobs, **explore_kwargs)
+        for worker in workers:
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+        return result
+
+    def test_two_worker_broker_sweep_matches_pool(self, tmp_path):
+        """Acceptance: a 2-worker broker sweep on a shared directory
+        produces the same ranked outcomes as --executor pool."""
+        jobs = sweep_jobs("clock=2,3,4,6", "unroll=none,*:2,*:0")
+        assert len(jobs) == 12
+        pool = ExplorationEngine(workers=2, use_cache=False).explore(jobs)
+        broker = JobBroker(tmp_path / "broker", lease_ttl=10.0)
+        distributed = self.run_broker_sweep(jobs, broker)
+
+        assert distributed.executor == "broker"
+        assert len(distributed.outcomes) == len(pool.outcomes) == 12
+        assert [o.label for o in distributed.ranked()] == [
+            o.label for o in pool.ranked()
+        ]
+        assert [o.score() for o in distributed.ranked()] == [
+            o.score() for o in pool.ranked()
+        ]
+        # Nothing lost, nothing left behind in the broker.
+        stats = broker.stats()
+        assert (stats.queued, stats.claimed, stats.results) == (0, 0, 0)
+
+    def test_goal_early_exit_withdraws_unclaimed_jobs(self, tmp_path):
+        jobs = sweep_jobs("clock=2,3,4,6")
+        broker = JobBroker(tmp_path / "broker", lease_ttl=10.0)
+        # One deliberately slow worker so the queue drains gradually
+        # and a satisfied goal leaves genuinely unclaimed jobs.
+        result = self.run_broker_sweep(
+            jobs, broker, n_workers=1, target_latency=1000.0
+        )
+        assert result.goal_met
+        assert result.executed >= 1
+        assert result.executed + result.skipped == len(jobs)
+        assert broker.stats().queued == 0  # withdrawn, not abandoned
+
+    def test_draining_withdraws_job_requeued_after_worker_death(
+        self, tmp_path
+    ):
+        """Regression: with the goal already met, a claimed job whose
+        worker dies is requeued — and must then be *withdrawn* by the
+        draining executor, not waited on forever for a worker that may
+        never come."""
+        broker = JobBroker(tmp_path, lease_ttl=0.3)
+        executor = BrokerExecutor(broker, poll=0.05, on_stall=None)
+        executor.open(2)
+        executor.submit((0, ""), make_job(label="done"))
+        executor.submit((1, ""), make_job(label="orphaned", clock=2.0))
+
+        finisher = broker.claim("finisher")
+        broker.complete(finisher, execute_job(finisher.job))
+        token, outcome = executor.collect()
+        assert token == (0, "")
+        assert outcome.ok
+
+        doomed = broker.claim("doomed")  # claims the second job...
+        assert doomed is not None
+        assert executor.cancel_pending() == []  # ...so nothing cancels
+        # The worker dies silently; once its lease expires, the
+        # draining collect must requeue + withdraw rather than hang.
+        start = time.monotonic()
+        assert executor.collect() is None
+        assert time.monotonic() - start < 10.0
+        assert executor.cancel_pending() == [(1, "")]
+        assert executor.outstanding == 0
+        assert broker.stats().queued == 0
+
+    def test_bad_job_file_settles_as_environment_failure(self, tmp_path):
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        job_id = broker.submit(make_job())
+        # Corrupt the queued job in place.
+        (broker.queue_dir / f"{job_id}.json").write_text(
+            '{"id": "x", "job": {"script": 7}}', encoding="utf-8"
+        )
+        report = run_worker(broker, max_jobs=None, idle_timeout=0.2, poll=0.02)
+        assert report.failed_claims == 1
+        outcome = broker.take_result(job_id)
+        assert outcome is not None
+        assert not outcome.ok
+        assert outcome.error_kind == ERROR_KIND_ENVIRONMENT
+
+
+# ---------------------------------------------------------------------------
+# The CLI surface: repro dse-worker + repro dse --executor broker
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerCli:
+    def test_flag_validation(self, capsys):
+        assert main(["dse-worker", "--max-jobs", "0"]) == 2
+        assert "--max-jobs" in capsys.readouterr().err
+        assert main(["dse-worker", "--lease-ttl", "0"]) == 2
+        assert "--lease-ttl" in capsys.readouterr().err
+        assert main(["dse-worker", "--poll", "0"]) == 2
+        assert "--poll" in capsys.readouterr().err
+
+    def test_cache_dir_flag_derives_the_broker_dir(self, tmp_path, capsys):
+        # A worker started with the sweep's --cache-dir rendezvouses
+        # on <cache>/broker without repeating --broker-dir.
+        broker = JobBroker(tmp_path / "cache" / "broker", lease_ttl=5.0)
+        broker.submit(make_job())
+        status = main(
+            [
+                "dse-worker",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--idle-timeout", "0.3",
+                "--poll", "0.02",
+                "--quiet",
+            ]
+        )
+        assert status == 0
+        assert "executed 1 job(s)" in capsys.readouterr().out
+
+    def test_worker_drains_queue_and_reports(self, tmp_path, capsys):
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        for clock in (2.0, 4.0):
+            broker.submit(make_job(label=f"clock={clock:g}", clock=clock))
+        status = main(
+            [
+                "dse-worker",
+                "--broker-dir", str(tmp_path),
+                "--idle-timeout", "0.3",
+                "--poll", "0.02",
+                "--quiet",
+            ]
+        )
+        assert status == 0
+        assert "executed 2 job(s)" in capsys.readouterr().out
+        assert broker.stats().results == 2
+
+    def test_end_to_end_cli_broker_sweep(self, tmp_path):
+        """The CI smoke test in miniature: two real `repro dse-worker`
+        subprocesses serve a 12-point `repro dse --executor broker`
+        sweep with zero lost jobs."""
+        source_path = tmp_path / "sweep.c"
+        source_path.write_text(SWEEP_SRC, encoding="utf-8")
+        broker_dir = tmp_path / "broker"
+        repo_src = str(Path(__file__).resolve().parent.parent / "src")
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "dse-worker",
+                    "--broker-dir", str(broker_dir),
+                    "--idle-timeout", "10",
+                    "--poll", "0.05",
+                    "--quiet",
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+            )
+            for _ in range(2)
+        ]
+        try:
+            sweep = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "dse",
+                    str(source_path),
+                    "--vary", "clock=2,3,4,6",
+                    "--vary", "unroll=none,*:2,*:0",
+                    "--executor", "broker",
+                    "--broker-dir", str(broker_dir),
+                    "--no-cache",
+                    "--output", "total",
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+        finally:
+            for worker in workers:
+                try:
+                    worker.wait(timeout=60)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+                    worker.wait()
+        assert sweep.returncode == 0, sweep.stderr
+        assert "12 design points: 0 cache hits, 12 synthesized" in sweep.stdout
+        assert "(broker)" in sweep.stdout

@@ -1,0 +1,362 @@
+"""Tests for the pluggable executor layer (repro.dse.exec).
+
+The load-bearing regressions here are the two historical hang modes:
+
+* a pool worker hard-killed mid-job (OOM killer, SIGKILL) used to
+  wedge ``ExplorationEngine`` forever in ``completed.get()`` — neither
+  ``apply_async`` callback fires for a task whose worker died;
+* a pathological corner with no wall-clock bound used to stall a
+  sweep indefinitely; ``--job-timeout`` now settles it as
+  ``error_kind="timeout"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.dse import (
+    ExplorationEngine,
+    PoolExecutor,
+    ResultCache,
+    SerialExecutor,
+    default_start_method,
+    grid_from_specs,
+    job_key,
+    jobs_from_grid,
+    make_executor,
+)
+from repro.dse.exec.pool import START_METHOD_ENV_VAR
+from repro.spark import (
+    ERROR_KIND_ENVIRONMENT,
+    ERROR_KIND_TIMEOUT,
+    SynthesisJob,
+    execute_job,
+)
+from repro.transforms.base import SynthesisScript
+
+SWEEP_SRC = """
+int acc[26];
+int i; int total;
+total = 0;
+for (i = 0; i < 24; i++) {
+  total = total + i;
+  acc[i] = total;
+}
+"""
+
+
+def base_script() -> SynthesisScript:
+    return SynthesisScript(output_scalars={"total"})
+
+
+def sweep_jobs(*specs: str):
+    return jobs_from_grid(
+        SWEEP_SRC, grid_from_specs(list(specs)), base_script=base_script()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Executor selection and the explicit multiprocessing context
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorSelection:
+    def test_auto_is_serial_for_one_worker_and_pool_otherwise(self):
+        assert make_executor("auto", workers=1).kind == "serial"
+        assert make_executor("auto", workers=4).kind == "pool"
+        # A single pending miss never pays for a pool.
+        assert make_executor("auto", workers=4, job_count=1).kind == "serial"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("warp")
+        with pytest.raises(ValueError, match="unknown executor"):
+            ExplorationEngine(executor="warp")
+
+    def test_broker_kind_needs_a_directory(self):
+        with pytest.raises(ValueError, match="broker directory"):
+            make_executor("broker")
+
+    def test_result_records_executor_kind(self):
+        result = ExplorationEngine(use_cache=False).explore(
+            sweep_jobs("clock=4")
+        )
+        assert result.executor == "serial"
+
+    def test_context_is_pinned_never_platform_default(self, monkeypatch):
+        # fork-with-threads is unsafe and Python 3.14 changes the Linux
+        # default; the pool must choose explicitly.
+        monkeypatch.delenv(START_METHOD_ENV_VAR, raising=False)
+        method = default_start_method()
+        assert method in ("forkserver", "spawn")
+        assert PoolExecutor(workers=2).start_method == method
+
+    def test_context_env_override(self, monkeypatch):
+        monkeypatch.setenv(START_METHOD_ENV_VAR, "spawn")
+        assert default_start_method() == "spawn"
+        monkeypatch.setenv(START_METHOD_ENV_VAR, "warp-drive")
+        with pytest.raises(ValueError, match="not a start method"):
+            default_start_method()
+
+    def test_jobs_roundtrip_under_spawn(self):
+        # The strictest context: nothing is inherited, every job and
+        # outcome must survive a pickle round-trip through a fresh
+        # interpreter.
+        engine = ExplorationEngine(
+            use_cache=False,
+            executor=PoolExecutor(workers=2, start_method="spawn"),
+        )
+        result = engine.explore(sweep_jobs("clock=2,4"))
+        assert [o.ok for o in result.outcomes] == [True, True]
+        serial = ExplorationEngine(use_cache=False).explore(
+            sweep_jobs("clock=2,4")
+        )
+        assert [o.score() for o in result.outcomes] == [
+            o.score() for o in serial.outcomes
+        ]
+
+
+# ---------------------------------------------------------------------------
+# The worker-loss hang (regression)
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerLoss:
+    def test_sigkilled_worker_fails_job_and_sweep_continues(self, tmp_path):
+        """Regression: a hard-killed pool worker used to hang the
+        sweep forever.  One corner's environment factory SIGKILLs its
+        own worker process; every other corner must still settle and
+        the killed corner must come back as environment trouble."""
+        jobs = sweep_jobs("clock=2,4,6")
+        killer = SynthesisJob(
+            source=SWEEP_SRC,
+            script=base_script(),
+            label="killer",
+            environment="tests.helpers:suicide_environment",
+        )
+        jobs.insert(1, killer)
+        engine = ExplorationEngine(
+            cache_dir=tmp_path,
+            executor=PoolExecutor(workers=2, poll=0.05),
+        )
+        result = engine.explore(jobs)
+        assert len(result.outcomes) == 4
+        by_label = {o.label: o for o in result.outcomes}
+        lost = by_label["killer"]
+        assert not lost.ok
+        assert lost.error_kind == ERROR_KIND_ENVIRONMENT
+        assert "worker process" in lost.error
+        for label in ("clock=2", "clock=4", "clock=6"):
+            assert by_label[label].ok, by_label[label].error
+        # The machine failure was never memoized: only the three real
+        # corners landed in the cache.
+        assert len(ResultCache(tmp_path)) == 3
+
+    def test_sweep_with_kill_and_timeout_settles_every_point(self, tmp_path):
+        """Acceptance: one SIGKILLed worker and one timed-out corner
+        in the same sweep — every remaining point still settles."""
+        jobs = sweep_jobs("clock=2,4,6")
+        jobs.insert(
+            1,
+            SynthesisJob(
+                source=SWEEP_SRC,
+                script=base_script(),
+                label="killer",
+                environment="tests.helpers:suicide_environment",
+            ),
+        )
+        jobs.insert(
+            3,
+            SynthesisJob(
+                source=SWEEP_SRC,
+                script=base_script(),
+                label="stalled",
+                environment="tests.helpers:sleepy_environment",
+                environment_args=(30,),
+            ),
+        )
+        engine = ExplorationEngine(
+            cache_dir=tmp_path,
+            job_timeout=0.5,
+            executor=PoolExecutor(workers=2, poll=0.05),
+        )
+        result = engine.explore(jobs)
+        by_label = {o.label: o for o in result.outcomes}
+        assert len(by_label) == 5  # nothing lost, nothing hung
+        assert by_label["killer"].error_kind == ERROR_KIND_ENVIRONMENT
+        assert by_label["stalled"].error_kind == ERROR_KIND_TIMEOUT
+        for label in ("clock=2", "clock=4", "clock=6"):
+            assert by_label[label].ok
+        # Only the three healthy corners were memoized.
+        assert len(ResultCache(tmp_path)) == 3
+
+    def test_straggler_result_for_reaped_task_is_dropped_not_fatal(self):
+        # A worker's result can race the grace poll and land after its
+        # task was already settled as lost; collect() must drop the
+        # straggler instead of raising KeyError.
+        executor = PoolExecutor(workers=1)
+        assert executor._settle(99, object()) is None
+
+    def test_all_workers_killed_still_settles_everything(self):
+        """Even when every submitted job kills its worker, the sweep
+        must settle every corner (the pool respawns workers and the
+        liveness poll attributes each casualty)."""
+        killers = [
+            SynthesisJob(
+                source=SWEEP_SRC,
+                script=base_script(),
+                label=f"killer-{index}",
+                environment="tests.helpers:suicide_environment",
+            )
+            for index in range(3)
+        ]
+        engine = ExplorationEngine(
+            use_cache=False,
+            executor=PoolExecutor(workers=2, poll=0.05),
+        )
+        result = engine.explore(killers)
+        assert len(result.outcomes) == 3
+        assert all(
+            o.error_kind == ERROR_KIND_ENVIRONMENT for o in result.outcomes
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-job wall-clock timeouts
+# ---------------------------------------------------------------------------
+
+
+class TestJobTimeout:
+    def stalled_job(self, label="stalled", clock=4.0, timeout=None):
+        script = base_script()
+        script.clock_period = clock
+        return SynthesisJob(
+            source=SWEEP_SRC,
+            script=script,
+            label=label,
+            environment="tests.helpers:sleepy_environment",
+            environment_args=(30,),
+            timeout=timeout,
+        )
+
+    def test_execute_job_enforces_the_budget(self):
+        outcome = execute_job(self.stalled_job(timeout=0.3))
+        assert not outcome.ok
+        assert outcome.error_kind == ERROR_KIND_TIMEOUT
+        assert "wall-clock budget" in outcome.error
+        assert outcome.elapsed < 5.0
+        assert not outcome.cacheable
+
+    def test_timeout_is_not_part_of_the_cache_key(self):
+        # The budget changes when an attempt is abandoned, never what
+        # a completed run computes — keying on it would fragment the
+        # cache for no benefit.
+        job = sweep_jobs("clock=4")[0]
+        import dataclasses
+
+        assert job_key(job) == job_key(
+            dataclasses.replace(job, timeout=0.5)
+        )
+
+    def test_engine_budget_settles_timeouts_uncached(self, tmp_path):
+        engine = ExplorationEngine(cache_dir=tmp_path, job_timeout=0.3)
+        result = engine.explore([self.stalled_job()])
+        outcome = result.outcomes[0]
+        assert not outcome.ok
+        assert outcome.error_kind == ERROR_KIND_TIMEOUT
+        assert len(ResultCache(tmp_path)) == 0  # never memoized
+
+    def test_timeouts_are_not_dominance_evidence(self):
+        # A timed-out corner says nothing about harder corners: the
+        # strictly-harder twin must run (and time out itself), never
+        # be pruned.
+        jobs = [
+            self.stalled_job(label="easy", clock=4.0),
+            self.stalled_job(label="hard", clock=2.0),
+        ]
+        result = ExplorationEngine(
+            use_cache=False, job_timeout=0.3
+        ).explore(jobs)
+        assert (result.executed, result.pruned) == (2, 0)
+        assert all(
+            o.error_kind == ERROR_KIND_TIMEOUT for o in result.outcomes
+        )
+
+    def test_explicit_job_budget_wins_over_engine_budget(self):
+        engine = ExplorationEngine(use_cache=False, job_timeout=30.0)
+        result = engine.explore([self.stalled_job(timeout=0.3)])
+        assert result.outcomes[0].error_kind == ERROR_KIND_TIMEOUT
+        assert result.elapsed < 10.0
+
+    def test_engine_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="job_timeout"):
+            ExplorationEngine(job_timeout=0.0)
+
+    def test_cli_job_timeout_flag(self, tmp_path, capsys):
+        source_path = tmp_path / "d.c"
+        source_path.write_text(SWEEP_SRC, encoding="utf-8")
+        status = main(
+            [
+                "dse", str(source_path),
+                "--vary", "clock=4",
+                "--environment", "tests.helpers:sleepy_environment",
+                "--environment-arg", "30",
+                "--job-timeout", "0.3",
+                "--no-cache",
+                "--output", "total",
+            ]
+        )
+        assert status == 1  # nothing feasible
+        out = capsys.readouterr().out
+        assert "timeout" in out
+
+    def test_cli_rejects_bad_job_timeout(self, tmp_path, capsys):
+        source_path = tmp_path / "d.c"
+        source_path.write_text(SWEEP_SRC, encoding="utf-8")
+        status = main(
+            ["dse", str(source_path), "--vary", "clock=4",
+             "--job-timeout", "-1"]
+        )
+        assert status == 2
+        assert "--job-timeout" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# The unified engine loop over explicit executors
+# ---------------------------------------------------------------------------
+
+
+class TestEngineExecutorParity:
+    def test_serial_and_pool_agree(self):
+        jobs = sweep_jobs("clock=2,4", "unroll=none,*:0")
+        serial = ExplorationEngine(
+            use_cache=False, executor=SerialExecutor()
+        ).explore(jobs)
+        pool = ExplorationEngine(
+            use_cache=False, executor=PoolExecutor(workers=2)
+        ).explore(jobs)
+        assert [o.label for o in serial.outcomes] == [
+            o.label for o in pool.outcomes
+        ]
+        assert [o.score() for o in serial.outcomes] == [
+            o.score() for o in pool.outcomes
+        ]
+        assert serial.executor == "serial"
+        assert pool.executor == "pool"
+
+    def test_early_exit_through_explicit_pool(self):
+        jobs = sweep_jobs("clock=2,4", "unroll=none,*:0")
+        result = ExplorationEngine(
+            use_cache=False, executor=PoolExecutor(workers=2)
+        ).explore(jobs, target_latency=2.0)
+        assert result.goal_met
+        assert result.executed + result.pruned + result.skipped == len(jobs)
+
+    def test_pool_size_never_exceeds_pending(self):
+        executor = PoolExecutor(workers=8)
+        engine = ExplorationEngine(use_cache=False, executor=executor)
+        engine.explore(sweep_jobs("clock=2,4"))
+        assert executor.capacity == 2  # sized to the miss count
+
+
