@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Cold-vs-warm sweep benchmark: the DSE perf trajectory, measured.
+
+Runs one reference design-space sweep three ways against a fresh
+cache directory and emits ``BENCH_dse.json``:
+
+* **cold** — empty caches: every corner parses, transforms,
+  schedules, binds, estimates;
+* **stage-warm** — outcome entries wiped, stage artifacts kept: every
+  corner re-executes, but the shared frontend/transform (and
+  per-corner schedule) snapshots are recalled — this isolates what
+  the staged flow buys when the sweep itself changes (new corners,
+  new stimulus) while the design does not;
+* **outcome-warm** — both caches intact: the all-hit re-run.
+
+It also sweeps a second, disjoint grid over the same design
+(schedule-stage axes only) to measure the incremental-sweep case:
+outcome misses everywhere, transform work served entirely from stage
+artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dse.py [--output BENCH_dse.json]
+        [--check]
+
+``--check`` turns the structural expectations into hard assertions
+(used as the CI stage-cache smoke): the same grid twice must be 100%
+outcome hits, and the disjoint-grid run must report zero fresh
+transform executions — ~100% transform-stage hits.
+
+This is a standalone script (not a pytest module) so it can anchor
+CI steps and produce a JSON artifact for trend tracking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.dse import (
+    ExplorationEngine,
+    grid_from_specs,
+    jobs_from_grid,
+    shared_stages,
+)
+from repro.transforms.base import SynthesisScript
+
+BENCH_SRC = """
+int data[34];
+int acc[34];
+int i; int total;
+total = 0;
+for (i = 0; i < 32; i++) {
+  total = total + data[i];
+  acc[i] = total;
+}
+"""
+
+#: The reference sweep: schedule-stage axes only, so the whole grid
+#: shares one transform prefix (the stage cache's best case — and the
+#: common one: clock/allocation sweeps over a fixed design).
+GRID_SPECS = ["clock=2,3,4,5,6,8", "limits=alu:1,alu:2,none"]
+
+#: Disjoint corners of the same design for the incremental-sweep
+#: measurement (no outcome overlap with GRID_SPECS).
+EXTEND_SPECS = ["clock=7,9,10,12", "limits=alu:1,alu:2,none"]
+
+
+def _sweep(jobs, cache_dir, label):
+    engine = ExplorationEngine(cache_dir=cache_dir, workers=1)
+    started = time.perf_counter()
+    result = engine.explore(jobs)
+    elapsed = time.perf_counter() - started
+    infeasible = sum(1 for outcome in result.outcomes if not outcome.ok)
+    return {
+        "label": label,
+        "points": len(result.outcomes),
+        "cache_hits": result.cache_hits,
+        "executed": result.executed,
+        "pruned": result.pruned,
+        "infeasible": infeasible,
+        "elapsed_s": round(elapsed, 6),
+        "stage_totals": {
+            stage: {
+                "runs": int(bucket["runs"]),
+                "hits": int(bucket["hits"]),
+                "elapsed_s": round(bucket["elapsed"], 6),
+            }
+            for stage, bucket in result.stage_totals().items()
+        },
+    }
+
+
+def run_bench(check: bool = False) -> dict:
+    base = SynthesisScript(output_scalars={"total"})
+    grid = grid_from_specs(GRID_SPECS)
+    jobs = jobs_from_grid(BENCH_SRC, grid, base_script=base)
+    extension = jobs_from_grid(
+        BENCH_SRC, grid_from_specs(EXTEND_SPECS), base_script=base
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench-dse-") as cache_dir:
+        cache = Path(cache_dir)
+        cold = _sweep(jobs, cache, "cold")
+
+        # Wipe outcomes, keep stage artifacts: every corner re-executes
+        # against a warm stage cache.
+        for entry in cache.glob("*.json"):
+            entry.unlink()
+        stage_warm = _sweep(jobs, cache, "stage-warm")
+
+        # Restore the outcome entries, then measure the all-hit run.
+        _sweep(jobs, cache, "repopulate")
+        outcome_warm = _sweep(jobs, cache, "outcome-warm")
+
+        # Incremental sweep: new corners, warm stage cache.
+        incremental = _sweep(extension, cache, "incremental")
+
+    def speedup(reference, other):
+        return round(reference["elapsed_s"] / max(other["elapsed_s"], 1e-9), 2)
+
+    report = {
+        "bench": "dse-stage-cache",
+        "source_lines": len(BENCH_SRC.strip().splitlines()),
+        "grid": GRID_SPECS,
+        "extension_grid": EXTEND_SPECS,
+        "shared_stages": shared_stages(grid),
+        "cold": cold,
+        "stage_warm": stage_warm,
+        "outcome_warm": outcome_warm,
+        "incremental": incremental,
+        "speedup_outcome_warm_vs_cold": speedup(cold, outcome_warm),
+        "speedup_stage_warm_vs_cold": speedup(cold, stage_warm),
+        "speedup_incremental_transform": None,
+    }
+    cold_transform = cold["stage_totals"].get("transform", {})
+    incr_transform = incremental["stage_totals"].get("transform", {})
+    if cold_transform and incr_transform:
+        report["speedup_incremental_transform"] = round(
+            max(cold_transform["elapsed_s"], 1e-9)
+            / max(incr_transform["elapsed_s"], 1e-9),
+            2,
+        )
+
+    if check:
+        # The stage-cache smoke contract (CI): same grid twice is all
+        # outcome hits...
+        assert outcome_warm["cache_hits"] == outcome_warm["points"], (
+            f"expected 100% outcome hits on the warm re-run, got "
+            f"{outcome_warm['cache_hits']}/{outcome_warm['points']}"
+        )
+        assert outcome_warm["executed"] == 0
+        # ...the cold sweep transforms exactly once (one shared
+        # transform prefix across the whole grid)...
+        assert cold_transform.get("runs") == 1, (
+            f"cold sweep should transform once, got {cold_transform}"
+        )
+        # ...and both re-execution paths serve transform work entirely
+        # from stage artifacts: ~100% transform-stage hits.
+        for phase in (stage_warm, incremental):
+            totals = phase["stage_totals"].get("transform", {})
+            assert totals.get("runs", 0) == 0 and totals.get("hits", 0) == (
+                phase["executed"]
+            ), f"{phase['label']}: expected all-hit transform, got {totals}"
+        assert report["speedup_outcome_warm_vs_cold"] >= 1.0
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="BENCH_dse.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: ./BENCH_dse.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the stage-cache smoke expectations (CI mode)",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(check=args.check)
+    Path(args.output).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(
+        f"cold {report['cold']['elapsed_s']:.3f}s | stage-warm "
+        f"{report['stage_warm']['elapsed_s']:.3f}s | outcome-warm "
+        f"{report['outcome_warm']['elapsed_s']:.3f}s | incremental "
+        f"{report['incremental']['elapsed_s']:.3f}s"
+    )
+    print(
+        f"speedups: outcome-warm {report['speedup_outcome_warm_vs_cold']}x, "
+        f"stage-warm {report['speedup_stage_warm_vs_cold']}x vs cold"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,12 +32,20 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.ild``       the instruction length decoder case study (5-6),
                     including the streaming (chunked) decoder
 ``repro.blocks``    more microprocessor functional blocks (Section 7)
+``repro.flow``      the staged pipeline: named stages, per-stage
+                    timing, content-addressed stage artifacts
 ``repro.spark``     the top-level scripted flow (Section 4)
 ``repro.cli``       ``python -m repro`` command-line tool
 ==================  =====================================================
 """
 
 from repro.backend.interface import DesignInterface
+from repro.flow import (
+    FlowRequest,
+    StageRecord,
+    SYNTHESIS_STAGES,
+    run_flow,
+)
 from repro.ir.builder import design_from_source
 from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
 from repro.spark import (
@@ -55,16 +63,20 @@ __version__ = "1.1.0"
 
 __all__ = [
     "DesignInterface",
+    "FlowRequest",
     "JobEnvironment",
     "ResourceAllocation",
     "ResourceLibrary",
+    "SYNTHESIS_STAGES",
     "SparkSession",
+    "StageRecord",
     "SynthesisJob",
     "SynthesisOutcome",
     "SynthesisResult",
     "SynthesisScript",
     "design_from_source",
     "execute_job",
+    "run_flow",
     "synthesize",
     "__version__",
 ]

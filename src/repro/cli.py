@@ -240,7 +240,25 @@ def build_dse_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="disable the on-disk outcome cache",
+        help="disable the on-disk outcome cache (and the stage cache)",
+    )
+    parser.add_argument(
+        "--stage-cache",
+        dest="stage_cache",
+        action="store_true",
+        default=True,
+        help=(
+            "memoize per-stage artifacts (parsed/transformed designs, "
+            "schedules) beside the outcome cache so corners differing "
+            "only in late-stage knobs skip the early stages (default: "
+            "enabled whenever the outcome cache is)"
+        ),
+    )
+    parser.add_argument(
+        "--no-stage-cache",
+        dest="stage_cache",
+        action="store_false",
+        help="disable the per-stage artifact cache",
     )
     parser.add_argument(
         "--target-latency",
@@ -326,6 +344,7 @@ def dse_main(argv: List[str]) -> int:
     from repro.dse import (
         ExplorationEngine,
         GridError,
+        format_stage_breakdown,
         format_table,
         grid_from_specs,
         jobs_from_grid,
@@ -379,6 +398,7 @@ def dse_main(argv: List[str]) -> int:
             args.lease_ttl if args.lease_ttl is not None
             else DEFAULT_LEASE_TTL
         ),
+        stage_cache=args.stage_cache,
     )
 
     def print_progress(outcome):
@@ -398,6 +418,9 @@ def dse_main(argv: List[str]) -> int:
     print(format_table(result.outcomes, top=args.top))
     print()
     print(summarize(result))
+    breakdown = format_stage_breakdown(result)
+    if breakdown:
+        print(breakdown)
     return 0 if result.feasible else 1
 
 
@@ -552,7 +575,8 @@ def build_cache_parser() -> argparse.ArgumentParser:
         choices=["stats", "clear", "gc"],
         help=(
             "stats: entry count and size; clear: drop every entry; "
-            "gc: evict least-recently-used entries beyond the budget"
+            "gc: evict least-recently-used entries beyond the budget "
+            "(all three cover outcome records and stage artifacts)"
         ),
     )
     parser.add_argument(

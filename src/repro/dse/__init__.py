@@ -20,7 +20,11 @@ turns that loop into an engine:
   requeue-on-expiry crash recovery;
 * :mod:`repro.dse.pareto` — the latency/area frontier, sweep goals
   and the dominance pruner;
-* :mod:`repro.dse.cache` — content-hash keyed outcome store;
+* :mod:`repro.dse.cache` — content-hash keyed outcome store, plus
+  per-stage keys into the staged flow's artifact store
+  (:mod:`repro.flow`): sweeps varying only late-stage knobs recall
+  the shared frontend/transform/schedule snapshots instead of
+  recomputing them;
 * :mod:`repro.dse.service` — maintenance over a shared cache
   directory: locking, stats, ``clear`` and size-bounded LRU ``gc``
   (the ``repro cache`` CLI);
@@ -52,6 +56,7 @@ from repro.dse.cache import (
     ResultCache,
     default_cache_dir,
     job_key,
+    stage_key,
 )
 from repro.dse.exec import (
     EXECUTOR_KINDS,
@@ -63,6 +68,7 @@ from repro.dse.exec import (
     make_executor,
 )
 from repro.dse.grid import (
+    AXIS_STAGES,
     GridError,
     GridPoint,
     KNOWN_AXES,
@@ -72,6 +78,9 @@ from repro.dse.grid import (
     parse_axis_value,
     parse_vary_spec,
     script_for_point,
+    shared_stages,
+    stage_for_axis,
+    varied_stages,
 )
 from repro.dse.pareto import (
     InfeasiblePruner,
@@ -81,6 +90,7 @@ from repro.dse.pareto import (
 )
 from repro.dse.report import (
     format_frontier,
+    format_stage_breakdown,
     format_table,
     rank_outcomes,
     summarize,
@@ -96,6 +106,7 @@ from repro.dse.service import (
 )
 
 __all__ = [
+    "AXIS_STAGES",
     "BROKER_DIR_NAME",
     "BrokerClaim",
     "BrokerExecutor",
@@ -132,6 +143,7 @@ __all__ = [
     "make_executor",
     "run_worker",
     "format_frontier",
+    "format_stage_breakdown",
     "format_table",
     "grid_from_specs",
     "job_key",
@@ -140,5 +152,9 @@ __all__ = [
     "parse_vary_spec",
     "rank_outcomes",
     "script_for_point",
+    "shared_stages",
+    "stage_for_axis",
+    "stage_key",
     "summarize",
+    "varied_stages",
 ]

@@ -70,6 +70,21 @@ STALE_RESULT_SECONDS = 3600.0
 #: Subdirectory of the shared cache that hosts the broker by default.
 BROKER_DIR_NAME = "broker"
 
+#: Half-open bound on the priority values encoded into queue file
+#: names; priorities outside ``(-PRIORITY_SPAN, PRIORITY_SPAN)`` clamp.
+PRIORITY_SPAN = 5_000_000
+
+
+def _priority_rank(priority: int) -> int:
+    """Map a job priority to the zero-padded numeric prefix of its
+    queue file name, so the plain lexicographic claim scan drains
+    higher-priority jobs first (rank ascends as priority descends) and
+    breaks ties in submission order.  Encoding the rank in the *name*
+    keeps claiming one sorted glob — no reading every queue file to
+    decide which to take."""
+    clamped = max(-(PRIORITY_SPAN - 1), min(int(priority), PRIORITY_SPAN - 1))
+    return PRIORITY_SPAN - clamped
+
 
 def default_worker_id() -> str:
     """A human-traceable unique worker name: host, pid, random tail."""
@@ -174,9 +189,17 @@ class JobBroker:
     # -- submission (engine side) -------------------------------------------
 
     def submit(self, job: SynthesisJob, key: str = "") -> str:
-        """Queue one job; returns its broker-unique id."""
+        """Queue one job; returns its broker-unique id.
+
+        The id leads with the job's priority rank, so the sorted claim
+        scan serves higher-``job.priority`` work first — goal-directed
+        sweeps can drain their most promising corners before the rest
+        — with submission order breaking ties."""
         self._seq += 1
-        job_id = f"{os.getpid():08x}-{self._seq:06d}-{uuid.uuid4().hex[:8]}"
+        job_id = (
+            f"{_priority_rank(job.priority):07d}-{os.getpid():08x}"
+            f"-{self._seq:06d}-{uuid.uuid4().hex[:8]}"
+        )
         self._write_json(
             self.queue_dir / f"{job_id}.json",
             {
@@ -184,6 +207,7 @@ class JobBroker:
                 "id": job_id,
                 "key": key,
                 "label": job.label,
+                "priority": job.priority,
                 "job": job.to_dict(),
                 "submitted_at": time.time(),
             },
@@ -239,7 +263,9 @@ class JobBroker:
     # -- claiming (worker side) ---------------------------------------------
 
     def claim(self, worker: str) -> Optional[BrokerClaim]:
-        """Claim the oldest available job, or None when the queue is
+        """Claim the best available job — highest priority first, then
+        submission order (both encoded in the queue file name, so the
+        sorted scan needs no file reads) — or None when the queue is
         empty.  Claiming is one atomic rename, so two workers can
         never hold the same job; expired leases are requeued first so
         a worker always sees recovered work too."""

@@ -1,4 +1,4 @@
-"""On-disk memoization of synthesis outcomes.
+"""On-disk memoization of synthesis outcomes — and stage artifacts.
 
 A job's cache key is the SHA-256 of its canonical JSON description —
 source text, every script knob, entity, environment factory reference,
@@ -6,6 +6,13 @@ stimulus and output options — plus a format version and the package
 version, so stale entries from older synthesis code never resurface.
 Outcomes are stored one JSON file per key; writes go through a
 temp-file rename so a crashed worker never leaves a torn entry.
+
+Lookups also key **per stage**: :func:`stage_key` hashes the prefix
+of the flow a given stage depends on (see :mod:`repro.flow.keys`),
+and :meth:`ResultCache.stage_store` opens the pickled-snapshot store
+that lives in the same directory (``<key>.stage.pkl`` beside
+``<key>.json``), so a whole-job miss can still recall every stage
+whose inputs are unchanged.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ from pathlib import Path
 from typing import Optional, Union
 
 import repro
+from repro.flow.artifacts import STAGE_SUFFIX, StageArtifactStore
+from repro.flow.keys import job_stage_key
 from repro.spark import SynthesisJob, SynthesisOutcome
 
 #: Bump when the outcome schema or synthesis semantics change in a way
@@ -26,7 +35,9 @@ from repro.spark import SynthesisJob, SynthesisOutcome
 #: 2: outcomes carry ``error_kind`` (deterministic-vs-environment
 #:    failure classification); environment failures are no longer
 #:    cached at all.
-CACHE_FORMAT = 2
+#: 3: outcomes carry per-stage timing/provenance records (the staged
+#:    flow rework).
+CACHE_FORMAT = 3
 
 #: Environment variable overriding the default cache location.
 CACHE_ENV_VAR = "REPRO_DSE_CACHE"
@@ -57,6 +68,14 @@ def job_key(job: SynthesisJob) -> str:
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def stage_key(job: SynthesisJob, stage: str) -> str:
+    """Content hash identifying one *stage's* artifact for *job*: the
+    cumulative hash of exactly the inputs consumed up to that stage,
+    so jobs differing only in later-stage knobs share it (see
+    :mod:`repro.flow.keys` for the contract)."""
+    return job_stage_key(job, stage)
 
 
 class ResultCache:
@@ -125,8 +144,18 @@ class ResultCache:
                 pass
             raise
 
+    def stage_store(self, passthrough=()) -> StageArtifactStore:
+        """The stage-artifact store sharing this cache directory
+        (``len(store)`` counts the ``*.stage.pkl`` entries).  Callers
+        probing artifacts under an alarm-based deadline must pass the
+        deadline exception type via *passthrough* so it is never
+        swallowed as a corrupt-artifact miss."""
+        return StageArtifactStore(self.root, passthrough=tuple(passthrough))
+
     def clear(self) -> int:
-        """Drop every entry; returns the number removed."""
+        """Drop every outcome entry; returns the number removed.
+        Stage artifacts are left alone (the directory-level
+        :class:`~repro.dse.service.CacheService` clears both)."""
         removed = 0
         for path in self.root.glob("*.json"):
             path.unlink(missing_ok=True)

@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.scheduler.ready_list import PRIORITIES
 from repro.spark import SynthesisJob
-from repro.transforms.base import SynthesisScript
+from repro.transforms.base import SYNTHESIS_STAGES, SynthesisScript
 
 #: Axes understood by :func:`script_for_point`, in application order.
 KNOWN_AXES = (
@@ -53,6 +53,25 @@ KNOWN_AXES = (
     "tac",
     "priority",
 )
+
+#: The *earliest* synthesis stage each axis can affect — the stage
+#: from which corners differing only on that axis diverge.  Everything
+#: before it is shared and served by the stage cache: a sweep varying
+#: only ``clock``/``limits``/``priority`` (all schedule-stage axes)
+#: re-parses and re-transforms nothing.  ``preset`` swaps whole
+#: scripts (transform knobs included), so it classifies as transform
+#: even though it changes the clock too.
+AXIS_STAGES = {
+    "preset": "transform",
+    "clock": "schedule",
+    "unroll": "transform",
+    "limits": "schedule",
+    "speculation": "transform",
+    "code-motion": "transform",
+    "cse": "transform",
+    "tac": "transform",
+    "priority": "schedule",
+}
 
 _FLAG_FIELDS = {
     "speculation": "enable_speculation",
@@ -210,6 +229,44 @@ def parse_vary_spec(spec: str) -> Tuple[str, List[object]]:
 def grid_from_specs(specs: Sequence[str]) -> ParameterGrid:
     """Build a grid from repeated ``--vary`` arguments."""
     return ParameterGrid([parse_vary_spec(spec) for spec in specs])
+
+
+# ---------------------------------------------------------------------------
+# Axis -> stage classification
+# ---------------------------------------------------------------------------
+
+
+def stage_for_axis(axis: str) -> str:
+    """The earliest stage *axis* can affect (see :data:`AXIS_STAGES`)."""
+    try:
+        return AXIS_STAGES[axis]
+    except KeyError:
+        raise GridError(
+            f"unknown grid axis {axis!r}; known axes: "
+            f"{', '.join(KNOWN_AXES)}"
+        ) from None
+
+
+def varied_stages(grid: ParameterGrid) -> List[str]:
+    """The stages at which this grid's corners actually diverge, in
+    stage order — only axes with more than one value count (a pinned
+    axis produces identical prefixes everywhere)."""
+    stages = {
+        stage_for_axis(name)
+        for name, values in grid.axes
+        if len(values) > 1
+    }
+    return [stage for stage in SYNTHESIS_STAGES if stage in stages]
+
+
+def shared_stages(grid: ParameterGrid) -> List[str]:
+    """The stage prefix every corner of *grid* has in common: all
+    stages strictly before the earliest varied one.  With a warm
+    stage cache these execute exactly once for the whole sweep."""
+    varied = varied_stages(grid)
+    if not varied:
+        return list(SYNTHESIS_STAGES)
+    return list(SYNTHESIS_STAGES[: SYNTHESIS_STAGES.index(varied[0])])
 
 
 def _render_value(axis: str, value: object) -> str:

@@ -86,6 +86,27 @@ def summarize(result: ExplorationResult) -> str:
     return text
 
 
+def format_stage_breakdown(result: ExplorationResult) -> str:
+    """Where the sweep's fresh executions spent their wall clock, per
+    flow stage: runs vs stage-cache hits and cumulative time.  Empty
+    string when nothing ran fresh (an all-hit or all-pruned sweep has
+    no live stage work to report)."""
+    totals = result.stage_totals()
+    if not totals:
+        return ""
+    lines = ["stage breakdown (freshly executed points):"]
+    width = max(len("stage"), *(len(stage) for stage in totals))
+    lines.append(
+        f"  {'stage':<{width}} {'runs':>5} {'hits':>5} {'time':>9}"
+    )
+    for stage, bucket in totals.items():
+        lines.append(
+            f"  {stage:<{width}} {int(bucket['runs']):>5} "
+            f"{int(bucket['hits']):>5} {bucket['elapsed']:>8.3f}s"
+        )
+    return "\n".join(lines)
+
+
 def format_frontier(outcomes: Sequence[SynthesisOutcome]) -> str:
     """The Pareto frontier as compact ``latency/area`` lines."""
     lines = ["latency/area frontier:"]

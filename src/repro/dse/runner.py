@@ -23,6 +23,15 @@ The engine evolved from a batch ``Pool.map`` into an adaptive loop:
    budgets) are written back;
 5. results come back in job order regardless of completion order.
 
+Below the whole-job outcome cache sits the *stage* cache: dispatched
+jobs are stamped with the cache directory, so each worker's staged
+flow (:mod:`repro.flow`) recalls content-addressed frontend /
+transform / schedule snapshots — a sweep that varies only
+schedule-stage knobs parses and transforms once per distinct
+transform prefix, even across pool workers and broker machines
+sharing the path.  :meth:`ExplorationResult.stage_totals` reports the
+per-stage wall clock and hit/miss split of a sweep's fresh work.
+
 ``execute_job`` is a pure module-level function over picklable
 dataclasses; environment factories (external callables, libraries)
 are resolved inside each worker, never shipped across the process
@@ -59,6 +68,7 @@ from repro.spark import (
     SynthesisJob,
     SynthesisOutcome,
 )
+from repro.transforms.base import SYNTHESIS_STAGES
 
 #: Callback invoked once per settled outcome (hit, fresh run or prune),
 #: in completion order.
@@ -100,6 +110,39 @@ class ExplorationResult:
         """Outcomes by ascending score (best design point first);
         stable and deterministic for equal metrics via the label."""
         return sorted(self.outcomes, key=lambda outcome: outcome.score())
+
+    def stage_totals(self) -> "dict[str, dict[str, float]]":
+        """Where this sweep's fresh executions spent their time, per
+        stage: ``{stage: {"runs": n, "hits": n, "elapsed": seconds}}``
+        in stage order.
+
+        Aggregates only outcomes with provenance ``"run"`` — recalled
+        outcomes carry their *original* run's records, which describe
+        a previous sweep's work, and pruned outcomes never executed.
+        A warm sweep over schedule-only axes therefore shows e.g.
+        ``transform: 0 runs / N hits`` — the incremental-sweep win,
+        measured.
+        """
+        totals: dict = {}
+        for outcome in self.outcomes:
+            if outcome.provenance != "run":
+                continue
+            for entry in outcome.stages:
+                stage = str(entry.get("stage", ""))
+                bucket = totals.setdefault(
+                    stage, {"runs": 0, "hits": 0, "elapsed": 0.0}
+                )
+                bucket["hits" if entry.get("cached") else "runs"] += 1
+                bucket["elapsed"] += float(entry.get("elapsed", 0.0))
+        ordered = {
+            stage: totals[stage]
+            for stage in SYNTHESIS_STAGES
+            if stage in totals
+        }
+        for stage in totals:  # extras, e.g. "measure", keep their place
+            if stage not in ordered:
+                ordered[stage] = totals[stage]
+        return ordered
 
     def best(self) -> Optional[SynthesisOutcome]:
         feasible = self.feasible
@@ -148,6 +191,14 @@ class ExplorationEngine:
     lease_ttl:
         broker heartbeat expiry: a claimed job whose worker stops
         beating for this long is requeued.
+    stage_cache:
+        memoize *stage* artifacts (parsed/transformed designs,
+        schedules) beside the outcome entries, so corners that differ
+        only in late-stage knobs skip the early stages — on by
+        default; requires the outcome cache (disabled automatically
+        under ``use_cache=False``).  Dispatched jobs are stamped with
+        the cache directory, so pool workers and broker machines
+        sharing the path reuse each other's artifacts.
     """
 
     def __init__(
@@ -159,6 +210,7 @@ class ExplorationEngine:
         job_timeout: Optional[float] = None,
         broker_dir: Union[str, Path, None] = None,
         lease_ttl: float = DEFAULT_LEASE_TTL,
+        stage_cache: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -187,6 +239,11 @@ class ExplorationEngine:
             self.cache = ResultCache(
                 cache_dir if cache_dir is not None else default_cache_dir()
             )
+        #: Stage artifacts live *in* the outcome cache directory so one
+        #: lock/gc service governs both; no cache, no stage cache.
+        self.stage_dir: Optional[Path] = (
+            self.cache.root if stage_cache and self.cache is not None else None
+        )
 
     def explore(
         self,
@@ -282,12 +339,20 @@ class ExplorationEngine:
             lease_ttl=self.lease_ttl,
         )
 
-    def _budgeted(self, job: SynthesisJob) -> SynthesisJob:
-        """Stamp the engine-wide wall-clock budget onto a job that
-        carries none (never mutates the caller's job)."""
-        if self.job_timeout is None or job.timeout is not None:
+    def _prepared(self, job: SynthesisJob) -> SynthesisJob:
+        """Stamp engine-wide execution policy onto a job before
+        dispatch (never mutates the caller's job): the wall-clock
+        budget when the job carries none, and the stage-artifact
+        directory so every worker — local or on a broker machine
+        mounting the same path — shares stage snapshots."""
+        updates: dict = {}
+        if self.job_timeout is not None and job.timeout is None:
+            updates["timeout"] = self.job_timeout
+        if self.stage_dir is not None and not job.stage_cache_dir:
+            updates["stage_cache_dir"] = str(self.stage_dir)
+        if not updates:
             return job
-        return dataclasses.replace(job, timeout=self.job_timeout)
+        return dataclasses.replace(job, **updates)
 
     def _settle_fresh(
         self,
@@ -335,7 +400,7 @@ class ExplorationEngine:
                         result.pruned += 1
                         settle(index, _pruned_outcome(job, witness))
                         continue
-                    executor.submit((index, key), self._budgeted(job))
+                    executor.submit((index, key), self._prepared(job))
                 if goal_met:
                     # Withdraw whatever the executor has not started —
                     # on every drain iteration, not just once: a
@@ -376,6 +441,7 @@ def explore(
     job_timeout: Optional[float] = None,
     broker_dir: Union[str, Path, None] = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    stage_cache: bool = True,
 ) -> ExplorationResult:
     """One-call convenience sweep."""
     engine = ExplorationEngine(
@@ -386,6 +452,7 @@ def explore(
         job_timeout=job_timeout,
         broker_dir=broker_dir,
         lease_ttl=lease_ttl,
+        stage_cache=stage_cache,
     )
     return engine.explore(
         jobs,

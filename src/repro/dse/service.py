@@ -15,11 +15,16 @@ module adds the *directory-level* operations that need coordination:
   (``index.meta``, rewritten by ``gc``/``reindex``) so ``repro cache
   stats --fast`` on a million-entry cache does not re-stat the world.
 
-Recency is tracked through entry mtimes: :meth:`ResultCache.get`
-touches an entry on every hit, so ``gc`` evicting oldest-mtime-first
-is least-recently-*used*, not least-recently-written.  Eviction and
-concurrent sweeps compose safely: a reader that loses an entry
-mid-read sees an ordinary miss and re-synthesizes.
+The directory holds two kinds of entries under one budget: outcome
+records (``<sha>.json``) and the staged flow's pickled stage
+artifacts (``<sha>.stage.pkl``, written by
+:class:`repro.flow.artifacts.StageArtifactStore`).  Recency is
+tracked through entry mtimes: :meth:`ResultCache.get` and the stage
+store both touch an entry on every hit, so ``gc`` evicting
+oldest-mtime-first is least-recently-*used*, not
+least-recently-written.  Eviction and concurrent sweeps compose
+safely: a reader that loses an entry mid-read sees an ordinary miss
+and re-synthesizes (or re-runs the stage).
 
 The size budget comes from ``--max-bytes``, the
 ``$REPRO_DSE_CACHE_MAX_BYTES`` environment variable, or a 256 MiB
@@ -38,6 +43,7 @@ from pathlib import Path
 from typing import List, Optional, Union
 
 from repro.dse.cache import default_cache_dir
+from repro.flow.artifacts import STAGE_SUFFIX
 
 try:  # POSIX only; the spin-lock fallback covers the rest.
     import fcntl
@@ -283,19 +289,31 @@ class CacheService:
         return DirectoryLock(self.root, timeout=self.lock_timeout)
 
     def entries(self) -> List[CacheEntry]:
-        """Every outcome file, by key.  Entries vanishing mid-scan
-        (a concurrent gc or clear) are skipped."""
+        """Every cache entry, by key: outcome files (``<sha>.json``)
+        and the staged flow's pickled stage artifacts
+        (``<sha>.stage.pkl``), which the same lock/stats/gc/clear
+        operations govern — an evicted artifact simply reads as a
+        stage miss and recomputes.  Entries vanishing mid-scan (a
+        concurrent gc or clear) are skipped."""
         found: List[CacheEntry] = []
-        for path in self.root.glob("*.json"):
-            if len(path.stem) != 64:  # not a SHA-256 outcome file
-                continue
+        candidates = [
+            (path, path.stem)
+            for path in self.root.glob("*.json")
+            if len(path.stem) == 64  # a SHA-256 outcome file
+        ]
+        candidates.extend(
+            (path, path.name)
+            for path in self.root.glob(f"*{STAGE_SUFFIX}")
+            if len(path.name) == 64 + len(STAGE_SUFFIX)
+        )
+        for path, key in candidates:
             try:
                 stat = path.stat()
             except OSError:
                 continue
             found.append(
                 CacheEntry(
-                    key=path.stem,
+                    key=key,
                     path=path,
                     bytes=stat.st_size,
                     mtime=stat.st_mtime,

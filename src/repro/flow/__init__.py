@@ -1,0 +1,62 @@
+"""The staged synthesis flow: named stages, typed artifacts, keys.
+
+``repro.flow`` makes the paper's implicit pipeline explicit — the
+stage names live in :data:`repro.transforms.base.SYNTHESIS_STAGES`
+(``frontend -> transform -> schedule -> bind -> estimate -> emit``)
+alongside the script-knob partition that says which knobs each stage
+consumes:
+
+* :mod:`repro.flow.pipeline` — :func:`run_flow` executes the stage
+  graph, timing each stage and recalling/persisting the expensive
+  early stages through an artifact store;
+* :mod:`repro.flow.keys` — cumulative content hashes: a stage's key
+  covers exactly the inputs consumed so far, so corners differing
+  only in later-stage knobs share earlier artifacts automatically;
+* :mod:`repro.flow.artifacts` — the pickled snapshot store living
+  beside the outcome cache and governed by the same lock/LRU-gc
+  service.
+
+``docs/architecture.md`` describes the stage graph and the cache-key
+contract in full.
+"""
+
+from repro.flow.artifacts import STAGE_SUFFIX, StageArtifactStore
+from repro.flow.keys import (
+    STAGE_FORMAT,
+    job_stage_key,
+    job_stage_keys,
+    stage_key,
+    stage_prefix_data,
+)
+from repro.flow.pipeline import (
+    PERSISTED_STAGES,
+    FlowOutput,
+    FlowRequest,
+    StageRecord,
+    build_pass_manager,
+    run_flow,
+)
+from repro.transforms.base import (
+    STAGE_SCRIPT_FIELDS,
+    SYNTHESIS_STAGES,
+    stage_for_script_field,
+)
+
+__all__ = [
+    "FlowOutput",
+    "FlowRequest",
+    "PERSISTED_STAGES",
+    "STAGE_FORMAT",
+    "STAGE_SCRIPT_FIELDS",
+    "STAGE_SUFFIX",
+    "SYNTHESIS_STAGES",
+    "StageArtifactStore",
+    "StageRecord",
+    "build_pass_manager",
+    "job_stage_key",
+    "job_stage_keys",
+    "run_flow",
+    "stage_for_script_field",
+    "stage_key",
+    "stage_prefix_data",
+]

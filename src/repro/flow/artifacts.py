@@ -1,0 +1,141 @@
+"""Content-addressed stage artifacts: pickled flow snapshots on disk.
+
+A :class:`StageArtifactStore` persists the intermediate products of
+the staged synthesis flow — the parsed :class:`~repro.ir.htg.Design`,
+the transformed design plus its pass reports, the scheduled
+:class:`~repro.scheduler.schedule.StateMachine` — one pickle file per
+content hash, in the *same directory* as the outcome cache
+(`<key>.stage.pkl` beside `<key>.json`).  That placement is
+deliberate: the cache service's directory lock, size-bounded LRU gc
+and `clear` govern stage artifacts exactly like outcome entries, and
+`get` touches an artifact's mtime on every hit so eviction tracks
+*use* recency.
+
+Every operation is best-effort and crash-safe:
+
+* writes go through a temp-file ``os.replace`` so a dying worker can
+  never leave a torn artifact under a valid key;
+* a corrupted, truncated or type-confused artifact reads as a miss
+  (and is dropped) — never an exception — so cache damage costs a
+  recompute, not a sweep;
+* a store rooted in an unwritable directory degrades to a no-op
+  writer rather than failing jobs.
+
+The one exception class that must *not* be swallowed is the caller's
+own control flow — :class:`repro.spark.JobTimeout` riding on
+``SIGALRM`` can fire mid-unpickle — so the constructor takes a
+``passthrough`` tuple of exception types to re-raise verbatim.
+
+**Trust boundary.**  Artifacts are ``pickle`` payloads, and
+unpickling executes code the payload names: anyone with write access
+to the cache directory can run code in every worker that probes it.
+This is the trust model the DSE layer already has — a broker queue in
+the same shared directory accepts job files whose ``environment``
+field names an arbitrary ``module:function`` each worker imports and
+calls — so the cache/broker directory must only ever be writable by
+the same principals who may submit synthesis jobs.  Never point
+``stage_cache_dir``/``$REPRO_DSE_CACHE`` at a directory less trusted
+than the code you are willing to execute.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple, Type, Union
+
+#: File suffix distinguishing stage artifacts from outcome entries in
+#: the shared cache directory.
+STAGE_SUFFIX = ".stage.pkl"
+
+
+class StageArtifactStore:
+    """Directory of pickled stage snapshots, keyed by content hash."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        passthrough: Tuple[Type[BaseException], ...] = (),
+    ) -> None:
+        self.root = Path(root)
+        self.passthrough = tuple(passthrough)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}{STAGE_SUFFIX}"
+
+    def get(self, key: str) -> Optional[object]:
+        """The stored artifact, or ``None`` on a miss.  Unreadable or
+        un-unpicklable entries (corruption, truncation, artifacts from
+        an incompatible interpreter) are dropped and counted as misses
+        — unpickling hostile bytes can raise nearly anything, so the
+        net is deliberately wide."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                artifact = pickle.load(handle)
+        except self.passthrough:
+            raise
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.drop(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:
+            # Touch the artifact so the cache service's LRU eviction
+            # sees *use* recency, not just write recency.
+            os.utime(path)
+        except OSError:
+            pass
+        return artifact
+
+    def put(self, key: str, artifact: object) -> bool:
+        """Persist atomically (temp file, then rename); returns False
+        — instead of raising — when the artifact cannot be pickled or
+        the directory cannot be written, so stage caching degrades to
+        recomputation rather than failing the synthesis run."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                dir=self.root, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(
+                        artifact, handle, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                os.replace(temp_path, self.path_for(key))
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except self.passthrough:
+            raise
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            return False
+        return True
+
+    def drop(self, key: str) -> None:
+        """Remove one entry (used when an artifact reads as garbage)."""
+        try:
+            os.unlink(self.path_for(key))
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob(f"*{STAGE_SUFFIX}"))
+
+    def stats(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses"

@@ -1,0 +1,140 @@
+"""Content hashing for stage artifacts: the cache-key contract.
+
+A stage's key is the SHA-256 of the canonical JSON encoding of the
+**cumulative prefix** of flow inputs consumed up to and including that
+stage:
+
+* ``frontend`` — the behavioral C source text;
+* ``transform`` — plus every transformation knob of the script
+  (unroll/inline specs, motion toggles, pure functions, observable
+  scalars — see :data:`repro.transforms.base.STAGE_SCRIPT_FIELDS`);
+* ``schedule`` — plus the scheduling knobs (clock period, resource
+  limits, scheduler priority) and the job's environment factory
+  reference (the resource library the scheduler times against is a
+  deterministic function of it);
+* ``bind`` / ``estimate`` — nothing further (they re-read knobs
+  already in the prefix);
+* ``emit`` — plus the entity name.
+
+The prefix construction is what makes incremental sweeps sound and
+automatic: two corners that differ only in a schedule-stage knob hash
+to the *same* frontend and transform keys, so a 100-corner clock
+sweep parses and transforms once per distinct transform prefix — no
+axis analysis needed at lookup time.  Keys are salted with a format
+version and the package version, so artifacts written by older
+synthesis code can never resurface after an upgrade.
+
+Everything entering the hash is canonicalized (sets sorted, dicts to
+sorted item pairs, ``sort_keys`` JSON): the same (source, script
+prefix) yields the same key in any process, under any
+``multiprocessing`` start method, on any machine sharing the cache
+directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from repro.transforms.base import (
+    SYNTHESIS_STAGES,
+    SynthesisScript,
+    script_stage_fields,
+)
+
+#: Bump when the stage artifact schema or the semantics of a stage
+#: change in a way that invalidates previously pickled snapshots.
+STAGE_FORMAT = 1
+
+
+def stage_prefix_data(
+    stage: str,
+    source: str,
+    script: SynthesisScript,
+    entity: str = "design",
+    environment: str = "",
+    environment_args: Sequence[object] = (),
+) -> List[Dict[str, object]]:
+    """The canonical plain-data prefix for *stage*: one entry per
+    stage from ``frontend`` up to and including *stage*, each carrying
+    exactly the inputs that stage consumes."""
+    if stage not in SYNTHESIS_STAGES:
+        raise ValueError(
+            f"unknown stage {stage!r}; stages: {', '.join(SYNTHESIS_STAGES)}"
+        )
+    prefix: List[Dict[str, object]] = []
+    for name in SYNTHESIS_STAGES:
+        entry: Dict[str, object] = {"stage": name}
+        entry.update(script_stage_fields(script, name))
+        if name == "frontend":
+            entry["source"] = source
+        elif name == "schedule":
+            # The resource library (operation delays, FU classes) is
+            # resolved from the environment factory inside the worker;
+            # the factory reference is its deterministic description.
+            entry["environment"] = environment
+            entry["environment_args"] = list(environment_args)
+        elif name == "emit":
+            entry["entity"] = entity
+        prefix.append(entry)
+        if name == stage:
+            break
+    return prefix
+
+
+def stage_key(
+    stage: str,
+    source: str,
+    script: SynthesisScript,
+    entity: str = "design",
+    environment: str = "",
+    environment_args: Sequence[object] = (),
+) -> str:
+    """Content hash identifying one stage's artifact."""
+    import repro  # deferred: repro.__init__ imports the flow package
+
+    payload = {
+        "format": STAGE_FORMAT,
+        "version": repro.__version__,
+        "prefix": stage_prefix_data(
+            stage,
+            source,
+            script,
+            entity=entity,
+            environment=environment,
+            environment_args=environment_args,
+        ),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def job_stage_key(job: object, stage: str) -> str:
+    """The stage key a :class:`~repro.spark.SynthesisJob` implies.
+
+    Duck-typed (any object with ``source``/``script``/``entity``/
+    ``environment``/``environment_args``) so this module never needs
+    to import :mod:`repro.spark`."""
+    return stage_key(
+        stage,
+        job.source,  # type: ignore[attr-defined]
+        job.script,  # type: ignore[attr-defined]
+        entity=job.entity,  # type: ignore[attr-defined]
+        environment=job.environment,  # type: ignore[attr-defined]
+        environment_args=tuple(job.environment_args),  # type: ignore[attr-defined]
+    )
+
+
+def job_stage_keys(job: object, stages: Sequence[str]) -> Dict[str, str]:
+    """Stage keys for several stages of one job at once."""
+    return {stage: job_stage_key(job, stage) for stage in stages}
+
+
+__all__: Tuple[str, ...] = (
+    "STAGE_FORMAT",
+    "job_stage_key",
+    "job_stage_keys",
+    "stage_key",
+    "stage_prefix_data",
+)

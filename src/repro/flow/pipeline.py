@@ -1,0 +1,374 @@
+"""The staged synthesis pipeline: an explicit, memoizable stage graph.
+
+The paper's flow is staged by construction — C frontend -> scripted
+transformations -> chaining-aware scheduling -> binding -> estimation
+-> VHDL/Verilog emission — and this module executes it that way:
+:func:`run_flow` drives the named stages of
+:data:`~repro.transforms.base.SYNTHESIS_STAGES` one by one, records a
+:class:`StageRecord` (wall clock + hit/miss provenance) per stage,
+and, given a :class:`~repro.flow.artifacts.StageArtifactStore`,
+recalls or persists the expensive early stages by content hash:
+
+========== ================================== ===========
+stage      artifact                           persisted
+========== ================================== ===========
+frontend   parsed ``Design``                  yes
+transform  transformed ``Design`` + reports   yes
+schedule   scheduled ``StateMachine``         yes
+bind       lifetimes + register/FU bindings   no (cheap)
+estimate   area + timing estimates            no (cheap)
+emit       VHDL/Verilog text                  no (cheap)
+========== ================================== ===========
+
+Artifact reuse needs no planning pass: keys are cumulative content
+hashes (:mod:`repro.flow.keys`), so a corner whose script differs
+only from the schedule stage onward probes the transform key, hits,
+and skips the frontend entirely.  The flow never *requires* a store —
+``store=None`` is the plain in-memory execution every
+:class:`~repro.spark.SparkSession` uses.
+
+Failures keep their existing semantics: a stage that raises (parse
+error, :class:`~repro.scheduler.list_scheduler.SchedulingError`)
+propagates to the caller, with the records accumulated so far left in
+the caller-owned ``records`` list so even an infeasible outcome can
+say where its time went.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.backend.interface import DesignInterface
+from repro.backend.verilog import emit_verilog
+from repro.backend.vhdl import emit_vhdl
+from repro.binding.fu_binding import FUBinding, bind_functional_units
+from repro.binding.lifetimes import LifetimeAnalysis
+from repro.binding.register_binding import RegisterBinding, bind_registers
+from repro.estimation.area import AreaEstimate, estimate_area
+from repro.estimation.delay import TimingEstimate, estimate_timing
+from repro.flow.artifacts import StageArtifactStore
+from repro.flow.keys import job_stage_keys
+from repro.ir.builder import design_from_source
+from repro.ir.htg import Design
+from repro.scheduler.list_scheduler import ChainingScheduler
+from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
+from repro.scheduler.schedule import StateMachine
+from repro.transforms.base import (
+    PassManager,
+    PassReport,
+    SynthesisScript,
+)
+from repro.transforms.code_motion import DataflowLevelReorder, TrailblazingHoist
+from repro.transforms.cond_speculation import (
+    ConditionalSpeculation,
+    ReverseSpeculation,
+)
+from repro.transforms.const_prop import ConstantPropagation
+from repro.transforms.copy_prop import CopyPropagation
+from repro.transforms.cse import LocalCSE
+from repro.transforms.dce import DeadCodeElimination
+from repro.transforms.inline import FunctionInliner
+from repro.transforms.lower_tac import TACLowering
+from repro.transforms.speculation import EarlyConditionExecution, Speculation
+from repro.transforms.unroll import LoopUnroller
+
+#: The stages whose outputs are worth pickling: everything up to the
+#: schedule.  Binding, estimation and emission are cheap relative to
+#: an unpickle and are fully covered by the whole-job outcome cache.
+PERSISTED_STAGES: Tuple[str, ...] = ("frontend", "transform", "schedule")
+
+
+@dataclass
+class StageRecord:
+    """Wall clock and provenance of one stage of one synthesis run.
+
+    ``cached`` means the stage's artifact was recalled (or subsumed by
+    a later stage's artifact) instead of computed; ``elapsed`` is then
+    the probe-plus-unpickle time, so timing breakdowns show where a
+    sweep really spent its wall clock, hits included.
+    """
+
+    stage: str
+    elapsed: float = 0.0
+    cached: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "elapsed": self.elapsed,
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StageRecord":
+        return cls(
+            stage=str(data.get("stage", "")),
+            elapsed=float(data.get("elapsed", 0.0)),  # type: ignore[arg-type]
+            cached=bool(data.get("cached", False)),
+        )
+
+
+@dataclass
+class FlowRequest:
+    """Everything one staged run needs, as plain bindings.
+
+    Exactly one of ``source`` / ``design`` drives the frontend: with
+    ``design`` set the flow starts from an already-built (possibly
+    hand-transformed) design — the :class:`~repro.spark.SparkSession`
+    path — and stage caching is disabled because the design's content
+    is not derivable from the request.  ``environment`` /
+    ``environment_args`` are the factory *reference* only (for cache
+    keys); the resolved bindings arrive through ``library`` /
+    ``interface``.
+    """
+
+    source: str = ""
+    script: SynthesisScript = field(default_factory=SynthesisScript)
+    design: Optional[Design] = None
+    entity: str = "design"
+    environment: str = ""
+    environment_args: Tuple = ()
+    library: Optional[ResourceLibrary] = None
+    interface: Optional[DesignInterface] = None
+    bind: bool = True
+    emit: bool = True
+
+
+@dataclass
+class FlowOutput:
+    """Everything the stage graph produced for one run."""
+
+    design: Design
+    state_machine: StateMachine
+    reports: List[PassReport] = field(default_factory=list)
+    lifetimes: Optional[LifetimeAnalysis] = None
+    register_binding: Optional[RegisterBinding] = None
+    fu_binding: Optional[FUBinding] = None
+    area: Optional[AreaEstimate] = None
+    timing: Optional[TimingEstimate] = None
+    vhdl: str = ""
+    verilog: str = ""
+    records: List[StageRecord] = field(default_factory=list)
+
+
+def build_pass_manager(script: SynthesisScript) -> PassManager:
+    """The scripted transformation pipeline in the paper's order:
+    inline -> speculate -> unroll -> constant-propagate ->
+    re-speculate -> cleanup (Section 6 sequence, with fine-grain
+    passes interleaved as supporting transformations)."""
+    pure = set(script.pure_functions)
+    manager = PassManager()
+    if script.inline_functions:
+        manager.add(FunctionInliner(script.inline_functions))
+    if script.enable_early_condition_execution:
+        manager.add(EarlyConditionExecution())
+    if script.enable_speculation:
+        manager.add(Speculation(pure_functions=pure))
+    if script.enable_reverse_speculation:
+        manager.add(ReverseSpeculation(pure_functions=pure))
+    if script.enable_conditional_speculation:
+        manager.add(ConditionalSpeculation(pure_functions=pure))
+    if script.unroll_loops:
+        manager.add(LoopUnroller(dict(script.unroll_loops)))
+    if script.enable_constant_propagation:
+        manager.add(ConstantPropagation())
+    if script.enable_copy_propagation:
+        manager.add(CopyPropagation())
+    if script.enable_cse:
+        manager.add(LocalCSE(pure_functions=pure))
+    if script.enable_dce:
+        manager.add(
+            DeadCodeElimination(
+                output_scalars=script.output_scalars or None,
+                pure_functions=pure,
+            )
+        )
+    if script.enable_code_motion:
+        manager.add(TrailblazingHoist(pure_functions=pure))
+        manager.add(DataflowLevelReorder(pure_functions=pure))
+    if script.enable_tac_lowering:
+        manager.add(TACLowering())
+    return manager
+
+
+def _record(
+    records: List[StageRecord], stage: str, started: float, cached: bool
+) -> None:
+    """Append one stage's timing record, closing its perf_counter span."""
+    records.append(
+        StageRecord(
+            stage=stage,
+            elapsed=time.perf_counter() - started,
+            cached=cached,
+        )
+    )
+
+
+def _as_transform_artifact(
+    artifact: object,
+) -> Optional[Tuple[Design, List[PassReport]]]:
+    """Validate a recalled transform artifact; None when it is not
+    the (design, reports) pair this code writes (type confusion reads
+    as a miss, exactly like corruption)."""
+    if (
+        isinstance(artifact, tuple)
+        and len(artifact) == 2
+        and isinstance(artifact[0], Design)
+        and isinstance(artifact[1], list)
+    ):
+        return artifact[0], list(artifact[1])
+    return None
+
+
+def run_flow(
+    request: FlowRequest,
+    store: Optional[StageArtifactStore] = None,
+    records: Optional[List[StageRecord]] = None,
+) -> FlowOutput:
+    """Execute the stage graph for one run (see the module docstring).
+
+    *records* may be a caller-owned accumulator: it is appended to as
+    stages settle, so when a stage raises (unschedulable corner, parse
+    error) the caller still holds the partial timing records.
+    """
+    records = records if records is not None else []
+    script = request.script
+    library = request.library if request.library is not None else ResourceLibrary()
+    use_store = store is not None and request.design is None
+    keys: Dict[str, str] = (
+        job_stage_keys(request, PERSISTED_STAGES) if use_store else {}
+    )
+
+    def record(stage: str, started: float, cached: bool) -> None:
+        _record(records, stage, started, cached)
+
+    # -- frontend + transform ----------------------------------------------
+    design: Optional[Design] = request.design
+    reports: List[PassReport] = []
+    if design is not None:
+        started = time.perf_counter()
+        manager = build_pass_manager(script)
+        manager.run_until_fixpoint(design)
+        reports = manager.reports
+        record("transform", started, False)
+    else:
+        design, reports = _frontend_and_transform(
+            request, store if use_store else None, keys, records
+        )
+
+    # -- schedule -----------------------------------------------------------
+    state_machine: Optional[StateMachine] = None
+    if use_store:
+        started = time.perf_counter()
+        artifact = store.get(keys["schedule"])  # type: ignore[union-attr]
+        if isinstance(artifact, StateMachine):
+            state_machine = artifact
+            record("schedule", started, True)
+        elif artifact is not None:
+            store.drop(keys["schedule"])  # type: ignore[union-attr]
+    if state_machine is None:
+        started = time.perf_counter()
+        scheduler = ChainingScheduler(
+            library=library,
+            clock_period=script.clock_period,
+            allocation=ResourceAllocation(
+                limits=dict(script.resource_limits)
+            ),
+            priority=script.scheduler_priority,
+        )
+        state_machine = scheduler.schedule(design.main)
+        record("schedule", started, False)
+        if use_store:
+            store.put(keys["schedule"], state_machine)  # type: ignore[union-attr]
+
+    output = FlowOutput(
+        design=design,
+        state_machine=state_machine,
+        reports=reports,
+        records=records,
+    )
+
+    # -- bind + estimate ----------------------------------------------------
+    boundary = set(script.output_scalars)
+    if request.bind:
+        started = time.perf_counter()
+        output.lifetimes = LifetimeAnalysis(
+            state_machine, boundary_live=boundary
+        )
+        output.register_binding = bind_registers(
+            state_machine, boundary_live=boundary, lifetimes=output.lifetimes
+        )
+        output.fu_binding = bind_functional_units(state_machine, library)
+        record("bind", started, False)
+        started = time.perf_counter()
+        output.area = estimate_area(
+            state_machine,
+            library=library,
+            fu_binding=output.fu_binding,
+            register_binding=output.register_binding,
+            boundary_live=boundary,
+        )
+        output.timing = estimate_timing(state_machine)
+        record("estimate", started, False)
+
+    # -- emit ---------------------------------------------------------------
+    if request.emit:
+        started = time.perf_counter()
+        interface = request.interface or DesignInterface(
+            name=design.main.name
+        )
+        output.vhdl = emit_vhdl(state_machine, interface)
+        output.verilog = emit_verilog(state_machine, interface)
+        record("emit", started, False)
+    return output
+
+
+def _frontend_and_transform(
+    request: FlowRequest,
+    store: Optional[StageArtifactStore],
+    keys: Dict[str, str],
+    records: List[StageRecord],
+) -> Tuple[Design, List[PassReport]]:
+    """Source-driven frontend + transform with artifact reuse.
+
+    Probes the *transform* artifact first — a hit subsumes the
+    frontend entirely (recorded as a zero-cost hit) — then falls back
+    to the frontend artifact, then to parsing.
+    """
+
+    def record(stage: str, started: float, cached: bool) -> None:
+        _record(records, stage, started, cached)
+
+    if store is not None:
+        started = time.perf_counter()
+        artifact = _as_transform_artifact(store.get(keys["transform"]))
+        if artifact is not None:
+            design, reports = artifact
+            records.append(StageRecord(stage="frontend", cached=True))
+            record("transform", started, True)
+            return design, reports
+
+    started = time.perf_counter()
+    design: Optional[Design] = None
+    if store is not None:
+        artifact = store.get(keys["frontend"])
+        if isinstance(artifact, Design):
+            design = artifact
+        elif artifact is not None:
+            store.drop(keys["frontend"])
+    frontend_hit = design is not None
+    if design is None:
+        design = design_from_source(request.source)
+    record("frontend", started, frontend_hit)
+    if store is not None and not frontend_hit:
+        store.put(keys["frontend"], design)
+
+    started = time.perf_counter()
+    manager = build_pass_manager(request.script)
+    manager.run_until_fixpoint(design)
+    record("transform", started, False)
+    if store is not None:
+        store.put(keys["transform"], (design, list(manager.reports)))
+    return design, manager.reports

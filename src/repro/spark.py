@@ -13,6 +13,14 @@ of parallelization through script files."
       --chaining-aware scheduling--> FSMD
       --binding--> registers + FU instances
       --emission--> VHDL / Verilog (+ RTL simulation, + estimates)
+
+Since the staged-flow rework the pipeline itself lives in
+:mod:`repro.flow`: :meth:`SynthesisJob.execute` and
+:meth:`SparkSession.run` both drive the explicit stage graph
+(``frontend -> transform -> schedule -> bind -> estimate -> emit``),
+recording per-stage wall clock and — for jobs carrying a
+``stage_cache_dir`` — recalling content-addressed stage artifacts so
+sweeps that vary only late-stage knobs never re-parse or re-transform.
 """
 
 from __future__ import annotations
@@ -27,13 +35,18 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.backend.interface import DesignInterface
 from repro.backend.rtl_sim import RTLResult, RTLSimulator
-from repro.backend.verilog import emit_verilog
-from repro.backend.vhdl import emit_vhdl
-from repro.binding.fu_binding import FUBinding, bind_functional_units
+from repro.binding.fu_binding import FUBinding
 from repro.binding.lifetimes import LifetimeAnalysis
-from repro.binding.register_binding import RegisterBinding, bind_registers
-from repro.estimation.area import AreaEstimate, estimate_area
-from repro.estimation.delay import TimingEstimate, estimate_timing
+from repro.binding.register_binding import RegisterBinding
+from repro.estimation.area import AreaEstimate
+from repro.estimation.delay import TimingEstimate
+from repro.flow.artifacts import StageArtifactStore
+from repro.flow.pipeline import (
+    FlowRequest,
+    StageRecord,
+    build_pass_manager,
+    run_flow,
+)
 from repro.interp.evaluator import Interpreter, MachineState
 from repro.ir.builder import design_from_source
 from repro.ir.htg import Design
@@ -41,20 +54,7 @@ from repro.ir.printer import print_design
 from repro.scheduler.list_scheduler import ChainingScheduler, SchedulingError
 from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
 from repro.scheduler.schedule import StateMachine
-from repro.transforms.base import PassManager, PassReport, SynthesisScript
-from repro.transforms.code_motion import DataflowLevelReorder, TrailblazingHoist
-from repro.transforms.cond_speculation import (
-    ConditionalSpeculation,
-    ReverseSpeculation,
-)
-from repro.transforms.cse import LocalCSE
-from repro.transforms.const_prop import ConstantPropagation
-from repro.transforms.copy_prop import CopyPropagation
-from repro.transforms.dce import DeadCodeElimination
-from repro.transforms.inline import FunctionInliner
-from repro.transforms.lower_tac import TACLowering
-from repro.transforms.speculation import EarlyConditionExecution, Speculation
-from repro.transforms.unroll import LoopUnroller
+from repro.transforms.base import PassReport, SynthesisScript
 
 
 @dataclass
@@ -71,6 +71,9 @@ class SynthesisResult:
     timing: Optional[TimingEstimate] = None
     vhdl: str = ""
     verilog: str = ""
+    #: Per-stage wall clock + provenance of the run that produced this
+    #: result, in stage order.
+    stages: List[StageRecord] = field(default_factory=list)
 
     def summary(self) -> str:
         lines = [
@@ -87,6 +90,13 @@ class SynthesisResult:
             lines.append(str(self.area))
         if self.timing is not None:
             lines.append(str(self.timing))
+        if self.stages:
+            parts = [
+                f"{record.stage} {record.elapsed * 1000.0:.1f}ms"
+                + (" (cached)" if record.cached else "")
+                for record in self.stages
+            ]
+            lines.append("stage timing: " + ", ".join(parts))
         return "\n".join(lines)
 
 
@@ -220,6 +230,17 @@ class SynthesisJob:
         wall-clock budget in seconds for one execution; ``None`` (the
         default) means unbounded.  A job that runs out settles as an
         ``error_kind="timeout"`` outcome.
+    priority:
+        claim-ordering hint for distributed execution: the filesystem
+        broker drains higher-priority jobs first (ties in submission
+        order).  Scheduling metadata, like ``timeout`` — never part of
+        the job's content fingerprint.
+    stage_cache_dir:
+        directory for content-addressed stage artifacts (usually the
+        outcome cache directory, stamped by the exploration engine);
+        empty disables stage caching.  A *location*, not content — it
+        rides the wire format so pool and broker workers share
+        artifacts, but is excluded from the fingerprint.
     """
 
     source: str
@@ -233,6 +254,13 @@ class SynthesisJob:
     measure: bool = False
     emit: bool = False
     timeout: Optional[float] = None
+    priority: int = 0
+    stage_cache_dir: str = ""
+
+    def execute(self) -> "SynthesisOutcome":
+        """Run this job through the staged flow; sugar for
+        :func:`execute_job`."""
+        return execute_job(self)
 
     def resolve_environment(self) -> JobEnvironment:
         if not self.environment:
@@ -245,10 +273,11 @@ class SynthesisJob:
         """Canonical plain-data description for content hashing (sets
         become sorted lists so the JSON encoding is stable).
 
-        Deliberately excludes ``timeout``: the budget changes when an
-        attempt is abandoned, never what a completed run computes, and
-        timed-out outcomes are not memoized — so keying on it would
-        only fragment the cache."""
+        Deliberately excludes ``timeout``, ``priority`` and
+        ``stage_cache_dir``: budgets and claim ordering change when an
+        attempt is scheduled, never what a completed run computes, and
+        the stage-artifact location is machine configuration — keying
+        on any of them would only fragment the cache."""
         script = asdict(self.script)
         script["pure_functions"] = sorted(script["pure_functions"])
         script["output_scalars"] = sorted(script["output_scalars"])
@@ -335,6 +364,15 @@ class SynthesisOutcome:
     vhdl: str = ""
     verilog: str = ""
     elapsed: float = 0.0
+    #: Per-stage wall clock + hit/miss provenance of the run that
+    #: produced this outcome, as plain dicts (``stage`` / ``elapsed``
+    #: / ``cached``) in stage order.  Persisted with the outcome, so a
+    #: recalled entry shows where its *original* run spent its time;
+    #: the engine's live breakdown aggregates freshly-run outcomes
+    #: only.  May be partial for infeasible corners (the records up to
+    #: the failing stage) and may end with a ``measure`` record when
+    #: the job simulated a stimulus.
+    stages: List[Dict[str, object]] = field(default_factory=list)
     cached: bool = False
     #: Where this outcome came from, per invocation: ``"run"`` (fresh
     #: execution), ``"cache"`` (recalled), or ``"pruned"`` (inferred
@@ -411,9 +449,12 @@ def execute_job(job: SynthesisJob) -> SynthesisOutcome:
 
 
 def _execute_job_body(job: SynthesisJob, outcome: SynthesisOutcome) -> None:
-    """The classification core of :func:`execute_job`: fills *outcome*
-    in place, letting only :class:`JobTimeout` escape (so the deadline
-    wins over every other failure class)."""
+    """The classification core of :func:`execute_job`: drives the
+    staged flow and fills *outcome* in place, letting only
+    :class:`JobTimeout` escape (so the deadline wins over every other
+    failure class).  Stage timing records accumulate in the outcome
+    even when a stage fails, so an infeasible corner still reports
+    where its wall clock went."""
     try:
         environment = job.resolve_environment()
     except JobTimeout:
@@ -423,29 +464,53 @@ def _execute_job_body(job: SynthesisJob, outcome: SynthesisOutcome) -> None:
         outcome.error_kind = ERROR_KIND_ENVIRONMENT
         outcome.error = f"{type(error).__name__}: {error}"
         return
+    records: List[StageRecord] = []
+    store: Optional[StageArtifactStore] = None
+    if job.stage_cache_dir:
+        # JobTimeout must pierce the store's broad corrupt-artifact
+        # handling: an alarm firing mid-unpickle is a deadline, not a
+        # damaged entry.
+        store = StageArtifactStore(
+            job.stage_cache_dir, passthrough=(JobTimeout,)
+        )
     try:
-        session = SparkSession.from_job(job, environment=environment)
-        result = session.run(bind=True, emit=job.emit)
-        sm = result.state_machine
+        flow = run_flow(
+            FlowRequest(
+                source=job.source,
+                script=job.script,
+                entity=job.entity,
+                environment=job.environment,
+                environment_args=tuple(job.environment_args),
+                library=environment.library,
+                interface=environment.interface
+                or DesignInterface(name=job.entity),
+                bind=True,
+                emit=job.emit,
+            ),
+            store=store,
+            records=records,
+        )
+        sm = flow.state_machine
         outcome.num_states = sm.num_states
         outcome.single_cycle = sm.is_single_cycle()
         outcome.scheduled_ops = sm.total_operations()
         outcome.critical_path = sm.max_critical_path()
         outcome.clock_period = job.script.clock_period
-        if result.timing is not None:
-            outcome.min_clock = result.timing.min_clock_period
-        if result.register_binding is not None:
-            outcome.registers = result.register_binding.register_count
-        if result.fu_binding is not None:
-            outcome.fu_instances = result.fu_binding.total_instances()
-        if result.area is not None:
-            outcome.area_total = result.area.total
+        if flow.timing is not None:
+            outcome.min_clock = flow.timing.min_clock_period
+        if flow.register_binding is not None:
+            outcome.registers = flow.register_binding.register_count
+        if flow.fu_binding is not None:
+            outcome.fu_instances = flow.fu_binding.total_instances()
+        if flow.area is not None:
+            outcome.area_total = flow.area.total
         if job.emit:
-            outcome.vhdl = result.vhdl
-            outcome.verilog = result.verilog
+            outcome.vhdl = flow.vhdl
+            outcome.verilog = flow.verilog
         if job.measure:
-            rtl = session.simulate_rtl(
-                sm,
+            started = time.perf_counter()
+            sim = RTLSimulator(sm, externals=environment.externals)
+            rtl = sim.run(
                 inputs=dict(job.inputs) or None,
                 array_inputs={
                     name: list(values)
@@ -454,6 +519,12 @@ def _execute_job_body(job: SynthesisJob, outcome: SynthesisOutcome) -> None:
                 or None,
             )
             outcome.measured_cycles = rtl.cycles
+            records.append(
+                StageRecord(
+                    stage="measure",
+                    elapsed=time.perf_counter() - started,
+                )
+            )
         outcome.latency = outcome.cycles * job.script.clock_period
     except JobTimeout:
         raise
@@ -469,6 +540,8 @@ def _execute_job_body(job: SynthesisJob, outcome: SynthesisOutcome) -> None:
         outcome.ok = False
         outcome.error_kind = ERROR_KIND_INFEASIBLE
         outcome.error = f"{type(error).__name__}: {error}"
+    finally:
+        outcome.stages = [record.to_dict() for record in records]
 
 
 class SparkSession:
@@ -537,41 +610,9 @@ class SparkSession:
         """Apply the scripted transformation pipeline in the paper's
         order: inline -> speculate -> unroll -> constant-propagate ->
         re-speculate -> cleanup (Section 6 sequence, with fine-grain
-        passes interleaved as supporting transformations)."""
-        script = self.script
-        pure = set(script.pure_functions)
-
-        manager = PassManager()
-        if script.inline_functions:
-            manager.add(FunctionInliner(script.inline_functions))
-        if script.enable_early_condition_execution:
-            manager.add(EarlyConditionExecution())
-        if script.enable_speculation:
-            manager.add(Speculation(pure_functions=pure))
-        if script.enable_reverse_speculation:
-            manager.add(ReverseSpeculation(pure_functions=pure))
-        if script.enable_conditional_speculation:
-            manager.add(ConditionalSpeculation(pure_functions=pure))
-        if script.unroll_loops:
-            manager.add(LoopUnroller(dict(script.unroll_loops)))
-        if script.enable_constant_propagation:
-            manager.add(ConstantPropagation())
-        if script.enable_copy_propagation:
-            manager.add(CopyPropagation())
-        if script.enable_cse:
-            manager.add(LocalCSE(pure_functions=pure))
-        if script.enable_dce:
-            manager.add(
-                DeadCodeElimination(
-                    output_scalars=script.output_scalars or None,
-                    pure_functions=pure,
-                )
-            )
-        if script.enable_code_motion:
-            manager.add(TrailblazingHoist(pure_functions=pure))
-            manager.add(DataflowLevelReorder(pure_functions=pure))
-        if script.enable_tac_lowering:
-            manager.add(TACLowering())
+        passes interleaved as supporting transformations; the pipeline
+        itself is :func:`repro.flow.build_pass_manager`)."""
+        manager = build_pass_manager(self.script)
         manager.run_until_fixpoint(self.design)
         self.reports.extend(manager.reports)
         return self.design
@@ -587,34 +628,36 @@ class SparkSession:
         return scheduler.schedule(self.design.main)
 
     def run(self, bind: bool = True, emit: bool = True) -> SynthesisResult:
-        """Full flow: transform, schedule, bind, estimate, emit."""
-        self.transform()
-        sm = self.schedule()
-        result = SynthesisResult(
-            design=self.design, state_machine=sm, reports=self.reports
-        )
-        boundary = set(self.script.output_scalars)
-        if bind:
-            result.lifetimes = LifetimeAnalysis(sm, boundary_live=boundary)
-            result.register_binding = bind_registers(
-                sm, boundary_live=boundary, lifetimes=result.lifetimes
-            )
-            result.fu_binding = bind_functional_units(sm, self.library)
-            result.area = estimate_area(
-                sm,
+        """Full flow — drives the explicit stage graph of
+        :func:`repro.flow.run_flow` over this session's (already
+        parsed) design: transform, schedule, bind, estimate, emit.
+        The result carries per-stage timing records
+        (``result.stages``, surfaced by :meth:`SynthesisResult.summary`).
+        """
+        flow = run_flow(
+            FlowRequest(
+                script=self.script,
+                design=self.design,
                 library=self.library,
-                fu_binding=result.fu_binding,
-                register_binding=result.register_binding,
-                boundary_live=boundary,
+                interface=self.interface,
+                bind=bind,
+                emit=emit,
             )
-            result.timing = estimate_timing(sm)
-        if emit:
-            interface = self.interface or DesignInterface(
-                name=self.design.main.name
-            )
-            result.vhdl = emit_vhdl(sm, interface)
-            result.verilog = emit_verilog(sm, interface)
-        return result
+        )
+        self.reports.extend(flow.reports)
+        return SynthesisResult(
+            design=flow.design,
+            state_machine=flow.state_machine,
+            reports=self.reports,
+            lifetimes=flow.lifetimes,
+            register_binding=flow.register_binding,
+            fu_binding=flow.fu_binding,
+            area=flow.area,
+            timing=flow.timing,
+            vhdl=flow.vhdl,
+            verilog=flow.verilog,
+            stages=flow.records,
+        )
 
     # -- validation helpers -----------------------------------------------------
 

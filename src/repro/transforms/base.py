@@ -11,9 +11,97 @@ did to the design.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.ir.htg import Design, FunctionHTG
+
+#: The staged synthesis flow, in execution order (see
+#: :mod:`repro.flow`): C frontend -> scripted transformations ->
+#: chaining-aware scheduling -> binding -> estimation -> RTL emission.
+SYNTHESIS_STAGES: Tuple[str, ...] = (
+    "frontend",
+    "transform",
+    "schedule",
+    "bind",
+    "estimate",
+    "emit",
+)
+
+#: Which :class:`SynthesisScript` knobs each stage *consumes* — the
+#: contract behind stage-level memoization.  A knob belongs to the
+#: earliest stage whose behavior it can change; every later stage
+#: inherits it through the cumulative key prefix (see
+#: :func:`repro.flow.keys.stage_key`), so two scripts that differ only
+#: in a schedule-stage knob (clock period, resource limits, scheduler
+#: priority) share their frontend and transform artifacts.
+#:
+#: ``output_scalars`` sits in the transform stage because DCE treats
+#: those scalars as live-at-exit; binding re-reads it downstream, but
+#: by then it is already part of the prefix.  Every script field must
+#: appear in exactly one stage — a test enforces the partition so a
+#: new knob cannot silently poison stage cache keys.
+STAGE_SCRIPT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "frontend": (),
+    "transform": (
+        "unroll_loops",
+        "inline_functions",
+        "enable_speculation",
+        "enable_early_condition_execution",
+        "enable_constant_propagation",
+        "enable_copy_propagation",
+        "enable_dce",
+        "enable_cse",
+        "enable_code_motion",
+        "enable_tac_lowering",
+        "enable_reverse_speculation",
+        "enable_conditional_speculation",
+        "pure_functions",
+        "output_scalars",
+    ),
+    "schedule": (
+        "clock_period",
+        "resource_limits",
+        "scheduler_priority",
+    ),
+    "bind": (),
+    "estimate": (),
+    "emit": (),
+}
+
+
+def stage_for_script_field(field_name: str) -> str:
+    """The earliest stage that consumes *field_name*."""
+    for stage, fields in STAGE_SCRIPT_FIELDS.items():
+        if field_name in fields:
+            return stage
+    raise KeyError(f"script field {field_name!r} is not assigned to a stage")
+
+
+def canonical_script_value(value: object) -> object:
+    """A deterministic plain-data spelling for hashing: sets become
+    sorted lists and dicts become sorted item pairs, so the JSON
+    encoding never depends on insertion order or ``PYTHONHASHSEED``
+    (stage keys must agree across spawn/forkserver workers and across
+    machines)."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, dict):
+        return sorted(value.items())
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def script_stage_fields(script: "SynthesisScript", stage: str) -> Dict[str, object]:
+    """The canonical plain-data view of the knobs *stage* consumes."""
+    if stage not in STAGE_SCRIPT_FIELDS:
+        raise KeyError(
+            f"unknown stage {stage!r}; stages: {', '.join(SYNTHESIS_STAGES)}"
+        )
+    return {
+        name: canonical_script_value(getattr(script, name))
+        for name in STAGE_SCRIPT_FIELDS[stage]
+    }
 
 
 @dataclass

@@ -129,6 +129,17 @@ def suicide_environment():
     os.kill(os.getpid(), signal.SIGKILL)
 
 
+def stage_key_probe(source, stages, output_scalars=("total",)):
+    """Compute stage keys in *this* process — used via a spawned or
+    forkserver child to prove the keys are identical across worker
+    start methods and hash seeds (snapshot determinism)."""
+    from repro.flow import stage_key
+    from repro.transforms.base import SynthesisScript
+
+    script = SynthesisScript(output_scalars=set(output_scalars))
+    return {stage: stage_key(stage, source, script) for stage in stages}
+
+
 def mini_ild_externals():
     """Deterministic pure externals for the mini-ILD fixture."""
     return {

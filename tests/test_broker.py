@@ -104,6 +104,52 @@ class TestBrokerMechanics:
         assert broker.take_result(job_id) is None  # consumed
         assert broker.stats().results == 0
 
+    def test_priority_orders_claims(self, tmp_path):
+        """Higher SynthesisJob.priority drains first; ties drain in
+        submission order — so a goal-directed sweep can front-load its
+        promising corners."""
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        submitted = {}
+        for label, priority in (
+            ("background", -3),
+            ("normal-a", 0),
+            ("hot", 10),
+            ("normal-b", 0),
+        ):
+            job = make_job(label=label)
+            job.priority = priority
+            submitted[label] = broker.submit(job)
+        claimed = []
+        while True:
+            claim = broker.claim("w1")
+            if claim is None:
+                break
+            claimed.append(claim.job.label)
+            broker.complete(claim, execute_job(claim.job))
+        assert claimed == ["hot", "normal-a", "normal-b", "background"]
+        # ids stay consistent across queue -> claimed -> results.
+        assert broker.take_result(submitted["hot"]) is not None
+
+    def test_priority_survives_the_wire_format(self, tmp_path):
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        job = make_job()
+        job.priority = 42
+        broker.submit(job)
+        claim = broker.claim("w1")
+        assert claim is not None and claim.job is not None
+        assert claim.job.priority == 42
+        assert claim.job == job
+
+    def test_extreme_priorities_clamp_not_crash(self, tmp_path):
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        low, high = make_job(label="low"), make_job(label="high")
+        low.priority = -10**12
+        high.priority = 10**12
+        broker.submit(low)
+        broker.submit(high)
+        first = broker.claim("w1")
+        assert first is not None and first.job.label == "high"
+
     def test_claims_are_exclusive(self, tmp_path):
         broker = JobBroker(tmp_path, lease_ttl=5.0)
         broker.submit(make_job())

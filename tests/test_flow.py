@@ -1,0 +1,571 @@
+"""Tests for the staged synthesis flow (repro.flow): the stage-graph
+execution, the cache-key contract, artifact robustness, and the
+incremental-sweep behavior the stage cache exists for."""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro import SparkSession
+from repro.dse import (
+    AXIS_STAGES,
+    ExplorationEngine,
+    GridError,
+    KNOWN_AXES,
+    format_stage_breakdown,
+    grid_from_specs,
+    jobs_from_grid,
+    shared_stages,
+    stage_for_axis,
+    varied_stages,
+)
+from repro.flow import (
+    PERSISTED_STAGES,
+    StageArtifactStore,
+    StageRecord,
+    SYNTHESIS_STAGES,
+    job_stage_key,
+    stage_key,
+)
+from repro.spark import SynthesisJob, SynthesisOutcome, execute_job
+from repro.transforms.base import (
+    STAGE_SCRIPT_FIELDS,
+    SynthesisScript,
+    stage_for_script_field,
+)
+from tests.helpers import stage_key_probe
+
+SWEEP_SRC = """
+int acc[26];
+int i; int total;
+total = 0;
+for (i = 0; i < 24; i++) {
+  total = total + i;
+  acc[i] = total;
+}
+"""
+
+
+def base_script() -> SynthesisScript:
+    return SynthesisScript(output_scalars={"total"})
+
+
+def make_job(**overrides) -> SynthesisJob:
+    job = SynthesisJob(source=SWEEP_SRC, script=base_script())
+    for name, value in overrides.items():
+        setattr(job, name, value)
+    return job
+
+
+def stage_counts(outcomes, stage):
+    """(fresh runs, cache hits) of *stage* across outcome records."""
+    runs = hits = 0
+    for outcome in outcomes:
+        for entry in outcome.stages:
+            if entry["stage"] != stage:
+                continue
+            if entry["cached"]:
+                hits += 1
+            else:
+                runs += 1
+    return runs, hits
+
+
+# ---------------------------------------------------------------------------
+# The knob partition: the contract behind every stage key
+# ---------------------------------------------------------------------------
+
+
+class TestStagePartition:
+    def test_every_script_field_in_exactly_one_stage(self):
+        """A new SynthesisScript knob must be assigned to a stage, or
+        stage keys would silently ignore it and serve stale artifacts."""
+        assigned = [
+            name
+            for stage in SYNTHESIS_STAGES
+            for name in STAGE_SCRIPT_FIELDS[stage]
+        ]
+        assert len(assigned) == len(set(assigned))  # no double counting
+        assert set(assigned) == set(SynthesisScript.__dataclass_fields__)
+
+    def test_stage_for_script_field(self):
+        assert stage_for_script_field("clock_period") == "schedule"
+        assert stage_for_script_field("unroll_loops") == "transform"
+        with pytest.raises(KeyError):
+            stage_for_script_field("warp_factor")
+
+    def test_every_axis_classified(self):
+        assert set(AXIS_STAGES) == set(KNOWN_AXES)
+        for axis in KNOWN_AXES:
+            assert AXIS_STAGES[axis] in SYNTHESIS_STAGES
+
+    def test_stage_for_axis(self):
+        assert stage_for_axis("clock") == "schedule"
+        assert stage_for_axis("unroll") == "transform"
+        with pytest.raises(GridError):
+            stage_for_axis("warp")
+
+    def test_varied_and_shared_stages(self):
+        schedule_only = grid_from_specs(["clock=2,4", "limits=alu:1,none"])
+        assert varied_stages(schedule_only) == ["schedule"]
+        assert shared_stages(schedule_only) == ["frontend", "transform"]
+        mixed = grid_from_specs(["clock=2,4", "unroll=none,*:0"])
+        assert varied_stages(mixed) == ["transform", "schedule"]
+        assert shared_stages(mixed) == ["frontend"]
+        # A pinned (single-value) axis varies nothing.
+        pinned = grid_from_specs(["unroll=*:0", "clock=2,4"])
+        assert varied_stages(pinned) == ["schedule"]
+
+
+# ---------------------------------------------------------------------------
+# The cache-key contract
+# ---------------------------------------------------------------------------
+
+
+class TestStageKeys:
+    def test_prefix_sensitivity(self):
+        """A knob invalidates its own stage and everything after it —
+        never anything before it."""
+        base = make_job()
+        clocked = make_job()
+        clocked.script = dataclasses.replace(base.script, clock_period=5.0)
+        # A schedule-stage knob: frontend/transform keys are shared.
+        for stage in ("frontend", "transform"):
+            assert job_stage_key(base, stage) == job_stage_key(clocked, stage)
+        for stage in ("schedule", "bind", "estimate", "emit"):
+            assert job_stage_key(base, stage) != job_stage_key(clocked, stage)
+        # A transform-stage knob invalidates transform onward.
+        unrolled = make_job()
+        unrolled.script = dataclasses.replace(
+            base.script, unroll_loops={"*": 2}
+        )
+        assert job_stage_key(base, "frontend") == job_stage_key(
+            unrolled, "frontend"
+        )
+        for stage in ("transform", "schedule"):
+            assert job_stage_key(base, stage) != job_stage_key(unrolled, stage)
+        # The source invalidates everything.
+        resourced = make_job(source=SWEEP_SRC + "\n")
+        for stage in SYNTHESIS_STAGES:
+            assert job_stage_key(base, stage) != job_stage_key(
+                resourced, stage
+            )
+        # The entity only matters at emission.
+        renamed = make_job(entity="other")
+        for stage in ("frontend", "transform", "schedule", "bind", "estimate"):
+            assert job_stage_key(base, stage) == job_stage_key(renamed, stage)
+        assert job_stage_key(base, "emit") != job_stage_key(renamed, "emit")
+        # The environment reference matters from scheduling onward
+        # (it resolves to the resource library the scheduler uses).
+        env = make_job(environment="repro.ild:ild_environment")
+        for stage in ("frontend", "transform"):
+            assert job_stage_key(base, stage) == job_stage_key(env, stage)
+        assert job_stage_key(base, "schedule") != job_stage_key(
+            env, "schedule"
+        )
+
+    def test_execution_metadata_is_not_identity(self):
+        """Labels, timeouts, priorities and the artifact location must
+        not fragment the stage cache."""
+        base = make_job()
+        relabeled = make_job(
+            label="x", timeout=5.0, priority=7, stage_cache_dir="/tmp/x"
+        )
+        for stage in SYNTHESIS_STAGES:
+            assert job_stage_key(base, stage) == job_stage_key(
+                relabeled, stage
+            )
+
+    def test_set_order_does_not_change_keys(self):
+        """Set/dict iteration order must never leak into a key (keys
+        must agree across processes with different hash seeds)."""
+        a = make_job()
+        a.script.pure_functions = {"f1", "f2", "f3"}
+        a.script.resource_limits = {"alu": 2, "cmp": 1}
+        b = make_job()
+        b.script.pure_functions = {"f3", "f1", "f2"}
+        b.script.resource_limits = {"cmp": 1, "alu": 2}
+        for stage in SYNTHESIS_STAGES:
+            assert job_stage_key(a, stage) == job_stage_key(b, stage)
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            stage_key("link", SWEEP_SRC, base_script())
+
+    @pytest.mark.parametrize("method", ["spawn", "forkserver"])
+    def test_keys_identical_across_worker_start_methods(self, method):
+        """Snapshot determinism: the same (source, script prefix)
+        hashes to the same key inside spawn and forkserver children —
+        the processes a pool sweep actually keys artifacts from."""
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{method} unavailable on this platform")
+        parent_keys = {
+            stage: stage_key(stage, SWEEP_SRC, base_script())
+            for stage in SYNTHESIS_STAGES
+        }
+        context = multiprocessing.get_context(method)
+        with context.Pool(1) as pool:
+            child_keys = pool.apply(
+                stage_key_probe, (SWEEP_SRC, list(SYNTHESIS_STAGES))
+            )
+        assert child_keys == parent_keys
+
+
+# ---------------------------------------------------------------------------
+# The artifact store: robustness before speed
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactStore:
+    def test_roundtrip_and_len(self, tmp_path):
+        store = StageArtifactStore(tmp_path)
+        key = "k" * 64
+        assert store.get(key) is None
+        assert store.misses == 1
+        assert store.put(key, {"payload": 1})
+        assert store.get(key) == {"payload": 1}
+        assert store.hits == 1
+        assert len(store) == 1
+
+    def test_corrupt_artifact_is_a_miss_and_dropped(self, tmp_path):
+        store = StageArtifactStore(tmp_path)
+        key = "k" * 64
+        store.path_for(key).write_bytes(b"\x80\x05 this is not a pickle")
+        assert store.get(key) is None
+        assert not store.path_for(key).exists()
+
+    def test_truncated_artifact_is_a_miss(self, tmp_path):
+        store = StageArtifactStore(tmp_path)
+        key = "k" * 64
+        store.put(key, list(range(1000)))
+        blob = store.path_for(key).read_bytes()
+        store.path_for(key).write_bytes(blob[: len(blob) // 2])
+        assert store.get(key) is None
+
+    def test_unwritable_root_degrades_to_noop(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file in the way", encoding="utf-8")
+        store = StageArtifactStore(blocker / "store")
+        assert store.put("k" * 64, {"x": 1}) is False  # no exception
+        assert store.get("k" * 64) is None
+
+    def test_corrupted_stage_artifact_never_crashes_a_job(self, tmp_path):
+        """The acceptance property: cache damage costs a recompute,
+        not a sweep."""
+        job = make_job(stage_cache_dir=str(tmp_path))
+        reference = execute_job(job)
+        assert reference.ok
+        # Corrupt every artifact in place (truncate + garbage).
+        artifacts = sorted(tmp_path.glob("*.stage.pkl"))
+        assert artifacts
+        for index, path in enumerate(artifacts):
+            if index % 2:
+                path.write_bytes(b"garbage")
+            else:
+                path.write_bytes(path.read_bytes()[:7])
+        again = execute_job(job)
+        assert again.ok
+        assert again.num_states == reference.num_states
+        # Everything recomputed fresh: no stage reported as cached.
+        assert all(not entry["cached"] for entry in again.stages)
+
+    def test_wrong_typed_artifact_is_recomputed(self, tmp_path):
+        """A pickle that *loads* but holds the wrong type (e.g. a
+        format drift) must read as a miss, not crash downstream."""
+        job = make_job(stage_cache_dir=str(tmp_path))
+        execute_job(job)
+        store = StageArtifactStore(tmp_path)
+        for stage in PERSISTED_STAGES:
+            store.put(job_stage_key(job, stage), {"not": "a design"})
+        again = execute_job(job)
+        assert again.ok
+        runs, _hits = stage_counts([again], "transform")
+        assert runs == 1  # recomputed, not trusted
+
+
+# ---------------------------------------------------------------------------
+# Stage records: timing + provenance surfaced everywhere
+# ---------------------------------------------------------------------------
+
+
+class TestStageRecords:
+    def test_outcome_records_roundtrip_via_dict(self):
+        outcome = execute_job(make_job())
+        assert [entry["stage"] for entry in outcome.stages] == [
+            "frontend", "transform", "schedule", "bind", "estimate",
+        ]
+        restored = SynthesisOutcome.from_dict(outcome.to_dict())
+        assert restored.stages == outcome.stages
+
+    def test_emit_and_measure_stages_recorded(self):
+        job = make_job(emit=True, measure=True)
+        outcome = execute_job(job)
+        stages = [entry["stage"] for entry in outcome.stages]
+        assert stages == [
+            "frontend", "transform", "schedule", "bind", "estimate",
+            "emit", "measure",
+        ]
+
+    def test_infeasible_corner_keeps_partial_records(self):
+        impossible = make_job()
+        impossible.script = dataclasses.replace(
+            impossible.script, clock_period=0.01
+        )
+        outcome = execute_job(impossible)
+        assert not outcome.ok
+        # The failing stage (schedule) left no record; the stages that
+        # did run are still accounted for.
+        assert [entry["stage"] for entry in outcome.stages] == [
+            "frontend", "transform",
+        ]
+
+    def test_session_result_carries_stage_records(self):
+        result = SparkSession(SWEEP_SRC, script=base_script()).run()
+        assert [record.stage for record in result.stages] == [
+            "transform", "schedule", "bind", "estimate", "emit",
+        ]
+        assert all(isinstance(r, StageRecord) for r in result.stages)
+        assert "stage timing:" in result.summary()
+        assert "transform" in result.summary()
+
+    def test_session_flow_unchanged_by_refactor(self):
+        """The staged driver must produce the same design/schedule as
+        the old monolithic SparkSession.run."""
+        session = SparkSession(SWEEP_SRC, script=base_script())
+        result = session.run()
+        assert result.state_machine.num_states >= 1
+        assert result.vhdl and result.verilog
+        assert result.register_binding is not None
+        assert result.area is not None and result.timing is not None
+        reference = SparkSession(SWEEP_SRC, script=base_script())
+        reference.transform()
+        sm = reference.schedule()
+        assert sm.num_states == result.state_machine.num_states
+
+
+# ---------------------------------------------------------------------------
+# Incremental sweeps: the acceptance criterion
+# ---------------------------------------------------------------------------
+
+
+class TestIncrementalSweeps:
+    def test_schedule_axis_sweep_parses_and_transforms_once(self, tmp_path):
+        """Acceptance: a sweep varying only schedule-stage axes
+        (clock=5,10,15 x adders=1,2) executes the frontend and
+        transform stages exactly once; every other corner recalls
+        their artifacts."""
+        grid = grid_from_specs(["clock=5,10,15", "limits=alu:1,alu:2"])
+        assert shared_stages(grid) == ["frontend", "transform"]
+        jobs = jobs_from_grid(SWEEP_SRC, grid, base_script=base_script())
+        result = ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        assert result.executed == 6
+        assert all(outcome.ok for outcome in result.outcomes)
+        assert stage_counts(result.outcomes, "frontend") == (1, 5)
+        assert stage_counts(result.outcomes, "transform") == (1, 5)
+        assert stage_counts(result.outcomes, "schedule") == (6, 0)
+        totals = result.stage_totals()
+        assert totals["transform"]["runs"] == 1
+        assert totals["transform"]["hits"] == 5
+
+    def test_stage_artifacts_shared_across_engines(self, tmp_path):
+        """A second sweep over *new* corners (disjoint clocks, so
+        whole-job outcome misses) still transforms nothing: the stage
+        cache is shared across processes/engines by construction."""
+        first = grid_from_specs(["clock=5,10"])
+        second = grid_from_specs(["clock=15,20"])
+        script = base_script()
+        ExplorationEngine(cache_dir=tmp_path).explore(
+            jobs_from_grid(SWEEP_SRC, first, base_script=script)
+        )
+        warm = ExplorationEngine(cache_dir=tmp_path).explore(
+            jobs_from_grid(SWEEP_SRC, second, base_script=script)
+        )
+        assert warm.cache_hits == 0 and warm.executed == 2
+        assert stage_counts(warm.outcomes, "frontend") == (0, 2)
+        assert stage_counts(warm.outcomes, "transform") == (0, 2)
+        breakdown = format_stage_breakdown(warm)
+        assert "transform" in breakdown and "stage breakdown" in breakdown
+
+    def test_transform_axis_reuses_per_prefix(self, tmp_path):
+        """Corners sharing a transform prefix share its artifact: a
+        2-unroll x 2-clock grid has two distinct transform prefixes,
+        so transform runs exactly twice."""
+        grid = grid_from_specs(["unroll=none,*:0", "clock=5,10"])
+        jobs = jobs_from_grid(SWEEP_SRC, grid, base_script=base_script())
+        result = ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        assert result.executed == 4
+        assert stage_counts(result.outcomes, "transform") == (2, 2)
+        assert stage_counts(result.outcomes, "frontend") == (1, 3)
+
+    def test_no_stage_cache_disables_artifacts(self, tmp_path):
+        jobs = jobs_from_grid(
+            SWEEP_SRC, grid_from_specs(["clock=5,10"]),
+            base_script=base_script(),
+        )
+        result = ExplorationEngine(
+            cache_dir=tmp_path, stage_cache=False
+        ).explore(jobs)
+        assert result.executed == 2
+        assert list(tmp_path.glob("*.stage.pkl")) == []
+        assert stage_counts(result.outcomes, "transform") == (2, 0)
+
+    def test_no_outcome_cache_means_no_stage_cache(self):
+        engine = ExplorationEngine(use_cache=False)
+        assert engine.stage_dir is None
+
+    def test_pool_workers_share_the_stage_cache(self, tmp_path):
+        """Across spawned/forked pool workers the artifacts land in
+        (and are recalled from) one directory.  Concurrency makes the
+        exact hit split racy — two workers may both compute the shared
+        transform before either publishes — but the sweep can never
+        transform more often than it has workers, and correctness is
+        unaffected."""
+        grid = grid_from_specs(["clock=3,5,7,9,11,13"])
+        jobs = jobs_from_grid(SWEEP_SRC, grid, base_script=base_script())
+        result = ExplorationEngine(cache_dir=tmp_path, workers=2).explore(jobs)
+        assert result.executed == 6
+        runs, hits = stage_counts(result.outcomes, "transform")
+        assert 1 <= runs <= 2
+        assert runs + hits == 6
+        serial = ExplorationEngine(use_cache=False).explore(jobs)
+        assert [o.num_states for o in result.outcomes] == [
+            o.num_states for o in serial.outcomes
+        ]
+
+    def test_outcome_cache_hits_do_not_count_as_live_stage_work(
+        self, tmp_path
+    ):
+        jobs = jobs_from_grid(
+            SWEEP_SRC, grid_from_specs(["clock=5,10"]),
+            base_script=base_script(),
+        )
+        ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        warm = ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        assert warm.cache_hits == 2 and warm.executed == 0
+        assert warm.stage_totals() == {}
+        assert format_stage_breakdown(warm) == ""
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestStageCacheCli:
+    def _write_source(self, tmp_path):
+        path = tmp_path / "d.c"
+        path.write_text(SWEEP_SRC, encoding="utf-8")
+        return str(path)
+
+    def test_dse_prints_stage_breakdown(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = self._write_source(tmp_path)
+        status = main(
+            ["dse", source, "--vary", "clock=5,10,15",
+             "--cache-dir", str(tmp_path / "cache"), "--output", "total"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "stage breakdown" in out
+        assert "transform" in out
+        assert (tmp_path / "cache").exists()
+        assert list((tmp_path / "cache").glob("*.stage.pkl"))
+
+    def test_no_stage_cache_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = self._write_source(tmp_path)
+        status = main(
+            ["dse", source, "--vary", "clock=5,10", "--no-stage-cache",
+             "--cache-dir", str(tmp_path / "cache"), "--output", "total"]
+        )
+        assert status == 0
+        assert list((tmp_path / "cache").glob("*.stage.pkl")) == []
+
+
+# ---------------------------------------------------------------------------
+# The cache service governs stage artifacts
+# ---------------------------------------------------------------------------
+
+
+class TestServiceIntegration:
+    def test_service_counts_clears_and_gcs_stage_artifacts(self, tmp_path):
+        from repro.dse.service import CacheService
+
+        jobs = jobs_from_grid(
+            SWEEP_SRC, grid_from_specs(["clock=5,10,15"]),
+            base_script=base_script(),
+        )
+        ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        outcomes = len(list(tmp_path.glob("*.json")))
+        artifacts = len(list(tmp_path.glob("*.stage.pkl")))
+        assert outcomes == 3 and artifacts >= 3
+        service = CacheService(tmp_path)
+        assert service.stats().entries == outcomes + artifacts
+        # A one-byte budget evicts stage artifacts like anything else.
+        tiny = CacheService(tmp_path, max_bytes=1)
+        report = tiny.gc()
+        assert report.evicted == outcomes + artifacts
+        assert list(tmp_path.glob("*.stage.pkl")) == []
+        # ...and an evicted artifact is just a miss: the sweep reruns.
+        rerun = ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        assert rerun.executed == 3
+        assert all(outcome.ok for outcome in rerun.outcomes)
+
+    def test_clear_drops_stage_artifacts(self, tmp_path):
+        from repro.dse.service import CacheService
+
+        jobs = jobs_from_grid(
+            SWEEP_SRC, grid_from_specs(["clock=5"]),
+            base_script=base_script(),
+        )
+        ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        assert CacheService(tmp_path).clear() >= 2
+        assert list(tmp_path.glob("*.stage.pkl")) == []
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_artifact_pickles_are_loadable_snapshots(self, tmp_path):
+        """The stored bytes really are Design/StateMachine snapshots,
+        reachable through the outcome cache's companion accessors
+        (``ResultCache.stage_store`` / ``repro.dse.stage_key``)."""
+        from repro.dse import ResultCache, stage_key as dse_stage_key
+        from repro.ir.htg import Design
+        from repro.scheduler.schedule import StateMachine
+
+        job = make_job(stage_cache_dir=str(tmp_path))
+        execute_job(job)
+        store = ResultCache(tmp_path).stage_store()
+        assert len(store) == 3  # frontend, transform, schedule
+        frontend = store.get(dse_stage_key(job, "frontend"))
+        assert isinstance(frontend, Design)
+        transformed = store.get(dse_stage_key(job, "transform"))
+        assert isinstance(transformed, tuple)
+        assert isinstance(transformed[0], Design)
+        schedule = store.get(dse_stage_key(job, "schedule"))
+        assert isinstance(schedule, StateMachine)
+        # The dse-layer key agrees with the flow-layer key.
+        assert dse_stage_key(job, "frontend") == job_stage_key(
+            job, "frontend"
+        )
+        # Snapshots are deep: unpickling twice yields independent IR.
+        again = store.get(dse_stage_key(job, "frontend"))
+        assert again is not frontend
+
+    def test_artifact_bytes_identity_is_key_based(self, tmp_path):
+        """Two jobs with the same transform prefix write the same
+        artifact path — the dedup that makes 100-corner sweeps cheap."""
+        a = make_job(stage_cache_dir=str(tmp_path))
+        b = make_job(stage_cache_dir=str(tmp_path))
+        b.script = dataclasses.replace(b.script, clock_period=7.0)
+        execute_job(a)
+        before = {p.name for p in tmp_path.glob("*.stage.pkl")}
+        execute_job(b)
+        after = {p.name for p in tmp_path.glob("*.stage.pkl")}
+        # b added exactly one artifact: its own schedule.
+        assert len(after - before) == 1
