@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for the DSE dispatch-overhead baseline.
+
+Compares a freshly-produced ``bench_dse.py`` report against the
+committed baseline (``benchmarks/BENCH_dse.json``) and fails when the
+warm per-corner dispatch overhead regresses beyond the tolerance:
+
+* ``warm_batched.dispatch_overhead_per_corner_s`` must not exceed the
+  baseline value by more than ``--tolerance`` (default 25%);
+* ``overhead_reduction_batched`` (the unbatched/batched ratio — a
+  within-run relative number, so robust to machine-speed differences)
+  must not fall below the baseline ratio by more than the same
+  tolerance.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dse.py --output /tmp/bench.json
+    python benchmarks/check_bench.py --current /tmp/bench.json \
+        [--baseline benchmarks/BENCH_dse.json] [--tolerance 0.25]
+
+Exit status 0 when within tolerance, 1 on regression, 2 on malformed
+input.  Absolute seconds vary across machines; the ratio check is the
+primary cross-machine gate, and the absolute check holds the line on
+same-machine trend tracking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+OVERHEAD_KEY = "dispatch_overhead_per_corner_s"
+RATIO_KEY = "overhead_reduction_batched"
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"check_bench: cannot read {path}: {error}")
+
+
+def _overhead(report: dict, path: Path) -> float:
+    phase = report.get("warm_batched") or {}
+    value = phase.get(OVERHEAD_KEY)
+    if not isinstance(value, (int, float)) or value <= 0:
+        print(
+            f"check_bench: {path} has no usable warm_batched."
+            f"{OVERHEAD_KEY} (got {value!r})",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return float(value)
+
+
+def check(baseline: dict, current: dict, tolerance: float,
+          baseline_path: Path, current_path: Path) -> int:
+    base_overhead = _overhead(baseline, baseline_path)
+    cur_overhead = _overhead(current, current_path)
+    base_ratio = float(baseline.get(RATIO_KEY) or 0.0)
+    cur_ratio = float(current.get(RATIO_KEY) or 0.0)
+
+    failures = []
+    limit = base_overhead * (1.0 + tolerance)
+    if cur_overhead > limit:
+        failures.append(
+            f"warm-batched per-corner overhead regressed: "
+            f"{cur_overhead * 1e3:.3f}ms > {limit * 1e3:.3f}ms "
+            f"(baseline {base_overhead * 1e3:.3f}ms "
+            f"+{tolerance:.0%} tolerance)"
+        )
+    floor = base_ratio * (1.0 - tolerance)
+    if base_ratio > 0 and cur_ratio < floor:
+        failures.append(
+            f"batched overhead reduction regressed: "
+            f"{cur_ratio:.2f}x < {floor:.2f}x "
+            f"(baseline {base_ratio:.2f}x -{tolerance:.0%} tolerance)"
+        )
+
+    print(
+        f"warm-batched overhead/corner: current "
+        f"{cur_overhead * 1e3:.3f}ms vs baseline "
+        f"{base_overhead * 1e3:.3f}ms | reduction: current "
+        f"{cur_ratio:.2f}x vs baseline {base_ratio:.2f}x "
+        f"(tolerance {tolerance:.0%})"
+    )
+    for failure in failures:
+        print(f"check_bench: FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("check_bench: OK")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        required=True,
+        metavar="PATH",
+        help="JSON report from a fresh bench_dse.py run",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).parent / "BENCH_dse.json"),
+        metavar="PATH",
+        help="committed baseline report (default: benchmarks/BENCH_dse.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="allowed relative regression (default: 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be non-negative")
+    baseline_path = Path(args.baseline)
+    current_path = Path(args.current)
+    return check(
+        _load(baseline_path),
+        _load(current_path),
+        args.tolerance,
+        baseline_path,
+        current_path,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -199,6 +199,19 @@ def build_dse_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "dispatch up to N cache misses sharing a transform prefix "
+            "as one batch, so a worker loads their shared stage "
+            "snapshot once and reuses scheduling analysis across "
+            "corners differing only in resources or clock; outcomes "
+            "are identical to unbatched (default: 1, no batching)"
+        ),
+    )
+    parser.add_argument(
         "--job-timeout",
         type=float,
         default=None,
@@ -369,6 +382,9 @@ def dse_main(argv: List[str]) -> int:
     if args.job_timeout is not None and args.job_timeout <= 0:
         print("repro dse: --job-timeout must be positive", file=sys.stderr)
         return 2
+    if args.batch_size < 1:
+        print("repro dse: --batch-size must be >= 1", file=sys.stderr)
+        return 2
     if args.lease_ttl is not None and args.lease_ttl <= 0:
         print("repro dse: --lease-ttl must be positive", file=sys.stderr)
         return 2
@@ -392,6 +408,7 @@ def dse_main(argv: List[str]) -> int:
         workers=args.workers,
         use_cache=not args.no_cache,
         executor=args.executor,
+        batch_size=args.batch_size,
         job_timeout=args.job_timeout,
         broker_dir=args.broker_dir,
         lease_ttl=(

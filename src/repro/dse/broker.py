@@ -46,17 +46,24 @@ import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, List, Optional, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.spark import (
     ERROR_KIND_ENVIRONMENT,
     SynthesisJob,
     SynthesisOutcome,
     execute_job,
+    execute_job_batch,
 )
 
-#: Wire-format version of the queue/result records.
-BROKER_FORMAT = 1
+#: Wire-format version of the queue/result records.  Version 2 adds
+#: multi-job *batch* records: one queue file whose ``"batch"`` list
+#: carries several prefix-sharing jobs, claimed and leased as a unit
+#: but completed (and crash-recovered) per member.  Single-job records
+#: keep the version-1 shape (a ``"job"`` key); readers dispatch on the
+#: keys, so either kind round-trips through a mixed-version broker —
+#: ``SynthesisJob.from_dict`` already ignores unknown fields.
+BROKER_FORMAT = 2
 
 #: Default seconds without a heartbeat before a claim is presumed dead.
 DEFAULT_LEASE_TTL = 30.0
@@ -92,8 +99,21 @@ def default_worker_id() -> str:
 
 
 @dataclass
+class BatchMember:
+    """One corner of a claimed batch record."""
+
+    member_id: str
+    key: str
+    job: Optional[SynthesisJob]
+    #: Set when this member's entry could not be parsed; the worker
+    #: settles the member with this error instead of executing.
+    error: str = ""
+
+
+@dataclass
 class BrokerClaim:
-    """One successfully claimed job, as held by a worker."""
+    """One successfully claimed unit of work, as held by a worker: a
+    single job (``job`` set) or a batch (``members`` set)."""
 
     job_id: str
     key: str
@@ -102,6 +122,9 @@ class BrokerClaim:
     #: Set when the job file could not be parsed; the worker settles
     #: the job with this error instead of executing.
     error: str = ""
+    #: The still-unfinished corners of a batch record; ``None`` for
+    #: single-job claims.
+    members: Optional[List[BatchMember]] = None
 
 
 @dataclass
@@ -214,6 +237,55 @@ class JobBroker:
         )
         return job_id
 
+    def submit_batch(
+        self, jobs_with_keys: List[Tuple[SynthesisJob, str]]
+    ) -> Tuple[str, List[str]]:
+        """Queue several prefix-sharing jobs as **one** multi-job
+        record (wire format 2), claimed by a single worker as a unit
+        so it can load their shared stage snapshot once.
+
+        Returns ``(batch_id, member_ids)``.  Each member's result is
+        published under its own ``member_id`` the moment it finishes
+        (``complete_member``), so the engine consumes per-corner
+        results exactly as with single-job submissions — and a worker
+        dying mid-batch forfeits only the unfinished tail, which lease
+        expiry requeues as a shrunken batch record.
+
+        The record's claim rank is the *highest* member priority: a
+        batch is claimed as early as its most urgent corner.
+        """
+        entries = list(jobs_with_keys)
+        if not entries:
+            raise ValueError("submit_batch needs at least one job")
+        self._seq += 1
+        rank = _priority_rank(max(job.priority for job, _key in entries))
+        batch_id = (
+            f"{rank:07d}-{os.getpid():08x}"
+            f"-{self._seq:06d}-{uuid.uuid4().hex[:8]}"
+        )
+        member_ids = [
+            f"{batch_id}.{index:03d}" for index in range(len(entries))
+        ]
+        self._write_json(
+            self.queue_dir / f"{batch_id}.json",
+            {
+                "format": BROKER_FORMAT,
+                "id": batch_id,
+                "batch": [
+                    {
+                        "id": member_id,
+                        "key": key,
+                        "label": job.label,
+                        "priority": job.priority,
+                        "job": job.to_dict(),
+                    }
+                    for member_id, (job, key) in zip(member_ids, entries)
+                ],
+                "submitted_at": time.time(),
+            },
+        )
+        return batch_id, member_ids
+
     def cancel(self, job_id: str) -> bool:
         """Withdraw a still-unclaimed job; False when some worker beat
         the cancellation to it (it will execute and produce a result)."""
@@ -304,6 +376,11 @@ class JobBroker:
                 },
             )
             record = self._read_json(target)
+            if record is not None and "batch" in record:
+                batch_claim = self._claim_batch(job_id, target, record, worker)
+                if batch_claim is None:
+                    continue  # every member already finished
+                return batch_claim
             if record is None or "job" not in record:
                 return BrokerClaim(
                     job_id=job_id,
@@ -329,6 +406,67 @@ class JobBroker:
                 worker=worker,
             )
         return None
+
+    def _claim_batch(
+        self,
+        batch_id: str,
+        target: Path,
+        record: dict,
+        worker: str,
+    ) -> Optional[BrokerClaim]:
+        """Turn a just-claimed batch record into a :class:`BrokerClaim`
+        carrying its *still-unfinished* members.
+
+        Members whose result file already exists are skipped — a batch
+        requeued after a mid-flight crash must never re-run the
+        corners the dead worker already published.  When every member
+        turns out finished (a requeue/complete race) the claim is
+        retired on the spot and ``None`` is returned so the scan moves
+        on.  A structurally broken record (an entry with no usable id
+        cannot have its result addressed) degrades to an error claim
+        under the batch id; the engine's batch fallback settles every
+        member from that one error result."""
+        members: List[BatchMember] = []
+        for entry in record.get("batch", []):
+            if not isinstance(entry, dict) or not entry.get("id"):
+                return BrokerClaim(
+                    job_id=batch_id,
+                    key="",
+                    job=None,
+                    worker=worker,
+                    error=f"malformed batch record {target.name}",
+                )
+            member_id = str(entry["id"])
+            if (self.results_dir / f"{member_id}.json").exists():
+                continue  # finished before a crash requeued the batch
+            key = str(entry.get("key", ""))
+            try:
+                job = SynthesisJob.from_dict(entry["job"])
+            except (KeyError, TypeError, ValueError) as error:
+                members.append(
+                    BatchMember(
+                        member_id=member_id,
+                        key=key,
+                        job=None,
+                        error=f"malformed batch member {member_id}: {error}",
+                    )
+                )
+                continue
+            members.append(BatchMember(member_id=member_id, key=key, job=job))
+        if not members:
+            for path in (target, self.leases_dir / target.name):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            return None
+        return BrokerClaim(
+            job_id=batch_id,
+            key="",
+            job=None,
+            worker=worker,
+            members=members,
+        )
 
     def heartbeat(self, claim: BrokerClaim) -> bool:
         """Refresh the claim's lease; False when the lease is gone or
@@ -375,6 +513,60 @@ class JobBroker:
         if lease is not None and lease.get("worker") not in ("", claim.worker):
             return  # usurped: the job belongs to a new claimant now
         for path in (self.claimed_dir / f"{claim.job_id}.json", lease_path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def complete_member(
+        self,
+        claim: BrokerClaim,
+        member: BatchMember,
+        outcome: SynthesisOutcome,
+    ) -> None:
+        """Publish one batch member's outcome the moment it finishes
+        and shrink the claimed record to the still-unfinished tail, so
+        a crash after this point can only requeue corners that never
+        ran.  The whole claim retires when the last member lands.
+
+        Same usurpation rule as :meth:`complete`: the (idempotent)
+        result is always published, but the claimed record and lease
+        are only touched while this worker still owns the lease.  A
+        concurrent recovery racing the record rewrite is harmless
+        either way — finished members are re-filtered against
+        ``results/`` both at requeue and at the next claim."""
+        self._write_json(
+            self.results_dir / f"{member.member_id}.json",
+            {
+                "format": BROKER_FORMAT,
+                "id": member.member_id,
+                "key": member.key,
+                "worker": claim.worker,
+                "outcome": outcome.to_dict(),
+                "completed_at": time.time(),
+            },
+        )
+        lease_path = self.leases_dir / f"{claim.job_id}.json"
+        lease = self._read_json(lease_path)
+        if lease is not None and lease.get("worker") not in ("", claim.worker):
+            return  # usurped: the batch belongs to a new claimant now
+        claimed_path = self.claimed_dir / f"{claim.job_id}.json"
+        record = self._read_json(claimed_path)
+        if record is not None and "batch" in record:
+            remaining = [
+                entry
+                for entry in record["batch"]
+                if isinstance(entry, dict)
+                and entry.get("id") != member.member_id
+            ]
+            if remaining:
+                record["batch"] = remaining
+                # The rewrite also refreshes the claimed file's mtime,
+                # which is the lease-less expiry fallback — progress
+                # within a batch keeps the claim visibly alive.
+                self._write_json(claimed_path, record)
+                return
+        for path in (claimed_path, lease_path):
             try:
                 os.unlink(path)
             except OSError:
@@ -429,7 +621,38 @@ class JobBroker:
             if now - beat <= self.lease_ttl:
                 continue
             self._suspects.pop(job_id, None)
-            if (self.results_dir / claimed.name).exists():
+            record = self._read_json(claimed)
+            if record is not None and "batch" in record:
+                # A dead batch requeues only its *unfinished* corners:
+                # members whose result already landed are dropped from
+                # the record before it goes back to the queue, so they
+                # can never run twice (and the next claimant re-filters
+                # against results/ anyway, closing the race where a
+                # result lands between this scan and the rename).
+                remaining = [
+                    entry
+                    for entry in record["batch"]
+                    if not (
+                        isinstance(entry, dict)
+                        and entry.get("id")
+                        and (
+                            self.results_dir / f"{entry['id']}.json"
+                        ).exists()
+                    )
+                ]
+                if not remaining:
+                    # Every corner finished but the worker died before
+                    # retiring the claim: just clean up, never re-run.
+                    for path in (claimed, lease):
+                        try:
+                            os.unlink(path)
+                        except OSError:
+                            pass
+                    continue
+                if len(remaining) < len(record["batch"]):
+                    record["batch"] = remaining
+                    self._write_json(claimed, record)
+            elif (self.results_dir / claimed.name).exists():
                 # Finished but the worker died before retiring the
                 # claim: just clean up, never re-run.
                 for path in (claimed, lease):
@@ -559,6 +782,65 @@ def _heartbeat_loop(
         broker.worker_heartbeat(claim.worker)
 
 
+def _run_batch_claim(
+    broker: JobBroker,
+    claim: BrokerClaim,
+    report: WorkerReport,
+    interval: float,
+    say: Callable[[str], None],
+) -> None:
+    """Execute one claimed batch: the members share a transform-stage
+    prefix, so :func:`~repro.spark.execute_job_batch` loads the stage
+    snapshot once and drives every corner from it.  Each member's
+    result publishes the moment it lands (``complete_member``), so a
+    crash mid-batch forfeits only the still-unexecuted tail — lease
+    expiry requeues exactly those corners."""
+    members = claim.members or []
+    say(
+        f"worker {claim.worker}: executing batch {claim.job_id} "
+        f"({len(members)} member(s))"
+    )
+    stop = threading.Event()
+    beater = threading.Thread(
+        target=_heartbeat_loop,
+        args=(broker, claim, stop, interval),
+        daemon=True,
+    )
+    beater.start()
+    try:
+        runnable: List[BatchMember] = []
+        for member in members:
+            if member.job is None:
+                broker.complete_member(
+                    claim,
+                    member,
+                    SynthesisOutcome(
+                        ok=False,
+                        error=member.error,
+                        error_kind=ERROR_KIND_ENVIRONMENT,
+                    ),
+                )
+                report.failed_claims += 1
+            else:
+                runnable.append(member)
+        pending = iter(runnable)
+
+        def publish(job: SynthesisJob, outcome: SynthesisOutcome) -> None:
+            # on_outcome fires in submission order, so the member
+            # iterator stays aligned with the jobs list.
+            broker.complete_member(claim, next(pending), outcome)
+            report.executed += 1
+
+        if runnable:
+            execute_job_batch(
+                [member.job for member in runnable], on_outcome=publish
+            )
+    finally:
+        stop.set()
+        beater.join()
+    say(f"worker {claim.worker}: batch {claim.job_id} settled")
+
+
 def run_worker(
     broker: JobBroker,
     worker: Optional[str] = None,
@@ -594,6 +876,10 @@ def run_worker(
                     say(f"worker {name}: idle for {idle_timeout:g}s, exiting")
                     break
                 time.sleep(poll)
+                continue
+            if claim.members is not None:
+                _run_batch_claim(broker, claim, report, interval, say)
+                idle_since = time.monotonic()
                 continue
             if claim.job is None:
                 broker.complete(

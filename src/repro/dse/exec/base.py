@@ -78,6 +78,26 @@ class Executor(abc.ABC):
         """Hand one job to the backend.  Only called while
         ``outstanding < capacity``."""
 
+    def submit_batch(
+        self, entries: List[Tuple[Token, SynthesisJob]]
+    ) -> None:
+        """Hand a *prefix-sharing* batch to the backend as one unit of
+        work: the engine groups these jobs because they share a
+        transform-stage key, so a backend that runs them in one
+        process (:func:`repro.spark.execute_job_batch`) loads the
+        stage snapshot once and reuses it across the batch.
+
+        Each member still settles individually through
+        :meth:`collect` — a batch is a dispatch optimization, never an
+        outcome-granularity change.  The default degrades to per-job
+        submits (correct, just without snapshot sharing), so the
+        engine may batch against any executor.  The engine sizes its
+        submit window in *jobs* (``capacity × batch size``); a batch
+        may briefly overshoot plain ``capacity``.
+        """
+        for token, job in entries:
+            self.submit(token, job)
+
     @abc.abstractmethod
     def collect(self) -> Optional[Tuple[Token, SynthesisOutcome]]:
         """Block until any submitted job settles; never raises for

@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import sys
 import time
+from collections import deque
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.dse.broker import DEFAULT_LEASE_TTL, JobBroker
-from repro.dse.exec.base import Executor, Token
+from repro.dse.exec.base import Executor, Token, failure_outcome
 from repro.spark import SynthesisJob, SynthesisOutcome
 
 #: Seconds of an unclaimed, workerless queue before the first stall
@@ -74,7 +75,15 @@ class BrokerExecutor(Executor):
         self.poll = poll
         self.on_stall = on_stall
         self.capacity = 1  # widened by open() to the whole sweep
+        #: Keyed by broker job id for singles, member id for batch
+        #: members — both kinds settle through per-id result files.
         self._pending: Dict[str, Tuple[Token, SynthesisJob]] = {}
+        #: Batch id -> its member ids, and the reverse map.
+        self._batches: Dict[str, List[str]] = {}
+        self._member_batch: Dict[str, str] = {}
+        #: Members settled in bulk (whole-batch error fallback), not
+        #: yet handed to the engine.
+        self._ready: Deque[Tuple[Token, SynthesisOutcome]] = deque()
         self._draining = False
         self._cancelled: List[Token] = []
         self._last_result = time.monotonic()
@@ -86,8 +95,14 @@ class BrokerExecutor(Executor):
         # after an aborted sweep): withdraw anything a previous sweep
         # left queued so stale tokens never surface here.
         for job_id in list(self._pending):
-            self.broker.cancel(job_id)
+            if job_id not in self._member_batch:
+                self.broker.cancel(job_id)
+        for batch_id in self._batches:
+            self.broker.cancel(batch_id)
         self._pending.clear()
+        self._batches.clear()
+        self._member_batch.clear()
+        self._ready.clear()
         self._draining = False
         self._cancelled = []
         self._last_result = time.monotonic()
@@ -97,12 +112,29 @@ class BrokerExecutor(Executor):
         job_id = self.broker.submit(job, key=token[1])
         self._pending[job_id] = (token, job)
 
+    def submit_batch(
+        self, entries: List[Tuple[Token, SynthesisJob]]
+    ) -> None:
+        entries = list(entries)
+        if len(entries) == 1:
+            self.submit(*entries[0])
+            return
+        batch_id, member_ids = self.broker.submit_batch(
+            [(job, token[1]) for token, job in entries]
+        )
+        self._batches[batch_id] = member_ids
+        for member_id, entry in zip(member_ids, entries):
+            self._pending[member_id] = entry
+            self._member_batch[member_id] = batch_id
+
     @property
     def outstanding(self) -> int:
-        return len(self._pending)
+        return len(self._pending) + len(self._ready)
 
     def collect(self) -> Optional[Tuple[Token, SynthesisOutcome]]:
-        while self._pending:
+        while self._pending or self._ready:
+            if self._ready:
+                return self._ready.popleft()
             # One directory scan per poll, not one stat per pending
             # job: a big sweep over a network filesystem would
             # otherwise pay O(pending) round-trips every poll.
@@ -118,11 +150,15 @@ class BrokerExecutor(Executor):
                 if outcome is None:  # consumed by a crash-cleanup race
                     continue
                 token, job = self._pending.pop(job_id)
+                self._member_batch.pop(job_id, None)
                 if not outcome.label:
                     outcome.label = job.label
                 self._last_result = time.monotonic()
                 self._next_warn = STALL_WARN_AFTER
                 return token, outcome
+            settled = self._settle_batch_errors(ready)
+            if settled is not None:
+                return settled
             # Recovery + diagnostics between scans: requeue leases that
             # stopped beating, and surface a workerless stall.
             self.broker.requeue_expired()
@@ -134,6 +170,45 @@ class BrokerExecutor(Executor):
             self._maybe_warn()
             time.sleep(self.poll)
         return None  # drained: everything left was withdrawn
+
+    def _settle_batch_errors(
+        self, ready: set
+    ) -> Optional[Tuple[Token, SynthesisOutcome]]:
+        """A result filed under a raw *batch* id is the worker's
+        whole-batch error report (it could not parse the batch
+        record): settle every still-pending member with that error.
+        Also drops bookkeeping for batches whose members all settled
+        individually."""
+        for batch_id in list(self._batches):
+            member_ids = self._batches[batch_id]
+            if not any(mid in self._pending for mid in member_ids):
+                del self._batches[batch_id]
+                continue
+            if batch_id not in ready:
+                continue
+            outcome = self.broker.take_result(batch_id)
+            if outcome is None:
+                continue
+            del self._batches[batch_id]
+            for member_id in member_ids:
+                entry = self._pending.pop(member_id, None)
+                self._member_batch.pop(member_id, None)
+                if entry is None:
+                    continue
+                token, job = entry
+                self._ready.append(
+                    (
+                        token,
+                        failure_outcome(
+                            job, outcome.error or "batch claim failed"
+                        ),
+                    )
+                )
+            if self._ready:
+                self._last_result = time.monotonic()
+                self._next_warn = STALL_WARN_AFTER
+                return self._ready.popleft()
+        return None
 
     def _maybe_warn(self) -> None:
         if self.on_stall is None:
@@ -162,11 +237,32 @@ class BrokerExecutor(Executor):
         engine could have consumed their results."""
         self._withdraw_unclaimed()
         self._pending.clear()
+        self._batches.clear()
+        self._member_batch.clear()
+        self._ready.clear()
 
     def _withdraw_unclaimed(self) -> None:
         for job_id in list(self._pending):
+            if job_id in self._member_batch:
+                continue  # withdrawn per batch record below
             if self.broker.cancel(job_id):
                 token, _job = self._pending.pop(job_id)
+                self._cancelled.append(token)
+        for batch_id in list(self._batches):
+            if not self.broker.cancel(batch_id):
+                continue  # claimed (or already finished): collect it
+            # The withdrawn record held only still-unexecuted corners:
+            # a member whose result already landed (published before a
+            # crash requeued the tail) stays pending for collection.
+            for member_id in self._batches.pop(batch_id):
+                if member_id not in self._pending:
+                    continue
+                if (
+                    self.broker.results_dir / f"{member_id}.json"
+                ).exists():
+                    continue
+                token, _job = self._pending.pop(member_id)
+                self._member_batch.pop(member_id, None)
                 self._cancelled.append(token)
 
     def cancel_pending(self) -> List[Token]:

@@ -40,10 +40,16 @@ import multiprocessing
 import os
 import queue
 import time
-from typing import Dict, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.dse.exec.base import Executor, Token, failure_outcome
-from repro.spark import SynthesisJob, SynthesisOutcome, execute_job
+from repro.spark import (
+    SynthesisJob,
+    SynthesisOutcome,
+    execute_job,
+    execute_job_batch,
+)
 
 #: Environment variable overriding the pinned start method (one of
 #: ``fork``/``forkserver``/``spawn``), for platforms where the
@@ -75,14 +81,26 @@ def _pool_init(started_queue) -> None:
     _STARTED_QUEUE = started_queue
 
 
-def _pool_entry(task_id: int, job: SynthesisJob) -> Tuple[int, SynthesisOutcome]:
-    """Runs in the worker: announce the claim, then execute."""
+def _announce(task_id: int) -> None:
     if _STARTED_QUEUE is not None:
         try:
             _STARTED_QUEUE.put((os.getpid(), task_id))
         except Exception:
             pass  # attribution is best-effort; the backstop still covers us
+
+
+def _pool_entry(task_id: int, job: SynthesisJob) -> Tuple[int, SynthesisOutcome]:
+    """Runs in the worker: announce the claim, then execute."""
+    _announce(task_id)
     return task_id, execute_job(job)
+
+
+def _pool_entry_batch(
+    task_id: int, jobs: List[SynthesisJob]
+) -> Tuple[int, List[SynthesisOutcome]]:
+    """Runs in the worker: one prefix-sharing batch, one snapshot load."""
+    _announce(task_id)
+    return task_id, execute_job_batch(jobs)
 
 
 class PoolExecutor(Executor):
@@ -126,8 +144,12 @@ class PoolExecutor(Executor):
         self._completed: "queue.SimpleQueue[Tuple[int, object]]" = (
             queue.SimpleQueue()
         )
-        self._inflight: Dict[int, Tuple[Token, SynthesisJob]] = {}
+        #: Task -> its submitted (token, job) entries; singletons are
+        #: one-element lists, so batch and single tasks settle alike.
+        self._inflight: Dict[int, List[Tuple[Token, SynthesisJob]]] = {}
         self._running: Dict[int, int] = {}  # task -> worker pid
+        #: Settled batch members not yet handed to the engine.
+        self._ready: Deque[Tuple[Token, SynthesisOutcome]] = deque()
         self._next_task = 0
         self._last_progress = time.monotonic()
 
@@ -141,6 +163,7 @@ class PoolExecutor(Executor):
         self._completed = queue.SimpleQueue()
         self._inflight.clear()
         self._running.clear()
+        self._ready.clear()
         self._next_task = 0
         size = self.workers
         if job_count > 0:
@@ -165,9 +188,7 @@ class PoolExecutor(Executor):
     # -- submit/collect ------------------------------------------------------
 
     def submit(self, token: Token, job: SynthesisJob) -> None:
-        task_id = self._next_task
-        self._next_task += 1
-        self._inflight[task_id] = (token, job)
+        task_id = self._new_task([(token, job)])
         self._pool.apply_async(
             _pool_entry,
             (task_id, job),
@@ -178,16 +199,45 @@ class PoolExecutor(Executor):
             ),
         )
 
-    def _deliver(self, value: Tuple[int, SynthesisOutcome]) -> None:
+    def submit_batch(
+        self, entries: List[Tuple[Token, SynthesisJob]]
+    ) -> None:
+        entries = list(entries)
+        if len(entries) == 1:
+            self.submit(*entries[0])
+            return
+        task_id = self._new_task(entries)
+        self._pool.apply_async(
+            _pool_entry_batch,
+            (task_id, [job for _token, job in entries]),
+            callback=self._deliver,
+            error_callback=(
+                lambda error, task_id=task_id:
+                self._completed.put((task_id, error))
+            ),
+        )
+
+    def _new_task(self, entries: List[Tuple[Token, SynthesisJob]]) -> int:
+        task_id = self._next_task
+        self._next_task += 1
+        self._inflight[task_id] = entries
+        return task_id
+
+    def _deliver(self, value: Tuple[int, object]) -> None:
         # Runs on the pool's result-handler thread.
         self._completed.put(value)
 
     @property
     def outstanding(self) -> int:
-        return len(self._inflight)
+        return (
+            sum(len(entries) for entries in self._inflight.values())
+            + len(self._ready)
+        )
 
     def collect(self) -> Tuple[Token, SynthesisOutcome]:
         while True:
+            if self._ready:
+                return self._ready.popleft()
             try:
                 task_id, payload = self._completed.get(timeout=self.poll)
             except queue.Empty:
@@ -203,20 +253,44 @@ class PoolExecutor(Executor):
         self, task_id: int, payload: object
     ) -> Optional[Tuple[Token, SynthesisOutcome]]:
         self._last_progress = time.monotonic()
-        entry = self._inflight.pop(task_id, None)
+        entries = self._inflight.pop(task_id, None)
         self._running.pop(task_id, None)
-        if entry is None:
+        if entries is None:
             # A straggler for a task already settled as lost (its
             # result raced the one grace poll in _reap_lost_workers):
             # drop it rather than crash the sweep.
             return None
-        token, job = entry
         if isinstance(payload, BaseException):
-            # Pool-level failure (e.g. the result failed to unpickle).
-            return token, failure_outcome(
-                job, f"{type(payload).__name__}: {payload}"
+            # Pool-level failure (e.g. the result failed to unpickle)
+            # settles every member of the task.
+            detail = f"{type(payload).__name__}: {payload}"
+            return self._buffer(
+                [
+                    (token, failure_outcome(job, detail))
+                    for token, job in entries
+                ]
             )
-        return token, payload  # type: ignore[return-value]
+        outcomes = payload if isinstance(payload, list) else [payload]
+        settled = [
+            (token, outcome)
+            for (token, _job), outcome in zip(entries, outcomes)
+        ]
+        # A short result list cannot happen through execute_job_batch
+        # (it never raises mid-batch), but a defective payload must
+        # still settle every submitted member.
+        for token, job in entries[len(settled):]:
+            settled.append(
+                (token, failure_outcome(job, "batch result truncated"))
+            )
+        return self._buffer(settled)
+
+    def _buffer(
+        self, settled: List[Tuple[Token, SynthesisOutcome]]
+    ) -> Tuple[Token, SynthesisOutcome]:
+        """Return the first settled member now; queue the rest for
+        subsequent ``collect`` calls."""
+        self._ready.extend(settled[1:])
+        return settled[0]
 
     # -- worker-loss detection ----------------------------------------------
 
@@ -264,13 +338,25 @@ class PoolExecutor(Executor):
                 return self._settle(task_id, payload)
             task_id = dead_tasks[0]
             pid = self._running.get(task_id)
-            token, job = self._inflight.pop(task_id)
+            entries = self._inflight.pop(task_id)
             self._running.pop(task_id, None)
             self._last_progress = time.monotonic()
-            return token, failure_outcome(
-                job,
-                f"worker process {pid} died while executing this job "
-                f"(hard kill or crash); not retried",
+            # A killed worker takes its whole task down — every batch
+            # member it held settles as environment trouble (the pool
+            # has no per-member progress to salvage; the broker path
+            # does better).
+            return self._buffer(
+                [
+                    (
+                        token,
+                        failure_outcome(
+                            job,
+                            f"worker process {pid} died while executing "
+                            f"this job (hard kill or crash); not retried",
+                        ),
+                    )
+                    for token, job in entries
+                ]
             )
         # Backstop for the claim-to-announce sliver: no task is
         # attributed to any worker, nothing is settling, and the stall
@@ -278,12 +364,20 @@ class PoolExecutor(Executor):
         stalled = time.monotonic() - self._last_progress
         if not self._running and stalled > self.stall_timeout:
             task_id = min(self._inflight)
-            token, job = self._inflight.pop(task_id)
+            entries = self._inflight.pop(task_id)
             self._last_progress = time.monotonic()
-            return token, failure_outcome(
-                job,
-                f"job made no progress for {stalled:.1f}s with no "
-                f"live claim on it (worker lost before announcing); "
-                f"not retried",
+            return self._buffer(
+                [
+                    (
+                        token,
+                        failure_outcome(
+                            job,
+                            f"job made no progress for {stalled:.1f}s "
+                            f"with no live claim on it (worker lost "
+                            f"before announcing); not retried",
+                        ),
+                    )
+                    for token, job in entries
+                ]
             )
         return None

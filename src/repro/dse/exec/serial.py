@@ -2,10 +2,16 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from collections import deque
+from typing import Deque, List, Tuple
 
 from repro.dse.exec.base import Executor, Token
-from repro.spark import SynthesisJob, SynthesisOutcome, execute_job
+from repro.spark import (
+    SynthesisJob,
+    SynthesisOutcome,
+    execute_job,
+    execute_job_batch,
+)
 
 
 class SerialExecutor(Executor):
@@ -14,24 +20,47 @@ class SerialExecutor(Executor):
     ``submit`` only enqueues; the work happens in ``collect``, so the
     engine observes the same submit/collect rhythm as with any other
     backend (and dispatch-time pruning sees every prior completion).
+
+    Batches (:meth:`submit_batch`) execute as one
+    :func:`~repro.spark.execute_job_batch` call — the whole batch runs
+    on the first ``collect`` that reaches it, and the remaining
+    members drain one per subsequent ``collect``.
     """
 
     kind = "serial"
     capacity = 1
 
     def __init__(self) -> None:
-        self._pending: List[Tuple[Token, SynthesisJob]] = []
+        #: Units of work: each entry is one batch (singletons included).
+        self._pending: List[List[Tuple[Token, SynthesisJob]]] = []
+        #: Settled batch members not yet handed to the engine.
+        self._ready: Deque[Tuple[Token, SynthesisOutcome]] = deque()
 
     def open(self, job_count: int) -> None:
         self._pending.clear()  # instances may be reused across sweeps
+        self._ready.clear()
 
     def submit(self, token: Token, job: SynthesisJob) -> None:
-        self._pending.append((token, job))
+        self._pending.append([(token, job)])
+
+    def submit_batch(
+        self, entries: List[Tuple[Token, SynthesisJob]]
+    ) -> None:
+        self._pending.append(list(entries))
 
     def collect(self) -> Tuple[Token, SynthesisOutcome]:
-        token, job = self._pending.pop(0)
-        return token, execute_job(job)
+        if not self._ready:
+            batch = self._pending.pop(0)
+            if len(batch) == 1:
+                token, job = batch[0]
+                return token, execute_job(job)
+            outcomes = execute_job_batch([job for _token, job in batch])
+            self._ready.extend(
+                (token, outcome)
+                for (token, _job), outcome in zip(batch, outcomes)
+            )
+        return self._ready.popleft()
 
     @property
     def outstanding(self) -> int:
-        return len(self._pending)
+        return sum(len(batch) for batch in self._pending) + len(self._ready)

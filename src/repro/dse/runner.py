@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
@@ -63,6 +64,7 @@ from repro.dse.cache import (
 from repro.dse.exec import EXECUTOR_KINDS, Executor, make_executor
 from repro.dse.pareto import InfeasiblePruner, ParetoFront, SweepGoal
 from repro.dse.service import maybe_auto_gc
+from repro.flow.keys import job_stage_key
 from repro.spark import (
     ERROR_KIND_UNSCHEDULABLE,
     SynthesisJob,
@@ -165,6 +167,124 @@ def _pruned_outcome(job: SynthesisJob, witness: str) -> SynthesisOutcome:
     )
 
 
+class _MissStream:
+    """Incremental cache scan plus prefix-grouped miss batching.
+
+    The engine used to prescan the *entire* job list for cache hits
+    before dispatching the first miss — on a large, mostly-cold sweep
+    every worker sat idle while thousands of corners were hashed and
+    probed.  This object interleaves the scan with dispatch: the
+    engine asks for the next batch of misses and the stream hashes
+    only as many jobs as needed to produce one, settling hits (and
+    noticing goal satisfaction) along the way.
+
+    Misses buffer per transform-prefix stage key
+    (:func:`~repro.flow.keys.job_stage_key`), so a flushed batch
+    shares one stage snapshot end to end; with ``batch_size == 1``
+    grouping is bypassed and every miss flushes the moment it is
+    found.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[SynthesisJob],
+        cache: Optional[ResultCache],
+        batch_size: int,
+        settle_hit: Callable[[int, SynthesisOutcome], bool],
+    ) -> None:
+        self._jobs = jobs
+        self._cache = cache
+        self._batch_size = batch_size
+        self._settle_hit = settle_hit
+        self._cursor = 0
+        #: Misses awaiting batch-mates, per transform-prefix group, in
+        #: first-seen group order (so partial flushes favor the oldest
+        #: buffered corner and job order is respected within a group).
+        self._buffers: "OrderedDict[str, List[Tuple[int, str, SynthesisJob]]]" = (
+            OrderedDict()
+        )
+        self._buffered = 0
+        #: Set when a cache hit satisfied the sweep goal mid-scan; the
+        #: stream then yields nothing further.
+        self.goal_met = False
+
+    @property
+    def buffered(self) -> int:
+        """Misses found but not yet flushed as a batch."""
+        return self._buffered
+
+    def unscanned(self) -> int:
+        """Jobs not yet hashed or probed."""
+        return len(self._jobs) - self._cursor
+
+    def upper_bound(self) -> int:
+        """Most misses that can still surface (every unscanned job
+        may miss); sizes the executor at first dispatch, before the
+        real miss count is known."""
+        return self._buffered + self.unscanned()
+
+    def next_batch(
+        self, eager: bool
+    ) -> Optional[List[Tuple[int, str, SynthesisJob]]]:
+        """Scan forward until a batch of misses is ready; ``None``
+        when the stream is done (every job scanned and flushed, or a
+        hit met the goal).
+
+        *eager* means the executor is idle: rather than scanning
+        arbitrarily far for batch-mates while hardware sits unused,
+        flush a partial batch once anything is buffered and one
+        batch's worth of jobs has been examined this call.
+        """
+        examined = 0
+        while not self.goal_met and self._cursor < len(self._jobs):
+            batch = self._pop_full()
+            if batch is not None:
+                return batch
+            if eager and self._buffered and examined >= self._batch_size:
+                break
+            self._classify_next()
+            examined += 1
+        if self.goal_met:
+            return None
+        batch = self._pop_full()
+        if batch is not None:
+            return batch
+        if (eager or self._cursor >= len(self._jobs)) and self._buffers:
+            return self._pop_partial()
+        return None
+
+    def _classify_next(self) -> None:
+        index = self._cursor
+        job = self._jobs[index]
+        self._cursor += 1
+        key = job_key(job) if self._cache is not None else ""
+        cached = self._cache.get(key) if self._cache is not None else None
+        if cached is not None:
+            cached.label = job.label  # labels are presentation-only
+            if self._settle_hit(index, cached):
+                self.goal_met = True
+            return
+        group = (
+            "" if self._batch_size == 1 else job_stage_key(job, "transform")
+        )
+        self._buffers.setdefault(group, []).append((index, key, job))
+        self._buffered += 1
+
+    def _pop_full(self) -> Optional[List[Tuple[int, str, SynthesisJob]]]:
+        for group, entries in self._buffers.items():
+            if len(entries) >= self._batch_size:
+                del self._buffers[group]
+                self._buffered -= len(entries)
+                return entries
+        return None
+
+    def _pop_partial(self) -> List[Tuple[int, str, SynthesisJob]]:
+        group = next(iter(self._buffers))
+        entries = self._buffers.pop(group)
+        self._buffered -= len(entries)
+        return entries
+
+
 class ExplorationEngine:
     """Runs batches of synthesis jobs with memoization, streaming
     results, Pareto tracking, dominance pruning and early exit.
@@ -199,6 +319,14 @@ class ExplorationEngine:
         under ``use_cache=False``).  Dispatched jobs are stamped with
         the cache directory, so pool workers and broker machines
         sharing the path reuse each other's artifacts.
+    batch_size:
+        misses sharing a transform-prefix stage key are dispatched in
+        groups of up to this many jobs; a batch executes in one
+        process, which loads the shared stage snapshot *once* and
+        reuses the scheduler's dependence analysis across members
+        that differ only in resource limits or clock.  ``1`` (the
+        default) disables batching.  Purely a dispatch optimization:
+        outcomes, caching and ranking are identical either way.
     """
 
     def __init__(
@@ -211,9 +339,12 @@ class ExplorationEngine:
         broker_dir: Union[str, Path, None] = None,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         stage_cache: bool = True,
+        batch_size: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if isinstance(executor, str) and executor not in EXECUTOR_KINDS:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of "
@@ -225,6 +356,7 @@ class ExplorationEngine:
             )
         self.workers = workers
         self.executor = executor
+        self.batch_size = batch_size
         self.job_timeout = job_timeout
         self.broker_dir = broker_dir
         self.lease_ttl = lease_ttl
@@ -275,7 +407,6 @@ class ExplorationEngine:
             result.executor = self.executor
         outcomes: List[Optional[SynthesisOutcome]] = [None] * len(jobs)
         pruner = InfeasiblePruner() if prune else None
-        pending: List[Tuple[int, str, SynthesisJob]] = []
 
         def settle(index: int, outcome: SynthesisOutcome) -> bool:
             """Record one settled outcome; True when it meets the goal."""
@@ -287,27 +418,23 @@ class ExplorationEngine:
                 on_outcome(outcome)
             return goal.satisfied_by(outcome)
 
-        goal_met = False
-        for index, job in enumerate(jobs):
-            key = job_key(job) if self.cache is not None else ""
-            cached = self.cache.get(key) if self.cache is not None else None
-            if cached is not None:
-                cached.label = job.label  # labels are presentation-only
-                result.cache_hits += 1
-                if settle(index, cached):
-                    # A recalled outcome met the goal: don't hash or
-                    # read another entry, count the unscanned tail as
-                    # skipped along with the misses seen so far.
-                    goal_met = True
-                    result.skipped += len(jobs) - (index + 1)
-                    break
-            else:
-                pending.append((index, key, job))
+        def settle_hit(index: int, cached: SynthesisOutcome) -> bool:
+            result.cache_hits += 1
+            return settle(index, cached)
 
-        if pending and not goal_met:
-            goal_met = self._run_pending(pending, result, pruner, settle)
-        elif pending:
-            result.skipped += len(pending)
+        # The scan is interleaved with dispatch: the stream hashes and
+        # probes just enough jobs to surface the next miss batch, so
+        # the first miss is executing while the rest of a large job
+        # list is still being scanned (hits settle along the way).
+        stream = _MissStream(jobs, self.cache, self.batch_size, settle_hit)
+        first = stream.next_batch(eager=True)
+        if first is None:
+            # No miss ever surfaced: all hits, and possibly a goal met
+            # mid-scan — the unscanned tail was never hashed.
+            goal_met = stream.goal_met
+            result.skipped += stream.buffered + stream.unscanned()
+        else:
+            goal_met = self._run_pending(first, stream, result, pruner, settle)
 
         result.goal_met = goal_met
         result.outcomes = [
@@ -367,52 +494,84 @@ class ExplorationEngine:
             self.cache.put(key, outcome)  # put drops uncacheable outcomes
         return settle(index, outcome)
 
+    def _dispatch(
+        self,
+        executor: Executor,
+        batch: List[Tuple[int, str, SynthesisJob]],
+        result: ExplorationResult,
+        pruner: Optional[InfeasiblePruner],
+        settle: Callable[[int, SynthesisOutcome], bool],
+    ) -> None:
+        """Prune-then-submit one miss batch.  Pruning happens here, at
+        dispatch time, so evidence from completions retires the
+        queue's tail; survivors of a multi-member batch go down as one
+        unit so the backend can share their stage snapshot."""
+        entries: List[Tuple[Tuple[int, str], SynthesisJob]] = []
+        for index, key, job in batch:
+            witness = pruner.veto(job) if pruner is not None else None
+            if witness is not None:
+                result.pruned += 1
+                settle(index, _pruned_outcome(job, witness))
+                continue
+            entries.append(((index, key), self._prepared(job)))
+        if not entries:
+            return
+        if len(entries) == 1:
+            executor.submit(*entries[0])
+        else:
+            executor.submit_batch(entries)
+
     def _run_pending(
         self,
-        pending: List[Tuple[int, str, SynthesisJob]],
+        first: List[Tuple[int, str, SynthesisJob]],
+        stream: _MissStream,
         result: ExplorationResult,
         pruner: Optional[InfeasiblePruner],
         settle: Callable[[int, SynthesisOutcome], bool],
     ) -> bool:
         """Stream the misses through the executor: keep the submit
-        window full (pruning at dispatch time, so evidence from
-        completions retires the queue's tail), observe completions as
-        they land, and on goal early-exit withdraw whatever the
-        executor has not started."""
-        executor = self._make_executor(len(pending))
+        window full (pulling further batches from the scan as slots
+        free up), observe completions as they land, and on goal
+        early-exit withdraw whatever the executor has not started.
+
+        The executor is sized by the stream's *upper bound* (misses
+        can only be counted by scanning, which now happens during
+        execution); the window is ``capacity`` batches' worth of jobs,
+        so batching widens throughput without changing backend width.
+        """
+        upper = stream.upper_bound() + len(first)
+        executor = self._make_executor(upper)
         result.executor = executor.kind
         goal_met = False
-        cursor = 0
-        executor.open(len(pending))
+        executor.open(upper)
         try:
+            window = executor.capacity * self.batch_size
+            self._dispatch(executor, first, result, pruner, settle)
             while True:
                 while (
                     not goal_met
-                    and cursor < len(pending)
-                    and executor.outstanding < executor.capacity
+                    and not stream.goal_met
+                    and executor.outstanding < window
                 ):
-                    index, key, job = pending[cursor]
-                    cursor += 1
-                    witness = (
-                        pruner.veto(job) if pruner is not None else None
+                    batch = stream.next_batch(
+                        eager=executor.outstanding == 0
                     )
-                    if witness is not None:
-                        result.pruned += 1
-                        settle(index, _pruned_outcome(job, witness))
-                        continue
-                    executor.submit((index, key), self._prepared(job))
-                if goal_met:
+                    if batch is None:
+                        break
+                    self._dispatch(executor, batch, result, pruner, settle)
+                if goal_met or stream.goal_met:
                     # Withdraw whatever the executor has not started —
                     # on every drain iteration, not just once: a
                     # broker job whose worker died after the first
                     # pass is requeued, and cancellable again, rather
                     # than waited on forever.
+                    goal_met = True
                     result.skipped += len(executor.cancel_pending())
                 if executor.outstanding == 0:
                     # The dispatch loop above only stops with an empty
-                    # window when the goal is met or the queue is
-                    # exhausted (pruned jobs settle inline and the
-                    # loop keeps dispatching), so this is the exit.
+                    # window when the goal is met or the scan is done
+                    # (pruned jobs settle inline and the loop keeps
+                    # dispatching), so this is the exit.
                     break
                 settled = executor.collect()
                 if settled is None:
@@ -424,7 +583,9 @@ class ExplorationEngine:
                     goal_met = True
         finally:
             executor.close()
-        result.skipped += len(pending) - cursor
+        # Misses never dispatched and jobs never scanned are skipped,
+        # exactly like the pre-dispatch tail on goal early-exit.
+        result.skipped += stream.buffered + stream.unscanned()
         return goal_met
 
 
@@ -442,6 +603,7 @@ def explore(
     broker_dir: Union[str, Path, None] = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     stage_cache: bool = True,
+    batch_size: int = 1,
 ) -> ExplorationResult:
     """One-call convenience sweep."""
     engine = ExplorationEngine(
@@ -453,6 +615,7 @@ def explore(
         broker_dir=broker_dir,
         lease_ttl=lease_ttl,
         stage_cache=stage_cache,
+        batch_size=batch_size,
     )
     return engine.explore(
         jobs,

@@ -53,6 +53,7 @@ from repro.flow.keys import job_stage_keys
 from repro.ir.builder import design_from_source
 from repro.ir.htg import Design
 from repro.scheduler.list_scheduler import ChainingScheduler
+from repro.scheduler.ready_list import DagCache
 from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
 from repro.scheduler.schedule import StateMachine
 from repro.transforms.base import (
@@ -226,12 +227,36 @@ def run_flow(
     request: FlowRequest,
     store: Optional[StageArtifactStore] = None,
     records: Optional[List[StageRecord]] = None,
+    preloaded: Optional[Tuple[Design, List[PassReport]]] = None,
+    capture: Optional[Dict[str, object]] = None,
+    dag_cache: Optional[DagCache] = None,
 ) -> FlowOutput:
     """Execute the stage graph for one run (see the module docstring).
 
     *records* may be a caller-owned accumulator: it is appended to as
     stages settle, so when a stage raises (unschedulable corner, parse
     error) the caller still holds the partial timing records.
+
+    The batch-execution hooks (:func:`repro.spark.execute_job_batch`):
+
+    *preloaded* short-circuits the frontend and transform stages with
+    an already in-memory ``(design, reports)`` transform artifact —
+    the caller vouches that it is exactly what this request's
+    transform prefix would produce (the batch runner keys snapshots by
+    the transform stage key).  Both stages record as zero-cost hits;
+    downstream stages must not mutate the design, and none do (the
+    scheduler, binder, estimator and emitters only *read* it).
+
+    *capture*, when a dict, receives ``capture["transform"] =
+    (design, reports)`` the moment the transform artifact is resolved
+    — computed, recalled from the store, or preloaded — so a batch
+    runner can reuse the in-memory snapshot for sibling corners even
+    when no store is configured.
+
+    *dag_cache* is threaded to the scheduler
+    (:class:`repro.scheduler.ready_list.DagCache`): corners sharing a
+    transform snapshot reuse each block's dependence DAG + priority
+    computation, rebuilding only clock/allocation placement state.
     """
     records = records if records is not None else []
     script = request.script
@@ -253,10 +278,20 @@ def run_flow(
         manager.run_until_fixpoint(design)
         reports = manager.reports
         record("transform", started, False)
+    elif preloaded is not None:
+        # An in-memory snapshot from a sibling corner of the same
+        # batch: semantically identical to a store hit (the caller
+        # keys snapshots by the transform stage key), minus the
+        # unpickle — both early stages settle as zero-cost hits.
+        design, reports = preloaded[0], list(preloaded[1])
+        records.append(StageRecord(stage="frontend", cached=True))
+        records.append(StageRecord(stage="transform", cached=True))
     else:
         design, reports = _frontend_and_transform(
             request, store if use_store else None, keys, records
         )
+    if capture is not None:
+        capture["transform"] = (design, reports)
 
     # -- schedule -----------------------------------------------------------
     state_machine: Optional[StateMachine] = None
@@ -277,6 +312,7 @@ def run_flow(
                 limits=dict(script.resource_limits)
             ),
             priority=script.scheduler_priority,
+            dag_cache=dag_cache,
         )
         state_machine = scheduler.schedule(design.main)
         record("schedule", started, False)

@@ -37,7 +37,7 @@ from repro.ir.htg import (
     LoopNode,
 )
 from repro.ir.operations import Operation, OpKind
-from repro.scheduler.ready_list import PRIORITIES, schedule_order
+from repro.scheduler.ready_list import DagCache, PRIORITIES, schedule_order
 from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
 from repro.scheduler.schedule import (
     BranchTransition,
@@ -75,6 +75,7 @@ class ChainingScheduler:
         allocation: Optional[ResourceAllocation] = None,
         allow_state_branching: bool = True,
         priority: str = "source",
+        dag_cache: Optional[DagCache] = None,
     ) -> None:
         if priority not in PRIORITIES:
             raise SchedulingError(
@@ -86,6 +87,13 @@ class ChainingScheduler:
         self.allocation = allocation or ResourceAllocation.unlimited()
         self.allow_state_branching = allow_state_branching
         self.priority = priority
+        #: Incremental mode: a shared :class:`DagCache` reuses each
+        #: block's dependence DAG + priority computation across
+        #: scheduler instances that differ only in clock period or
+        #: resource allocation (those inputs affect state *placement*,
+        #: never the DAG or the ready order).  The caller must scope
+        #: the cache to one in-memory design + one library.
+        self.dag_cache = dag_cache
 
     def schedule(self, func: FunctionHTG) -> StateMachine:
         """Produce the FSMD for *func*."""
@@ -127,7 +135,10 @@ class _Run:
         for index, node in enumerate(nodes):
             if isinstance(node, BlockNode):
                 for op in schedule_order(
-                    node.ops, self.cfg.priority, self.library
+                    node.ops,
+                    self.cfg.priority,
+                    self.library,
+                    dag_cache=self.cfg.dag_cache,
                 ):
                     state, halted = self.place_op(op, state, ready, usage)
                     if halted:

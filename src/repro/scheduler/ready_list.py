@@ -197,10 +197,59 @@ class ReadyList:
             raise RuntimeError("dependence DAG contains a cycle")
 
 
+class DagCache:
+    """Memoized :class:`ReadyList` construction for incremental sweeps.
+
+    Corners of a design-space sweep that differ only in resource
+    limits or clock period schedule the *same* operation lists under
+    the same priority function: the dependence DAG and the priority
+    computation (heights) depend only on the operations and the
+    library, never on the allocation or the clock.  A ``DagCache``
+    shared across those corners builds each block's ``ReadyList``
+    once and re-drains it per corner (iteration copies the pending
+    counts, so a cached list is safely re-drainable); only the
+    resource-availability state — which lives in the scheduler's
+    ``_Run``, not here — is rebuilt per corner.
+
+    Entries are keyed by the identity of the ops list (plus the
+    priority name) and hold a strong reference to the list itself:
+    the reference pins the object alive, so ``id()`` reuse can never
+    alias two different blocks, and the ``is`` check below makes the
+    hit exact rather than probabilistic.  The caller must scope one
+    cache per (in-memory design snapshot, library configuration) —
+    the exploration batch runner keys its caches by transform-stage
+    prefix and environment factory reference accordingly.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[
+            Tuple[int, str], Tuple[List[Operation], ReadyList]
+        ] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def ready_list(
+        self,
+        ops: List[Operation],
+        priority: str,
+        library: Optional[ResourceLibrary] = None,
+    ) -> ReadyList:
+        key = (id(ops), priority)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is ops:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        ready = ReadyList(ops, priority=priority, library=library)
+        self._entries[key] = (ops, ready)
+        return ready
+
+
 def schedule_order(
     ops: List[Operation],
     priority: str = "source",
     library: Optional[ResourceLibrary] = None,
+    dag_cache: Optional[DagCache] = None,
 ) -> Iterator[Operation]:
     """The block's operations in ready-list order.
 
@@ -210,7 +259,14 @@ def schedule_order(
     entirely — the common case costs nothing.  Other priorities
     reorder only independent operations, so executing the result
     sequentially is behavior-preserving.
+
+    With a :class:`DagCache` the DAG and heights are reused across
+    calls over the same ops list (incremental scheduling); the pop
+    order is identical either way, because ``ReadyList`` iteration is
+    deterministic and re-drainable.
     """
     if priority == "source" or len(ops) <= 1:
         return iter(ops)
+    if dag_cache is not None:
+        return iter(dag_cache.ready_list(ops, priority, library))
     return iter(ReadyList(ops, priority=priority, library=library))

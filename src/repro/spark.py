@@ -41,6 +41,7 @@ from repro.binding.register_binding import RegisterBinding
 from repro.estimation.area import AreaEstimate
 from repro.estimation.delay import TimingEstimate
 from repro.flow.artifacts import StageArtifactStore
+from repro.flow.keys import job_stage_key
 from repro.flow.pipeline import (
     FlowRequest,
     StageRecord,
@@ -52,6 +53,7 @@ from repro.ir.builder import design_from_source
 from repro.ir.htg import Design
 from repro.ir.printer import print_design
 from repro.scheduler.list_scheduler import ChainingScheduler, SchedulingError
+from repro.scheduler.ready_list import DagCache
 from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
 from repro.scheduler.schedule import StateMachine
 from repro.transforms.base import PassReport, SynthesisScript
@@ -419,6 +421,30 @@ class SynthesisOutcome:
         return cls(**known)
 
 
+class _BatchContext:
+    """Worker-local reuse state for one :func:`execute_job_batch` call.
+
+    ``artifacts`` maps a transform-stage key to the in-memory
+    ``(design, reports)`` snapshot the first corner with that prefix
+    produced (computed, or unpickled from the stage store *once*);
+    sibling corners run the remaining stages straight from it.
+    ``dag_caches`` scopes one :class:`DagCache` per (transform key,
+    environment factory reference): corners sharing a snapshot *and* a
+    resource library reuse each block's dependence DAG + priority
+    computation, rebuilding only clock/allocation placement state.
+
+    Sharing one design across corners is sound because no stage after
+    transform mutates it (scheduler, binding, estimation, emission
+    and RTL simulation all read the design or operate on the state
+    machine); environments are still resolved per corner — stateful
+    externals must never leak between jobs.
+    """
+
+    def __init__(self) -> None:
+        self.artifacts: Dict[str, Tuple[Design, List[PassReport]]] = {}
+        self.dag_caches: Dict[Tuple, DagCache] = {}
+
+
 def execute_job(job: SynthesisJob) -> SynthesisOutcome:
     """Run one job start to finish; never raises — failures come back
     as ``ok=False`` outcomes so a sweep survives infeasible corners.
@@ -433,11 +459,50 @@ def execute_job(job: SynthesisJob) -> SynthesisOutcome:
     function of the job content and tagged
     :data:`ERROR_KIND_INFEASIBLE`.
     """
+    return _execute_one(job, None)
+
+
+def execute_job_batch(
+    jobs: List[SynthesisJob],
+    on_outcome: Optional[
+        Callable[[SynthesisJob, SynthesisOutcome], None]
+    ] = None,
+) -> List[SynthesisOutcome]:
+    """Run several jobs in this process, reusing in-memory state
+    across corners that share a transform prefix.
+
+    The batched counterpart of :func:`execute_job`: outcomes are
+    identical job for job (same stage keys, same cache entries — the
+    snapshot short-circuit is observationally a stage-store hit), but
+    a batch unpickles or computes each distinct transform snapshot
+    **once** and drives the remaining stages per corner from memory,
+    eliminating the per-corner pickle/probe overhead a warm sweep is
+    otherwise dominated by.
+
+    *on_outcome*, when given, fires after each corner settles — the
+    broker worker publishes per-corner results through it, so a batch
+    dying mid-way loses only the unexecuted tail.  Never raises;
+    per-job failures settle as ``ok=False`` outcomes exactly as in
+    :func:`execute_job`.
+    """
+    context = _BatchContext()
+    outcomes: List[SynthesisOutcome] = []
+    for job in jobs:
+        outcome = _execute_one(job, context)
+        outcomes.append(outcome)
+        if on_outcome is not None:
+            on_outcome(job, outcome)
+    return outcomes
+
+
+def _execute_one(
+    job: SynthesisJob, context: Optional[_BatchContext]
+) -> SynthesisOutcome:
     started = time.perf_counter()
     outcome = SynthesisOutcome(label=job.label)
     try:
         with _job_deadline(job.timeout):
-            _execute_job_body(job, outcome)
+            _execute_job_body(job, outcome, context)
     except JobTimeout:
         outcome.ok = False
         outcome.error_kind = ERROR_KIND_TIMEOUT
@@ -448,7 +513,11 @@ def execute_job(job: SynthesisJob) -> SynthesisOutcome:
     return outcome
 
 
-def _execute_job_body(job: SynthesisJob, outcome: SynthesisOutcome) -> None:
+def _execute_job_body(
+    job: SynthesisJob,
+    outcome: SynthesisOutcome,
+    context: Optional[_BatchContext] = None,
+) -> None:
     """The classification core of :func:`execute_job`: drives the
     staged flow and fills *outcome* in place, letting only
     :class:`JobTimeout` escape (so the deadline wins over every other
@@ -473,6 +542,23 @@ def _execute_job_body(job: SynthesisJob, outcome: SynthesisOutcome) -> None:
         store = StageArtifactStore(
             job.stage_cache_dir, passthrough=(JobTimeout,)
         )
+    preloaded: Optional[Tuple[Design, List[PassReport]]] = None
+    capture: Optional[Dict[str, object]] = None
+    dag_cache: Optional[DagCache] = None
+    transform_key = ""
+    if context is not None:
+        transform_key = job_stage_key(job, "transform")
+        preloaded = context.artifacts.get(transform_key)
+        if preloaded is None:
+            capture = {}
+        dag_cache = context.dag_caches.setdefault(
+            (
+                transform_key,
+                job.environment,
+                tuple(job.environment_args),
+            ),
+            DagCache(),
+        )
     try:
         flow = run_flow(
             FlowRequest(
@@ -489,6 +575,9 @@ def _execute_job_body(job: SynthesisJob, outcome: SynthesisOutcome) -> None:
             ),
             store=store,
             records=records,
+            preloaded=preloaded,
+            capture=capture,
+            dag_cache=dag_cache,
         )
         sm = flow.state_machine
         outcome.num_states = sm.num_states
@@ -541,6 +630,18 @@ def _execute_job_body(job: SynthesisJob, outcome: SynthesisOutcome) -> None:
         outcome.error_kind = ERROR_KIND_INFEASIBLE
         outcome.error = f"{type(error).__name__}: {error}"
     finally:
+        # Even a corner that failed (or timed out) *after* its
+        # transform resolved donates the snapshot: sibling corners
+        # differ only in later-stage knobs, so the artifact is valid
+        # for them regardless of how this corner ended.
+        if (
+            context is not None
+            and capture is not None
+            and "transform" in capture
+        ):
+            context.artifacts[transform_key] = capture[
+                "transform"
+            ]  # type: ignore[assignment]
         outcome.stages = [record.to_dict() for record in records]
 
 

@@ -1,0 +1,251 @@
+"""Batched dispatch and incremental scheduling.
+
+Covers the batching tentpole's observational guarantees:
+
+* the engine's cache scan is interleaved with dispatch — the first
+  miss is executing before the last job of a large sweep has even been
+  hashed (regression: the engine used to prescan the entire job list
+  first, idling every worker);
+* parity — a batched sweep (``batch_size > 1``, on the pool and
+  broker executors) ranks identically to a serial unbatched sweep and
+  leaves identical outcome-cache coverage (batching is a dispatch
+  optimization, never an outcome change);
+* incremental scheduling — a shared :class:`DagCache` produces
+  schedules bit-identical to from-scratch runs across a grid that
+  varies only resource limits and clock, while actually hitting.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.dse import (
+    BrokerExecutor,
+    ExplorationEngine,
+    JobBroker,
+    ResultCache,
+    grid_from_specs,
+    job_key,
+    jobs_from_grid,
+    run_worker,
+)
+from repro.dse.exec.base import Executor
+from repro.ir.builder import design_from_source
+from repro.scheduler.list_scheduler import ChainingScheduler
+from repro.scheduler.ready_list import DagCache
+from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
+from repro.spark import execute_job
+from repro.transforms.base import SynthesisScript
+
+SWEEP_SRC = """
+int data[26];
+int acc[26];
+int i; int total;
+total = 0;
+for (i = 0; i < 24; i++) {
+  total = total + data[i];
+  acc[i] = total;
+}
+"""
+
+
+def base_script() -> SynthesisScript:
+    return SynthesisScript(output_scalars={"total"})
+
+
+def sweep_jobs(*specs: str):
+    return jobs_from_grid(
+        SWEEP_SRC, grid_from_specs(list(specs)), base_script=base_script()
+    )
+
+
+class RecordingCache(ResultCache):
+    """An outcome cache that logs every probe into a shared event list."""
+
+    def __init__(self, root, events):
+        super().__init__(root)
+        self.events = events
+
+    def get(self, key):
+        self.events.append("probe")
+        return super().get(key)
+
+
+class RecordingExecutor(Executor):
+    """In-process executor that logs every submit into the same list."""
+
+    kind = "recording"
+    capacity = 1
+
+    def __init__(self, events):
+        self.events = events
+        self._pending = []
+
+    def submit(self, token, job):
+        self.events.append("submit")
+        self._pending.append((token, job))
+
+    def collect(self):
+        token, job = self._pending.pop(0)
+        return token, execute_job(job)
+
+    @property
+    def outstanding(self):
+        return len(self._pending)
+
+
+class TestInterleavedScan:
+    def test_first_miss_dispatches_before_last_job_is_hashed(self, tmp_path):
+        """Regression: the engine must not prescan the entire job list
+        for cache hits before the first miss reaches an executor."""
+        jobs = sweep_jobs("clock=2,3,4,6")
+        events = []
+        engine = ExplorationEngine(
+            cache_dir=tmp_path, executor=RecordingExecutor(events)
+        )
+        engine.cache = RecordingCache(tmp_path, events)
+        result = engine.explore(jobs)
+        assert result.executed == len(jobs)
+        # Cold sweep: the very first probe misses and dispatches
+        # immediately; scanning resumes only after the submit.
+        assert events[:2] == ["probe", "submit"]
+        assert events.index("submit") < (
+            len(events) - 1 - events[::-1].index("probe")
+        )
+        assert events.count("probe") == len(jobs)
+        assert events.count("submit") == len(jobs)
+
+    def test_warm_rerun_still_settles_every_hit(self, tmp_path):
+        jobs = sweep_jobs("clock=2,3")
+        ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        warm = ExplorationEngine(cache_dir=tmp_path).explore(jobs)
+        assert warm.cache_hits == len(jobs)
+        assert warm.executed == 0
+        assert [o.provenance for o in warm.outcomes] == ["cache"] * len(jobs)
+
+
+class TestBatchedParity:
+    """Acceptance: batched sweeps are observationally identical to
+    serial unbatched sweeps — same ranked outcomes, same cache."""
+
+    #: Two transform-prefix groups (unroll) x four schedule corners
+    #: (clock), so batching has real prefix groups to exploit.
+    SPECS = ("clock=2,3,4,6", "unroll=none,*:0")
+
+    def assert_parity(self, baseline, batched, jobs):
+        assert len(batched.outcomes) == len(baseline.outcomes) == len(jobs)
+        assert [o.label for o in batched.ranked()] == [
+            o.label for o in baseline.ranked()
+        ]
+        assert [o.score() for o in batched.ranked()] == [
+            o.score() for o in baseline.ranked()
+        ]
+        for batched_out, baseline_out in zip(
+            batched.ranked(), baseline.ranked()
+        ):
+            assert batched_out.latency == baseline_out.latency
+            assert batched_out.area_total == baseline_out.area_total
+
+    def test_serial_batched_matches_unbatched_and_cache(self, tmp_path):
+        jobs = sweep_jobs(*self.SPECS)
+        baseline = ExplorationEngine(cache_dir=tmp_path / "a").explore(jobs)
+        batched = ExplorationEngine(
+            cache_dir=tmp_path / "b", batch_size=4
+        ).explore(jobs)
+        assert baseline.executed == batched.executed == len(jobs)
+        self.assert_parity(baseline, batched, jobs)
+        # Identical cache coverage under identical content keys.
+        cache_a = ResultCache(tmp_path / "a")
+        cache_b = ResultCache(tmp_path / "b")
+        for job in jobs:
+            key = job_key(job)
+            recalled_a, recalled_b = cache_a.get(key), cache_b.get(key)
+            assert recalled_a is not None and recalled_b is not None
+            assert recalled_a.score() == recalled_b.score()
+
+    def test_pool_batched_matches_serial_unbatched(self, tmp_path):
+        jobs = sweep_jobs(*self.SPECS)
+        baseline = ExplorationEngine(use_cache=False).explore(jobs)
+        batched = ExplorationEngine(
+            use_cache=False, workers=2, executor="pool", batch_size=4
+        ).explore(jobs)
+        assert batched.executor == "pool"
+        assert batched.executed == len(jobs)
+        self.assert_parity(baseline, batched, jobs)
+
+    def test_broker_batched_matches_serial_unbatched(self, tmp_path):
+        jobs = sweep_jobs(*self.SPECS)
+        baseline = ExplorationEngine(use_cache=False).explore(jobs)
+        broker = JobBroker(tmp_path / "broker", lease_ttl=10.0)
+        workers = [
+            threading.Thread(
+                target=run_worker,
+                kwargs=dict(
+                    broker=broker,
+                    worker=f"w{index}",
+                    idle_timeout=3.0,
+                    poll=0.02,
+                ),
+                daemon=True,
+            )
+            for index in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        engine = ExplorationEngine(
+            use_cache=False,
+            batch_size=4,
+            executor=BrokerExecutor(broker, poll=0.02, on_stall=None),
+        )
+        batched = engine.explore(jobs)
+        for worker in workers:
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+        assert batched.executor == "broker"
+        assert batched.executed == len(jobs)
+        self.assert_parity(baseline, batched, jobs)
+        stats = broker.stats()
+        assert (stats.queued, stats.claimed, stats.results) == (0, 0, 0)
+
+
+class TestIncrementalScheduling:
+    def test_shared_dag_cache_schedules_identically(self):
+        """Across a grid that varies only clock and resource limits,
+        incremental mode (one shared DagCache) must reproduce the
+        from-scratch schedule exactly — and actually reuse the DAG."""
+        design = design_from_source(SWEEP_SRC)
+        library = ResourceLibrary()
+        cache = DagCache()
+        corners = [
+            (clock, limits)
+            for clock in (2.0, 3.0, 5.0, 10.0)
+            for limits in (None, {"alu": 1}, {"alu": 2, "cmp": 1})
+        ]
+        for clock, limits in corners:
+            fresh = ChainingScheduler(
+                library=library,
+                clock_period=clock,
+                allocation=ResourceAllocation(limits=limits or {}),
+                priority="critical",
+            ).schedule(design.main)
+            warm = ChainingScheduler(
+                library=library,
+                clock_period=clock,
+                allocation=ResourceAllocation(limits=limits or {}),
+                priority="critical",
+                dag_cache=cache,
+            ).schedule(design.main)
+            assert warm.describe() == fresh.describe(), (
+                f"incremental schedule diverged at clock={clock}, "
+                f"limits={limits}"
+            )
+        assert cache.misses >= 1
+        assert cache.hits >= len(corners) - cache.misses
+
+    def test_source_priority_bypasses_the_cache(self):
+        design = design_from_source(SWEEP_SRC)
+        cache = DagCache()
+        ChainingScheduler(
+            clock_period=5.0, priority="source", dag_cache=cache
+        ).schedule(design.main)
+        assert cache.hits == 0 and cache.misses == 0

@@ -295,6 +295,173 @@ class TestCrashRecovery:
 
 
 # ---------------------------------------------------------------------------
+# Batch records (wire format 2)
+# ---------------------------------------------------------------------------
+
+
+class TestBatchRecords:
+    def batch_jobs(self):
+        return [
+            make_job(label=f"clock={clock:g}", clock=float(clock))
+            for clock in (2, 4, 6)
+        ]
+
+    def test_batch_roundtrip_completes_member_by_member(self, tmp_path):
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        jobs = self.batch_jobs()
+        batch_id, member_ids = broker.submit_batch(
+            [(job, f"k{index}" * 16) for index, job in enumerate(jobs)]
+        )
+        assert broker.stats().queued == 1  # one record for the batch
+
+        claim = broker.claim("w1")
+        assert claim is not None and claim.job_id == batch_id
+        assert claim.members is not None
+        assert [m.member_id for m in claim.members] == member_ids
+        assert [m.job.label for m in claim.members] == [
+            job.label for job in jobs
+        ]
+        assert broker.heartbeat(claim)
+        for member in claim.members:
+            broker.complete_member(claim, member, execute_job(member.job))
+        # The claim retires with the last member; each result lands
+        # under its own member id.
+        assert broker.stats().claimed == 0
+        for member_id in member_ids:
+            outcome = broker.take_result(member_id)
+            assert outcome is not None and outcome.ok
+
+    def test_batch_rank_follows_highest_member_priority(self, tmp_path):
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        broker.submit(make_job(label="single"))
+        hot = make_job(label="hot")
+        hot.priority = 10
+        broker.submit_batch([(hot, ""), (make_job(label="cold"), "")])
+        first = broker.claim("w1")
+        assert first is not None and first.members is not None
+
+    def test_cancel_withdraws_a_whole_unclaimed_batch(self, tmp_path):
+        broker = JobBroker(tmp_path, lease_ttl=5.0)
+        batch_id, _member_ids = broker.submit_batch(
+            [(job, "") for job in self.batch_jobs()]
+        )
+        assert broker.cancel(batch_id)
+        assert broker.stats().queued == 0
+        assert broker.claim("w1") is None
+
+    def test_kill_mid_batch_requeues_only_the_unfinished_tail(self, tmp_path):
+        """The batch crash-recovery guarantee: a worker dying mid-batch
+        forfeits only the corners it never ran.  Finished corners'
+        results land exactly once — the rescuer must neither lose the
+        tail nor re-execute the finished head."""
+        broker = JobBroker(tmp_path, lease_ttl=0.3)
+        jobs = self.batch_jobs()
+        _batch_id, member_ids = broker.submit_batch(
+            [(job, "") for job in jobs]
+        )
+        doomed = broker.claim("doomed")
+        assert doomed is not None and len(doomed.members) == 3
+        # The doomed worker finishes the first corner (publishing its
+        # result and shrinking the claimed record), then dies silently
+        # before starting the rest.
+        first = doomed.members[0]
+        broker.complete_member(doomed, first, execute_job(first.job))
+        assert (broker.results_dir / f"{member_ids[0]}.json").exists()
+        assert broker.stats().claimed == 1  # tail still held
+
+        time.sleep(0.45)  # the heartbeat stops beating...
+        rescued = broker.claim("rescuer")  # claim() requeues expired
+        assert rescued is not None
+        assert rescued.members is not None
+        # Only the unfinished tail came back — the finished corner is
+        # not in the rescued claim.
+        assert [m.member_id for m in rescued.members] == member_ids[1:]
+        for member in rescued.members:
+            broker.complete_member(rescued, member, execute_job(member.job))
+
+        # Every corner has exactly one result, attributed to the
+        # worker that actually ran it: the head was never re-executed.
+        producers = {}
+        for member_id in member_ids:
+            record = broker._read_json(
+                broker.results_dir / f"{member_id}.json"
+            )
+            assert record is not None
+            producers[member_id] = record["worker"]
+            assert broker.take_result(member_id).ok
+        assert producers[member_ids[0]] == "doomed"
+        assert producers[member_ids[1]] == "rescuer"
+        assert producers[member_ids[2]] == "rescuer"
+        stats = broker.stats()
+        assert (stats.queued, stats.claimed, stats.results) == (0, 0, 0)
+
+    def test_killed_worker_process_mid_batch_sweep_completes(self, tmp_path):
+        """End to end: a real worker process claims a 3-corner batch,
+        is SIGKILLed after the first corner's result lands, and a
+        rescuer finishes the tail — the sweep settles every corner
+        exactly once and the cache holds all three outcomes."""
+        broker_dir = tmp_path / "broker"
+        cache_dir = tmp_path / "cache"
+        broker = JobBroker(broker_dir, lease_ttl=0.4)
+        jobs = [
+            make_job(
+                label=f"clock={clock:g}",
+                clock=float(clock),
+                environment="tests.helpers:sleepy_environment",
+                environment_args=(1,),
+            )
+            for clock in (2, 4, 6)
+        ]
+        settled = []
+
+        def chaos() -> None:
+            ctx = multiprocessing.get_context("spawn")
+            victim = ctx.Process(
+                target=run_worker,
+                kwargs=dict(
+                    broker=JobBroker(broker_dir, lease_ttl=0.4),
+                    worker="victim",
+                    poll=0.05,
+                ),
+            )
+            victim.start()
+            try:
+                wait_until(
+                    lambda: len(settled) >= 1,
+                    what="the first batch corner to settle",
+                )
+                victim.kill()  # SIGKILL mid-batch: tail never ran
+            finally:
+                victim.join()
+            run_worker(
+                broker,
+                worker="rescuer",
+                idle_timeout=5.0,
+                poll=0.05,
+            )
+
+        saboteur = threading.Thread(target=chaos, daemon=True)
+        saboteur.start()
+        engine = ExplorationEngine(
+            cache_dir=cache_dir,
+            batch_size=3,
+            executor=BrokerExecutor(broker, poll=0.05, on_stall=None),
+        )
+        result = engine.explore(jobs, on_outcome=settled.append)
+        saboteur.join(timeout=90)
+        assert not saboteur.is_alive()
+
+        assert result.executed == 3
+        assert len(result.outcomes) == 3
+        assert all(o.ok for o in result.outcomes), [
+            o.error for o in result.outcomes
+        ]
+        cache = ResultCache(cache_dir)
+        for job in jobs:
+            assert cache.get(job_key(job)).ok  # exactly once, by key
+
+
+# ---------------------------------------------------------------------------
 # Distributed sweeps: parity with the local pool
 # ---------------------------------------------------------------------------
 
