@@ -10,7 +10,12 @@ warm per-corner dispatch overhead regresses beyond the tolerance:
 * ``overhead_reduction_batched`` (the unbatched/batched ratio — a
   within-run relative number, so robust to machine-speed differences)
   must not fall below the baseline ratio by more than the same
-  tolerance.
+  tolerance;
+* ``search_beam`` (the adaptive-search headline) must keep its
+  seeded, machine-independent quality bar: best beam latency within
+  5% of the exhaustive-grid optimum while settling at most 40% of the
+  grid's corners.  No tolerance applies — the numbers are
+  deterministic for a pinned seed, so any drift is a code change.
 
 Usage::
 
@@ -34,6 +39,10 @@ from pathlib import Path
 OVERHEAD_KEY = "dispatch_overhead_per_corner_s"
 RATIO_KEY = "overhead_reduction_batched"
 
+#: The search_beam quality bar (matches bench_dse.py's --check).
+SEARCH_LATENCY_RATIO_MAX = 1.05
+SEARCH_EVALUATED_FRACTION_MAX = 0.4
+
 
 def _load(path: Path) -> dict:
     try:
@@ -53,6 +62,45 @@ def _overhead(report: dict, path: Path) -> float:
         )
         raise SystemExit(2)
     return float(value)
+
+
+def _check_search(current: dict, path: Path) -> list:
+    """The seeded search_beam quality gate: absolute thresholds, no
+    tolerance (deterministic for a pinned seed)."""
+    phase = current.get("search_beam")
+    if not isinstance(phase, dict):
+        print(
+            f"check_bench: {path} has no search_beam phase",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    failures = []
+    ratio = float(phase.get("latency_ratio") or 0.0)
+    fraction = float(phase.get("evaluated_fraction") or 0.0)
+    if ratio <= 0 or fraction <= 0:
+        print(
+            f"check_bench: {path} search_beam is malformed: "
+            f"latency_ratio={phase.get('latency_ratio')!r}, "
+            f"evaluated_fraction={phase.get('evaluated_fraction')!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if ratio > SEARCH_LATENCY_RATIO_MAX:
+        failures.append(
+            f"beam search quality regressed: latency ratio {ratio:.4f}x "
+            f"> {SEARCH_LATENCY_RATIO_MAX}x of the exhaustive optimum"
+        )
+    if fraction > SEARCH_EVALUATED_FRACTION_MAX:
+        failures.append(
+            f"beam search cost regressed: settled {fraction:.0%} of the "
+            f"grid > {SEARCH_EVALUATED_FRACTION_MAX:.0%} cap"
+        )
+    print(
+        f"search_beam: latency ratio {ratio:.4f}x "
+        f"(cap {SEARCH_LATENCY_RATIO_MAX}x), evaluated "
+        f"{fraction:.0%} of grid (cap {SEARCH_EVALUATED_FRACTION_MAX:.0%})"
+    )
+    return failures
 
 
 def check(baseline: dict, current: dict, tolerance: float,
@@ -78,6 +126,7 @@ def check(baseline: dict, current: dict, tolerance: float,
             f"{cur_ratio:.2f}x < {floor:.2f}x "
             f"(baseline {base_ratio:.2f}x -{tolerance:.0%} tolerance)"
         )
+    failures.extend(_check_search(current, current_path))
 
     print(
         f"warm-batched overhead/corner: current "

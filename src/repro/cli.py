@@ -181,6 +181,47 @@ def build_dse_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--strategy",
+        choices=["grid", "beam", "random", "anneal"],
+        default="grid",
+        help=(
+            "how to explore the space: grid runs the exhaustive "
+            "cartesian sweep (default); beam, random and anneal run "
+            "the adaptive search engine, evaluating at most "
+            "--search-budget corners chosen by the strategy"
+        ),
+    )
+    parser.add_argument(
+        "--search-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "random seed for --strategy beam/random/anneal; the same "
+            "seed replays the identical proposal sequence on any "
+            "executor (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--search-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "most corners a search may settle (evaluate or prune); "
+            "deduplicated re-proposals and withdrawn in-flight corners "
+            "are free (default: the full grid size)"
+        ),
+    )
+    parser.add_argument(
+        "--search-trace",
+        action="store_true",
+        help=(
+            "print the proposal-by-proposal search trace (round, "
+            "corner, parent, outcome, accept/reject)"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -357,10 +398,14 @@ def dse_main(argv: List[str]) -> int:
     from repro.dse import (
         ExplorationEngine,
         GridError,
+        format_search_summary,
+        format_search_trace,
         format_stage_breakdown,
         format_table,
         grid_from_specs,
+        job_from_point,
         jobs_from_grid,
+        make_strategy,
         summarize,
     )
 
@@ -388,18 +433,26 @@ def dse_main(argv: List[str]) -> int:
     if args.lease_ttl is not None and args.lease_ttl <= 0:
         print("repro dse: --lease-ttl must be positive", file=sys.stderr)
         return 2
+    if args.strategy == "grid":
+        for flag, value in (
+            ("--search-seed", args.search_seed),
+            ("--search-budget", args.search_budget),
+            ("--search-trace", args.search_trace or None),
+        ):
+            if value is not None:
+                print(
+                    f"repro dse: {flag} requires --strategy "
+                    f"beam/random/anneal",
+                    file=sys.stderr,
+                )
+                return 2
+    if args.search_budget is not None and args.search_budget < 1:
+        print("repro dse: --search-budget must be >= 1", file=sys.stderr)
+        return 2
 
     base = SynthesisScript(
         pure_functions=set(args.pure),
         output_scalars=set(args.output),
-    )
-    jobs = jobs_from_grid(
-        source,
-        grid,
-        base_script=base,
-        entity=args.entity,
-        environment=args.environment,
-        environment_args=tuple(args.environment_arg),
     )
     from repro.dse.broker import DEFAULT_LEASE_TTL
 
@@ -425,16 +478,63 @@ def dse_main(argv: List[str]) -> int:
             file=sys.stderr,
         )
 
-    result = engine.explore(
-        jobs,
-        on_outcome=print_progress if args.progress else None,
-        target_latency=args.target_latency,
-        max_area=args.max_area,
-        prune=not args.no_prune,
-    )
+    on_outcome = print_progress if args.progress else None
+    if args.strategy == "grid":
+        jobs = jobs_from_grid(
+            source,
+            grid,
+            base_script=base,
+            entity=args.entity,
+            environment=args.environment,
+            environment_args=tuple(args.environment_arg),
+        )
+        result = engine.explore(
+            jobs,
+            on_outcome=on_outcome,
+            target_latency=args.target_latency,
+            max_area=args.max_area,
+            prune=not args.no_prune,
+        )
+    else:
+        strategy = make_strategy(
+            args.strategy,
+            grid,
+            seed=args.search_seed if args.search_seed is not None else 0,
+        )
+
+        def factory(point):
+            return job_from_point(
+                source,
+                point,
+                base_script=base,
+                entity=args.entity,
+                environment=args.environment,
+                environment_args=tuple(args.environment_arg),
+            )
+
+        result = engine.search(
+            strategy,
+            factory,
+            budget=(
+                args.search_budget
+                if args.search_budget is not None
+                else len(grid)
+            ),
+            on_outcome=on_outcome,
+            target_latency=args.target_latency,
+            max_area=args.max_area,
+            prune=not args.no_prune,
+        )
     print(format_table(result.outcomes, top=args.top))
     print()
     print(summarize(result))
+    search_summary = format_search_summary(result)
+    if search_summary:
+        print(search_summary)
+    if args.search_trace:
+        trace = format_search_trace(result)
+        if trace:
+            print(trace)
     breakdown = format_stage_breakdown(result)
     if breakdown:
         print(breakdown)

@@ -18,6 +18,10 @@ turns that loop into an engine:
 * :mod:`repro.dse.broker` — the filesystem job broker behind
   ``repro dse-worker``: atomic-rename claims, heartbeat leases, and
   requeue-on-expiry crash recovery;
+* :mod:`repro.dse.search` — adaptive strategies (beam search,
+  simulated annealing, multi-seed random restarts) that *choose*
+  which corners to evaluate instead of sweeping the whole grid,
+  driven by :meth:`ExplorationEngine.search`;
 * :mod:`repro.dse.pareto` — the latency/area frontier, sweep goals
   and the dominance pruner;
 * :mod:`repro.dse.cache` — content-hash keyed outcome store, plus
@@ -72,11 +76,18 @@ from repro.dse.grid import (
     GridError,
     GridPoint,
     KNOWN_AXES,
+    ORDERED_AXES,
     ParameterGrid,
+    axes_late_first,
+    axis_neighbor_values,
+    first_point,
     grid_from_specs,
+    job_from_point,
     jobs_from_grid,
+    mutate_point,
     parse_axis_value,
     parse_vary_spec,
+    random_point,
     script_for_point,
     shared_stages,
     stage_for_axis,
@@ -87,15 +98,29 @@ from repro.dse.pareto import (
     ParetoFront,
     SweepGoal,
     dominates,
+    scalar_score,
 )
 from repro.dse.report import (
     format_frontier,
+    format_search_summary,
+    format_search_trace,
     format_stage_breakdown,
     format_table,
     rank_outcomes,
     summarize,
 )
 from repro.dse.runner import ExplorationEngine, ExplorationResult, explore
+from repro.dse.search import (
+    STRATEGY_KINDS,
+    BeamSearch,
+    GridWalk,
+    Proposal,
+    RandomRestartSearch,
+    SearchReport,
+    SearchStrategy,
+    SimulatedAnnealing,
+    make_strategy,
+)
 from repro.dse.service import (
     CacheLockTimeout,
     CacheService,
@@ -108,6 +133,7 @@ from repro.dse.service import (
 __all__ = [
     "AXIS_STAGES",
     "BROKER_DIR_NAME",
+    "BeamSearch",
     "BrokerClaim",
     "BrokerExecutor",
     "BrokerStats",
@@ -124,33 +150,51 @@ __all__ = [
     "GCReport",
     "GridError",
     "GridPoint",
+    "GridWalk",
     "InfeasiblePruner",
     "JobBroker",
     "KNOWN_AXES",
     "MAX_BYTES_ENV_VAR",
+    "ORDERED_AXES",
     "ParameterGrid",
     "ParetoFront",
     "PoolExecutor",
+    "Proposal",
+    "RandomRestartSearch",
     "ResultCache",
+    "STRATEGY_KINDS",
+    "SearchReport",
+    "SearchStrategy",
     "SerialExecutor",
+    "SimulatedAnnealing",
     "SweepGoal",
     "WorkerReport",
+    "axes_late_first",
+    "axis_neighbor_values",
     "default_cache_dir",
     "default_start_method",
     "default_worker_id",
     "dominates",
     "explore",
+    "first_point",
     "make_executor",
+    "make_strategy",
+    "mutate_point",
+    "random_point",
     "run_worker",
     "format_frontier",
+    "format_search_summary",
+    "format_search_trace",
     "format_stage_breakdown",
     "format_table",
     "grid_from_specs",
+    "job_from_point",
     "job_key",
     "jobs_from_grid",
     "parse_axis_value",
     "parse_vary_spec",
     "rank_outcomes",
+    "scalar_score",
     "script_for_point",
     "shared_stages",
     "stage_for_axis",

@@ -34,6 +34,7 @@ from __future__ import annotations
 import copy
 import itertools
 import math
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -269,6 +270,98 @@ def shared_stages(grid: ParameterGrid) -> List[str]:
     return list(SYNTHESIS_STAGES[: SYNTHESIS_STAGES.index(varied[0])])
 
 
+# ---------------------------------------------------------------------------
+# Neighborhoods and mutation (the search strategies' move set)
+# ---------------------------------------------------------------------------
+
+#: Axes whose candidate values have a natural total order, so a search
+#: step moves to an *adjacent* value instead of teleporting across the
+#: axis.  Everything else (unroll maps, resource allocations, flags,
+#: presets, priorities) is categorical: every other candidate is a
+#: neighbor.
+ORDERED_AXES = ("clock",)
+
+
+def axis_neighbor_values(
+    axis: str, value: object, values: Sequence[object]
+) -> List[object]:
+    """The candidate values one mutation step away from *value*.
+
+    For ordered axes the neighbors are the adjacent entries of the
+    value-sorted candidate list (a beam step nudges the clock one
+    notch); for categorical axes every other candidate is a neighbor.
+    A *value* not among the candidates neighbors every candidate —
+    search may start from a base script outside the declared space.
+    """
+    candidates = list(values)
+    position = next(
+        (i for i, v in enumerate(candidates) if v == value), None
+    )
+    if position is None:
+        return candidates
+    if axis in ORDERED_AXES:
+        by_value = sorted(range(len(candidates)), key=lambda i: candidates[i])
+        at = by_value.index(position)
+        neighbors = []
+        if at > 0:
+            neighbors.append(candidates[by_value[at - 1]])
+        if at < len(by_value) - 1:
+            neighbors.append(candidates[by_value[at + 1]])
+        return neighbors
+    return [v for i, v in enumerate(candidates) if i != position]
+
+
+def mutate_point(point: GridPoint, axis: str, value: object) -> GridPoint:
+    """*point* with exactly one axis rebound to *value* (axis order —
+    and therefore label and cache-key structure — preserved)."""
+    if axis not in point.as_dict():
+        raise GridError(
+            f"cannot mutate axis {axis!r}: point has axes "
+            f"{[name for name, _ in point.values]}"
+        )
+    return GridPoint(
+        values=tuple(
+            (name, value if name == axis else existing)
+            for name, existing in point.values
+        )
+    )
+
+
+def axes_late_first(grid: ParameterGrid) -> List[str]:
+    """The grid's *mutable* axes (more than one candidate value),
+    ordered latest-affected-stage first; ties keep grid order.
+
+    This is the search strategies' mutation preference: mutating a
+    schedule-stage axis (clock, limits, priority) first keeps the
+    transform prefix shared with the parent corner, so sibling
+    proposals recall the parent's frontend/transform snapshots from
+    the stage cache instead of recomputing them."""
+    stage_order = {stage: i for i, stage in enumerate(SYNTHESIS_STAGES)}
+    mutable = [name for name, values in grid.axes if len(values) > 1]
+    return sorted(
+        mutable, key=lambda name: -stage_order[stage_for_axis(name)]
+    )
+
+
+def random_point(grid: ParameterGrid, rng: random.Random) -> GridPoint:
+    """A uniform random coordinate of *grid*, drawn axis by axis from
+    the caller's seeded generator (the sole source of randomness, so
+    seeded searches replay bit-identically)."""
+    return GridPoint(
+        values=tuple(
+            (name, rng.choice(values)) for name, values in grid.axes
+        )
+    )
+
+
+def first_point(grid: ParameterGrid) -> GridPoint:
+    """The grid's origin corner (every axis at its first declared
+    value) — the deterministic anchor seed of every search strategy."""
+    return GridPoint(
+        values=tuple((name, values[0]) for name, values in grid.axes)
+    )
+
+
 def _render_value(axis: str, value: object) -> str:
     if isinstance(value, dict):
         if not value:
@@ -324,6 +417,39 @@ def script_for_point(
     return script
 
 
+def job_from_point(
+    source: str,
+    point: GridPoint,
+    base_script: Optional[SynthesisScript] = None,
+    entity: str = "design",
+    environment: str = "",
+    environment_args: Tuple = (),
+    inputs: Optional[Dict[str, int]] = None,
+    array_inputs: Optional[Dict[str, List[int]]] = None,
+    measure: bool = False,
+    emit: bool = False,
+) -> SynthesisJob:
+    """One picklable job for one design-space coordinate, labelled by
+    the point — the factory both grid expansion and the search
+    strategies go through, so a searched corner and the identical grid
+    corner hash to the same cache key."""
+    return SynthesisJob(
+        source=source,
+        script=script_for_point(point, base_script),
+        entity=entity,
+        label=point.label,
+        environment=environment,
+        environment_args=tuple(environment_args),
+        inputs=dict(inputs or {}),
+        array_inputs={
+            name: list(values)
+            for name, values in (array_inputs or {}).items()
+        },
+        measure=measure,
+        emit=emit,
+    )
+
+
 def jobs_from_grid(
     source: str,
     grid: ParameterGrid,
@@ -337,23 +463,18 @@ def jobs_from_grid(
     emit: bool = False,
 ) -> List[SynthesisJob]:
     """One picklable job per grid point, labelled by the point."""
-    jobs: List[SynthesisJob] = []
-    for point in grid.points():
-        jobs.append(
-            SynthesisJob(
-                source=source,
-                script=script_for_point(point, base_script),
-                entity=entity,
-                label=point.label,
-                environment=environment,
-                environment_args=tuple(environment_args),
-                inputs=dict(inputs or {}),
-                array_inputs={
-                    name: list(values)
-                    for name, values in (array_inputs or {}).items()
-                },
-                measure=measure,
-                emit=emit,
-            )
+    return [
+        job_from_point(
+            source,
+            point,
+            base_script=base_script,
+            entity=entity,
+            environment=environment,
+            environment_args=environment_args,
+            inputs=inputs,
+            array_inputs=array_inputs,
+            measure=measure,
+            emit=emit,
         )
-    return jobs
+        for point in grid.points()
+    ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -111,6 +112,30 @@ class SweepGoal:
         return True
 
 
+def scalar_score(
+    outcome: SynthesisOutcome,
+    latency_weight: float = 1.0,
+    area_weight: float = 0.0,
+) -> float:
+    """Collapse an outcome to the single float the search strategies
+    minimize: a weighted latency/area sum for feasible outcomes,
+    ``+inf`` for everything else.
+
+    Infeasible, pruned and environment-failed corners all score the
+    same ``+inf`` deliberately — a corner that one executor prunes by
+    dominance and another executes to an unschedulable failure must
+    look identical to a strategy, or seeded searches would diverge
+    across executors.  The default weights realize the paper's
+    designer loop (latency first); pass an ``area_weight`` to bias a
+    search toward cheaper designs."""
+    if not outcome.ok:
+        return math.inf
+    return (
+        latency_weight * outcome.latency
+        + area_weight * outcome.area_total
+    )
+
+
 # ---------------------------------------------------------------------------
 # Dominance pruning of pending corners
 # ---------------------------------------------------------------------------
@@ -168,10 +193,11 @@ class InfeasiblePruner:
         errors say nothing about the design space, other deterministic
         failures are not monotone in the constraint knobs, and
         outcomes that were themselves pruned add no evidence beyond
-        their witness (dominance is transitive)."""
+        their witness (dominance is transitive), and a deduplicated
+        replica repeats evidence its original already contributed."""
         if outcome.ok or outcome.error_kind != ERROR_KIND_UNSCHEDULABLE:
             return
-        if outcome.provenance == "pruned":
+        if outcome.provenance in ("pruned", "dedup"):
             return
         self._witnesses.append(
             _Witness(

@@ -68,6 +68,8 @@ def summarize(result: ExplorationResult) -> str:
     )
     if result.pruned:
         text += f", {result.pruned} pruned"
+    if result.deduped:
+        text += f", {result.deduped} deduped"
     if result.skipped:
         text += f", {result.skipped} skipped"
     if result.executor == "broker":
@@ -84,6 +86,49 @@ def summarize(result: ExplorationResult) -> str:
     if result.goal_met:
         text += ", target met"
     return text
+
+
+def format_search_summary(result: ExplorationResult) -> str:
+    """The per-strategy counter line for a strategy-driven search:
+    ``search[beam] seed=1 budget=24 rounds=3: 30 proposed, ...``.
+    Empty string for plain grid sweeps (no search report)."""
+    report = result.search
+    if report is None:
+        return ""
+    counters = ", ".join(
+        f"{count} {name}" for name, count in report.counters().items()
+    )
+    best = f", best={report.best_label}" if report.best_label else ""
+    return (
+        f"search[{report.strategy}] seed={report.seed} "
+        f"budget={report.budget} rounds={report.rounds}: {counters}{best}"
+    )
+
+
+def format_search_trace(result: ExplorationResult) -> str:
+    """The proposal-by-proposal search trace: round, corner, parent,
+    how the engine settled it and what the strategy decided.  Empty
+    string when there is no search report or the trace is empty."""
+    report = result.search
+    if report is None or not report.trace:
+        return ""
+    lines = ["search trace:"]
+    label_width = max(
+        len("design point"),
+        *(len(str(entry["label"])) for entry in report.trace),
+    )
+    lines.append(
+        f"  {'rnd':>3} {'design point':<{label_width}} {'outcome':>9} "
+        f"{'decision':>8}  parent"
+    )
+    for entry in report.trace:
+        parent = str(entry["parent"]) or "-"
+        decision = str(entry["decision"]) or "-"
+        lines.append(
+            f"  {entry['round']:>3} {str(entry['label']):<{label_width}} "
+            f"{str(entry['action']):>9} {decision:>8}  {parent}"
+        )
+    return "\n".join(lines)
 
 
 def format_stage_breakdown(result: ExplorationResult) -> str:

@@ -47,12 +47,13 @@ used as pruning evidence.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.dse.broker import BROKER_DIR_NAME, DEFAULT_LEASE_TTL
 from repro.dse.cache import (
@@ -63,6 +64,7 @@ from repro.dse.cache import (
 )
 from repro.dse.exec import EXECUTOR_KINDS, Executor, make_executor
 from repro.dse.pareto import InfeasiblePruner, ParetoFront, SweepGoal
+from repro.dse.search.base import SearchReport, SearchStrategy
 from repro.dse.service import maybe_auto_gc
 from repro.flow.keys import job_stage_key
 from repro.spark import (
@@ -76,16 +78,27 @@ from repro.transforms.base import SYNTHESIS_STAGES
 #: in completion order.
 OutcomeCallback = Callable[[SynthesisOutcome], None]
 
+#: A search round whose proposals all dedupe against already-settled
+#: corners makes no progress; after this many in a row the engine ends
+#: the search rather than looping a stuck strategy forever.
+DRY_ROUND_LIMIT = 8
+
 
 @dataclass
 class ExplorationResult:
     """Everything one sweep produced, in job order.
 
     ``outcomes`` holds every job that *settled* — executed, recalled
-    from cache, or pruned as provably infeasible.  Jobs abandoned by
+    from cache, replayed as a within-sweep duplicate (provenance
+    ``"dedup"``), or pruned as provably infeasible.  Jobs abandoned by
     an early exit (never dispatched, or withdrawn from the broker
     queue before any worker claimed them) are only counted
     (``skipped``), never fabricated.
+
+    ``search`` is populated by :meth:`ExplorationEngine.search` with
+    the strategy's :class:`~repro.dse.search.base.SearchReport`
+    (per-round trace and proposed/deduped/pruned/withdrawn/evaluated
+    counters); plain grid sweeps leave it ``None``.
     """
 
     outcomes: List[SynthesisOutcome] = field(default_factory=list)
@@ -93,11 +106,13 @@ class ExplorationResult:
     executed: int = 0
     pruned: int = 0
     skipped: int = 0
+    deduped: int = 0
     goal_met: bool = False
     elapsed: float = 0.0
     workers: int = 1
     executor: str = "serial"
     front: ParetoFront = field(default_factory=ParetoFront)
+    search: Optional[SearchReport] = None
 
     @property
     def feasible(self) -> List[SynthesisOutcome]:
@@ -167,6 +182,31 @@ def _pruned_outcome(job: SynthesisJob, witness: str) -> SynthesisOutcome:
     )
 
 
+def _replica_outcome(
+    job: SynthesisJob, original: SynthesisOutcome
+) -> SynthesisOutcome:
+    """The outcome recorded for a corner whose cache key already
+    settled earlier in the same sweep: the original's metrics under
+    the duplicate's label, tagged ``"dedup"`` so reports and
+    :meth:`ExplorationResult.stage_totals` never double-count it."""
+    replica = copy.copy(original)
+    replica.label = job.label
+    replica.provenance = "dedup"
+    return replica
+
+
+def _trace_entry(proposal, action: str) -> Dict[str, object]:
+    """One ``search_trace`` row: how a proposal fared, and what the
+    strategy decided about it."""
+    return {
+        "round": proposal.round,
+        "label": proposal.point.label,
+        "parent": proposal.parent,
+        "action": action,
+        "decision": proposal.decision,
+    }
+
+
 class _MissStream:
     """Incremental cache scan plus prefix-grouped miss batching.
 
@@ -175,8 +215,10 @@ class _MissStream:
     every worker sat idle while thousands of corners were hashed and
     probed.  This object interleaves the scan with dispatch: the
     engine asks for the next batch of misses and the stream hashes
-    only as many jobs as needed to produce one, settling hits (and
-    noticing goal satisfaction) along the way.
+    only as many jobs as needed to produce one; hit/duplicate
+    settlement lives in the engine's *classify* callback, which
+    returns ``(consumed, goal_met)`` — consumed jobs (cache hits,
+    within-sweep duplicates) never surface as misses.
 
     Misses buffer per transform-prefix stage key
     (:func:`~repro.flow.keys.job_stage_key`), so a flushed batch
@@ -188,14 +230,12 @@ class _MissStream:
     def __init__(
         self,
         jobs: Sequence[SynthesisJob],
-        cache: Optional[ResultCache],
         batch_size: int,
-        settle_hit: Callable[[int, SynthesisOutcome], bool],
+        classify: Callable[[int, str, SynthesisJob], Tuple[bool, bool]],
     ) -> None:
         self._jobs = jobs
-        self._cache = cache
         self._batch_size = batch_size
-        self._settle_hit = settle_hit
+        self._classify = classify
         self._cursor = 0
         #: Misses awaiting batch-mates, per transform-prefix group, in
         #: first-seen group order (so partial flushes favor the oldest
@@ -257,11 +297,12 @@ class _MissStream:
         index = self._cursor
         job = self._jobs[index]
         self._cursor += 1
-        key = job_key(job) if self._cache is not None else ""
-        cached = self._cache.get(key) if self._cache is not None else None
-        if cached is not None:
-            cached.label = job.label  # labels are presentation-only
-            if self._settle_hit(index, cached):
+        # The key is computed even with caching disabled: it is also
+        # the within-sweep dedupe identity and the executor token.
+        key = job_key(job)
+        consumed, met = self._classify(index, key, job)
+        if consumed:
+            if met:
                 self.goal_met = True
             return
         group = (
@@ -394,9 +435,35 @@ class ExplorationEngine:
         with ``prune`` (the default) pending corners provably at least
         as constrained as an observed deterministically-infeasible
         corner are marked infeasible without executing.
+
+        Jobs sharing a cache key within one sweep dispatch **once**:
+        later duplicates settle as ``"dedup"`` replicas of the first
+        occurrence's outcome (counted in ``result.deduped``), or wait
+        for it if it is still in flight.
         """
-        started = time.perf_counter()
         goal = SweepGoal(target_latency=target_latency, max_area=max_area)
+        pruner = InfeasiblePruner() if prune else None
+        outcomes, result = self._explore_indexed(
+            jobs, on_outcome, goal, pruner
+        )
+        result.outcomes = [
+            outcome for outcome in outcomes if outcome is not None
+        ]
+        return result
+
+    def _explore_indexed(
+        self,
+        jobs: Sequence[SynthesisJob],
+        on_outcome: Optional[OutcomeCallback],
+        goal: SweepGoal,
+        pruner: Optional[InfeasiblePruner],
+    ) -> Tuple[List[Optional[SynthesisOutcome]], ExplorationResult]:
+        """The sweep core: returns per-job outcomes *positionally*
+        (``None`` where a job was skipped), so :meth:`search` can map
+        settlements back to the proposals that produced them.  The
+        returned result's ``outcomes`` list is left empty; callers
+        decide how to flatten."""
+        started = time.perf_counter()
         result = ExplorationResult(workers=self.workers)
         # Report the configured backend even when every job is served
         # from cache and no executor ever opens ("auto" resolves only
@@ -406,7 +473,12 @@ class ExplorationEngine:
         elif self.executor != "auto":
             result.executor = self.executor
         outcomes: List[Optional[SynthesisOutcome]] = [None] * len(jobs)
-        pruner = InfeasiblePruner() if prune else None
+        #: Within-sweep dedupe: first job index per cache key, settled
+        #: outcomes by key, and duplicate indices parked behind a
+        #: still-in-flight first occurrence.
+        first_by_key: Dict[str, int] = {}
+        settled_by_key: Dict[str, SynthesisOutcome] = {}
+        waiters: Dict[str, List[int]] = {}
 
         def settle(index: int, outcome: SynthesisOutcome) -> bool:
             """Record one settled outcome; True when it meets the goal."""
@@ -418,15 +490,46 @@ class ExplorationEngine:
                 on_outcome(outcome)
             return goal.satisfied_by(outcome)
 
-        def settle_hit(index: int, cached: SynthesisOutcome) -> bool:
-            result.cache_hits += 1
-            return settle(index, cached)
+        def settle_replica(index: int, original: SynthesisOutcome) -> bool:
+            result.deduped += 1
+            return settle(index, _replica_outcome(jobs[index], original))
+
+        def settle_keyed(
+            index: int, key: str, outcome: SynthesisOutcome
+        ) -> bool:
+            """Settle a first occurrence and replay any parked
+            duplicates; True when anything met the goal."""
+            met = settle(index, outcome)
+            settled_by_key[key] = outcome
+            for waiter in waiters.pop(key, ()):
+                if settle_replica(waiter, outcome):
+                    met = True
+            return met
+
+        def classify(
+            index: int, key: str, job: SynthesisJob
+        ) -> Tuple[bool, bool]:
+            """Hit/duplicate triage for one scanned job: ``(consumed,
+            goal_met)`` — consumed jobs never surface as misses."""
+            if key in first_by_key:
+                original = settled_by_key.get(key)
+                if original is not None:
+                    return True, settle_replica(index, original)
+                waiters.setdefault(key, []).append(index)
+                return True, False
+            first_by_key[key] = index
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                cached.label = job.label  # labels are presentation-only
+                result.cache_hits += 1
+                return True, settle_keyed(index, key, cached)
+            return False, False
 
         # The scan is interleaved with dispatch: the stream hashes and
         # probes just enough jobs to surface the next miss batch, so
         # the first miss is executing while the rest of a large job
         # list is still being scanned (hits settle along the way).
-        stream = _MissStream(jobs, self.cache, self.batch_size, settle_hit)
+        stream = _MissStream(jobs, self.batch_size, classify)
         first = stream.next_batch(eager=True)
         if first is None:
             # No miss ever surfaced: all hits, and possibly a goal met
@@ -434,15 +537,151 @@ class ExplorationEngine:
             goal_met = stream.goal_met
             result.skipped += stream.buffered + stream.unscanned()
         else:
-            goal_met = self._run_pending(first, stream, result, pruner, settle)
+            goal_met = self._run_pending(
+                first, stream, result, pruner, settle_keyed
+            )
+        # Duplicates parked behind an original that never settled
+        # (withdrawn on early exit) are skipped, like the original.
+        result.skipped += sum(len(parked) for parked in waiters.values())
 
         result.goal_met = goal_met
-        result.outcomes = [
-            outcome for outcome in outcomes if outcome is not None
-        ]
         result.elapsed = time.perf_counter() - started
         if self.cache is not None:
             maybe_auto_gc(self.cache.root)
+        return outcomes, result
+
+    def search(
+        self,
+        strategy: SearchStrategy,
+        job_factory: Callable[[object], SynthesisJob],
+        budget: int,
+        on_outcome: Optional[OutcomeCallback] = None,
+        target_latency: Optional[float] = None,
+        max_area: Optional[float] = None,
+        prune: bool = True,
+    ) -> ExplorationResult:
+        """Strategy-driven exploration: run *strategy* until its
+        ``budget`` of settled corners (evaluated + pruned) is spent,
+        the strategy converges (``done()`` or an empty proposal
+        round), or a sweep goal is met.
+
+        Each round, the engine pulls proposals, materializes them
+        through *job_factory* (a ``GridPoint -> SynthesisJob``
+        callable, e.g. :func:`~repro.dse.grid.job_from_point` wrapped
+        over the design source), stamps the proposal's escalating
+        :attr:`~repro.spark.SynthesisJob.priority`, and evaluates the
+        round through the normal sweep core — cache, dominance
+        pruner (shared across rounds), batching, any executor.
+        Outcomes feed back to ``strategy.observe`` **in proposal
+        order** after the round fully settles, never in completion
+        order, so a seeded search replays bit-identically across
+        serial, pool and broker executors.
+
+        Proposals whose cache key already settled this search are
+        deduped: not re-dispatched, not budgeted, replayed to
+        ``observe`` from the visited set.  Once the goal is met,
+        ``propose`` is never called again and in-flight work is
+        withdrawn (counted in ``report.withdrawn``).  The round trace
+        and counters land in ``result.search``.
+        """
+        if budget < 1:
+            raise ValueError(f"search budget must be >= 1, got {budget}")
+        started = time.perf_counter()
+        goal = SweepGoal(target_latency=target_latency, max_area=max_area)
+        pruner = InfeasiblePruner() if prune else None
+        result = ExplorationResult(workers=self.workers)
+        if isinstance(self.executor, Executor):
+            result.executor = self.executor.kind
+        elif self.executor != "auto":
+            result.executor = self.executor
+        report = SearchReport(
+            strategy=strategy.name,
+            seed=getattr(strategy, "seed", 0),
+            budget=budget,
+        )
+        result.search = report
+        #: Every cache key this search has proposed; the value is the
+        #: settled outcome, or ``None`` while (or forever, if
+        #: withdrawn) unsettled.
+        visited: Dict[str, Optional[SynthesisOutcome]] = {}
+        goal_met = False
+        dry_rounds = 0
+        while (
+            not goal_met
+            and report.settled < budget
+            and not strategy.done()
+        ):
+            proposals = strategy.propose(budget - report.settled)
+            if not proposals:
+                break
+            report.rounds += 1
+            round_entries: List[tuple] = []
+            for proposal in proposals[: budget - report.settled]:
+                proposal.round = report.rounds
+                job = job_factory(proposal.point)
+                if proposal.priority and job.priority == 0:
+                    job = dataclasses.replace(
+                        job, priority=proposal.priority
+                    )
+                proposal.key = job_key(job)
+                report.proposed += 1
+                if proposal.key in visited:
+                    # Already proposed this search (e.g. two beam
+                    # parents mutating into the same corner): replay
+                    # the settled outcome to the strategy, free of
+                    # budget; an unsettled (withdrawn) key stays mute.
+                    report.deduped += 1
+                    known = visited[proposal.key]
+                    if known is not None:
+                        strategy.observe(proposal, known)
+                    report.trace.append(_trace_entry(proposal, "deduped"))
+                    continue
+                visited[proposal.key] = None
+                round_entries.append((proposal, job))
+            if not round_entries:
+                dry_rounds += 1
+                if dry_rounds >= DRY_ROUND_LIMIT:
+                    break
+                continue
+            dry_rounds = 0
+            indexed, round_result = self._explore_indexed(
+                [job for _proposal, job in round_entries],
+                on_outcome,
+                goal,
+                pruner,
+            )
+            result.cache_hits += round_result.cache_hits
+            result.executed += round_result.executed
+            result.pruned += round_result.pruned
+            result.skipped += round_result.skipped
+            result.deduped += round_result.deduped
+            result.executor = round_result.executor
+            goal_met = round_result.goal_met
+            # Observe in *proposal* order — the round is fully settled
+            # by now, so completion order (executor-dependent) can
+            # never leak into the strategy's decisions.
+            for (proposal, _job), outcome in zip(round_entries, indexed):
+                if outcome is None:
+                    report.withdrawn += 1
+                    report.trace.append(_trace_entry(proposal, "withdrawn"))
+                    continue
+                visited[proposal.key] = outcome
+                result.outcomes.append(outcome)
+                result.front.update(outcome)
+                strategy.observe(proposal, outcome)
+                if outcome.provenance == "pruned":
+                    report.pruned += 1
+                    action = "pruned"
+                elif outcome.provenance == "dedup":
+                    report.deduped += 1
+                    action = "deduped"
+                else:
+                    report.evaluated += 1
+                    action = outcome.provenance  # "run" or "cache"
+                report.trace.append(_trace_entry(proposal, action))
+        report.best_label = getattr(strategy, "best_label", "")
+        result.goal_met = goal_met
+        result.elapsed = time.perf_counter() - started
         return result
 
     # -- execution ----------------------------------------------------------
@@ -487,12 +726,12 @@ class ExplorationEngine:
         key: str,
         outcome: SynthesisOutcome,
         result: ExplorationResult,
-        settle: Callable[[int, SynthesisOutcome], bool],
+        settle: Callable[[int, str, SynthesisOutcome], bool],
     ) -> bool:
         result.executed += 1
         if self.cache is not None:
             self.cache.put(key, outcome)  # put drops uncacheable outcomes
-        return settle(index, outcome)
+        return settle(index, key, outcome)
 
     def _dispatch(
         self,
@@ -500,7 +739,7 @@ class ExplorationEngine:
         batch: List[Tuple[int, str, SynthesisJob]],
         result: ExplorationResult,
         pruner: Optional[InfeasiblePruner],
-        settle: Callable[[int, SynthesisOutcome], bool],
+        settle: Callable[[int, str, SynthesisOutcome], bool],
     ) -> None:
         """Prune-then-submit one miss batch.  Pruning happens here, at
         dispatch time, so evidence from completions retires the
@@ -511,7 +750,7 @@ class ExplorationEngine:
             witness = pruner.veto(job) if pruner is not None else None
             if witness is not None:
                 result.pruned += 1
-                settle(index, _pruned_outcome(job, witness))
+                settle(index, key, _pruned_outcome(job, witness))
                 continue
             entries.append(((index, key), self._prepared(job)))
         if not entries:
@@ -527,7 +766,7 @@ class ExplorationEngine:
         stream: _MissStream,
         result: ExplorationResult,
         pruner: Optional[InfeasiblePruner],
-        settle: Callable[[int, SynthesisOutcome], bool],
+        settle: Callable[[int, str, SynthesisOutcome], bool],
     ) -> bool:
         """Stream the misses through the executor: keep the submit
         window full (pulling further batches from the scan as slots

@@ -1,0 +1,97 @@
+"""Adaptive search strategies: deciding what to run next.
+
+The paper's central claim is that the right *combination* of
+coarse-grain transformations is design-dependent and must be
+discovered — and the interesting knob spaces (unroll factors x
+chaining x priorities x clock) explode combinatorially under the
+cartesian grids ``repro dse`` started with.  This package is the
+decision-making layer on top of the execution engine: a
+:class:`~repro.dse.search.base.SearchStrategy` proposes corners, the
+:class:`~repro.dse.runner.ExplorationEngine` evaluates them (cached,
+pruned, fanned out, priority-ranked) and streams the outcomes back,
+and the strategy decides where to look next.
+
+Concrete strategies:
+
+* :class:`~repro.dse.search.beam.BeamSearch` — mutate the best
+  corners one axis at a time, late-stage axes first so proposals
+  share transform-prefix stage keys;
+* :class:`~repro.dse.search.random_restart.RandomRestartSearch` —
+  uniform sampling from independent multi-seed restart streams;
+* :class:`~repro.dse.search.anneal.SimulatedAnnealing` — a Metropolis
+  chain whose temperature scales both acceptance and move size;
+* :class:`~repro.dse.search.base.GridWalk` — the exhaustive sweep as
+  a strategy, for baselines.
+
+Driven from the CLI as ``repro dse design.c --vary ... --strategy
+beam --search-budget 24 --search-seed 1`` or programmatically::
+
+    from repro.dse import ExplorationEngine, grid_from_specs
+    from repro.dse.grid import job_from_point
+    from repro.dse.search import make_strategy
+
+    space = grid_from_specs(["clock=2,3,4,6", "unroll=none,*:2,*:0"])
+    engine = ExplorationEngine()
+    result = engine.search(
+        make_strategy("beam", space, seed=1),
+        lambda point: job_from_point(source, point),
+        budget=12,
+    )
+    print(result.search.counters(), result.best().label)
+"""
+
+from typing import Optional
+
+from repro.dse.grid import ParameterGrid
+from repro.dse.search.anneal import SimulatedAnnealing
+from repro.dse.search.base import (
+    GridWalk,
+    Proposal,
+    SearchReport,
+    SearchStrategy,
+)
+from repro.dse.search.beam import BeamSearch
+from repro.dse.search.random_restart import RandomRestartSearch
+
+#: Strategy spellings accepted by :func:`make_strategy` and the CLI's
+#: ``--strategy`` flag ("grid" is the plain exhaustive sweep).
+STRATEGY_KINDS = ("grid", "beam", "random", "anneal")
+
+_STRATEGIES = {
+    strategy.name: strategy
+    for strategy in (GridWalk, BeamSearch, RandomRestartSearch,
+                     SimulatedAnnealing)
+}
+
+
+def make_strategy(
+    kind: str,
+    space: ParameterGrid,
+    seed: int = 0,
+    scorer: Optional[object] = None,
+    **options,
+) -> SearchStrategy:
+    """Construct the named strategy over *space*; extra keyword
+    options pass through to the strategy constructor (e.g.
+    ``beam_width=4`` or ``temperature=2.0``)."""
+    try:
+        factory = _STRATEGIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown search strategy {kind!r}; expected one of "
+            f"{', '.join(STRATEGY_KINDS)}"
+        ) from None
+    return factory(space, seed=seed, scorer=scorer, **options)
+
+
+__all__ = [
+    "BeamSearch",
+    "GridWalk",
+    "Proposal",
+    "RandomRestartSearch",
+    "STRATEGY_KINDS",
+    "SearchReport",
+    "SearchStrategy",
+    "SimulatedAnnealing",
+    "make_strategy",
+]

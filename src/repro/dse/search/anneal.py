@@ -1,0 +1,185 @@
+"""Simulated annealing over script knobs.
+
+A single Metropolis chain with a geometric temperature schedule: each
+round proposes ``moves_per_round`` perturbations of the current
+corner, and ``observe`` walks them in proposal order — accepting
+improvements always, and uphill moves with probability
+``exp(-delta / (T * |current|))`` (the relative normalization keeps
+one acceptance rule meaningful whether latencies are 8 or 8000).
+
+Temperature also shapes the *moves*: while hot, a perturbation may
+rebind an axis to any candidate value (long jumps out of local
+minima); as the chain cools, moves shrink to axis *neighbors*
+(:func:`~repro.dse.grid.axis_neighbor_values`) and mutated axes are
+drawn late-stage-first, so cold-phase proposals share transform
+prefixes with the current corner and run mostly out of the stage
+cache.  The search freezes out when the temperature falls below
+``floor``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.dse.grid import (
+    GridPoint,
+    ParameterGrid,
+    axes_late_first,
+    axis_neighbor_values,
+    first_point,
+    mutate_point,
+    random_point,
+)
+from repro.dse.search.base import Proposal, Scorer, SearchStrategy
+from repro.spark import SynthesisOutcome
+
+#: Give up a round after this many duplicate perturbations per wanted
+#: move (the neighborhood is exhausted).
+_MOVE_ATTEMPTS = 8
+
+
+class SimulatedAnnealing(SearchStrategy):
+    """Metropolis chain with temperature-scaled knob perturbation."""
+
+    name = "anneal"
+
+    def __init__(
+        self,
+        space: ParameterGrid,
+        seed: int = 0,
+        scorer: Optional[Scorer] = None,
+        temperature: float = 1.0,
+        cooling: float = 0.85,
+        floor: float = 0.05,
+        moves_per_round: int = 4,
+    ) -> None:
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        if not 0 < cooling < 1:
+            raise ValueError(f"cooling must be in (0, 1), got {cooling}")
+        if floor <= 0:
+            raise ValueError(f"floor must be positive, got {floor}")
+        if moves_per_round < 1:
+            raise ValueError(
+                f"moves_per_round must be >= 1, got {moves_per_round}"
+            )
+        super().__init__(space, seed=seed, scorer=scorer)
+        self.initial_temperature = temperature
+        self.temperature = temperature
+        self.cooling = cooling
+        self.floor = floor
+        self.moves_per_round = moves_per_round
+        self._round = 0
+        self._current_score = math.inf
+        self._current_label = ""
+        self._current_point: Optional[GridPoint] = None
+        self._exhausted = False
+
+    def done(self) -> bool:
+        return self._exhausted or self.temperature < self.floor
+
+    def propose(self, budget: int) -> List[Proposal]:
+        if budget < 1:
+            return []
+        if self._round > 0:
+            self.temperature *= self.cooling
+            if self.temperature < self.floor:
+                return []
+        self._round += 1
+        target = min(budget, self.moves_per_round)
+        if self._current_point is None:
+            return self._seed_proposals(target)
+        proposals: List[Proposal] = []
+        attempts = 0
+        while len(proposals) < target and attempts < target * _MOVE_ATTEMPTS:
+            attempts += 1
+            candidate = self._perturb(self._current_point)
+            if candidate is not None and self._claim(candidate):
+                proposals.append(
+                    Proposal(point=candidate, parent=self._current_label)
+                )
+        if not proposals:
+            self._exhausted = True
+        return proposals
+
+    def observe(self, proposal: Proposal, outcome: SynthesisOutcome) -> None:
+        score = self.score(outcome)
+        if not math.isinf(score):
+            self.record_best(score, proposal.point.label)
+        if math.isinf(score):
+            proposal.decision = "reject"
+            return
+        if self._current_point is None:
+            self._accept(score, proposal)
+            return
+        delta = score - self._current_score
+        if delta <= 0:
+            self._accept(score, proposal)
+            return
+        scale = max(abs(self._current_score), 1e-9)
+        threshold = math.exp(-delta / (self.temperature * scale))
+        if self.rng.random() < threshold:
+            self._accept(score, proposal)
+        else:
+            proposal.decision = "reject"
+
+    def _accept(self, score: float, proposal: Proposal) -> None:
+        self._current_score = score
+        self._current_label = proposal.point.label
+        self._current_point = proposal.point
+        proposal.decision = "accept"
+
+    def _heat(self) -> float:
+        """The schedule position in [0, 1]: 1 fully hot, -> 0 frozen."""
+        return self.temperature / self.initial_temperature
+
+    def _perturb(self, point: GridPoint) -> Optional[GridPoint]:
+        """One temperature-scaled move off *point*: mutate one axis
+        (two while hot), long jumps hot, neighbor steps cold."""
+        axes = axes_late_first(self.space)
+        if not axes:
+            return None
+        heat = self._heat()
+        width = 1 + (1 if len(axes) > 1 and self.rng.random() < heat else 0)
+        # Hot chains pick axes uniformly; cold chains bias toward the
+        # front of the late-stage-first ordering so moves stay inside
+        # the current transform prefix.
+        chosen: List[str] = []
+        for _ in range(width):
+            if self.rng.random() < heat:
+                axis = self.rng.choice(axes)
+            else:
+                axis = axes[min(self.rng.randrange(2), len(axes) - 1)]
+            if axis not in chosen:
+                chosen.append(axis)
+        values_by_axis = dict(self.space.axes)
+        mutated = point
+        for axis in chosen:
+            candidates = values_by_axis[axis]
+            current = mutated.as_dict()[axis]
+            if self.rng.random() < heat:
+                options = [v for v in candidates if v != current]
+            else:
+                options = axis_neighbor_values(axis, current, candidates)
+            if not options:
+                continue
+            mutated = mutate_point(mutated, axis, self.rng.choice(options))
+        return mutated if mutated != point else None
+
+    def _seed_proposals(self, target: int) -> List[Proposal]:
+        seeds: List[Proposal] = []
+        anchor = first_point(self.space)
+        if self._claim(anchor):
+            seeds.append(Proposal(point=anchor))
+        misses = 0
+        while len(seeds) < target and misses < _MOVE_ATTEMPTS:
+            candidate = random_point(self.space, self.rng)
+            if self._claim(candidate):
+                seeds.append(Proposal(point=candidate))
+                misses = 0
+            else:
+                misses += 1
+        if not seeds:
+            self._exhausted = True
+        return seeds

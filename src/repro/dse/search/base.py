@@ -1,0 +1,200 @@
+"""The strategy protocol: how a search decides what to run next.
+
+A :class:`SearchStrategy` is the decision-making half of an adaptive
+sweep.  The :class:`~repro.dse.runner.ExplorationEngine` owns
+execution — caching, pruning, fan-out, early exit — and drives the
+strategy through a strict generational loop:
+
+1. ``propose(budget)`` returns up to *budget* :class:`Proposal`
+   coordinates to evaluate next (an empty list ends the search);
+2. the engine dedupes proposals against everything already settled
+   this search (by cache key), evaluates the fresh ones, and feeds
+   every settled outcome back through ``observe(proposal, outcome)``
+   **in proposal order** — never completion order, so a pool or
+   broker sweep observes exactly what a serial sweep does and a
+   seeded search replays bit-identically on any executor;
+3. ``done()`` lets the strategy end the search before the budget is
+   spent (beam convergence, annealing freeze-out).
+
+Strategies draw every random decision from ``self.rng``, a
+``random.Random`` seeded at construction — the *only* source of
+randomness, which is what makes ``--search-seed`` reproducible.  A
+strategy must also never propose the same coordinate twice
+(:meth:`SearchStrategy._claim` tracks that); the engine's dedupe is a
+safety net that replays the recorded outcome, not an invitation to
+loop.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.dse.grid import GridPoint, ParameterGrid
+from repro.dse.pareto import scalar_score
+from repro.spark import SynthesisOutcome
+
+#: The scalar objective a strategy minimizes.
+Scorer = Callable[[SynthesisOutcome], float]
+
+
+@dataclass
+class Proposal:
+    """One corner a strategy wants evaluated.
+
+    ``parent`` names the corner this one was mutated from (empty for
+    seeds), ``priority`` is stamped onto the dispatched
+    :class:`~repro.spark.SynthesisJob` so broker workers claim
+    promising neighborhoods first.  ``round``/``key`` are filled in by
+    the engine; ``decision`` is annotated by the strategy's
+    ``observe`` (``"accept"``/``"reject"``) and lands in the search
+    trace.
+    """
+
+    point: GridPoint
+    parent: str = ""
+    priority: int = 0
+    round: int = 0
+    decision: str = ""
+    key: str = ""
+
+
+@dataclass
+class SearchReport:
+    """What one strategy-driven search did, for reports and tests.
+
+    ``trace`` records every proposal in order: round, corner label,
+    parent corner, what happened to it (``run``/``cache``/``pruned``/
+    ``deduped``/``withdrawn``) and the strategy's accept/reject
+    decision.  The counters satisfy
+    ``proposed == evaluated + pruned + deduped + withdrawn``.
+    """
+
+    strategy: str = ""
+    seed: int = 0
+    budget: int = 0
+    rounds: int = 0
+    proposed: int = 0
+    deduped: int = 0
+    evaluated: int = 0
+    pruned: int = 0
+    withdrawn: int = 0
+    #: The strategy's best-scoring corner label at search end.
+    best_label: str = ""
+    trace: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def settled(self) -> int:
+        """Corners that consumed search budget: evaluated (fresh or
+        recalled) plus pruned.  Deduped re-proposals and withdrawn
+        in-flight corners are free."""
+        return self.evaluated + self.pruned
+
+    def counters(self) -> Dict[str, int]:
+        """The per-strategy counters in display order."""
+        return {
+            "proposed": self.proposed,
+            "deduped": self.deduped,
+            "pruned": self.pruned,
+            "withdrawn": self.withdrawn,
+            "evaluated": self.evaluated,
+        }
+
+
+class SearchStrategy(abc.ABC):
+    """One search policy over a :class:`ParameterGrid` design space.
+
+    The grid's axes define the *candidate values* per knob; the
+    strategy decides which combinations to visit, instead of the
+    cartesian product visiting all of them.
+    """
+
+    #: Stable spelling for CLIs and reports: "beam", "random", ...
+    name = "strategy"
+
+    def __init__(
+        self,
+        space: ParameterGrid,
+        seed: int = 0,
+        scorer: Optional[Scorer] = None,
+    ) -> None:
+        self.space = space
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.score = scorer if scorer is not None else scalar_score
+        self.best_score = math.inf
+        self.best_label = ""
+        self._claimed: Set[str] = set()
+
+    @abc.abstractmethod
+    def propose(self, budget: int) -> List[Proposal]:
+        """Up to *budget* proposals for the next round; an empty list
+        (or ``done()``) ends the search."""
+
+    @abc.abstractmethod
+    def observe(self, proposal: Proposal, outcome: SynthesisOutcome) -> None:
+        """Digest one settled outcome of an earlier proposal — always
+        in proposal order, and exactly once per proposal that settled
+        (withdrawn in-flight proposals are never observed)."""
+
+    def done(self) -> bool:
+        """True when the strategy has converged; checked before every
+        ``propose`` call."""
+        return False
+
+    # -- shared machinery ----------------------------------------------------
+
+    def _claim(self, point: GridPoint) -> bool:
+        """Reserve *point* for proposal; False when this strategy has
+        already proposed it (never propose a coordinate twice)."""
+        label = point.label
+        if label in self._claimed:
+            return False
+        self._claimed.add(label)
+        return True
+
+    def record_best(self, score: float, label: str) -> bool:
+        """Track the best scalar score seen; True on strict
+        improvement."""
+        if score < self.best_score:
+            self.best_score = score
+            self.best_label = label
+            return True
+        return False
+
+
+class GridWalk(SearchStrategy):
+    """The exhaustive cartesian sweep expressed as a strategy: every
+    grid point in deterministic row-major order, budget-capped.
+
+    Exists as the baseline competitor for benchmarks and tests —
+    ``repro dse`` without a strategy still runs the plain engine
+    sweep, which is equivalent and cheaper."""
+
+    name = "grid"
+
+    def __init__(
+        self,
+        space: ParameterGrid,
+        seed: int = 0,
+        scorer: Optional[Scorer] = None,
+    ) -> None:
+        super().__init__(space, seed=seed, scorer=scorer)
+        self._points = space.points()
+        self._cursor = 0
+
+    def done(self) -> bool:
+        return self._cursor >= len(self._points)
+
+    def propose(self, budget: int) -> List[Proposal]:
+        chunk = self._points[self._cursor : self._cursor + max(budget, 0)]
+        self._cursor += len(chunk)
+        return [Proposal(point=point) for point in chunk]
+
+    def observe(self, proposal: Proposal, outcome: SynthesisOutcome) -> None:
+        score = self.score(outcome)
+        improved = self.record_best(score, proposal.point.label)
+        proposal.decision = "accept" if improved else "reject"

@@ -1,0 +1,159 @@
+"""Beam search over knob neighborhoods.
+
+Keeps the ``beam_width`` best corners seen so far and, each round,
+proposes their one-axis mutations (:func:`~repro.dse.grid.mutate_point`
+over :func:`~repro.dse.grid.axis_neighbor_values`).  Two choices make
+the beam cheap on this engine:
+
+* **late-stage axes mutate first**
+  (:func:`~repro.dse.grid.axes_late_first`): a schedule-stage mutation
+  (clock, limits, priority) shares the parent's transform-prefix stage
+  key, so sibling proposals recall the parent's frontend/transform
+  snapshots from the artifact cache instead of recomputing them;
+* **priority escalation**: children of higher-ranked beam members
+  carry higher :attr:`~repro.spark.SynthesisJob.priority`, so broker
+  workers claim the most promising neighborhoods first.
+
+The search converges when ``patience`` consecutive rounds fail to
+admit a new beam member, or when the beam's whole neighborhood has
+been proposed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.dse.grid import (
+    GridPoint,
+    ParameterGrid,
+    axes_late_first,
+    axis_neighbor_values,
+    first_point,
+    mutate_point,
+    random_point,
+)
+from repro.dse.search.base import Proposal, Scorer, SearchStrategy
+from repro.spark import SynthesisOutcome
+
+#: Give up drawing fresh random seed points after this many collisions
+#: in a row (tiny spaces run out of distinct coordinates).
+_SEED_ATTEMPTS = 16
+
+
+class BeamSearch(SearchStrategy):
+    """Beam search: mutate the best corners one axis at a time."""
+
+    name = "beam"
+
+    def __init__(
+        self,
+        space: ParameterGrid,
+        seed: int = 0,
+        scorer: Optional[Scorer] = None,
+        beam_width: int = 3,
+        patience: int = 2,
+    ) -> None:
+        if beam_width < 1:
+            raise ValueError(f"beam_width must be >= 1, got {beam_width}")
+        if patience < 0:
+            raise ValueError(f"patience must be >= 0, got {patience}")
+        super().__init__(space, seed=seed, scorer=scorer)
+        self.beam_width = beam_width
+        self.patience = patience
+        #: The beam: (score, label) entries, best first after sorting;
+        #: points keyed by label so entries stay orderable.
+        self._beam: List[tuple] = []
+        self._points: Dict[str, GridPoint] = {}
+        self._round = 0
+        self._stall = 0
+        self._admitted = False
+        self._exhausted = False
+
+    def done(self) -> bool:
+        return self._exhausted or self._stall > self.patience
+
+    def propose(self, budget: int) -> List[Proposal]:
+        if budget < 1:
+            return []
+        self._round += 1
+        if self._round > 1:
+            self._stall = 0 if self._admitted else self._stall + 1
+            if self._stall > self.patience:
+                return []
+        self._admitted = False
+        if not self._beam:
+            # Round one — or every prior proposal was infeasible: seed
+            # (again) from the origin corner plus random draws.
+            return self._seed_proposals(budget)
+        proposals: List[Proposal] = []
+        ranked = sorted(self._beam)
+        values_by_axis = dict(self.space.axes)
+        # Outer loop over axes latest-stage-first: when the budget
+        # truncates the neighborhood, the proposals that survive are
+        # the ones sharing transform prefixes with their parents.
+        for axis in axes_late_first(self.space):
+            for rank, (_score, label) in enumerate(ranked):
+                parent = self._points[label]
+                current = parent.as_dict()[axis]
+                for value in axis_neighbor_values(
+                    axis, current, values_by_axis[axis]
+                ):
+                    candidate = mutate_point(parent, axis, value)
+                    if not self._claim(candidate):
+                        continue
+                    proposals.append(
+                        Proposal(
+                            point=candidate,
+                            parent=label,
+                            priority=len(ranked) - rank,
+                        )
+                    )
+                    if len(proposals) >= budget:
+                        return proposals
+        if not proposals:
+            self._exhausted = True
+        return proposals
+
+    def observe(self, proposal: Proposal, outcome: SynthesisOutcome) -> None:
+        score = self.score(outcome)
+        if math.isinf(score):
+            proposal.decision = "reject"
+            return
+        self.record_best(score, proposal.point.label)
+        entry = (score, proposal.point.label)
+        if len(self._beam) < self.beam_width:
+            self._admit(entry, proposal)
+            return
+        worst = max(self._beam)
+        if entry < worst:
+            self._beam.remove(worst)
+            del self._points[worst[1]]
+            self._admit(entry, proposal)
+            return
+        proposal.decision = "reject"
+
+    def _admit(self, entry: tuple, proposal: Proposal) -> None:
+        self._beam.append(entry)
+        self._points[entry[1]] = proposal.point
+        self._admitted = True
+        proposal.decision = "accept"
+
+    def _seed_proposals(self, budget: int) -> List[Proposal]:
+        seeds: List[Proposal] = []
+        anchor = first_point(self.space)
+        if self._claim(anchor):
+            seeds.append(Proposal(point=anchor))
+        misses = 0
+        while len(seeds) < min(self.beam_width, budget):
+            candidate = random_point(self.space, self.rng)
+            if self._claim(candidate):
+                seeds.append(Proposal(point=candidate))
+                misses = 0
+            else:
+                misses += 1
+                if misses >= _SEED_ATTEMPTS:
+                    break
+        if not seeds:
+            self._exhausted = True
+        return seeds[:budget]

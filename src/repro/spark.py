@@ -377,8 +377,10 @@ class SynthesisOutcome:
     stages: List[Dict[str, object]] = field(default_factory=list)
     cached: bool = False
     #: Where this outcome came from, per invocation: ``"run"`` (fresh
-    #: execution), ``"cache"`` (recalled), or ``"pruned"`` (inferred
-    #: infeasible by dominance, never executed).  Not persisted.
+    #: execution), ``"cache"`` (recalled), ``"pruned"`` (inferred
+    #: infeasible by dominance, never executed), or ``"dedup"`` (a
+    #: within-sweep duplicate replaying the first occurrence's
+    #: outcome).  Not persisted.
     provenance: str = "run"
 
     @property

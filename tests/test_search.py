@@ -1,0 +1,663 @@
+"""Tests for the adaptive search subsystem (repro.dse.search)."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.dse import (
+    BeamSearch,
+    BrokerExecutor,
+    ExplorationEngine,
+    GridWalk,
+    JobBroker,
+    PoolExecutor,
+    RandomRestartSearch,
+    SimulatedAnnealing,
+    axes_late_first,
+    axis_neighbor_values,
+    first_point,
+    grid_from_specs,
+    job_from_point,
+    jobs_from_grid,
+    make_strategy,
+    mutate_point,
+    random_point,
+    run_worker,
+    scalar_score,
+)
+from repro.dse.grid import GridError
+from repro.dse.report import format_search_summary, format_search_trace
+from repro.dse.search.base import Proposal
+from repro.spark import SynthesisOutcome
+from repro.transforms.base import SynthesisScript
+
+SWEEP_SRC = """
+int acc[26];
+int i; int total;
+total = 0;
+for (i = 0; i < 24; i++) {
+  total = total + i;
+  acc[i] = total;
+}
+"""
+
+
+def base_script() -> SynthesisScript:
+    return SynthesisScript(output_scalars={"total"})
+
+
+def sweep_space(*specs: str):
+    return grid_from_specs(list(specs))
+
+
+def factory(point):
+    return job_from_point(SWEEP_SRC, point, base_script=base_script())
+
+
+def outcome(label="p", ok=True, latency=10.0, area=100.0) -> SynthesisOutcome:
+    return SynthesisOutcome(
+        label=label,
+        ok=ok,
+        latency=latency,
+        clock_period=1.0,
+        area_total=area,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Neighborhoods and mutation helpers
+# ---------------------------------------------------------------------------
+
+
+class TestNeighborhoods:
+    def test_ordered_axis_neighbors_are_adjacent(self):
+        values = [4.0, 2.0, 8.0, 6.0]  # declaration order is not sorted
+        assert axis_neighbor_values("clock", 4.0, values) == [2.0, 6.0]
+        assert axis_neighbor_values("clock", 2.0, values) == [4.0]
+        assert axis_neighbor_values("clock", 8.0, values) == [6.0]
+
+    def test_categorical_axis_neighbors_everything_else(self):
+        values = [{}, {"*": 2}, {"*": 0}]
+        assert axis_neighbor_values("unroll", {"*": 2}, values) == [
+            {},
+            {"*": 0},
+        ]
+
+    def test_unknown_value_neighbors_all_candidates(self):
+        assert axis_neighbor_values("clock", 5.0, [2.0, 4.0]) == [2.0, 4.0]
+
+    def test_mutate_point_rebinds_one_axis_in_place(self):
+        space = sweep_space("clock=2,4", "unroll=none,*:2")
+        point = first_point(space)
+        mutated = mutate_point(point, "clock", 4.0)
+        assert mutated.as_dict() == {"clock": 4.0, "unroll": {}}
+        # Axis order (and therefore the label layout) is preserved.
+        assert [name for name, _ in mutated.values] == ["clock", "unroll"]
+        assert point.as_dict()["clock"] == 2.0  # original untouched
+
+    def test_mutate_point_rejects_unknown_axis(self):
+        point = first_point(sweep_space("clock=2,4"))
+        with pytest.raises(GridError):
+            mutate_point(point, "unroll", {})
+
+    def test_axes_late_first_prefers_schedule_stage_axes(self):
+        space = sweep_space(
+            "unroll=none,*:2", "clock=2,4", "limits=none,alu:1", "cse=on"
+        )
+        # clock/limits are schedule-stage, unroll is transform-stage;
+        # pinned cse (one value) is not mutable at all.
+        assert axes_late_first(space) == ["clock", "limits", "unroll"]
+
+    def test_first_and_random_point_are_deterministic(self):
+        import random
+
+        space = sweep_space("clock=2,4", "unroll=none,*:2")
+        assert first_point(space).as_dict() == {"clock": 2.0, "unroll": {}}
+        draws = [
+            random_point(space, random.Random(3)).label for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+
+class TestScalarScore:
+    def test_scores_latency_by_default(self):
+        assert scalar_score(outcome(latency=8.0)) == 8.0
+
+    def test_every_failure_is_infinite(self):
+        # Pruned-vs-executed-unschedulable must score identically, or
+        # executor choice could steer a seeded search.
+        assert math.isinf(scalar_score(outcome(ok=False)))
+
+    def test_area_weight(self):
+        value = scalar_score(
+            outcome(latency=8.0, area=100.0),
+            latency_weight=0.0,
+            area_weight=1.0,
+        )
+        assert value == 100.0
+
+
+# ---------------------------------------------------------------------------
+# Strategy unit behavior (no engine, synthetic outcomes)
+# ---------------------------------------------------------------------------
+
+
+class TestStrategies:
+    def observe_all(self, strategy, proposals, score_by_label):
+        for proposal in proposals:
+            label = proposal.point.label
+            latency, ok = score_by_label.get(label, (50.0, True))
+            strategy.observe(proposal, outcome(label, ok=ok, latency=latency))
+
+    def test_make_strategy_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            make_strategy("hillclimb", sweep_space("clock=2,4"))
+
+    def test_grid_walk_visits_every_point_in_order(self):
+        space = sweep_space("clock=2,4", "unroll=none,*:2")
+        walk = GridWalk(space)
+        proposals = walk.propose(100)
+        assert [p.point.label for p in proposals] == [
+            p.label for p in space.points()
+        ]
+        assert walk.done()
+
+    def test_beam_proposes_neighbors_of_admitted_corners(self):
+        space = sweep_space("clock=2,3,4", "unroll=none,*:2")
+        beam = BeamSearch(space, seed=1, beam_width=1)
+        seeds = beam.propose(1)
+        assert len(seeds) == 1  # the anchor corner
+        anchor = seeds[0].point
+        self.observe_all(beam, seeds, {anchor.label: (10.0, True)})
+        children = beam.propose(10)
+        assert children
+        for child in children:
+            assert child.parent == anchor.label
+            # Exactly one axis differs from the parent.
+            diffs = [
+                axis
+                for axis, value in child.point.as_dict().items()
+                if anchor.as_dict()[axis] != value
+            ]
+            assert len(diffs) == 1
+
+    def test_beam_priority_escalates_with_rank(self):
+        space = sweep_space("clock=2,3,4,6", "limits=none,alu:1,alu:2")
+        beam = BeamSearch(space, seed=1, beam_width=2)
+        seeds = beam.propose(2)
+        best, worse = seeds[0].point.label, seeds[1].point.label
+        self.observe_all(
+            beam, seeds, {best: (10.0, True), worse: (20.0, True)}
+        )
+        children = beam.propose(20)
+        assert children
+        # Children of the top-ranked member outrank the runner-up's.
+        expected = {best: 2, worse: 1}
+        for child in children:
+            assert child.priority == expected[child.parent]
+        assert {c.parent for c in children} == {best, worse}
+
+    def test_beam_stalls_out_after_patience(self):
+        space = sweep_space("clock=2,3,4,6")
+        beam = BeamSearch(space, seed=1, beam_width=1, patience=1)
+        seeds = beam.propose(1)
+        self.observe_all(beam, seeds, {seeds[0].point.label: (5.0, True)})
+        rounds = 0
+        while not beam.done() and rounds < 10:
+            proposals = beam.propose(4)
+            if not proposals:
+                break
+            rounds += 1
+            # Nothing beats the incumbent: every child is rejected.
+            self.observe_all(
+                beam,
+                proposals,
+                {p.point.label: (99.0, True) for p in proposals},
+            )
+        assert beam.done()
+        assert rounds <= 3  # patience bounds the stalled rounds
+
+    def test_beam_never_proposes_a_corner_twice(self):
+        space = sweep_space("clock=2,3,4", "unroll=none,*:2")
+        beam = BeamSearch(space, seed=1, beam_width=2)
+        seen = set()
+        for _ in range(10):
+            proposals = beam.propose(6)
+            if not proposals:
+                break
+            labels = {p.point.label for p in proposals}
+            assert not labels & seen
+            seen |= labels
+            self.observe_all(
+                beam, proposals, {p.point.label: (30.0, True) for p in proposals}
+            )
+
+    def test_random_restart_streams_are_seed_deterministic(self):
+        space = sweep_space("clock=2,3,4,6", "unroll=none,*:2")
+
+        def labels(seed):
+            search = RandomRestartSearch(space, seed=seed, restarts=2)
+            out = []
+            for _ in range(3):
+                proposals = search.propose(4)
+                out.extend(p.point.label for p in proposals)
+                self.observe_all(search, proposals, {})
+            return out
+
+        assert labels(5) == labels(5)
+        assert labels(5) != labels(6)
+
+    def test_anneal_cools_and_freezes_out(self):
+        space = sweep_space("clock=2,3,4,6", "unroll=none,*:2")
+        anneal = SimulatedAnnealing(
+            space, seed=2, temperature=1.0, cooling=0.5, floor=0.3
+        )
+        rounds = 0
+        while not anneal.done() and rounds < 20:
+            proposals = anneal.propose(4)
+            if not proposals:
+                break
+            rounds += 1
+            self.observe_all(
+                anneal,
+                proposals,
+                {p.point.label: (20.0, True) for p in proposals},
+            )
+        assert anneal.temperature < 1.0
+        assert anneal.done()
+
+    def test_anneal_accepts_improvements_always(self):
+        space = sweep_space("clock=2,3,4,6")
+        anneal = SimulatedAnnealing(space, seed=2)
+        seeds = anneal.propose(2)
+        anneal.observe(seeds[0], outcome(seeds[0].point.label, latency=30.0))
+        assert seeds[0].decision == "accept"
+        anneal.observe(seeds[1], outcome(seeds[1].point.label, latency=10.0))
+        assert seeds[1].decision == "accept"  # downhill move
+
+    def test_anneal_rejects_infeasible(self):
+        space = sweep_space("clock=2,3,4,6")
+        anneal = SimulatedAnnealing(space, seed=2)
+        seeds = anneal.propose(1)
+        anneal.observe(seeds[0], outcome(seeds[0].point.label, ok=False))
+        assert seeds[0].decision == "reject"
+
+    def test_strategy_validates_options(self):
+        space = sweep_space("clock=2,4")
+        with pytest.raises(ValueError):
+            BeamSearch(space, beam_width=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(space, cooling=1.5)
+        with pytest.raises(ValueError):
+            RandomRestartSearch(space, restarts=0)
+
+
+# ---------------------------------------------------------------------------
+# Engine-level within-sweep dedupe
+# ---------------------------------------------------------------------------
+
+
+class TestSweepDedupe:
+    def test_duplicate_jobs_dispatch_once(self):
+        jobs = jobs_from_grid(
+            SWEEP_SRC,
+            sweep_space("clock=2,4"),
+            base_script=base_script(),
+        )
+        duplicated = jobs + jobs  # same cache keys again
+        result = ExplorationEngine(use_cache=False).explore(duplicated)
+        assert result.executed == 2
+        assert result.deduped == 2
+        assert len(result.outcomes) == 4
+        replicas = [o for o in result.outcomes if o.provenance == "dedup"]
+        assert len(replicas) == 2
+        # Replicas carry the original's metrics under their own label.
+        by_label = {o.label: o for o in result.outcomes}
+        for replica in replicas:
+            assert replica.latency == by_label[replica.label].latency
+
+    def test_dedupe_works_without_cache_and_with_cache(self, tmp_path):
+        jobs = jobs_from_grid(
+            SWEEP_SRC, sweep_space("clock=2,4"), base_script=base_script()
+        )
+        cached = ExplorationEngine(cache_dir=tmp_path / "cache").explore(
+            jobs + jobs
+        )
+        assert cached.executed == 2
+        assert cached.deduped == 2
+        # A second sweep serves the originals from cache; duplicates
+        # still settle as replicas, not extra cache probes.
+        warm = ExplorationEngine(cache_dir=tmp_path / "cache").explore(
+            jobs + jobs
+        )
+        assert warm.cache_hits == 2
+        assert warm.deduped == 2
+        assert warm.executed == 0
+
+    def test_summarize_reports_dedupes(self):
+        jobs = jobs_from_grid(
+            SWEEP_SRC, sweep_space("clock=2,4"), base_script=base_script()
+        )
+        result = ExplorationEngine(use_cache=False).explore(jobs + jobs)
+        from repro.dse import summarize
+
+        assert "2 deduped" in summarize(result)
+
+    def test_replicas_do_not_count_as_fresh_stage_work(self):
+        jobs = jobs_from_grid(
+            SWEEP_SRC, sweep_space("clock=2,4"), base_script=base_script()
+        )
+        result = ExplorationEngine(use_cache=False).explore(jobs + jobs)
+        totals = result.stage_totals()
+        assert totals["schedule"]["runs"] == 2  # not 4
+
+
+# ---------------------------------------------------------------------------
+# Strategy-driven search through the engine
+# ---------------------------------------------------------------------------
+
+
+class TestEngineSearch:
+    def search(self, kind, budget=10, seed=1, space=None, **kwargs):
+        space = space or sweep_space(
+            "clock=2,3,4,6", "limits=alu:1,alu:2,none", "unroll=none,*:2"
+        )
+        engine = ExplorationEngine(use_cache=False)
+        return engine.search(
+            make_strategy(kind, space, seed=seed), factory, budget, **kwargs
+        )
+
+    @pytest.mark.parametrize("kind", ["grid", "beam", "random", "anneal"])
+    def test_budget_and_counter_invariant(self, kind):
+        result = self.search(kind, budget=10)
+        report = result.search
+        assert report is not None
+        assert report.strategy == kind
+        assert report.settled <= 10
+        assert (
+            report.proposed
+            == report.evaluated + report.pruned + report.deduped
+            + report.withdrawn
+        )
+        assert len(report.trace) == report.proposed
+        assert result.best() is not None
+
+    def test_budget_one_is_exact(self):
+        result = self.search("beam", budget=1)
+        assert result.search.settled == 1
+
+    def test_search_rejects_bad_budget(self):
+        engine = ExplorationEngine(use_cache=False)
+        space = sweep_space("clock=2,4")
+        with pytest.raises(ValueError, match="budget"):
+            engine.search(make_strategy("beam", space), factory, budget=0)
+
+    def test_beam_finds_grid_optimum_on_small_space(self):
+        space = sweep_space("clock=2,3,4,6", "unroll=none,*:2")
+        grid_result = ExplorationEngine(use_cache=False).explore(
+            jobs_from_grid(SWEEP_SRC, space, base_script=base_script())
+        )
+        search_result = self.search("beam", budget=len(space), space=space)
+        assert (
+            search_result.best().latency == grid_result.best().latency
+        )
+
+    def test_search_replays_proposals_from_visited_set(self):
+        """A strategy re-proposing a settled corner gets the recorded
+        outcome replayed, spends no budget, and the engine never
+        re-dispatches it."""
+        space = sweep_space("clock=2,4")
+
+        class Stubborn(GridWalk):
+            name = "stubborn"
+
+            def __init__(self, space, seed=0, scorer=None):
+                super().__init__(space, seed=seed, scorer=scorer)
+                self.observed = []
+                self.rounds = 0
+
+            def done(self):
+                return self.rounds >= 3
+
+            def propose(self, budget):
+                self.rounds += 1
+                return [Proposal(point=point) for point in space.points()]
+
+            def observe(self, proposal, outcome):
+                self.observed.append((proposal.point.label, outcome.provenance))
+
+        strategy = Stubborn(space)
+        engine = ExplorationEngine(use_cache=False)
+        result = engine.search(strategy, factory, budget=100)
+        report = result.search
+        assert report.evaluated == 2
+        assert report.deduped == 4  # two corners re-proposed twice
+        assert result.executed == 2
+        # Replays reach observe with the recorded outcome.
+        assert len(strategy.observed) == 6
+
+    def test_goal_stops_proposing(self):
+        space = sweep_space("clock=2,3,4,6")
+
+        class Counting(GridWalk):
+            def __init__(self, space, seed=0, scorer=None):
+                super().__init__(space, seed=seed, scorer=scorer)
+                self.propose_calls = 0
+
+            def propose(self, budget):
+                self.propose_calls += 1
+                return super().propose(budget)
+
+        strategy = Counting(space)
+        engine = ExplorationEngine(use_cache=False)
+        result = engine.search(
+            strategy, factory, budget=100, target_latency=1000.0
+        )
+        assert result.goal_met
+        assert strategy.propose_calls == 1
+
+    def test_search_summary_and_trace_render(self):
+        result = self.search("beam", budget=6)
+        summary = format_search_summary(result)
+        assert "search[beam]" in summary
+        assert "proposed" in summary
+        trace = format_search_trace(result)
+        assert "search trace:" in trace
+        # One trace row per proposal, plus the two header lines.
+        assert len(trace.splitlines()) == result.search.proposed + 2
+
+    def test_plain_explore_has_no_search_report(self):
+        jobs = jobs_from_grid(
+            SWEEP_SRC, sweep_space("clock=2,4"), base_script=base_script()
+        )
+        result = ExplorationEngine(use_cache=False).explore(jobs)
+        assert result.search is None
+        assert format_search_summary(result) == ""
+        assert format_search_trace(result) == ""
+
+
+# ---------------------------------------------------------------------------
+# Early exit x strategy: in-flight withdrawal (mirrors the PR 3
+# broker withdraw semantics)
+# ---------------------------------------------------------------------------
+
+
+class TestSearchEarlyExit:
+    def test_goal_met_withdraws_in_flight_broker_proposals(self, tmp_path):
+        space = sweep_space("clock=2,3,4,6")
+
+        class Counting(GridWalk):
+            def __init__(self, space, seed=0, scorer=None):
+                super().__init__(space, seed=seed, scorer=scorer)
+                self.propose_calls = 0
+
+            def propose(self, budget):
+                self.propose_calls += 1
+                return super().propose(budget)
+
+        broker = JobBroker(tmp_path / "broker", lease_ttl=10.0)
+        worker = threading.Thread(
+            target=run_worker,
+            kwargs=dict(
+                broker=broker, worker="w0", idle_timeout=3.0, poll=0.02
+            ),
+            daemon=True,
+        )
+        worker.start()
+        strategy = Counting(space)
+        engine = ExplorationEngine(
+            use_cache=False,
+            executor=BrokerExecutor(broker, poll=0.02, on_stall=None),
+        )
+        result = engine.search(
+            strategy, factory, budget=100, target_latency=1000.0
+        )
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+
+        report = result.search
+        assert result.goal_met
+        # Once the goal is met the strategy is never asked again...
+        assert strategy.propose_calls == 1
+        # ...and every in-flight proposal is withdrawn, accounted and
+        # absent from the broker queue (withdrawn, not abandoned).
+        assert report.evaluated >= 1
+        assert report.evaluated + report.withdrawn == report.proposed
+        assert len(result.outcomes) == report.evaluated
+        assert broker.stats().queued == 0
+
+
+# ---------------------------------------------------------------------------
+# Seeded determinism across executors
+# ---------------------------------------------------------------------------
+
+
+class TestSearchDeterminism:
+    def run(self, kind, executor, workers=1):
+        space = sweep_space("clock=2,3,4,6", "limits=alu:1,none")
+        engine = ExplorationEngine(
+            use_cache=False, executor=executor, workers=workers
+        )
+        result = engine.search(
+            make_strategy(kind, space, seed=7), factory, budget=8
+        )
+        trace = [
+            (t["round"], t["label"], t["action"], t["decision"])
+            for t in result.search.trace
+        ]
+        frontier = [o.label for o in result.frontier]
+        return trace, frontier
+
+    @pytest.mark.parametrize("kind", ["beam", "random", "anneal"])
+    def test_same_seed_identical_across_serial_and_pool(self, kind):
+        serial_trace, serial_frontier = self.run(kind, "serial")
+        pool_trace, pool_frontier = self.run(
+            kind,
+            PoolExecutor(workers=2, start_method="spawn"),
+            workers=2,
+        )
+        assert serial_trace == pool_trace
+        assert serial_frontier == pool_frontier
+
+    def test_serial_rerun_is_bit_identical(self):
+        first = self.run("anneal", "serial")
+        second = self.run("anneal", "serial")
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+
+
+class TestSearchCli:
+    def write_design(self, tmp_path):
+        design = tmp_path / "design.c"
+        design.write_text(SWEEP_SRC)
+        return str(design)
+
+    def test_cli_beam_search_prints_counters(self, tmp_path, capsys):
+        code = main(
+            [
+                "dse",
+                self.write_design(tmp_path),
+                "--output",
+                "total",
+                "--vary",
+                "clock=2,3,4,6",
+                "--vary",
+                "unroll=none,*:2",
+                "--strategy",
+                "beam",
+                "--search-seed",
+                "1",
+                "--search-budget",
+                "5",
+                "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "search[beam] seed=1 budget=5" in out
+        assert "proposed" in out and "evaluated" in out
+
+    def test_cli_search_trace_flag(self, tmp_path, capsys):
+        code = main(
+            [
+                "dse",
+                self.write_design(tmp_path),
+                "--output",
+                "total",
+                "--vary",
+                "clock=2,4",
+                "--strategy",
+                "random",
+                "--search-budget",
+                "2",
+                "--search-trace",
+                "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "search trace:" in out
+
+    def test_cli_search_flags_require_strategy(self, tmp_path, capsys):
+        code = main(
+            [
+                "dse",
+                self.write_design(tmp_path),
+                "--output",
+                "total",
+                "--vary",
+                "clock=2,4",
+                "--search-budget",
+                "3",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--search-budget requires --strategy" in err
+
+    def test_cli_rejects_bad_budget(self, tmp_path, capsys):
+        code = main(
+            [
+                "dse",
+                self.write_design(tmp_path),
+                "--output",
+                "total",
+                "--vary",
+                "clock=2,4",
+                "--strategy",
+                "beam",
+                "--search-budget",
+                "0",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--search-budget must be >= 1" in err
