@@ -38,6 +38,11 @@ fraction of the grid the beam settled — the adaptive-search headline
 (within 5% of the optimum at <= 40% of the evaluations), fully
 deterministic for the pinned seed.
 
+The **verify_overhead** phase times the reference sweep's warm miss
+path (every corner executes against warm stage artifacts) with the
+static verifier off and armed; ``verify_overhead_ratio`` is the
+tracked budget — ``--verify-each`` may add at most 15% wall clock.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_dse.py [--output BENCH_dse.json]
@@ -157,6 +162,13 @@ SEARCH_BUDGET_FRACTION = 0.4
 #: standard practice for timing residues this small.
 OVERHEAD_TRIALS = 5
 
+#: The verifier budget: arming ``--verify-each`` may add at most this
+#: factor to the warm sweep's wall clock (the miss path, where every
+#: corner executes against warm stage artifacts — outcome-cache hits
+#: never enter the flow, so they see zero verifier cost by
+#: construction).
+VERIFY_OVERHEAD_MAX = 1.15
+
 
 def _fresh_stage_seconds(result) -> float:
     """Summed wall-clock of stages that actually *ran* (not recalled
@@ -269,6 +281,62 @@ def _bench_batching():
     return pick(unbatched_trials), pick(batched_trials)
 
 
+def _bench_verify():
+    """Warm-sweep wall clock with the static verifier off vs armed.
+
+    Every corner executes (outcome cache disabled) against warm stage
+    artifacts — the exact phase where ``--verify-each`` does real
+    work: the design battery at the transform boundary, the schedule
+    and binding batteries after their stages.  Trials are interleaved
+    and the best of each side is compared, so the ratio tracks the
+    verifier's cost, not machine noise."""
+    base = SynthesisScript(output_scalars={"total"})
+    jobs = jobs_from_grid(
+        BENCH_SRC, grid_from_specs(GRID_SPECS), base_script=base
+    )
+
+    def trial(verify):
+        engine = ExplorationEngine(
+            use_cache=False, workers=1, verify=verify
+        )
+        started = time.perf_counter()
+        result = engine.explore(stamped)
+        elapsed = time.perf_counter() - started
+        if result.executed != len(stamped):
+            raise AssertionError(
+                f"verify_overhead: expected {len(stamped)} executions, "
+                f"got {result.executed}"
+            )
+        failures = len(result.verifier_failures)
+        if failures:
+            raise AssertionError(
+                f"verify_overhead: {failures} verifier failure(s) on a "
+                f"clean sweep"
+            )
+        return elapsed
+
+    with tempfile.TemporaryDirectory(prefix="bench-verify-") as stage_dir:
+        stamped = [
+            dataclasses.replace(job, stage_cache_dir=stage_dir)
+            for job in jobs
+        ]
+        ExplorationEngine(use_cache=False, workers=1).explore(stamped)
+        plain_trials, verified_trials = [], []
+        for _ in range(OVERHEAD_TRIALS):
+            plain_trials.append(trial(verify=False))
+            verified_trials.append(trial(verify=True))
+
+    plain = min(plain_trials)
+    verified = min(verified_trials)
+    return {
+        "label": "verify_overhead",
+        "points": len(jobs),
+        "plain_elapsed_s": round(plain, 6),
+        "verified_elapsed_s": round(verified, 6),
+        "verify_overhead_ratio": round(verified / max(plain, 1e-9), 4),
+    }
+
+
 def _bench_search():
     """Beam search vs the exhaustive grid on the same space: how close
     the beam's best latency gets, at what fraction of the grid's
@@ -348,6 +416,9 @@ def run_bench(check: bool = False) -> dict:
     # Beam search vs the exhaustive grid.
     search_beam = _bench_search()
 
+    # Verifier cost on the warm miss path.
+    verify_overhead = _bench_verify()
+
     def speedup(reference, other):
         return round(reference["elapsed_s"] / max(other["elapsed_s"], 1e-9), 2)
 
@@ -364,6 +435,7 @@ def run_bench(check: bool = False) -> dict:
         "warm_unbatched": warm_unbatched,
         "warm_batched": warm_batched,
         "search_beam": search_beam,
+        "verify_overhead": verify_overhead,
         "overhead_reduction_batched": round(
             warm_unbatched["dispatch_overhead_per_corner_s"]
             / max(warm_batched["dispatch_overhead_per_corner_s"], 1e-9),
@@ -427,6 +499,18 @@ def run_bench(check: bool = False) -> dict:
             f"beam search settled {search_beam['evaluated_fraction']:.0%} "
             f"of the grid (cap {SEARCH_BUDGET_FRACTION:.0%})"
         )
+        # The verifier budget: --verify-each must stay a cheap
+        # always-on option on the warm sweep phase.
+        assert (
+            verify_overhead["verify_overhead_ratio"] <= VERIFY_OVERHEAD_MAX
+        ), (
+            f"--verify-each added "
+            f"{(verify_overhead['verify_overhead_ratio'] - 1) * 100:.1f}% "
+            f"to the warm sweep (budget "
+            f"{(VERIFY_OVERHEAD_MAX - 1) * 100:.0f}%): "
+            f"{verify_overhead['verified_elapsed_s']}s vs "
+            f"{verify_overhead['plain_elapsed_s']}s"
+        )
     return report
 
 
@@ -472,6 +556,13 @@ def main(argv=None) -> int:
         f"(ratio {search['latency_ratio']}x) on "
         f"{search['evaluated_fraction']:.0%} of {search['grid_points']} "
         f"corners"
+    )
+    verify = report["verify_overhead"]
+    print(
+        f"verify overhead: {verify['verified_elapsed_s']:.3f}s verified vs "
+        f"{verify['plain_elapsed_s']:.3f}s plain on the warm sweep "
+        f"({verify['verify_overhead_ratio']}x, budget "
+        f"{VERIFY_OVERHEAD_MAX}x)"
     )
     print(f"wrote {args.output}")
     return 0

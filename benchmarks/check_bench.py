@@ -16,6 +16,9 @@ warm per-corner dispatch overhead regresses beyond the tolerance:
   5% of the exhaustive-grid optimum while settling at most 40% of the
   grid's corners.  No tolerance applies — the numbers are
   deterministic for a pinned seed, so any drift is a code change.
+* ``verify_overhead`` (the static-verifier budget) must show
+  ``--verify-each`` adding at most 15% wall clock to the warm sweep
+  phase.  A within-run relative number, so no tolerance applies.
 
 Usage::
 
@@ -42,6 +45,9 @@ RATIO_KEY = "overhead_reduction_batched"
 #: The search_beam quality bar (matches bench_dse.py's --check).
 SEARCH_LATENCY_RATIO_MAX = 1.05
 SEARCH_EVALUATED_FRACTION_MAX = 0.4
+
+#: The verifier budget (matches bench_dse.py's VERIFY_OVERHEAD_MAX).
+VERIFY_OVERHEAD_RATIO_MAX = 1.15
 
 
 def _load(path: Path) -> dict:
@@ -103,6 +109,39 @@ def _check_search(current: dict, path: Path) -> list:
     return failures
 
 
+def _check_verify(current: dict, path: Path) -> list:
+    """The static-verifier budget gate: ``--verify-each`` may add at
+    most 15% wall clock to the warm sweep phase.  Within-run relative
+    number, so no tolerance."""
+    phase = current.get("verify_overhead")
+    if not isinstance(phase, dict):
+        print(
+            f"check_bench: {path} has no verify_overhead phase",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    ratio = float(phase.get("verify_overhead_ratio") or 0.0)
+    if ratio <= 0:
+        print(
+            f"check_bench: {path} verify_overhead is malformed: "
+            f"verify_overhead_ratio="
+            f"{phase.get('verify_overhead_ratio')!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    failures = []
+    if ratio > VERIFY_OVERHEAD_RATIO_MAX:
+        failures.append(
+            f"--verify-each overhead regressed: {ratio:.4f}x of the "
+            f"plain warm sweep > {VERIFY_OVERHEAD_RATIO_MAX}x budget"
+        )
+    print(
+        f"verify_overhead: {ratio:.4f}x of the plain warm sweep "
+        f"(budget {VERIFY_OVERHEAD_RATIO_MAX}x)"
+    )
+    return failures
+
+
 def check(baseline: dict, current: dict, tolerance: float,
           baseline_path: Path, current_path: Path) -> int:
     base_overhead = _overhead(baseline, baseline_path)
@@ -127,6 +166,7 @@ def check(baseline: dict, current: dict, tolerance: float,
             f"(baseline {base_ratio:.2f}x -{tolerance:.0%} tolerance)"
         )
     failures.extend(_check_search(current, current_path))
+    failures.extend(_check_verify(current, current_path))
 
     print(
         f"warm-batched overhead/corner: current "

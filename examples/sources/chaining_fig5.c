@@ -1,0 +1,5 @@
+int o1; int o2;
+if (cond1) {
+  if (cond2) { o1 = a; } else { o1 = b; }
+} else { o1 = c; }
+o2 = o1 + d;

@@ -1,0 +1,7 @@
+int o1; int o2;
+if (cond) {
+  o1 = a + b;
+} else {
+  o1 = d;
+}
+o2 = o1 + e;

@@ -1,0 +1,6 @@
+int o1; int o2;
+o1 = p;
+if (cond) {
+  o1 = d;
+}
+o2 = o1 + b;

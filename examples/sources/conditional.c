@@ -1,0 +1,12 @@
+int t1; int t2; int t3; int f;
+int a; int b; int c; int d; int e; int cond;
+a = 3; b = 4; c = 5; d = 2; e = 9; cond = 1;
+t1 = a + b;
+if (cond) {
+  t2 = t1;
+  t3 = c + d;
+} else {
+  t2 = e;
+  t3 = c - d;
+}
+f = t2 + t3;

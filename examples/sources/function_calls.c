@@ -1,0 +1,13 @@
+int helper(x, y) {
+  int r;
+  if (x > y) {
+    r = x - y;
+  } else {
+    r = y - x;
+  }
+  return r;
+}
+int out;
+int p; int q;
+p = 10; q = 4;
+out = helper(p, q) + helper(q, p);

@@ -1,0 +1,31 @@
+// Instruction Length Decoder -- behavioral description (paper Fig 10)
+int CalculateLength(i) {
+  int lc1; int lc2; int lc3; int lc4;
+  int Length;
+  lc1 = LengthContribution_1(i);
+  if (Need_2nd_Byte(i)) {
+    lc2 = LengthContribution_2(i + 1);
+    if (Need_3rd_Byte(i + 1)) {
+      lc3 = LengthContribution_3(i + 2);
+      if (Need_4th_Byte(i + 2)) {
+        lc4 = LengthContribution_4(i + 3);
+        Length = lc1 + lc2 + lc3 + lc4;
+      } else Length = lc1 + lc2 + lc3;
+    } else Length = lc1 + lc2;
+  } else Length = lc1;
+  return Length;
+}
+
+int Buffer[5];
+int Mark[5];
+int len[5];
+int NextStartByte;
+int i;
+NextStartByte = 1;
+for (i = 1; i <= 4; i++) {
+  if (i == NextStartByte) {
+    Mark[i] = 1;
+    len[i] = CalculateLength(i);
+    NextStartByte += len[i];
+  }
+}

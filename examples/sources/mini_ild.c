@@ -1,0 +1,21 @@
+int CalculateLength(i) {
+  int lc1; int lc2; int Length;
+  lc1 = LengthContribution_1(i);
+  if (Need_2nd_Byte(i)) {
+    lc2 = LengthContribution_2(i + 1);
+    Length = lc1 + lc2;
+  } else Length = lc1;
+  return Length;
+}
+int Mark[10];
+int len[10];
+int NextStartByte;
+int i;
+NextStartByte = 1;
+for (i = 1; i <= 8; i++) {
+  if (i == NextStartByte) {
+    Mark[i] = 1;
+    len[i] = CalculateLength(i);
+    NextStartByte += len[i];
+  }
+}

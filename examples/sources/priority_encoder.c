@@ -1,0 +1,12 @@
+int req[9];
+int pos; int found; int i;
+pos = 0;
+found = 0;
+for (i = 1; i <= 8; i++) {
+  if (found == 0) {
+    if (req[i] != 0) {
+      pos = i;
+      found = 1;
+    }
+  }
+}

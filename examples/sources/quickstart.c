@@ -1,0 +1,10 @@
+int t1; int t2; int t3; int f;
+t1 = a + b;
+if (cond) {
+  t2 = t1;
+  t3 = c + d;
+} else {
+  t2 = e;
+  t3 = c - d;
+}
+f = t2 + t3;

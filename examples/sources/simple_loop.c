@@ -1,0 +1,8 @@
+int acc[12];
+int i;
+int total;
+total = 0;
+for (i = 0; i < 10; i++) {
+  total = total + i;
+  acc[i] = total;
+}

@@ -1,0 +1,40 @@
+"""Static analysis and verification over the synthesis IR.
+
+The verifier (:mod:`repro.analysis.verifier`) is the static
+correctness backstop for the transformation pipeline: a battery of
+checks over the HTG/CFG, the schedule and the bindings that turns a
+silent mis-transformation into a pinpointed "pass X broke invariant Y
+on block Z" diagnostic.  It runs standalone (``repro verify``),
+after every transform pass (``--verify-each``), and inside DSE
+workers (``repro dse --verify-each``).
+"""
+
+from repro.analysis.verifier import (
+    ALL_INVARIANTS,
+    BINDING_INVARIANTS,
+    DESIGN_INVARIANTS,
+    SCHEDULE_INVARIANTS,
+    VerifierError,
+    Violation,
+    check_binding,
+    check_design,
+    check_schedule,
+    verify_binding,
+    verify_design,
+    verify_schedule,
+)
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "BINDING_INVARIANTS",
+    "DESIGN_INVARIANTS",
+    "SCHEDULE_INVARIANTS",
+    "VerifierError",
+    "Violation",
+    "check_binding",
+    "check_design",
+    "check_schedule",
+    "verify_binding",
+    "verify_design",
+    "verify_schedule",
+]

@@ -1,0 +1,948 @@
+"""The IR verifier: pass-invariant static checks over HTG, schedule
+and binding.
+
+Spark's value proposition is aggressive speculative code motion — and
+the paper is explicit that those are exactly the transformations that
+can silently break semantics.  The only oracle the repo had before
+this module was *dynamic* (the interpreter-vs-RTL differential
+harness); this module adds the *static* oracle: an LLVM
+``-verify-each``-style battery of invariant checks that can be
+interposed after every transform pass and every flow stage.
+
+Three check families, each over one artifact level:
+
+**Design level** (:func:`verify_design`), over the HTG + its CFG:
+
+* ``htg-structure`` — structural well-formedness: assignment targets
+  are scalars or array elements, every referenced array is declared,
+  every call resolves to a known (internal or external) function,
+  operation uids are unique (duplicated uids break every
+  uid-keyed map downstream, e.g. FU assignment).
+* ``cfg-consistency`` — the HTG lowers to a well-formed CFG: branch
+  nodes carry exactly a true and a false successor, non-branch nodes
+  never fan out, ``break`` only appears inside loops.
+* ``def-before-use`` — every scalar read is reached by at least one
+  definition (:func:`repro.ir.dataflow.compute_reaching_definitions`
+  seeded with the function's entry-live variables).  This is the
+  check that catches a bad code motion hoisting a use above its def.
+* ``speculation`` — every operation marked ``is_speculated`` is
+  actually *speculatable* under the paper's semantics: a scalar
+  assignment (no memory writes) whose calls are all known-pure —
+  the same legality predicate the speculation passes apply, asserted
+  after the fact.
+* ``wire-copy`` — ``is_wire_copy`` implies the op is a plain
+  variable-to-variable copy.
+
+**Schedule level** (:func:`verify_schedule`), over the FSMD:
+
+* ``schedule-structure`` — state transitions target existing states,
+  item timestamps are sane, no operation is scheduled twice.
+* ``schedule-chaining`` — within each state, every operand is read at
+  or after the in-cycle time its producer finishes (the chaining
+  contract); values not written earlier in the state are register
+  reads and may start at 0.
+* ``schedule-timing`` — no combinational chain exceeds the clock
+  period.
+* ``schedule-resources`` — re-derive each state's FU demand with the
+  scheduler's own conservative usage model (one unit per operator
+  occurrence, mutual-exclusion sharing across conditional branches)
+  and assert it fits the resource allocation in every cycle.
+
+**Binding level** (:func:`verify_binding`):
+
+* ``binding-registers`` — no storage register holds two variables
+  that are simultaneously live (re-derived from
+  :class:`repro.binding.lifetimes.LifetimeAnalysis`), and every
+  register-resident variable is assigned a register.
+* ``binding-fus`` — every scheduled operation that needs functional
+  units has an FU assignment, and every assignment points at an
+  instance that exists.
+
+Violations are collected into :class:`Violation` records (invariant
+name, function, block/state location, operation uid + text + source
+line) and raised as a structured :class:`VerifierError` whose
+``context`` carries the pass / stage provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.binding.fu_binding import FUBinding
+from repro.binding.lifetimes import LifetimeAnalysis
+from repro.binding.register_binding import RegisterBinding
+from repro.frontend.ast_nodes import ArrayRef, Expr, Var
+from repro.ir import expr_utils
+from repro.ir.cfg import ControlFlowGraph, build_cfg
+from repro.ir.dataflow import compute_reaching_definitions
+from repro.ir.htg import Design, FunctionHTG, IfNode, LoopNode, walk_nodes
+from repro.ir.operations import Operation, OpKind
+from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
+from repro.scheduler.schedule import IfItem, Item, OpItem, State, StateMachine
+from repro.scheduler.timing import (
+    expr_units,
+    max_usage,
+    merge_usage,
+    operation_units,
+)
+
+#: Design-level invariants (checked after the frontend and after every
+#: transform pass).
+HTG_STRUCTURE = "htg-structure"
+CFG_CONSISTENCY = "cfg-consistency"
+DEF_BEFORE_USE = "def-before-use"
+SPECULATION = "speculation"
+WIRE_COPY = "wire-copy"
+
+#: Schedule-level invariants (checked after the schedule stage).
+SCHEDULE_STRUCTURE = "schedule-structure"
+SCHEDULE_CHAINING = "schedule-chaining"
+SCHEDULE_TIMING = "schedule-timing"
+SCHEDULE_RESOURCES = "schedule-resources"
+
+#: Binding-level invariants (checked after the bind stage).
+BINDING_REGISTERS = "binding-registers"
+BINDING_FUS = "binding-fus"
+
+DESIGN_INVARIANTS: Tuple[str, ...] = (
+    HTG_STRUCTURE,
+    CFG_CONSISTENCY,
+    DEF_BEFORE_USE,
+    SPECULATION,
+    WIRE_COPY,
+)
+SCHEDULE_INVARIANTS: Tuple[str, ...] = (
+    SCHEDULE_STRUCTURE,
+    SCHEDULE_CHAINING,
+    SCHEDULE_TIMING,
+    SCHEDULE_RESOURCES,
+)
+BINDING_INVARIANTS: Tuple[str, ...] = (
+    BINDING_REGISTERS,
+    BINDING_FUS,
+)
+ALL_INVARIANTS: Tuple[str, ...] = (
+    DESIGN_INVARIANTS + SCHEDULE_INVARIANTS + BINDING_INVARIANTS
+)
+
+#: Slack for floating-point timestamp comparisons within a cycle.
+_EPS = 1e-6
+
+
+@dataclass
+class Violation:
+    """One invariant violation, with enough provenance to act on."""
+
+    invariant: str
+    message: str
+    function: str = ""
+    location: str = ""
+    op_uid: Optional[int] = None
+    op_text: str = ""
+    source_line: Optional[int] = None
+
+    def describe(self) -> str:
+        where = ":".join(part for part in (self.function, self.location) if part)
+        text = f"[{self.invariant}]"
+        if where:
+            text += f" {where}"
+        text += f": {self.message}"
+        if self.op_text:
+            text += f" (op #{self.op_uid}: `{self.op_text}`"
+            if self.source_line is not None:
+                text += f", line {self.source_line}"
+            text += ")"
+        return text
+
+    @classmethod
+    def for_op(
+        cls,
+        invariant: str,
+        message: str,
+        op: Operation,
+        function: str = "",
+        location: str = "",
+    ) -> "Violation":
+        return cls(
+            invariant=invariant,
+            message=message,
+            function=function,
+            location=location,
+            op_uid=op.uid,
+            op_text=str(op),
+            source_line=op.source_line or None,
+        )
+
+
+class VerifierError(Exception):
+    """A batch of invariant violations, with pass/stage provenance.
+
+    ``context`` names where in the flow the check ran (e.g. ``after
+    pass `speculation```, ``transform stage boundary``); each
+    :class:`Violation` names the invariant, function, block/state and
+    operation.
+    """
+
+    def __init__(self, violations: Sequence[Violation], context: str = "") -> None:
+        self.violations: List[Violation] = list(violations)
+        self.context = context
+        head = f"verifier: {len(self.violations)} violation(s)"
+        if context:
+            head += f" {context}"
+        lines = [head] + [
+            f"  - {violation.describe()}" for violation in self.violations
+        ]
+        super().__init__("\n".join(lines))
+
+    @property
+    def invariants(self) -> Set[str]:
+        return {violation.invariant for violation in self.violations}
+
+
+def _selected(
+    family: Tuple[str, ...],
+    invariants: Optional[Iterable[str]],
+    skip: Iterable[str],
+) -> Set[str]:
+    chosen = set(invariants) if invariants is not None else set(family)
+    return (chosen & set(family)) - set(skip)
+
+
+# ---------------------------------------------------------------------------
+# Design-level checks
+# ---------------------------------------------------------------------------
+
+
+def verify_design(
+    design: Design,
+    pure_functions: Optional[Iterable[str]] = None,
+    invariants: Optional[Iterable[str]] = None,
+    skip: Iterable[str] = (),
+) -> List[Violation]:
+    """Run the design-level battery; returns violations, raises nothing."""
+    active = _selected(DESIGN_INVARIANTS, invariants, skip)
+    if not active:
+        return []
+    pure = set(pure_functions or ())
+    violations: List[Violation] = []
+    for func in design.functions.values():
+        if HTG_STRUCTURE in active:
+            violations.extend(_check_htg_structure(func, design))
+        cfg: Optional[ControlFlowGraph] = None
+        if CFG_CONSISTENCY in active or DEF_BEFORE_USE in active:
+            cfg, cfg_violations = _check_cfg_consistency(func)
+            if CFG_CONSISTENCY in active:
+                violations.extend(cfg_violations)
+        if DEF_BEFORE_USE in active and cfg is not None:
+            violations.extend(_check_def_before_use(func, cfg))
+        if SPECULATION in active:
+            violations.extend(_check_speculation(func, design, pure))
+        if WIRE_COPY in active:
+            violations.extend(_check_wire_copies(func))
+    return violations
+
+
+def check_design(
+    design: Design,
+    pure_functions: Optional[Iterable[str]] = None,
+    invariants: Optional[Iterable[str]] = None,
+    skip: Iterable[str] = (),
+    context: str = "",
+) -> None:
+    """:func:`verify_design`, raising :class:`VerifierError` on failure."""
+    violations = verify_design(design, pure_functions, invariants, skip)
+    if violations:
+        raise VerifierError(violations, context=context)
+
+
+def _known_callees(design: Design) -> Set[str]:
+    return set(design.functions) | set(design.external_functions)
+
+
+def _op_calls(op: Operation) -> List[str]:
+    names: List[str] = []
+    for expr in _op_exprs(op):
+        names.extend(call.name for call in expr_utils.calls_in(expr))
+    return names
+
+
+def _op_exprs(op: Operation) -> List[Expr]:
+    exprs: List[Expr] = []
+    if op.expr is not None:
+        exprs.append(op.expr)
+    if isinstance(op.target, ArrayRef):
+        exprs.append(op.target.index)
+    return exprs
+
+
+def _check_htg_structure(func: FunctionHTG, design: Design) -> List[Violation]:
+    violations: List[Violation] = []
+    callees = _known_callees(design)
+    seen_uids: Dict[int, Operation] = {}
+    for op in func.walk_operations():
+        if op.uid in seen_uids and seen_uids[op.uid] is not op:
+            violations.append(
+                Violation.for_op(
+                    HTG_STRUCTURE,
+                    f"operation uid {op.uid} is not unique within the function",
+                    op,
+                    function=func.name,
+                )
+            )
+        elif seen_uids.get(op.uid) is op:
+            violations.append(
+                Violation.for_op(
+                    HTG_STRUCTURE,
+                    f"operation object #{op.uid} appears twice in the HTG "
+                    f"(aliased, not cloned)",
+                    op,
+                    function=func.name,
+                )
+            )
+        seen_uids[op.uid] = op
+        if op.kind is OpKind.ASSIGN and not isinstance(op.target, (Var, ArrayRef)):
+            violations.append(
+                Violation.for_op(
+                    HTG_STRUCTURE,
+                    f"assignment target must be a variable or array element, "
+                    f"got {type(op.target).__name__}",
+                    op,
+                    function=func.name,
+                )
+            )
+        for array in sorted(op.arrays_read() | op.arrays_written()):
+            if array not in func.arrays:
+                violations.append(
+                    Violation.for_op(
+                        HTG_STRUCTURE,
+                        f"reference to undeclared array `{array}`",
+                        op,
+                        function=func.name,
+                    )
+                )
+        for callee in _op_calls(op):
+            if callee not in callees:
+                violations.append(
+                    Violation.for_op(
+                        HTG_STRUCTURE,
+                        f"call to unknown function `{callee}`",
+                        op,
+                        function=func.name,
+                    )
+                )
+    return violations
+
+
+def _check_cfg_consistency(
+    func: FunctionHTG,
+) -> Tuple[Optional[ControlFlowGraph], List[Violation]]:
+    """Lower to a CFG and check edge discipline.  Returns the CFG (for
+    the dataflow checks) or None when lowering itself fails."""
+    violations: List[Violation] = []
+    try:
+        cfg = build_cfg(func)
+    except ValueError as error:
+        violations.append(
+            Violation(
+                invariant=CFG_CONSISTENCY,
+                message=f"HTG does not lower to a CFG: {error}",
+                function=func.name,
+            )
+        )
+        return None, violations
+    for node in cfg.nodes():
+        successors = cfg.successors(node)
+        where = repr(node)
+        if node.kind == "branch":
+            labels = sorted(
+                str(cfg.edge_label(node, successor)) for successor in successors
+            )
+            if labels != ["false", "true"]:
+                violations.append(
+                    Violation(
+                        invariant=CFG_CONSISTENCY,
+                        message=(
+                            f"branch node must have exactly a true and a false "
+                            f"successor, got labels {labels}"
+                        ),
+                        function=func.name,
+                        location=where,
+                    )
+                )
+        elif node.kind == "exit":
+            if successors:
+                violations.append(
+                    Violation(
+                        invariant=CFG_CONSISTENCY,
+                        message="exit node has successors",
+                        function=func.name,
+                        location=where,
+                    )
+                )
+        elif len(successors) > 1:
+            violations.append(
+                Violation(
+                    invariant=CFG_CONSISTENCY,
+                    message=(
+                        f"non-branch node fans out to {len(successors)} "
+                        f"successors"
+                    ),
+                    function=func.name,
+                    location=where,
+                )
+            )
+    return cfg, violations
+
+
+def entry_variables(func: FunctionHTG) -> Set[str]:
+    """Variables treated as defined at function entry for the
+    def-before-use check: parameters, plus scalars that are read
+    somewhere but never written anywhere (external inputs wired
+    straight into the datapath)."""
+    written: Set[str] = set()
+    read: Set[str] = set()
+    for op in func.walk_operations():
+        written |= op.writes()
+        read |= op.reads()
+    for node in walk_nodes(func.body):
+        if isinstance(node, (IfNode, LoopNode)) and node.cond is not None:
+            read |= expr_utils.variables_read(node.cond)
+    return set(func.params) | (read - written)
+
+
+def _check_def_before_use(
+    func: FunctionHTG, cfg: ControlFlowGraph
+) -> List[Violation]:
+    violations: List[Violation] = []
+    reaching = compute_reaching_definitions(
+        cfg, entry_variables=entry_variables(func)
+    )
+    for node in cfg.nodes():
+        reach_in = reaching.reach_in.get(node.node_id, frozenset())
+        defined = {variable for variable, _uid in reach_in}
+        if node.kind == "branch" and node.cond is not None:
+            for variable in sorted(expr_utils.variables_read(node.cond)):
+                if variable not in defined and variable not in func.arrays:
+                    violations.append(
+                        Violation(
+                            invariant=DEF_BEFORE_USE,
+                            message=(
+                                f"branch condition reads `{variable}` but no "
+                                f"definition reaches it"
+                            ),
+                            function=func.name,
+                            location=repr(node),
+                        )
+                    )
+            continue
+        if node.kind != "block" or node.block is None:
+            continue
+        local = set(defined)
+        for op in node.block.ops:
+            for variable in sorted(op.reads()):
+                if variable not in local and variable not in func.arrays:
+                    violations.append(
+                        Violation.for_op(
+                            DEF_BEFORE_USE,
+                            f"reads `{variable}` but no definition reaches it",
+                            op,
+                            function=func.name,
+                            location=node.block.label,
+                        )
+                    )
+            local |= op.writes()
+    return violations
+
+
+def _check_speculation(
+    func: FunctionHTG, design: Design, pure: Set[str]
+) -> List[Violation]:
+    """A speculated op executes before its guarding condition is known,
+    so it must be side-effect free: a scalar assignment, no memory
+    writes, only known-pure calls — the same predicate the speculation
+    passes use to decide hoistability."""
+    violations: List[Violation] = []
+    for op in func.walk_operations():
+        if not op.is_speculated:
+            continue
+        if op.kind is not OpKind.ASSIGN or not isinstance(op.target, Var):
+            violations.append(
+                Violation.for_op(
+                    SPECULATION,
+                    "speculated op must be a scalar assignment",
+                    op,
+                    function=func.name,
+                )
+            )
+            continue
+        if op.arrays_written():
+            violations.append(
+                Violation.for_op(
+                    SPECULATION,
+                    f"speculated op writes array(s) "
+                    f"{sorted(op.arrays_written())}",
+                    op,
+                    function=func.name,
+                )
+            )
+        impure = [name for name in _op_calls(op) if name not in pure]
+        if impure:
+            violations.append(
+                Violation.for_op(
+                    SPECULATION,
+                    f"speculated op calls non-pure function(s) "
+                    f"{sorted(set(impure))}",
+                    op,
+                    function=func.name,
+                )
+            )
+    return violations
+
+
+def _check_wire_copies(func: FunctionHTG) -> List[Violation]:
+    violations: List[Violation] = []
+    for op in func.walk_operations():
+        if op.is_wire_copy and not op.is_copy():
+            violations.append(
+                Violation.for_op(
+                    WIRE_COPY,
+                    "marked as a wire copy but is not a variable-to-variable "
+                    "copy",
+                    op,
+                    function=func.name,
+                )
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Schedule-level checks
+# ---------------------------------------------------------------------------
+
+
+def verify_schedule(
+    state_machine: StateMachine,
+    library: Optional[ResourceLibrary] = None,
+    allocation: Optional[ResourceAllocation] = None,
+    invariants: Optional[Iterable[str]] = None,
+    skip: Iterable[str] = (),
+) -> List[Violation]:
+    """Run the schedule-level battery over an FSMD."""
+    active = _selected(SCHEDULE_INVARIANTS, invariants, skip)
+    if not active:
+        return []
+    library = library or ResourceLibrary()
+    violations: List[Violation] = []
+    if SCHEDULE_STRUCTURE in active:
+        violations.extend(_check_schedule_structure(state_machine))
+    if SCHEDULE_CHAINING in active or SCHEDULE_TIMING in active:
+        violations.extend(
+            _check_schedule_timing(
+                state_machine,
+                check_chaining=SCHEDULE_CHAINING in active,
+                check_clock=SCHEDULE_TIMING in active,
+            )
+        )
+    if SCHEDULE_RESOURCES in active and allocation is not None:
+        violations.extend(
+            _check_schedule_resources(state_machine, library, allocation)
+        )
+    return violations
+
+
+def check_schedule(
+    state_machine: StateMachine,
+    library: Optional[ResourceLibrary] = None,
+    allocation: Optional[ResourceAllocation] = None,
+    invariants: Optional[Iterable[str]] = None,
+    skip: Iterable[str] = (),
+    context: str = "",
+) -> None:
+    """:func:`verify_schedule`, raising :class:`VerifierError`."""
+    violations = verify_schedule(
+        state_machine, library, allocation, invariants, skip
+    )
+    if violations:
+        raise VerifierError(violations, context=context)
+
+
+def _check_schedule_structure(sm: StateMachine) -> List[Violation]:
+    violations: List[Violation] = []
+    func_name = sm.func.name
+
+    def bad_target(state: State, role: str, target: object) -> Violation:
+        return Violation(
+            invariant=SCHEDULE_STRUCTURE,
+            message=f"{role} targets unknown state {target!r}",
+            function=func_name,
+            location=f"S{state.state_id}",
+        )
+
+    if sm.entry_state not in sm.states:
+        violations.append(
+            Violation(
+                invariant=SCHEDULE_STRUCTURE,
+                message=f"entry state S{sm.entry_state} does not exist",
+                function=func_name,
+            )
+        )
+    seen_ops: Dict[int, int] = {}
+    for state in sm.states.values():
+        if state.default_next is not None and state.default_next not in sm.states:
+            violations.append(bad_target(state, "default transition", state.default_next))
+        if state.branch is not None:
+            for role, target in (
+                ("true branch", state.branch.true_next),
+                ("false branch", state.branch.false_next),
+            ):
+                if target is not None and target not in sm.states:
+                    violations.append(bad_target(state, role, target))
+        for op, start, finish in _walk_items(state.items):
+            if finish + _EPS < start or start < -_EPS:
+                violations.append(
+                    Violation.for_op(
+                        SCHEDULE_STRUCTURE,
+                        f"item has inverted timestamps "
+                        f"(start {start:.3f}, finish {finish:.3f})",
+                        op,
+                        function=func_name,
+                        location=f"S{state.state_id}",
+                    )
+                )
+            if op.uid in seen_ops and seen_ops[op.uid] != state.state_id:
+                violations.append(
+                    Violation.for_op(
+                        SCHEDULE_STRUCTURE,
+                        f"operation scheduled in both "
+                        f"S{seen_ops[op.uid]} and S{state.state_id}",
+                        op,
+                        function=func_name,
+                        location=f"S{state.state_id}",
+                    )
+                )
+            seen_ops.setdefault(op.uid, state.state_id)
+    return violations
+
+
+def _walk_items(
+    items: Sequence[Item],
+) -> Iterator[Tuple[Operation, float, float]]:
+    """Yield ``(op, start, finish)`` for every OpItem, recursing
+    through IfItem branches."""
+    for item in items:
+        if isinstance(item, OpItem):
+            yield item.op, item.start, item.finish
+        elif isinstance(item, IfItem):
+            yield from _walk_items(item.then_items)
+            yield from _walk_items(item.else_items)
+
+
+def _items_written(items: Sequence[Item]) -> Set[str]:
+    """Scalar and array names written anywhere in an item list."""
+    written: Set[str] = set()
+    for op, _start, _finish in _walk_items(items):
+        written |= op.writes() | op.arrays_written()
+    return written
+
+
+def _check_schedule_timing(
+    sm: StateMachine, check_chaining: bool, check_clock: bool
+) -> List[Violation]:
+    """One sequential walk per state checking both the chaining order
+    (reads start no earlier than in-state producers finish) and the
+    clock budget (no finish time past the period)."""
+    violations: List[Violation] = []
+    clock = sm.clock_period
+    func_name = sm.func.name
+
+    def check_items(
+        items: Sequence[Item], ready: Dict[str, float], state: State
+    ) -> Dict[str, float]:
+        for item in items:
+            if isinstance(item, OpItem):
+                op = item.op
+                if check_chaining:
+                    for name in sorted(op.reads() | op.arrays_read()):
+                        produced = ready.get(name, 0.0)
+                        if item.start + _EPS < produced:
+                            violations.append(
+                                Violation.for_op(
+                                    SCHEDULE_CHAINING,
+                                    f"reads `{name}` at t={item.start:.3f} but "
+                                    f"its in-state producer finishes at "
+                                    f"t={produced:.3f}",
+                                    op,
+                                    function=func_name,
+                                    location=f"S{state.state_id}",
+                                )
+                            )
+                if check_clock and item.finish > clock + _EPS:
+                    violations.append(
+                        Violation.for_op(
+                            SCHEDULE_TIMING,
+                            f"finishes at t={item.finish:.3f} past the clock "
+                            f"period {clock:.3f}",
+                            op,
+                            function=func_name,
+                            location=f"S{state.state_id}",
+                        )
+                    )
+                for name in op.writes() | op.arrays_written():
+                    ready[name] = item.finish
+            elif isinstance(item, IfItem):
+                if check_clock and item.cond_ready > clock + _EPS:
+                    violations.append(
+                        Violation(
+                            invariant=SCHEDULE_TIMING,
+                            message=(
+                                f"chained condition ready at "
+                                f"t={item.cond_ready:.3f} past the clock "
+                                f"period {clock:.3f}"
+                            ),
+                            function=func_name,
+                            location=f"S{state.state_id}",
+                        )
+                    )
+                then_ready = check_items(item.then_items, dict(ready), state)
+                else_ready = check_items(item.else_items, dict(ready), state)
+                # Only values the branches actually *write* leave the
+                # conditional through steering muxes; merging their max
+                # producer time (without the mux delay) under-
+                # approximates readiness, so downstream checks stay
+                # sound without false positives.  Names the branches
+                # never touch keep their outer readiness.
+                for name in _items_written(item.then_items) | _items_written(
+                    item.else_items
+                ):
+                    ready[name] = max(
+                        then_ready.get(name, ready.get(name, 0.0)),
+                        else_ready.get(name, ready.get(name, 0.0)),
+                        item.cond_ready,
+                    )
+        return ready
+
+    for state in sm.states.values():
+        check_items(state.items, {}, state)
+    return violations
+
+
+def _state_usage(items: Sequence[Item], library: ResourceLibrary) -> Dict[str, int]:
+    """Per-cycle FU demand of one item list, mirroring the scheduler's
+    own accounting: one unit per operator occurrence, summed across
+    sequential items, with elementwise *max* across the two branches of
+    a conditional (mutually exclusive ops share instances).  The FSM-
+    level branch condition and join steering muxes are deliberately
+    not counted — the scheduler does not charge them against the
+    allocation either."""
+    usage: Dict[str, int] = {}
+    for item in items:
+        if isinstance(item, OpItem):
+            usage = merge_usage(usage, operation_units(item.op, library))
+        elif isinstance(item, IfItem):
+            branch = max_usage(
+                _state_usage(item.then_items, library),
+                _state_usage(item.else_items, library),
+            )
+            usage = merge_usage(usage, merge_usage(
+                expr_units(item.cond, library), branch
+            ))
+    return usage
+
+
+def _loop_update_uids(func: FunctionHTG) -> Set[int]:
+    """Uids of rolled-loop update (bookkeeping) operations.  The
+    scheduler places these into the loop body's tail state under a
+    *fresh* usage tally — their demand is tracked separately from the
+    body's, not added to it — so the resource check must tally them
+    separately too."""
+    uids: Set[int] = set()
+    for node in walk_nodes(func.body):
+        if isinstance(node, LoopNode):
+            for op in node.update:
+                uids.add(op.uid)
+    return uids
+
+
+def _check_schedule_resources(
+    sm: StateMachine, library: ResourceLibrary, allocation: ResourceAllocation
+) -> List[Violation]:
+    """Re-derive each state's FU demand and assert the allocation is
+    honoured in every cycle, under the scheduler's own accounting:
+    loop-update bookkeeping ops keep their separate usage tally."""
+    violations: List[Violation] = []
+    update_uids = _loop_update_uids(sm.func)
+    for state in sm.states.values():
+        main_items = [
+            item
+            for item in state.items
+            if not (isinstance(item, OpItem) and item.op.uid in update_uids)
+        ]
+        update_items = [
+            item
+            for item in state.items
+            if isinstance(item, OpItem) and item.op.uid in update_uids
+        ]
+        for tally, items in (("", main_items), ("loop-update ", update_items)):
+            usage = _state_usage(items, library)
+            for unit_class, count in sorted(usage.items()):
+                limit = allocation.limit_for(unit_class)
+                if limit is not None and count > limit:
+                    violations.append(
+                        Violation(
+                            invariant=SCHEDULE_RESOURCES,
+                            message=(
+                                f"state needs {count} {tally}`{unit_class}` "
+                                f"instance(s) in one cycle but the "
+                                f"allocation grants {limit}"
+                            ),
+                            function=sm.func.name,
+                            location=f"S{state.state_id}",
+                        )
+                    )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Binding-level checks
+# ---------------------------------------------------------------------------
+
+
+def verify_binding(
+    state_machine: StateMachine,
+    lifetimes: LifetimeAnalysis,
+    register_binding: RegisterBinding,
+    fu_binding: Optional[FUBinding] = None,
+    library: Optional[ResourceLibrary] = None,
+    invariants: Optional[Iterable[str]] = None,
+    skip: Iterable[str] = (),
+) -> List[Violation]:
+    """Run the binding-level battery."""
+    active = _selected(BINDING_INVARIANTS, invariants, skip)
+    if not active:
+        return []
+    violations: List[Violation] = []
+    if BINDING_REGISTERS in active:
+        violations.extend(
+            _check_register_binding(state_machine, lifetimes, register_binding)
+        )
+    if BINDING_FUS in active and fu_binding is not None:
+        violations.extend(
+            _check_fu_binding(state_machine, fu_binding, library or ResourceLibrary())
+        )
+    return violations
+
+
+def check_binding(
+    state_machine: StateMachine,
+    lifetimes: LifetimeAnalysis,
+    register_binding: RegisterBinding,
+    fu_binding: Optional[FUBinding] = None,
+    library: Optional[ResourceLibrary] = None,
+    invariants: Optional[Iterable[str]] = None,
+    skip: Iterable[str] = (),
+    context: str = "",
+) -> None:
+    """:func:`verify_binding`, raising :class:`VerifierError`."""
+    violations = verify_binding(
+        state_machine,
+        lifetimes,
+        register_binding,
+        fu_binding,
+        library,
+        invariants,
+        skip,
+    )
+    if violations:
+        raise VerifierError(violations, context=context)
+
+
+def _check_register_binding(
+    sm: StateMachine,
+    lifetimes: LifetimeAnalysis,
+    binding: RegisterBinding,
+) -> List[Violation]:
+    violations: List[Violation] = []
+    func_name = sm.func.name
+    for variable in sorted(lifetimes.registers()):
+        if variable not in binding.assignment:
+            violations.append(
+                Violation(
+                    invariant=BINDING_REGISTERS,
+                    message=(
+                        f"register-resident variable `{variable}` has no "
+                        f"register assignment"
+                    ),
+                    function=func_name,
+                )
+            )
+    for register, group in enumerate(binding.groups):
+        occupied: Dict[int, str] = {}
+        for variable in group:
+            for state_id in lifetimes.lifetime_states(variable):
+                other = occupied.get(state_id)
+                if other is not None and other != variable:
+                    violations.append(
+                        Violation(
+                            invariant=BINDING_REGISTERS,
+                            message=(
+                                f"register r{register} holds `{other}` and "
+                                f"`{variable}`, both live in S{state_id}"
+                            ),
+                            function=func_name,
+                            location=f"S{state_id}",
+                        )
+                    )
+                    break
+                occupied[state_id] = variable
+    return violations
+
+
+def _check_fu_binding(
+    sm: StateMachine, fus: FUBinding, library: ResourceLibrary
+) -> List[Violation]:
+    violations: List[Violation] = []
+    func_name = sm.func.name
+    for state in sm.reachable_states():
+        for item in state.operations():
+            op = item.op
+            try:
+                needs = operation_units(op, library)
+            except Exception:
+                continue
+            assigned = fus.op_assignment.get(op.uid, [])
+            if needs and not assigned:
+                violations.append(
+                    Violation.for_op(
+                        BINDING_FUS,
+                        f"needs functional units {sorted(needs)} but has no "
+                        f"FU assignment",
+                        op,
+                        function=func_name,
+                        location=f"S{state.state_id}",
+                    )
+                )
+                continue
+            for unit_class, index in assigned:
+                available = fus.instance_counts.get(unit_class, 0)
+                if index >= available:
+                    violations.append(
+                        Violation.for_op(
+                            BINDING_FUS,
+                            f"assigned to `{unit_class}` instance {index} but "
+                            f"only {available} exist",
+                            op,
+                            function=func_name,
+                            location=f"S{state.state_id}",
+                        )
+                    )
+    return violations

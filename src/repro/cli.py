@@ -31,6 +31,15 @@ The ``cache`` subcommand maintains the shared outcome cache::
     python -m repro cache stats
     python -m repro cache gc --max-bytes 104857600
 
+The ``verify`` subcommand runs the full flow with the static verifier
+interposed after every transform pass and flow stage, reporting
+invariant violations instead of RTL — the same checks ``--verify-each``
+adds to a one-shot synthesis or a ``dse`` sweep::
+
+    python -m repro verify input.c --preset up
+    python -m repro input.c --verify-each --emit none
+    python -m repro dse input.c --vary clock=4,6 --verify-each
+
 Exit status is non-zero on parse or scheduling failure, so the CLI can
 anchor shell-based regression scripts the way the original tool's
 script files did.
@@ -121,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the parallelizing code motions",
     )
     parser.add_argument(
+        "--verify-each",
+        action="store_true",
+        help=(
+            "run the static verifier after every transform pass and "
+            "flow stage; invariant violations abort synthesis"
+        ),
+    )
+    parser.add_argument(
         "--emit",
         choices=["vhdl", "verilog", "none"],
         default="vhdl",
@@ -154,6 +171,136 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-pass transformation reports",
     )
     return parser
+
+
+def build_verify_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro verify`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro verify",
+        description=(
+            "run the synthesis flow with the static verifier armed "
+            "after every transform pass and flow stage, reporting "
+            "invariant violations instead of emitting RTL"
+        ),
+    )
+    parser.add_argument(
+        "input",
+        help="behavioral C source file ('-' reads stdin)",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=["up", "asic", "none"],
+        default="none",
+        help="script preset (same meanings as the one-shot CLI)",
+    )
+    parser.add_argument(
+        "--clock",
+        type=float,
+        default=None,
+        help="clock period in normalized gate-delay units",
+    )
+    parser.add_argument(
+        "--unroll",
+        action="append",
+        default=[],
+        metavar="LOOP=FACTOR",
+        help="unroll LOOP by FACTOR (0 = fully); repeatable; '*' = all",
+    )
+    parser.add_argument(
+        "--inline",
+        action="append",
+        default=[],
+        metavar="FUNC",
+        help="inline FUNC ('*' = all); repeatable",
+    )
+    parser.add_argument(
+        "--limit",
+        action="append",
+        default=[],
+        metavar="UNIT=COUNT",
+        help="resource limit, e.g. alu=2; repeatable",
+    )
+    parser.add_argument(
+        "--pure",
+        action="append",
+        default=[],
+        metavar="FUNC",
+        help="declare external FUNC side-effect free (speculatable)",
+    )
+    parser.add_argument(
+        "--output",
+        action="append",
+        default=[],
+        metavar="VAR",
+        help="scalar output that must stay observable; repeatable",
+    )
+    parser.add_argument(
+        "--no-speculation", action="store_true", help="disable speculation"
+    )
+    parser.add_argument(
+        "--no-code-motion",
+        action="store_true",
+        help="disable the parallelizing code motions",
+    )
+    parser.add_argument(
+        "--entity",
+        default="design",
+        help="entity/module name for the synthesized design",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the success line (violations still print)",
+    )
+    return parser
+
+
+def verify_main(argv: List[str]) -> int:
+    """Entry point for ``repro verify``.
+
+    Exit status: 0 when every invariant holds through the whole flow,
+    1 on a verifier violation, 2 when the design fails to synthesize
+    at all (a broken flow is a different failure than a broken
+    invariant, and regression scripts want to tell them apart).
+    """
+    from repro.analysis.verifier import VerifierError
+
+    parser = build_verify_parser()
+    args = parser.parse_args(argv)
+
+    source = _read_source(args.input)
+    if source is None:
+        return 2
+
+    try:
+        script = _build_script(args)
+    except ValueError as error:
+        print(f"repro verify: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        session = SparkSession(
+            source,
+            script=script,
+            interface=DesignInterface(name=args.entity),
+        )
+        session.run(bind=True, emit=False, verify=True)
+    except VerifierError as error:
+        print(f"repro verify: {args.input}: {error}", file=sys.stderr)
+        return 1
+    except Exception as error:  # parse/lowering/scheduling failures
+        print(
+            f"repro verify: {args.input}: synthesis failed: {error}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if not args.quiet:
+        print(
+            f"repro verify: {args.input}: OK — every invariant held "
+            f"through frontend, transforms, schedule and binding"
+        )
+    return 0
 
 
 def build_dse_parser() -> argparse.ArgumentParser:
@@ -343,6 +490,15 @@ def build_dse_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--verify-each",
+        action="store_true",
+        help=(
+            "arm the static verifier on every synthesized corner; "
+            "violations settle as error_kind=verifier (never cached), "
+            "and cached outcomes only count if their run was verified"
+        ),
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print each design point as it settles (streaming)",
@@ -469,6 +625,7 @@ def dse_main(argv: List[str]) -> int:
             else DEFAULT_LEASE_TTL
         ),
         stage_cache=args.stage_cache,
+        verify=args.verify_each,
     )
 
     def print_progress(outcome):
@@ -825,6 +982,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return worker_main(argv[1:])
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "verify":
+        return verify_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -838,13 +997,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro: {error}", file=sys.stderr)
         return 2
 
+    from repro.analysis.verifier import VerifierError
+
     try:
         session = SparkSession(
             source,
             script=script,
             interface=DesignInterface(name=args.entity),
         )
-        result = session.run(bind=True, emit=args.emit != "none")
+        result = session.run(
+            bind=True, emit=args.emit != "none", verify=args.verify_each
+        )
+    except VerifierError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 1
     except Exception as error:  # parse/lowering/scheduling failures
         print(f"repro: synthesis failed: {error}", file=sys.stderr)
         return 1

@@ -90,9 +90,20 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
-    def get(self, key: str) -> Optional[SynthesisOutcome]:
+    def get(
+        self, key: str, require_verified: bool = False
+    ) -> Optional[SynthesisOutcome]:
         """The cached outcome, or None on a miss (corrupt entries are
-        dropped and counted as misses)."""
+        dropped and counted as misses).
+
+        With *require_verified*, an entry whose run did not have the
+        static verifier enabled reads as a miss — a ``--verify-each``
+        sweep must not be satisfied by unverified work.  The entry is
+        left in place (it is valid, just not verified); the verified
+        re-run overwrites it via :meth:`put`, upgrading it for both
+        kinds of future requests.  Verification never changes what a
+        correct flow computes, so the asymmetry is sound: verified
+        entries serve unverified requests for free."""
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -103,6 +114,9 @@ class ResultCache:
             return None
         except (OSError, ValueError, KeyError, TypeError):
             path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        if require_verified and not outcome.verified:
             self.misses += 1
             return None
         self.hits += 1

@@ -83,6 +83,9 @@ def summarize(result: ExplorationResult) -> str:
         )
     if infeasible:
         text += f", {infeasible} infeasible"
+    verifier_failures = len(result.verifier_failures)
+    if verifier_failures:
+        text += f", {verifier_failures} verifier failure(s)"
     if result.goal_met:
         text += ", target met"
     return text

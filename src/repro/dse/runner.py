@@ -69,6 +69,7 @@ from repro.dse.service import maybe_auto_gc
 from repro.flow.keys import job_stage_key
 from repro.spark import (
     ERROR_KIND_UNSCHEDULABLE,
+    ERROR_KIND_VERIFIER,
     SynthesisJob,
     SynthesisOutcome,
 )
@@ -117,6 +118,17 @@ class ExplorationResult:
     @property
     def feasible(self) -> List[SynthesisOutcome]:
         return [outcome for outcome in self.outcomes if outcome.ok]
+
+    @property
+    def verifier_failures(self) -> List[SynthesisOutcome]:
+        """Outcomes where the static verifier caught an invariant
+        violation (``--verify-each`` runs only) — tool bugs, reported
+        separately from design infeasibility."""
+        return [
+            outcome
+            for outcome in self.outcomes
+            if outcome.error_kind == ERROR_KIND_VERIFIER
+        ]
 
     @property
     def frontier(self) -> List[SynthesisOutcome]:
@@ -368,6 +380,14 @@ class ExplorationEngine:
         that differ only in resource limits or clock.  ``1`` (the
         default) disables batching.  Purely a dispatch optimization:
         outcomes, caching and ranking are identical either way.
+    verify:
+        run the static verifier (:mod:`repro.analysis.verifier`) on
+        every miss-path execution (``--verify-each``): dispatched jobs
+        are stamped ``verify=True``, violations settle as
+        ``error_kind="verifier"`` outcomes (never cached as valid,
+        never pruning evidence), and cache hits require a *verified*
+        entry — unverified entries read as misses and are re-run
+        (the upgraded entry then serves both kinds of request).
     """
 
     def __init__(
@@ -381,6 +401,7 @@ class ExplorationEngine:
         lease_ttl: float = DEFAULT_LEASE_TTL,
         stage_cache: bool = True,
         batch_size: int = 1,
+        verify: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -399,6 +420,7 @@ class ExplorationEngine:
         self.executor = executor
         self.batch_size = batch_size
         self.job_timeout = job_timeout
+        self.verify = verify
         self.broker_dir = broker_dir
         self.lease_ttl = lease_ttl
         self.cache: Optional[ResultCache] = None
@@ -518,7 +540,13 @@ class ExplorationEngine:
                 waiters.setdefault(key, []).append(index)
                 return True, False
             first_by_key[key] = index
-            cached = self.cache.get(key) if self.cache is not None else None
+            cached = (
+                self.cache.get(
+                    key, require_verified=self.verify or job.verify
+                )
+                if self.cache is not None
+                else None
+            )
             if cached is not None:
                 cached.label = job.label  # labels are presentation-only
                 result.cache_hits += 1
@@ -716,6 +744,8 @@ class ExplorationEngine:
             updates["timeout"] = self.job_timeout
         if self.stage_dir is not None and not job.stage_cache_dir:
             updates["stage_cache_dir"] = str(self.stage_dir)
+        if self.verify and not job.verify:
+            updates["verify"] = True
         if not updates:
             return job
         return dataclasses.replace(job, **updates)
@@ -843,6 +873,7 @@ def explore(
     lease_ttl: float = DEFAULT_LEASE_TTL,
     stage_cache: bool = True,
     batch_size: int = 1,
+    verify: bool = False,
 ) -> ExplorationResult:
     """One-call convenience sweep."""
     engine = ExplorationEngine(
@@ -855,6 +886,7 @@ def explore(
         lease_ttl=lease_ttl,
         stage_cache=stage_cache,
         batch_size=batch_size,
+        verify=verify,
     )
     return engine.explore(
         jobs,

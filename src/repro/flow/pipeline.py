@@ -38,8 +38,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.verifier import check_binding, check_design, check_schedule
 from repro.backend.interface import DesignInterface
 from repro.backend.verilog import emit_verilog
 from repro.backend.vhdl import emit_vhdl
@@ -57,8 +58,10 @@ from repro.scheduler.ready_list import DagCache
 from repro.scheduler.resources import ResourceAllocation, ResourceLibrary
 from repro.scheduler.schedule import StateMachine
 from repro.transforms.base import (
+    Pass,
     PassManager,
     PassReport,
+    PassVerifier,
     SynthesisScript,
 )
 from repro.transforms.code_motion import DataflowLevelReorder, TrailblazingHoist
@@ -135,6 +138,12 @@ class FlowRequest:
     interface: Optional[DesignInterface] = None
     bind: bool = True
     emit: bool = True
+    #: Run the static verifier (:mod:`repro.analysis.verifier`) after
+    #: every transform pass and at every stage boundary; violations
+    #: raise :class:`repro.analysis.verifier.VerifierError`.  Verify
+    #: mode does not change what the flow computes, so it deliberately
+    #: does not participate in stage or outcome cache keys.
+    verify: bool = False
 
 
 @dataclass
@@ -154,13 +163,33 @@ class FlowOutput:
     records: List[StageRecord] = field(default_factory=list)
 
 
-def build_pass_manager(script: SynthesisScript) -> PassManager:
+def make_pass_verifier(script: SynthesisScript) -> "PassVerifier":
+    """The ``--verify-each`` hook for the transform stage: after each
+    pass application, assert every design-level invariant the pass
+    does not declare in ``may_break``.  Violations carry the pass name
+    as their context, so a mis-transformation names its culprit."""
+    from repro.analysis.verifier import check_design
+
+    def verify(design: Design, pass_obj: "Pass") -> None:
+        check_design(
+            design,
+            pure_functions=script.pure_functions,
+            skip=getattr(pass_obj, "may_break", ()),
+            context=f"after pass `{pass_obj.name}`",
+        )
+
+    return verify
+
+
+def build_pass_manager(
+    script: SynthesisScript, verifier: Optional["PassVerifier"] = None
+) -> PassManager:
     """The scripted transformation pipeline in the paper's order:
     inline -> speculate -> unroll -> constant-propagate ->
     re-speculate -> cleanup (Section 6 sequence, with fine-grain
     passes interleaved as supporting transformations)."""
     pure = set(script.pure_functions)
-    manager = PassManager()
+    manager = PassManager(verifier=verifier)
     if script.inline_functions:
         manager.add(FunctionInliner(script.inline_functions))
     if script.enable_early_condition_execution:
@@ -192,6 +221,37 @@ def build_pass_manager(script: SynthesisScript) -> PassManager:
     if script.enable_tac_lowering:
         manager.add(TACLowering())
     return manager
+
+
+#: Recalled stage artifacts that already passed their boundary
+#: battery in this process.  Entries are ``("transform", key,
+#: pure_functions)`` — the pure-function set is the one script knob
+#: the design checks read beyond the artifact itself — or
+#: ``("schedule", key)``, whose key already covers the clock,
+#: allocation and resource library the schedule checks consume.
+#: Verification is idempotent over content-addressed artifacts, so a
+#: warm sweep pays each battery once per distinct artifact instead of
+#: once per corner.  Only *recalled* or *preloaded* artifacts are
+#: memoised: anything computed in this run is always checked, so an
+#: injected transform or scheduler bug can never hide behind a clean
+#: sibling's verdict.
+_VERIFIED_BOUNDARIES: set = set()
+_VERIFIED_BOUNDARIES_MAX = 4096
+
+
+def _boundary_check(
+    memo_key: Optional[Tuple[object, ...]],
+    check: Callable[[], None],
+) -> None:
+    """Run *check* unless *memo_key* (a non-None tuple naming a
+    recalled artifact) already passed it in this process."""
+    if memo_key is not None and memo_key in _VERIFIED_BOUNDARIES:
+        return
+    check()
+    if memo_key is not None:
+        if len(_VERIFIED_BOUNDARIES) >= _VERIFIED_BOUNDARIES_MAX:
+            _VERIFIED_BOUNDARIES.clear()
+        _VERIFIED_BOUNDARIES.add(memo_key)
 
 
 def _record(
@@ -272,9 +332,13 @@ def run_flow(
     # -- frontend + transform ----------------------------------------------
     design: Optional[Design] = request.design
     reports: List[PassReport] = []
+    recalled = False
     if design is not None:
         started = time.perf_counter()
-        manager = build_pass_manager(script)
+        manager = build_pass_manager(
+            script,
+            verifier=make_pass_verifier(script) if request.verify else None,
+        )
         manager.run_until_fixpoint(design)
         reports = manager.reports
         record("transform", started, False)
@@ -286,20 +350,47 @@ def run_flow(
         design, reports = preloaded[0], list(preloaded[1])
         records.append(StageRecord(stage="frontend", cached=True))
         records.append(StageRecord(stage="transform", cached=True))
+        recalled = True
     else:
-        design, reports = _frontend_and_transform(
+        design, reports, recalled = _frontend_and_transform(
             request, store if use_store else None, keys, records
+        )
+    if request.verify:
+        # The full design battery at the stage boundary — the one
+        # place every path (computed, recalled, preloaded) funnels
+        # through, so recalled artifacts are verified exactly once.
+        # Literally once: recalled artifacts are content-addressed by
+        # the transform stage key, so a key that already passed in
+        # this process (any corner of a sweep sharing the snapshot)
+        # skips the re-check.  Computed designs are never memoised.
+        memo_key = None
+        if recalled and keys.get("transform"):
+            memo_key = (
+                "transform",
+                keys["transform"],
+                tuple(sorted(script.pure_functions)),
+            )
+        _boundary_check(
+            memo_key,
+            lambda: check_design(
+                design,
+                pure_functions=script.pure_functions,
+                context="at the transform stage boundary",
+            ),
         )
     if capture is not None:
         capture["transform"] = (design, reports)
 
     # -- schedule -----------------------------------------------------------
+    allocation = ResourceAllocation(limits=dict(script.resource_limits))
     state_machine: Optional[StateMachine] = None
+    schedule_recalled = False
     if use_store:
         started = time.perf_counter()
         artifact = store.get(keys["schedule"])  # type: ignore[union-attr]
         if isinstance(artifact, StateMachine):
             state_machine = artifact
+            schedule_recalled = True
             record("schedule", started, True)
         elif artifact is not None:
             store.drop(keys["schedule"])  # type: ignore[union-attr]
@@ -308,9 +399,7 @@ def run_flow(
         scheduler = ChainingScheduler(
             library=library,
             clock_period=script.clock_period,
-            allocation=ResourceAllocation(
-                limits=dict(script.resource_limits)
-            ),
+            allocation=allocation,
             priority=script.scheduler_priority,
             dag_cache=dag_cache,
         )
@@ -318,6 +407,22 @@ def run_flow(
         record("schedule", started, False)
         if use_store:
             store.put(keys["schedule"], state_machine)  # type: ignore[union-attr]
+    if request.verify:
+        # The schedule stage key already covers the clock, allocation
+        # and resource library, so a recalled state machine that
+        # passed once in this process needs no re-check.
+        memo_key = (
+            ("schedule", keys["schedule"]) if schedule_recalled else None
+        )
+        _boundary_check(
+            memo_key,
+            lambda: check_schedule(
+                state_machine,
+                library=library,
+                allocation=allocation,
+                context="at the schedule stage boundary",
+            ),
+        )
 
     output = FlowOutput(
         design=design,
@@ -338,6 +443,15 @@ def run_flow(
         )
         output.fu_binding = bind_functional_units(state_machine, library)
         record("bind", started, False)
+        if request.verify:
+            check_binding(
+                state_machine,
+                output.lifetimes,
+                output.register_binding,
+                output.fu_binding,
+                library=library,
+                context="at the bind stage boundary",
+            )
         started = time.perf_counter()
         output.area = estimate_area(
             state_machine,
@@ -366,12 +480,14 @@ def _frontend_and_transform(
     store: Optional[StageArtifactStore],
     keys: Dict[str, str],
     records: List[StageRecord],
-) -> Tuple[Design, List[PassReport]]:
+) -> Tuple[Design, List[PassReport], bool]:
     """Source-driven frontend + transform with artifact reuse.
 
     Probes the *transform* artifact first — a hit subsumes the
     frontend entirely (recorded as a zero-cost hit) — then falls back
-    to the frontend artifact, then to parsing.
+    to the frontend artifact, then to parsing.  The trailing bool
+    reports whether the transform artifact was *recalled* (True) or
+    computed by running the pass pipeline here (False).
     """
 
     def record(stage: str, started: float, cached: bool) -> None:
@@ -384,7 +500,7 @@ def _frontend_and_transform(
             design, reports = artifact
             records.append(StageRecord(stage="frontend", cached=True))
             record("transform", started, True)
-            return design, reports
+            return design, reports, True
 
     started = time.perf_counter()
     design: Optional[Design] = None
@@ -397,14 +513,23 @@ def _frontend_and_transform(
     frontend_hit = design is not None
     if design is None:
         design = design_from_source(request.source)
+        if request.verify:
+            check_design(
+                design,
+                pure_functions=request.script.pure_functions,
+                context="after the frontend stage",
+            )
     record("frontend", started, frontend_hit)
     if store is not None and not frontend_hit:
         store.put(keys["frontend"], design)
 
     started = time.perf_counter()
-    manager = build_pass_manager(request.script)
+    manager = build_pass_manager(
+        request.script,
+        verifier=make_pass_verifier(request.script) if request.verify else None,
+    )
     manager.run_until_fixpoint(design)
     record("transform", started, False)
     if store is not None:
         store.put(keys["transform"], (design, list(manager.reports)))
-    return design, manager.reports
+    return design, manager.reports, False

@@ -10,10 +10,10 @@ registers", paper Section 3.1.2), and diagnostics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import AbstractSet, Dict, FrozenSet, List, Set, Tuple
 
-from repro.ir.cfg import CFGNode, ControlFlowGraph
-from repro.ir.htg import FunctionHTG
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.htg import FunctionHTG, HTGNode
 from repro.ir.operations import Operation
 
 
@@ -28,7 +28,7 @@ class LivenessResult:
 
 
 def compute_liveness(
-    cfg: ControlFlowGraph, boundary_live: Set[str] = frozenset()
+    cfg: ControlFlowGraph, boundary_live: AbstractSet[str] = frozenset()
 ) -> LivenessResult:
     """Backward liveness over scalar variables.
 
@@ -86,7 +86,7 @@ class ReachingDefsResult:
 
 
 def compute_reaching_definitions(
-    cfg: ControlFlowGraph, entry_variables: Set[str] = frozenset()
+    cfg: ControlFlowGraph, entry_variables: AbstractSet[str] = frozenset()
 ) -> ReachingDefsResult:
     """Forward reaching definitions over scalar variables."""
     result = ReachingDefsResult()
@@ -149,12 +149,12 @@ def uses_of(func: FunctionHTG, variable: str) -> List[Operation]:
     return [op for op in func.walk_operations() if variable in op.reads()]
 
 
-def condition_uses_of(func: FunctionHTG, variable: str):
+def condition_uses_of(func: FunctionHTG, variable: str) -> List[HTGNode]:
     """HTG nodes whose condition reads *variable*."""
     from repro.ir import expr_utils
     from repro.ir.htg import IfNode, LoopNode
 
-    nodes = []
+    nodes: List[HTGNode] = []
     for node in func.walk_nodes():
         if isinstance(node, (IfNode, LoopNode)) and node.cond is not None:
             if variable in expr_utils.variables_read(node.cond):

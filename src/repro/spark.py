@@ -48,6 +48,7 @@ from repro.flow.pipeline import (
     build_pass_manager,
     run_flow,
 )
+from repro.analysis.verifier import VerifierError
 from repro.interp.evaluator import Interpreter, MachineState
 from repro.ir.builder import design_from_source
 from repro.ir.htg import Design
@@ -159,6 +160,14 @@ ERROR_KIND_ENVIRONMENT = "environment"
 #: never memoized and never used as dominance-pruning evidence.
 ERROR_KIND_TIMEOUT = "timeout"
 
+#: The static verifier (:mod:`repro.analysis.verifier`) caught an
+#: invariant violation during a ``verify=True`` run.  A verifier
+#: failure is a *tool* bug (a transform or the scheduler broke its
+#: contract), not a property of the design point, so it is never
+#: memoized as a valid outcome and never used as pruning evidence —
+#: fixing the pass must make the same corner succeed.
+ERROR_KIND_VERIFIER = "verifier"
+
 
 class JobTimeout(Exception):
     """Raised inside :func:`execute_job` when the wall-clock deadline
@@ -243,6 +252,15 @@ class SynthesisJob:
         empty disables stage caching.  A *location*, not content — it
         rides the wire format so pool and broker workers share
         artifacts, but is excluded from the fingerprint.
+    verify:
+        run the static verifier (:mod:`repro.analysis.verifier`)
+        after every transform pass and at every stage boundary; a
+        violation settles as an ``error_kind="verifier"`` outcome.
+        Execution *mode*, not content — verification never changes
+        what a correct flow computes, so it is excluded from the
+        fingerprint (a previously *verified* cached outcome may serve
+        an unverified request; the reverse is guarded by the cache's
+        ``require_verified``).
     """
 
     source: str
@@ -258,6 +276,7 @@ class SynthesisJob:
     timeout: Optional[float] = None
     priority: int = 0
     stage_cache_dir: str = ""
+    verify: bool = False
 
     def execute(self) -> "SynthesisOutcome":
         """Run this job through the staged flow; sugar for
@@ -350,7 +369,10 @@ class SynthesisOutcome:
     #: :data:`ERROR_KIND_UNSCHEDULABLE` for the scheduler's monotone
     #: constraint failures, :data:`ERROR_KIND_INFEASIBLE` for other
     #: deterministic failures, :data:`ERROR_KIND_ENVIRONMENT` for
-    #: machine/setup trouble (never cached).  Empty when ``ok``.
+    #: machine/setup trouble (never cached),
+    #: :data:`ERROR_KIND_VERIFIER` for static invariant violations
+    #: caught by a ``verify=True`` run (a tool bug — never cached).
+    #: Empty when ``ok``.
     error_kind: str = ""
     num_states: int = 0
     single_cycle: bool = False
@@ -375,6 +397,12 @@ class SynthesisOutcome:
     #: the failing stage) and may end with a ``measure`` record when
     #: the job simulated a stimulus.
     stages: List[Dict[str, object]] = field(default_factory=list)
+    #: Whether the run that produced this outcome had the static
+    #: verifier enabled (``SynthesisJob.verify``).  Persisted with the
+    #: outcome: a verified entry may serve unverified requests, but an
+    #: unverified entry reads as a miss for ``--verify-each`` sweeps
+    #: (see :meth:`repro.dse.cache.ResultCache.get`).
+    verified: bool = False
     cached: bool = False
     #: Where this outcome came from, per invocation: ``"run"`` (fresh
     #: execution), ``"cache"`` (recalled), ``"pruned"`` (inferred
@@ -512,6 +540,7 @@ def _execute_one(
             f"timeout: exceeded the {job.timeout:g}s wall-clock budget"
         )
     outcome.elapsed = time.perf_counter() - started
+    outcome.verified = bool(job.verify)
     return outcome
 
 
@@ -574,6 +603,7 @@ def _execute_job_body(
                 or DesignInterface(name=job.entity),
                 bind=True,
                 emit=job.emit,
+                verify=job.verify,
             ),
             store=store,
             records=records,
@@ -627,6 +657,10 @@ def _execute_job_body(
         outcome.ok = False
         outcome.error_kind = ERROR_KIND_UNSCHEDULABLE
         outcome.error = f"{type(error).__name__}: {error}"
+    except VerifierError as error:  # a pass broke its contract
+        outcome.ok = False
+        outcome.error_kind = ERROR_KIND_VERIFIER
+        outcome.error = str(error)
     except Exception as error:  # parse error, emission/measurement, ...
         outcome.ok = False
         outcome.error_kind = ERROR_KIND_INFEASIBLE
@@ -730,12 +764,17 @@ class SparkSession:
         )
         return scheduler.schedule(self.design.main)
 
-    def run(self, bind: bool = True, emit: bool = True) -> SynthesisResult:
+    def run(
+        self, bind: bool = True, emit: bool = True, verify: bool = False
+    ) -> SynthesisResult:
         """Full flow — drives the explicit stage graph of
         :func:`repro.flow.run_flow` over this session's (already
         parsed) design: transform, schedule, bind, estimate, emit.
         The result carries per-stage timing records
         (``result.stages``, surfaced by :meth:`SynthesisResult.summary`).
+        With *verify* set, the static verifier runs after every
+        transform pass and stage boundary, raising
+        :class:`repro.analysis.verifier.VerifierError` on a violation.
         """
         flow = run_flow(
             FlowRequest(
@@ -745,6 +784,7 @@ class SparkSession:
                 interface=self.interface,
                 bind=bind,
                 emit=emit,
+                verify=verify,
             )
         )
         self.reports.extend(flow.reports)

@@ -11,7 +11,7 @@ did to the design.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.ir.htg import Design, FunctionHTG
 
@@ -137,6 +137,17 @@ class Pass:
     """
 
     name = "pass"
+
+    #: Design-level verifier invariants (names from
+    #: :mod:`repro.analysis.verifier`) this pass may leave *temporarily*
+    #: broken, to be restored by a later pass before the transform
+    #: stage boundary.  The ``--verify-each`` hook skips exactly these
+    #: invariants right after the pass runs; the full battery still
+    #: runs at the stage boundary.  Every pass in the current pipeline
+    #: preserves every invariant, so the default is empty — a
+    #: multi-step restructuring pass added later declares its
+    #: intermediate breakage here instead of forcing verification off.
+    may_break: Tuple[str, ...] = ()
 
     def run_on_function(self, func: FunctionHTG, design: Design) -> PassReport:
         raise NotImplementedError
@@ -272,21 +283,45 @@ class SynthesisScript:
         )
 
 
-class PassManager:
-    """Applies a sequence of passes and accumulates their reports."""
+#: Post-pass verifier hook: called as ``verifier(design, pass_obj)``
+#: right after each pass application; expected to raise (e.g.
+#: :class:`repro.analysis.verifier.VerifierError`) on an invariant
+#: violation, honouring ``pass_obj.may_break``.
+PassVerifier = Callable[[Design, Pass], None]
 
-    def __init__(self, passes: Optional[Sequence[Pass]] = None) -> None:
+
+class PassManager:
+    """Applies a sequence of passes and accumulates their reports.
+
+    With a *verifier* hook installed (the ``--verify-each`` mode of
+    the flow), every pass application is immediately followed by an
+    invariant check, so a mis-transformation is attributed to the
+    exact pass (and fixpoint round) that introduced it rather than
+    surfacing as a downstream scheduling or co-simulation failure.
+    """
+
+    def __init__(
+        self,
+        passes: Optional[Sequence[Pass]] = None,
+        verifier: Optional[PassVerifier] = None,
+    ) -> None:
         self.passes: List[Pass] = list(passes) if passes else []
         self.reports: List[PassReport] = []
+        self.verifier = verifier
 
     def add(self, pass_obj: Pass) -> "PassManager":
         self.passes.append(pass_obj)
         return self
 
+    def _verify(self, design: Design, pass_obj: Pass) -> None:
+        if self.verifier is not None:
+            self.verifier(design, pass_obj)
+
     def run(self, design: Design) -> List[PassReport]:
         """Run every pass over the design, in order."""
         for pass_obj in self.passes:
             self.reports.extend(pass_obj.run_on_design(design))
+            self._verify(design, pass_obj)
         return self.reports
 
     def run_until_fixpoint(self, design: Design, max_rounds: int = 20) -> int:
@@ -296,9 +331,13 @@ class PassManager:
         for round_index in range(1, max_rounds + 1):
             round_changed = False
             for pass_obj in self.passes:
+                pass_changed = False
                 for report in pass_obj.run_on_design(design):
                     self.reports.append(report)
-                    round_changed = round_changed or report.changed
+                    pass_changed = pass_changed or report.changed
+                round_changed = round_changed or pass_changed
+                if pass_changed:
+                    self._verify(design, pass_obj)
             if not round_changed:
                 return round_index
         return max_rounds

@@ -66,9 +66,9 @@ class RecordingCache(ResultCache):
         super().__init__(root)
         self.events = events
 
-    def get(self, key):
+    def get(self, key, require_verified=False):
         self.events.append("probe")
-        return super().get(key)
+        return super().get(key, require_verified=require_verified)
 
 
 class RecordingExecutor(Executor):

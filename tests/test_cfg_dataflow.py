@@ -156,6 +156,70 @@ class TestReachingDefinitions:
         block = next(n for n in cfg.nodes() if n.kind == "block")
         assert ("x", 0) in result.reach_in[block.node_id]
 
+    def test_loop_carried_definition_reaches_the_body(self):
+        # `s` has two defs: the init before the loop and the update in
+        # the body.  Around the back edge *both* reach the body's
+        # entry — the fixpoint must not stop at the acyclic answer.
+        design = design_from_source(
+            "int i; int s; s = 0; for (i = 0; i < 4; i++) { s = s + i; }"
+        )
+        cfg = build_cfg(design.main)
+        result = compute_reaching_definitions(cfg)
+        body = next(
+            n
+            for n in cfg.nodes()
+            if n.kind == "block" and "s" in n.block.variables_read()
+        )
+        s_defs = {d for d in result.reach_in[body.node_id] if d[0] == "s"}
+        assert len(s_defs) == 2
+
+    def test_loop_update_def_reaches_the_header_condition(self):
+        design = design_from_source(
+            "int i; int s; s = 0; for (i = 0; i < 4; i++) { s = s + i; }"
+        )
+        cfg = build_cfg(design.main)
+        result = compute_reaching_definitions(cfg)
+        header = next(n for n in cfg.nodes() if n.kind == "branch")
+        i_defs = {d for d in result.reach_in[header.node_id] if d[0] == "i"}
+        # Init def on first entry, update def around the back edge.
+        assert len(i_defs) == 2
+
+    def test_nested_if_join_merges_all_arms(self):
+        # Four arms, four defs of `a`; the final read sees all four.
+        design = design_from_source(
+            "int a; int c1; int c2; c1 = 1; c2 = 0;"
+            "if (c1) { if (c2) { a = 1; } else { a = 2; } }"
+            "else { if (c2) { a = 3; } else { a = 4; } }"
+            "int b; b = a;"
+        )
+        cfg = build_cfg(design.main)
+        result = compute_reaching_definitions(cfg)
+        reader = next(
+            n
+            for n in cfg.nodes()
+            if n.kind == "block" and "a" in n.block.variables_read()
+        )
+        a_defs = {d for d in result.reach_in[reader.node_id] if d[0] == "a"}
+        assert len(a_defs) == 4
+
+    def test_inner_join_kills_outer_def_on_both_arms(self):
+        # Every path through the conditional rewrites `a`, so the
+        # pre-if definition must NOT survive to the final read.
+        design = design_from_source(
+            "int a; int c; c = 1; a = 9;"
+            "if (c) { a = 1; } else { a = 2; }"
+            "int b; b = a;"
+        )
+        cfg = build_cfg(design.main)
+        result = compute_reaching_definitions(cfg)
+        reader = next(
+            n
+            for n in cfg.nodes()
+            if n.kind == "block" and "a" in n.block.variables_read()
+        )
+        a_defs = {d for d in result.reach_in[reader.node_id] if d[0] == "a"}
+        assert len(a_defs) == 2
+
 
 class TestQueryHelpers:
     def test_definitions_of(self, mini_ild_design):

@@ -1,0 +1,575 @@
+"""The static verifier (:mod:`repro.analysis.verifier`).
+
+Two kinds of evidence: clean flows must verify silently at every
+level, and each invariant check must fire on a *deliberately
+corrupted* artifact — a mutated operand, a dropped guard, two
+overlapping register live ranges — naming the invariant and the
+pass/stage that broke it.  The DSE half proves verifier failures are
+classified as ``error_kind="verifier"`` and never poison the cache.
+"""
+
+import pytest
+
+from repro.analysis.verifier import (
+    BINDING_FUS,
+    BINDING_REGISTERS,
+    DEF_BEFORE_USE,
+    HTG_STRUCTURE,
+    SCHEDULE_CHAINING,
+    SCHEDULE_RESOURCES,
+    SCHEDULE_STRUCTURE,
+    SCHEDULE_TIMING,
+    SPECULATION,
+    WIRE_COPY,
+    VerifierError,
+    check_design,
+    verify_binding,
+    verify_design,
+    verify_schedule,
+)
+from repro.frontend.ast_nodes import ArrayRef, Call, Var
+from repro.ir.builder import design_from_source
+from repro.scheduler.resources import ResourceAllocation
+from repro.scheduler.schedule import IfItem, OpItem
+from repro.spark import ERROR_KIND_VERIFIER, SparkSession, SynthesisJob
+from repro.transforms.base import Pass, PassManager, SynthesisScript
+from tests.helpers import CONDITIONAL_SRC, FUNCTION_SRC, SIMPLE_LOOP_SRC
+
+
+# Operand values arrive through undeclared input scalars, so constant
+# folding cannot collapse the datapath (schedule fixtures need real
+# chained ops, not `f = 14`).
+INPUT_COND_SRC = """
+int t1; int t2; int t3; int f;
+t1 = a + b;
+if (cond) {
+  t2 = t1;
+  t3 = c + d;
+} else {
+  t2 = e;
+  t3 = c - d;
+}
+f = t2 + t3;
+"""
+
+
+def synthesize(source, script=None, **run_kwargs):
+    session = SparkSession(source, script=script or SynthesisScript())
+    result = session.run(bind=True, emit=False, **run_kwargs)
+    return session, result
+
+
+def invariants_of(violations):
+    return {violation.invariant for violation in violations}
+
+
+# ---------------------------------------------------------------------------
+# Clean flows verify silently
+# ---------------------------------------------------------------------------
+
+
+class TestCleanFlows:
+    @pytest.mark.parametrize(
+        "source", [CONDITIONAL_SRC, SIMPLE_LOOP_SRC, FUNCTION_SRC]
+    )
+    def test_verify_each_full_flow(self, source):
+        synthesize(source, verify=True)
+
+    def test_fresh_design_has_no_violations(self):
+        design = design_from_source(CONDITIONAL_SRC)
+        assert verify_design(design) == []
+
+    def test_schedule_and_binding_clean(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        assert verify_schedule(result.state_machine) == []
+        assert (
+            verify_binding(
+                result.state_machine,
+                result.lifetimes,
+                result.register_binding,
+                result.fu_binding,
+            )
+            == []
+        )
+
+
+# ---------------------------------------------------------------------------
+# Design-level corruptions
+# ---------------------------------------------------------------------------
+
+
+class TestDesignCorruptions:
+    def test_mutated_operand_breaks_def_before_use(self):
+        # `a = 1; b = a;` with the first op's RHS swapped to read `b`:
+        # b *is* written later (so it is not an entry input), but no
+        # definition reaches the read.
+        design = design_from_source("int a; int b; a = 1; b = a;")
+        writer = next(
+            op for op in design.main.walk_operations() if "a" in op.writes()
+        )
+        writer.expr = Var(name="b")
+        violations = verify_design(design, invariants=[DEF_BEFORE_USE])
+        assert invariants_of(violations) == {DEF_BEFORE_USE}
+        assert "`b`" in violations[0].message
+
+    def test_speculated_array_store_is_illegal(self):
+        design = design_from_source(SIMPLE_LOOP_SRC)
+        store = next(
+            op
+            for op in design.main.walk_operations()
+            if op.arrays_written()
+        )
+        store.is_speculated = True
+        violations = verify_design(design, invariants=[SPECULATION])
+        assert invariants_of(violations) == {SPECULATION}
+
+    def test_speculated_impure_call_is_illegal(self):
+        design = design_from_source(FUNCTION_SRC)
+        caller = next(
+            op for op in design.main.walk_operations() if "out" in op.writes()
+        )
+        caller.is_speculated = True
+        # `helper` is a known internal function but was not declared
+        # pure, so speculating the call is illegal.
+        violations = verify_design(
+            design, pure_functions=set(), invariants=[SPECULATION]
+        )
+        assert invariants_of(violations) == {SPECULATION}
+        assert "helper" in violations[0].message
+
+    def test_wire_copy_flag_on_non_copy(self):
+        design = design_from_source(CONDITIONAL_SRC)
+        op = next(
+            op for op in design.main.walk_operations() if "f" in op.writes()
+        )
+        op.is_wire_copy = True
+        violations = verify_design(design, invariants=[WIRE_COPY])
+        assert invariants_of(violations) == {WIRE_COPY}
+        assert violations[0].op_uid == op.uid
+
+    def test_duplicate_uid(self):
+        design = design_from_source(CONDITIONAL_SRC)
+        ops = list(design.main.walk_operations())
+        ops[1].uid = ops[0].uid
+        violations = verify_design(design, invariants=[HTG_STRUCTURE])
+        assert invariants_of(violations) == {HTG_STRUCTURE}
+        assert "not unique" in violations[0].message
+
+    def test_unknown_callee(self):
+        design = design_from_source(CONDITIONAL_SRC)
+        op = next(
+            op for op in design.main.walk_operations() if "f" in op.writes()
+        )
+        op.expr = Call(name="mystery", args=[Var(name="t2")])
+        violations = verify_design(design, invariants=[HTG_STRUCTURE])
+        assert invariants_of(violations) == {HTG_STRUCTURE}
+        assert "mystery" in violations[0].message
+
+    def test_undeclared_array(self):
+        design = design_from_source(CONDITIONAL_SRC)
+        op = next(
+            op for op in design.main.walk_operations() if "f" in op.writes()
+        )
+        op.target = ArrayRef(name="phantom", index=Var(name="t2"))
+        violations = verify_design(design, invariants=[HTG_STRUCTURE])
+        assert invariants_of(violations) == {HTG_STRUCTURE}
+        assert "phantom" in violations[0].message
+
+    def test_check_design_raises_with_context(self):
+        design = design_from_source(CONDITIONAL_SRC)
+        op = next(
+            op for op in design.main.walk_operations() if "f" in op.writes()
+        )
+        op.is_wire_copy = True
+        with pytest.raises(VerifierError) as excinfo:
+            check_design(design, context="after pass `bogus`")
+        assert "after pass `bogus`" in str(excinfo.value)
+        assert excinfo.value.invariants == {WIRE_COPY}
+        assert excinfo.value.violations[0].op_uid == op.uid
+
+
+# ---------------------------------------------------------------------------
+# Schedule-level corruptions
+# ---------------------------------------------------------------------------
+
+
+def _all_writes(items):
+    names = set()
+    for item in items:
+        if isinstance(item, OpItem):
+            names |= item.op.writes() | item.op.arrays_written()
+        elif isinstance(item, IfItem):
+            names |= _all_writes(item.then_items)
+            names |= _all_writes(item.else_items)
+    return names
+
+
+def _chained_reader(sm):
+    """An (state, OpItem) pair whose op reads a value produced earlier
+    in the same state — the chaining contract's subject.  Producers may
+    sit inside a conditional's branches (steered through the join)."""
+    for state in sm.states.values():
+        written = set()
+        for item in state.items:
+            if isinstance(item, OpItem):
+                if (item.op.reads() | item.op.arrays_read()) & written:
+                    return state, item
+            written |= _all_writes([item])
+    raise AssertionError("no chained reader in the schedule")
+
+
+class TestScheduleCorruptions:
+    def make_sm(self):
+        session = SparkSession(
+            INPUT_COND_SRC, script=SynthesisScript(output_scalars={"f"})
+        )
+        session.transform()
+        return session.schedule()
+
+    def test_mutated_start_breaks_chaining(self):
+        sm = self.make_sm()
+        _state, item = _chained_reader(sm)
+        item.start = 0.0
+        item.finish = 0.01
+        violations = verify_schedule(sm, invariants=[SCHEDULE_CHAINING])
+        assert invariants_of(violations) == {SCHEDULE_CHAINING}
+        assert violations[0].op_uid == item.op.uid
+
+    def test_finish_past_clock_breaks_timing(self):
+        sm = self.make_sm()
+        _state, item = _chained_reader(sm)
+        item.finish = sm.clock_period + 5.0
+        violations = verify_schedule(sm, invariants=[SCHEDULE_TIMING])
+        assert invariants_of(violations) == {SCHEDULE_TIMING}
+
+    def test_inverted_timestamps(self):
+        sm = self.make_sm()
+        _state, item = _chained_reader(sm)
+        item.finish = item.start - 0.5
+        violations = verify_schedule(sm, invariants=[SCHEDULE_STRUCTURE])
+        assert invariants_of(violations) == {SCHEDULE_STRUCTURE}
+        assert "inverted" in violations[0].message
+
+    def test_dangling_transition(self):
+        sm = self.make_sm()
+        state = next(iter(sm.states.values()))
+        state.default_next = 987654
+        violations = verify_schedule(sm, invariants=[SCHEDULE_STRUCTURE])
+        assert invariants_of(violations) == {SCHEDULE_STRUCTURE}
+        assert "987654" in violations[0].message
+
+    def test_over_tight_allocation_is_detected(self):
+        # Not a mutation: a clean schedule checked against an
+        # allocation it was never scheduled for must violate the
+        # resource invariant.
+        sm = self.make_sm()
+        violations = verify_schedule(
+            sm,
+            allocation=ResourceAllocation(limits={"alu": 0}),
+            invariants=[SCHEDULE_RESOURCES],
+        )
+        assert invariants_of(violations) == {SCHEDULE_RESOURCES}
+
+
+# ---------------------------------------------------------------------------
+# Binding-level corruptions
+# ---------------------------------------------------------------------------
+
+
+class TestBindingCorruptions:
+    def make_bound(self):
+        # Rolled loop -> multi-state FSMD -> `i` and `total` are both
+        # live across the loop back edge, so they must occupy distinct
+        # registers.
+        return synthesize(
+            SIMPLE_LOOP_SRC,
+            script=SynthesisScript(output_scalars={"total"}),
+        )[1]
+
+    def test_overlapping_live_ranges_in_one_register(self):
+        result = self.make_bound()
+        lifetimes = result.lifetimes
+        binding = result.register_binding
+        overlapping = [
+            (a, b)
+            for a in binding.assignment
+            for b in binding.assignment
+            if a < b
+            and binding.assignment[a] != binding.assignment[b]
+            and set(lifetimes.lifetime_states(a))
+            & set(lifetimes.lifetime_states(b))
+        ]
+        assert overlapping, "fixture must have two overlapping variables"
+        first, second = overlapping[0]
+        target = binding.assignment[first]
+        binding.groups[binding.assignment[second]].remove(second)
+        binding.groups[target].append(second)
+        binding.assignment[second] = target
+        violations = verify_binding(
+            result.state_machine,
+            lifetimes,
+            binding,
+            invariants=[BINDING_REGISTERS],
+        )
+        assert invariants_of(violations) == {BINDING_REGISTERS}
+        assert "both live" in violations[0].message
+
+    def test_missing_register_assignment(self):
+        result = self.make_bound()
+        binding = result.register_binding
+        victim = sorted(result.lifetimes.registers())[0]
+        register = binding.assignment.pop(victim)
+        binding.groups[register].remove(victim)
+        violations = verify_binding(
+            result.state_machine,
+            result.lifetimes,
+            binding,
+            invariants=[BINDING_REGISTERS],
+        )
+        assert invariants_of(violations) == {BINDING_REGISTERS}
+        assert victim in violations[0].message
+
+    def test_missing_fu_assignment(self):
+        result = self.make_bound()
+        fus = result.fu_binding
+        assert fus.op_assignment, "fixture must bind at least one op"
+        victim = next(iter(fus.op_assignment))
+        del fus.op_assignment[victim]
+        violations = verify_binding(
+            result.state_machine,
+            result.lifetimes,
+            result.register_binding,
+            fus,
+            invariants=[BINDING_FUS],
+        )
+        assert invariants_of(violations) == {BINDING_FUS}
+
+    def test_fu_assignment_out_of_range(self):
+        result = self.make_bound()
+        fus = result.fu_binding
+        victim = next(iter(fus.op_assignment))
+        unit_class, _index = fus.op_assignment[victim][0]
+        fus.op_assignment[victim][0] = (unit_class, 999)
+        violations = verify_binding(
+            result.state_machine,
+            result.lifetimes,
+            result.register_binding,
+            fus,
+            invariants=[BINDING_FUS],
+        )
+        assert invariants_of(violations) == {BINDING_FUS}
+        assert "999" in violations[0].message
+
+
+# ---------------------------------------------------------------------------
+# Per-pass hook and may_break
+# ---------------------------------------------------------------------------
+
+
+class CorruptingPass(Pass):
+    """Flags the first non-copy op as a wire copy — a deliberate
+    wire-copy invariant break, attributable to this pass."""
+
+    name = "corrupting"
+
+    def run_on_function(self, func, design):
+        report = self._start_report(func)
+        for op in func.walk_operations():
+            if not op.is_copy() and not op.is_wire_copy:
+                op.is_wire_copy = True
+                report.changed = True
+                break
+        return self._finish_report(report, func)
+
+
+class TestPassHook:
+    def make_verifier(self):
+        from repro.flow.pipeline import make_pass_verifier
+
+        return make_pass_verifier(SynthesisScript())
+
+    def test_violation_is_attributed_to_the_pass(self):
+        design = design_from_source(CONDITIONAL_SRC)
+        manager = PassManager(
+            [CorruptingPass()], verifier=self.make_verifier()
+        )
+        with pytest.raises(VerifierError) as excinfo:
+            manager.run(design)
+        assert "after pass `corrupting`" in str(excinfo.value)
+        assert excinfo.value.invariants == {WIRE_COPY}
+
+    def test_may_break_suppresses_the_hook_not_the_boundary(self):
+        class ToleratedPass(CorruptingPass):
+            may_break = (WIRE_COPY,)
+
+        design = design_from_source(CONDITIONAL_SRC)
+        manager = PassManager(
+            [ToleratedPass()], verifier=self.make_verifier()
+        )
+        manager.run(design)  # hook skips the declared invariant
+        with pytest.raises(VerifierError) as excinfo:
+            check_design(design, context="at the transform stage boundary")
+        assert excinfo.value.invariants == {WIRE_COPY}
+
+    def test_hook_absent_means_no_check(self):
+        design = design_from_source(CONDITIONAL_SRC)
+        PassManager([CorruptingPass()]).run(design)
+
+
+# ---------------------------------------------------------------------------
+# Flow integration: --verify-each through SparkSession
+# ---------------------------------------------------------------------------
+
+
+def corrupt_pass_managers(monkeypatch):
+    """Make every flow-built pass pipeline end with CorruptingPass."""
+    from repro.flow import pipeline
+
+    real = pipeline.build_pass_manager
+
+    def patched(script, verifier=None):
+        manager = real(script, verifier=verifier)
+        manager.add(CorruptingPass())
+        return manager
+
+    monkeypatch.setattr(pipeline, "build_pass_manager", patched)
+
+
+class TestFlowIntegration:
+    def test_verify_each_catches_an_injected_transform_bug(self, monkeypatch):
+        corrupt_pass_managers(monkeypatch)
+        with pytest.raises(VerifierError) as excinfo:
+            synthesize(CONDITIONAL_SRC, verify=True)
+        assert excinfo.value.invariants == {WIRE_COPY}
+
+    def test_without_verify_the_bug_goes_unchecked(self, monkeypatch):
+        # The same corrupted pipeline runs to completion when the
+        # verifier is off — the flag is what arms the checks.
+        corrupt_pass_managers(monkeypatch)
+        synthesize(CONDITIONAL_SRC, verify=False)
+
+
+# ---------------------------------------------------------------------------
+# DSE integration: classification, cache hygiene, verified-entry keys
+# ---------------------------------------------------------------------------
+
+
+class TestDseVerifier:
+    def make_job(self, label="pt"):
+        return SynthesisJob(
+            source=CONDITIONAL_SRC,
+            script=SynthesisScript(output_scalars={"f"}),
+            label=label,
+        )
+
+    def test_verifier_failure_classified_and_never_cached(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.dse import ExplorationEngine, job_key, summarize
+        from repro.dse.cache import ResultCache
+
+        corrupt_pass_managers(monkeypatch)
+        job = self.make_job()
+        engine = ExplorationEngine(cache_dir=tmp_path, workers=1, verify=True)
+        result = engine.explore([job])
+        outcome = result.outcomes[0]
+        assert not outcome.ok
+        assert outcome.error_kind == ERROR_KIND_VERIFIER
+        assert "wire copy" in outcome.error
+        assert not outcome.cacheable
+        assert len(result.verifier_failures) == 1
+        assert "1 verifier failure(s)" in summarize(result)
+        assert ResultCache(tmp_path).get(job_key(job)) is None
+
+    def test_verify_sweep_rejects_unverified_entries_then_upgrades(
+        self, tmp_path
+    ):
+        from repro.dse import ExplorationEngine, job_key
+        from repro.dse.cache import ResultCache
+
+        job = self.make_job()
+        first = ExplorationEngine(cache_dir=tmp_path, workers=1).explore([job])
+        assert first.executed == 1
+
+        # The unverified entry must not satisfy a --verify-each sweep —
+        # and must survive the refusal (it is valid, just unverified).
+        second = ExplorationEngine(
+            cache_dir=tmp_path, workers=1, verify=True
+        ).explore([self.make_job()])
+        assert second.executed == 1
+        assert second.cache_hits == 0
+        assert second.outcomes[0].verified
+
+        # The verified re-run upgraded the entry: both verified and
+        # unverified sweeps now hit.
+        third = ExplorationEngine(
+            cache_dir=tmp_path, workers=1, verify=True
+        ).explore([self.make_job()])
+        assert third.cache_hits == 1
+        fourth = ExplorationEngine(cache_dir=tmp_path, workers=1).explore(
+            [self.make_job()]
+        )
+        assert fourth.cache_hits == 1
+
+        cache = ResultCache(tmp_path)
+        assert cache.get(job_key(job), require_verified=True) is not None
+
+    def test_verify_does_not_change_the_job_key(self):
+        from repro.dse import job_key
+
+        plain = self.make_job()
+        verified = self.make_job()
+        verified.verify = True
+        assert job_key(plain) == job_key(verified)
+
+    def test_outcome_round_trips_verified_flag(self):
+        from repro.spark import SynthesisOutcome
+
+        outcome = SynthesisOutcome(label="x", ok=True, verified=True)
+        assert SynthesisOutcome.from_dict(outcome.to_dict()).verified
+        # Entries written before the verifier existed default to
+        # unverified.
+        legacy = outcome.to_dict()
+        del legacy["verified"]
+        assert not SynthesisOutcome.from_dict(legacy).verified
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro verify / --verify-each
+# ---------------------------------------------------------------------------
+
+
+class TestVerifyCli:
+    def write_source(self, tmp_path, text=CONDITIONAL_SRC):
+        path = tmp_path / "design.c"
+        path.write_text(text)
+        return str(path)
+
+    def test_verify_ok(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["verify", self.write_source(tmp_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_reports_violations_with_exit_1(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        corrupt_pass_managers(monkeypatch)
+        assert main(["verify", self.write_source(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "wire-copy" in err
+        assert "corrupting" in err or "boundary" in err
+
+    def test_verify_unparsable_source_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["verify", self.write_source(tmp_path, "int ( {")]) == 2
+        assert "synthesis failed" in capsys.readouterr().err
+
+    def test_one_shot_verify_each(self, tmp_path):
+        from repro.cli import main
+
+        path = self.write_source(tmp_path)
+        assert main([path, "--verify-each", "--emit", "none"]) == 0
