@@ -43,6 +43,11 @@ path (every corner executes against warm stage artifacts) with the
 static verifier off and armed; ``verify_overhead_ratio`` is the
 tracked budget — ``--verify-each`` may add at most 15% wall clock.
 
+The **rtl_lint_overhead** phase is the same comparison for the
+emit-stage RTL linter (:mod:`repro.analysis.rtl`): plain warm sweep vs
+one with ``lint_rtl`` armed (both backends emitted and linted on every
+corner); ``rtl_lint_overhead_ratio`` carries the same <= 15% budget.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_dse.py [--output BENCH_dse.json]
@@ -168,6 +173,11 @@ OVERHEAD_TRIALS = 5
 #: never enter the flow, so they see zero verifier cost by
 #: construction).
 VERIFY_OVERHEAD_MAX = 1.15
+
+#: The RTL-lint budget: arming the emit-stage linter (which also pays
+#: for emitting both backends on every corner) may add at most this
+#: factor to the plain warm sweep.
+LINT_OVERHEAD_MAX = 1.15
 
 
 def _fresh_stage_seconds(result) -> float:
@@ -337,6 +347,61 @@ def _bench_verify():
     }
 
 
+def _bench_lint():
+    """Warm-sweep wall clock with the emit-stage RTL linter off vs
+    armed.  Same protocol as :func:`_bench_verify` — outcome cache
+    disabled, warm stage artifacts, interleaved trials, best of each
+    side — but isolating the linter: the pass/stage verifier stays off
+    on both sides, so the ratio prices exactly what ``lint_rtl`` adds
+    (emitting both backends plus the netlist/FSM/cross-layer
+    battery)."""
+    base = SynthesisScript(output_scalars={"total"})
+    jobs = jobs_from_grid(
+        BENCH_SRC, grid_from_specs(GRID_SPECS), base_script=base
+    )
+
+    def trial(lint_rtl):
+        engine = ExplorationEngine(
+            use_cache=False, workers=1, lint_rtl=lint_rtl
+        )
+        started = time.perf_counter()
+        result = engine.explore(stamped)
+        elapsed = time.perf_counter() - started
+        if result.executed != len(stamped):
+            raise AssertionError(
+                f"rtl_lint_overhead: expected {len(stamped)} executions, "
+                f"got {result.executed}"
+            )
+        failures = len(result.verifier_failures)
+        if failures:
+            raise AssertionError(
+                f"rtl_lint_overhead: {failures} lint failure(s) on a "
+                f"clean sweep"
+            )
+        return elapsed
+
+    with tempfile.TemporaryDirectory(prefix="bench-lint-") as stage_dir:
+        stamped = [
+            dataclasses.replace(job, stage_cache_dir=stage_dir)
+            for job in jobs
+        ]
+        ExplorationEngine(use_cache=False, workers=1).explore(stamped)
+        plain_trials, linted_trials = [], []
+        for _ in range(OVERHEAD_TRIALS):
+            plain_trials.append(trial(lint_rtl=False))
+            linted_trials.append(trial(lint_rtl=True))
+
+    plain = min(plain_trials)
+    linted = min(linted_trials)
+    return {
+        "label": "rtl_lint_overhead",
+        "points": len(jobs),
+        "plain_elapsed_s": round(plain, 6),
+        "linted_elapsed_s": round(linted, 6),
+        "rtl_lint_overhead_ratio": round(linted / max(plain, 1e-9), 4),
+    }
+
+
 def _bench_search():
     """Beam search vs the exhaustive grid on the same space: how close
     the beam's best latency gets, at what fraction of the grid's
@@ -419,6 +484,9 @@ def run_bench(check: bool = False) -> dict:
     # Verifier cost on the warm miss path.
     verify_overhead = _bench_verify()
 
+    # RTL-lint cost on the same phase.
+    rtl_lint_overhead = _bench_lint()
+
     def speedup(reference, other):
         return round(reference["elapsed_s"] / max(other["elapsed_s"], 1e-9), 2)
 
@@ -436,6 +504,7 @@ def run_bench(check: bool = False) -> dict:
         "warm_batched": warm_batched,
         "search_beam": search_beam,
         "verify_overhead": verify_overhead,
+        "rtl_lint_overhead": rtl_lint_overhead,
         "overhead_reduction_batched": round(
             warm_unbatched["dispatch_overhead_per_corner_s"]
             / max(warm_batched["dispatch_overhead_per_corner_s"], 1e-9),
@@ -511,6 +580,18 @@ def run_bench(check: bool = False) -> dict:
             f"{verify_overhead['verified_elapsed_s']}s vs "
             f"{verify_overhead['plain_elapsed_s']}s"
         )
+        # The RTL-lint budget: the emit-stage linter must stay cheap
+        # enough to arm on every sweep.
+        assert (
+            rtl_lint_overhead["rtl_lint_overhead_ratio"] <= LINT_OVERHEAD_MAX
+        ), (
+            f"the RTL linter added "
+            f"{(rtl_lint_overhead['rtl_lint_overhead_ratio'] - 1) * 100:.1f}% "
+            f"to the warm sweep (budget "
+            f"{(LINT_OVERHEAD_MAX - 1) * 100:.0f}%): "
+            f"{rtl_lint_overhead['linted_elapsed_s']}s vs "
+            f"{rtl_lint_overhead['plain_elapsed_s']}s"
+        )
     return report
 
 
@@ -563,6 +644,13 @@ def main(argv=None) -> int:
         f"{verify['plain_elapsed_s']:.3f}s plain on the warm sweep "
         f"({verify['verify_overhead_ratio']}x, budget "
         f"{VERIFY_OVERHEAD_MAX}x)"
+    )
+    lint = report["rtl_lint_overhead"]
+    print(
+        f"rtl lint overhead: {lint['linted_elapsed_s']:.3f}s linted vs "
+        f"{lint['plain_elapsed_s']:.3f}s plain on the warm sweep "
+        f"({lint['rtl_lint_overhead_ratio']}x, budget "
+        f"{LINT_OVERHEAD_MAX}x)"
     )
     print(f"wrote {args.output}")
     return 0

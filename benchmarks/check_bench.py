@@ -19,6 +19,9 @@ warm per-corner dispatch overhead regresses beyond the tolerance:
 * ``verify_overhead`` (the static-verifier budget) must show
   ``--verify-each`` adding at most 15% wall clock to the warm sweep
   phase.  A within-run relative number, so no tolerance applies.
+* ``rtl_lint_overhead`` (the emit-stage RTL-lint budget) must show
+  the linter adding at most 15% wall clock to the same phase.  Also
+  within-run relative, so no tolerance applies.
 
 Usage::
 
@@ -48,6 +51,9 @@ SEARCH_EVALUATED_FRACTION_MAX = 0.4
 
 #: The verifier budget (matches bench_dse.py's VERIFY_OVERHEAD_MAX).
 VERIFY_OVERHEAD_RATIO_MAX = 1.15
+
+#: The RTL-lint budget (matches bench_dse.py's LINT_OVERHEAD_MAX).
+RTL_LINT_OVERHEAD_RATIO_MAX = 1.15
 
 
 def _load(path: Path) -> dict:
@@ -142,6 +148,39 @@ def _check_verify(current: dict, path: Path) -> list:
     return failures
 
 
+def _check_lint(current: dict, path: Path) -> list:
+    """The emit-stage RTL-lint budget gate: arming the linter may add
+    at most 15% wall clock to the warm sweep phase.  Within-run
+    relative number, so no tolerance."""
+    phase = current.get("rtl_lint_overhead")
+    if not isinstance(phase, dict):
+        print(
+            f"check_bench: {path} has no rtl_lint_overhead phase",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    ratio = float(phase.get("rtl_lint_overhead_ratio") or 0.0)
+    if ratio <= 0:
+        print(
+            f"check_bench: {path} rtl_lint_overhead is malformed: "
+            f"rtl_lint_overhead_ratio="
+            f"{phase.get('rtl_lint_overhead_ratio')!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    failures = []
+    if ratio > RTL_LINT_OVERHEAD_RATIO_MAX:
+        failures.append(
+            f"RTL-lint overhead regressed: {ratio:.4f}x of the "
+            f"plain warm sweep > {RTL_LINT_OVERHEAD_RATIO_MAX}x budget"
+        )
+    print(
+        f"rtl_lint_overhead: {ratio:.4f}x of the plain warm sweep "
+        f"(budget {RTL_LINT_OVERHEAD_RATIO_MAX}x)"
+    )
+    return failures
+
+
 def check(baseline: dict, current: dict, tolerance: float,
           baseline_path: Path, current_path: Path) -> int:
     base_overhead = _overhead(baseline, baseline_path)
@@ -167,6 +206,7 @@ def check(baseline: dict, current: dict, tolerance: float,
         )
     failures.extend(_check_search(current, current_path))
     failures.extend(_check_verify(current, current_path))
+    failures.extend(_check_lint(current, current_path))
 
     print(
         f"warm-batched overhead/corner: current "

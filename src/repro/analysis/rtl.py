@@ -1,0 +1,857 @@
+"""Static RTL linter: netlist, FSM and cross-layer checks over the
+emitted backends.
+
+The dynamic differential simulator exercises one input vector per run;
+this module closes the emit stage boundary *statically*.  It parses
+the emitted Verilog and VHDL back into a small :class:`NetlistModel`
+(ports, registers, memories, shadow variables, state constants, case
+arms, assignment graph) and checks it — together with the scheduler's
+:class:`StateMachine` — against three tiers of invariants:
+
+* **netlist** — undriven-signal reads, conflicting same-state writes,
+  dead registers, latch-inference hazards, declaration/usage
+  consistency against the :class:`DesignInterface`;
+* **FSM** — unreachable states, livelock, non-exhaustive and
+  non-exclusive case arms, dangling state references;
+* **cross-layer** — schedule-states↔case-arms bijection, every bound
+  register and external FU realized exactly once per backend, and
+  Verilog↔VHDL declared-signal parity (emitter drift caught
+  statically instead of via golden churn).
+
+The module mirrors :mod:`repro.analysis.verifier`: each check has a
+stable invariant id, :func:`verify_rtl` returns the violation list and
+:func:`check_rtl` raises :class:`VerifierError` on any hit, so flow
+and DSE plumbing treat emit-stage failures exactly like pass-level
+verifier failures (``error_kind="verifier"``, never cached).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.verifier import VerifierError, Violation, _selected
+from repro.backend.hdl_common import collect_externals, state_constant_name
+from repro.backend.interface import DesignInterface
+from repro.binding.lifetimes import LifetimeAnalysis
+from repro.ir import expr_utils
+from repro.scheduler.schedule import IfItem, Item, OpItem, State, StateMachine
+
+# -- netlist tier -----------------------------------------------------------
+RTL_UNDRIVEN = "rtl-undriven"
+RTL_CONFLICT = "rtl-conflict"
+RTL_DEAD_REGISTER = "rtl-dead-register"
+RTL_LATCH = "rtl-latch"
+RTL_DECL = "rtl-decl"
+
+# -- FSM tier ---------------------------------------------------------------
+FSM_UNREACHABLE = "fsm-unreachable"
+FSM_LIVELOCK = "fsm-livelock"
+FSM_CASE = "fsm-case"
+FSM_DANGLING = "fsm-dangling"
+
+# -- cross-layer tier -------------------------------------------------------
+CROSS_STATES = "cross-states"
+CROSS_BINDING = "cross-binding"
+RTL_PARITY = "rtl-parity"
+
+NETLIST_INVARIANTS: Tuple[str, ...] = (
+    RTL_UNDRIVEN,
+    RTL_CONFLICT,
+    RTL_DEAD_REGISTER,
+    RTL_LATCH,
+    RTL_DECL,
+)
+FSM_INVARIANTS: Tuple[str, ...] = (
+    FSM_UNREACHABLE,
+    FSM_LIVELOCK,
+    FSM_CASE,
+    FSM_DANGLING,
+)
+CROSS_INVARIANTS: Tuple[str, ...] = (
+    CROSS_STATES,
+    CROSS_BINDING,
+    RTL_PARITY,
+)
+RTL_INVARIANTS: Tuple[str, ...] = (
+    NETLIST_INVARIANTS + FSM_INVARIANTS + CROSS_INVARIANTS
+)
+
+
+# ---------------------------------------------------------------------------
+# Netlist models parsed back out of the emitted HDL
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NetlistModel:
+    """What the linter needs to know about one emitted backend.
+
+    Declaration lists keep order and duplicates (the exactly-once
+    checks need multiplicity); ``assigned``/``read`` track the
+    shadow-prefixed names (``r_``/``v_``/``m_``/``a_``) that appear on
+    the left/right of assignments in the behavioural text.
+    """
+
+    backend: str
+    ports: Set[str] = field(default_factory=set)
+    registers: List[str] = field(default_factory=list)
+    memories: List[str] = field(default_factory=list)
+    scalars: List[str] = field(default_factory=list)
+    array_shadows: List[str] = field(default_factory=list)
+    state_constants: List[str] = field(default_factory=list)
+    case_labels: List[str] = field(default_factory=list)
+    has_default_arm: bool = False
+    state_refs: Set[str] = field(default_factory=set)
+    externals: List[str] = field(default_factory=list)
+    assigned: Set[str] = field(default_factory=set)
+    read: Set[str] = field(default_factory=set)
+    committed: Dict[str, int] = field(default_factory=dict)
+
+
+_PREFIXED = re.compile(r"\b([rvma]_\w+)\b")
+_SCONST = re.compile(r"\b(S\w+)\b")
+# LHS of an assignment: identifier, optional (possibly nested) index,
+# then one of the three assignment operators.  Greedy bracket match
+# with backtracking handles computed indices like `m_x[(v_i + 1)]`.
+_ASSIGN = re.compile(
+    r"^\s*([A-Za-z_]\w*)\s*([\[(].*[\])])?\s*(:=|<=|=)\s*(.+)$"
+)
+
+_V_PORT = re.compile(
+    r"^\s*(?:input|output)\s+(?:wire|reg)\s+(?:signed\s+\[31:0\]\s+)?(\w+)"
+)
+_V_LOCALPARAM = re.compile(r"^\s*localparam\s+(\w+)\s*=")
+_V_DECL = re.compile(
+    r"^\s*reg\s+signed\s+\[31:0\]\s+([rvm]_\w+)\s*(\[[^\]]*\])?\s*;"
+)
+_V_FUNC = re.compile(r"^\s*function\s+automatic\s+signed\s+\[31:0\]\s+(\w+)")
+_V_CASE_LABEL = re.compile(r"^\s*(\w+)\s*:\s*begin")
+_V_DEFAULT = re.compile(r"^\s*default\s*:")
+_V_SKIP = re.compile(
+    r"^\s*(module\b|endmodule\b|case\b|endcase\b|always\b|integer\b|reg\b|\)|$)"
+)
+
+_H_PORT = re.compile(r"^\s*(\w+)\s*:\s*(?:in|out)\s")
+_H_STATE_TYPE = re.compile(r"^\s*type\s+state_t\s+is\s+\(([^)]*)\)")
+_H_SIGNAL = re.compile(r"^\s*signal\s+(\w+)\s*:")
+_H_VARIABLE = re.compile(r"^\s*variable\s+(\w+)\s*:")
+_H_FUNC = re.compile(r"^\s*function\s+(\w+)\s*\(")
+_H_CASE_LABEL = re.compile(r"^\s*when\s+(\w+)\s*=>")
+_H_OTHERS = re.compile(r"^\s*when\s+others\s*=>")
+
+
+def _strip_comment(line: str, marker: str) -> str:
+    pos = line.find(marker)
+    return line if pos < 0 else line[:pos]
+
+
+def _scan_assignment(model: NetlistModel, line: str) -> bool:
+    """Record assigned/read prefixed names (and FSM state references)
+    for one behavioural line.  Returns True if the line was an
+    assignment."""
+    match = _ASSIGN.match(line)
+    if match is None:
+        model.read.update(_PREFIXED.findall(line))
+        return False
+    lhs, index, op, rhs = match.groups()
+    if _PREFIXED.fullmatch(lhs):
+        model.assigned.add(lhs)
+    elif lhs == "state":
+        model.state_refs.update(_SCONST.findall(rhs))
+    if op == "<=" and (
+        lhs.startswith(("r_", "m_")) or lhs.endswith("_out")
+    ):
+        model.committed[lhs] = model.committed.get(lhs, 0) + 1
+    if index:
+        model.read.update(_PREFIXED.findall(index))
+    model.read.update(_PREFIXED.findall(rhs))
+    return True
+
+
+def _bucket_decl(model: NetlistModel, name: str) -> None:
+    if name.startswith("r_"):
+        model.registers.append(name[2:])
+    elif name.startswith("m_"):
+        model.memories.append(name[2:])
+    elif name.startswith("v_"):
+        model.scalars.append(name[2:])
+    elif name.startswith("a_"):
+        model.array_shadows.append(name[2:])
+
+
+def parse_verilog(text: str) -> NetlistModel:
+    """Parse the emitted Verilog module into a :class:`NetlistModel`."""
+    model = NetlistModel(backend="verilog")
+    for raw in text.splitlines():
+        line = _strip_comment(raw, "//")
+        if not line.strip():
+            continue
+        port = _V_PORT.match(line)
+        if port:
+            model.ports.add(port.group(1))
+            continue
+        localparam = _V_LOCALPARAM.match(line)
+        if localparam:
+            model.state_constants.append(localparam.group(1))
+            continue
+        decl = _V_DECL.match(line)
+        if decl:
+            _bucket_decl(model, decl.group(1))
+            continue
+        func = _V_FUNC.match(line)
+        if func:
+            model.externals.append(func.group(1))
+            continue
+        if _V_DEFAULT.match(line):
+            model.has_default_arm = True
+            continue
+        label = _V_CASE_LABEL.match(line)
+        if label:
+            model.case_labels.append(label.group(1))
+            continue
+        if _V_SKIP.match(line):
+            continue
+        _scan_assignment(model, line)
+    return model
+
+
+def parse_vhdl(text: str) -> NetlistModel:
+    """Parse the emitted VHDL (package + entity + architecture) into a
+    :class:`NetlistModel`."""
+    model = NetlistModel(backend="vhdl")
+    for raw in text.splitlines():
+        line = _strip_comment(raw, "--")
+        if not line.strip():
+            continue
+        state_type = _H_STATE_TYPE.match(line)
+        if state_type:
+            names = [n.strip() for n in state_type.group(1).split(",")]
+            model.state_constants.extend(n for n in names if n)
+            continue
+        signal = _H_SIGNAL.match(line)
+        if signal:
+            _bucket_decl(model, signal.group(1))
+            continue
+        variable = _H_VARIABLE.match(line)
+        if variable:
+            _bucket_decl(model, variable.group(1))
+            continue
+        func = _H_FUNC.match(line)
+        if func:
+            model.externals.append(func.group(1))
+            continue
+        if _H_OTHERS.match(line):
+            model.has_default_arm = True
+            continue
+        label = _H_CASE_LABEL.match(line)
+        if label:
+            model.case_labels.append(label.group(1))
+            continue
+        port = _H_PORT.match(line)
+        if port:
+            model.ports.add(port.group(1))
+            continue
+        _scan_assignment(model, line)
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Netlist-tier checks
+# ---------------------------------------------------------------------------
+
+
+def _check_undriven(model: NetlistModel, function: str) -> List[Violation]:
+    """Prefixed names read somewhere but assigned nowhere.
+
+    Memories (``m_``) are exempt: a read-only scratch array is legal —
+    its contents are simulator-zero-filled, not driven by the FSMD.
+    """
+    violations = []
+    for name in sorted(model.read - model.assigned):
+        if name.startswith("m_"):
+            continue
+        violations.append(
+            Violation(
+                invariant=RTL_UNDRIVEN,
+                message=(
+                    f"`{name}` is read but never assigned in the "
+                    f"{model.backend} text"
+                ),
+                function=function,
+                location=model.backend,
+            )
+        )
+    return violations
+
+
+def _check_dead_registers(model: NetlistModel, function: str) -> List[Violation]:
+    violations = []
+    for name in sorted(set(model.registers)):
+        if f"r_{name}" not in model.read:
+            violations.append(
+                Violation(
+                    invariant=RTL_DEAD_REGISTER,
+                    message=(
+                        f"register `r_{name}` is declared/written but "
+                        f"never read in the {model.backend} text"
+                    ),
+                    function=function,
+                    location=model.backend,
+                )
+            )
+    return violations
+
+
+def _check_conflicts(model: NetlistModel, function: str) -> List[Violation]:
+    """Conflicting writes to one storage element: the shadow-variable
+    FSMD commits every register, memory and output port through
+    exactly one nonblocking (signal) drive per cycle.  A second drive
+    of the same name is a last-write-wins race the pattern forbids —
+    in-state blocking assignments are textually sequenced and cannot
+    conflict, so the commit layer is where a conflict can exist."""
+    violations = []
+    for name in sorted(model.committed):
+        count = model.committed[name]
+        if count > 1:
+            violations.append(
+                Violation(
+                    invariant=RTL_CONFLICT,
+                    message=(
+                        f"`{name}` has {count} nonblocking drives in the "
+                        f"{model.backend} text (conflicting writes; "
+                        f"expected exactly one commit)"
+                    ),
+                    function=function,
+                    location=model.backend,
+                )
+            )
+    return violations
+
+
+def _walk_latch_hazards(
+    items: Sequence[Item],
+    must: Set[str],
+    maybe: Set[str],
+    safe: Set[str],
+    state: State,
+    model: NetlistModel,
+    function: str,
+    violations: List[Violation],
+) -> Tuple[Set[str], Set[str]]:
+    def flag(names: Iterable[str], op: Optional[OpItem]) -> None:
+        for name in sorted(names):
+            if name in maybe and name not in must and name not in safe:
+                message = (
+                    f"`{name}` is only conditionally assigned before "
+                    f"this read and has no backing register in the "
+                    f"{model.backend} text (latch inference hazard)"
+                )
+                if op is not None:
+                    violations.append(
+                        Violation.for_op(
+                            RTL_LATCH,
+                            message,
+                            op.op,
+                            function=function,
+                            location=f"S{state.state_id}:{model.backend}",
+                        )
+                    )
+                else:
+                    violations.append(
+                        Violation(
+                            invariant=RTL_LATCH,
+                            message=message,
+                            function=function,
+                            location=f"S{state.state_id}:{model.backend}",
+                        )
+                    )
+
+    for item in items:
+        if isinstance(item, OpItem):
+            flag(item.op.reads(), item)
+            must |= item.op.writes()
+            maybe |= item.op.writes()
+        elif isinstance(item, IfItem):
+            flag(expr_utils.variables_read(item.cond), None)
+            then_must, then_maybe = _walk_latch_hazards(
+                item.then_items, set(must), set(maybe), safe, state, model,
+                function, violations,
+            )
+            else_must, else_maybe = _walk_latch_hazards(
+                item.else_items, set(must), set(maybe), safe, state, model,
+                function, violations,
+            )
+            must = then_must & else_must
+            maybe = then_maybe | else_maybe
+    return must, maybe
+
+
+def _check_latches(
+    sm: StateMachine,
+    model: NetlistModel,
+    interface: DesignInterface,
+    function: str,
+) -> List[Violation]:
+    """A read of a scalar that was assigned on *some* but not *all*
+    paths earlier in the state, with no backing register declared in
+    the HDL: the value on the unassigned path is stale — exactly the
+    shape that infers a latch in synthesis."""
+    safe = set(model.registers) | set(interface.scalar_inputs)
+    violations: List[Violation] = []
+    for state in sm.reachable_states():
+        must, maybe = _walk_latch_hazards(
+            state.items, set(), set(), safe, state, model, function, violations
+        )
+        if state.branch is not None:
+            for name in sorted(expr_utils.variables_read(state.branch.cond)):
+                if name in maybe and name not in must and name not in safe:
+                    violations.append(
+                        Violation(
+                            invariant=RTL_LATCH,
+                            message=(
+                                f"branch condition reads `{name}`, which is "
+                                f"only conditionally assigned and has no "
+                                f"backing register in the {model.backend} "
+                                f"text (latch inference hazard)"
+                            ),
+                            function=function,
+                            location=f"S{state.state_id}:{model.backend}",
+                        )
+                    )
+    return violations
+
+
+def _check_decls(
+    model: NetlistModel,
+    sm: StateMachine,
+    interface: DesignInterface,
+    function: str,
+) -> List[Violation]:
+    violations = []
+
+    def want_port(port: str, why: str) -> None:
+        if port not in model.ports:
+            violations.append(
+                Violation(
+                    invariant=RTL_DECL,
+                    message=(
+                        f"interface {why} port `{port}` is not declared "
+                        f"in the {model.backend} text"
+                    ),
+                    function=function,
+                    location=model.backend,
+                )
+            )
+
+    for port in ("clk", "rst", "done"):
+        want_port(port, "control")
+    for name in interface.scalar_inputs:
+        want_port(f"{name}_in", "scalar input")
+    for name in interface.input_arrays:
+        want_port(f"{name}_in", "input array")
+    for name in interface.scalar_outputs:
+        want_port(f"{name}_out", "scalar output")
+    for name in interface.output_arrays:
+        want_port(f"{name}_out", "output array")
+    memories = set(model.memories)
+    for name in sorted(sm.func.arrays):
+        if name in interface.input_arrays:
+            continue
+        if name not in memories:
+            violations.append(
+                Violation(
+                    invariant=RTL_DECL,
+                    message=(
+                        f"array `{name}` has no memory declaration "
+                        f"`m_{name}` in the {model.backend} text"
+                    ),
+                    function=function,
+                    location=model.backend,
+                )
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# FSM-tier checks
+# ---------------------------------------------------------------------------
+
+
+def _state_successors(state: State) -> List[Optional[int]]:
+    """Successor list under emitter semantics: the branch (when
+    present) takes precedence over ``default_next``; ``None`` is the
+    done state."""
+    if state.branch is not None:
+        return [state.branch.true_next, state.branch.false_next]
+    return [state.default_next]
+
+
+def _check_unreachable(sm: StateMachine, function: str) -> List[Violation]:
+    reachable = {state.state_id for state in sm.reachable_states()}
+    violations = []
+    for state_id in sorted(sm.states):
+        if state_id not in reachable:
+            violations.append(
+                Violation(
+                    invariant=FSM_UNREACHABLE,
+                    message=(
+                        f"state S{state_id} is unreachable from the "
+                        f"entry state S{sm.entry_state}"
+                    ),
+                    function=function,
+                    location=f"S{state_id}",
+                )
+            )
+    return violations
+
+
+def _check_livelock(sm: StateMachine, function: str) -> List[Violation]:
+    """Reverse reachability from the done state: every reachable state
+    must have *some* path to SDONE, else the FSM can never assert
+    ``done`` once it enters the offending region."""
+    reachable = [state.state_id for state in sm.reachable_states()]
+    can_halt: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for state_id in reachable:
+            if state_id in can_halt:
+                continue
+            for succ in _state_successors(sm.states[state_id]):
+                if succ is None or succ in can_halt:
+                    can_halt.add(state_id)
+                    changed = True
+                    break
+    violations = []
+    for state_id in reachable:
+        if state_id not in can_halt:
+            violations.append(
+                Violation(
+                    invariant=FSM_LIVELOCK,
+                    message=(
+                        f"state S{state_id} is reachable but the done "
+                        f"state is unreachable from it (livelock)"
+                    ),
+                    function=function,
+                    location=f"S{state_id}",
+                )
+            )
+    return violations
+
+
+def _check_case(model: NetlistModel, function: str) -> List[Violation]:
+    violations = []
+    if not model.has_default_arm:
+        violations.append(
+            Violation(
+                invariant=FSM_CASE,
+                message=(
+                    f"state case statement has no default/others arm in "
+                    f"the {model.backend} text (non-exhaustive)"
+                ),
+                function=function,
+                location=model.backend,
+            )
+        )
+    seen: Set[str] = set()
+    for label in model.case_labels:
+        if label in seen:
+            violations.append(
+                Violation(
+                    invariant=FSM_CASE,
+                    message=(
+                        f"case arm `{label}` appears more than once in "
+                        f"the {model.backend} text (non-exclusive)"
+                    ),
+                    function=function,
+                    location=model.backend,
+                )
+            )
+        seen.add(label)
+    return violations
+
+
+def _check_dangling(model: NetlistModel, function: str) -> List[Violation]:
+    declared = set(model.state_constants)
+    violations = []
+    for ref in sorted(model.state_refs - declared):
+        violations.append(
+            Violation(
+                invariant=FSM_DANGLING,
+                message=(
+                    f"`state <= {ref}` references an undeclared state "
+                    f"constant in the {model.backend} text"
+                ),
+                function=function,
+                location=model.backend,
+            )
+        )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Cross-layer checks
+# ---------------------------------------------------------------------------
+
+
+def _check_cross_states(
+    model: NetlistModel, sm: StateMachine, function: str
+) -> List[Violation]:
+    """The emitted case arms and the schedule's reachable states must
+    be in bijection (SDONE has no arm by construction)."""
+    expected = {
+        state_constant_name(state.state_id) for state in sm.reachable_states()
+    }
+    labels = set(model.case_labels)
+    violations = []
+    for name in sorted(expected - labels):
+        violations.append(
+            Violation(
+                invariant=CROSS_STATES,
+                message=(
+                    f"schedule state {name} has no case arm in the "
+                    f"{model.backend} text"
+                ),
+                function=function,
+                location=model.backend,
+            )
+        )
+    for name in sorted(labels - expected - {"SDONE"}):
+        violations.append(
+            Violation(
+                invariant=CROSS_STATES,
+                message=(
+                    f"case arm `{name}` in the {model.backend} text "
+                    f"matches no schedule state"
+                ),
+                function=function,
+                location=model.backend,
+            )
+        )
+    return violations
+
+
+def _bound_registers(
+    sm: StateMachine, interface: DesignInterface
+) -> Set[str]:
+    """The register set the emitters derive: lifetime-crossing values
+    plus the output boundary."""
+    boundary = set(interface.scalar_outputs)
+    return LifetimeAnalysis(sm, boundary_live=boundary).registers() | boundary
+
+
+def _check_cross_binding(
+    model: NetlistModel,
+    bound_registers: Set[str],
+    externals: Set[str],
+    function: str,
+) -> List[Violation]:
+    violations = []
+    for name in sorted(bound_registers):
+        count = model.registers.count(name)
+        if count != 1:
+            violations.append(
+                Violation(
+                    invariant=CROSS_BINDING,
+                    message=(
+                        f"bound register `{name}` is declared {count} "
+                        f"time(s) in the {model.backend} text "
+                        f"(expected exactly once)"
+                    ),
+                    function=function,
+                    location=model.backend,
+                )
+            )
+    for name in sorted(externals):
+        count = model.externals.count(name)
+        if count != 1:
+            violations.append(
+                Violation(
+                    invariant=CROSS_BINDING,
+                    message=(
+                        f"external FU `{name}` is declared {count} "
+                        f"time(s) in the {model.backend} text "
+                        f"(expected exactly once)"
+                    ),
+                    function=function,
+                    location=model.backend,
+                )
+            )
+    return violations
+
+
+def _check_parity(
+    verilog: NetlistModel, vhdl: NetlistModel, function: str
+) -> List[Violation]:
+    """Both emitters must declare identical signal sets.  The VHDL
+    ``a_`` array shadows are a VHDL-only idiom and exempt."""
+    categories = (
+        ("ports", verilog.ports, vhdl.ports),
+        ("registers", set(verilog.registers), set(vhdl.registers)),
+        ("memories", set(verilog.memories), set(vhdl.memories)),
+        ("scalars", set(verilog.scalars), set(vhdl.scalars)),
+        (
+            "state constants",
+            set(verilog.state_constants),
+            set(vhdl.state_constants),
+        ),
+        ("case arms", set(verilog.case_labels), set(vhdl.case_labels)),
+        ("externals", set(verilog.externals), set(vhdl.externals)),
+    )
+    violations = []
+    for label, v_names, h_names in categories:
+        if v_names == h_names:
+            continue
+        only_v = ", ".join(sorted(v_names - h_names)) or "-"
+        only_h = ", ".join(sorted(h_names - v_names)) or "-"
+        violations.append(
+            Violation(
+                invariant=RTL_PARITY,
+                message=(
+                    f"backend drift in {label}: verilog-only {{{only_v}}}, "
+                    f"vhdl-only {{{only_h}}}"
+                ),
+                function=function,
+                location="verilog<->vhdl",
+            )
+        )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def verify_rtl(
+    state_machine: StateMachine,
+    interface: Optional[DesignInterface] = None,
+    verilog: Optional[str] = None,
+    vhdl: Optional[str] = None,
+    invariants: Optional[Iterable[str]] = None,
+    skip: Iterable[str] = (),
+) -> List[Violation]:
+    """Lint the emitted RTL against the schedule.
+
+    When neither backend text is supplied, both are emitted from the
+    state machine; passing exactly one restricts the text-grounded
+    checks to that backend (parity needs both and is skipped
+    otherwise).  ``invariants`` selects a subset of
+    :data:`RTL_INVARIANTS`; ``skip`` removes ids from whatever is
+    selected.
+    """
+    active = _selected(RTL_INVARIANTS, invariants, skip)
+    if not active:
+        return []
+    sm = state_machine
+    iface = interface or DesignInterface(name=sm.func.name)
+    if verilog is None and vhdl is None:
+        from repro.backend.verilog import emit_verilog
+        from repro.backend.vhdl import emit_vhdl
+
+        verilog = emit_verilog(sm, iface)
+        vhdl = emit_vhdl(sm, iface)
+    models: List[NetlistModel] = []
+    if verilog is not None:
+        models.append(parse_verilog(verilog))
+    if vhdl is not None:
+        models.append(parse_vhdl(vhdl))
+    function = sm.func.name
+
+    violations: List[Violation] = []
+    # Schedule-grounded checks run once, regardless of backends given.
+    if FSM_UNREACHABLE in active:
+        violations.extend(_check_unreachable(sm, function))
+    if FSM_LIVELOCK in active:
+        violations.extend(_check_livelock(sm, function))
+
+    # Text-grounded checks run once per supplied backend.
+    for model in models:
+        if RTL_CONFLICT in active:
+            violations.extend(_check_conflicts(model, function))
+        if RTL_UNDRIVEN in active:
+            violations.extend(_check_undriven(model, function))
+        if RTL_DEAD_REGISTER in active:
+            violations.extend(_check_dead_registers(model, function))
+        if RTL_LATCH in active:
+            violations.extend(_check_latches(sm, model, iface, function))
+        if RTL_DECL in active:
+            violations.extend(_check_decls(model, sm, iface, function))
+        if FSM_CASE in active:
+            violations.extend(_check_case(model, function))
+        if FSM_DANGLING in active:
+            violations.extend(_check_dangling(model, function))
+        if CROSS_STATES in active:
+            violations.extend(_check_cross_states(model, sm, function))
+
+    if CROSS_BINDING in active and models:
+        externals = collect_externals(sm)
+        try:
+            bound = _bound_registers(sm, iface)
+        except AssertionError as err:
+            violations.append(
+                Violation(
+                    invariant=CROSS_BINDING,
+                    message=f"register derivation failed: {err}",
+                    function=function,
+                )
+            )
+        else:
+            for model in models:
+                violations.extend(
+                    _check_cross_binding(model, bound, externals, function)
+                )
+
+    if RTL_PARITY in active and len(models) == 2:
+        violations.extend(_check_parity(models[0], models[1], function))
+    return violations
+
+
+def check_rtl(
+    state_machine: StateMachine,
+    interface: Optional[DesignInterface] = None,
+    verilog: Optional[str] = None,
+    vhdl: Optional[str] = None,
+    invariants: Optional[Iterable[str]] = None,
+    skip: Iterable[str] = (),
+    context: str = "",
+) -> None:
+    """Raise :class:`VerifierError` if :func:`verify_rtl` finds any
+    violation."""
+    violations = verify_rtl(
+        state_machine,
+        interface=interface,
+        verilog=verilog,
+        vhdl=vhdl,
+        invariants=invariants,
+        skip=skip,
+    )
+    if violations:
+        raise VerifierError(violations, context=context)
+
+
+__all__ = [
+    "NetlistModel",
+    "NETLIST_INVARIANTS",
+    "FSM_INVARIANTS",
+    "CROSS_INVARIANTS",
+    "RTL_INVARIANTS",
+    "RTL_UNDRIVEN",
+    "RTL_CONFLICT",
+    "RTL_DEAD_REGISTER",
+    "RTL_LATCH",
+    "RTL_DECL",
+    "FSM_UNREACHABLE",
+    "FSM_LIVELOCK",
+    "FSM_CASE",
+    "FSM_DANGLING",
+    "CROSS_STATES",
+    "CROSS_BINDING",
+    "RTL_PARITY",
+    "parse_verilog",
+    "parse_vhdl",
+    "verify_rtl",
+    "check_rtl",
+]

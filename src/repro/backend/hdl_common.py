@@ -1,57 +1,69 @@
-"""Shared helpers for the HDL emitters."""
+"""Shared helpers for the HDL emitters and the RTL linter."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Iterator, List, Sequence, Set
 
+from repro.frontend.ast_nodes import Expr
 from repro.ir import expr_utils
 from repro.scheduler.schedule import IfItem, Item, OpItem, StateMachine
+
+
+def walk_items(items: Sequence[Item]) -> Iterator[Item]:
+    """Pre-order traversal of a scheduled item tree: every item in
+    emission order, recursing through both branches of each chained
+    conditional.  The one traversal the emitters and the RTL linter
+    build their collectors on."""
+    for item in items:
+        yield item
+        if isinstance(item, IfItem):
+            yield from walk_items(item.then_items)
+            yield from walk_items(item.else_items)
+
+
+def schedule_items(sm: StateMachine) -> Iterator[Item]:
+    """Every item of every reachable state, in state/emission order."""
+    for state in sm.reachable_states():
+        yield from walk_items(state.items)
+
+
+def schedule_conditions(sm: StateMachine) -> Iterator[Expr]:
+    """Every condition the FSMD evaluates: chained-conditional guards
+    and state-level branch conditions, over reachable states."""
+    for state in sm.reachable_states():
+        for item in walk_items(state.items):
+            if isinstance(item, IfItem):
+                yield item.cond
+        if state.branch is not None:
+            yield state.branch.cond
 
 
 def collect_scalars(sm: StateMachine) -> Set[str]:
     """Every scalar variable appearing anywhere in the schedule."""
     names: Set[str] = set()
-
-    def walk(items: List[Item]) -> None:
-        for item in items:
-            if isinstance(item, OpItem):
-                names.update(item.op.reads())
-                names.update(item.op.writes())
-            else:
-                names.update(expr_utils.variables_read(item.cond))
-                walk(item.then_items)
-                walk(item.else_items)
-
-    for state in sm.reachable_states():
-        walk(state.items)
-        if state.branch is not None:
-            names.update(expr_utils.variables_read(state.branch.cond))
+    for item in schedule_items(sm):
+        if isinstance(item, OpItem):
+            names.update(item.op.reads())
+            names.update(item.op.writes())
+    for cond in schedule_conditions(sm):
+        names.update(expr_utils.variables_read(cond))
     return names
 
 
 def collect_externals(sm: StateMachine) -> Set[str]:
     """External function names used by the schedule."""
     names: Set[str] = set()
-
-    def walk(items: List[Item]) -> None:
-        for item in items:
-            if isinstance(item, OpItem):
-                for call in expr_utils.calls_in(item.op.expr):
-                    names.add(call.name)
-                if item.op.target is not None:
-                    for call in expr_utils.calls_in(item.op.target):
-                        names.add(call.name)
-            else:
-                for call in expr_utils.calls_in(item.cond):
-                    names.add(call.name)
-                walk(item.then_items)
-                walk(item.else_items)
-
-    for state in sm.reachable_states():
-        walk(state.items)
-        if state.branch is not None:
-            for call in expr_utils.calls_in(state.branch.cond):
-                names.add(call.name)
+    exprs: List[Expr] = []
+    for item in schedule_items(sm):
+        if isinstance(item, OpItem):
+            if item.op.expr is not None:
+                exprs.append(item.op.expr)
+            if item.op.target is not None:
+                exprs.append(item.op.target)
+    exprs.extend(schedule_conditions(sm))
+    for expr in exprs:
+        for call in expr_utils.calls_in(expr):
+            names.add(call.name)
     return names
 
 

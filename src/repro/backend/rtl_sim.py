@@ -123,8 +123,15 @@ class RTLSimulator:
     def _exec_op(
         self, op: Operation, env: Dict[str, int], arrays: Dict[str, List[int]]
     ) -> None:
+        expr = op.expr
+        if expr is None:
+            if op.kind is OpKind.ASSIGN:
+                raise RTLSimulationError(
+                    f"assignment without an expression: {op}"
+                )
+            return  # a call/return payload is optional; nothing to do
         if op.kind is OpKind.ASSIGN:
-            value = self._eval(op.expr, env, arrays)
+            value = self._eval(expr, env, arrays)
             if isinstance(op.target, Var):
                 env[op.target.name] = value
             elif isinstance(op.target, ArrayRef):
@@ -141,10 +148,9 @@ class RTLSimulator:
                     )
                 array[index] = value
         elif op.kind is OpKind.CALL:
-            self._eval(op.expr, env, arrays)
+            self._eval(expr, env, arrays)
         elif op.kind is OpKind.RETURN:
-            if op.expr is not None:
-                env["__return"] = self._eval(op.expr, env, arrays)
+            env["__return"] = self._eval(expr, env, arrays)
 
     def _eval(
         self, expr: Expr, env: Dict[str, int], arrays: Dict[str, List[int]]

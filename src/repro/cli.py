@@ -37,8 +37,14 @@ invariant violations instead of RTL — the same checks ``--verify-each``
 adds to a one-shot synthesis or a ``dse`` sweep::
 
     python -m repro verify input.c --preset up
+    python -m repro verify input.c --preset up --rtl
     python -m repro input.c --verify-each --emit none
     python -m repro dse input.c --vary clock=4,6 --verify-each
+
+``verify --rtl`` (and ``--verify-each`` everywhere) additionally runs
+the static RTL linter over both emitted backends at the emit stage
+boundary — netlist, FSM and cross-layer checks from
+:mod:`repro.analysis.rtl`.
 
 Exit status is non-zero on parse or scheduling failure, so the CLI can
 anchor shell-based regression scripts the way the original tool's
@@ -134,7 +140,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "run the static verifier after every transform pass and "
-            "flow stage; invariant violations abort synthesis"
+            "flow stage, plus the RTL linter at the emit stage "
+            "boundary; invariant violations abort synthesis"
         ),
     )
     parser.add_argument(
@@ -248,6 +255,15 @@ def build_verify_parser() -> argparse.ArgumentParser:
         help="entity/module name for the synthesized design",
     )
     parser.add_argument(
+        "--rtl",
+        action="store_true",
+        help=(
+            "extend the battery to the emit stage boundary: emit both "
+            "backends and run the static RTL linter (netlist, FSM and "
+            "cross-layer checks) over them"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the success line (violations still print)",
@@ -284,7 +300,7 @@ def verify_main(argv: List[str]) -> int:
             script=script,
             interface=DesignInterface(name=args.entity),
         )
-        session.run(bind=True, emit=False, verify=True)
+        session.run(bind=True, emit=False, verify=True, lint_rtl=args.rtl)
     except VerifierError as error:
         print(f"repro verify: {args.input}: {error}", file=sys.stderr)
         return 1
@@ -296,9 +312,12 @@ def verify_main(argv: List[str]) -> int:
         return 2
 
     if not args.quiet:
+        stages = "frontend, transforms, schedule and binding"
+        if args.rtl:
+            stages += " plus the RTL lint of both backends"
         print(
             f"repro verify: {args.input}: OK — every invariant held "
-            f"through frontend, transforms, schedule and binding"
+            f"through {stages}"
         )
     return 0
 
@@ -493,9 +512,10 @@ def build_dse_parser() -> argparse.ArgumentParser:
         "--verify-each",
         action="store_true",
         help=(
-            "arm the static verifier on every synthesized corner; "
-            "violations settle as error_kind=verifier (never cached), "
-            "and cached outcomes only count if their run was verified"
+            "arm the static verifier (and the emit-stage RTL linter) "
+            "on every synthesized corner; violations settle as "
+            "error_kind=verifier (never cached), and cached outcomes "
+            "only count if their run was verified"
         ),
     )
     parser.add_argument(
@@ -626,6 +646,7 @@ def dse_main(argv: List[str]) -> int:
         ),
         stage_cache=args.stage_cache,
         verify=args.verify_each,
+        lint_rtl=args.verify_each,
     )
 
     def print_progress(outcome):
@@ -1006,7 +1027,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             interface=DesignInterface(name=args.entity),
         )
         result = session.run(
-            bind=True, emit=args.emit != "none", verify=args.verify_each
+            bind=True,
+            emit=args.emit != "none",
+            verify=args.verify_each,
+            lint_rtl=args.verify_each,
         )
     except VerifierError as error:
         print(f"repro: {error}", file=sys.stderr)

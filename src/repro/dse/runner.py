@@ -388,6 +388,13 @@ class ExplorationEngine:
         never pruning evidence), and cache hits require a *verified*
         entry — unverified entries read as misses and are re-run
         (the upgraded entry then serves both kinds of request).
+    lint_rtl:
+        additionally run the static RTL linter
+        (:mod:`repro.analysis.rtl`) over both emitted backends at the
+        emit stage boundary of every miss-path execution: dispatched
+        jobs are stamped ``lint_rtl=True``, and violations share the
+        ``error_kind="verifier"`` contract (never cached as valid,
+        never pruning evidence).
     """
 
     def __init__(
@@ -402,6 +409,7 @@ class ExplorationEngine:
         stage_cache: bool = True,
         batch_size: int = 1,
         verify: bool = False,
+        lint_rtl: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -421,6 +429,7 @@ class ExplorationEngine:
         self.batch_size = batch_size
         self.job_timeout = job_timeout
         self.verify = verify
+        self.lint_rtl = lint_rtl
         self.broker_dir = broker_dir
         self.lease_ttl = lease_ttl
         self.cache: Optional[ResultCache] = None
@@ -746,6 +755,8 @@ class ExplorationEngine:
             updates["stage_cache_dir"] = str(self.stage_dir)
         if self.verify and not job.verify:
             updates["verify"] = True
+        if self.lint_rtl and not job.lint_rtl:
+            updates["lint_rtl"] = True
         if not updates:
             return job
         return dataclasses.replace(job, **updates)
@@ -874,6 +885,7 @@ def explore(
     stage_cache: bool = True,
     batch_size: int = 1,
     verify: bool = False,
+    lint_rtl: bool = False,
 ) -> ExplorationResult:
     """One-call convenience sweep."""
     engine = ExplorationEngine(
@@ -887,6 +899,7 @@ def explore(
         stage_cache=stage_cache,
         batch_size=batch_size,
         verify=verify,
+        lint_rtl=lint_rtl,
     )
     return engine.explore(
         jobs,

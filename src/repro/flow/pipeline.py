@@ -40,6 +40,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.rtl import check_rtl
 from repro.analysis.verifier import check_binding, check_design, check_schedule
 from repro.backend.interface import DesignInterface
 from repro.backend.verilog import emit_verilog
@@ -144,6 +145,12 @@ class FlowRequest:
     #: mode does not change what the flow computes, so it deliberately
     #: does not participate in stage or outcome cache keys.
     verify: bool = False
+    #: Run the static RTL linter (:mod:`repro.analysis.rtl`) over both
+    #: emitted backends at the emit stage boundary (emitting
+    #: transiently when ``emit`` is off).  Like ``verify``, lint mode
+    #: changes nothing the flow computes and stays out of all cache
+    #: keys; violations raise the same ``VerifierError``.
+    lint_rtl: bool = False
 
 
 @dataclass
@@ -228,7 +235,10 @@ def build_pass_manager(
 #: pure_functions)`` — the pure-function set is the one script knob
 #: the design checks read beyond the artifact itself — or
 #: ``("schedule", key)``, whose key already covers the clock,
-#: allocation and resource library the schedule checks consume.
+#: allocation and resource library the schedule checks consume — or
+#: ``("rtl", schedule_key, entity, environment, env_args)`` for the
+#: emit-stage RTL lint, which additionally lets the flow skip
+#: re-emitting the HDL text when the caller only wanted the lint.
 #: Verification is idempotent over content-addressed artifacts, so a
 #: warm sweep pays each battery once per distinct artifact instead of
 #: once per corner.  Only *recalled* or *preloaded* artifacts are
@@ -464,14 +474,47 @@ def run_flow(
         record("estimate", started, False)
 
     # -- emit ---------------------------------------------------------------
-    if request.emit:
-        started = time.perf_counter()
+    if request.emit or request.lint_rtl:
         interface = request.interface or DesignInterface(
             name=design.main.name
         )
-        output.vhdl = emit_vhdl(state_machine, interface)
-        output.verilog = emit_verilog(state_machine, interface)
-        record("emit", started, False)
+        # The emit stage boundary: lint both backends against the
+        # schedule.  Emission is a pure function of the schedule plus
+        # the interface reference, so a recalled schedule that linted
+        # clean once in this process (under the same entity and
+        # environment) needs no re-check — and when the caller did not
+        # ask for the HDL text itself, no re-emission either.
+        # Anything scheduled in this run is always emitted and linted.
+        memo_key = None
+        if request.lint_rtl and schedule_recalled and keys.get("schedule"):
+            memo_key = (
+                "rtl",
+                keys["schedule"],
+                request.entity,
+                request.environment,
+                tuple(request.environment_args),
+            )
+        memo_hit = memo_key is not None and memo_key in _VERIFIED_BOUNDARIES
+        if request.emit or not memo_hit:
+            started = time.perf_counter()
+            output.vhdl = emit_vhdl(state_machine, interface)
+            output.verilog = emit_verilog(state_machine, interface)
+            record("emit", started, False)
+        else:
+            record("emit", time.perf_counter(), True)
+        if request.lint_rtl:
+            started = time.perf_counter()
+            _boundary_check(
+                memo_key,
+                lambda: check_rtl(
+                    state_machine,
+                    interface=interface,
+                    verilog=output.verilog,
+                    vhdl=output.vhdl,
+                    context="at the emit stage boundary",
+                ),
+            )
+            record("rtl-lint", started, memo_hit)
     return output
 
 

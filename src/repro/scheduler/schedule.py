@@ -11,7 +11,7 @@ rolled loops, conditionals too slow to chain).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Set, Union
 
 from repro.frontend.ast_nodes import Expr
 from repro.ir.htg import FunctionHTG
@@ -149,9 +149,9 @@ class StateMachine:
         """States reachable from the entry, in BFS order."""
         if self.entry_state is None:
             return []
-        seen = []
-        visited = set()
-        frontier = [self.entry_state]
+        seen: List[State] = []
+        visited: Set[int] = set()
+        frontier: List[Optional[int]] = [self.entry_state]
         while frontier:
             state_id = frontier.pop(0)
             if state_id in visited or state_id is None:

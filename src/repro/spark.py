@@ -261,6 +261,13 @@ class SynthesisJob:
         fingerprint (a previously *verified* cached outcome may serve
         an unverified request; the reverse is guarded by the cache's
         ``require_verified``).
+    lint_rtl:
+        run the static RTL linter (:mod:`repro.analysis.rtl`) over
+        both emitted backends at the emit stage boundary; a violation
+        settles as an ``error_kind="verifier"`` outcome, exactly like
+        a pass-level verifier failure.  Execution *mode* like
+        ``verify`` — excluded from the fingerprint for the same
+        reason.
     """
 
     source: str
@@ -277,6 +284,7 @@ class SynthesisJob:
     priority: int = 0
     stage_cache_dir: str = ""
     verify: bool = False
+    lint_rtl: bool = False
 
     def execute(self) -> "SynthesisOutcome":
         """Run this job through the staged flow; sugar for
@@ -604,6 +612,7 @@ def _execute_job_body(
                 bind=True,
                 emit=job.emit,
                 verify=job.verify,
+                lint_rtl=job.lint_rtl,
             ),
             store=store,
             records=records,
@@ -765,7 +774,11 @@ class SparkSession:
         return scheduler.schedule(self.design.main)
 
     def run(
-        self, bind: bool = True, emit: bool = True, verify: bool = False
+        self,
+        bind: bool = True,
+        emit: bool = True,
+        verify: bool = False,
+        lint_rtl: bool = False,
     ) -> SynthesisResult:
         """Full flow — drives the explicit stage graph of
         :func:`repro.flow.run_flow` over this session's (already
@@ -775,6 +788,10 @@ class SparkSession:
         With *verify* set, the static verifier runs after every
         transform pass and stage boundary, raising
         :class:`repro.analysis.verifier.VerifierError` on a violation.
+        With *lint_rtl* set, the static RTL linter
+        (:mod:`repro.analysis.rtl`) additionally checks both emitted
+        backends at the emit stage boundary, raising the same
+        exception type.
         """
         flow = run_flow(
             FlowRequest(
@@ -785,6 +802,7 @@ class SparkSession:
                 bind=bind,
                 emit=emit,
                 verify=verify,
+                lint_rtl=lint_rtl,
             )
         )
         self.reports.extend(flow.reports)

@@ -1,0 +1,432 @@
+"""The static RTL linter (:mod:`repro.analysis.rtl`).
+
+Mirrors ``test_verifier.py``'s evidence pattern: clean flows lint
+silently over both emitted backends, and each check fires on a
+*deliberately corrupted* artifact — a mutated schedule, a doctored
+HDL text — attributing exactly its own check id.  The DSE half proves
+emit-stage lint failures share the ``error_kind="verifier"`` contract.
+"""
+
+import re
+
+import pytest
+
+from repro.analysis.rtl import (
+    CROSS_BINDING,
+    CROSS_STATES,
+    FSM_CASE,
+    FSM_DANGLING,
+    FSM_LIVELOCK,
+    FSM_UNREACHABLE,
+    RTL_CONFLICT,
+    RTL_DEAD_REGISTER,
+    RTL_DECL,
+    RTL_LATCH,
+    RTL_PARITY,
+    RTL_UNDRIVEN,
+    parse_verilog,
+    parse_vhdl,
+    verify_rtl,
+)
+from repro.analysis.verifier import VerifierError
+from repro.backend.interface import DesignInterface
+from repro.frontend.ast_nodes import Var
+from repro.scheduler.schedule import IfItem, OpItem
+from repro.spark import ERROR_KIND_VERIFIER, SparkSession, SynthesisJob
+from repro.transforms.base import SynthesisScript
+from tests.helpers import CONDITIONAL_SRC, SIMPLE_LOOP_SRC
+
+# Chains a conditional write into a same-cycle read once the schedule
+# is corrupted (the latch fixture), and keeps one straight-line state.
+STRAIGHT_SRC = """
+int x; int total;
+x = a + 1;
+total = x + 2;
+"""
+
+
+def synthesize(source, script=None, interface=None, **run_kwargs):
+    session = SparkSession(
+        source, script=script or SynthesisScript(), interface=interface
+    )
+    result = session.run(bind=True, emit=True, **run_kwargs)
+    return session, result
+
+
+def invariants_of(violations):
+    return {violation.invariant for violation in violations}
+
+
+# ---------------------------------------------------------------------------
+# Clean flows lint silently
+# ---------------------------------------------------------------------------
+
+
+class TestCleanLint:
+    @pytest.mark.parametrize(
+        "source", [CONDITIONAL_SRC, SIMPLE_LOOP_SRC, STRAIGHT_SRC]
+    )
+    def test_clean_design_has_no_violations(self, source):
+        _, result = synthesize(source)
+        assert (
+            verify_rtl(
+                result.state_machine,
+                verilog=result.verilog,
+                vhdl=result.vhdl,
+            )
+            == []
+        )
+
+    def test_self_emitting_path_matches_supplied_texts(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        assert verify_rtl(result.state_machine) == []
+
+    def test_ported_interface_lints_clean(self):
+        interface = DesignInterface(
+            name="main",
+            scalar_inputs=["seed"],
+            scalar_outputs=["total"],
+            input_arrays={"data": 8},
+        )
+        source = """
+        int data[8];
+        int i; int total; int seed;
+        total = seed;
+        for (i = 0; i < 6; i++) {
+          total = total + data[i];
+        }
+        """
+        _, result = synthesize(source, interface=interface)
+        assert (
+            verify_rtl(
+                result.state_machine,
+                interface=interface,
+                verilog=result.verilog,
+                vhdl=result.vhdl,
+            )
+            == []
+        )
+
+    def test_flow_lint_rtl_runs_clean(self):
+        synthesize(SIMPLE_LOOP_SRC, lint_rtl=True)
+
+
+# ---------------------------------------------------------------------------
+# Netlist-model parsing
+# ---------------------------------------------------------------------------
+
+
+class TestNetlistParsing:
+    def test_both_parsers_agree_on_a_clean_design(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        v_model = parse_verilog(result.verilog)
+        h_model = parse_vhdl(result.vhdl)
+        assert v_model.ports == h_model.ports == {"clk", "rst", "done"}
+        assert set(v_model.registers) == set(h_model.registers)
+        assert set(v_model.state_constants) == set(h_model.state_constants)
+        assert set(v_model.case_labels) == set(h_model.case_labels)
+        assert v_model.has_default_arm and h_model.has_default_arm
+        # Every register is committed exactly once in both backends.
+        for model in (v_model, h_model):
+            for name in model.registers:
+                assert model.committed[f"r_{name}"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Netlist-tier corruptions
+# ---------------------------------------------------------------------------
+
+
+class TestNetlistCorruptions:
+    def test_undriven_read_fires(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        text = result.verilog.replace(
+            "v_total = r_total;", "v_total = r_total + v_ghost;", 1
+        )
+        violations = verify_rtl(
+            result.state_machine, verilog=text, invariants=[RTL_UNDRIVEN]
+        )
+        assert invariants_of(violations) == {RTL_UNDRIVEN}
+        assert len(violations) == 1
+        assert "v_ghost" in violations[0].message
+
+    def test_conflicting_commit_fires(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        commit = re.search(r"^\s*r_total <= v_total;$", result.verilog, re.M)
+        assert commit is not None
+        text = result.verilog.replace(
+            commit.group(0), commit.group(0) + "\n" + commit.group(0), 1
+        )
+        violations = verify_rtl(
+            result.state_machine, verilog=text, invariants=[RTL_CONFLICT]
+        )
+        assert invariants_of(violations) == {RTL_CONFLICT}
+        assert len(violations) == 1
+        assert "r_total" in violations[0].message
+
+    def test_dead_register_fires(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        text = result.verilog.replace(
+            "  reg signed [31:0] r_total;  // register",
+            "  reg signed [31:0] r_total;  // register\n"
+            "  reg signed [31:0] r_ghost;  // register",
+            1,
+        )
+        violations = verify_rtl(
+            result.state_machine,
+            verilog=text,
+            invariants=[RTL_DEAD_REGISTER],
+        )
+        assert invariants_of(violations) == {RTL_DEAD_REGISTER}
+        assert len(violations) == 1
+        assert "r_ghost" in violations[0].message
+
+    def test_latch_hazard_fires(self):
+        _, result = synthesize(STRAIGHT_SRC)
+        sm = result.state_machine
+        clean_verilog = result.verilog
+        # Wrap the schedule's write of `x` in a conditional with no
+        # else arm: the downstream read of `x` now sees a stale value
+        # on the cond-false path, and no register backs it.
+        for state in sm.reachable_states():
+            for position, item in enumerate(state.items):
+                if isinstance(item, OpItem) and item.op.writes() == {"x"}:
+                    state.items[position] = IfItem(
+                        cond=Var(name="a"),
+                        cond_ready=0.0,
+                        then_items=[item],
+                    )
+                    break
+        violations = verify_rtl(
+            sm, verilog=clean_verilog, invariants=[RTL_LATCH]
+        )
+        assert invariants_of(violations) == {RTL_LATCH}
+        assert len(violations) == 1
+        assert "`x`" in violations[0].message
+
+    def test_missing_interface_port_fires(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        ghost_interface = DesignInterface(
+            name="main", scalar_inputs=["ghost"]
+        )
+        violations = verify_rtl(
+            result.state_machine,
+            interface=ghost_interface,
+            verilog=result.verilog,
+            invariants=[RTL_DECL],
+        )
+        assert invariants_of(violations) == {RTL_DECL}
+        assert len(violations) == 1
+        assert "ghost_in" in violations[0].message
+
+    def test_missing_memory_declaration_fires(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        text = re.sub(
+            r"^\s*reg signed \[31:0\] m_acc \[[^\]]*\];\n",
+            "",
+            result.verilog,
+            count=1,
+            flags=re.M,
+        )
+        violations = verify_rtl(
+            result.state_machine, verilog=text, invariants=[RTL_DECL]
+        )
+        assert invariants_of(violations) == {RTL_DECL}
+        assert len(violations) == 1
+        assert "m_acc" in violations[0].message
+
+
+# ---------------------------------------------------------------------------
+# FSM-tier corruptions
+# ---------------------------------------------------------------------------
+
+
+class TestFSMCorruptions:
+    def test_unreachable_state_fires(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        sm = result.state_machine
+        sm.new_state(label="orphan")
+        violations = verify_rtl(sm, invariants=[FSM_UNREACHABLE])
+        assert invariants_of(violations) == {FSM_UNREACHABLE}
+        assert len(violations) == 1
+
+    def test_livelock_fires(self):
+        _, result = synthesize(STRAIGHT_SRC)
+        sm = result.state_machine
+        halting = [
+            state
+            for state in sm.reachable_states()
+            if state.branch is None and state.default_next is None
+        ]
+        assert halting, "fixture needs a halting state"
+        for state in halting:
+            state.default_next = sm.entry_state
+        violations = verify_rtl(sm, invariants=[FSM_LIVELOCK])
+        assert invariants_of(violations) == {FSM_LIVELOCK}
+        # The straight-line fixture has exactly one state, now
+        # self-looping.
+        assert len(violations) == 1
+
+    def test_missing_default_arm_fires(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        text = result.verilog.replace("        default: ;\n", "", 1)
+        violations = verify_rtl(
+            result.state_machine, verilog=text, invariants=[FSM_CASE]
+        )
+        assert invariants_of(violations) == {FSM_CASE}
+        assert len(violations) == 1
+        assert "non-exhaustive" in violations[0].message
+
+    def test_duplicate_case_arm_fires(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        arm = re.search(r"^\s*(S\d+): begin$", result.verilog, re.M)
+        assert arm is not None
+        text = result.verilog.replace(
+            "        default: ;",
+            f"        {arm.group(1)}: begin\n        end\n"
+            "        default: ;",
+            1,
+        )
+        violations = verify_rtl(
+            result.state_machine, verilog=text, invariants=[FSM_CASE]
+        )
+        assert invariants_of(violations) == {FSM_CASE}
+        assert len(violations) == 1
+        assert "non-exclusive" in violations[0].message
+
+    def test_dangling_state_reference_fires(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        text = re.sub(
+            r"state <= S\d+;", "state <= S99;", result.verilog, count=1
+        )
+        violations = verify_rtl(
+            result.state_machine, verilog=text, invariants=[FSM_DANGLING]
+        )
+        assert invariants_of(violations) == {FSM_DANGLING}
+        assert len(violations) == 1
+        assert "S99" in violations[0].message
+
+
+# ---------------------------------------------------------------------------
+# Cross-layer corruptions
+# ---------------------------------------------------------------------------
+
+
+class TestCrossLayerCorruptions:
+    def test_extra_case_arm_breaks_state_bijection(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        text = result.verilog.replace(
+            "        default: ;",
+            "        S99: begin\n        end\n        default: ;",
+            1,
+        )
+        violations = verify_rtl(
+            result.state_machine, verilog=text, invariants=[CROSS_STATES]
+        )
+        assert invariants_of(violations) == {CROSS_STATES}
+        assert len(violations) == 1
+        assert "S99" in violations[0].message
+
+    def test_missing_case_arm_breaks_state_bijection(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        arm = re.search(r"^\s*(S\d+): begin$", result.verilog, re.M)
+        assert arm is not None
+        text = result.verilog.replace(
+            f"        {arm.group(1)}: begin", "        SGHOST: begin", 1
+        )
+        violations = verify_rtl(
+            result.state_machine, verilog=text, invariants=[CROSS_STATES]
+        )
+        assert invariants_of(violations) == {CROSS_STATES}
+        # Renaming one arm both orphans the schedule state and
+        # introduces an arm no state owns.
+        assert len(violations) == 2
+
+    def test_dropped_register_declaration_fires(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        text = result.verilog.replace(
+            "  reg signed [31:0] r_total;  // register\n", "", 1
+        )
+        violations = verify_rtl(
+            result.state_machine, verilog=text, invariants=[CROSS_BINDING]
+        )
+        assert invariants_of(violations) == {CROSS_BINDING}
+        assert len(violations) == 1
+        assert "total" in violations[0].message
+
+    def test_backend_drift_breaks_parity(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        drifted = result.vhdl.replace(
+            "  begin",
+            "    variable v_ghost : integer := 0;  -- cycle-local\n"
+            "  begin",
+            1,
+        )
+        violations = verify_rtl(
+            result.state_machine,
+            verilog=result.verilog,
+            vhdl=drifted,
+            invariants=[RTL_PARITY],
+        )
+        assert invariants_of(violations) == {RTL_PARITY}
+        assert len(violations) == 1
+        assert "ghost" in violations[0].message
+
+    def test_parity_needs_both_backends(self):
+        _, result = synthesize(SIMPLE_LOOP_SRC)
+        assert (
+            verify_rtl(
+                result.state_machine,
+                verilog=result.verilog,
+                invariants=[RTL_PARITY],
+            )
+            == []
+        )
+
+
+# ---------------------------------------------------------------------------
+# Flow + DSE wiring
+# ---------------------------------------------------------------------------
+
+
+class TestFlowWiring:
+    def test_lint_failure_raises_at_emit_boundary(self, monkeypatch):
+        import repro.flow.pipeline as pipeline
+
+        monkeypatch.setattr(
+            pipeline, "emit_verilog", lambda sm, interface: "module bad ();"
+        )
+        with pytest.raises(VerifierError) as excinfo:
+            synthesize(SIMPLE_LOOP_SRC, lint_rtl=True)
+        assert "at the emit stage boundary" in str(excinfo.value)
+
+    def test_dse_classifies_lint_failure_as_verifier(self, monkeypatch):
+        import repro.flow.pipeline as pipeline
+
+        from repro.dse.runner import ExplorationEngine
+
+        monkeypatch.setattr(
+            pipeline, "emit_verilog", lambda sm, interface: "module bad ();"
+        )
+        engine = ExplorationEngine(
+            use_cache=False, workers=1, executor="serial", lint_rtl=True
+        )
+        result = engine.explore(
+            [SynthesisJob(source=SIMPLE_LOOP_SRC, label="corner")]
+        )
+        outcome = result.outcomes[0]
+        assert not outcome.ok
+        assert outcome.error_kind == ERROR_KIND_VERIFIER
+        assert result.verifier_failures == [outcome]
+
+    def test_dse_lint_mode_passes_clean_designs(self):
+        from repro.dse.runner import explore
+
+        result = explore(
+            [SynthesisJob(source=SIMPLE_LOOP_SRC, label="corner")],
+            use_cache=False,
+            workers=1,
+            executor="serial",
+            lint_rtl=True,
+        )
+        assert result.outcomes[0].ok

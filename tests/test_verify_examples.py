@@ -34,6 +34,29 @@ def test_presets_verify_on_a_representative_source(preset):
     assert main(["verify", str(path), "--preset", preset, "--quiet"]) == 0
 
 
+@pytest.mark.parametrize("preset", ["none", "up", "asic"])
+@pytest.mark.parametrize(
+    "path", SOURCE_FILES, ids=[path.stem for path in SOURCE_FILES]
+)
+def test_example_source_lints_rtl_under_every_preset(path, preset):
+    # The full matrix with the emit-stage RTL linter armed: every
+    # source under every preset must emit structurally sound Verilog
+    # *and* VHDL (both backends are linted by --rtl).
+    assert (
+        main(
+            [
+                "verify",
+                str(path),
+                "--preset",
+                preset,
+                "--rtl",
+                "--quiet",
+            ]
+        )
+        == 0
+    )
+
+
 @pytest.mark.parametrize(
     "example", example_designs(), ids=lambda example: example.name
 )
