@@ -48,6 +48,16 @@ emit-stage RTL linter (:mod:`repro.analysis.rtl`): plain warm sweep vs
 one with ``lint_rtl`` armed (both backends emitted and linted on every
 corner); ``rtl_lint_overhead_ratio`` carries the same <= 15% budget.
 
+The **cache_contention** phase prices the storage layer's sharded
+locking: 8 worker processes run warm get sweeps over a prepopulated
+cache, each interleaving full gc passes (generous budget, so nothing
+evicts), once against the legacy single-lock flat layout and once
+against the 16-way sharded backend.  Both sides report wall clock and
+the summed time workers spent blocked on maintenance locks;
+``lock_wait_ratio`` (sharded over flat) is the tracked headline —
+sharded locking must never wait *longer* than the single lock it
+replaced.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_dse.py [--output BENCH_dse.json]
@@ -66,7 +76,9 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import hashlib
 import json
+import multiprocessing
 import sys
 import tempfile
 import time
@@ -80,6 +92,9 @@ from repro.dse import (
     make_strategy,
     shared_stages,
 )
+from repro.dse.cache import ResultCache
+from repro.dse.service import CacheService
+from repro.dse.storage import KIND_OUTCOME, make_backend
 from repro.transforms.base import SynthesisScript
 
 BENCH_SRC = """
@@ -178,6 +193,29 @@ VERIFY_OVERHEAD_MAX = 1.15
 #: for emitting both backends on every corner) may add at most this
 #: factor to the plain warm sweep.
 LINT_OVERHEAD_MAX = 1.15
+
+#: Pool width for the cache_contention phase.
+CONTENTION_WORKERS = 8
+
+#: Prepopulated entries the contention workers sweep (spread across
+#: all 16 shards by their SHA-256 keys; large enough that a flat gc's
+#: single-lock critical section — one whole-directory scan — is
+#: measurably long).
+CONTENTION_ENTRIES = 1024
+
+#: Warm get-sweep + gc rounds per worker.
+CONTENTION_ROUNDS = 4
+
+#: Outcome payload size for the prepopulated entries.
+CONTENTION_PAYLOAD_BYTES = 512
+
+#: Sharded locking must not make workers wait longer than the single
+#: lock it replaced: lock_wait_ratio (sharded / flat) stays <= 1.
+CONTENTION_RATIO_MAX = 1.0
+
+#: Below this much total sharded lock wait the run was effectively
+#: uncontended and the ratio is noise over noise; the gate passes.
+CONTENTION_WAIT_FLOOR_S = 0.05
 
 
 def _fresh_stage_seconds(result) -> float:
@@ -402,6 +440,85 @@ def _bench_lint():
     }
 
 
+def _contention_worker(args):
+    """Pool worker for the cache_contention phase: warm get sweeps
+    over every prepopulated entry, with a full gc pass after each
+    sweep.  The gc budget is generous, so a correct run evicts
+    nothing and every get hits; what the phase measures is the time
+    workers spend blocked on maintenance locks."""
+    spec, rounds = args
+    backend = make_backend(spec)
+    backend.ensure()
+    service = CacheService(backend, max_bytes=1 << 30, lock_timeout=120.0)
+    keys = [entry.key for entry in backend.entries()]
+    misses = 0
+    evicted = 0
+    for _ in range(rounds):
+        for key in keys:
+            if backend.get(key, KIND_OUTCOME) is None:
+                misses += 1
+        evicted += service.gc().evicted
+    return {
+        "keys": len(keys),
+        "misses": misses,
+        "evicted": evicted,
+        "lock_wait_s": backend.lock_waited,
+    }
+
+
+def _contention_side(kind):
+    """One backend's contended run: prepopulate, then hammer it from
+    ``CONTENTION_WORKERS`` processes."""
+    payload = b"x" * CONTENTION_PAYLOAD_BYTES
+    with tempfile.TemporaryDirectory(
+        prefix=f"bench-contention-{kind}-"
+    ) as root:
+        backend = make_backend(root, kind=kind)
+        backend.ensure()
+        for index in range(CONTENTION_ENTRIES):
+            key = hashlib.sha256(f"corner-{index}".encode()).hexdigest()
+            backend.put(key, KIND_OUTCOME, payload)
+        jobs = [(backend.spec, CONTENTION_ROUNDS)] * CONTENTION_WORKERS
+        started = time.perf_counter()
+        with multiprocessing.Pool(processes=CONTENTION_WORKERS) as pool:
+            workers = pool.map(_contention_worker, jobs)
+        elapsed = time.perf_counter() - started
+    misses = sum(worker["misses"] for worker in workers)
+    evicted = sum(worker["evicted"] for worker in workers)
+    if misses or evicted:
+        raise AssertionError(
+            f"cache_contention[{kind}]: {misses} lost read(s), "
+            f"{evicted} eviction(s) under a generous budget"
+        )
+    return {
+        "backend": kind,
+        "shards": backend.num_shards,
+        "elapsed_s": round(elapsed, 6),
+        "lock_wait_s": round(
+            sum(worker["lock_wait_s"] for worker in workers), 6
+        ),
+    }
+
+
+def _bench_contention():
+    """Sharded vs single-lock maintenance under a parallel warm
+    sweep: same entries, same worker mix, flat baseline first."""
+    flat = _contention_side("flat")
+    sharded = _contention_side("fs")
+    return {
+        "label": "cache_contention",
+        "workers": CONTENTION_WORKERS,
+        "entries": CONTENTION_ENTRIES,
+        "rounds": CONTENTION_ROUNDS,
+        "payload_bytes": CONTENTION_PAYLOAD_BYTES,
+        "flat": flat,
+        "sharded": sharded,
+        "lock_wait_ratio": round(
+            sharded["lock_wait_s"] / max(flat["lock_wait_s"], 1e-6), 4
+        ),
+    }
+
+
 def _bench_search():
     """Beam search vs the exhaustive grid on the same space: how close
     the beam's best latency gets, at what fraction of the grid's
@@ -463,9 +580,14 @@ def run_bench(check: bool = False) -> dict:
         cold = _sweep(jobs, cache, "cold")
 
         # Wipe outcomes, keep stage artifacts: every corner re-executes
-        # against a warm stage cache.
-        for entry in cache.glob("*.json"):
-            entry.unlink()
+        # against a warm stage cache.  (Via the cache client, not a
+        # root glob — outcome entries live inside shard directories.)
+        wiped = ResultCache(cache).clear()
+        if check and not wiped:
+            raise AssertionError(
+                "outcome wipe removed nothing: the stage-warm phase "
+                "would measure an all-hit run"
+            )
         stage_warm = _sweep(jobs, cache, "stage-warm")
 
         # Restore the outcome entries, then measure the all-hit run.
@@ -487,6 +609,9 @@ def run_bench(check: bool = False) -> dict:
     # RTL-lint cost on the same phase.
     rtl_lint_overhead = _bench_lint()
 
+    # Sharded vs single-lock maintenance under a parallel warm sweep.
+    cache_contention = _bench_contention()
+
     def speedup(reference, other):
         return round(reference["elapsed_s"] / max(other["elapsed_s"], 1e-9), 2)
 
@@ -505,6 +630,7 @@ def run_bench(check: bool = False) -> dict:
         "search_beam": search_beam,
         "verify_overhead": verify_overhead,
         "rtl_lint_overhead": rtl_lint_overhead,
+        "cache_contention": cache_contention,
         "overhead_reduction_batched": round(
             warm_unbatched["dispatch_overhead_per_corner_s"]
             / max(warm_batched["dispatch_overhead_per_corner_s"], 1e-9),
@@ -592,6 +718,22 @@ def run_bench(check: bool = False) -> dict:
             f"{rtl_lint_overhead['linted_elapsed_s']}s vs "
             f"{rtl_lint_overhead['plain_elapsed_s']}s"
         )
+        # Sharded locking must beat (or at worst match) the single
+        # lock it replaced; when both sides are effectively
+        # uncontended, the ratio carries no signal and the gate
+        # passes.
+        assert (
+            cache_contention["lock_wait_ratio"] <= CONTENTION_RATIO_MAX
+            or cache_contention["sharded"]["lock_wait_s"]
+            <= CONTENTION_WAIT_FLOOR_S
+        ), (
+            f"sharded maintenance locking waited longer than the "
+            f"single-lock baseline: "
+            f"{cache_contention['sharded']['lock_wait_s']}s vs "
+            f"{cache_contention['flat']['lock_wait_s']}s "
+            f"({cache_contention['lock_wait_ratio']}x, cap "
+            f"{CONTENTION_RATIO_MAX}x)"
+        )
     return report
 
 
@@ -651,6 +793,14 @@ def main(argv=None) -> int:
         f"{lint['plain_elapsed_s']:.3f}s plain on the warm sweep "
         f"({lint['rtl_lint_overhead_ratio']}x, budget "
         f"{LINT_OVERHEAD_MAX}x)"
+    )
+    contention = report["cache_contention"]
+    print(
+        f"cache contention ({contention['workers']} workers): sharded "
+        f"{contention['sharded']['lock_wait_s']:.3f}s lock wait vs flat "
+        f"{contention['flat']['lock_wait_s']:.3f}s "
+        f"(ratio {contention['lock_wait_ratio']}x, cap "
+        f"{CONTENTION_RATIO_MAX}x)"
     )
     print(f"wrote {args.output}")
     return 0

@@ -22,6 +22,12 @@ warm per-corner dispatch overhead regresses beyond the tolerance:
 * ``rtl_lint_overhead`` (the emit-stage RTL-lint budget) must show
   the linter adding at most 15% wall clock to the same phase.  Also
   within-run relative, so no tolerance applies.
+* ``cache_contention`` (the sharded-locking headline) must show the
+  sharded backend's summed maintenance-lock wait at or below the
+  single-lock flat baseline's (``lock_wait_ratio <= 1.0``) — unless
+  the sharded side's absolute wait is negligible, in which case the
+  run was uncontended and the ratio carries no signal.  Within-run
+  relative, so no tolerance applies.
 
 Usage::
 
@@ -54,6 +60,11 @@ VERIFY_OVERHEAD_RATIO_MAX = 1.15
 
 #: The RTL-lint budget (matches bench_dse.py's LINT_OVERHEAD_MAX).
 RTL_LINT_OVERHEAD_RATIO_MAX = 1.15
+
+#: The sharded-locking bar (matches bench_dse.py's
+#: CONTENTION_RATIO_MAX / CONTENTION_WAIT_FLOOR_S).
+CONTENTION_RATIO_MAX = 1.0
+CONTENTION_WAIT_FLOOR_S = 0.05
 
 
 def _load(path: Path) -> dict:
@@ -181,6 +192,49 @@ def _check_lint(current: dict, path: Path) -> list:
     return failures
 
 
+def _check_contention(current: dict, path: Path) -> list:
+    """The sharded-locking gate: under a parallel warm sweep with
+    interleaved gc, the sharded backend's summed lock wait must not
+    exceed the single-lock flat baseline's.  Within-run relative, so
+    no tolerance — but vacuous when the sharded side barely waited at
+    all (an uncontended run has no signal to compare)."""
+    phase = current.get("cache_contention")
+    if not isinstance(phase, dict):
+        print(
+            f"check_bench: {path} has no cache_contention phase",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    ratio = phase.get("lock_wait_ratio")
+    sharded_wait = float((phase.get("sharded") or {}).get(
+        "lock_wait_s", 0.0
+    ))
+    flat_wait = float((phase.get("flat") or {}).get("lock_wait_s", 0.0))
+    if not isinstance(ratio, (int, float)) or ratio < 0:
+        print(
+            f"check_bench: {path} cache_contention is malformed: "
+            f"lock_wait_ratio={ratio!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    failures = []
+    if (
+        ratio > CONTENTION_RATIO_MAX
+        and sharded_wait > CONTENTION_WAIT_FLOOR_S
+    ):
+        failures.append(
+            f"sharded maintenance locking regressed: {sharded_wait:.3f}s "
+            f"summed lock wait vs flat baseline {flat_wait:.3f}s "
+            f"({ratio:.4f}x > {CONTENTION_RATIO_MAX}x cap)"
+        )
+    print(
+        f"cache_contention: sharded {sharded_wait:.3f}s lock wait vs "
+        f"flat {flat_wait:.3f}s (ratio {float(ratio):.4f}x, cap "
+        f"{CONTENTION_RATIO_MAX}x)"
+    )
+    return failures
+
+
 def check(baseline: dict, current: dict, tolerance: float,
           baseline_path: Path, current_path: Path) -> int:
     base_overhead = _overhead(baseline, baseline_path)
@@ -207,6 +261,7 @@ def check(baseline: dict, current: dict, tolerance: float,
     failures.extend(_check_search(current, current_path))
     failures.extend(_check_verify(current, current_path))
     failures.extend(_check_lint(current, current_path))
+    failures.extend(_check_contention(current, current_path))
 
     print(
         f"warm-batched overhead/corner: current "

@@ -458,6 +458,18 @@ def build_dse_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cache-backend",
+        choices=["fs", "flat", "sqlite"],
+        default=None,
+        help=(
+            "cache storage backend: fs (16-way-sharded filesystem "
+            "layout, the default), flat (legacy single-lock flat "
+            "directory), sqlite (one WAL database file — "
+            "machine-local, so broker fleets need no shared cache "
+            "mount)"
+        ),
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the on-disk outcome cache (and the stage cache)",
@@ -636,6 +648,7 @@ def dse_main(argv: List[str]) -> int:
         cache_dir=args.cache_dir,
         workers=args.workers,
         use_cache=not args.no_cache,
+        cache_backend=args.cache_backend,
         executor=args.executor,
         batch_size=args.batch_size,
         job_timeout=args.job_timeout,
@@ -879,7 +892,18 @@ def build_cache_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "cache directory (default: $REPRO_DSE_CACHE or "
-            "~/.cache/repro-dse)"
+            "~/.cache/repro-dse); accepts a backend spec string "
+            "such as sqlite:<dir>"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["fs", "flat", "sqlite"],
+        default=None,
+        help=(
+            "cache storage backend (default: from the --cache-dir "
+            "spec prefix, else the sharded filesystem layout); must "
+            "match the backend the sweeps use"
         ),
     )
     parser.add_argument(
@@ -928,7 +952,11 @@ def cache_main(argv: List[str]) -> int:
             file=sys.stderr,
         )
         return 2
-    service = CacheService(root=args.cache_dir, max_bytes=args.max_bytes)
+    service = CacheService(
+        root=args.cache_dir,
+        max_bytes=args.max_bytes,
+        backend=args.backend,
+    )
     try:
         if args.action == "stats":
             print(service.stats(fast=args.fast).describe())

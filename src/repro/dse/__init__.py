@@ -129,9 +129,15 @@ from repro.dse.service import (
     GCReport,
     MAX_BYTES_ENV_VAR,
 )
+from repro.dse.storage import (
+    BACKEND_KINDS,
+    StorageBackend,
+    make_backend,
+)
 
 __all__ = [
     "AXIS_STAGES",
+    "BACKEND_KINDS",
     "BROKER_DIR_NAME",
     "BeamSearch",
     "BrokerClaim",
@@ -167,6 +173,7 @@ __all__ = [
     "SearchStrategy",
     "SerialExecutor",
     "SimulatedAnnealing",
+    "StorageBackend",
     "SweepGoal",
     "WorkerReport",
     "axes_late_first",
@@ -191,6 +198,7 @@ __all__ = [
     "job_from_point",
     "job_key",
     "jobs_from_grid",
+    "make_backend",
     "parse_axis_value",
     "parse_vary_spec",
     "rank_outcomes",

@@ -4,15 +4,16 @@ A job's cache key is the SHA-256 of its canonical JSON description —
 source text, every script knob, entity, environment factory reference,
 stimulus and output options — plus a format version and the package
 version, so stale entries from older synthesis code never resurface.
-Outcomes are stored one JSON file per key; writes go through a
-temp-file rename so a crashed worker never leaves a torn entry.
+Outcomes are stored as one JSON payload per key through a pluggable
+:mod:`repro.dse.storage` backend; every backend writes atomically, so
+a crashed worker never leaves a torn entry.
 
 Lookups also key **per stage**: :func:`stage_key` hashes the prefix
 of the flow a given stage depends on (see :mod:`repro.flow.keys`),
 and :meth:`ResultCache.stage_store` opens the pickled-snapshot store
-that lives in the same directory (``<key>.stage.pkl`` beside
-``<key>.json``), so a whole-job miss can still recall every stage
-whose inputs are unchanged.
+that shares this cache's backend (on the filesystem layouts:
+``<key>.stage.pkl`` beside ``<key>.json``), so a whole-job miss can
+still recall every stage whose inputs are unchanged.
 """
 
 from __future__ import annotations
@@ -20,12 +21,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
 import repro
-from repro.flow.artifacts import STAGE_SUFFIX, StageArtifactStore
+from repro.dse.storage import (
+    KIND_OUTCOME,
+    StorageBackend,
+    make_backend,
+)
+from repro.flow.artifacts import StageArtifactStore
 from repro.flow.keys import job_stage_key
 from repro.spark import SynthesisJob, SynthesisOutcome
 
@@ -79,16 +84,37 @@ def stage_key(job: SynthesisJob, stage: str) -> str:
 
 
 class ResultCache:
-    """Directory of memoized :class:`SynthesisOutcome` records."""
+    """Memoized :class:`SynthesisOutcome` records over one storage
+    backend.
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    *root* accepts a plain directory (selecting the default sharded
+    filesystem backend), a backend spec string such as
+    ``sqlite:<dir>``, or an already-constructed backend instance;
+    an explicit *backend* kind (e.g. from ``--cache-backend``)
+    overrides a spec prefix.  Construction ensures the physical
+    location exists (and migrates a flat legacy directory), so it
+    raises where the old directory ``mkdir`` used to."""
+
+    def __init__(
+        self,
+        root: Union[str, Path, StorageBackend],
+        backend: Optional[str] = None,
+    ) -> None:
+        self.backend = make_backend(root, kind=backend)
+        self.backend.ensure()
+        self.root = self.backend.root
         self.hits = 0
         self.misses = 0
 
+    @property
+    def spec(self) -> str:
+        """The backend spec string (what the engine stamps onto
+        dispatched jobs as ``stage_cache_dir``)."""
+        return self.backend.spec
+
     def path_for(self, key: str) -> Path:
-        return self.root / f"{key}.json"
+        """Where *key*'s entry lives (filesystem backends only)."""
+        return self.backend.entry_path(key, KIND_OUTCOME)
 
     def get(
         self, key: str, require_verified: bool = False
@@ -104,16 +130,15 @@ class ResultCache:
         kinds of future requests.  Verification never changes what a
         correct flow computes, so the asymmetry is sound: verified
         entries serve unverified requests for free."""
-        path = self.path_for(key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
+            payload = self.backend.get(key, KIND_OUTCOME)
+            if payload is None:
+                self.misses += 1
+                return None
+            data = json.loads(payload.decode("utf-8"))
             outcome = SynthesisOutcome.from_dict(data["outcome"])
-        except FileNotFoundError:
-            self.misses += 1
-            return None
         except (OSError, ValueError, KeyError, TypeError):
-            path.unlink(missing_ok=True)
+            self.backend.drop(key, KIND_OUTCOME)
             self.misses += 1
             return None
         if require_verified and not outcome.verified:
@@ -122,16 +147,10 @@ class ResultCache:
         self.hits += 1
         outcome.cached = True
         outcome.provenance = "cache"
-        try:
-            # Touch the entry so the cache service's LRU eviction sees
-            # *use* recency, not just write recency.
-            os.utime(path)
-        except OSError:
-            pass
         return outcome
 
     def put(self, key: str, outcome: SynthesisOutcome, label: str = "") -> None:
-        """Persist atomically (write temp file, rename into place).
+        """Persist atomically (the backend contract).
 
         Outcomes that are unsound to memoize — environment/setup
         failures, pruning inferences — are silently skipped so a
@@ -144,40 +163,31 @@ class ResultCache:
             "label": label or outcome.label,
             "outcome": outcome.to_dict(),
         }
-        fd, temp_path = tempfile.mkstemp(
-            dir=self.root, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, sort_keys=True)
-            os.replace(temp_path, self.path_for(key))
-        except BaseException:
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        self.backend.put(key, KIND_OUTCOME, payload)
 
     def stage_store(self, passthrough=()) -> StageArtifactStore:
-        """The stage-artifact store sharing this cache directory
-        (``len(store)`` counts the ``*.stage.pkl`` entries).  Callers
-        probing artifacts under an alarm-based deadline must pass the
+        """The stage-artifact store sharing this cache's backend
+        (``len(store)`` counts the stage entries).  Callers probing
+        artifacts under an alarm-based deadline must pass the
         deadline exception type via *passthrough* so it is never
         swallowed as a corrupt-artifact miss."""
-        return StageArtifactStore(self.root, passthrough=tuple(passthrough))
+        return StageArtifactStore(
+            self.backend, passthrough=tuple(passthrough)
+        )
 
     def clear(self) -> int:
         """Drop every outcome entry; returns the number removed.
         Stage artifacts are left alone (the directory-level
         :class:`~repro.dse.service.CacheService` clears both)."""
-        removed = 0
-        for path in self.root.glob("*.json"):
-            path.unlink(missing_ok=True)
-            removed += 1
-        return removed
+        return self.backend.clear(kind=KIND_OUTCOME)
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        return sum(
+            1
+            for entry in self.backend.entries()
+            if entry.kind == KIND_OUTCOME
+        )
 
     def stats(self) -> str:
         return f"{self.hits} hits, {self.misses} misses"

@@ -63,6 +63,7 @@ from repro.dse.cache import (
     names_bare_cwd,
 )
 from repro.dse.exec import EXECUTOR_KINDS, Executor, make_executor
+from repro.dse.storage import BACKEND_KINDS
 from repro.dse.pareto import InfeasiblePruner, ParetoFront, SweepGoal
 from repro.dse.search.base import SearchReport, SearchStrategy
 from repro.dse.service import maybe_auto_gc
@@ -346,7 +347,15 @@ class ExplorationEngine:
     ----------
     cache_dir:
         cache directory; ``None`` selects the default location and an
-        empty string disables caching entirely.
+        empty string disables caching entirely.  Accepts a backend
+        spec string (``sqlite:<dir>``) as well as a plain path.
+    cache_backend:
+        storage backend for the outcome/stage cache: ``"fs"`` (the
+        default 16-way-sharded filesystem layout), ``"flat"`` (the
+        legacy single-lock flat directory), or ``"sqlite"`` (one
+        WAL-mode database file — machine-local, so broker fleets
+        need no shared cache mount).  ``None`` defers to a spec
+        prefix in *cache_dir* (a bare path means ``"fs"``).
     workers:
         process-pool width for cache misses; ``1`` runs in-process.
     executor:
@@ -402,6 +411,7 @@ class ExplorationEngine:
         cache_dir: Union[str, Path, None] = None,
         workers: int = 1,
         use_cache: bool = True,
+        cache_backend: Optional[str] = None,
         executor: Union[str, Executor] = "auto",
         job_timeout: Optional[float] = None,
         broker_dir: Union[str, Path, None] = None,
@@ -424,6 +434,11 @@ class ExplorationEngine:
             raise ValueError(
                 f"job_timeout must be positive, got {job_timeout}"
             )
+        if cache_backend is not None and cache_backend not in BACKEND_KINDS:
+            raise ValueError(
+                f"unknown cache backend {cache_backend!r}; expected "
+                f"one of {', '.join(BACKEND_KINDS)}"
+            )
         self.workers = workers
         self.executor = executor
         self.batch_size = batch_size
@@ -441,10 +456,18 @@ class ExplorationEngine:
         # A deliberate cwd-relative cache needs an explicit "./name".
         if use_cache and (cache_dir is None or not names_bare_cwd(cache_dir)):
             self.cache = ResultCache(
-                cache_dir if cache_dir is not None else default_cache_dir()
+                cache_dir if cache_dir is not None else default_cache_dir(),
+                backend=cache_backend,
             )
-        #: Stage artifacts live *in* the outcome cache directory so one
-        #: lock/gc service governs both; no cache, no stage cache.
+        #: Stage artifacts live *in* the outcome cache's storage
+        #: backend so one shard-lock/gc service governs both; no
+        #: cache, no stage cache.  ``stage_spec`` is the backend spec
+        #: string stamped onto dispatched jobs (it rides the broker
+        #: wire format in ``stage_cache_dir``); ``stage_dir`` remains
+        #: the physical root path.
+        self.stage_spec: Optional[str] = (
+            self.cache.spec if stage_cache and self.cache is not None else None
+        )
         self.stage_dir: Optional[Path] = (
             self.cache.root if stage_cache and self.cache is not None else None
         )
@@ -584,7 +607,7 @@ class ExplorationEngine:
         result.goal_met = goal_met
         result.elapsed = time.perf_counter() - started
         if self.cache is not None:
-            maybe_auto_gc(self.cache.root)
+            maybe_auto_gc(self.cache.backend)
         return outcomes, result
 
     def search(
@@ -751,8 +774,8 @@ class ExplorationEngine:
         updates: dict = {}
         if self.job_timeout is not None and job.timeout is None:
             updates["timeout"] = self.job_timeout
-        if self.stage_dir is not None and not job.stage_cache_dir:
-            updates["stage_cache_dir"] = str(self.stage_dir)
+        if self.stage_spec is not None and not job.stage_cache_dir:
+            updates["stage_cache_dir"] = self.stage_spec
         if self.verify and not job.verify:
             updates["verify"] = True
         if self.lint_rtl and not job.lint_rtl:
@@ -874,6 +897,7 @@ def explore(
     workers: int = 1,
     cache_dir: Union[str, Path, None] = None,
     use_cache: bool = True,
+    cache_backend: Optional[str] = None,
     on_outcome: Optional[OutcomeCallback] = None,
     target_latency: Optional[float] = None,
     max_area: Optional[float] = None,
@@ -892,6 +916,7 @@ def explore(
         cache_dir=cache_dir,
         workers=workers,
         use_cache=use_cache,
+        cache_backend=cache_backend,
         executor=executor,
         job_timeout=job_timeout,
         broker_dir=broker_dir,

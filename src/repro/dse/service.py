@@ -1,54 +1,82 @@
 """The shared outcome-cache service: locking, indexing, LRU eviction.
 
 Multiple exploration engines — across processes and across machines
-sharing a filesystem — point at one cache directory via
-``$REPRO_DSE_CACHE``.  The storage layer (:mod:`repro.dse.cache`)
-already makes individual writes safe (atomic temp-file renames) and
-individual reads self-healing (corrupt entries drop as misses); this
-module adds the *directory-level* operations that need coordination:
+sharing a filesystem — point at one cache location via
+``$REPRO_DSE_CACHE``.  The storage layer (:mod:`repro.dse.storage`)
+already makes individual writes safe (atomic puts) and individual
+reads self-healing (corrupt entries drop as misses); this module adds
+the *maintenance* operations that need coordination:
 
-* :class:`DirectoryLock` — an advisory exclusive lock
-  (``flock``-based where available, ``O_EXCL`` spin-lock fallback)
-  so maintenance never races maintenance;
 * :class:`CacheService` — stats, clear and size-bounded LRU garbage
-  collection over the shared directory, plus a materialized index
-  (``index.meta``, rewritten by ``gc``/``reindex``) so ``repro cache
-  stats --fast`` on a million-entry cache does not re-stat the world.
+  collection over any storage backend, plus a materialized index
+  (``index.meta`` on the filesystem backends, rewritten by
+  ``gc``/``reindex``) so ``repro cache stats --fast`` on a
+  million-entry cache does not re-stat the world.
 
-The directory holds two kinds of entries under one budget: outcome
-records (``<sha>.json``) and the staged flow's pickled stage
-artifacts (``<sha>.stage.pkl``, written by
+Maintenance is **shard-scoped**: the backend partitions the key space
+(16 ways on the default layouts, one shard on the legacy flat
+layout), the global byte budget splits across shards so the per-shard
+budgets sum exactly to the whole
+(:func:`repro.dse.storage.shard_budgets`), and gc/clear hold one
+shard's lock at a time — maintenance on one shard never blocks sweeps
+touching the other fifteen.  :meth:`CacheService.stats` is entirely
+**lock-free**: observability must never stall a running sweep, so
+stats reads the live enumeration (or the index) without touching any
+lock, accepting a momentarily-racy count.
+
+The service stores two kinds of entries under one budget: outcome
+records and the staged flow's pickled stage artifacts (written by
 :class:`repro.flow.artifacts.StageArtifactStore`).  Recency is
-tracked through entry mtimes: :meth:`ResultCache.get` and the stage
-store both touch an entry on every hit, so ``gc`` evicting
-oldest-mtime-first is least-recently-*used*, not
-least-recently-written.  Eviction and concurrent sweeps compose
-safely: a reader that loses an entry mid-read sees an ordinary miss
-and re-synthesizes (or re-runs the stage).
+tracked by the backend on every hit, so ``gc`` evicting oldest-first
+is least-recently-*used*, not least-recently-written.  Eviction and
+concurrent sweeps compose safely: a reader that loses an entry
+mid-read sees an ordinary miss and re-synthesizes (or re-runs the
+stage).
 
 The size budget comes from ``--max-bytes``, the
 ``$REPRO_DSE_CACHE_MAX_BYTES`` environment variable, or a 256 MiB
 default, in that order.  When the environment variable is set, the
 exploration engine also garbage-collects opportunistically after
 every sweep.
+
+:class:`DirectoryLock` and :class:`CacheLockTimeout` moved to
+:mod:`repro.dse.storage.locks` when locking became shard-scoped;
+they are re-exported here under their historical names.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.dse.cache import default_cache_dir
-from repro.flow.artifacts import STAGE_SUFFIX
+from repro.dse.storage import (
+    INDEX_NAME,
+    LOCK_NAME,
+    CacheLockTimeout,
+    DirectoryLock,
+    StorageBackend,
+    StorageEntry,
+    make_backend,
+    shard_budgets,
+)
 
-try:  # POSIX only; the spin-lock fallback covers the rest.
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX platforms
-    fcntl = None  # type: ignore[assignment]
+__all__ = [
+    "CacheLockTimeout",
+    "CacheService",
+    "CacheStats",
+    "DirectoryLock",
+    "GCReport",
+    "INDEX_NAME",
+    "LOCK_NAME",
+    "MAX_BYTES_ENV_VAR",
+    "DEFAULT_MAX_BYTES",
+    "STALE_TEMP_SECONDS",
+    "ShardGC",
+    "maybe_auto_gc",
+]
 
 #: Environment variable bounding the shared cache size in bytes.
 MAX_BYTES_ENV_VAR = "REPRO_DSE_CACHE_MAX_BYTES"
@@ -57,19 +85,9 @@ MAX_BYTES_ENV_VAR = "REPRO_DSE_CACHE_MAX_BYTES"
 #: variable is set.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
-#: Materialized index file name.  Deliberately *not* ``*.json`` so the
-#: storage layer's entry globs never mistake it for an outcome.
-INDEX_NAME = "index.meta"
-
-LOCK_NAME = ".lock"
-
 #: Orphaned temp files (a worker died mid-write) older than this are
 #: swept by ``gc``.
 STALE_TEMP_SECONDS = 3600.0
-
-
-class CacheLockTimeout(TimeoutError):
-    """Raised when the directory lock cannot be acquired in time."""
 
 
 def _env_max_bytes() -> int:
@@ -85,146 +103,6 @@ def _env_max_bytes() -> int:
     return value if value > 0 else DEFAULT_MAX_BYTES
 
 
-class DirectoryLock:
-    """Advisory exclusive lock over one cache directory.
-
-    Uses ``flock`` on a sentinel file where available (locks die with
-    the holder, so a crashed process never wedges the cache, and
-    exclusion is kernel-enforced).  Elsewhere it falls back to an
-    ``O_CREAT|O_EXCL`` spin lock where a lock file older than
-    ``stale_after`` seconds is treated as abandoned by a crashed
-    holder and broken.  The fallback is best-effort advisory locking:
-    age is the only liveness signal, so a holder that legitimately
-    works longer than ``stale_after`` (default: one hour) can be
-    broken, and the break/restore dance has a narrow theoretical race
-    window — acceptable for cache maintenance, where the protected
-    operations are themselves crash-safe (atomic renames, and readers
-    treat missing entries as misses)."""
-
-    def __init__(
-        self,
-        root: Union[str, Path],
-        timeout: float = 10.0,
-        poll: float = 0.05,
-        stale_after: float = 3600.0,
-    ) -> None:
-        self.root = Path(root)
-        self.timeout = timeout
-        self.poll = poll
-        self.stale_after = stale_after
-        self._fd: Optional[int] = None
-        self._spin_path: Optional[Path] = None
-
-    def acquire(self) -> None:
-        deadline = time.monotonic() + self.timeout
-        lock_path = self.root / LOCK_NAME
-        if fcntl is not None:
-            fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
-            while True:
-                try:
-                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
-                    self._fd = fd
-                    return
-                except OSError:
-                    if time.monotonic() >= deadline:
-                        os.close(fd)
-                        raise CacheLockTimeout(
-                            f"cache lock busy for {self.timeout:.1f}s: "
-                            f"{lock_path}"
-                        ) from None
-                    time.sleep(self.poll)
-        spin_path = self.root / (LOCK_NAME + ".pid")
-        while True:
-            try:
-                fd = os.open(
-                    spin_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
-                )
-                os.write(fd, str(os.getpid()).encode("ascii"))
-                os.close(fd)
-                self._spin_path = spin_path
-                return
-            except FileExistsError:
-                self._break_stale_spin_lock(spin_path)
-                if time.monotonic() >= deadline:
-                    raise CacheLockTimeout(
-                        f"cache lock busy for {self.timeout:.1f}s: "
-                        f"{spin_path}"
-                    ) from None
-                time.sleep(self.poll)
-
-    def _break_stale_spin_lock(self, spin_path: Path) -> None:
-        """Remove a spin-lock file abandoned by a crashed holder (no
-        living process refreshes it, so age is the only signal).
-
-        Breaking happens by atomic *rename* to a per-breaker grave
-        name, never by direct unlink: when several waiters decide the
-        lock is stale at once, exactly one rename succeeds, so two
-        waiters can never each remove a lock file (the classic
-        stat-then-unlink race that would let two of them acquire).
-        After winning the rename the age is re-checked; a lock that
-        turns out to be live (replaced between stat and rename) is
-        restored via ``os.link``, which fails harmlessly if a newer
-        holder has taken the slot meanwhile."""
-        try:
-            if time.time() - spin_path.stat().st_mtime <= self.stale_after:
-                return
-        except OSError:  # already released
-            return
-        grave = spin_path.with_name(
-            f"{spin_path.name}.broken-{os.getpid()}"
-        )
-        try:
-            os.rename(spin_path, grave)
-        except OSError:  # another waiter broke it (or it was released)
-            return
-        try:
-            stolen_live = (
-                time.time() - grave.stat().st_mtime <= self.stale_after
-            )
-        except OSError:
-            stolen_live = False
-        if stolen_live:
-            try:
-                os.link(grave, spin_path)
-            except OSError:
-                pass
-        try:
-            grave.unlink()
-        except OSError:
-            pass
-
-    def release(self) -> None:
-        if self._fd is not None:
-            try:
-                fcntl.flock(self._fd, fcntl.LOCK_UN)  # type: ignore[union-attr]
-            finally:
-                os.close(self._fd)
-                self._fd = None
-        if self._spin_path is not None:
-            try:
-                self._spin_path.unlink()
-            except OSError:  # pragma: no cover - already gone
-                pass
-            self._spin_path = None
-
-    def __enter__(self) -> "DirectoryLock":
-        self.acquire()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.release()
-
-
-@dataclass(frozen=True)
-class CacheEntry:
-    """One indexed outcome file."""
-
-    key: str
-    path: Path
-    bytes: int
-    mtime: float
-
-
 @dataclass(frozen=True)
 class CacheStats:
     """A point-in-time view of the shared cache."""
@@ -233,6 +111,8 @@ class CacheStats:
     entries: int
     total_bytes: int
     max_bytes: int
+    backend: str = "fs"
+    shards: int = 16
 
     @property
     def utilization(self) -> float:
@@ -243,6 +123,7 @@ class CacheStats:
     def describe(self) -> str:
         return (
             f"cache {self.root}\n"
+            f"  backend:     {self.backend} ({self.shards} shard(s))\n"
             f"  entries:     {self.entries}\n"
             f"  total bytes: {self.total_bytes}\n"
             f"  size budget: {self.max_bytes} "
@@ -251,89 +132,106 @@ class CacheStats:
 
 
 @dataclass(frozen=True)
+class ShardGC:
+    """One shard's slice of a garbage collection."""
+
+    shard: int
+    budget: int
+    examined: int
+    evicted: int
+    freed_bytes: int
+    kept_bytes: int
+
+
+@dataclass(frozen=True)
 class GCReport:
-    """What one garbage collection did."""
+    """What one garbage collection did.  The per-shard breakdown in
+    :attr:`shards` always reconciles with the totals: budgets sum to
+    the global ``max_bytes``, and examined/evicted/freed/kept sum to
+    the headline numbers."""
 
     examined: int
     evicted: int
     freed_bytes: int
     kept_bytes: int
     stale_temps: int
+    shards: Tuple[ShardGC, ...] = field(default=())
 
     def describe(self) -> str:
         return (
             f"gc: examined {self.examined} entries, evicted "
             f"{self.evicted} ({self.freed_bytes} bytes), kept "
             f"{self.kept_bytes} bytes, swept {self.stale_temps} "
-            f"stale temp file(s)"
+            f"stale temp file(s) across {max(len(self.shards), 1)} "
+            f"shard(s)"
         )
 
 
 class CacheService:
-    """Maintenance operations over one shared cache directory."""
+    """Maintenance operations over one shared cache backend.
+
+    *root* accepts a plain directory (the default sharded filesystem
+    backend), a backend spec string such as ``sqlite:<dir>``, or an
+    already-constructed backend instance; an explicit *backend* kind
+    (from ``repro cache --backend``) overrides a spec prefix.
+    """
 
     def __init__(
         self,
-        root: Union[str, Path, None] = None,
+        root: Union[str, Path, StorageBackend, None] = None,
         max_bytes: Optional[int] = None,
         lock_timeout: float = 10.0,
+        backend: Optional[str] = None,
     ) -> None:
-        self.root = Path(root) if root is not None else default_cache_dir()
-        self.root.mkdir(parents=True, exist_ok=True)
+        location: Union[str, Path, StorageBackend] = (
+            root if root is not None else default_cache_dir()
+        )
+        self.backend = make_backend(location, kind=backend)
+        self.backend.ensure()
+        self.root = self.backend.root
         if max_bytes is None:
             max_bytes = _env_max_bytes()
         self.max_bytes = max_bytes
         self.lock_timeout = lock_timeout
 
     def lock(self) -> DirectoryLock:
+        """An exclusive lock over the backend root — for *external*
+        coordination only; no service operation takes it (stats is
+        lock-free, gc/clear hold per-shard locks)."""
         return DirectoryLock(self.root, timeout=self.lock_timeout)
 
-    def entries(self) -> List[CacheEntry]:
-        """Every cache entry, by key: outcome files (``<sha>.json``)
-        and the staged flow's pickled stage artifacts
-        (``<sha>.stage.pkl``), which the same lock/stats/gc/clear
-        operations govern — an evicted artifact simply reads as a
-        stage miss and recomputes.  Entries vanishing mid-scan (a
-        concurrent gc or clear) are skipped."""
-        found: List[CacheEntry] = []
-        candidates = [
-            (path, path.stem)
-            for path in self.root.glob("*.json")
-            if len(path.stem) == 64  # a SHA-256 outcome file
-        ]
-        candidates.extend(
-            (path, path.name)
-            for path in self.root.glob(f"*{STAGE_SUFFIX}")
-            if len(path.name) == 64 + len(STAGE_SUFFIX)
-        )
-        for path, key in candidates:
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            found.append(
-                CacheEntry(
-                    key=key,
-                    path=path,
-                    bytes=stat.st_size,
-                    mtime=stat.st_mtime,
-                )
-            )
-        return found
+    def entries(self) -> List[StorageEntry]:
+        """Every cache entry — outcome records and the staged flow's
+        pickled stage artifacts, which the same stats/gc/clear
+        operations govern (an evicted artifact simply reads as a
+        stage miss and recomputes).  Enumerated lock-free; entries
+        vanishing mid-scan (a concurrent gc or clear) are skipped."""
+        return self.backend.entries()
 
     def stats(self, fast: bool = False) -> CacheStats:
-        """A view of the cache: live (re-stat every entry) by default,
-        or from the materialized index of the last gc/``reindex`` when
-        *fast* — O(1) on a huge shared cache, possibly stale.  Falls
-        back to the live scan when no index exists yet."""
+        """A view of the cache: live (re-enumerate every entry) by
+        default, or from the materialized index of the last
+        gc/``reindex`` when *fast* — O(1) on a huge shared cache,
+        possibly stale.  Falls back to the live scan when no index
+        exists (the sqlite backend keeps none; its live enumeration
+        is already one aggregate query away).
+
+        Deliberately **lock-free** either way: ``repro cache stats``
+        is observability, and observability must never stall — or be
+        stalled by — a running sweep or gc.  The cost is a
+        momentarily-racy count when maintenance is concurrently
+        rewriting the cache; that is the right trade for a
+        monitoring read."""
         if fast:
-            index = self.read_index()
+            index = self.backend.read_index()
             if index is not None:
                 return CacheStats(
                     root=self.root,
                     entries=len(index.get("entries", {})),
                     total_bytes=int(index.get("total_bytes", 0)),
                     max_bytes=self.max_bytes,
+                    backend=self.backend.kind,
+                    shards=self.backend.num_shards,
                 )
         entries = self.entries()
         return CacheStats(
@@ -341,114 +239,134 @@ class CacheService:
             entries=len(entries),
             total_bytes=sum(entry.bytes for entry in entries),
             max_bytes=self.max_bytes,
+            backend=self.backend.kind,
+            shards=self.backend.num_shards,
         )
 
     def clear(self) -> int:
-        """Drop every entry (and the index) under the lock; returns
-        the number of entries removed."""
-        with self.lock():
-            removed = 0
-            for entry in self.entries():
-                try:
-                    entry.path.unlink()
+        """Drop every entry (and the index), one shard lock at a
+        time; returns the number of entries removed."""
+        removed = 0
+        for shard in range(self.backend.num_shards):
+            with self.backend.shard_lock(
+                shard, timeout=self.lock_timeout
+            ):
+                for entry in self.backend.entries(shard=shard):
+                    self.backend.drop(entry.key, entry.kind)
                     removed += 1
-                except OSError:
-                    pass
-            try:
-                (self.root / INDEX_NAME).unlink()
-            except OSError:
-                pass
-            return removed
+        self._drop_index()
+        return removed
 
     def gc(self) -> GCReport:
-        """Enforce the size budget: evict least-recently-used entries
-        until the survivors fit, sweep stale temp files, rewrite the
-        index.  Runs under the directory lock."""
-        with self.lock():
-            entries = sorted(
-                self.entries(), key=lambda e: e.mtime, reverse=True
-            )
-            kept: List[CacheEntry] = []
-            kept_bytes = 0
-            evicted = 0
-            freed = 0
-            for entry in entries:  # newest first: keep while we fit
-                if kept_bytes + entry.bytes <= self.max_bytes:
-                    kept.append(entry)
-                    kept_bytes += entry.bytes
-                    continue
-                try:
-                    entry.path.unlink()
+        """Enforce the size budget: split it across shards
+        (:func:`repro.dse.storage.shard_budgets` — the slices sum
+        exactly to ``max_bytes``), evict least-recently-used entries
+        within each shard until the survivors fit its slice, sweep
+        stale temp files, rewrite the index.  Holds one shard's lock
+        at a time, so gc never serializes the whole cache behind a
+        single lock."""
+        budgets = shard_budgets(self.max_bytes, self.backend.num_shards)
+        kept_entries: List[StorageEntry] = []
+        per_shard: List[ShardGC] = []
+        for shard, budget in enumerate(budgets):
+            with self.backend.shard_lock(
+                shard, timeout=self.lock_timeout
+            ):
+                entries = sorted(
+                    self.backend.entries(shard=shard),
+                    key=lambda e: e.mtime,
+                    reverse=True,
+                )
+                kept_bytes = 0
+                evicted = 0
+                freed = 0
+                for entry in entries:  # newest first: keep while we fit
+                    if kept_bytes + entry.bytes <= budget:
+                        kept_entries.append(entry)
+                        kept_bytes += entry.bytes
+                        continue
+                    self.backend.drop(entry.key, entry.kind)
                     evicted += 1
                     freed += entry.bytes
-                except OSError:
-                    pass
-            stale = self._sweep_stale_temps()
-            self._write_index(kept)
-            return GCReport(
-                examined=len(entries),
-                evicted=evicted,
-                freed_bytes=freed,
-                kept_bytes=kept_bytes,
-                stale_temps=stale,
-            )
+                per_shard.append(
+                    ShardGC(
+                        shard=shard,
+                        budget=budget,
+                        examined=len(entries),
+                        evicted=evicted,
+                        freed_bytes=freed,
+                        kept_bytes=kept_bytes,
+                    )
+                )
+        stale = self.backend.sweep_stale_temps(STALE_TEMP_SECONDS)
+        self._write_index(kept_entries)
+        return GCReport(
+            examined=sum(s.examined for s in per_shard),
+            evicted=sum(s.evicted for s in per_shard),
+            freed_bytes=sum(s.freed_bytes for s in per_shard),
+            kept_bytes=sum(s.kept_bytes for s in per_shard),
+            stale_temps=stale,
+            shards=tuple(per_shard),
+        )
 
     def reindex(self) -> int:
-        """Rewrite the materialized index from the directory contents
-        (under the lock); returns the number of entries indexed."""
-        with self.lock():
-            entries = self.entries()
-            self._write_index(entries)
-            return len(entries)
+        """Rewrite the materialized index from the live contents
+        (shard locks held one at a time); returns the number of
+        entries indexed."""
+        collected: List[StorageEntry] = []
+        for shard in range(self.backend.num_shards):
+            with self.backend.shard_lock(
+                shard, timeout=self.lock_timeout
+            ):
+                collected.extend(self.backend.entries(shard=shard))
+        self._write_index(collected)
+        return len(collected)
 
     def read_index(self) -> Optional[dict]:
-        """The last materialized index, or None when absent/corrupt."""
-        try:
-            with open(
-                self.root / INDEX_NAME, "r", encoding="utf-8"
-            ) as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
-            return None
+        """The last materialized index, or None when absent/corrupt
+        (or when the backend keeps none)."""
+        return self.backend.read_index()
 
     # -- internals ----------------------------------------------------------
 
-    def _write_index(self, entries: List[CacheEntry]) -> None:
-        index = {
-            "format": 1,
-            "max_bytes": self.max_bytes,
-            "total_bytes": sum(entry.bytes for entry in entries),
-            "entries": {
-                entry.key: {"bytes": entry.bytes, "mtime": entry.mtime}
-                for entry in entries
-            },
-        }
-        temp = self.root / (INDEX_NAME + ".tmp")
-        with open(temp, "w", encoding="utf-8") as handle:
-            json.dump(index, handle, sort_keys=True)
-        os.replace(temp, self.root / INDEX_NAME)
+    def _write_index(self, entries: List[StorageEntry]) -> None:
+        self.backend.write_index(
+            {
+                "format": 2,
+                "backend": self.backend.kind,
+                "max_bytes": self.max_bytes,
+                "total_bytes": sum(entry.bytes for entry in entries),
+                "entries": {
+                    entry.index_key: {
+                        "bytes": entry.bytes,
+                        "mtime": entry.mtime,
+                        "shard": entry.shard,
+                    }
+                    for entry in entries
+                },
+            }
+        )
 
-    def _sweep_stale_temps(self) -> int:
-        """Remove orphaned temp files from crashed writers."""
-        horizon = time.time() - STALE_TEMP_SECONDS
-        swept = 0
-        for path in self.root.glob(".tmp-*"):
-            try:
-                if path.stat().st_mtime < horizon:
-                    path.unlink()
-                    swept += 1
-            except OSError:
-                continue
-        return swept
+    def _drop_index(self) -> None:
+        drop = getattr(self.backend, "drop_index", None)
+        if drop is not None:
+            drop()
 
 
-def maybe_auto_gc(root: Union[str, Path]) -> Optional[GCReport]:
+def maybe_auto_gc(
+    root: Union[str, Path, StorageBackend],
+    backend: Optional[str] = None,
+) -> Optional[GCReport]:
     """Opportunistic post-sweep garbage collection: runs only when
     ``$REPRO_DSE_CACHE_MAX_BYTES`` asks for a bounded cache, and never
-    lets maintenance trouble (lock contention, races) fail a sweep."""
+    lets maintenance trouble (lock contention, races) fail a sweep.
+    *root* accepts a backend instance (the engine passes its cache's
+    backend so the selected kind is honored)."""
     if not os.environ.get(MAX_BYTES_ENV_VAR):
         return None
     try:
-        return CacheService(root, lock_timeout=1.0).gc()
+        return CacheService(
+            root, lock_timeout=1.0, backend=backend
+        ).gc()
     except Exception:
         return None

@@ -1,0 +1,88 @@
+"""Pluggable cache/artifact storage for the DSE layer.
+
+See :mod:`repro.dse.storage.base` for the backend contract,
+:mod:`repro.dse.storage.fs` for the sharded/flat filesystem layouts
+and :mod:`repro.dse.storage.sqlite` for the single-file sqlite/WAL
+backend.  :func:`make_backend` turns a spec string (or a plain cache
+directory) into a backend instance.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.dse.storage.base import (
+    BACKEND_KINDS,
+    KIND_OUTCOME,
+    KIND_STAGE,
+    NUM_SHARDS,
+    StorageBackend,
+    StorageEntry,
+    parse_storage_spec,
+    shard_budgets,
+    shard_of,
+    storage_spec,
+)
+from repro.dse.storage.fs import (
+    INDEX_NAME,
+    FlatFsBackend,
+    ShardedFsBackend,
+)
+from repro.dse.storage.locks import (
+    LOCK_NAME,
+    CacheLockTimeout,
+    DirectoryLock,
+)
+from repro.dse.storage.sqlite import SqliteBackend
+
+_BACKENDS = {
+    "fs": ShardedFsBackend,
+    "flat": FlatFsBackend,
+    "sqlite": SqliteBackend,
+}
+
+
+def make_backend(
+    root: Union[str, Path, StorageBackend],
+    kind: Optional[str] = None,
+) -> StorageBackend:
+    """A backend for *root*: an existing backend instance passes
+    through; otherwise *root* is a spec string or plain directory
+    (see :func:`parse_storage_spec`), and an explicit *kind* — e.g.
+    from ``--cache-backend`` — overrides the spec prefix."""
+    if isinstance(root, StorageBackend):
+        return root
+    spec_kind, location = parse_storage_spec(os.fspath(root))
+    chosen = kind if kind is not None else spec_kind
+    try:
+        factory = _BACKENDS[chosen]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache backend {chosen!r}; expected one of "
+            f"{', '.join(BACKEND_KINDS)}"
+        ) from None
+    return factory(location)
+
+
+__all__ = [
+    "BACKEND_KINDS",
+    "CacheLockTimeout",
+    "DirectoryLock",
+    "FlatFsBackend",
+    "INDEX_NAME",
+    "KIND_OUTCOME",
+    "KIND_STAGE",
+    "LOCK_NAME",
+    "NUM_SHARDS",
+    "ShardedFsBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "StorageEntry",
+    "make_backend",
+    "parse_storage_spec",
+    "shard_budgets",
+    "shard_of",
+    "storage_spec",
+]

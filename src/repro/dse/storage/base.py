@@ -1,0 +1,243 @@
+"""The storage backend contract for the shared DSE cache.
+
+Everything the cache layer persists — memoized outcome records
+(``ResultCache``) and pickled stage artifacts (``StageArtifactStore``)
+— goes through one :class:`StorageBackend` interface: byte payloads
+addressed by ``(key, kind)``, where *key* is a 64-hex SHA-256 content
+hash and *kind* is :data:`KIND_OUTCOME` or :data:`KIND_STAGE`.  The
+clients own (de)serialization and miss/corruption policy; backends own
+placement, atomicity, recency tracking and locking.
+
+**Sharding.**  Every backend partitions the key space into
+``num_shards`` shards by the key's leading hex digit
+(:func:`shard_of`), and exposes:
+
+* ``shard_lock(shard)`` — a context manager scoping maintenance
+  (gc, clear, reindex) to one shard so maintenance on shard 3 never
+  blocks a sweep writing to shard 7;
+* ``entries(shard=...)`` — a lock-free enumeration used by stats and
+  by gc's decision scan;
+* per-shard usage accounting: the cache service splits the global
+  byte budget across shards (:func:`shard_budgets`, which always sums
+  exactly to the global budget) and evicts LRU-first within each.
+
+Reads and writes themselves take **no lock** on any backend: puts are
+atomic (rename / single-statement upsert), and a reader that loses an
+entry mid-read sees an ordinary miss and recomputes.
+
+**Backend specs.**  A backend is named by a *spec string* that travels
+anywhere a cache directory used to: ``"<path>"`` selects the sharded
+filesystem backend rooted at *path* (so every pre-existing spelling
+keeps working), ``"flat:<path>"`` the legacy single-lock flat layout,
+and ``"sqlite:<path>"`` a single-file sqlite/WAL database at
+``<path>/cache.sqlite3``.  Specs ride the broker wire format in
+``SynthesisJob.stage_cache_dir`` unchanged — a worker that receives a
+spec it predates simply treats it as a path and degrades to a no-op
+stage cache, never a crash.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from pathlib import Path
+from typing import ContextManager, List, Optional, Tuple, Union
+
+from repro.flow.artifacts import STAGE_SUFFIX
+
+#: Entry kinds: memoized outcome records and pickled stage artifacts.
+KIND_OUTCOME = "outcome"
+KIND_STAGE = "stage"
+
+#: Key-prefix shard count for sharded backends (one hex digit).
+NUM_SHARDS = 16
+
+#: Recognized backend kinds, in spec-prefix matching order.  ``fs`` is
+#: the default: a bare path parses as ``fs:<path>``.
+BACKEND_KINDS = ("fs", "flat", "sqlite")
+
+#: Filename suffix per entry kind (filesystem backends; the sqlite
+#: backend stores the kind in a column instead).
+KIND_SUFFIXES = {KIND_OUTCOME: ".json", KIND_STAGE: STAGE_SUFFIX}
+
+
+def shard_of(key: str, num_shards: int = NUM_SHARDS) -> int:
+    """The shard owning *key*: its leading hex digit, modulo the
+    backend's shard count (1 for the flat backend, where every key
+    lands in shard 0)."""
+    try:
+        digit = int(key[0], 16)
+    except (ValueError, IndexError):
+        digit = 0
+    return digit % num_shards
+
+
+def shard_budgets(max_bytes: int, num_shards: int) -> List[int]:
+    """The global byte budget split across shards.  Integer division
+    would silently shrink the budget by up to ``num_shards - 1``
+    bytes; the remainder is spread over the leading shards instead so
+    the per-shard budgets always sum *exactly* to ``max_bytes``."""
+    if num_shards <= 0:
+        return []
+    base, remainder = divmod(max(max_bytes, 0), num_shards)
+    return [
+        base + (1 if index < remainder else 0)
+        for index in range(num_shards)
+    ]
+
+
+def parse_storage_spec(spec: Union[str, os.PathLike]) -> Tuple[str, str]:
+    """``(kind, root)`` from a backend spec string.  A bare path is
+    the sharded filesystem backend; ``flat:``/``sqlite:`` prefixes
+    select the others.  (``fs:`` is accepted for symmetry.)"""
+    text = os.fspath(spec)
+    for kind in BACKEND_KINDS:
+        prefix = kind + ":"
+        if text.startswith(prefix):
+            return kind, text[len(prefix):]
+    return "fs", text
+
+
+def storage_spec(kind: str, root: Union[str, Path]) -> str:
+    """The canonical spec string for a backend: the bare path for the
+    default ``fs`` kind (so specs stay valid cache-dir arguments for
+    older readers), ``<kind>:<path>`` otherwise."""
+    text = os.fspath(root)
+    return text if kind == "fs" else f"{kind}:{text}"
+
+
+class StorageEntry:
+    """One stored entry, as enumerated by :meth:`StorageBackend.entries`."""
+
+    __slots__ = ("key", "kind", "bytes", "mtime", "shard")
+
+    def __init__(
+        self, key: str, kind: str, bytes: int, mtime: float, shard: int
+    ) -> None:
+        self.key = key
+        self.kind = kind
+        self.bytes = bytes
+        self.mtime = mtime
+        self.shard = shard
+
+    @property
+    def index_key(self) -> str:
+        """The entry's name in the materialized index — the bare key
+        for outcomes, ``<key>.stage.pkl`` for stage artifacts (the
+        naming the index used before the storage layer existed)."""
+        if self.kind == KIND_STAGE:
+            return self.key + STAGE_SUFFIX
+        return self.key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StorageEntry({self.key[:12]}…, {self.kind}, "
+            f"{self.bytes}B, shard={self.shard})"
+        )
+
+
+class StorageBackend(abc.ABC):
+    """Byte storage for cache entries, addressed by ``(key, kind)``.
+
+    Contract highlights (see the module docstring for the full
+    semantics):
+
+    * :meth:`get`/:meth:`put`/:meth:`drop` are lock-free; ``put`` is
+      atomic and raises on failure (clients decide whether that
+      degrades); ``get`` returns ``None`` for a missing entry and
+      touches recency on a hit; ``drop`` is best-effort.
+    * :meth:`entries` enumerates lock-free; entries vanishing
+      mid-scan are skipped.
+    * :meth:`shard_lock` scopes maintenance to one shard; lock wait
+      time accumulates in :attr:`lock_waited`.
+    * :meth:`ensure` creates the physical location (directories,
+      schema) and performs any pending legacy migration; it is the
+      only method entitled to raise on an unusable location.
+    """
+
+    #: Backend kind name (one of :data:`BACKEND_KINDS`).
+    kind: str = ""
+    #: Shard count (16 for sharded backends, 1 for the flat layout).
+    num_shards: int = NUM_SHARDS
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        #: Cumulative seconds spent blocked on shard locks (and, for
+        #: sqlite, busy-retry backoff) — contention accounting.
+        self.lock_waited = 0.0
+
+    @property
+    def spec(self) -> str:
+        """The spec string reconstructing this backend (rides the
+        broker wire format in ``SynthesisJob.stage_cache_dir``)."""
+        return storage_spec(self.kind, self.root)
+
+    def shard_of(self, key: str) -> int:
+        return shard_of(key, self.num_shards)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def ensure(self) -> None:
+        """Create the physical storage location (and migrate any
+        legacy layout found there).  Raises ``OSError`` (or a backend
+        error) when the location is unusable."""
+
+    # -- data plane (lock-free) ---------------------------------------------
+
+    @abc.abstractmethod
+    def get(self, key: str, kind: str) -> Optional[bytes]:
+        """The stored payload, or ``None`` when absent.  Touches the
+        entry's recency on a hit.  Storage-level "not there" is a
+        ``None``; anything else propagates for the client's policy
+        net to classify."""
+
+    @abc.abstractmethod
+    def put(self, key: str, kind: str, payload: bytes) -> None:
+        """Persist *payload* atomically (a torn write must never be
+        observable under the key).  Raises on failure."""
+
+    @abc.abstractmethod
+    def drop(self, key: str, kind: str) -> None:
+        """Best-effort removal; absent entries and I/O trouble are
+        ignored."""
+
+    # -- control plane ------------------------------------------------------
+
+    @abc.abstractmethod
+    def entries(self, shard: Optional[int] = None) -> List[StorageEntry]:
+        """Every stored entry (optionally restricted to one shard),
+        enumerated without taking any lock."""
+
+    @abc.abstractmethod
+    def shard_lock(
+        self, shard: int, timeout: float = 10.0
+    ) -> ContextManager[object]:
+        """An exclusive maintenance lock over one shard."""
+
+    @abc.abstractmethod
+    def sweep_stale_temps(self, horizon_seconds: float) -> int:
+        """Remove write temporaries orphaned by crashed writers and
+        older than *horizon_seconds*; returns how many were swept."""
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Drop every entry (of *kind*, or all kinds); returns the
+        number removed.  Callers wanting exclusion hold the shard
+        locks around this."""
+        removed = 0
+        for entry in self.entries():
+            if kind is not None and entry.kind != kind:
+                continue
+            self.drop(entry.key, entry.kind)
+            removed += 1
+        return removed
+
+    # -- materialized index (optional) --------------------------------------
+
+    def read_index(self) -> Optional[dict]:
+        """The last materialized index, or ``None`` when this backend
+        keeps none (stats then fall back to a live scan)."""
+        return None
+
+    def write_index(self, index: dict) -> None:
+        """Persist the materialized index (no-op by default)."""

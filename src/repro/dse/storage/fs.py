@@ -1,0 +1,325 @@
+"""Filesystem storage backends: 16-way sharded, plus the legacy flat
+layout.
+
+:class:`ShardedFsBackend` is the default.  It keeps the filesystem
+cache's operational properties — atomic temp-file renames, mtime
+recency, human-greppable entries — but splits the directory into 16
+key-prefix shards (``shard-0`` … ``shard-f``, by the key's leading
+hex digit), each with its own :class:`DirectoryLock`, so maintenance
+contention divides by 16 and a gc pass never holds one global lock
+for a whole-directory scan.
+
+**Legacy migration.**  A root written by the pre-shard layout (entry
+files directly in the root) is migrated transparently: each 64-hex
+``<sha>.json`` / ``<sha>.stage.pkl`` found at the root is moved into
+its shard with ``os.replace`` — atomic, mtime-preserving (so LRU
+recency survives), and idempotent under concurrent migrators (the
+loser's rename simply finds the source gone).  Migration runs at
+:meth:`ensure` and again lazily before any enumeration, so a stray
+flat entry written later by an old client is still adopted rather
+than leaked; a flat entry is also consulted directly on a sharded
+read miss before concluding the key is absent.  Foreign files
+(anything not shaped like an entry) are never touched.
+
+:class:`FlatFsBackend` *is* the pre-shard layout (``num_shards == 1``,
+one lock at the root), kept for strict layout compatibility with
+external tooling and as the single-lock baseline the
+``cache_contention`` benchmark phase measures against.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.dse.storage.base import (
+    KIND_OUTCOME,
+    KIND_STAGE,
+    KIND_SUFFIXES,
+    StorageBackend,
+    StorageEntry,
+)
+from repro.dse.storage.locks import DirectoryLock
+
+#: Shard directory name prefix: ``shard-0`` … ``shard-f``.
+SHARD_PREFIX = "shard-"
+
+#: Materialized index file name.  Deliberately *not* ``*.json`` so
+#: entry globs never mistake it for an outcome.
+INDEX_NAME = "index.meta"
+
+_KIND_BY_SUFFIX = {suffix: kind for kind, suffix in KIND_SUFFIXES.items()}
+
+
+class _TrackedLock:
+    """Context manager adapting one :class:`DirectoryLock` so its
+    acquisition wait feeds the backend's contention counter."""
+
+    def __init__(self, backend: "ShardedFsBackend", lock: DirectoryLock):
+        self._backend = backend
+        self._lock = lock
+
+    def __enter__(self) -> DirectoryLock:
+        before = self._lock.waited
+        try:
+            self._lock.acquire()
+        finally:
+            self._backend.lock_waited += self._lock.waited - before
+        return self._lock
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._lock.release()
+
+
+class ShardedFsBackend(StorageBackend):
+    """16-way key-prefix-sharded filesystem layout."""
+
+    kind = "fs"
+    num_shards = 16
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        super().__init__(root)
+
+    # -- layout -------------------------------------------------------------
+
+    def shard_dir(self, shard: int) -> Path:
+        return self.root / f"{SHARD_PREFIX}{shard:x}"
+
+    def entry_path(self, key: str, kind: str) -> Path:
+        """Where *key*'s entry lives in the sharded layout."""
+        return self.shard_dir(self.shard_of(key)) / (
+            key + KIND_SUFFIXES[kind]
+        )
+
+    def _legacy_path(self, key: str, kind: str) -> Path:
+        return self.root / (key + KIND_SUFFIXES[kind])
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def ensure(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        for shard in range(self.num_shards):
+            self.shard_dir(shard).mkdir(exist_ok=True)
+        self._migrate_flat()
+
+    def _migrate_flat(self) -> None:
+        """Adopt pre-shard entries found at the root (best-effort;
+        concurrent migrators race benignly on ``os.replace``)."""
+        for path, key, kind in _scan_entries(self.root):
+            target = self.entry_path(key, kind)
+            try:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, target)
+            except OSError:
+                continue
+
+    # -- data plane ---------------------------------------------------------
+
+    def get(self, key: str, kind: str) -> Optional[bytes]:
+        path = self.entry_path(key, kind)
+        try:
+            payload = path.read_bytes()
+        except FileNotFoundError:
+            migrated = self._adopt_legacy(key, kind)
+            if migrated is None:
+                return None
+            path, payload = migrated
+        try:
+            # Touch the entry so LRU eviction sees *use* recency, not
+            # just write recency.
+            os.utime(path)
+        except OSError:
+            pass
+        return payload
+
+    def _adopt_legacy(
+        self, key: str, kind: str
+    ) -> Optional[Tuple[Path, bytes]]:
+        """A flat-layout entry for *key*, moved into its shard and
+        read — or ``None`` when the key is genuinely absent."""
+        legacy = self._legacy_path(key, kind)
+        target = self.entry_path(key, kind)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, target)
+        except OSError:
+            return None
+        try:
+            return target, target.read_bytes()
+        except FileNotFoundError:  # lost to a concurrent gc/clear
+            return None
+
+    def put(self, key: str, kind: str, payload: bytes) -> None:
+        shard_dir = self.shard_dir(self.shard_of(key))
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(
+            dir=shard_dir, prefix=".tmp-", suffix=KIND_SUFFIXES[kind]
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_path, self.entry_path(key, kind))
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def drop(self, key: str, kind: str) -> None:
+        for path in (
+            self.entry_path(key, kind),
+            self._legacy_path(key, kind),
+        ):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # -- control plane ------------------------------------------------------
+
+    def entries(self, shard: Optional[int] = None) -> List[StorageEntry]:
+        self._migrate_flat()
+        found: List[StorageEntry] = []
+        shards: Iterator[int] = (
+            iter(range(self.num_shards)) if shard is None else iter((shard,))
+        )
+        for index in shards:
+            directory = self.shard_dir(index)
+            for path, key, kind in _scan_entries(directory):
+                try:
+                    stat = path.stat()
+                except OSError:  # lost to a concurrent gc/clear
+                    continue
+                found.append(
+                    StorageEntry(
+                        key=key,
+                        kind=kind,
+                        bytes=stat.st_size,
+                        mtime=stat.st_mtime,
+                        shard=index,
+                    )
+                )
+        return found
+
+    def shard_lock(self, shard: int, timeout: float = 10.0) -> _TrackedLock:
+        directory = self.shard_dir(shard)
+        directory.mkdir(parents=True, exist_ok=True)
+        return _TrackedLock(self, DirectoryLock(directory, timeout=timeout))
+
+    def sweep_stale_temps(self, horizon_seconds: float) -> int:
+        horizon = time.time() - horizon_seconds
+        swept = 0
+        directories = [self.root]
+        directories.extend(
+            self.shard_dir(index) for index in range(self.num_shards)
+        )
+        for directory in directories:
+            for path in directory.glob(".tmp-*"):
+                try:
+                    if path.stat().st_mtime < horizon:
+                        path.unlink()
+                        swept += 1
+                except OSError:
+                    continue
+        return swept
+
+    # -- materialized index -------------------------------------------------
+
+    def read_index(self) -> Optional[dict]:
+        try:
+            import json
+
+            with open(
+                self.root / INDEX_NAME, "r", encoding="utf-8"
+            ) as handle:
+                loaded = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return loaded if isinstance(loaded, dict) else None
+
+    def write_index(self, index: dict) -> None:
+        # Unique temp per writer: concurrent gc's on disjoint shards
+        # finish with concurrent index rewrites, and a shared temp
+        # name would let one writer consume (or interleave with)
+        # another's file mid-publish.  Last replace wins, atomically.
+        import json
+
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".index"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(index, handle, sort_keys=True)
+            os.replace(temp_path, self.root / INDEX_NAME)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def drop_index(self) -> None:
+        try:
+            (self.root / INDEX_NAME).unlink()
+        except OSError:
+            pass
+
+
+class FlatFsBackend(ShardedFsBackend):
+    """The pre-shard single-directory layout: every entry at the
+    root, one lock, one shard.  Never migrates anything (the layout
+    *is* the legacy layout)."""
+
+    kind = "flat"
+    num_shards = 1
+
+    def shard_dir(self, shard: int) -> Path:
+        return self.root
+
+    def ensure(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _migrate_flat(self) -> None:
+        return None
+
+    def _adopt_legacy(
+        self, key: str, kind: str
+    ) -> Optional[Tuple[Path, bytes]]:
+        return None
+
+    def sweep_stale_temps(self, horizon_seconds: float) -> int:
+        horizon = time.time() - horizon_seconds
+        swept = 0
+        for path in self.root.glob(".tmp-*"):
+            try:
+                if path.stat().st_mtime < horizon:
+                    path.unlink()
+                    swept += 1
+            except OSError:
+                continue
+        return swept
+
+
+def _scan_entries(
+    directory: Path,
+) -> Iterator[Tuple[Path, str, str]]:
+    """``(path, key, kind)`` for every entry-shaped file directly in
+    *directory*: ``<64-hex>.json`` outcomes and ``<64-hex>.stage.pkl``
+    stage artifacts.  Foreign files are skipped."""
+    for suffix, kind in _KIND_BY_SUFFIX.items():
+        try:
+            candidates = list(directory.glob(f"*{suffix}"))
+        except OSError:  # directory vanished mid-scan
+            return
+        for path in candidates:
+            key = path.name[: -len(suffix)]
+            # Only the key length is checked (matching the pre-shard
+            # enumeration): keys are SHA-256 hex in practice, but the
+            # contract is any 64-char name; non-hex leading characters
+            # simply land in shard 0.
+            if len(key) == 64:
+                yield path, key, kind

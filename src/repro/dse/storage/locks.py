@@ -1,0 +1,196 @@
+"""Advisory directory locking for cache maintenance.
+
+:class:`DirectoryLock` lived in :mod:`repro.dse.service` through PR 9;
+it moved here when the storage layer grew shard-scoped locking (every
+filesystem shard carries its own lock instance) so the lock has no
+dependency on the service layer.  ``repro.dse.service`` re-exports it
+under the old name for compatibility.
+
+Two implementations behind one interface:
+
+* ``flock`` on a sentinel file where available — locks die with the
+  holder, so a crashed process never wedges the cache, and exclusion
+  is kernel-enforced;
+* an ``O_CREAT|O_EXCL`` spin lock elsewhere, where a lock file older
+  than ``stale_after`` seconds is treated as abandoned and broken.
+
+The spin-lock fallback is best-effort advisory locking: age is the
+only liveness signal, so a holder that legitimately works longer than
+``stale_after`` (default: one hour) can be broken.  What it does
+guarantee — this was a real race, fixed with a regression test — is
+that **at most one waiter ever concludes it broke a given stale
+lock**: breaking happens by atomic rename-to-grave, never by unlink,
+and each lock file carries a per-acquisition ownership token so a
+holder whose lock was stolen and re-granted can never unlink the new
+holder's lock file on release.
+
+Every acquisition records how long it blocked in :attr:`waited`, so
+the storage backends can account lock contention (the
+``cache_contention`` benchmark phase aggregates exactly this).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Optional, Union
+
+try:  # POSIX only; the spin-lock fallback covers the rest.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+LOCK_NAME = ".lock"
+
+
+class CacheLockTimeout(TimeoutError):
+    """Raised when the directory lock cannot be acquired in time."""
+
+
+class DirectoryLock:
+    """Advisory exclusive lock over one cache (or shard) directory."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        timeout: float = 10.0,
+        poll: float = 0.05,
+        stale_after: float = 3600.0,
+    ) -> None:
+        self.root = Path(root)
+        self.timeout = timeout
+        self.poll = poll
+        self.stale_after = stale_after
+        #: Cumulative seconds this instance spent blocked in
+        #: :meth:`acquire` (contention accounting; ~0 when uncontended).
+        self.waited = 0.0
+        self._fd: Optional[int] = None
+        self._spin_path: Optional[Path] = None
+        self._token: Optional[bytes] = None
+
+    def acquire(self) -> None:
+        started = time.monotonic()
+        deadline = started + self.timeout
+        lock_path = self.root / LOCK_NAME
+        if fcntl is not None:
+            fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    self._fd = fd
+                    self.waited += time.monotonic() - started
+                    return
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        os.close(fd)
+                        self.waited += time.monotonic() - started
+                        raise CacheLockTimeout(
+                            f"cache lock busy for {self.timeout:.1f}s: "
+                            f"{lock_path}"
+                        ) from None
+                    time.sleep(self.poll)
+        spin_path = self.root / (LOCK_NAME + ".pid")
+        token = f"{os.getpid()}:{uuid.uuid4().hex}".encode("ascii")
+        while True:
+            try:
+                fd = os.open(
+                    spin_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+                os.write(fd, token)
+                os.close(fd)
+                self._spin_path = spin_path
+                self._token = token
+                self.waited += time.monotonic() - started
+                return
+            except FileExistsError:
+                self._break_stale_spin_lock(spin_path)
+                if time.monotonic() >= deadline:
+                    self.waited += time.monotonic() - started
+                    raise CacheLockTimeout(
+                        f"cache lock busy for {self.timeout:.1f}s: "
+                        f"{spin_path}"
+                    ) from None
+                time.sleep(self.poll)
+
+    def _break_stale_spin_lock(self, spin_path: Path) -> bool:
+        """Remove a spin-lock file abandoned by a crashed holder (no
+        living process refreshes it, so age is the only signal).
+
+        Breaking happens by atomic *rename* to a per-breaker grave
+        name, never by direct unlink: when several waiters decide the
+        lock is stale at once, exactly one rename succeeds, so two
+        waiters can never each remove a lock file (the classic
+        stat-then-unlink race that would let two of them acquire).
+        After winning the rename the age is re-checked; a lock that
+        turns out to be live (replaced between stat and rename) is
+        restored via ``os.link``, which fails harmlessly if a newer
+        holder has taken the slot meanwhile — and because every lock
+        file carries its holder's ownership token, the restored
+        holder's eventual :meth:`release` can never unlink a lock
+        that is no longer its own.
+
+        Returns True only for the single waiter whose rename both
+        succeeded *and* removed a genuinely stale lock; every other
+        caller (lost the rename race, lock was released meanwhile, or
+        the steal turned out to be live) gets False."""
+        try:
+            if time.time() - spin_path.stat().st_mtime <= self.stale_after:
+                return False
+        except OSError:  # already released
+            return False
+        grave = spin_path.with_name(
+            f"{spin_path.name}.broken-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            os.rename(spin_path, grave)
+        except OSError:  # another waiter broke it (or it was released)
+            return False
+        try:
+            stolen_live = (
+                time.time() - grave.stat().st_mtime <= self.stale_after
+            )
+        except OSError:
+            stolen_live = False
+        if stolen_live:
+            try:
+                os.link(grave, spin_path)
+            except OSError:
+                pass
+        try:
+            grave.unlink()
+        except OSError:
+            pass
+        return not stolen_live
+
+    def release(self) -> None:
+        if self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)  # type: ignore[union-attr]
+            finally:
+                os.close(self._fd)
+                self._fd = None
+        if self._spin_path is not None:
+            # Unlink only a lock file that still carries *our* token: a
+            # holder whose (legitimately long-running) lock was broken
+            # as stale and re-granted to another waiter must not remove
+            # the new holder's lock on the way out.
+            try:
+                current = self._spin_path.read_bytes()
+            except OSError:  # pragma: no cover - already gone
+                current = b""
+            if current == self._token:
+                try:
+                    self._spin_path.unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            self._spin_path = None
+            self._token = None
+
+    def __enter__(self) -> "DirectoryLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

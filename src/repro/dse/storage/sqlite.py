@@ -1,0 +1,234 @@
+"""A single-file sqlite/WAL storage backend.
+
+One database (``<root>/cache.sqlite3``) holds every entry as a
+BLOB-valued row, which removes the sharded-filesystem backend's one
+deployment constraint: broker fleets no longer need worker machines
+to share a cache mount.  Each machine points the spec
+(``sqlite:<dir>``) at a *local* directory and gets a private,
+self-contained stage/outcome cache; the broker directory remains the
+only shared filesystem surface.
+
+Concurrency model:
+
+* WAL journal mode, so readers never block the single writer and a
+  crashed process never leaves a corrupt main database;
+* every statement retries on ``SQLITE_BUSY``/``locked`` with capped
+  exponential backoff (on top of sqlite's own busy timeout); time
+  spent backing off accumulates in :attr:`lock_waited`, mirroring
+  the filesystem backends' lock-wait accounting;
+* :meth:`shard_lock` is a no-op context manager: sqlite serializes
+  writers internally and the cache service's maintenance operations
+  are idempotent deletions, so an advisory lock would only add a
+  second lock hierarchy.  Shard semantics (enumeration, budgets)
+  still apply via the ``shard`` column.
+
+Connections are opened lazily per ``(instance, pid)``: a backend that
+rides into a forked/spawned pool worker transparently reopens rather
+than sharing a connection across processes (sqlite connections are
+not fork-safe).
+
+WAL requires a filesystem with working POSIX locks — local disks,
+not NFS.  That is the intended deployment: *local* per-machine
+caches.  For shared-mount caches, use the sharded filesystem
+backend.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.dse.storage.base import (
+    StorageBackend,
+    StorageEntry,
+)
+
+DB_NAME = "cache.sqlite3"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    key     TEXT    NOT NULL,
+    kind    TEXT    NOT NULL,
+    shard   INTEGER NOT NULL,
+    payload BLOB    NOT NULL,
+    bytes   INTEGER NOT NULL,
+    mtime   REAL    NOT NULL,
+    PRIMARY KEY (key, kind)
+);
+CREATE INDEX IF NOT EXISTS entries_shard_mtime ON entries(shard, mtime);
+"""
+
+#: Total time budget for busy retries on one statement.
+BUSY_DEADLINE_SECONDS = 10.0
+
+#: First backoff sleep; doubles up to :data:`_BACKOFF_MAX_SECONDS`.
+_BACKOFF_START_SECONDS = 0.002
+_BACKOFF_MAX_SECONDS = 0.1
+
+
+def _is_busy(error: sqlite3.OperationalError) -> bool:
+    text = str(error).lower()
+    return "locked" in text or "busy" in text
+
+
+class SqliteBackend(StorageBackend):
+    """BLOB-valued entries in one WAL-mode sqlite database."""
+
+    kind = "sqlite"
+    num_shards = 16
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        busy_timeout: float = BUSY_DEADLINE_SECONDS,
+    ) -> None:
+        super().__init__(root)
+        self.busy_timeout = busy_timeout
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+
+    @property
+    def db_path(self) -> Path:
+        return self.root / DB_NAME
+
+    # -- connection management ----------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        pid = os.getpid()
+        if self._conn is not None and self._conn_pid != pid:
+            # Inherited across a fork: abandon (closing could corrupt
+            # the parent's connection state) and reopen.
+            self._conn = None
+        if self._conn is None:
+            conn = sqlite3.connect(
+                self.db_path,
+                timeout=self.busy_timeout,
+                isolation_level=None,  # autocommit; statements are atomic
+                check_same_thread=False,
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.executescript(_SCHEMA)
+            self._conn = conn
+            self._conn_pid = pid
+        return self._conn
+
+    def _execute(
+        self, sql: str, parameters: tuple = ()
+    ) -> sqlite3.Cursor:
+        """Run one statement, retrying busy/locked errors with capped
+        exponential backoff; backoff time feeds :attr:`lock_waited`."""
+        deadline = time.monotonic() + self.busy_timeout
+        backoff = _BACKOFF_START_SECONDS
+        while True:
+            try:
+                return self._connection().execute(sql, parameters)
+            except sqlite3.OperationalError as error:
+                if not _is_busy(error) or time.monotonic() >= deadline:
+                    raise
+                time.sleep(backoff)
+                self.lock_waited += backoff
+                backoff = min(backoff * 2, _BACKOFF_MAX_SECONDS)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def ensure(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._connection()
+
+    # -- data plane ---------------------------------------------------------
+
+    def get(self, key: str, kind: str) -> Optional[bytes]:
+        try:
+            row = self._execute(
+                "SELECT payload FROM entries WHERE key = ? AND kind = ?",
+                (key, kind),
+            ).fetchone()
+        except sqlite3.Error:
+            # Missing directory, unreadable or corrupt database: a
+            # storage-level miss, mirroring the filesystem backends.
+            return None
+        if row is None:
+            return None
+        try:
+            # Touch recency so LRU eviction tracks *use*.
+            self._execute(
+                "UPDATE entries SET mtime = ? WHERE key = ? AND kind = ?",
+                (time.time(), key, kind),
+            )
+        except sqlite3.Error:
+            pass
+        return bytes(row[0])
+
+    def put(self, key: str, kind: str, payload: bytes) -> None:
+        self._execute(
+            "INSERT OR REPLACE INTO entries "
+            "(key, kind, shard, payload, bytes, mtime) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                key,
+                kind,
+                self.shard_of(key),
+                sqlite3.Binary(payload),
+                len(payload),
+                time.time(),
+            ),
+        )
+
+    def drop(self, key: str, kind: str) -> None:
+        try:
+            self._execute(
+                "DELETE FROM entries WHERE key = ? AND kind = ?",
+                (key, kind),
+            )
+        except sqlite3.Error:
+            pass
+
+    # -- control plane ------------------------------------------------------
+
+    def entries(self, shard: Optional[int] = None) -> List[StorageEntry]:
+        sql = "SELECT key, kind, bytes, mtime, shard FROM entries"
+        parameters: tuple = ()
+        if shard is not None:
+            sql += " WHERE shard = ?"
+            parameters = (shard,)
+        try:
+            rows = self._execute(sql, parameters).fetchall()
+        except sqlite3.Error:
+            return []
+        return [
+            StorageEntry(
+                key=row[0],
+                kind=row[1],
+                bytes=int(row[2]),
+                mtime=float(row[3]),
+                shard=int(row[4]),
+            )
+            for row in rows
+        ]
+
+    @contextmanager
+    def _noop_lock(self) -> Iterator[None]:
+        yield None
+
+    def shard_lock(self, shard: int, timeout: float = 10.0):
+        return self._noop_lock()
+
+    def sweep_stale_temps(self, horizon_seconds: float) -> int:
+        return 0
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        try:
+            if kind is None:
+                cursor = self._execute("DELETE FROM entries")
+            else:
+                cursor = self._execute(
+                    "DELETE FROM entries WHERE kind = ?", (kind,)
+                )
+        except sqlite3.Error:
+            return 0
+        return cursor.rowcount if cursor.rowcount > 0 else 0

@@ -1,24 +1,32 @@
-"""Content-addressed stage artifacts: pickled flow snapshots on disk.
+"""Content-addressed stage artifacts: pickled flow snapshots.
 
 A :class:`StageArtifactStore` persists the intermediate products of
 the staged synthesis flow — the parsed :class:`~repro.ir.htg.Design`,
 the transformed design plus its pass reports, the scheduled
-:class:`~repro.scheduler.schedule.StateMachine` — one pickle file per
-content hash, in the *same directory* as the outcome cache
-(`<key>.stage.pkl` beside `<key>.json`).  That placement is
-deliberate: the cache service's directory lock, size-bounded LRU gc
-and `clear` govern stage artifacts exactly like outcome entries, and
-`get` touches an artifact's mtime on every hit so eviction tracks
-*use* recency.
+:class:`~repro.scheduler.schedule.StateMachine` — one pickle payload
+per content hash, in the *same storage backend* as the outcome cache
+(on the filesystem backends: ``<key>.stage.pkl`` beside
+``<key>.json``).  That placement is deliberate: the cache service's
+shard locks, size-bounded LRU gc and ``clear`` govern stage
+artifacts exactly like outcome entries, and ``get`` touches an
+artifact's recency on every hit so eviction tracks *use* recency.
+
+The store is a thin client of :mod:`repro.dse.storage`: its ``root``
+argument accepts a plain directory (the sharded filesystem backend),
+a backend spec string such as ``sqlite:<dir>`` — the form that rides
+the broker wire format in ``SynthesisJob.stage_cache_dir`` — or an
+already-constructed :class:`~repro.dse.storage.base.StorageBackend`
+instance (so an engine-side store shares the outcome cache's
+connection and contention accounting).
 
 Every operation is best-effort and crash-safe:
 
-* writes go through a temp-file ``os.replace`` so a dying worker can
+* writes are atomic (the backend contract) so a dying worker can
   never leave a torn artifact under a valid key;
 * a corrupted, truncated or type-confused artifact reads as a miss
   (and is dropped) — never an exception — so cache damage costs a
   recompute, not a sweep;
-* a store rooted in an unwritable directory degrades to a no-op
+* a store rooted in an unwritable location degrades to a no-op
   writer rather than failing jobs.
 
 The one exception class that must *not* be swallowed is the caller's
@@ -28,44 +36,63 @@ own control flow — :class:`repro.spark.JobTimeout` riding on
 
 **Trust boundary.**  Artifacts are ``pickle`` payloads, and
 unpickling executes code the payload names: anyone with write access
-to the cache directory can run code in every worker that probes it.
+to the cache backend can run code in every worker that probes it.
 This is the trust model the DSE layer already has — a broker queue in
 the same shared directory accepts job files whose ``environment``
 field names an arbitrary ``module:function`` each worker imports and
-calls — so the cache/broker directory must only ever be writable by
+calls — so the cache/broker location must only ever be writable by
 the same principals who may submit synthesis jobs.  Never point
-``stage_cache_dir``/``$REPRO_DSE_CACHE`` at a directory less trusted
+``stage_cache_dir``/``$REPRO_DSE_CACHE`` at a location less trusted
 than the code you are willing to execute.
 """
 
 from __future__ import annotations
 
-import os
 import pickle
-import tempfile
 from pathlib import Path
 from typing import Optional, Tuple, Type, Union
 
-#: File suffix distinguishing stage artifacts from outcome entries in
-#: the shared cache directory.
+#: File suffix distinguishing stage artifacts from outcome entries on
+#: the filesystem backends.
 STAGE_SUFFIX = ".stage.pkl"
 
 
+def _resolve_backend(root):
+    """The storage backend for *root* (path, spec string, or backend
+    instance).  Imported lazily: :mod:`repro.flow` must stay
+    importable without dragging in the DSE layer, and the DSE layer
+    itself imports this module during its own package init."""
+    from repro.dse.storage import StorageBackend, make_backend
+
+    if isinstance(root, StorageBackend):
+        return root
+    return make_backend(root)
+
+
 class StageArtifactStore:
-    """Directory of pickled stage snapshots, keyed by content hash."""
+    """Pickled stage snapshots, keyed by content hash."""
 
     def __init__(
         self,
-        root: Union[str, Path],
+        root: Union[str, Path, object],
         passthrough: Tuple[Type[BaseException], ...] = (),
     ) -> None:
-        self.root = Path(root)
+        self.backend = _resolve_backend(root)
+        self.root = self.backend.root
         self.passthrough = tuple(passthrough)
         self.hits = 0
         self.misses = 0
 
     def path_for(self, key: str) -> Path:
-        return self.root / f"{key}{STAGE_SUFFIX}"
+        """Where *key*'s artifact lives (filesystem backends only;
+        the sqlite backend stores rows, not files)."""
+        return self.backend.entry_path(key, self._kind())
+
+    @staticmethod
+    def _kind() -> str:
+        from repro.dse.storage import KIND_STAGE
+
+        return KIND_STAGE
 
     def get(self, key: str) -> Optional[object]:
         """The stored artifact, or ``None`` on a miss.  Unreadable or
@@ -73,52 +100,35 @@ class StageArtifactStore:
         an incompatible interpreter) are dropped and counted as misses
         — unpickling hostile bytes can raise nearly anything, so the
         net is deliberately wide."""
-        path = self.path_for(key)
         try:
-            with open(path, "rb") as handle:
-                artifact = pickle.load(handle)
+            payload = self.backend.get(key, self._kind())
+            artifact = (
+                None if payload is None else pickle.loads(payload)
+            )
         except self.passthrough:
             raise
         except (KeyboardInterrupt, SystemExit):
             raise
-        except FileNotFoundError:
-            self.misses += 1
-            return None
         except Exception:
             self.drop(key)
             self.misses += 1
             return None
+        if payload is None:
+            self.misses += 1
+            return None
         self.hits += 1
-        try:
-            # Touch the artifact so the cache service's LRU eviction
-            # sees *use* recency, not just write recency.
-            os.utime(path)
-        except OSError:
-            pass
         return artifact
 
     def put(self, key: str, artifact: object) -> bool:
-        """Persist atomically (temp file, then rename); returns False
-        — instead of raising — when the artifact cannot be pickled or
-        the directory cannot be written, so stage caching degrades to
-        recomputation rather than failing the synthesis run."""
+        """Persist atomically; returns False — instead of raising —
+        when the artifact cannot be pickled or the backend cannot be
+        written, so stage caching degrades to recomputation rather
+        than failing the synthesis run."""
         try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, temp_path = tempfile.mkstemp(
-                dir=self.root, prefix=".tmp-", suffix=".pkl"
+            payload = pickle.dumps(
+                artifact, protocol=pickle.HIGHEST_PROTOCOL
             )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(
-                        artifact, handle, protocol=pickle.HIGHEST_PROTOCOL
-                    )
-                os.replace(temp_path, self.path_for(key))
-            except BaseException:
-                try:
-                    os.unlink(temp_path)
-                except OSError:
-                    pass
-                raise
+            self.backend.put(key, self._kind(), payload)
         except self.passthrough:
             raise
         except (KeyboardInterrupt, SystemExit):
@@ -128,14 +138,17 @@ class StageArtifactStore:
         return True
 
     def drop(self, key: str) -> None:
-        """Remove one entry (used when an artifact reads as garbage)."""
-        try:
-            os.unlink(self.path_for(key))
-        except OSError:
-            pass
+        """Remove one entry (used when an artifact reads as garbage).
+        The backends make this best-effort themselves (absent entries
+        and I/O trouble are ignored), so nothing is caught here — a
+        ``passthrough`` exception firing mid-drop must escape."""
+        self.backend.drop(key, self._kind())
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob(f"*{STAGE_SUFFIX}"))
+        kind = self._kind()
+        return sum(
+            1 for entry in self.backend.entries() if entry.kind == kind
+        )
 
     def stats(self) -> str:
         return f"{self.hits} hits, {self.misses} misses"

@@ -247,11 +247,13 @@ class SynthesisJob:
         order).  Scheduling metadata, like ``timeout`` — never part of
         the job's content fingerprint.
     stage_cache_dir:
-        directory for content-addressed stage artifacts (usually the
-        outcome cache directory, stamped by the exploration engine);
-        empty disables stage caching.  A *location*, not content — it
-        rides the wire format so pool and broker workers share
-        artifacts, but is excluded from the fingerprint.
+        storage location for content-addressed stage artifacts: a
+        directory, or a :mod:`repro.dse.storage` backend spec string
+        such as ``sqlite:<dir>`` (usually the outcome cache's spec,
+        stamped by the exploration engine); empty disables stage
+        caching.  A *location*, not content — it rides the wire
+        format so pool and broker workers share artifacts, but is
+        excluded from the fingerprint.
     verify:
         run the static verifier (:mod:`repro.analysis.verifier`)
         after every transform pass and at every stage boundary; a

@@ -42,6 +42,12 @@ def put_outcome(root, key, label="x", pad=0) -> None:
     )
 
 
+def entry_path(root, key):
+    """Where *key*'s outcome entry lives on the default (sharded
+    filesystem) backend."""
+    return ResultCache(root).path_for(key)
+
+
 # ---------------------------------------------------------------------------
 # Concurrent access (the temp-file rename path in ResultCache.put)
 # ---------------------------------------------------------------------------
@@ -85,9 +91,10 @@ class TestConcurrentAccess:
         final = ResultCache(tmp_path).get(KEY_A)
         assert final is not None
         assert final.label.startswith("w")
-        # Exactly one entry file, no leftover temp files.
-        assert len(list(tmp_path.glob("*.json"))) == 1
-        assert list(tmp_path.glob(".tmp-*")) == []
+        # Exactly one entry file, no leftover temp files (entries
+        # live inside the shard directories).
+        assert len(list(tmp_path.rglob("*.json"))) == 1
+        assert list(tmp_path.rglob(".tmp-*")) == []
 
     def test_eviction_races_read_as_misses(self, tmp_path):
         # gc removing an entry mid-sweep is an ordinary miss for any
@@ -164,32 +171,45 @@ class TestCacheService:
         assert not (tmp_path / INDEX_NAME).exists()
 
     def test_gc_evicts_least_recently_used_first(self, tmp_path):
-        put_outcome(tmp_path, KEY_A, pad=512)
-        put_outcome(tmp_path, KEY_B, pad=512)
-        put_outcome(tmp_path, KEY_C, pad=512)
+        # Three keys in the *same* shard (gc budgets are per-shard on
+        # the default backend, so LRU ordering is a within-shard
+        # property; the budget below gives their shard room for two).
+        key_old, key_mid, key_new = (
+            "a" + "0" * 63,
+            "a" + "1" * 63,
+            "a" + "2" * 63,
+        )
+        put_outcome(tmp_path, key_old, pad=512)
+        put_outcome(tmp_path, key_mid, pad=512)
+        put_outcome(tmp_path, key_new, pad=512)
         now = time.time()
-        os.utime(tmp_path / f"{KEY_A}.json", (now - 300, now - 300))
-        os.utime(tmp_path / f"{KEY_B}.json", (now - 200, now - 200))
-        os.utime(tmp_path / f"{KEY_C}.json", (now - 100, now - 100))
-        entry_bytes = (tmp_path / f"{KEY_C}.json").stat().st_size
+        os.utime(entry_path(tmp_path, key_old), (now - 300, now - 300))
+        os.utime(entry_path(tmp_path, key_mid), (now - 200, now - 200))
+        os.utime(entry_path(tmp_path, key_new), (now - 100, now - 100))
+        entry_bytes = entry_path(tmp_path, key_new).stat().st_size
 
-        service = CacheService(tmp_path, max_bytes=2 * entry_bytes)
+        # 16 shards: give the whole cache 16x a two-entry budget so
+        # the shard holding all three keys gets exactly 2 * entry_bytes.
+        service = CacheService(tmp_path, max_bytes=16 * 2 * entry_bytes)
         report = service.gc()
         assert report.examined == 3
         assert report.evicted == 1
         assert report.freed_bytes > 0
+        # Per-shard accounting reconciles with the headline totals.
+        assert sum(s.budget for s in report.shards) == service.max_bytes
+        assert sum(s.evicted for s in report.shards) == report.evicted
         # The oldest (least recently used) entry went first.
-        assert not (tmp_path / f"{KEY_A}.json").exists()
-        assert (tmp_path / f"{KEY_B}.json").exists()
-        assert (tmp_path / f"{KEY_C}.json").exists()
+        assert not entry_path(tmp_path, key_old).exists()
+        assert entry_path(tmp_path, key_mid).exists()
+        assert entry_path(tmp_path, key_new).exists()
 
     def test_cache_get_refreshes_recency(self, tmp_path):
         # A hit must touch the entry so gc sees *use*, not just write.
         put_outcome(tmp_path, KEY_A)
         stale = time.time() - 1000
-        os.utime(tmp_path / f"{KEY_A}.json", (stale, stale))
+        os.utime(entry_path(tmp_path, KEY_A), (stale, stale))
         assert ResultCache(tmp_path).get(KEY_A) is not None
-        assert (tmp_path / f"{KEY_A}.json").stat().st_mtime > stale + 500
+        assert entry_path(tmp_path, KEY_A).stat().st_mtime > stale + 500
 
     def test_gc_writes_the_index(self, tmp_path):
         put_outcome(tmp_path, KEY_A)

@@ -235,6 +235,7 @@ class TestArtifactStore:
     def test_corrupt_artifact_is_a_miss_and_dropped(self, tmp_path):
         store = StageArtifactStore(tmp_path)
         key = "k" * 64
+        store.path_for(key).parent.mkdir(parents=True, exist_ok=True)
         store.path_for(key).write_bytes(b"\x80\x05 this is not a pickle")
         assert store.get(key) is None
         assert not store.path_for(key).exists()
@@ -261,7 +262,7 @@ class TestArtifactStore:
         reference = execute_job(job)
         assert reference.ok
         # Corrupt every artifact in place (truncate + garbage).
-        artifacts = sorted(tmp_path.glob("*.stage.pkl"))
+        artifacts = sorted(tmp_path.rglob("*.stage.pkl"))
         assert artifacts
         for index, path in enumerate(artifacts):
             if index % 2:
@@ -411,7 +412,7 @@ class TestIncrementalSweeps:
             cache_dir=tmp_path, stage_cache=False
         ).explore(jobs)
         assert result.executed == 2
-        assert list(tmp_path.glob("*.stage.pkl")) == []
+        assert list(tmp_path.rglob("*.stage.pkl")) == []
         assert stage_counts(result.outcomes, "transform") == (2, 0)
 
     def test_no_outcome_cache_means_no_stage_cache(self):
@@ -475,7 +476,7 @@ class TestStageCacheCli:
         assert "stage breakdown" in out
         assert "transform" in out
         assert (tmp_path / "cache").exists()
-        assert list((tmp_path / "cache").glob("*.stage.pkl"))
+        assert list((tmp_path / "cache").rglob("*.stage.pkl"))
 
     def test_no_stage_cache_flag(self, tmp_path, capsys):
         from repro.cli import main
@@ -486,7 +487,7 @@ class TestStageCacheCli:
              "--cache-dir", str(tmp_path / "cache"), "--output", "total"]
         )
         assert status == 0
-        assert list((tmp_path / "cache").glob("*.stage.pkl")) == []
+        assert list((tmp_path / "cache").rglob("*.stage.pkl")) == []
 
 
 # ---------------------------------------------------------------------------
@@ -503,8 +504,8 @@ class TestServiceIntegration:
             base_script=base_script(),
         )
         ExplorationEngine(cache_dir=tmp_path).explore(jobs)
-        outcomes = len(list(tmp_path.glob("*.json")))
-        artifacts = len(list(tmp_path.glob("*.stage.pkl")))
+        outcomes = len(list(tmp_path.rglob("*.json")))
+        artifacts = len(list(tmp_path.rglob("*.stage.pkl")))
         assert outcomes == 3 and artifacts >= 3
         service = CacheService(tmp_path)
         assert service.stats().entries == outcomes + artifacts
@@ -512,7 +513,7 @@ class TestServiceIntegration:
         tiny = CacheService(tmp_path, max_bytes=1)
         report = tiny.gc()
         assert report.evicted == outcomes + artifacts
-        assert list(tmp_path.glob("*.stage.pkl")) == []
+        assert list(tmp_path.rglob("*.stage.pkl")) == []
         # ...and an evicted artifact is just a miss: the sweep reruns.
         rerun = ExplorationEngine(cache_dir=tmp_path).explore(jobs)
         assert rerun.executed == 3
@@ -527,8 +528,8 @@ class TestServiceIntegration:
         )
         ExplorationEngine(cache_dir=tmp_path).explore(jobs)
         assert CacheService(tmp_path).clear() >= 2
-        assert list(tmp_path.glob("*.stage.pkl")) == []
-        assert list(tmp_path.glob("*.json")) == []
+        assert list(tmp_path.rglob("*.stage.pkl")) == []
+        assert list(tmp_path.rglob("*.json")) == []
 
     def test_artifact_pickles_are_loadable_snapshots(self, tmp_path):
         """The stored bytes really are Design/StateMachine snapshots,
@@ -564,8 +565,8 @@ class TestServiceIntegration:
         b = make_job(stage_cache_dir=str(tmp_path))
         b.script = dataclasses.replace(b.script, clock_period=7.0)
         execute_job(a)
-        before = {p.name for p in tmp_path.glob("*.stage.pkl")}
+        before = {p.name for p in tmp_path.rglob("*.stage.pkl")}
         execute_job(b)
-        after = {p.name for p in tmp_path.glob("*.stage.pkl")}
+        after = {p.name for p in tmp_path.rglob("*.stage.pkl")}
         # b added exactly one artifact: its own schedule.
         assert len(after - before) == 1

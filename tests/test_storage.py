@@ -1,0 +1,685 @@
+"""Tests for the pluggable storage layer (repro.dse.storage): backend
+spec parsing, the shared backend contract across fs/flat/sqlite,
+legacy flat-layout migration, the spin-lock stale-break race fix,
+lock-wait accounting, lock-free stats, and cross-process shard
+contention (mixed get/put/gc from N processes)."""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import sqlite3
+import threading
+import time
+
+import pytest
+
+import repro.dse.storage.locks as locks_module
+from repro.dse import ExplorationEngine, grid_from_specs, jobs_from_grid
+from repro.dse.cache import ResultCache
+from repro.dse.service import CacheService, DirectoryLock
+from repro.dse.storage import (
+    BACKEND_KINDS,
+    KIND_OUTCOME,
+    KIND_STAGE,
+    CacheLockTimeout,
+    FlatFsBackend,
+    ShardedFsBackend,
+    SqliteBackend,
+    make_backend,
+    parse_storage_spec,
+    shard_budgets,
+    shard_of,
+    storage_spec,
+)
+from repro.flow.artifacts import StageArtifactStore
+from repro.spark import SynthesisOutcome
+from repro.transforms.base import SynthesisScript
+
+KEY_0 = "0" * 64
+KEY_9 = "9" * 64
+KEY_F = "f" * 64
+
+
+def make(kind, tmp_path):
+    backend = make_backend(tmp_path, kind=kind)
+    backend.ensure()
+    return backend
+
+
+# ---------------------------------------------------------------------------
+# Backend specs and shard math
+# ---------------------------------------------------------------------------
+
+
+class TestSpecs:
+    def test_bare_path_is_the_sharded_fs_backend(self):
+        assert parse_storage_spec("/some/cache") == ("fs", "/some/cache")
+
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_prefixed_specs_round_trip(self, kind):
+        spec = storage_spec(kind, "/some/cache")
+        assert parse_storage_spec(spec) == (kind, "/some/cache")
+
+    def test_fs_spec_is_a_plain_path(self):
+        # Older readers treat the spec as a directory path; the
+        # default kind must therefore stay prefix-free.
+        assert storage_spec("fs", "/some/cache") == "/some/cache"
+        assert storage_spec("sqlite", "/some/cache") == "sqlite:/some/cache"
+
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_make_backend_from_spec_and_kind(self, kind, tmp_path):
+        by_spec = make_backend(storage_spec(kind, tmp_path))
+        by_kind = make_backend(tmp_path, kind=kind)
+        assert by_spec.kind == by_kind.kind == kind
+        assert by_spec.root == by_kind.root == tmp_path
+
+    def test_make_backend_passes_instances_through(self, tmp_path):
+        backend = ShardedFsBackend(tmp_path)
+        assert make_backend(backend) is backend
+
+    def test_make_backend_rejects_unknown_kind(self, tmp_path):
+        with pytest.raises(ValueError):
+            make_backend(tmp_path, kind="redis")
+
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_spec_reconstructs_an_equivalent_backend(self, kind, tmp_path):
+        backend = make(kind, tmp_path)
+        backend.put(KEY_0, KIND_OUTCOME, b"payload")
+        clone = make_backend(backend.spec)
+        assert clone.kind == kind
+        assert clone.get(KEY_0, KIND_OUTCOME) == b"payload"
+
+
+class TestShardMath:
+    def test_shard_is_the_leading_hex_digit(self):
+        assert shard_of(KEY_0) == 0
+        assert shard_of(KEY_9) == 9
+        assert shard_of(KEY_F) == 15
+
+    def test_non_hex_and_empty_keys_land_in_shard_zero(self):
+        assert shard_of("k" * 64) == 0
+        assert shard_of("") == 0
+
+    def test_flat_backend_owns_everything_in_shard_zero(self):
+        assert shard_of(KEY_F, num_shards=1) == 0
+
+    @pytest.mark.parametrize("max_bytes", [0, 5, 16, 1000, 256 * 1024 * 1024])
+    def test_budgets_sum_exactly_to_the_global_budget(self, max_bytes):
+        for shards in (1, 16):
+            budgets = shard_budgets(max_bytes, shards)
+            assert len(budgets) == shards
+            assert sum(budgets) == max_bytes
+            # Remainder spreads: no shard more than one byte ahead.
+            assert max(budgets) - min(budgets) <= 1
+
+
+# ---------------------------------------------------------------------------
+# The backend contract, across all three implementations
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+class TestBackendContract:
+    def test_put_get_roundtrip_both_kinds(self, kind, tmp_path):
+        backend = make(kind, tmp_path)
+        backend.put(KEY_0, KIND_OUTCOME, b"outcome-bytes")
+        backend.put(KEY_0, KIND_STAGE, b"stage-bytes")
+        assert backend.get(KEY_0, KIND_OUTCOME) == b"outcome-bytes"
+        assert backend.get(KEY_0, KIND_STAGE) == b"stage-bytes"
+
+    def test_missing_entry_is_none(self, kind, tmp_path):
+        backend = make(kind, tmp_path)
+        assert backend.get(KEY_0, KIND_OUTCOME) is None
+
+    def test_put_replaces(self, kind, tmp_path):
+        backend = make(kind, tmp_path)
+        backend.put(KEY_0, KIND_OUTCOME, b"old")
+        backend.put(KEY_0, KIND_OUTCOME, b"new")
+        assert backend.get(KEY_0, KIND_OUTCOME) == b"new"
+        assert len(backend.entries()) == 1
+
+    def test_drop_is_idempotent(self, kind, tmp_path):
+        backend = make(kind, tmp_path)
+        backend.put(KEY_0, KIND_OUTCOME, b"payload")
+        backend.drop(KEY_0, KIND_OUTCOME)
+        backend.drop(KEY_0, KIND_OUTCOME)  # absent: ignored
+        assert backend.get(KEY_0, KIND_OUTCOME) is None
+
+    def test_entries_report_key_kind_bytes_and_shard(self, kind, tmp_path):
+        backend = make(kind, tmp_path)
+        backend.put(KEY_9, KIND_OUTCOME, b"123456")
+        (entry,) = backend.entries()
+        assert entry.key == KEY_9
+        assert entry.kind == KIND_OUTCOME
+        assert entry.bytes == 6
+        assert entry.shard == (9 if backend.num_shards == 16 else 0)
+
+    def test_entries_filter_by_shard(self, kind, tmp_path):
+        backend = make(kind, tmp_path)
+        backend.put(KEY_0, KIND_OUTCOME, b"a")
+        backend.put(KEY_F, KIND_OUTCOME, b"b")
+        whole = backend.entries()
+        assert len(whole) == 2
+        per_shard = [
+            entry
+            for shard in range(backend.num_shards)
+            for entry in backend.entries(shard=shard)
+        ]
+        # Shard-by-shard enumeration is a partition of the whole.
+        assert sorted(e.key for e in per_shard) == sorted(
+            e.key for e in whole
+        )
+
+    def test_clear_by_kind_is_selective(self, kind, tmp_path):
+        backend = make(kind, tmp_path)
+        backend.put(KEY_0, KIND_OUTCOME, b"o")
+        backend.put(KEY_9, KIND_STAGE, b"s")
+        assert backend.clear(kind=KIND_OUTCOME) == 1
+        assert backend.get(KEY_0, KIND_OUTCOME) is None
+        assert backend.get(KEY_9, KIND_STAGE) == b"s"
+        assert backend.clear() == 1
+        assert backend.entries() == []
+
+    def test_shard_lock_excludes_a_second_holder(self, kind, tmp_path):
+        backend = make(kind, tmp_path)
+        other = make_backend(backend.spec)
+        with backend.shard_lock(0):
+            if kind == "sqlite":
+                # sqlite's shard_lock is deliberately a no-op (the
+                # database serializes internally): a second holder
+                # must NOT block.
+                with other.shard_lock(0):
+                    pass
+            else:
+                with pytest.raises(CacheLockTimeout):
+                    with other.shard_lock(0, timeout=0.2):
+                        pass  # pragma: no cover
+
+    def test_result_cache_and_stage_store_run_on_it(self, kind, tmp_path):
+        cache = ResultCache(tmp_path, backend=kind)
+        key = KEY_0
+        cache.put(key, SynthesisOutcome(label="run"))
+        assert cache.get(key).label == "run"
+        store = cache.stage_store()
+        assert store.backend is cache.backend  # shared instance
+        assert store.get(key) is None
+        assert store.put(key, {"stage": "artifact"})
+        assert store.get(key) == {"stage": "artifact"}
+        assert len(store) == 1 and len(cache) == 1
+        # One budget, one service: gc/clear govern both kinds.
+        service = CacheService(cache.backend, max_bytes=0)
+        report = service.gc()
+        assert report.evicted == 2
+
+    def test_cache_service_stats_name_the_backend(self, kind, tmp_path):
+        backend = make(kind, tmp_path)
+        service = CacheService(backend)
+        stats = service.stats()
+        assert stats.backend == kind
+        assert stats.shards == backend.num_shards
+        assert stats.entries == 0
+
+
+# ---------------------------------------------------------------------------
+# Recency touches (LRU sees use, not just writes)
+# ---------------------------------------------------------------------------
+
+
+class TestRecency:
+    def test_fs_get_touches_mtime(self, tmp_path):
+        backend = make("fs", tmp_path)
+        backend.put(KEY_0, KIND_OUTCOME, b"payload")
+        path = backend.entry_path(KEY_0, KIND_OUTCOME)
+        ancient = time.time() - 4000
+        os.utime(path, (ancient, ancient))
+        backend.get(KEY_0, KIND_OUTCOME)
+        assert path.stat().st_mtime > ancient + 1000
+
+    def test_sqlite_get_touches_mtime(self, tmp_path):
+        backend = make("sqlite", tmp_path)
+        backend.put(KEY_0, KIND_OUTCOME, b"payload")
+        backend._execute("UPDATE entries SET mtime = 1.0")
+        backend.get(KEY_0, KIND_OUTCOME)
+        (entry,) = backend.entries()
+        assert entry.mtime > 1.0
+
+
+# ---------------------------------------------------------------------------
+# Legacy flat-layout migration
+# ---------------------------------------------------------------------------
+
+
+class TestLegacyMigration:
+    def seed_flat(self, root, key, payload=b"legacy", suffix=".json"):
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / (key + suffix)
+        path.write_bytes(payload)
+        return path
+
+    def test_ensure_moves_flat_entries_into_shards(self, tmp_path):
+        old = self.seed_flat(tmp_path, KEY_9)
+        ancient = time.time() - 4000
+        os.utime(old, (ancient, ancient))
+        backend = make("fs", tmp_path)
+        assert not old.exists()
+        moved = backend.entry_path(KEY_9, KIND_OUTCOME)
+        assert moved.parent.name == "shard-9"
+        assert moved.read_bytes() == b"legacy"
+        # os.replace preserves mtime, so LRU recency survives.
+        assert abs(moved.stat().st_mtime - ancient) < 2.0
+
+    def test_stage_artifacts_migrate_too(self, tmp_path):
+        self.seed_flat(tmp_path, KEY_0, b"pkl", suffix=".stage.pkl")
+        backend = make("fs", tmp_path)
+        assert backend.get(KEY_0, KIND_STAGE) == b"pkl"
+
+    def test_foreign_files_are_never_touched(self, tmp_path):
+        readme = tmp_path / "README.json"
+        self.seed_flat(tmp_path, KEY_0)
+        readme.write_bytes(b"not an entry")
+        make("fs", tmp_path)
+        assert readme.read_bytes() == b"not an entry"
+
+    def test_straggler_written_after_ensure_is_adopted_on_get(
+        self, tmp_path
+    ):
+        # An old flat-layout client writing into a migrated root: the
+        # sharded reader consults the flat path on a miss.
+        backend = make("fs", tmp_path)
+        self.seed_flat(tmp_path, KEY_F, b"straggler")
+        assert backend.get(KEY_F, KIND_OUTCOME) == b"straggler"
+        assert backend.entry_path(KEY_F, KIND_OUTCOME).exists()
+
+    def test_straggler_is_adopted_by_enumeration(self, tmp_path):
+        backend = make("fs", tmp_path)
+        self.seed_flat(tmp_path, KEY_F, b"straggler")
+        (entry,) = backend.entries()
+        assert entry.key == KEY_F and entry.shard == 15
+
+    def test_drop_removes_the_legacy_path_too(self, tmp_path):
+        backend = make("fs", tmp_path)
+        flat = self.seed_flat(tmp_path, KEY_0)
+        backend.drop(KEY_0, KIND_OUTCOME)
+        assert not flat.exists()
+        assert backend.get(KEY_0, KIND_OUTCOME) is None
+
+    def test_flat_cache_reads_through_the_sharded_backend(self, tmp_path):
+        # End to end: a cache populated by the legacy layout (the
+        # `flat` backend IS that layout) reads transparently through
+        # the default sharded backend.
+        flat = ResultCache(tmp_path, backend="flat")
+        flat.put(KEY_9, SynthesisOutcome(label="old-layout"))
+        sharded = ResultCache(tmp_path)
+        recalled = sharded.get(KEY_9)
+        assert recalled is not None and recalled.label == "old-layout"
+
+    def test_flat_backend_never_migrates(self, tmp_path):
+        backend = make("flat", tmp_path)
+        backend.put(KEY_9, KIND_OUTCOME, b"payload")
+        assert (tmp_path / (KEY_9 + ".json")).exists()
+        assert backend.num_shards == 1
+        assert not list(tmp_path.glob("shard-*"))
+
+
+# ---------------------------------------------------------------------------
+# The spin-lock stale-break race (regression: rename-to-claim)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def no_flock(monkeypatch):
+    """Force the O_CREAT|O_EXCL spin-lock fallback."""
+    monkeypatch.setattr(locks_module, "fcntl", None)
+
+
+class TestSpinLockRace:
+    def stale_lock(self, tmp_path, token=b"99999:dead"):
+        path = tmp_path / ".lock.pid"
+        path.write_bytes(token)
+        ancient = time.time() - 4000
+        os.utime(path, (ancient, ancient))
+        return path
+
+    def test_exactly_one_breaker_wins(self, tmp_path):
+        """N waiters deciding the same lock is stale at the same
+        moment: exactly one may conclude it broke the lock.  (The old
+        stat-then-unlink break let two waiters each 'remove' the file
+        and both acquire.)"""
+        waiters = 8
+        stale = self.stale_lock(tmp_path)
+        barrier = threading.Barrier(waiters)
+        outcomes = []
+
+        def breaker():
+            lock = DirectoryLock(tmp_path, stale_after=300.0)
+            barrier.wait()
+            outcomes.append(lock._break_stale_spin_lock(stale))
+
+        threads = [
+            threading.Thread(target=breaker) for _ in range(waiters)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes.count(True) == 1
+        assert not stale.exists()
+        # No grave files leak.
+        assert list(tmp_path.glob(".lock.pid.broken-*")) == []
+
+    def test_live_lock_is_not_broken(self, tmp_path):
+        fresh = tmp_path / ".lock.pid"
+        fresh.write_bytes(b"1234:live")
+        lock = DirectoryLock(tmp_path, stale_after=300.0)
+        assert lock._break_stale_spin_lock(fresh) is False
+        assert fresh.read_bytes() == b"1234:live"
+
+    def test_spin_path_provides_exclusion(self, tmp_path, no_flock):
+        holder = DirectoryLock(tmp_path, timeout=1.0)
+        holder.acquire()
+        try:
+            assert (tmp_path / ".lock.pid").exists()
+            blocked = DirectoryLock(tmp_path, timeout=0.2, poll=0.02)
+            with pytest.raises(CacheLockTimeout):
+                blocked.acquire()
+        finally:
+            holder.release()
+        assert not (tmp_path / ".lock.pid").exists()
+        # Released: the next holder gets in immediately.
+        with DirectoryLock(tmp_path, timeout=1.0):
+            pass
+
+    def test_acquire_breaks_a_stale_lock(self, tmp_path, no_flock):
+        self.stale_lock(tmp_path)
+        lock = DirectoryLock(tmp_path, timeout=1.0, stale_after=300.0)
+        lock.acquire()  # must not time out
+        lock.release()
+
+    def test_release_never_unlinks_a_foreign_lock(self, tmp_path, no_flock):
+        """A holder whose lock was broken as stale and re-granted must
+        not remove the new holder's lock file on release (the token
+        check).  Without it, a third waiter could acquire while the
+        second still believes it holds the lock."""
+        first = DirectoryLock(tmp_path, timeout=1.0)
+        first.acquire()
+        spin_path = tmp_path / ".lock.pid"
+        # Simulate the steal: first's lock aged out and a second
+        # waiter broke + re-acquired.
+        ancient = time.time() - 4000
+        os.utime(spin_path, (ancient, ancient))
+        second = DirectoryLock(tmp_path, timeout=1.0, stale_after=300.0)
+        second.acquire()
+        assert spin_path.exists()
+        # The original holder releases: the second holder's lock file
+        # must survive.
+        first.release()
+        assert spin_path.exists()
+        assert spin_path.read_bytes() == second._token
+        second.release()
+        assert not spin_path.exists()
+
+    def test_lock_files_carry_an_ownership_token(self, tmp_path, no_flock):
+        with DirectoryLock(tmp_path, timeout=1.0) as lock:
+            content = (tmp_path / ".lock.pid").read_bytes()
+            assert content == lock._token
+            assert content.startswith(str(os.getpid()).encode("ascii"))
+
+
+# ---------------------------------------------------------------------------
+# Lock-wait accounting
+# ---------------------------------------------------------------------------
+
+
+class TestLockWaitAccounting:
+    def test_uncontended_acquire_records_no_meaningful_wait(self, tmp_path):
+        lock = DirectoryLock(tmp_path)
+        with lock:
+            pass
+        assert lock.waited < 0.5
+
+    def test_contended_acquire_accumulates_wait(self, tmp_path):
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with DirectoryLock(tmp_path):
+                held.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        held.wait(timeout=5.0)
+        blocked = DirectoryLock(tmp_path, timeout=5.0, poll=0.02)
+        timer = threading.Timer(0.3, release.set)
+        timer.start()
+        with blocked:
+            pass
+        thread.join()
+        assert blocked.waited >= 0.1
+
+    def test_backend_shard_lock_feeds_lock_waited(self, tmp_path):
+        backend = make("fs", tmp_path)
+        other = make_backend(backend.spec)
+        other.ensure()
+        with backend.shard_lock(3):
+            with pytest.raises(CacheLockTimeout):
+                with other.shard_lock(3, timeout=0.3):
+                    pass  # pragma: no cover
+        assert other.lock_waited >= 0.2
+        # Disjoint shards never contend.
+        with backend.shard_lock(3):
+            with other.shard_lock(4, timeout=0.3):
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Lock-free stats (observability never stalls maintenance)
+# ---------------------------------------------------------------------------
+
+
+class TestLockFreeStats:
+    def test_stats_succeed_with_every_lock_held(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_0, SynthesisOutcome(label="x"))
+        service = CacheService(cache.backend, lock_timeout=0.5)
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(DirectoryLock(tmp_path, timeout=1.0))
+            for shard in range(cache.backend.num_shards):
+                stack.enter_context(cache.backend.shard_lock(shard))
+            stats = service.stats()
+        assert stats.entries == 1
+
+    def test_fast_stats_read_the_index_without_locks(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_0, SynthesisOutcome(label="x"))
+        service = CacheService(cache.backend, lock_timeout=0.5)
+        service.reindex()
+        with contextlib.ExitStack() as stack:
+            for shard in range(cache.backend.num_shards):
+                stack.enter_context(cache.backend.shard_lock(shard))
+            stats = service.stats(fast=True)
+        assert stats.entries == 1
+
+
+# ---------------------------------------------------------------------------
+# Cross-process shard contention (mixed get/put/gc)
+# ---------------------------------------------------------------------------
+
+
+def _contend(args):
+    """Worker: put/get-verify a disjoint slice of keys against a
+    shared backend, interleaving full gc passes (generous budget, so
+    nothing should be evicted).  Returns the number of bad reads."""
+    spec, worker_id, keys, rounds = args
+    cache = make_backend(spec)
+    cache.ensure()
+    service = CacheService(cache, max_bytes=64 * 1024 * 1024)
+    bad = 0
+    for round_number in range(rounds):
+        for index, key in enumerate(keys):
+            payload = f"w{worker_id}-r{round_number}-{index}".encode()
+            cache.put(key, KIND_OUTCOME, payload)
+            if cache.get(key, KIND_OUTCOME) != payload:
+                bad += 1
+        if round_number % 2 == 1:
+            report = service.gc()
+            if report.evicted:  # budget is generous: nothing evicts
+                bad += 1
+    return bad
+
+
+def _worker_keys(worker_id, per_worker, same_shard):
+    """Disjoint keys per worker: all leading digit '0' (same shard)
+    or leading digit = worker id (disjoint shards)."""
+    lead = "0" if same_shard else f"{worker_id:x}"
+    return [
+        lead + f"{worker_id:02x}{index:02x}".ljust(63, "e")
+        for index in range(per_worker)
+    ]
+
+
+@pytest.mark.parametrize("kind", ["fs", "sqlite"])
+class TestCrossProcessContention:
+    def run_contention(self, tmp_path, kind, same_shard):
+        workers = 4
+        per_worker = 6
+        rounds = 4
+        backend = make(kind, tmp_path)
+        expected = {}
+        jobs = []
+        for worker_id in range(workers):
+            keys = _worker_keys(worker_id, per_worker, same_shard)
+            expected[worker_id] = keys
+            jobs.append((backend.spec, worker_id, keys, rounds))
+        with multiprocessing.Pool(processes=workers) as pool:
+            bad = pool.map(_contend, jobs)
+        assert bad == [0] * workers
+        # Exactly-once landing: every key present exactly once, no
+        # key lost to a concurrent gc, no duplicates across shards.
+        entries = backend.entries()
+        seen = [entry.key for entry in entries]
+        flat_keys = [key for keys in expected.values() for key in keys]
+        assert sorted(seen) == sorted(set(seen))  # no duplicates
+        assert sorted(seen) == sorted(flat_keys)  # none lost
+        for entry in entries:
+            assert entry.shard == shard_of(entry.key, backend.num_shards)
+        # Final payloads are the last round's, intact.
+        for worker_id, keys in expected.items():
+            for index, key in enumerate(keys):
+                payload = backend.get(key, KIND_OUTCOME)
+                assert payload == (
+                    f"w{worker_id}-r{rounds - 1}-{index}".encode()
+                )
+
+    def test_same_shard(self, tmp_path, kind):
+        self.run_contention(tmp_path, kind, same_shard=True)
+
+    def test_disjoint_shards(self, tmp_path, kind):
+        self.run_contention(tmp_path, kind, same_shard=False)
+
+    def test_gc_accounting_reconciles_under_load(self, tmp_path, kind):
+        """After a contended run, a bounded gc's per-shard breakdown
+        must sum to the headline numbers and its budgets exactly to
+        the global budget."""
+        backend = make(kind, tmp_path)
+        for worker_id in range(4):
+            for key in _worker_keys(worker_id, 6, same_shard=False):
+                backend.put(key, KIND_OUTCOME, b"x" * 64)
+        service = CacheService(backend, max_bytes=16 * 64)
+        report = service.gc()
+        assert sum(s.budget for s in report.shards) == service.max_bytes
+        assert sum(s.examined for s in report.shards) == report.examined
+        assert sum(s.evicted for s in report.shards) == report.evicted
+        assert (
+            sum(s.freed_bytes for s in report.shards) == report.freed_bytes
+        )
+        assert sum(s.kept_bytes for s in report.shards) == report.kept_bytes
+        assert report.examined == 24
+        for shard in report.shards:
+            assert shard.kept_bytes <= shard.budget
+        # Survivors actually fit the global budget.
+        assert service.stats().total_bytes <= service.max_bytes
+
+
+# ---------------------------------------------------------------------------
+# sqlite backend specifics
+# ---------------------------------------------------------------------------
+
+
+class TestSqliteBackend:
+    def test_wal_mode_and_single_file_layout(self, tmp_path):
+        backend = make("sqlite", tmp_path)
+        backend.put(KEY_0, KIND_OUTCOME, b"payload")
+        mode = backend._execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        assert backend.db_path.exists()
+        # No shard directories, no entry files: rows only.
+        assert not list(tmp_path.glob("shard-*"))
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_corrupt_database_reads_as_misses(self, tmp_path):
+        backend = make("sqlite", tmp_path)
+        backend.put(KEY_0, KIND_OUTCOME, b"payload")
+        backend._conn.close()
+        backend._conn = None
+        backend.db_path.write_bytes(b"this is not a sqlite database")
+        fresh = SqliteBackend(tmp_path)
+        assert fresh.get(KEY_0, KIND_OUTCOME) is None
+        assert fresh.entries() == []
+
+    def test_busy_retry_feeds_lock_waited(self, tmp_path):
+        backend = make("sqlite", tmp_path)
+        # A second connection holding an exclusive transaction makes
+        # the write briefly busy; the retry loop must wait (counting
+        # it) and then succeed.  sqlite's own busy handler is dialed
+        # down so the Python-level retry loop is what waits.
+        backend._connection().execute("PRAGMA busy_timeout=10")
+        held = threading.Event()
+
+        def hold_briefly():
+            blocker = sqlite3.connect(backend.db_path, timeout=0.1)
+            blocker.execute("BEGIN EXCLUSIVE")
+            held.set()
+            time.sleep(0.3)
+            blocker.execute("COMMIT")
+            blocker.close()
+
+        thread = threading.Thread(target=hold_briefly)
+        thread.start()
+        held.wait(timeout=5.0)
+        backend.put(KEY_0, KIND_OUTCOME, b"payload")
+        thread.join()
+        assert backend.get(KEY_0, KIND_OUTCOME) == b"payload"
+        assert backend.lock_waited > 0.0
+
+    def test_stage_store_from_a_spec_string(self, tmp_path):
+        spec = f"sqlite:{tmp_path}"
+        store = StageArtifactStore(spec)
+        assert store.put(KEY_0, {"snapshot": 1})
+        # A second store (another worker) reads it back via the spec.
+        again = StageArtifactStore(spec)
+        assert again.get(KEY_0) == {"snapshot": 1}
+        assert (tmp_path / "cache.sqlite3").exists()
+
+    def test_engine_warm_sweep_hits_the_sqlite_cache(self, tmp_path):
+        jobs = jobs_from_grid(
+            "int x;\nx = 1 + 2;",
+            grid_from_specs(["clock=2,4"]),
+            base_script=SynthesisScript(output_scalars={"x"}),
+        )
+        cold = ExplorationEngine(
+            cache_dir=tmp_path, cache_backend="sqlite"
+        ).explore(jobs)
+        assert cold.cache_hits == 0
+        warm = ExplorationEngine(
+            cache_dir=tmp_path, cache_backend="sqlite"
+        ).explore(jobs)
+        assert warm.cache_hits == len(jobs)
+        # The engine stamps the backend spec into the job wire format
+        # so broker workers reconstruct the same backend.
+        engine = ExplorationEngine(
+            cache_dir=tmp_path, cache_backend="sqlite"
+        )
+        assert engine.stage_spec == f"sqlite:{tmp_path}"
